@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Figure 1(a)(b): Pareto frontiers of normalized accuracy vs
+ * normalized throughput for KV-selection systems in the long-context
+ * input and long-context reasoning scenarios.
+ *
+ * Accuracy comes from live runs of the tiny stack (score vs full
+ * attention); throughput from the analytical simulator at the paper's
+ * scale (8B geometry, 4 requests, 16K). Both axes are normalized to
+ * full attention, matching the paper's plot.
+ */
+#include "bench/bench_util.h"
+#include "core/timing_engine.h"
+#include "retrieval/cluster_kv.h"
+#include "retrieval/quest.h"
+#include "retrieval/shadow_kv.h"
+#include "workload/tasks.h"
+
+using namespace specontext;
+
+namespace {
+
+struct Point
+{
+    std::string system;
+    int64_t budget;
+    double accuracy;   // live task score, 0-100
+    double throughput; // simulated tokens/s
+};
+
+double
+liveScore(bench::LiveStack &stack, const workload::QATask &task,
+          const core::Reference &ref, const std::string &system,
+          int64_t budget)
+{
+    if (system == "Quest") {
+        retrieval::QuestRetriever r(budget, 16);
+        return workload::scoreTask(
+                   task, stack.engine.runWithRetriever(ref, r))
+            .score;
+    }
+    if (system == "ClusterKV") {
+        retrieval::ClusterKVRetriever r(budget, 16, 4);
+        return workload::scoreTask(
+                   task, stack.engine.runWithRetriever(ref, r))
+            .score;
+    }
+    if (system == "ShadowKV") {
+        retrieval::ShadowKVRetriever r(budget);
+        return workload::scoreTask(
+                   task, stack.engine.runWithRetriever(ref, r))
+            .score;
+    }
+    retrieval::RetrievalHead head(stack.dlm, {budget});
+    return workload::scoreTask(
+               task, stack.engine.runWithSpeContext(ref, head))
+        .score;
+}
+
+double
+simThroughput(core::SystemKind sys, bool reasoning)
+{
+    core::TimingEngine te;
+    core::TimingConfig tc;
+    tc.llm = model::llama31_8bGeometry();
+    tc.hw = sim::HardwareSpec::cloudA800();
+    tc.system = sys;
+    tc.batch = (sys == core::SystemKind::Quest ||
+                sys == core::SystemKind::ClusterKV)
+                   ? 1
+                   : 4;
+    tc.budget = 2048;
+    // Fig. 1's setting: 4 requests, 16K total length.
+    tc.prompt_len = reasoning ? 2048 : 14336;
+    tc.gen_len = reasoning ? 14336 : 2048;
+    const auto r = te.simulate(tc);
+    // Per-request throughput so single-request systems are comparable.
+    return r.oom ? 0.0 : r.throughput / static_cast<double>(tc.batch);
+}
+
+void
+scenario(bool reasoning)
+{
+    bench::section(reasoning
+                       ? "Fig 1(b): long-context reasoning Pareto"
+                       : "Fig 1(a): long-context input Pareto");
+
+    bench::LiveStack stack;
+    workload::TaskGenerator gen(stack.cfg.vocab, 101);
+    // Input scenario: long document, short answer. Reasoning: short
+    // instruction, long generation.
+    auto task = reasoning ? gen.hotpotQa(64) : gen.hotpotQa(288);
+    task.answer_steps = reasoning ? 48 : 16;
+    const auto ref = workload::taskReference(stack.engine, task);
+
+    const double full_acc = 100.0;
+    const double full_tp =
+        simThroughput(core::SystemKind::FlashInfer, reasoning);
+
+    std::printf("%-12s %8s %10s %10s   (normalized to FlashInfer full "
+                "attention)\n",
+                "system", "budget", "norm-acc", "norm-tput");
+    std::printf("%-12s %8s %10.3f %10.3f\n", "FullAttn", "-", 1.0, 1.0);
+
+    const std::vector<std::pair<std::string, core::SystemKind>> systems =
+        {{"Quest", core::SystemKind::Quest},
+         {"ClusterKV", core::SystemKind::ClusterKV},
+         {"ShadowKV", core::SystemKind::ShadowKV},
+         {"SpeContext", core::SystemKind::SpeContext}};
+
+    // Budgets 1024/2048 in the paper. A 4-layer synthetic model needs
+    // a larger relative budget than a trained 32-layer 8B model for
+    // the same fidelity, so the live budgets are chosen where the
+    // tiny model's accuracy/budget curve has the same character as
+    // the paper's (documented in EXPERIMENTS.md): roughly 1/4 and 1/2
+    // of the live context for the input scenario, and budgets around
+    // the total sequence for the reasoning scenario (where the
+    // paper's 1024/2048 budgets also exceed the ~100-token prompt).
+    const int64_t live_ctx = static_cast<int64_t>(task.prompt.size()) +
+                             task.answer_steps;
+    const std::vector<std::pair<int64_t, int64_t>> budget_map =
+        reasoning ? std::vector<std::pair<int64_t, int64_t>>{
+                        {1024, live_ctx / 2}, {2048, live_ctx}}
+                  : std::vector<std::pair<int64_t, int64_t>>{
+                        {1024, live_ctx / 4}, {2048, live_ctx / 2}};
+    for (const auto &[name, kind] : systems) {
+        for (const auto &[paper_budget, live_budget] : budget_map) {
+            const double acc =
+                liveScore(stack, task, ref, name, live_budget);
+            const double tp = simThroughput(kind, reasoning);
+            std::printf("%-12s %8ld %10.3f %10.3f\n", name.c_str(),
+                        paper_budget, acc / full_acc, tp / full_tp);
+        }
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    scenario(false);
+    scenario(true);
+    std::printf("\nExpected shape (paper Fig. 1): in (a) sparse systems "
+                "cluster near full-attention accuracy with >1 "
+                "normalized throughput;\nin (b) baselines drop below "
+                "1.0 throughput (retrieval overhead + retained KV) "
+                "while SpeContext stays top-right.\n");
+    return 0;
+}

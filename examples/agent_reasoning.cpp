@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Long-context *reasoning* scenario (the paper's motivating AI-agent
+ * workload, §1): a short instruction triggers a long chain-of-thought
+ * generation whose KV cache keeps growing. Shows how SpeContext's
+ * global selection covers the newly generated KV (unlike the
+ * prompt-preprocessing baselines) and how adaptive memory management
+ * progressively offloads layers as the chain grows.
+ */
+#include <cstdio>
+
+#include "core/live_engine.h"
+#include "core/memory_manager.h"
+#include "model/distiller.h"
+#include "retrieval/retrieval_head.h"
+#include "sim/memory_model.h"
+
+using namespace specontext;
+
+int
+main()
+{
+    // --- Live part: selection covers generated tokens ----------------
+    const auto cfg = model::tinyConfig(model::AttentionKind::GQA);
+    const auto llm = model::Transformer::randomInit(cfg, 42);
+    const auto dlm = model::distill(llm);
+    core::LiveEngine engine(llm);
+
+    Rng rng(11);
+    std::vector<int32_t> instruction;
+    for (int i = 0; i < 48; ++i)
+        instruction.push_back(
+            static_cast<int32_t>(2 + rng.uniformInt(cfg.vocab - 2)));
+
+    const int64_t steps = 96; // long reasoning chain
+    const auto ref = engine.buildReference(instruction, steps);
+    retrieval::RetrievalHead head(dlm, {32});
+    auto run = engine.runWithSpeContext(ref, head);
+
+    int64_t generated_selected = 0, total_selected = 0;
+    const auto &last = run.step_selections.back();
+    for (const auto &h : last.per_head) {
+        for (int64_t p : h) {
+            ++total_selected;
+            if (p >= static_cast<int64_t>(instruction.size()))
+                ++generated_selected;
+        }
+    }
+    std::printf("Reasoning chain of %ld tokens from a %zu-token "
+                "instruction\n",
+                steps, instruction.size());
+    std::printf("final-step selection: %ld of %ld selected positions "
+                "(%.0f%%) are *generated* tokens —\n"
+                "prompt-preprocessing baselines cannot rank these\n",
+                generated_selected, total_selected,
+                100.0 * generated_selected / total_selected);
+    std::printf("fidelity vs full attention: top-1 %.3f, KL %.4f\n\n",
+                run.top1_agreement, run.mean_kl);
+
+    // --- Simulated part: Algorithm 1/2 on the 8B geometry ------------
+    sim::MemoryModelInputs in;
+    in.llm = model::deepseekDistillLlama8bGeometry();
+    in.dlm = model::dlmGeometryFor(in.llm);
+    in.requests = 4;
+    in.budget = 2048;
+    in.gpu_mem_bytes = 80LL << 30;
+    sim::MemoryModel mm(in);
+
+    const auto th = mm.thresholds();
+    std::printf("Adaptive memory thresholds (A800-80GB, 4 requests, "
+                "%s):\n",
+                in.llm.name.c_str());
+    std::printf("  keep all %ld layers on GPU while S < %ld tokens\n",
+                in.llm.layers, th[0]);
+    for (int64_t i : {1, 2, 4, 8, 16}) {
+        std::printf("  offload %2ld layers once S >= %ld\n", i,
+                    th[i - 1]);
+    }
+
+    core::AdaptiveMemoryManager mgr(mm, core::OffloadPolicy::Adaptive);
+    kv::TierPlacement placement(in.llm.layers);
+    for (int64_t s : {4096, 80000, 105000, 120000, 200000}) {
+        const auto events = mgr.onSequenceLength(s, placement);
+        std::printf("  S=%7ld: %2ld layers on GPU (%zu offloaded this "
+                    "step)\n",
+                    s, placement.gpuLayers(), events.size());
+    }
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Long-context *input* scenario (the paper's LongBench setting): a
+ * fact is buried in a long document and the model must answer a
+ * question about it. Compares SpeContext's retrieval head against the
+ * layer-wise baselines at several KV budgets.
+ */
+#include <cstdio>
+
+#include "core/live_engine.h"
+#include "model/distiller.h"
+#include "retrieval/cluster_kv.h"
+#include "retrieval/quest.h"
+#include "retrieval/shadow_kv.h"
+#include "retrieval/streaming_llm.h"
+#include "retrieval/retrieval_head.h"
+#include "workload/tasks.h"
+
+using namespace specontext;
+
+int
+main()
+{
+    const auto cfg = model::tinyConfig(model::AttentionKind::GQA);
+    const auto llm = model::Transformer::randomInit(cfg, 42);
+    const auto dlm = model::distill(llm);
+    core::LiveEngine engine(llm);
+
+    workload::TaskGenerator gen(cfg.vocab, 2026);
+    auto task = gen.triviaQa(320);
+    task.answer_steps = 16;
+    std::printf("Task: %s — %zu-token document, fact at positions "
+                "%ld..%ld\n\n",
+                task.name.c_str(), task.prompt.size(),
+                task.needle_positions.front(),
+                task.needle_positions.back());
+
+    const auto ref = workload::taskReference(engine, task);
+
+    std::printf("%-14s %8s %10s %12s %8s\n", "method", "budget",
+                "agreement", "needle-rec", "score");
+    for (int64_t budget : {32, 64, 128}) {
+        {
+            retrieval::StreamingLLMRetriever r(budget, 4);
+            auto s = workload::scoreTask(
+                task, engine.runWithRetriever(ref, r));
+            std::printf("%-14s %8ld %10.3f %12.3f %8.1f\n",
+                        "StreamingLLM", budget, s.answer_agreement,
+                        s.needle_recall, s.score);
+        }
+        {
+            retrieval::QuestRetriever r(budget, 16);
+            auto s = workload::scoreTask(
+                task, engine.runWithRetriever(ref, r));
+            std::printf("%-14s %8ld %10.3f %12.3f %8.1f\n", "Quest",
+                        budget, s.answer_agreement, s.needle_recall,
+                        s.score);
+        }
+        {
+            retrieval::ClusterKVRetriever r(budget, 16, 4);
+            auto s = workload::scoreTask(
+                task, engine.runWithRetriever(ref, r));
+            std::printf("%-14s %8ld %10.3f %12.3f %8.1f\n", "ClusterKV",
+                        budget, s.answer_agreement, s.needle_recall,
+                        s.score);
+        }
+        {
+            retrieval::ShadowKVRetriever r(budget);
+            auto s = workload::scoreTask(
+                task, engine.runWithRetriever(ref, r));
+            std::printf("%-14s %8ld %10.3f %12.3f %8.1f\n", "ShadowKV",
+                        budget, s.answer_agreement, s.needle_recall,
+                        s.score);
+        }
+        {
+            retrieval::RetrievalHead head(dlm, {budget});
+            auto s = workload::scoreTask(
+                task, engine.runWithSpeContext(ref, head));
+            std::printf("%-14s %8ld %10.3f %12.3f %8.1f\n\n",
+                        "SpeContext", budget, s.answer_agreement,
+                        s.needle_recall, s.score);
+        }
+    }
+    std::printf("(full attention scores 100.0 by definition)\n");
+    return 0;
+}

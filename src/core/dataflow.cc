@@ -1,0 +1,170 @@
+#include "core/dataflow.h"
+
+#include <algorithm>
+
+#include "core/timing_engine.h"
+
+namespace specontext {
+namespace core {
+
+const char *
+dataflowKindName(DataflowKind k)
+{
+    switch (k) {
+      case DataflowKind::PrefetchFullKV: return "PrefetchFullKV";
+      case DataflowKind::FetchSparseKV: return "FetchSparseKV";
+      case DataflowKind::PrefetchSparseKV: return "PrefetchSparseKV";
+      case DataflowKind::PrefetchSparseV: return "PrefetchSparseV";
+      case DataflowKind::SpeContextElastic: return "SpeContext";
+    }
+    return "?";
+}
+
+DataflowResult
+simulateTokenDataflow(DataflowKind kind, const DataflowParams &p)
+{
+    const sim::CostModel cost(p.hw, p.backend);
+    const model::ModelConfig &m = p.llm;
+    const int64_t kvb = TimingEngine::kvBytesPerTokenPerLayer(m);
+    const int64_t R = p.batch;
+
+    // Per-layer component durations.
+    const sim::DecodeBreakdown full =
+        cost.decodeStepBreakdown(m, R, p.seq_len);
+    const sim::DecodeBreakdown sparse =
+        cost.decodeStepBreakdown(m, R, std::min(p.budget, p.seq_len));
+    const double ffn_gemm_layer = sparse.gemm / m.layers;
+    const double attn_full_layer = full.attn / m.layers;
+    const double attn_sparse_layer = sparse.attn / m.layers;
+
+    const double full_xfer_layer = cost.pcieSeconds(R * p.seq_len * kvb);
+    const double budget_xfer_layer =
+        cost.pcieSeconds(R * std::min(p.budget, p.seq_len) * kvb);
+    const double retr_layer = cost.retrievalSeconds(
+        2.0 * R * m.q_heads * m.head_dim * (p.seq_len / 16), p.seq_len / 16);
+
+    sim::Timeline tl;
+    using sim::StreamId;
+
+    switch (kind) {
+      case DataflowKind::PrefetchFullKV: {
+        // Copy stream prefetches each layer's full KV; attention waits.
+        for (int64_t l = 0; l < m.layers; ++l) {
+            sim::Event kv =
+                tl.enqueue(StreamId::Copy, full_xfer_layer, "transfer");
+            tl.waitEvent(StreamId::Compute, kv);
+            tl.enqueue(StreamId::Compute, attn_full_layer, "attn");
+            tl.enqueue(StreamId::Compute, ffn_gemm_layer, "ffn");
+        }
+        break;
+      }
+      case DataflowKind::FetchSparseKV: {
+        // Retrieve, then fetch, then attend — all serialized. The
+        // transfer cannot start before this layer's retrieval result
+        // exists (the data dependency of Challenge-1), so the copy
+        // stream waits on the retrieval event.
+        for (int64_t l = 0; l < m.layers; ++l) {
+            sim::Event retrieved =
+                tl.enqueue(StreamId::Compute, retr_layer, "retrieval");
+            tl.enqueue(StreamId::Compute, cost.syncSeconds(), "sync");
+            tl.waitEvent(StreamId::Copy, retrieved);
+            sim::Event kv = tl.enqueue(StreamId::Copy, budget_xfer_layer,
+                                       "transfer");
+            tl.waitEvent(StreamId::Compute, kv);
+            tl.enqueue(StreamId::Compute, attn_sparse_layer, "attn");
+            tl.enqueue(StreamId::Compute, ffn_gemm_layer, "ffn");
+        }
+        break;
+      }
+      case DataflowKind::PrefetchSparseKV: {
+        // Speculative prefetch hides the hit fraction one layer ahead;
+        // misses are fetched synchronously.
+        const double hit_xfer =
+            budget_xfer_layer * (1.0 - p.speculative_miss);
+        const double miss_xfer = budget_xfer_layer * p.speculative_miss;
+        sim::Event ready =
+            tl.enqueue(StreamId::Copy, hit_xfer, "transfer");
+        for (int64_t l = 0; l < m.layers; ++l) {
+            sim::Event retrieved =
+                tl.enqueue(StreamId::Compute, retr_layer, "retrieval");
+            tl.waitEvent(StreamId::Compute, ready);
+            // Misses are only known after this layer's retrieval.
+            tl.waitEvent(StreamId::Copy, retrieved);
+            sim::Event miss =
+                tl.enqueue(StreamId::Copy, miss_xfer, "transfer");
+            tl.waitEvent(StreamId::Compute, miss);
+            // Next layer's speculative prefetch starts now.
+            ready = tl.enqueue(StreamId::Copy, hit_xfer, "transfer");
+            tl.enqueue(StreamId::Compute, attn_sparse_layer, "attn");
+            tl.enqueue(StreamId::Compute, ffn_gemm_layer, "ffn");
+        }
+        break;
+      }
+      case DataflowKind::PrefetchSparseV: {
+        // ShadowKV: score on quantized keys (compute), fetch V on the
+        // copy stream while K is reconstructed, attend when V lands.
+        const double v_xfer_layer =
+            cost.pcieSeconds(R * std::min(p.budget, p.seq_len) * kvb / 2);
+        const double krecons = cost.gemmSeconds(
+            R * std::min(p.budget, p.seq_len), m.kv_heads * m.head_dim,
+            64);
+        for (int64_t l = 0; l < m.layers; ++l) {
+            sim::Event retrieved =
+                tl.enqueue(StreamId::Compute, retr_layer, "retrieval");
+            tl.waitEvent(StreamId::Copy, retrieved);
+            sim::Event v =
+                tl.enqueue(StreamId::Copy, v_xfer_layer, "transfer");
+            tl.enqueue(StreamId::Compute, krecons, "krecons");
+            tl.waitEvent(StreamId::Compute, v);
+            tl.enqueue(StreamId::Compute, attn_sparse_layer, "attn");
+            tl.enqueue(StreamId::Compute, ffn_gemm_layer, "ffn");
+        }
+        break;
+      }
+      case DataflowKind::SpeContextElastic: {
+        // Selection precedes the LLM: the head's cost sits up front on
+        // the compute stream, then the copy stream runs ahead of the
+        // layers moving only the elastic diffs.
+        const int64_t q_dim = m.q_heads * m.head_dim;
+        const int64_t kv_dim =
+            m.attention == model::AttentionKind::MLA
+                ? m.mla_latent_dim
+                : m.kv_heads * m.head_dim;
+        const double head =
+            cost.gemmSeconds(R, q_dim + kv_dim, m.hidden) +
+            cost.retrievalSeconds(
+                2.0 * R * m.q_heads * m.head_dim * p.seq_len, p.seq_len);
+        sim::Event sel = tl.enqueue(StreamId::Compute, head, "head");
+        tl.waitEvent(StreamId::Copy, sel);
+
+        const double diff_xfer_layer = cost.pcieSeconds(
+            R *
+            static_cast<int64_t>((1.0 - p.elastic_overlap) *
+                                 std::min(p.budget, p.seq_len)) *
+            kvb);
+        std::vector<sim::Event> layer_ready(m.layers);
+        for (int64_t l = 0; l < m.layers; ++l)
+            layer_ready[l] =
+                tl.enqueue(StreamId::Copy, diff_xfer_layer, "transfer");
+        for (int64_t l = 0; l < m.layers; ++l) {
+            tl.waitEvent(StreamId::Compute, layer_ready[l]);
+            tl.enqueue(StreamId::Compute, attn_sparse_layer, "attn");
+            tl.enqueue(StreamId::Compute, ffn_gemm_layer, "ffn");
+        }
+        break;
+      }
+    }
+
+    DataflowResult r;
+    r.token_seconds = tl.makespan();
+    r.compute_busy = tl.tagSeconds("attn") + tl.tagSeconds("ffn") +
+                     tl.tagSeconds("retrieval") + tl.tagSeconds("head") +
+                     tl.tagSeconds("krecons") + tl.tagSeconds("sync");
+    r.copy_busy = tl.tagSeconds("transfer");
+    r.exposed_transfer = std::max(0.0, r.token_seconds - r.compute_busy);
+    r.by_tag = tl.byTag();
+    return r;
+}
+
+} // namespace core
+} // namespace specontext

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-token dataflow timelines of Figure 7: how the five system
+ * families interleave compute and KV movement across the two streams
+ * when the KV cache lives in CPU DRAM.
+ *
+ *  (a) PrefetchFullKV   — full attention with offload: every layer
+ *      waits for its entire KV cache to cross PCIe;
+ *  (b) FetchSparseKV    — Quest/ClusterKV with offload: per-layer
+ *      retrieve -> fetch budget KV -> attend, fully serialized;
+ *  (c) PrefetchSparseKV — InfiniGen-style: the next layer's KV is
+ *      speculatively prefetched during the current layer's compute,
+ *      with a miss fraction fetched synchronously;
+ *  (d) PrefetchSparseV  — ShadowKV: per-layer retrieval on quantized
+ *      keys, V fetched on the copy stream, K reconstructed on GPU;
+ *  (e) SpeContextElastic — ours: the global selection is known before
+ *      layer 0, so the copy stream prefetches the per-layer elastic
+ *      diffs ahead of the compute stream (data independence).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "model/config.h"
+#include "sim/cost.h"
+#include "sim/timeline.h"
+
+namespace specontext {
+namespace core {
+
+/** Fig. 7 rows. */
+enum class DataflowKind {
+    PrefetchFullKV,
+    FetchSparseKV,
+    PrefetchSparseKV,
+    PrefetchSparseV,
+    SpeContextElastic,
+};
+
+const char *dataflowKindName(DataflowKind k);
+
+/** Inputs of one per-token timeline simulation. */
+struct DataflowParams
+{
+    model::ModelConfig llm;
+    sim::HardwareSpec hw;
+    sim::KernelBackend backend = sim::KernelBackend::FlashAttention;
+    int64_t batch = 1;
+    int64_t seq_len = 32768;      ///< current context length
+    int64_t budget = 2048;        ///< sparse methods' KV budget
+    double elastic_overlap = 0.85;///< SpeContext diff reuse
+    double speculative_miss = 0.25;///< InfiniGen prediction miss rate
+};
+
+/** Outcome of one decode token under a dataflow. */
+struct DataflowResult
+{
+    double token_seconds = 0.0;   ///< makespan of the token
+    double compute_busy = 0.0;    ///< compute-stream busy seconds
+    double copy_busy = 0.0;       ///< copy-stream busy seconds
+    double exposed_transfer = 0.0;///< transfer time not hidden
+    std::map<std::string, double> by_tag;
+};
+
+/** Simulate one decode token's timeline under a dataflow kind. */
+DataflowResult simulateTokenDataflow(DataflowKind kind,
+                                     const DataflowParams &p);
+
+} // namespace core
+} // namespace specontext

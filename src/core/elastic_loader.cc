@@ -1,0 +1,66 @@
+#include "core/elastic_loader.h"
+
+#include <stdexcept>
+
+#include "tensor/topk.h"
+
+namespace specontext {
+namespace core {
+
+LoadPlan
+ElasticLoader::update(const model::LayerSelection &now)
+{
+    LoadPlan plan;
+    const int64_t heads = static_cast<int64_t>(now.per_head.size());
+    if (resident_.empty())
+        resident_.resize(heads);
+    if (static_cast<int64_t>(resident_.size()) != heads)
+        throw std::invalid_argument("selection head count changed");
+
+    double reused_frac_num = 0.0;
+    double reused_frac_den = 0.0;
+    for (int64_t h = 0; h < heads; ++h) {
+        const auto &want = now.per_head[h];
+        if (elastic_) {
+            const auto load = sortedDifference(want, resident_[h]);
+            const auto evict = sortedDifference(resident_[h], want);
+            plan.tokens_to_load += static_cast<int64_t>(load.size());
+            plan.tokens_evicted += static_cast<int64_t>(evict.size());
+            plan.tokens_reused +=
+                static_cast<int64_t>(want.size() - load.size());
+        } else {
+            plan.tokens_to_load += static_cast<int64_t>(want.size());
+            plan.tokens_evicted +=
+                static_cast<int64_t>(resident_[h].size());
+        }
+        reused_frac_num += static_cast<double>(plan.tokens_reused);
+        reused_frac_den += static_cast<double>(want.size());
+        resident_[h] = want;
+    }
+
+    total_loaded_ += plan.tokens_to_load;
+    total_full_ += plan.tokens_to_load + plan.tokens_reused;
+    history_.push_back(plan.reuseFraction());
+    return plan;
+}
+
+const std::vector<int64_t> &
+ElasticLoader::resident(int64_t head) const
+{
+    static const std::vector<int64_t> kEmpty;
+    if (head < 0 || head >= static_cast<int64_t>(resident_.size()))
+        return kEmpty;
+    return resident_[head];
+}
+
+void
+ElasticLoader::reset()
+{
+    resident_.clear();
+    total_loaded_ = 0;
+    total_full_ = 0;
+    history_.clear();
+}
+
+} // namespace core
+} // namespace specontext

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Elastic loading (paper Section 5.4): between adjacent token
+ * generations the selected KV sets overlap heavily (>80 %, Fig. 6(b)),
+ * so only the set difference S_now − S_last needs to cross PCIe; the
+ * slots of S_last − S_now are overwritten in place (Tensor.copy_()-
+ * style). With a fixed budget |S_last| == |S_now|, so the evicted and
+ * loaded counts match.
+ *
+ * The loader tracks per-head resident sets and answers "how many
+ * tokens must move" — the byte pricing happens in the timing engine.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/transformer.h"
+
+namespace specontext {
+namespace core {
+
+/** Per-step transfer accounting produced by the loader. */
+struct LoadPlan
+{
+    int64_t tokens_to_load = 0;  ///< Σ_head |S_now − S_last|
+    int64_t tokens_reused = 0;   ///< Σ_head |S_now ∩ S_last|
+    int64_t tokens_evicted = 0;  ///< Σ_head |S_last − S_now|
+
+    /** Fraction of the new selection already resident. */
+    double
+    reuseFraction() const
+    {
+        const int64_t total = tokens_to_load + tokens_reused;
+        return total == 0 ? 1.0
+                          : static_cast<double>(tokens_reused) / total;
+    }
+};
+
+/** Tracks GPU-resident KV index sets and computes elastic diffs. */
+class ElasticLoader
+{
+  public:
+    /**
+     * @param elastic when false the loader reports the full selection
+     *        as "to load" every step (the ablation baseline C1-only).
+     */
+    explicit ElasticLoader(bool elastic = true) : elastic_(elastic) {}
+
+    bool elastic() const { return elastic_; }
+
+    /**
+     * Account the transition to a new selection; updates the resident
+     * sets. Selections must carry sorted position lists (as all
+     * retrievers in this repo produce).
+     */
+    LoadPlan update(const model::LayerSelection &now);
+
+    /** Resident set of one head (empty before the first update). */
+    const std::vector<int64_t> &resident(int64_t head) const;
+
+    /** Cumulative tokens loaded since reset. */
+    int64_t totalLoaded() const { return total_loaded_; }
+
+    /** Cumulative tokens a non-elastic loader would have moved. */
+    int64_t totalFullBudget() const { return total_full_; }
+
+    /** Per-step reuse fractions observed (for Fig. 6(b)). */
+    const std::vector<double> &reuseHistory() const { return history_; }
+
+    void reset();
+
+  private:
+    bool elastic_;
+    std::vector<std::vector<int64_t>> resident_;
+    int64_t total_loaded_ = 0;
+    int64_t total_full_ = 0;
+    std::vector<double> history_;
+};
+
+} // namespace core
+} // namespace specontext

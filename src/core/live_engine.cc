@@ -1,0 +1,202 @@
+#include "core/live_engine.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+#include "tensor/topk.h"
+
+namespace specontext {
+namespace core {
+
+namespace {
+
+/** Mean over heads of the adjacent-step overlap rate. */
+double
+selectionOverlap(const model::LayerSelection &prev,
+                 const model::LayerSelection &now)
+{
+    if (prev.per_head.empty() || now.per_head.empty())
+        return 0.0;
+    const size_t heads = std::min(prev.per_head.size(),
+                                  now.per_head.size());
+    double sum = 0.0;
+    for (size_t h = 0; h < heads; ++h)
+        sum += overlapRate(prev.per_head[h], now.per_head[h]);
+    return sum / static_cast<double>(heads);
+}
+
+} // namespace
+
+Reference
+LiveEngine::buildReference(const std::vector<int32_t> &prompt,
+                           int64_t steps, bool record_attention) const
+{
+    Reference ref;
+    ref.prompt = prompt;
+    kv::KVCacheSet cache(llm_.config());
+    Tensor logits = llm_.prefill(prompt, cache);
+
+    for (int64_t i = 0; i < steps; ++i) {
+        const int32_t tok = llm_.greedy(logits);
+        ref.tokens.push_back(tok);
+        model::StepTrace trace;
+        trace.record_attention = record_attention;
+        logits = llm_.decodeStep(tok, cache,
+                                 nullptr,
+                                 record_attention ? &trace : nullptr);
+        ref.logits.push_back(logits.clone());
+        if (record_attention)
+            ref.attention.push_back(std::move(trace.attention));
+    }
+    return ref;
+}
+
+LiveGenResult
+LiveEngine::runWithRetriever(const Reference &ref,
+                             retrieval::KVRetriever &retriever) const
+{
+    LiveGenResult out;
+    kv::KVCacheSet cache(llm_.config());
+    Tensor logits = llm_.prefill(ref.prompt, cache);
+    retriever.onPrefillComplete(cache, cache.sequenceLength());
+
+    model::LayerSelection prev_sel;
+    int64_t agree = 0;
+    double kl_sum = 0.0;
+
+    for (size_t i = 0; i < ref.tokens.size(); ++i) {
+        model::LayerSelection layer0_sel;
+        model::LayerSelector selector =
+            [&](int64_t layer, const Tensor &q) {
+                const int64_t ctx = cache.layer(layer).size() - 1;
+                auto sel =
+                    retriever.selectForLayer(layer, q, cache, ctx);
+                if (layer == 0)
+                    layer0_sel = sel;
+                return sel;
+            };
+        logits = llm_.decodeStep(ref.tokens[i], cache, &selector);
+
+        const int32_t mine = llm_.greedy(logits);
+        out.tokens.push_back(mine);
+        if (mine == llm_.greedy(ref.logits[i]))
+            ++agree;
+        kl_sum += ops::klDivergenceFromLogits(ref.logits[i], logits);
+
+        if (i > 0)
+            out.step_overlap.push_back(
+                selectionOverlap(prev_sel, layer0_sel));
+        prev_sel = layer0_sel;
+        out.step_selections.push_back(std::move(layer0_sel));
+    }
+
+    const double n = static_cast<double>(ref.tokens.size());
+    out.top1_agreement = n == 0.0 ? 1.0 : agree / n;
+    out.mean_kl = n == 0.0 ? 0.0 : kl_sum / n;
+    out.retrieval_score_flops = retriever.stats().score_flops;
+    return out;
+}
+
+LiveGenResult
+LiveEngine::runWithSpeContext(const Reference &ref,
+                              retrieval::RetrievalHead &head,
+                              bool elastic) const
+{
+    LiveGenResult out;
+    kv::KVCacheSet cache(llm_.config());
+    Tensor logits = llm_.prefill(ref.prompt, cache);
+    head.reset();
+    head.observe(ref.prompt);
+
+    ElasticLoader loader(elastic);
+    model::LayerSelection prev_sel;
+    int64_t agree = 0;
+    double kl_sum = 0.0;
+
+    for (size_t i = 0; i < ref.tokens.size(); ++i) {
+        // The head runs BEFORE the LLM (Fig. 3): same input token, one
+        // global selection reused by every layer.
+        model::LayerSelection sel = head.step(ref.tokens[i]);
+        loader.update(sel);
+
+        model::LayerSelector selector =
+            [&sel](int64_t, const Tensor &) { return sel; };
+        logits = llm_.decodeStep(ref.tokens[i], cache, &selector);
+
+        const int32_t mine = llm_.greedy(logits);
+        out.tokens.push_back(mine);
+        if (mine == llm_.greedy(ref.logits[i]))
+            ++agree;
+        kl_sum += ops::klDivergenceFromLogits(ref.logits[i], logits);
+
+        if (i > 0)
+            out.step_overlap.push_back(selectionOverlap(prev_sel, sel));
+        prev_sel = sel;
+        out.step_selections.push_back(std::move(sel));
+    }
+
+    const double n = static_cast<double>(ref.tokens.size());
+    out.top1_agreement = n == 0.0 ? 1.0 : agree / n;
+    out.mean_kl = n == 0.0 ? 0.0 : kl_sum / n;
+    out.reuse_history = loader.reuseHistory();
+    out.tokens_loaded = loader.totalLoaded();
+    out.tokens_full_budget = loader.totalFullBudget();
+    out.retrieval_score_flops = head.scoreFlops();
+    return out;
+}
+
+std::vector<int32_t>
+LiveEngine::generate(const std::vector<int32_t> &prompt, int64_t steps,
+                     retrieval::RetrievalHead *head,
+                     int32_t stop_token) const
+{
+    kv::KVCacheSet cache(llm_.config());
+    Tensor logits = llm_.prefill(prompt, cache);
+    if (head) {
+        head->reset();
+        head->observe(prompt);
+    }
+
+    std::vector<int32_t> out;
+    for (int64_t i = 0; i < steps; ++i) {
+        const int32_t tok = llm_.greedy(logits);
+        out.push_back(tok);
+        if (stop_token >= 0 && tok == stop_token)
+            break;
+        if (head) {
+            model::LayerSelection sel = head->step(tok);
+            model::LayerSelector selector =
+                [&sel](int64_t, const Tensor &) { return sel; };
+            logits = llm_.decodeStep(tok, cache, &selector);
+        } else {
+            logits = llm_.decodeStep(tok, cache);
+        }
+    }
+    return out;
+}
+
+std::vector<int32_t>
+LiveEngine::generateWithRetriever(const std::vector<int32_t> &prompt,
+                                  int64_t steps,
+                                  retrieval::KVRetriever &retriever) const
+{
+    kv::KVCacheSet cache(llm_.config());
+    Tensor logits = llm_.prefill(prompt, cache);
+    retriever.onPrefillComplete(cache, cache.sequenceLength());
+
+    std::vector<int32_t> out;
+    for (int64_t i = 0; i < steps; ++i) {
+        const int32_t tok = llm_.greedy(logits);
+        out.push_back(tok);
+        model::LayerSelector selector =
+            [&](int64_t layer, const Tensor &q) {
+                const int64_t ctx = cache.layer(layer).size() - 1;
+                return retriever.selectForLayer(layer, q, cache, ctx);
+            };
+        logits = llm_.decodeStep(tok, cache, &selector);
+    }
+    return out;
+}
+
+} // namespace core
+} // namespace specontext

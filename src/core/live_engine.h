@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Live generation engine: runs *real* forward passes of the synthetic
+ * transformer under full attention, under any layer-wise baseline
+ * retriever, or under the SpeContext retrieval head.
+ *
+ * Accuracy methodology: sparse runs are teacher-forced with the
+ * full-attention trajectory, and at every step the sparse model's
+ * next-token distribution is compared against the full-attention
+ * distribution (top-1 agreement, KL). This isolates exactly the error
+ * KV selection introduces — the quantity behind every accuracy number
+ * in the paper's evaluation — with no confound from trajectory
+ * divergence.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/elastic_loader.h"
+#include "model/transformer.h"
+#include "retrieval/retriever.h"
+#include "retrieval/retrieval_head.h"
+
+namespace specontext {
+namespace core {
+
+/** Full-attention reference trajectory. */
+struct Reference
+{
+    std::vector<int32_t> prompt;
+    std::vector<int32_t> tokens;  ///< greedy continuation, length = steps
+    std::vector<Tensor> logits;   ///< logits[i]: distribution after tokens[i]
+    /**
+     * Per-step, per-layer attention probabilities of the reference run
+     * (filled when record_attention was requested): attn[i][l] is
+     * (q_heads x ctx) for generation step i.
+     */
+    std::vector<std::vector<Tensor>> attention;
+};
+
+/** Result of a sparse live run. */
+struct LiveGenResult
+{
+    std::vector<int32_t> tokens;   ///< greedy tokens the sparse model picked
+    double top1_agreement = 0.0;   ///< fraction of steps matching reference
+    double mean_kl = 0.0;          ///< mean KL(full || sparse) over steps
+    std::vector<double> step_overlap; ///< adjacent-step selection overlap
+    std::vector<double> reuse_history; ///< elastic loader reuse per step
+    int64_t tokens_loaded = 0;     ///< elastic transfers (token count)
+    int64_t tokens_full_budget = 0;///< what full reload would have moved
+    double retrieval_score_flops = 0.0;
+    /**
+     * Selection used at each step (layer 0's for baselines, the global
+     * selection for SpeContext) — workload scorers derive needle
+     * coverage from these.
+     */
+    std::vector<model::LayerSelection> step_selections;
+};
+
+/** Engine binding a transformer to the different execution modes. */
+class LiveEngine
+{
+  public:
+    explicit LiveEngine(const model::Transformer &llm) : llm_(llm) {}
+
+    const model::Transformer &llm() const { return llm_; }
+
+    /**
+     * Run full attention for `steps` greedy tokens and keep per-step
+     * logits (and optionally attention maps) as the reference.
+     */
+    Reference buildReference(const std::vector<int32_t> &prompt,
+                             int64_t steps,
+                             bool record_attention = false) const;
+
+    /** Teacher-forced sparse run under a layer-wise baseline. */
+    LiveGenResult runWithRetriever(const Reference &ref,
+                                   retrieval::KVRetriever &retriever) const;
+
+    /**
+     * Teacher-forced sparse run under the SpeContext retrieval head:
+     * global selection once per step, shared by all layers, elastic
+     * loading accounted.
+     */
+    LiveGenResult runWithSpeContext(const Reference &ref,
+                                    retrieval::RetrievalHead &head,
+                                    bool elastic = true) const;
+
+    /**
+     * Free-running generation (not teacher-forced) with an optional
+     * retrieval head — the mode examples use. Stops at `steps` tokens
+     * or when `stop_token` (if >= 0) is produced.
+     */
+    std::vector<int32_t> generate(const std::vector<int32_t> &prompt,
+                                  int64_t steps,
+                                  retrieval::RetrievalHead *head = nullptr,
+                                  int32_t stop_token = -1) const;
+
+    /** Free-running generation under a layer-wise baseline retriever. */
+    std::vector<int32_t> generateWithRetriever(
+        const std::vector<int32_t> &prompt, int64_t steps,
+        retrieval::KVRetriever &retriever) const;
+
+  private:
+    const model::Transformer &llm_;
+};
+
+} // namespace core
+} // namespace specontext

@@ -1,0 +1,64 @@
+#include "core/memory_manager.h"
+
+namespace specontext {
+namespace core {
+
+const char *
+offloadPolicyName(OffloadPolicy p)
+{
+    switch (p) {
+      case OffloadPolicy::AllGpu: return "AllGpu";
+      case OffloadPolicy::AllCpu: return "AllCpu";
+      case OffloadPolicy::Adaptive: return "Adaptive";
+    }
+    return "?";
+}
+
+AdaptiveMemoryManager::AdaptiveMemoryManager(const sim::MemoryModel &mm,
+                                             OffloadPolicy policy)
+    : mm_(mm), policy_(policy), thresholds_(mm.thresholds())
+{
+}
+
+std::vector<int64_t>
+AdaptiveMemoryManager::onSequenceLength(int64_t s,
+                                        kv::TierPlacement &placement)
+{
+    std::vector<int64_t> offloaded;
+
+    if (policy_ == OffloadPolicy::AllGpu)
+        return offloaded; // never offloads; overflow checked separately
+
+    if (policy_ == OffloadPolicy::AllCpu) {
+        if (!initialized_) {
+            initialized_ = true;
+            for (int64_t l = placement.layers() - 1; l >= 0; --l) {
+                placement.setTier(l, kv::Tier::CPU);
+                offloaded.push_back(l);
+            }
+        }
+        return offloaded;
+    }
+
+    // Adaptive (Algorithm 2): while S >= S_T[L_CPU] and L_CPU < L,
+    // offload the KV cache of layer (L - L_CPU - 1).
+    initialized_ = true;
+    const int64_t l = placement.layers();
+    while (placement.cpuLayers() < l &&
+           s >= thresholds_.at(placement.cpuLayers())) {
+        const int64_t victim = placement.offloadDeepestResident();
+        if (victim < 0)
+            break;
+        offloaded.push_back(victim);
+    }
+    return offloaded;
+}
+
+bool
+AdaptiveMemoryManager::allGpuOverflows(int64_t s) const
+{
+    return !mm_.allFitsOnGpu(s);
+}
+
+} // namespace core
+} // namespace specontext

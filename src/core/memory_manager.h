@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Adaptive memory management (paper Section 6.2, Algorithm 2).
+ *
+ * At compilation time the sequence-length thresholds S_T[0..L] are
+ * derived from the theoretical model (Algorithm 1, sim::MemoryModel).
+ * During inference, whenever the sequence length crosses S_T[L_CPU],
+ * the KV cache of the deepest still-resident layer is offloaded to CPU
+ * DRAM, keeping GPU utilization maximal as the reasoning chain grows.
+ *
+ * Static policies (all-GPU / all-CPU, decided before inference as in
+ * prior work) are provided for the offload-cliff experiment (Fig. 2(a)
+ * challenge ③).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kvcache/tiered.h"
+#include "sim/memory_model.h"
+
+namespace specontext {
+namespace core {
+
+/** KV placement policy. */
+enum class OffloadPolicy {
+    AllGpu,   ///< static: everything resident (OOM beyond capacity)
+    AllCpu,   ///< static: everything offloaded from the start
+    Adaptive, ///< paper Algorithm 2: threshold-driven progressive offload
+};
+
+const char *offloadPolicyName(OffloadPolicy p);
+
+/** Runtime driver of Algorithm 2 over a TierPlacement. */
+class AdaptiveMemoryManager
+{
+  public:
+    AdaptiveMemoryManager(const sim::MemoryModel &mm, OffloadPolicy policy);
+
+    OffloadPolicy policy() const { return policy_; }
+    const std::vector<int64_t> &thresholds() const { return thresholds_; }
+
+    /**
+     * Inform the manager of the current sequence length (Alg. 2 lines
+     * 4-7). Returns the indices of layers offloaded *by this call*, in
+     * offload order, so the caller can charge the transfers. For
+     * static policies the placement is fixed at the first call and the
+     * return is the initial offload set (AllCpu) or empty (AllGpu).
+     *
+     * @retval layers offloaded now (possibly empty)
+     */
+    std::vector<int64_t> onSequenceLength(int64_t s,
+                                          kv::TierPlacement &placement);
+
+    /**
+     * Whether the AllGpu static policy overflows GPU memory at length
+     * s (an OOM for real systems; the cliff bench uses it).
+     */
+    bool allGpuOverflows(int64_t s) const;
+
+  private:
+    sim::MemoryModel mm_;
+    OffloadPolicy policy_;
+    std::vector<int64_t> thresholds_;
+    bool initialized_ = false;
+};
+
+} // namespace core
+} // namespace specontext

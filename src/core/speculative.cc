@@ -1,0 +1,101 @@
+#include "core/speculative.h"
+
+#include <memory>
+#include <stdexcept>
+
+namespace specontext {
+namespace core {
+
+SpeculativeDecoder::SpeculativeDecoder(const model::Transformer &llm,
+                                       const model::Transformer &dlm,
+                                       SpeculativeOptions opts)
+    : llm_(llm), dlm_(dlm), opts_(opts)
+{
+    if (opts_.draft_len <= 0)
+        throw std::invalid_argument("draft_len must be positive");
+    if (llm.config().vocab != dlm.config().vocab)
+        throw std::invalid_argument("LLM/DLM vocabulary mismatch");
+}
+
+SpeculativeResult
+SpeculativeDecoder::generate(const std::vector<int32_t> &prompt,
+                             int64_t steps) const
+{
+    SpeculativeResult out;
+    kv::KVCacheSet llm_cache(llm_.config());
+    kv::KVCacheSet dlm_cache(dlm_.config());
+
+    Tensor llm_logits = llm_.prefill(prompt, llm_cache);
+    Tensor dlm_logits = dlm_.prefill(prompt, dlm_cache);
+
+    std::unique_ptr<retrieval::RetrievalHead> head;
+    if (opts_.budget > 0) {
+        head = std::make_unique<retrieval::RetrievalHead>(
+            dlm_, retrieval::RetrievalHeadOptions{opts_.budget});
+        head->observe(prompt);
+    }
+
+    auto llmStep = [&](int32_t token) {
+        if (head) {
+            model::LayerSelection sel = head->step(token);
+            model::LayerSelector selector =
+                [&sel](int64_t, const Tensor &) { return sel; };
+            llm_logits = llm_.decodeStep(token, llm_cache, &selector);
+        } else {
+            llm_logits = llm_.decodeStep(token, llm_cache);
+        }
+    };
+
+    while (static_cast<int64_t>(out.tokens.size()) < steps) {
+        // --- Draft phase: the DLM proposes draft_len tokens --------
+        const int64_t dlm_base = dlm_cache.sequenceLength();
+        std::vector<int32_t> draft;
+        Tensor draft_logits = dlm_logits.clone();
+        for (int64_t i = 0; i < opts_.draft_len; ++i) {
+            const int32_t t = dlm_.greedy(draft_logits);
+            draft.push_back(t);
+            draft_logits = dlm_.decodeStep(t, dlm_cache);
+        }
+        out.drafted += static_cast<int64_t>(draft.size());
+
+        // --- Verify phase: LLM accepts the matching prefix ----------
+        ++out.llm_rounds;
+        int64_t accepted_here = 0;
+        for (int64_t i = 0;
+             i < opts_.draft_len &&
+             static_cast<int64_t>(out.tokens.size()) < steps;
+             ++i) {
+            const int32_t llm_choice = llm_.greedy(llm_logits);
+            if (llm_choice == draft[i]) {
+                out.tokens.push_back(draft[i]);
+                llmStep(draft[i]);
+                ++accepted_here;
+                ++out.accepted;
+            } else {
+                // Correction: emit the LLM's token instead; discard
+                // the rest of the draft.
+                out.tokens.push_back(llm_choice);
+                llmStep(llm_choice);
+                break;
+            }
+        }
+
+        // --- Roll the DLM back to the accepted history --------------
+        const int64_t committed =
+            static_cast<int64_t>(out.tokens.size());
+        dlm_cache.truncate(dlm_base);
+        // Re-feed whatever was emitted since dlm_base (accepted
+        // drafts and possibly one correction).
+        const int64_t new_tokens =
+            committed - (dlm_base -
+                         static_cast<int64_t>(prompt.size()));
+        for (int64_t i = committed - new_tokens; i < committed; ++i)
+            dlm_logits = dlm_.decodeStep(out.tokens[i], dlm_cache);
+        (void)accepted_here;
+    }
+
+    return out;
+}
+
+} // namespace core
+} // namespace specontext

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Speculative decoding on top of SpeContext — the natural extension
+ * the paper's own DLM choice invites (§2.3/§8): the EAGLE-style draft
+ * model it prunes into a retrieval head can *also* draft tokens, so a
+ * single distilled model provides both speculations — which tokens
+ * come next (draft) and which context matters (sparsity).
+ *
+ * Implements greedy draft-and-verify: the DLM autoregressively
+ * proposes `draft_len` tokens; the LLM consumes them one at a time and
+ * accepts while its own greedy choice matches, replacing the first
+ * mismatch with its correction. Optionally the LLM verifies under the
+ * retrieval head's sparse selection, composing both speedups.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/transformer.h"
+#include "retrieval/retrieval_head.h"
+
+namespace specontext {
+namespace core {
+
+/** Options of the speculative generator. */
+struct SpeculativeOptions
+{
+    int64_t draft_len = 4;   ///< tokens drafted per round
+    int64_t budget = 0;      ///< >0: verify under sparse attention
+};
+
+/** Outcome of a speculative generation. */
+struct SpeculativeResult
+{
+    std::vector<int32_t> tokens;  ///< generated sequence
+    int64_t drafted = 0;          ///< tokens proposed by the DLM
+    int64_t accepted = 0;         ///< drafts the LLM agreed with
+    int64_t llm_rounds = 0;       ///< verify rounds (decode calls batches)
+
+    /** Fraction of drafted tokens accepted. */
+    double
+    acceptanceRate() const
+    {
+        return drafted == 0 ? 0.0
+                            : static_cast<double>(accepted) / drafted;
+    }
+
+    /** Mean tokens emitted per verification round. */
+    double
+    tokensPerRound() const
+    {
+        return llm_rounds == 0
+                   ? 0.0
+                   : static_cast<double>(tokens.size()) / llm_rounds;
+    }
+};
+
+/** Draft-and-verify generator pairing one LLM with its DLM. */
+class SpeculativeDecoder
+{
+  public:
+    SpeculativeDecoder(const model::Transformer &llm,
+                       const model::Transformer &dlm,
+                       SpeculativeOptions opts);
+
+    /**
+     * Generate `steps` tokens greedily from the prompt. The output
+     * token sequence is identical to plain greedy decoding of the LLM
+     * (verification guarantees it) when budget == 0; with a budget,
+     * verification runs under the retrieval head's selection.
+     */
+    SpeculativeResult generate(const std::vector<int32_t> &prompt,
+                               int64_t steps) const;
+
+  private:
+    const model::Transformer &llm_;
+    const model::Transformer &dlm_;
+    SpeculativeOptions opts_;
+};
+
+} // namespace core
+} // namespace specontext

@@ -1,0 +1,130 @@
+#include "kvcache/kv_cache.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace specontext {
+namespace kv {
+
+LayerKVCache::LayerKVCache(int64_t kv_heads, int64_t head_dim,
+                           bool latent_mode, int64_t latent_dim)
+    : kv_heads_(kv_heads), head_dim_(head_dim), latent_mode_(latent_mode),
+      latent_dim_(latent_dim)
+{
+    if (latent_mode_ && latent_dim_ <= 0)
+        throw std::invalid_argument("latent mode requires latent_dim > 0");
+}
+
+int64_t
+LayerKVCache::kStride() const
+{
+    return latent_mode_ ? latent_dim_ : kv_heads_ * head_dim_;
+}
+
+int64_t
+LayerKVCache::vStride() const
+{
+    return latent_mode_ ? 0 : kv_heads_ * head_dim_;
+}
+
+void
+LayerKVCache::append(const float *k, const float *v)
+{
+    k_.insert(k_.end(), k, k + kStride());
+    if (!latent_mode_) {
+        assert(v != nullptr);
+        v_.insert(v_.end(), v, v + vStride());
+    }
+    ++size_;
+}
+
+const float *
+LayerKVCache::keyAt(int64_t pos, int64_t head) const
+{
+    assert(!latent_mode_);
+    assert(pos >= 0 && pos < size_ && head >= 0 && head < kv_heads_);
+    return k_.data() + pos * kStride() + head * head_dim_;
+}
+
+const float *
+LayerKVCache::valueAt(int64_t pos, int64_t head) const
+{
+    assert(!latent_mode_);
+    assert(pos >= 0 && pos < size_ && head >= 0 && head < kv_heads_);
+    return v_.data() + pos * vStride() + head * head_dim_;
+}
+
+const float *
+LayerKVCache::latentAt(int64_t pos) const
+{
+    assert(latent_mode_);
+    assert(pos >= 0 && pos < size_);
+    return k_.data() + pos * latent_dim_;
+}
+
+void
+LayerKVCache::clear()
+{
+    k_.clear();
+    v_.clear();
+    size_ = 0;
+}
+
+void
+LayerKVCache::truncate(int64_t new_size)
+{
+    if (new_size >= size_ || new_size < 0)
+        return;
+    k_.resize(new_size * kStride());
+    v_.resize(new_size * vStride());
+    size_ = new_size;
+}
+
+int64_t
+LayerKVCache::bytesFp16() const
+{
+    return 2 * size_ * (kStride() + vStride());
+}
+
+KVCacheSet::KVCacheSet(const model::ModelConfig &config)
+{
+    config.validate();
+    const bool latent = config.attention == model::AttentionKind::MLA;
+    layers_.reserve(config.layers);
+    for (int64_t i = 0; i < config.layers; ++i) {
+        layers_.emplace_back(config.kv_heads, config.head_dim, latent,
+                             config.mla_latent_dim);
+    }
+}
+
+int64_t
+KVCacheSet::sequenceLength() const
+{
+    return layers_.empty() ? 0 : layers_.front().size();
+}
+
+void
+KVCacheSet::clear()
+{
+    for (auto &l : layers_)
+        l.clear();
+}
+
+void
+KVCacheSet::truncate(int64_t new_size)
+{
+    for (auto &l : layers_)
+        l.truncate(new_size);
+}
+
+int64_t
+KVCacheSet::bytesFp16() const
+{
+    int64_t total = 0;
+    for (const auto &l : layers_)
+        total += l.bytesFp16();
+    return total;
+}
+
+} // namespace kv
+} // namespace specontext

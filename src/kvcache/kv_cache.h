@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Raw per-layer Key/Value cache storage.
+ *
+ * Layout is head-major per token: for each layer we keep two growable
+ * buffers K and V where token position p occupies
+ * [p * kv_heads * head_dim, (p+1) * kv_heads * head_dim). For MLA the
+ * "K" buffer stores the latent c vector (latent_dim floats per token)
+ * and V is unused, matching the paper's description that MLA caches a
+ * low-dimensional latent representation (§4.3).
+ *
+ * This class is pure storage: placement across memory tiers and the
+ * transfer accounting live in kvcache/tiered.h and the sim/ module.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/config.h"
+
+namespace specontext {
+namespace kv {
+
+/** Growable KV store for a single transformer layer. */
+class LayerKVCache
+{
+  public:
+    LayerKVCache(int64_t kv_heads, int64_t head_dim, bool latent_mode,
+                 int64_t latent_dim);
+
+    /** Number of cached tokens. */
+    int64_t size() const { return size_; }
+
+    bool latentMode() const { return latent_mode_; }
+    int64_t kvHeads() const { return kv_heads_; }
+    int64_t headDim() const { return head_dim_; }
+    int64_t latentDim() const { return latent_dim_; }
+
+    /** Floats per token in the K buffer. */
+    int64_t kStride() const;
+
+    /** Floats per token in the V buffer (0 in latent mode). */
+    int64_t vStride() const;
+
+    /**
+     * Append one token's K/V. k has kv_heads*head_dim floats
+     * (or latent_dim floats in latent mode); v likewise
+     * (ignored in latent mode, may be nullptr).
+     */
+    void append(const float *k, const float *v);
+
+    /** Key vector of head h at position pos (head_dim floats). */
+    const float *keyAt(int64_t pos, int64_t head) const;
+
+    /** Value vector of head h at position pos (head_dim floats). */
+    const float *valueAt(int64_t pos, int64_t head) const;
+
+    /** Latent c vector at position pos (latent_dim floats). */
+    const float *latentAt(int64_t pos) const;
+
+    /** Drop all cached tokens (storage is kept for reuse). */
+    void clear();
+
+    /**
+     * Drop tokens beyond new_size (speculative-decoding rollback of
+     * rejected draft tokens). No-op when new_size >= size().
+     */
+    void truncate(int64_t new_size);
+
+    /** Total bytes at FP16 for the currently cached tokens. */
+    int64_t bytesFp16() const;
+
+  private:
+    int64_t kv_heads_;
+    int64_t head_dim_;
+    bool latent_mode_;
+    int64_t latent_dim_;
+    int64_t size_ = 0;
+    std::vector<float> k_;
+    std::vector<float> v_;
+};
+
+/** KV caches of all layers of one model instance, for one sequence. */
+class KVCacheSet
+{
+  public:
+    explicit KVCacheSet(const model::ModelConfig &config);
+
+    int64_t layers() const { return static_cast<int64_t>(layers_.size()); }
+    LayerKVCache &layer(int64_t i) { return layers_[i]; }
+    const LayerKVCache &layer(int64_t i) const { return layers_[i]; }
+
+    /** Cached tokens (identical across layers by construction). */
+    int64_t sequenceLength() const;
+
+    /** Clear every layer. */
+    void clear();
+
+    /** Truncate every layer to new_size tokens. */
+    void truncate(int64_t new_size);
+
+    /** Total FP16 bytes across layers. */
+    int64_t bytesFp16() const;
+
+  private:
+    std::vector<LayerKVCache> layers_;
+};
+
+} // namespace kv
+} // namespace specontext

@@ -1,0 +1,77 @@
+#include "kvcache/paged.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace specontext {
+namespace kv {
+
+PagedKeyIndex::PagedKeyIndex(int64_t page_size)
+    : page_size_(page_size)
+{
+    if (page_size <= 0)
+        throw std::invalid_argument("page_size must be positive");
+}
+
+int64_t
+PagedKeyIndex::pages() const
+{
+    return kv_heads_ == 0
+               ? 0
+               : static_cast<int64_t>(summaries_.size()) / kv_heads_;
+}
+
+void
+PagedKeyIndex::rebuild(const LayerKVCache &cache, int64_t upto)
+{
+    if (cache.latentMode())
+        throw std::logic_error("PagedKeyIndex does not support MLA caches");
+    kv_heads_ = cache.kvHeads();
+    head_dim_ = cache.headDim();
+    covered_ = std::min<int64_t>(upto, cache.size());
+    summaries_.clear();
+    const int64_t n_pages = (covered_ + page_size_ - 1) / page_size_;
+    summaries_.reserve(n_pages * kv_heads_);
+    for (int64_t p = 0; p < n_pages; ++p) {
+        const int64_t begin = p * page_size_;
+        const int64_t end = std::min(begin + page_size_, covered_);
+        for (int64_t h = 0; h < kv_heads_; ++h) {
+            PageSummary s;
+            s.begin = begin;
+            s.end = end;
+            s.max_key.assign(head_dim_,
+                             -std::numeric_limits<float>::infinity());
+            s.min_key.assign(head_dim_,
+                             std::numeric_limits<float>::infinity());
+            for (int64_t pos = begin; pos < end; ++pos) {
+                const float *k = cache.keyAt(pos, h);
+                for (int64_t d = 0; d < head_dim_; ++d) {
+                    s.max_key[d] = std::max(s.max_key[d], k[d]);
+                    s.min_key[d] = std::min(s.min_key[d], k[d]);
+                }
+            }
+            summaries_.push_back(std::move(s));
+        }
+    }
+}
+
+float
+PagedKeyIndex::upperBoundScore(int64_t page, int64_t head,
+                               const float *q) const
+{
+    const PageSummary &s = summary(page, head);
+    float score = 0.0f;
+    for (int64_t d = 0; d < head_dim_; ++d)
+        score += std::max(q[d] * s.max_key[d], q[d] * s.min_key[d]);
+    return score;
+}
+
+const PageSummary &
+PagedKeyIndex::summary(int64_t page, int64_t head) const
+{
+    return summaries_.at(page * kv_heads_ + head);
+}
+
+} // namespace kv
+} // namespace specontext

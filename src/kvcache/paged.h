@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Page-level metadata over a layer's key cache, as used by Quest
+ * (Tang et al., ICML'24): the KV cache is partitioned into fixed-size
+ * pages and each page is summarized by the element-wise max and min of
+ * its key vectors per KV head. At retrieval time an upper bound of the
+ * page's attention score is computed from the query and the two
+ * summary vectors, and whole Top-K pages are selected.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kvcache/kv_cache.h"
+
+namespace specontext {
+namespace kv {
+
+/** Min/max key summary of one page for one KV head. */
+struct PageSummary
+{
+    int64_t begin = 0; ///< first token position (inclusive)
+    int64_t end = 0;   ///< one past the last token position
+    std::vector<float> max_key; ///< head_dim floats
+    std::vector<float> min_key; ///< head_dim floats
+};
+
+/**
+ * Paged index over one layer's keys. Rebuilding is the expensive
+ * "preprocessing" step the paper charges Quest for (§3.1); the index is
+ * built once over the prompt KV after prefill and, faithfully to the
+ * baseline, never extended over newly generated tokens.
+ */
+class PagedKeyIndex
+{
+  public:
+    explicit PagedKeyIndex(int64_t page_size);
+
+    int64_t pageSize() const { return page_size_; }
+
+    /** Number of pages currently summarized. */
+    int64_t pages() const;
+
+    /** Position range covered by the index ([0, coveredTokens)). */
+    int64_t coveredTokens() const { return covered_; }
+
+    /**
+     * Build summaries over positions [0, upto) of the layer cache.
+     * Previous contents are discarded.
+     */
+    void rebuild(const LayerKVCache &cache, int64_t upto);
+
+    /**
+     * Quest upper-bound score of page p for KV head h and query q
+     * (head_dim floats): sum_i max(q_i*max_i, q_i*min_i).
+     */
+    float upperBoundScore(int64_t page, int64_t head,
+                          const float *q) const;
+
+    const PageSummary &summary(int64_t page, int64_t head) const;
+
+  private:
+    int64_t page_size_;
+    int64_t kv_heads_ = 0;
+    int64_t head_dim_ = 0;
+    int64_t covered_ = 0;
+    // page-major, then head: summaries_[page * kv_heads_ + head]
+    std::vector<PageSummary> summaries_;
+};
+
+} // namespace kv
+} // namespace specontext

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Per-layer memory-tier placement of the KV cache.
+ *
+ * The paper's adaptive memory management (§6) keeps the KV cache of the
+ * first L_GPU layers resident in GPU HBM and offloads the KV cache of
+ * the last L_CPU layers to CPU DRAM, reserving only a budget-sized GPU
+ * staging buffer for offloaded layers. This header tracks that
+ * placement and answers capacity questions; the actual byte movement is
+ * priced by the sim/ timeline.
+ */
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace specontext {
+namespace kv {
+
+/** Memory tier of one layer's KV cache. */
+enum class Tier { GPU, CPU };
+
+/** Placement of every layer's KV cache across the two tiers. */
+class TierPlacement
+{
+  public:
+    /** All layers start on GPU (paper Alg. 2 line 1). */
+    explicit TierPlacement(int64_t layers)
+        : tiers_(layers, Tier::GPU)
+    {
+        if (layers <= 0)
+            throw std::invalid_argument("layers must be positive");
+    }
+
+    int64_t layers() const { return static_cast<int64_t>(tiers_.size()); }
+
+    Tier tierOf(int64_t layer) const { return tiers_.at(layer); }
+
+    bool onGpu(int64_t layer) const { return tierOf(layer) == Tier::GPU; }
+
+    /** Number of layers resident on GPU (L_GPU in Table 1). */
+    int64_t
+    gpuLayers() const
+    {
+        int64_t n = 0;
+        for (Tier t : tiers_)
+            n += (t == Tier::GPU) ? 1 : 0;
+        return n;
+    }
+
+    /** Number of layers offloaded to CPU (L_CPU in Table 1). */
+    int64_t cpuLayers() const { return layers() - gpuLayers(); }
+
+    /**
+     * Offload the deepest still-resident layer (Alg. 2 line 5 offloads
+     * Layer_{L - L_CPU - 1}). Returns the layer index offloaded, or -1
+     * if everything is already on CPU.
+     */
+    int64_t
+    offloadDeepestResident()
+    {
+        for (int64_t i = layers() - 1; i >= 0; --i) {
+            if (tiers_[i] == Tier::GPU) {
+                tiers_[i] = Tier::CPU;
+                return i;
+            }
+        }
+        return -1;
+    }
+
+    /** Force a specific layer to a tier (used by static policies). */
+    void setTier(int64_t layer, Tier t) { tiers_.at(layer) = t; }
+
+    /** Place every layer on the given tier. */
+    void
+    setAll(Tier t)
+    {
+        for (auto &x : tiers_)
+            x = t;
+    }
+
+  private:
+    std::vector<Tier> tiers_;
+};
+
+} // namespace kv
+} // namespace specontext

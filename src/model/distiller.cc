@@ -1,0 +1,103 @@
+#include "model/distiller.h"
+
+#include <stdexcept>
+
+namespace specontext {
+namespace model {
+
+int64_t
+teacherLayerForKvHead(int64_t kvh, int64_t teacher_layers)
+{
+    return kvh % teacher_layers;
+}
+
+namespace {
+
+/** out = quality * teacher + (1 - quality) * noise, elementwise. */
+void
+blendInto(Tensor &out, const Tensor &teacher, const Tensor &noise,
+          float quality)
+{
+    for (int64_t i = 0; i < out.numel(); ++i) {
+        out.data()[i] = quality * teacher.data()[i] +
+                        (1.0f - quality) * noise.data()[i];
+    }
+}
+
+} // namespace
+
+Transformer
+distill(const Transformer &teacher, const DistillOptions &opts)
+{
+    if (opts.quality < 0.0f || opts.quality > 1.0f)
+        throw std::invalid_argument("distill quality must be in [0,1]");
+
+    const ModelConfig &tc = teacher.config();
+    ModelConfig dc = dlmGeometryFor(tc);
+    dc.validate();
+
+    Rng rng(opts.seed);
+    // Start from a random full 1-layer LM, then overwrite the pieces
+    // the distillation aligns.
+    ModelWeights w = ModelWeights::random(dc, rng.nextU64());
+    const ModelWeights &tw = teacher.weights();
+
+    // EAGLE drafts reuse the target model's embedding and LM head.
+    w.embedding = tw.embedding.clone();
+    w.lm_head = tw.lm_head.clone();
+    w.final_norm = tw.final_norm.clone();
+
+    LayerWeights &lw = w.layers[0];
+    const int64_t hd = tc.head_dim;
+    const int64_t group = tc.groups();
+
+    Rng noise_rng = rng.fork();
+    if (tc.attention == AttentionKind::MLA) {
+        // Single latent path: blend against teacher layer 0's MLA
+        // projections (the latent space is shared across heads).
+        const LayerWeights &t0 = tw.layers[0];
+        Tensor nq = Tensor::randn(t0.wq.shape(), noise_rng,
+                                  1.0f / std::sqrt((float)tc.hidden));
+        Tensor ndkv = Tensor::randn(t0.w_dkv.shape(), noise_rng,
+                                    1.0f / std::sqrt((float)tc.hidden));
+        Tensor nuk = Tensor::randn(
+            t0.w_uk.shape(), noise_rng,
+            1.0f / std::sqrt((float)tc.mla_latent_dim));
+        blendInto(lw.wq, t0.wq, nq, opts.quality);
+        blendInto(lw.w_dkv, t0.w_dkv, ndkv, opts.quality);
+        blendInto(lw.w_uk, t0.w_uk, nuk, opts.quality);
+    } else {
+        // Per KV-head group: the group's Q columns and the KV head's K
+        // columns come from one teacher layer, dealt round-robin.
+        Tensor nq = Tensor::randn(lw.wq.shape(), noise_rng,
+                                  1.0f / std::sqrt((float)tc.hidden));
+        Tensor nk = Tensor::randn(lw.wk.shape(), noise_rng,
+                                  1.0f / std::sqrt((float)tc.hidden));
+        for (int64_t kvh = 0; kvh < tc.kv_heads; ++kvh) {
+            const int64_t tl = teacherLayerForKvHead(kvh, tc.layers);
+            const LayerWeights &tlw = tw.layers[tl];
+            for (int64_t r = 0; r < tc.hidden; ++r) {
+                for (int64_t d = 0; d < hd; ++d) {
+                    const int64_t kc = kvh * hd + d;
+                    lw.wk.at(r, kc) =
+                        opts.quality * tlw.wk.at(r, kc) +
+                        (1.0f - opts.quality) * nk.at(r, kc);
+                }
+                for (int64_t g = 0; g < group; ++g) {
+                    const int64_t qh = kvh * group + g;
+                    for (int64_t d = 0; d < hd; ++d) {
+                        const int64_t qc = qh * hd + d;
+                        lw.wq.at(r, qc) =
+                            opts.quality * tlw.wq.at(r, qc) +
+                            (1.0f - opts.quality) * nq.at(r, qc);
+                    }
+                }
+            }
+        }
+    }
+
+    return Transformer(dc, std::move(w));
+}
+
+} // namespace model
+} // namespace specontext

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Construction of the distilled language model (DLM).
+ *
+ * The paper takes its DLM from EAGLE-3: a complete 1-layer LM
+ * (tokenizer, embedding, decoder layer, LM head) trained for 24 GPU
+ * hours to align its output distribution with the teacher (§4.1). No
+ * GPUs or teacher checkpoints exist in this environment, so we
+ * *construct* the DLM instead of training it: the single layer's Q/K
+ * projections are blended from the teacher's per-layer projections
+ * (each KV-head group of the DLM inherits one teacher layer), with a
+ * `quality` knob in [0,1] interpolating between a faithful distillation
+ * (1.0) and an unrelated random model (0.0).
+ *
+ * What the paper *assumes* about the DLM — that its attention focus is
+ * similar to the teacher's (§3.2) — therefore becomes a measurable,
+ * sweepable property here (see bench_fig05_head_similarity).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "model/transformer.h"
+
+namespace specontext {
+namespace model {
+
+/** Knobs of the gradient-free DLM construction. */
+struct DistillOptions
+{
+    /** 1.0 = projections copied from teacher; 0.0 = pure noise. */
+    float quality = 1.0f;
+    /** Seed of the noise component and auxiliary weights. */
+    uint64_t seed = 0x5eed;
+};
+
+/**
+ * Build the 1-layer DLM for a teacher model. The DLM shares the
+ * teacher's embedding and LM head (EAGLE drafts reuse the target
+ * embedding), keeps the teacher's head layout, and applies YaRN
+ * positional scaling per dlmGeometryFor().
+ */
+Transformer distill(const Transformer &teacher,
+                    const DistillOptions &opts = DistillOptions());
+
+/**
+ * Teacher layer feeding DLM KV head kvh: layers are dealt round-robin
+ * across KV heads so the single DLM layer aggregates focus from the
+ * whole depth of the teacher (EAGLE-3 similarly fuses multi-layer
+ * features).
+ */
+int64_t teacherLayerForKvHead(int64_t kvh, int64_t teacher_layers);
+
+} // namespace model
+} // namespace specontext

@@ -1,0 +1,56 @@
+#include "model/tokenizer.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace specontext {
+namespace model {
+
+ToyTokenizer::ToyTokenizer(int64_t vocab)
+    : vocab_(vocab)
+{
+    if (vocab < 4)
+        throw std::invalid_argument("vocab too small for ToyTokenizer");
+}
+
+int32_t
+ToyTokenizer::wordId(const std::string &word) const
+{
+    // FNV-1a, mapped into [2, vocab) so BOS/EOS stay reserved.
+    uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : word) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    const int32_t id =
+        static_cast<int32_t>(2 + h % static_cast<uint64_t>(vocab_ - 2));
+    names_[id] = word;
+    return id;
+}
+
+std::vector<int32_t>
+ToyTokenizer::encode(const std::string &text) const
+{
+    std::vector<int32_t> out;
+    std::istringstream is(text);
+    std::string word;
+    while (is >> word)
+        out.push_back(wordId(word));
+    return out;
+}
+
+std::string
+ToyTokenizer::tokenName(int32_t id) const
+{
+    if (id == kBos)
+        return "<bos>";
+    if (id == kEos)
+        return "<eos>";
+    auto it = names_.find(id);
+    if (it != names_.end())
+        return it->second;
+    return "tok" + std::to_string(id);
+}
+
+} // namespace model
+} // namespace specontext

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Toy word-hash tokenizer for the examples and workload generators.
+ *
+ * Real tokenizers are irrelevant to KV selection; what matters is that
+ * the same word always maps to the same id (so planted facts have
+ * stable embeddings) and that ids stay inside the model vocabulary.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace specontext {
+namespace model {
+
+/** Deterministic whitespace/word tokenizer with FNV-1a hashing. */
+class ToyTokenizer
+{
+  public:
+    static constexpr int32_t kBos = 0;
+    static constexpr int32_t kEos = 1;
+
+    explicit ToyTokenizer(int64_t vocab);
+
+    /** Token ids of text (whitespace-split words), without BOS/EOS. */
+    std::vector<int32_t> encode(const std::string &text) const;
+
+    /** Id of a single word. */
+    int32_t wordId(const std::string &word) const;
+
+    /**
+     * Best-effort readable name of a token: the most recent word
+     * encoded to this id, else "tok<id>".
+     */
+    std::string tokenName(int32_t id) const;
+
+    int64_t vocab() const { return vocab_; }
+
+  private:
+    int64_t vocab_;
+    mutable std::unordered_map<int32_t, std::string> names_;
+};
+
+} // namespace model
+} // namespace specontext

@@ -1,0 +1,217 @@
+#include "model/transformer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace specontext {
+namespace model {
+
+Transformer::Transformer(ModelConfig config, ModelWeights weights)
+    : config_(std::move(config)), weights_(std::move(weights))
+{
+    config_.validate();
+    if (static_cast<int64_t>(weights_.layers.size()) != config_.layers)
+        throw std::invalid_argument("weights/config layer count mismatch");
+}
+
+Transformer
+Transformer::randomInit(const ModelConfig &config, uint64_t seed,
+                        const InitOptions &opts)
+{
+    return Transformer(config, ModelWeights::random(config, seed, opts));
+}
+
+Tensor
+Transformer::projectQuery(int64_t layer, const Tensor &normed_x,
+                          int64_t pos) const
+{
+    const LayerWeights &lw = weights_.layers.at(layer);
+    Tensor q = ops::vecmat(normed_x, lw.wq)
+                   .reshape({config_.q_heads, config_.head_dim});
+    ops::applyRope(q, pos, config_.rope_theta, config_.yarn_scale);
+    return q;
+}
+
+Tensor
+Transformer::attentionLayer(int64_t layer, const Tensor &normed_x,
+                            kv::KVCacheSet &cache, int64_t pos,
+                            const LayerSelector *selector,
+                            StepTrace *trace) const
+{
+    const LayerWeights &lw = weights_.layers.at(layer);
+    kv::LayerKVCache &lc = cache.layer(layer);
+    const int64_t hd = config_.head_dim;
+    const int64_t q_heads = config_.q_heads;
+    const bool mla = config_.attention == AttentionKind::MLA;
+    const int64_t group = config_.groups();
+    const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(hd));
+
+    // --- Current token's query and KV -------------------------------
+    Tensor q = projectQuery(layer, normed_x, pos);
+
+    if (mla) {
+        Tensor c = ops::vecmat(normed_x, lw.w_dkv);
+        lc.append(c.data(), nullptr);
+    } else {
+        Tensor k = ops::vecmat(normed_x, lw.wk)
+                       .reshape({config_.kv_heads, hd});
+        ops::applyRope(k, pos, config_.rope_theta, config_.yarn_scale);
+        Tensor v = ops::vecmat(normed_x, lw.wv);
+        lc.append(k.data(), v.data());
+    }
+
+    // --- Retrieval (per-layer for baselines, precomputed for ours) --
+    LayerSelection sel;
+    if (selector)
+        sel = (*selector)(layer, q);
+
+    // --- Per-head sparse/full attention ------------------------------
+    Tensor out({q_heads * hd});
+    Tensor probs_trace;
+    if (trace && trace->record_attention)
+        probs_trace = Tensor::zeros({q_heads, pos + 1});
+
+    // MLA reconstructs K lazily, so cache the per-position K for the
+    // positions actually attended this step (shared across q heads).
+    std::vector<int64_t> mla_pos_cache_idx;
+    std::vector<Tensor> mla_keys; // each (q_heads, hd), rope applied
+
+    auto mlaKeyFor = [&](int64_t p) -> const Tensor & {
+        for (size_t i = 0; i < mla_pos_cache_idx.size(); ++i) {
+            if (mla_pos_cache_idx[i] == p)
+                return mla_keys[i];
+        }
+        const float *c = lc.latentAt(p);
+        Tensor cvec({config_.mla_latent_dim});
+        std::copy(c, c + config_.mla_latent_dim, cvec.data());
+        Tensor k = ops::vecmat(cvec, lw.w_uk).reshape({q_heads, hd});
+        ops::applyRope(k, p, config_.rope_theta, config_.yarn_scale);
+        mla_pos_cache_idx.push_back(p);
+        mla_keys.push_back(std::move(k));
+        return mla_keys.back();
+    };
+
+    for (int64_t h = 0; h < q_heads; ++h) {
+        const int64_t kvh = mla ? h : h / group;
+
+        // Attended positions: selection (or everything) plus self.
+        std::vector<int64_t> positions;
+        const bool full = sel.full() ||
+                          static_cast<int64_t>(sel.per_head.size()) <=
+                              (mla ? h : kvh);
+        if (full) {
+            positions.resize(pos + 1);
+            for (int64_t p = 0; p <= pos; ++p)
+                positions[p] = p;
+        } else {
+            positions = sel.per_head[mla ? h : kvh];
+            if (positions.empty() || positions.back() != pos)
+                positions.push_back(pos);
+        }
+
+        const int64_t n = static_cast<int64_t>(positions.size());
+        std::vector<float> scores(n);
+        const float *qh = q.row(h);
+        for (int64_t i = 0; i < n; ++i) {
+            const int64_t p = positions[i];
+            const float *kvec = mla ? mlaKeyFor(p).row(h)
+                                    : lc.keyAt(p, kvh);
+            scores[i] = ops::dot(qh, kvec, hd) * inv_sqrt_d;
+        }
+        ops::softmaxInPlace(scores.data(), n);
+
+        float *oh = out.data() + h * hd;
+        std::fill(oh, oh + hd, 0.0f);
+        for (int64_t i = 0; i < n; ++i) {
+            const int64_t p = positions[i];
+            if (mla) {
+                const float *c = lc.latentAt(p);
+                // v_h(p) = c(p) * W_uv[:, h*hd : (h+1)*hd]
+                for (int64_t d = 0; d < hd; ++d) {
+                    float vv = 0.0f;
+                    for (int64_t m = 0; m < config_.mla_latent_dim; ++m)
+                        vv += c[m] * lw.w_uv.at(m, h * hd + d);
+                    oh[d] += scores[i] * vv;
+                }
+            } else {
+                const float *vvec = lc.valueAt(p, kvh);
+                for (int64_t d = 0; d < hd; ++d)
+                    oh[d] += scores[i] * vvec[d];
+            }
+            if (trace && trace->record_attention)
+                probs_trace.at(h, p) = scores[i];
+        }
+    }
+
+    if (trace && trace->record_attention)
+        trace->attention.push_back(std::move(probs_trace));
+
+    return ops::vecmat(out, lw.wo);
+}
+
+Tensor
+Transformer::ffnLayer(int64_t layer, const Tensor &normed_x) const
+{
+    const LayerWeights &lw = weights_.layers.at(layer);
+    Tensor gate = ops::silu(ops::vecmat(normed_x, lw.w_gate));
+    Tensor up = ops::vecmat(normed_x, lw.w_up);
+    return ops::vecmat(ops::mul(gate, up), lw.w_down);
+}
+
+Tensor
+Transformer::decodeStep(int32_t token, kv::KVCacheSet &cache,
+                        const LayerSelector *selector,
+                        StepTrace *trace) const
+{
+    if (token < 0 || token >= config_.vocab)
+        throw std::out_of_range("token id outside vocabulary");
+    const int64_t pos = cache.sequenceLength();
+
+    Tensor h({config_.hidden});
+    std::copy(weights_.embedding.row(token),
+              weights_.embedding.row(token) + config_.hidden, h.data());
+
+    if (trace)
+        trace->attention.clear();
+
+    for (int64_t l = 0; l < config_.layers; ++l) {
+        const LayerWeights &lw = weights_.layers[l];
+        Tensor xn = ops::rmsnorm(h, lw.attn_norm);
+        Tensor attn = attentionLayer(l, xn, cache, pos, selector, trace);
+        ops::addInPlace(h, attn);
+        Tensor xn2 = ops::rmsnorm(h, lw.ffn_norm);
+        Tensor ffn = ffnLayer(l, xn2);
+        ops::addInPlace(h, ffn);
+    }
+
+    Tensor final_h = ops::rmsnorm(h, weights_.final_norm);
+    if (trace)
+        trace->final_hidden = final_h.clone();
+    return ops::vecmat(final_h, weights_.lm_head);
+}
+
+Tensor
+Transformer::prefill(const std::vector<int32_t> &tokens,
+                     kv::KVCacheSet &cache, StepTrace *trace) const
+{
+    if (tokens.empty())
+        throw std::invalid_argument("prefill with empty prompt");
+    Tensor logits;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+        StepTrace *t =
+            (trace && i + 1 == tokens.size()) ? trace : nullptr;
+        logits = decodeStep(tokens[i], cache, nullptr, t);
+    }
+    return logits;
+}
+
+int32_t
+Transformer::greedy(const Tensor &logits) const
+{
+    return static_cast<int32_t>(ops::argmax(logits));
+}
+
+} // namespace model
+} // namespace specontext

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Synthetic transformer decoder with prefill and autoregressive decode,
+ * KV caching, and pluggable per-layer sparse attention.
+ *
+ * The sparse-attention hook is the seam every system in the paper plugs
+ * into: baselines (Quest, ClusterKV, ShadowKV) pass a LayerSelector that
+ * performs query-aware retrieval *inside* each layer (the serialized
+ * dataflow of Fig. 2(a)), while SpeContext passes a selector that simply
+ * returns the retrieval head's precomputed global selection (eliminating
+ * the layer-wise data dependency, §5.1).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "kvcache/kv_cache.h"
+#include "model/config.h"
+#include "model/weights.h"
+#include "tensor/tensor.h"
+
+namespace specontext {
+namespace model {
+
+/**
+ * Sparse KV selection for one layer: one sorted list of attended cache
+ * positions per KV head (per query head for MHA/MLA). An empty
+ * `per_head` means full attention for this layer. The token being
+ * generated always attends to its own freshly appended KV in addition
+ * to the listed positions.
+ */
+struct LayerSelection
+{
+    std::vector<std::vector<int64_t>> per_head;
+
+    bool full() const { return per_head.empty(); }
+
+    /** Full-attention selection. */
+    static LayerSelection fullAttention() { return {}; }
+};
+
+/**
+ * Per-layer retrieval callback. Arguments: layer index and the
+ * RoPE-rotated query tensor (q_heads x head_dim) of the current token.
+ * Cache positions [0, ctx) are selectable where ctx is the number of
+ * previously cached tokens.
+ */
+using LayerSelector =
+    std::function<LayerSelection(int64_t layer, const Tensor &q)>;
+
+/** Optional per-step instrumentation. */
+struct StepTrace
+{
+    /** When true, per-layer attention probabilities are recorded. */
+    bool record_attention = false;
+    /**
+     * attention[l] is (q_heads x ctx+1): softmax probabilities of the
+     * generated token over all cache positions (sparse runs scatter
+     * their probabilities into the selected slots, zero elsewhere).
+     */
+    std::vector<Tensor> attention;
+    /** Hidden state entering the LM head (after final norm). */
+    Tensor final_hidden;
+};
+
+/** Decoder-only transformer over a KVCacheSet. */
+class Transformer
+{
+  public:
+    Transformer(ModelConfig config, ModelWeights weights);
+
+    /** Convenience: config + fresh random weights from seed. */
+    static Transformer randomInit(const ModelConfig &config, uint64_t seed,
+                                  const InitOptions &opts = InitOptions());
+
+    const ModelConfig &config() const { return config_; }
+    const ModelWeights &weights() const { return weights_; }
+
+    /**
+     * Full-attention prefill: process all tokens, fill the cache, return
+     * logits of the last token. If trace is non-null it is filled for
+     * the final token only.
+     */
+    Tensor prefill(const std::vector<int32_t> &tokens,
+                   kv::KVCacheSet &cache, StepTrace *trace = nullptr) const;
+
+    /**
+     * One decode step: appends the token's KV to every layer and
+     * returns next-token logits. selector==nullptr means full
+     * attention.
+     */
+    Tensor decodeStep(int32_t token, kv::KVCacheSet &cache,
+                      const LayerSelector *selector = nullptr,
+                      StepTrace *trace = nullptr) const;
+
+    /** Greedy argmax over logits. */
+    int32_t greedy(const Tensor &logits) const;
+
+    /**
+     * Current token's RoPE-rotated queries/keys of one layer given the
+     * layer input (used by retrievers that need raw Q). Returns
+     * (q_heads x head_dim).
+     */
+    Tensor projectQuery(int64_t layer, const Tensor &normed_x,
+                        int64_t pos) const;
+
+  private:
+    ModelConfig config_;
+    ModelWeights weights_;
+
+    /** Attention for one layer; returns the flattened head outputs. */
+    Tensor attentionLayer(int64_t layer, const Tensor &normed_x,
+                          kv::KVCacheSet &cache, int64_t pos,
+                          const LayerSelector *selector,
+                          StepTrace *trace) const;
+
+    Tensor ffnLayer(int64_t layer, const Tensor &normed_x) const;
+};
+
+} // namespace model
+} // namespace specontext

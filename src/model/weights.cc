@@ -1,0 +1,153 @@
+#include "model/weights.h"
+
+#include <cmath>
+
+namespace specontext {
+namespace model {
+
+namespace {
+
+/** Xavier-ish stddev for a (fan_in, fan_out) projection. */
+float
+projStddev(int64_t fan_in)
+{
+    return 1.0f / std::sqrt(static_cast<float>(fan_in));
+}
+
+/**
+ * Query projection coupled to the key projection: for each head, the
+ * query columns are affinity * (matching key columns) + noise. For GQA
+ * and MQA every query head in a group couples to its shared KV head.
+ */
+Tensor
+coupledQueryProj(const ModelConfig &cfg, const Tensor &wk, Rng &rng,
+                 float affinity)
+{
+    const int64_t q_dim = cfg.q_heads * cfg.head_dim;
+    Tensor wq = Tensor::randn({cfg.hidden, q_dim}, rng,
+                              projStddev(cfg.hidden));
+    if (affinity <= 0.0f)
+        return wq;
+    const float mix = affinity;
+    const float keep = 1.0f - affinity;
+    const int64_t group = cfg.groups();
+    for (int64_t qh = 0; qh < cfg.q_heads; ++qh) {
+        const int64_t kvh = qh / group;
+        for (int64_t r = 0; r < cfg.hidden; ++r) {
+            for (int64_t d = 0; d < cfg.head_dim; ++d) {
+                const int64_t qc = qh * cfg.head_dim + d;
+                const int64_t kc = kvh * cfg.head_dim + d;
+                wq.at(r, qc) =
+                    keep * wq.at(r, qc) + mix * wk.at(r, kc);
+            }
+        }
+    }
+    return wq;
+}
+
+} // namespace
+
+ModelWeights
+ModelWeights::random(const ModelConfig &cfg, uint64_t seed,
+                     const InitOptions &opts)
+{
+    cfg.validate();
+    Rng rng(seed);
+    ModelWeights w;
+    w.embedding = Tensor::randn({cfg.vocab, cfg.hidden}, rng, 1.0f);
+    w.final_norm = Tensor::full({cfg.hidden}, 1.0f);
+    w.lm_head = Tensor::randn({cfg.hidden, cfg.vocab}, rng,
+                              projStddev(cfg.hidden));
+
+    const int64_t q_dim = cfg.q_heads * cfg.head_dim;
+    const int64_t kv_dim = cfg.kv_heads * cfg.head_dim;
+    const float res = opts.residual_scale;
+
+    w.layers.reserve(cfg.layers);
+    for (int64_t l = 0; l < cfg.layers; ++l) {
+        LayerWeights lw;
+        lw.attn_norm = Tensor::full({cfg.hidden}, 1.0f);
+        lw.ffn_norm = Tensor::full({cfg.hidden}, 1.0f);
+        if (cfg.attention == AttentionKind::MLA) {
+            lw.w_dkv = Tensor::randn({cfg.hidden, cfg.mla_latent_dim}, rng,
+                                     projStddev(cfg.hidden));
+            lw.w_uk = Tensor::randn({cfg.mla_latent_dim, q_dim}, rng,
+                                    projStddev(cfg.mla_latent_dim));
+            lw.w_uv = Tensor::randn({cfg.mla_latent_dim, q_dim}, rng,
+                                    projStddev(cfg.mla_latent_dim));
+            // Couple W_q to the composite key map W_dkv * W_uk so that
+            // QK^T keeps the similarity-kernel structure under MLA too.
+            Tensor composite_k({cfg.hidden, q_dim});
+            for (int64_t r = 0; r < cfg.hidden; ++r) {
+                for (int64_t c = 0; c < q_dim; ++c) {
+                    float s = 0.0f;
+                    for (int64_t m = 0; m < cfg.mla_latent_dim; ++m)
+                        s += lw.w_dkv.at(r, m) * lw.w_uk.at(m, c);
+                    composite_k.at(r, c) = s;
+                }
+            }
+            Tensor noise = Tensor::randn({cfg.hidden, q_dim}, rng,
+                                         projStddev(cfg.hidden));
+            lw.wq = Tensor({cfg.hidden, q_dim});
+            const float a = opts.retrieval_affinity;
+            for (int64_t i = 0; i < lw.wq.numel(); ++i) {
+                lw.wq.data()[i] = a * composite_k.data()[i] * 2.0f +
+                                  (1.0f - a) * noise.data()[i];
+            }
+        } else {
+            lw.wk = Tensor::randn({cfg.hidden, kv_dim}, rng,
+                                  projStddev(cfg.hidden));
+            // Rank-1 heavy-hitter component per KV head: keys of
+            // tokens aligned with v get a large, query-independent
+            // boost along u — the persistent-token structure real
+            // attention exhibits.
+            if (opts.key_spike > 0.0f) {
+                for (int64_t kvh = 0; kvh < cfg.kv_heads; ++kvh) {
+                    // The spike lives in the lowest-frequency RoPE
+                    // dimension pairs (the tail of the head dim),
+                    // where rotation is negligible across the context
+                    // window — matching where trained models park
+                    // their position-independent sink structure. A
+                    // spike in fast-rotating dims would be sheared
+                    // away by relative position and produce no stable
+                    // heavy hitters.
+                    const int64_t low_dims =
+                        std::max<int64_t>(2, cfg.head_dim / 4);
+                    Tensor u = Tensor::zeros({cfg.head_dim});
+                    for (int64_t d = cfg.head_dim - low_dims;
+                         d < cfg.head_dim; ++d) {
+                        u.at(d) = rng.gaussian();
+                    }
+                    Tensor v = Tensor::randn({cfg.hidden}, rng,
+                                             projStddev(cfg.hidden));
+                    const float scale =
+                        opts.key_spike /
+                        std::sqrt(static_cast<float>(low_dims));
+                    for (int64_t r = 0; r < cfg.hidden; ++r) {
+                        for (int64_t d = 0; d < cfg.head_dim; ++d) {
+                            lw.wk.at(r, kvh * cfg.head_dim + d) +=
+                                scale * v.at(r) * u.at(d);
+                        }
+                    }
+                }
+            }
+            lw.wv = Tensor::randn({cfg.hidden, kv_dim}, rng,
+                                  projStddev(cfg.hidden));
+            lw.wq = coupledQueryProj(cfg, lw.wk, rng,
+                                     opts.retrieval_affinity);
+        }
+        lw.wo = Tensor::randn({q_dim, cfg.hidden}, rng,
+                              res * projStddev(q_dim));
+        lw.w_gate = Tensor::randn({cfg.hidden, cfg.ffn_hidden}, rng,
+                                  projStddev(cfg.hidden));
+        lw.w_up = Tensor::randn({cfg.hidden, cfg.ffn_hidden}, rng,
+                                projStddev(cfg.hidden));
+        lw.w_down = Tensor::randn({cfg.ffn_hidden, cfg.hidden}, rng,
+                                  res * projStddev(cfg.ffn_hidden));
+        w.layers.push_back(std::move(lw));
+    }
+    return w;
+}
+
+} // namespace model
+} // namespace specontext

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Weight tensors of the synthetic transformer and their initialization.
+ *
+ * Initialization is not plain i.i.d. noise: two structural knobs make
+ * the synthetic model behave like a trained LM in the ways that matter
+ * to KV selection:
+ *
+ *  - `retrieval_affinity` couples each head's query and key projections
+ *    (W_q ≈ a·W_k + noise), so Q·K^T behaves like a similarity kernel
+ *    and attention genuinely focuses on contextually related tokens
+ *    (this is what makes needle/QA workloads meaningful);
+ *  - `residual_scale` shrinks the output/down projections so the
+ *    residual stream stays embedding-dominated, the "homology" property
+ *    (§3.2) that lets a 1-layer DLM reading raw embeddings mimic the
+ *    deep model's information focus.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "model/config.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace specontext {
+namespace model {
+
+/** Knobs controlling the structure of random initialization. */
+struct InitOptions
+{
+    float retrieval_affinity = 0.7f; ///< W_q/W_k coupling in [0,1]
+    float residual_scale = 0.35f;    ///< scale of o_proj/down_proj init
+    /**
+     * Strength of a shared rank-1 component in each head's key (and,
+     * via affinity, query) projection. It creates "heavy hitter"
+     * tokens that receive large attention from *every* query — the
+     * attention-sink/persistent-token structure of trained LLMs that
+     * both the >80 % adjacent-step selection overlap (Fig. 6(b)) and
+     * H2O-style selection rely on. Disabled by default: with random
+     * (untrained) deep layers the spike slightly decouples the DLM's
+     * ranking from the teacher's and costs fidelity; enable it to
+     * study sink-driven selection stability (see the ablation bench).
+     */
+    float key_spike = 0.0f;
+};
+
+/** Weights of one transformer decoder layer. */
+struct LayerWeights
+{
+    Tensor attn_norm;  ///< (hidden) RMSNorm gain
+    Tensor wq;         ///< (hidden, q_heads*head_dim)
+    Tensor wk;         ///< (hidden, kv_heads*head_dim); MLA: unused
+    Tensor wv;         ///< (hidden, kv_heads*head_dim); MLA: unused
+    Tensor wo;         ///< (q_heads*head_dim, hidden)
+    // MLA-only projections
+    Tensor w_dkv;      ///< (hidden, latent_dim)
+    Tensor w_uk;       ///< (latent_dim, q_heads*head_dim)
+    Tensor w_uv;       ///< (latent_dim, q_heads*head_dim)
+    Tensor ffn_norm;   ///< (hidden)
+    Tensor w_gate;     ///< (hidden, ffn_hidden)
+    Tensor w_up;       ///< (hidden, ffn_hidden)
+    Tensor w_down;     ///< (ffn_hidden, hidden)
+};
+
+/** All weights of a model instance. */
+struct ModelWeights
+{
+    Tensor embedding;  ///< (vocab, hidden)
+    Tensor final_norm; ///< (hidden)
+    Tensor lm_head;    ///< (hidden, vocab)
+    std::vector<LayerWeights> layers;
+
+    /**
+     * Randomly initialize weights for config from seed with the
+     * structural options above.
+     */
+    static ModelWeights random(const ModelConfig &config, uint64_t seed,
+                               const InitOptions &opts = InitOptions());
+};
+
+} // namespace model
+} // namespace specontext

@@ -1,0 +1,167 @@
+#include "retrieval/cluster_kv.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.h"
+#include "tensor/topk.h"
+
+namespace specontext {
+namespace retrieval {
+
+ClusterKVRetriever::ClusterKVRetriever(int64_t budget,
+                                       int64_t avg_cluster_size,
+                                       int64_t iterations)
+    : KVRetriever(budget), avg_cluster_size_(avg_cluster_size),
+      iterations_(iterations)
+{
+}
+
+KeyClusters
+ClusterKVRetriever::clusterOneHead(const kv::LayerKVCache &cache,
+                                   int64_t head, int64_t prompt_len)
+{
+    const int64_t hd = cache.headDim();
+    const int64_t n = prompt_len;
+    const int64_t k =
+        std::max<int64_t>(1, (n + avg_cluster_size_ - 1) /
+                                 avg_cluster_size_);
+
+    KeyClusters kc;
+    kc.head_dim = hd;
+    kc.centroids.assign(k * hd, 0.0f);
+    std::vector<int64_t> assign(n, 0);
+
+    // Deterministic init: evenly spaced keys become seeds.
+    for (int64_t c = 0; c < k; ++c) {
+        const int64_t pos = c * n / k;
+        const float *key = cache.keyAt(pos, head);
+        std::copy(key, key + hd, kc.centroids.data() + c * hd);
+    }
+
+    for (int64_t it = 0; it < iterations_; ++it) {
+        // Assignment step.
+        for (int64_t p = 0; p < n; ++p) {
+            const float *key = cache.keyAt(p, head);
+            float best = std::numeric_limits<float>::max();
+            int64_t best_c = 0;
+            for (int64_t c = 0; c < k; ++c) {
+                const float *cen = kc.centroids.data() + c * hd;
+                float d2 = 0.0f;
+                for (int64_t i = 0; i < hd; ++i) {
+                    const float diff = key[i] - cen[i];
+                    d2 += diff * diff;
+                }
+                if (d2 < best) {
+                    best = d2;
+                    best_c = c;
+                }
+            }
+            assign[p] = best_c;
+        }
+        preprocess_flops_ += 3.0 * n * k * hd;
+
+        // Update step.
+        std::vector<float> sums(k * hd, 0.0f);
+        std::vector<int64_t> counts(k, 0);
+        for (int64_t p = 0; p < n; ++p) {
+            const float *key = cache.keyAt(p, head);
+            float *s = sums.data() + assign[p] * hd;
+            for (int64_t i = 0; i < hd; ++i)
+                s[i] += key[i];
+            ++counts[assign[p]];
+        }
+        for (int64_t c = 0; c < k; ++c) {
+            if (counts[c] == 0)
+                continue; // empty cluster keeps its old centroid
+            float *cen = kc.centroids.data() + c * hd;
+            for (int64_t i = 0; i < hd; ++i)
+                cen[i] = sums[c * hd + i] / counts[c];
+        }
+    }
+
+    kc.members.assign(k, {});
+    for (int64_t p = 0; p < n; ++p)
+        kc.members[assign[p]].push_back(p);
+    return kc;
+}
+
+void
+ClusterKVRetriever::onPrefillComplete(const kv::KVCacheSet &cache,
+                                      int64_t prompt_len)
+{
+    KVRetriever::onPrefillComplete(cache, prompt_len);
+    kv_heads_ = cache.layer(0).kvHeads();
+    clusters_.clear();
+    clusters_.reserve(cache.layers() * kv_heads_);
+    for (int64_t l = 0; l < cache.layers(); ++l) {
+        for (int64_t h = 0; h < kv_heads_; ++h)
+            clusters_.push_back(
+                clusterOneHead(cache.layer(l), h, prompt_len));
+    }
+}
+
+const KeyClusters &
+ClusterKVRetriever::clusters(int64_t layer, int64_t kv_head) const
+{
+    return clusters_.at(layer * kv_heads_ + kv_head);
+}
+
+model::LayerSelection
+ClusterKVRetriever::selectForLayer(int64_t layer, const Tensor &q,
+                                   const kv::KVCacheSet &cache,
+                                   int64_t ctx)
+{
+    ++stats_.select_calls;
+    const int64_t kv_heads = cache.layer(layer).kvHeads();
+    const int64_t group = q.dim(0) / kv_heads;
+    const int64_t hd = q.dim(1);
+
+    model::LayerSelection sel;
+    sel.per_head.resize(kv_heads);
+    const std::vector<int64_t> tail = retainedTail(ctx);
+
+    for (int64_t kvh = 0; kvh < kv_heads; ++kvh) {
+        const KeyClusters &kc = clusters(layer, kvh);
+        const int64_t k = kc.count();
+        std::vector<float> scores(k, -std::numeric_limits<float>::max());
+        for (int64_t g = 0; g < group; ++g) {
+            const float *qh = q.row(kvh * group + g);
+            for (int64_t c = 0; c < k; ++c) {
+                scores[c] = std::max(
+                    scores[c],
+                    ops::dot(qh, kc.centroids.data() + c * hd, hd));
+            }
+        }
+        stats_.score_flops += static_cast<double>(k) * group * hd * 2.0;
+
+        // Recall whole clusters in descending score until the budget
+        // is met.
+        std::vector<int64_t> order(k);
+        for (int64_t c = 0; c < k; ++c)
+            order[c] = c;
+        std::sort(order.begin(), order.end(),
+                  [&scores](int64_t a, int64_t b) {
+                      if (scores[a] != scores[b])
+                          return scores[a] > scores[b];
+                      return a < b;
+                  });
+
+        std::vector<int64_t> &positions = sel.per_head[kvh];
+        for (int64_t c : order) {
+            if (static_cast<int64_t>(positions.size()) >= budget_)
+                break;
+            const auto &m = kc.members[c];
+            positions.insert(positions.end(), m.begin(), m.end());
+        }
+        positions.insert(positions.end(), tail.begin(), tail.end());
+        std::sort(positions.begin(), positions.end());
+        stats_.selected_positions +=
+            static_cast<int64_t>(positions.size());
+    }
+    return sel;
+}
+
+} // namespace retrieval
+} // namespace specontext

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * ClusterKV (Liu et al., DAC'25): semantic-space KV selection.
+ *
+ * The prompt keys of each (layer, KV head) are clustered with k-means;
+ * cluster centroids act as representatives. At each layer of each
+ * decode step the centroids are scored against the query and whole
+ * clusters are recalled until the token budget is met. Clustering is
+ * the expensive preprocessing the paper charges this baseline for, and
+ * it is never repeated over newly generated tokens (retained in full).
+ */
+#pragma once
+
+#include <vector>
+
+#include "retrieval/retriever.h"
+
+namespace specontext {
+namespace retrieval {
+
+/** One clustered (layer, kv-head)'s model. */
+struct KeyClusters
+{
+    /** centroid c: centroids[c * head_dim .. +head_dim) */
+    std::vector<float> centroids;
+    /** members[c] = prompt positions belonging to cluster c. */
+    std::vector<std::vector<int64_t>> members;
+    int64_t head_dim = 0;
+
+    int64_t count() const
+    {
+        return static_cast<int64_t>(members.size());
+    }
+};
+
+/** k-means-based query-aware retriever. */
+class ClusterKVRetriever : public KVRetriever
+{
+  public:
+    /**
+     * @param budget token budget per head
+     * @param avg_cluster_size target mean tokens per cluster
+     * @param iterations k-means refinement passes
+     */
+    ClusterKVRetriever(int64_t budget, int64_t avg_cluster_size = 16,
+                       int64_t iterations = 4);
+
+    std::string name() const override { return "ClusterKV"; }
+
+    void onPrefillComplete(const kv::KVCacheSet &cache,
+                           int64_t prompt_len) override;
+
+    model::LayerSelection selectForLayer(int64_t layer, const Tensor &q,
+                                         const kv::KVCacheSet &cache,
+                                         int64_t ctx) override;
+
+    /** Clusters of one (layer, kv-head), for tests. */
+    const KeyClusters &clusters(int64_t layer, int64_t kv_head) const;
+
+    /** Total k-means multiply-accumulates spent in preprocessing. */
+    double preprocessFlops() const { return preprocess_flops_; }
+
+  private:
+    int64_t avg_cluster_size_;
+    int64_t iterations_;
+    int64_t kv_heads_ = 0;
+    std::vector<KeyClusters> clusters_; ///< [layer * kv_heads + head]
+    double preprocess_flops_ = 0.0;
+
+    KeyClusters clusterOneHead(const kv::LayerKVCache &cache,
+                               int64_t head, int64_t prompt_len);
+};
+
+} // namespace retrieval
+} // namespace specontext

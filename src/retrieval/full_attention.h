@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Full-attention "retriever": selects everything. This is the
+ * mathematical-equivalence reference (HuggingFace eager, FlashAttention
+ * and FlashInfer all compute this; they differ only in kernel cost,
+ * which the timing engine models via sim::KernelBackend).
+ */
+#pragma once
+
+#include "retrieval/retriever.h"
+
+namespace specontext {
+namespace retrieval {
+
+/** Selects the full KV cache in every layer. */
+class FullAttentionRetriever : public KVRetriever
+{
+  public:
+    FullAttentionRetriever() : KVRetriever(-1) {}
+
+    std::string name() const override { return "FullAttention"; }
+
+    model::LayerSelection
+    selectForLayer(int64_t, const Tensor &, const kv::KVCacheSet &,
+                   int64_t) override
+    {
+        ++stats_.select_calls;
+        return model::LayerSelection::fullAttention();
+    }
+};
+
+} // namespace retrieval
+} // namespace specontext

@@ -1,0 +1,127 @@
+#include "retrieval/h2o.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace specontext {
+namespace retrieval {
+
+H2ORetriever::H2ORetriever(int64_t budget, int64_t recent_window)
+    : KVRetriever(budget), recent_window_(recent_window)
+{
+}
+
+void
+H2ORetriever::onPrefillComplete(const kv::KVCacheSet &cache,
+                                int64_t prompt_len)
+{
+    KVRetriever::onPrefillComplete(cache, prompt_len);
+    kv_heads_ = cache.layer(0).kvHeads();
+    states_.assign(cache.layers() * kv_heads_, HeavyHitterState());
+    // Start by tracking the entire prompt; eviction trims it to the
+    // budget as decoding proceeds.
+    for (auto &s : states_) {
+        for (int64_t p = 0; p < prompt_len; ++p)
+            s.mass[p] = 0.0;
+    }
+}
+
+const HeavyHitterState &
+H2ORetriever::state(int64_t layer, int64_t kv_head) const
+{
+    return states_.at(layer * kv_heads_ + kv_head);
+}
+
+model::LayerSelection
+H2ORetriever::selectForLayer(int64_t layer, const Tensor &q,
+                             const kv::KVCacheSet &cache, int64_t ctx)
+{
+    ++stats_.select_calls;
+    const kv::LayerKVCache &lc = cache.layer(layer);
+    const int64_t kv_heads = lc.kvHeads();
+    const int64_t group = q.dim(0) / kv_heads;
+    const int64_t hd = q.dim(1);
+    const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(hd));
+
+    model::LayerSelection sel;
+    sel.per_head.resize(kv_heads);
+
+    for (int64_t kvh = 0; kvh < kv_heads; ++kvh) {
+        HeavyHitterState &st = states_.at(layer * kv_heads_ + kvh);
+        // Admit any new (generated) positions not yet tracked.
+        for (int64_t p = prompt_len_; p < ctx; ++p) {
+            if (st.mass.find(p) == st.mass.end() &&
+                !std::binary_search(st.evicted.begin(),
+                                    st.evicted.end(), p)) {
+                st.mass[p] = 0.0;
+            }
+        }
+
+        // Score the tracked set with the current query (max over the
+        // group's query heads) and accumulate softmaxed mass.
+        std::vector<int64_t> tracked;
+        tracked.reserve(st.mass.size());
+        for (const auto &[p, m] : st.mass) {
+            if (p < ctx)
+                tracked.push_back(p);
+        }
+        std::sort(tracked.begin(), tracked.end());
+        std::vector<float> scores(tracked.size(),
+                                  -std::numeric_limits<float>::max());
+        for (int64_t g = 0; g < group; ++g) {
+            const float *qh = q.row(kvh * group + g);
+            for (size_t i = 0; i < tracked.size(); ++i) {
+                const float s =
+                    ops::dot(qh, lc.keyAt(tracked[i], kvh), hd) *
+                    inv_sqrt_d;
+                scores[i] = std::max(scores[i], s);
+            }
+        }
+        stats_.score_flops +=
+            2.0 * static_cast<double>(tracked.size()) * group * hd;
+        ops::softmaxInPlace(scores.data(),
+                            static_cast<int64_t>(scores.size()));
+        for (size_t i = 0; i < tracked.size(); ++i)
+            st.mass[tracked[i]] += scores[i];
+
+        // Evict lowest-mass positions beyond the budget, protecting
+        // the recent window.
+        if (static_cast<int64_t>(tracked.size()) > budget_) {
+            std::vector<int64_t> evictable;
+            for (int64_t p : tracked) {
+                if (p < ctx - recent_window_)
+                    evictable.push_back(p);
+            }
+            std::sort(evictable.begin(), evictable.end(),
+                      [&st](int64_t a, int64_t b) {
+                          if (st.mass[a] != st.mass[b])
+                              return st.mass[a] < st.mass[b];
+                          return a < b;
+                      });
+            int64_t to_evict =
+                static_cast<int64_t>(tracked.size()) - budget_;
+            for (int64_t i = 0;
+                 i < to_evict &&
+                 i < static_cast<int64_t>(evictable.size());
+                 ++i) {
+                st.mass.erase(evictable[i]);
+                st.evicted.push_back(evictable[i]);
+            }
+            std::sort(st.evicted.begin(), st.evicted.end());
+        }
+
+        std::vector<int64_t> &keep = sel.per_head[kvh];
+        for (const auto &[p, m] : st.mass) {
+            if (p < ctx)
+                keep.push_back(p);
+        }
+        std::sort(keep.begin(), keep.end());
+        stats_.selected_positions += static_cast<int64_t>(keep.size());
+    }
+    return sel;
+}
+
+} // namespace retrieval
+} // namespace specontext

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * H2O-style heavy-hitter eviction (Zhang et al., NeurIPS'23): an
+ * additional permanent-eviction baseline from the KV-sparsity
+ * literature the paper's related work covers (§2.2).
+ *
+ * Per (layer, KV head), an accumulator tracks each position's total
+ * attention mass observed so far; once the tracked set exceeds the
+ * budget, the positions with the lowest accumulated mass are evicted
+ * permanently, always protecting a recent window. Unlike the dynamic
+ * selectors, evicted KV pairs can never return — the irreversible
+ * information loss §3.1 attributes to this family.
+ */
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "retrieval/retriever.h"
+
+namespace specontext {
+namespace retrieval {
+
+/** Heavy-hitter accumulator state of one (layer, kv-head). */
+struct HeavyHitterState
+{
+    /** tracked position -> accumulated attention mass */
+    std::unordered_map<int64_t, double> mass;
+    /** positions already evicted (never re-admitted) */
+    std::vector<int64_t> evicted;
+};
+
+/** Accumulated-attention eviction retriever. */
+class H2ORetriever : public KVRetriever
+{
+  public:
+    /**
+     * @param budget tracked tokens per head
+     * @param recent_window always-protected trailing tokens
+     */
+    H2ORetriever(int64_t budget, int64_t recent_window = 8);
+
+    std::string name() const override { return "H2O"; }
+
+    void onPrefillComplete(const kv::KVCacheSet &cache,
+                           int64_t prompt_len) override;
+
+    model::LayerSelection selectForLayer(int64_t layer, const Tensor &q,
+                                         const kv::KVCacheSet &cache,
+                                         int64_t ctx) override;
+
+    /** Accumulator of one (layer, kv-head), for tests. */
+    const HeavyHitterState &state(int64_t layer, int64_t kv_head) const;
+
+  private:
+    int64_t recent_window_;
+    int64_t kv_heads_ = 0;
+    std::vector<HeavyHitterState> states_; ///< [layer*kv_heads + head]
+};
+
+} // namespace retrieval
+} // namespace specontext

@@ -1,0 +1,78 @@
+#include "retrieval/quest.h"
+
+#include <algorithm>
+
+#include "tensor/topk.h"
+
+namespace specontext {
+namespace retrieval {
+
+QuestRetriever::QuestRetriever(int64_t budget, int64_t page_size)
+    : KVRetriever(budget), page_size_(page_size)
+{
+}
+
+void
+QuestRetriever::onPrefillComplete(const kv::KVCacheSet &cache,
+                                  int64_t prompt_len)
+{
+    KVRetriever::onPrefillComplete(cache, prompt_len);
+    indices_.clear();
+    indices_.reserve(cache.layers());
+    for (int64_t l = 0; l < cache.layers(); ++l) {
+        indices_.emplace_back(page_size_);
+        indices_.back().rebuild(cache.layer(l), prompt_len);
+    }
+}
+
+model::LayerSelection
+QuestRetriever::selectForLayer(int64_t layer, const Tensor &q,
+                               const kv::KVCacheSet &cache, int64_t ctx)
+{
+    ++stats_.select_calls;
+    const kv::PagedKeyIndex &index = indices_.at(layer);
+    const int64_t kv_heads = cache.layer(layer).kvHeads();
+    const int64_t group = q.dim(0) / kv_heads;
+    const int64_t hd = q.dim(1);
+    const int64_t n_pages = index.pages();
+
+    model::LayerSelection sel;
+    sel.per_head.resize(kv_heads);
+    const std::vector<int64_t> tail = retainedTail(ctx);
+
+    for (int64_t kvh = 0; kvh < kv_heads; ++kvh) {
+        // Upper-bound score per page, aggregated over the group's
+        // query heads by max.
+        std::vector<float> page_scores(n_pages,
+                                       -std::numeric_limits<float>::max());
+        for (int64_t g = 0; g < group; ++g) {
+            const float *qh = q.row(kvh * group + g);
+            for (int64_t p = 0; p < n_pages; ++p) {
+                page_scores[p] = std::max(
+                    page_scores[p], index.upperBoundScore(p, kvh, qh));
+            }
+        }
+        stats_.score_flops +=
+            static_cast<double>(n_pages) * group * hd * 2.0;
+
+        const int64_t pages_wanted =
+            std::max<int64_t>(1, budget_ / page_size_);
+        std::vector<int64_t> top_pages =
+            topkIndices(page_scores, pages_wanted);
+
+        std::vector<int64_t> &positions = sel.per_head[kvh];
+        for (int64_t p : top_pages) {
+            const kv::PageSummary &s = index.summary(p, kvh);
+            for (int64_t pos = s.begin; pos < s.end; ++pos)
+                positions.push_back(pos);
+        }
+        positions.insert(positions.end(), tail.begin(), tail.end());
+        std::sort(positions.begin(), positions.end());
+        stats_.selected_positions +=
+            static_cast<int64_t>(positions.size());
+    }
+    return sel;
+}
+
+} // namespace retrieval
+} // namespace specontext

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Quest (Tang et al., ICML'24): page-granular dynamic KV selection.
+ *
+ * After prefill the prompt keys are partitioned into fixed-size pages,
+ * each summarized by element-wise max/min key vectors. At every layer
+ * of every decode step, an upper bound of each page's attention score
+ * is computed from the current query and the Top-K pages are selected;
+ * all KV pairs of selected pages are attended. Newly generated tokens
+ * are retained in full (the baseline-paradigm behaviour of §2.2).
+ */
+#pragma once
+
+#include <vector>
+
+#include "kvcache/paged.h"
+#include "retrieval/retriever.h"
+
+namespace specontext {
+namespace retrieval {
+
+/** Page-based query-aware retriever. */
+class QuestRetriever : public KVRetriever
+{
+  public:
+    QuestRetriever(int64_t budget, int64_t page_size = 16);
+
+    std::string name() const override { return "Quest"; }
+
+    int64_t pageSize() const { return page_size_; }
+
+    void onPrefillComplete(const kv::KVCacheSet &cache,
+                           int64_t prompt_len) override;
+
+    model::LayerSelection selectForLayer(int64_t layer, const Tensor &q,
+                                         const kv::KVCacheSet &cache,
+                                         int64_t ctx) override;
+
+  private:
+    int64_t page_size_;
+    std::vector<kv::PagedKeyIndex> indices_; ///< one per layer
+};
+
+} // namespace retrieval
+} // namespace specontext

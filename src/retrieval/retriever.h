@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Interface of layer-wise KV retrieval algorithms (the baseline
+ * paradigm of paper Fig. 2(a)).
+ *
+ * Every baseline (StreamingLLM, Quest, ClusterKV, ShadowKV) follows the
+ * same life cycle the paper describes in §2.2/§3.1:
+ *
+ *  1. onPrefillComplete(): expensive preprocessing over the *prompt*
+ *     KV only (paging / clustering / quantization);
+ *  2. selectForLayer(): query-aware selection inside every decoder
+ *     layer of every decode step (the serialized dataflow whose sync
+ *     cost is Challenge-1);
+ *  3. newly generated KV is *never* preprocessed; those positions are
+ *     retained in full (Challenge-2), which this interface enforces via
+ *     retainedTail().
+ *
+ * SpeContext's retrieval head intentionally does NOT implement this
+ * interface — it is not layer-wise; see retrieval/retrieval_head.h.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "kvcache/kv_cache.h"
+#include "model/transformer.h"
+#include "tensor/tensor.h"
+
+namespace specontext {
+namespace retrieval {
+
+/** Running accounting of live retrieval work (for tests/benches). */
+struct RetrievalStats
+{
+    double score_flops = 0.0; ///< multiply-accumulate count of scoring
+    int64_t select_calls = 0; ///< number of selectForLayer invocations
+    int64_t selected_positions = 0; ///< total positions returned
+};
+
+/** Abstract layer-wise KV retriever. */
+class KVRetriever
+{
+  public:
+    explicit KVRetriever(int64_t budget) : budget_(budget) {}
+    virtual ~KVRetriever() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Token budget per head (the paper's KV budget B). */
+    int64_t budget() const { return budget_; }
+
+    /**
+     * One-time preprocessing over the prompt KV. prompt_len fixes the
+     * boundary between preprocessed and retained-in-full positions.
+     */
+    virtual void
+    onPrefillComplete(const kv::KVCacheSet &cache, int64_t prompt_len)
+    {
+        (void)cache;
+        prompt_len_ = prompt_len;
+    }
+
+    /**
+     * Query-aware selection for one layer. q is the current token's
+     * RoPE-rotated queries (q_heads x head_dim); selectable cache
+     * positions are [0, ctx).
+     */
+    virtual model::LayerSelection selectForLayer(
+        int64_t layer, const Tensor &q, const kv::KVCacheSet &cache,
+        int64_t ctx) = 0;
+
+    const RetrievalStats &stats() const { return stats_; }
+    void resetStats() { stats_ = RetrievalStats(); }
+
+  protected:
+    /**
+     * Positions the baseline paradigm always retains: every token
+     * generated after the prompt (paper Challenge-2).
+     */
+    std::vector<int64_t>
+    retainedTail(int64_t ctx) const
+    {
+        std::vector<int64_t> tail;
+        for (int64_t p = prompt_len_; p < ctx; ++p)
+            tail.push_back(p);
+        return tail;
+    }
+
+    int64_t prompt_len_ = 0;
+    int64_t budget_;
+    RetrievalStats stats_;
+};
+
+} // namespace retrieval
+} // namespace specontext

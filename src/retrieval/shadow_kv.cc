@@ -1,0 +1,127 @@
+#include "retrieval/shadow_kv.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/topk.h"
+
+namespace specontext {
+namespace retrieval {
+
+float
+QuantizedKeys::score(const float *query, int64_t pos) const
+{
+    const int8_t *kq = q.data() + pos * head_dim;
+    const float scale = scales[pos];
+    float s = 0.0f;
+    for (int64_t i = 0; i < head_dim; ++i)
+        s += query[i] * (scale * kq[i]);
+    return s;
+}
+
+ShadowKVRetriever::ShadowKVRetriever(int64_t budget)
+    : KVRetriever(budget)
+{
+}
+
+void
+ShadowKVRetriever::onPrefillComplete(const kv::KVCacheSet &cache,
+                                     int64_t prompt_len)
+{
+    KVRetriever::onPrefillComplete(cache, prompt_len);
+    kv_heads_ = cache.layer(0).kvHeads();
+    stores_.clear();
+    stores_.reserve(cache.layers() * kv_heads_);
+    for (int64_t l = 0; l < cache.layers(); ++l) {
+        const kv::LayerKVCache &lc = cache.layer(l);
+        const int64_t hd = lc.headDim();
+        for (int64_t h = 0; h < kv_heads_; ++h) {
+            QuantizedKeys qk;
+            qk.head_dim = hd;
+            qk.q.resize(prompt_len * hd);
+            qk.scales.resize(prompt_len);
+            for (int64_t p = 0; p < prompt_len; ++p) {
+                const float *key = lc.keyAt(p, h);
+                float mx = 0.0f;
+                for (int64_t i = 0; i < hd; ++i)
+                    mx = std::max(mx, std::fabs(key[i]));
+                const float scale = mx > 0.0f ? mx / 7.0f : 1.0f;
+                qk.scales[p] = scale;
+                for (int64_t i = 0; i < hd; ++i) {
+                    const float v = key[i] / scale;
+                    qk.q[p * hd + i] = static_cast<int8_t>(
+                        std::lround(std::clamp(v, -7.0f, 7.0f)));
+                }
+            }
+            stores_.push_back(std::move(qk));
+        }
+    }
+}
+
+const QuantizedKeys &
+ShadowKVRetriever::quantized(int64_t layer, int64_t kv_head) const
+{
+    return stores_.at(layer * kv_heads_ + kv_head);
+}
+
+double
+ShadowKVRetriever::meanQuantError(const kv::KVCacheSet &cache) const
+{
+    double err = 0.0;
+    int64_t count = 0;
+    for (int64_t l = 0; l < cache.layers(); ++l) {
+        const kv::LayerKVCache &lc = cache.layer(l);
+        for (int64_t h = 0; h < kv_heads_; ++h) {
+            const QuantizedKeys &qk = quantized(l, h);
+            for (int64_t p = 0; p < qk.tokens(); ++p) {
+                const float *key = lc.keyAt(p, h);
+                for (int64_t i = 0; i < qk.head_dim; ++i) {
+                    const float deq =
+                        qk.scales[p] * qk.q[p * qk.head_dim + i];
+                    err += std::fabs(deq - key[i]);
+                    ++count;
+                }
+            }
+        }
+    }
+    return count == 0 ? 0.0 : err / count;
+}
+
+model::LayerSelection
+ShadowKVRetriever::selectForLayer(int64_t layer, const Tensor &q,
+                                  const kv::KVCacheSet &cache,
+                                  int64_t ctx)
+{
+    ++stats_.select_calls;
+    const int64_t kv_heads = cache.layer(layer).kvHeads();
+    const int64_t group = q.dim(0) / kv_heads;
+    const int64_t hd = q.dim(1);
+
+    model::LayerSelection sel;
+    sel.per_head.resize(kv_heads);
+    const std::vector<int64_t> tail = retainedTail(ctx);
+
+    for (int64_t kvh = 0; kvh < kv_heads; ++kvh) {
+        const QuantizedKeys &qk = quantized(layer, kvh);
+        const int64_t n = qk.tokens();
+        std::vector<float> scores(n, -std::numeric_limits<float>::max());
+        for (int64_t g = 0; g < group; ++g) {
+            const float *qh = q.row(kvh * group + g);
+            for (int64_t p = 0; p < n; ++p)
+                scores[p] = std::max(scores[p], qk.score(qh, p));
+        }
+        stats_.score_flops += static_cast<double>(n) * group * hd * 2.0;
+
+        std::vector<int64_t> &positions = sel.per_head[kvh];
+        positions = topkIndices(scores, budget_);
+        positions.insert(positions.end(), tail.begin(), tail.end());
+        std::sort(positions.begin(), positions.end());
+        stats_.selected_positions +=
+            static_cast<int64_t>(positions.size());
+    }
+    return sel;
+}
+
+} // namespace retrieval
+} // namespace specontext

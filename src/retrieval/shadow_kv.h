@@ -1,0 +1,70 @@
+/**
+ * @file
+ * ShadowKV (Sun et al., ICML'25): quantized-key KV selection.
+ *
+ * The prompt key cache is quantized (symmetric int4 per token per
+ * head); at each layer of each decode step the query is scored against
+ * the quantized keys, the Top-K tokens are selected, and their values
+ * are fetched. Quantization is the preprocessing step; its scoring pass
+ * touches every prompt token but at a quarter of the bytes. New tokens
+ * are retained in full, as in all prompt-preprocessing baselines.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "retrieval/retriever.h"
+
+namespace specontext {
+namespace retrieval {
+
+/** Int4-quantized key store for one (layer, kv-head). */
+struct QuantizedKeys
+{
+    std::vector<int8_t> q;     ///< n * head_dim values in [-7, 7]
+    std::vector<float> scales; ///< per-token dequantization scale
+    int64_t head_dim = 0;
+
+    int64_t tokens() const
+    {
+        return head_dim == 0
+                   ? 0
+                   : static_cast<int64_t>(scales.size());
+    }
+
+    /** Dequantized dot product of query against token pos's key. */
+    float score(const float *query, int64_t pos) const;
+};
+
+/** Quantized-key query-aware retriever. */
+class ShadowKVRetriever : public KVRetriever
+{
+  public:
+    explicit ShadowKVRetriever(int64_t budget);
+
+    std::string name() const override { return "ShadowKV"; }
+
+    void onPrefillComplete(const kv::KVCacheSet &cache,
+                           int64_t prompt_len) override;
+
+    model::LayerSelection selectForLayer(int64_t layer, const Tensor &q,
+                                         const kv::KVCacheSet &cache,
+                                         int64_t ctx) override;
+
+    /** Quantized store of one (layer, kv-head), for tests. */
+    const QuantizedKeys &quantized(int64_t layer, int64_t kv_head) const;
+
+    /**
+     * Mean absolute quantization error over all stored keys — a
+     * sanity metric tests assert is small but non-zero.
+     */
+    double meanQuantError(const kv::KVCacheSet &cache) const;
+
+  private:
+    int64_t kv_heads_ = 0;
+    std::vector<QuantizedKeys> stores_; ///< [layer * kv_heads + head]
+};
+
+} // namespace retrieval
+} // namespace specontext

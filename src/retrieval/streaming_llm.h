@@ -1,0 +1,61 @@
+/**
+ * @file
+ * StreamingLLM (Xiao et al., ICLR'24): permanent-eviction baseline that
+ * keeps the first `sink` tokens (the "attention sink") plus a sliding
+ * window of the most recent tokens. Selection is input-agnostic —
+ * exactly the coarse-grained intrinsic-property strategy §3.1 contrasts
+ * with query-aware retrieval.
+ */
+#pragma once
+
+#include <algorithm>
+
+#include "retrieval/retriever.h"
+
+namespace specontext {
+namespace retrieval {
+
+/** Attention-sink + sliding-window selection. */
+class StreamingLLMRetriever : public KVRetriever
+{
+  public:
+    /** budget = sink_tokens + window size. */
+    StreamingLLMRetriever(int64_t budget, int64_t sink_tokens = 4)
+        : KVRetriever(budget), sink_(std::min(sink_tokens, budget))
+    {
+    }
+
+    std::string name() const override { return "StreamingLLM"; }
+
+    int64_t sinkTokens() const { return sink_; }
+
+    model::LayerSelection
+    selectForLayer(int64_t, const Tensor &q, const kv::KVCacheSet &cache,
+                   int64_t ctx) override
+    {
+        (void)q;
+        ++stats_.select_calls;
+        const int64_t kv_heads = cache.layer(0).latentMode()
+                                     ? 0
+                                     : cache.layer(0).kvHeads();
+        std::vector<int64_t> keep;
+        const int64_t window = budget_ - sink_;
+        for (int64_t p = 0; p < std::min(sink_, ctx); ++p)
+            keep.push_back(p);
+        const int64_t start = std::max(sink_, ctx - window);
+        for (int64_t p = start; p < ctx; ++p)
+            keep.push_back(p);
+        stats_.selected_positions += static_cast<int64_t>(keep.size());
+
+        model::LayerSelection sel;
+        // Same positions for every head: eviction is head-agnostic.
+        sel.per_head.assign(std::max<int64_t>(kv_heads, 1), keep);
+        return sel;
+    }
+
+  private:
+    int64_t sink_;
+};
+
+} // namespace retrieval
+} // namespace specontext

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Analytical kernel cost model: maps operation shapes to seconds on a
+ * HardwareSpec under a KernelBackend.
+ *
+ * Decode-phase LLM inference is memory-bound: per token, the GPU must
+ * stream the model weights once per batch and each request's attended
+ * KV cache once. Cost = max(compute time, memory time) + launch
+ * overheads, the standard roofline treatment. All paper systems are
+ * priced through this one model so comparisons stay apples-to-apples.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "model/config.h"
+#include "sim/hardware.h"
+
+namespace specontext {
+namespace sim {
+
+/** Component times of one decode step (seconds). */
+struct DecodeBreakdown
+{
+    double gemm = 0.0;    ///< projections + FFN GEMMs, all layers
+    double attn = 0.0;    ///< KV-cache attention, all layers
+    double launch = 0.0;  ///< kernel launch overheads
+    double lm_head = 0.0; ///< final vocabulary projection
+    double total = 0.0;   ///< max(sum, weight-streaming floor)
+};
+
+/** Cost calculator bound to one hardware platform and kernel backend. */
+class CostModel
+{
+  public:
+    CostModel(HardwareSpec hw, KernelBackend backend);
+
+    const HardwareSpec &hardware() const { return hw_; }
+    KernelBackend backend() const { return backend_; }
+
+    /** Seconds for a dense (m x k) * (k x n) FP16 GEMM. */
+    double gemmSeconds(int64_t m, int64_t n, int64_t k) const;
+
+    /**
+     * Seconds of decode attention for one layer: `batch` requests each
+     * reading `kv_len` cached tokens of kv_heads*head_dim K plus V at
+     * FP16 (memory-bound path) with q_heads scoring compute.
+     */
+    double attentionDecodeSeconds(int64_t batch, int64_t q_heads,
+                                  int64_t kv_heads, int64_t head_dim,
+                                  int64_t kv_len) const;
+
+    /**
+     * Seconds of one full decode step (all layers) for a model
+     * geometry: weight streaming + FFN/projection compute + attention
+     * over per-request kv_len + per-layer launch overhead.
+     */
+    double decodeStepSeconds(const model::ModelConfig &cfg, int64_t batch,
+                             int64_t kv_len) const;
+
+    /** Same as decodeStepSeconds but with per-component detail. */
+    DecodeBreakdown decodeStepBreakdown(const model::ModelConfig &cfg,
+                                        int64_t batch,
+                                        int64_t kv_len) const;
+
+    /**
+     * Seconds of prefill for prompt_len tokens (compute-bound GEMMs;
+     * chunked, so launch overhead is amortized).
+     */
+    double prefillSeconds(const model::ModelConfig &cfg, int64_t batch,
+                          int64_t prompt_len) const;
+
+    /** Seconds to move bytes across PCIe (CPU DRAM <-> GPU HBM). */
+    double pcieSeconds(int64_t bytes) const;
+
+    /** Seconds to read bytes from host DRAM (CPU-side gather). */
+    double dramReadSeconds(int64_t bytes) const;
+
+    /**
+     * Seconds of an importance-scoring pass: score_flops of dot
+     * products plus a Top-K over n candidates, per retrieval call.
+     */
+    double retrievalSeconds(double score_flops, int64_t topk_n) const;
+
+    /** Per-layer synchronization penalty of serialized dataflows. */
+    double syncSeconds() const { return hw_.sync_us * 1e-6; }
+
+    /** Per-kernel launch latency. */
+    double launchSeconds() const { return hw_.kernel_launch_us * 1e-6; }
+
+  private:
+    HardwareSpec hw_;
+    KernelBackend backend_;
+    BackendEfficiency eff_;
+};
+
+} // namespace sim
+} // namespace specontext

@@ -1,0 +1,99 @@
+#include "sim/memory_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace specontext {
+namespace sim {
+
+MemoryModel::MemoryModel(MemoryModelInputs in)
+    : in_(std::move(in))
+{
+    in_.llm.validate();
+    in_.dlm.validate();
+    if (in_.requests <= 0 || in_.budget < 0 || in_.gpu_mem_bytes <= 0)
+        throw std::invalid_argument("MemoryModel: invalid workload inputs");
+}
+
+int64_t
+MemoryModel::kvCoefficient() const
+{
+    // Coefficient 4 of Eq. 6: FP16 K (2 bytes) + FP16 V (2 bytes),
+    // times R requests, H KV heads, D head dim.
+    return 4 * in_.requests * in_.llm.kv_heads * in_.llm.head_dim;
+}
+
+int64_t
+MemoryModel::modelBytes() const
+{
+    const int64_t m_d =
+        in_.pruned_head
+            ? 2 * model::prunedRetrievalHeadParams(in_.llm)
+            : in_.dlm.parameterBytesFp16();
+    const double m = in_.llm.parameterBytesFp16() + m_d;
+    return static_cast<int64_t>((1.0 + in_.runtime_fraction) * m);
+}
+
+int64_t
+MemoryModel::mAllBytes(int64_t s) const
+{
+    const int64_t l_eff = in_.llm.layers + 1 + in_.llm.groups();
+    return modelBytes() + kvCoefficient() * l_eff * s;
+}
+
+int64_t
+MemoryModel::mPartBytes(int64_t s, int64_t gpu_layers) const
+{
+    if (gpu_layers < 0 || gpu_layers > in_.llm.layers)
+        throw std::invalid_argument("gpu_layers out of range");
+    const int64_t l_cpu = in_.llm.layers - gpu_layers;
+    const int64_t resident = gpu_layers + 1 + in_.llm.groups();
+    return modelBytes() +
+           kvCoefficient() * (resident * s + l_cpu * in_.budget);
+}
+
+std::vector<int64_t>
+MemoryModel::thresholds() const
+{
+    // Algorithm 1. One deliberate correction to the printed
+    // pseudocode: the paper's line 3 prices the offloaded layers'
+    // staging buffers as (i*B)*R*H*D, omitting the FP16 K+V
+    // coefficient 4 that every other KV term carries (almost certainly
+    // a typo — the buffers hold K and V at 2 bytes each). We keep the
+    // coefficient so the thresholds are exactly the inversion of
+    // Eq. 7, which Algorithm 2's fit invariant depends on.
+    const int64_t l = in_.llm.layers;
+    const int64_t alpha = in_.llm.groups();
+    const int64_t rhd =
+        in_.requests * in_.llm.kv_heads * in_.llm.head_dim;
+    const int64_t free_bytes = in_.gpu_mem_bytes - modelBytes();
+
+    std::vector<int64_t> st(l + 1, 0);
+    st[0] = std::max<int64_t>(0, free_bytes / (4 * rhd * (l + 1 + alpha)));
+    for (int64_t i = 1; i <= l; ++i) {
+        const int64_t numer = free_bytes - 4 * i * in_.budget * rhd;
+        const int64_t denom = 4 * (l + 1 + alpha - i) * rhd;
+        st[i] = std::max<int64_t>(0, numer / denom);
+    }
+    return st;
+}
+
+int64_t
+MemoryModel::maxGpuLayers(int64_t s) const
+{
+    for (int64_t g = in_.llm.layers; g >= 0; --g) {
+        if (mPartBytes(s, g) <= in_.gpu_mem_bytes)
+            return g;
+    }
+    return -1;
+}
+
+bool
+MemoryModel::allFitsOnGpu(int64_t s) const
+{
+    return mAllBytes(s) <= in_.gpu_mem_bytes;
+}
+
+} // namespace sim
+} // namespace specontext

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Theoretical memory overhead model of paper Section 6: Equations 6-8
+ * and the compile-time sequence-length threshold calculation of
+ * Algorithm 1.
+ *
+ * Symbols follow Table 1 of the paper: M_O/M_D model sizes, L layers,
+ * D head dim, H KV heads, S sequence length, B retrieval budget,
+ * R requests, alpha query-head groups, Mem_GPU the GPU capacity.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/config.h"
+#include "sim/hardware.h"
+
+namespace specontext {
+namespace sim {
+
+/** Inputs of the memory model (paper Table 1). */
+struct MemoryModelInputs
+{
+    model::ModelConfig llm;  ///< original LLM geometry (M_O, L, H, D, alpha)
+    model::ModelConfig dlm;  ///< DLM geometry (M_D)
+    int64_t requests = 1;    ///< R
+    int64_t budget = 2048;   ///< B
+    int64_t gpu_mem_bytes = 0; ///< Mem_GPU
+    /**
+     * Runtime buffer fraction of model size; the paper surveys 20-30 %
+     * and selects 30 % (the 1.3 coefficient of Eq. 6).
+     */
+    double runtime_fraction = 0.3;
+    /**
+     * When true (deployment reality), M_D is the *pruned* retrieval
+     * head (Q/K projections + norm, embedding shared with the LLM)
+     * rather than the full DLM — what SpeContext actually loads (§4.3).
+     */
+    bool pruned_head = true;
+};
+
+/** Eq. 6-8 and Algorithm 1. */
+class MemoryModel
+{
+  public:
+    explicit MemoryModel(MemoryModelInputs in);
+
+    const MemoryModelInputs &inputs() const { return in_; }
+
+    /** Weight + runtime-buffer bytes: 1.3 (M_O + M_D). */
+    int64_t modelBytes() const;
+
+    /**
+     * Eq. 6: total bytes with the whole KV cache on GPU at sequence
+     * length S: 1.3(M_O+M_D) + 4 R (L+1+alpha) S H D.
+     */
+    int64_t mAllBytes(int64_t s) const;
+
+    /**
+     * Eq. 7: bytes with only `gpu_layers` layers of KV on GPU, the
+     * remaining layers offloaded with a budget-sized staging buffer:
+     * 1.3(M_O+M_D) + 4R[(L_GPU+1+alpha)S + L_CPU*B] H D.
+     */
+    int64_t mPartBytes(int64_t s, int64_t gpu_layers) const;
+
+    /**
+     * Algorithm 1: thresholds S_T[0..L]. S_T[i] is the largest sequence
+     * length that fits with i layers offloaded to CPU. Values are
+     * clamped to >= 0 (a negative analytic threshold means the
+     * configuration never fits at that offload level).
+     */
+    std::vector<int64_t> thresholds() const;
+
+    /**
+     * Eq. 8: the largest L_GPU such that mPartBytes(s, L_GPU) fits in
+     * gpu_mem_bytes; -1 when not even full offload fits.
+     */
+    int64_t maxGpuLayers(int64_t s) const;
+
+    /** True when Eq. 6 fits entirely on the GPU at length S. */
+    bool allFitsOnGpu(int64_t s) const;
+
+  private:
+    MemoryModelInputs in_;
+
+    /** 4 R H D: bytes per (layer-equivalent, token) of KV cache. */
+    int64_t kvCoefficient() const;
+};
+
+} // namespace sim
+} // namespace specontext

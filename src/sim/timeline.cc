@@ -1,0 +1,62 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace specontext {
+namespace sim {
+
+Event
+Timeline::enqueue(StreamId s, double seconds, const std::string &tag)
+{
+    if (seconds < 0.0)
+        throw std::invalid_argument("negative duration enqueued");
+    double &clk = clock_[index(s)];
+    clk += seconds;
+    by_tag_[tag] += seconds;
+    return Event{clk};
+}
+
+void
+Timeline::waitEvent(StreamId s, const Event &e)
+{
+    double &clk = clock_[index(s)];
+    clk = std::max(clk, e.time);
+}
+
+void
+Timeline::barrier()
+{
+    const double m = makespan();
+    clock_[0] = m;
+    clock_[1] = m;
+}
+
+double
+Timeline::now(StreamId s) const
+{
+    return clock_[index(s)];
+}
+
+double
+Timeline::makespan() const
+{
+    return std::max(clock_[0], clock_[1]);
+}
+
+double
+Timeline::tagSeconds(const std::string &tag) const
+{
+    auto it = by_tag_.find(tag);
+    return it == by_tag_.end() ? 0.0 : it->second;
+}
+
+void
+Timeline::reset()
+{
+    clock_[0] = clock_[1] = 0.0;
+    by_tag_.clear();
+}
+
+} // namespace sim
+} // namespace specontext

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Two-stream discrete-event timeline: the CUDA-stream abstraction the
+ * asynchronous prefetch dataflow (paper §5, Fig. 2(c)-C2, Fig. 7) runs
+ * on. A compute stream executes kernels while a copy stream moves KV
+ * cache across PCIe; events let one stream wait on work issued to the
+ * other, exactly like cudaStreamWaitEvent.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace specontext {
+namespace sim {
+
+/** Identifier of a simulated stream. */
+enum class StreamId { Compute = 0, Copy = 1 };
+
+/** A point in simulated time another stream may wait on. */
+struct Event
+{
+    double time = 0.0;
+};
+
+/** Deterministic two-stream timeline with per-tag time accounting. */
+class Timeline
+{
+  public:
+    Timeline() = default;
+
+    /**
+     * Enqueue `seconds` of work on stream s; the work starts when the
+     * stream becomes free. Returns the completion event. `tag`
+     * aggregates durations for breakdown reporting (e.g. "attn",
+     * "kv_transfer").
+     */
+    Event enqueue(StreamId s, double seconds, const std::string &tag);
+
+    /** Make stream s wait until event e has completed. */
+    void waitEvent(StreamId s, const Event &e);
+
+    /** Device-wide barrier: both streams advance to the max clock. */
+    void barrier();
+
+    /** Current clock of a stream. */
+    double now(StreamId s) const;
+
+    /** Completion time of everything enqueued so far. */
+    double makespan() const;
+
+    /** Total busy seconds accumulated under each tag. */
+    const std::map<std::string, double> &byTag() const { return by_tag_; }
+
+    /** Busy seconds of one tag (0 if never used). */
+    double tagSeconds(const std::string &tag) const;
+
+    /** Reset clocks and accounting. */
+    void reset();
+
+  private:
+    double clock_[2] = {0.0, 0.0};
+    std::map<std::string, double> by_tag_;
+
+    static int index(StreamId s) { return static_cast<int>(s); }
+};
+
+} // namespace sim
+} // namespace specontext

@@ -1,0 +1,264 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace specontext {
+namespace ops {
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    if (a.ndim() != 2 || b.ndim() != 2 || a.dim(1) != b.dim(0))
+        throw std::invalid_argument("matmul shape mismatch");
+    const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    Tensor c({m, n});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t p = 0; p < k; ++p) {
+            const float av = pa[i * k + p];
+            if (av == 0.0f)
+                continue;
+            const float *brow = pb + p * n;
+            float *crow = pc + i * n;
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransposedB(const Tensor &a, const Tensor &b)
+{
+    if (a.ndim() != 2 || b.ndim() != 2 || a.dim(1) != b.dim(1))
+        throw std::invalid_argument("matmulTransposedB shape mismatch");
+    const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+    Tensor c({m, n});
+    for (int64_t i = 0; i < m; ++i) {
+        const float *arow = a.data() + i * k;
+        float *crow = c.data() + i * n;
+        for (int64_t j = 0; j < n; ++j)
+            crow[j] = dot(arow, b.data() + j * k, k);
+    }
+    return c;
+}
+
+Tensor
+matvec(const Tensor &w, const Tensor &x)
+{
+    if (w.ndim() != 2 || x.ndim() != 1 || w.dim(1) != x.dim(0))
+        throw std::invalid_argument("matvec shape mismatch");
+    const int64_t m = w.dim(0), k = w.dim(1);
+    Tensor y({m});
+    for (int64_t i = 0; i < m; ++i)
+        y.at(i) = dot(w.data() + i * k, x.data(), k);
+    return y;
+}
+
+Tensor
+vecmat(const Tensor &x, const Tensor &w)
+{
+    if (x.ndim() != 1 || w.ndim() != 2 || x.dim(0) != w.dim(0))
+        throw std::invalid_argument("vecmat shape mismatch");
+    const int64_t m = w.dim(0), n = w.dim(1);
+    Tensor y({n});
+    float *py = y.data();
+    for (int64_t i = 0; i < m; ++i) {
+        const float xv = x.data()[i];
+        if (xv == 0.0f)
+            continue;
+        const float *wrow = w.data() + i * n;
+        for (int64_t j = 0; j < n; ++j)
+            py[j] += xv * wrow[j];
+    }
+    return y;
+}
+
+void
+softmaxInPlace(float *v, int64_t n)
+{
+    if (n <= 0)
+        return;
+    float mx = v[0];
+    for (int64_t i = 1; i < n; ++i)
+        mx = std::max(mx, v[i]);
+    double sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        v[i] = std::exp(v[i] - mx);
+        sum += v[i];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int64_t i = 0; i < n; ++i)
+        v[i] *= inv;
+}
+
+void
+softmaxLastDim(Tensor &t)
+{
+    if (t.ndim() == 0 || t.numel() == 0)
+        return;
+    const int64_t last = t.dim(t.ndim() - 1);
+    const int64_t rows = t.numel() / last;
+    for (int64_t r = 0; r < rows; ++r)
+        softmaxInPlace(t.data() + r * last, last);
+}
+
+Tensor
+rmsnorm(const Tensor &x, const Tensor &gain)
+{
+    if (x.ndim() != 1 || gain.ndim() != 1 || x.dim(0) != gain.dim(0))
+        throw std::invalid_argument("rmsnorm shape mismatch");
+    const int64_t n = x.dim(0);
+    double ss = 0.0;
+    for (int64_t i = 0; i < n; ++i)
+        ss += static_cast<double>(x.data()[i]) * x.data()[i];
+    const float inv = static_cast<float>(
+        1.0 / std::sqrt(ss / static_cast<double>(n) + 1e-5));
+    Tensor y({n});
+    for (int64_t i = 0; i < n; ++i)
+        y.at(i) = x.data()[i] * inv * gain.data()[i];
+    return y;
+}
+
+Tensor
+silu(const Tensor &x)
+{
+    Tensor y(x.shape());
+    const float *px = x.data();
+    float *py = y.data();
+    for (int64_t i = 0; i < x.numel(); ++i)
+        py[i] = px[i] / (1.0f + std::exp(-px[i]));
+    return y;
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    if (a.numel() != b.numel())
+        throw std::invalid_argument("add size mismatch");
+    Tensor c = a.clone();
+    addInPlace(c, b);
+    return c;
+}
+
+Tensor
+mul(const Tensor &a, const Tensor &b)
+{
+    if (a.numel() != b.numel())
+        throw std::invalid_argument("mul size mismatch");
+    Tensor c(a.shape());
+    for (int64_t i = 0; i < a.numel(); ++i)
+        c.data()[i] = a.data()[i] * b.data()[i];
+    return c;
+}
+
+void
+addInPlace(Tensor &a, const Tensor &b)
+{
+    if (a.numel() != b.numel())
+        throw std::invalid_argument("addInPlace size mismatch");
+    float *pa = a.data();
+    const float *pb = b.data();
+    for (int64_t i = 0; i < a.numel(); ++i)
+        pa[i] += pb[i];
+}
+
+float
+dot(const float *a, const float *b, int64_t n)
+{
+    float s = 0.0f;
+    for (int64_t i = 0; i < n; ++i)
+        s += a[i] * b[i];
+    return s;
+}
+
+void
+applyRope(Tensor &qk, int64_t pos, float theta_base, float yarn_scale)
+{
+    if (qk.ndim() != 2)
+        throw std::invalid_argument("applyRope expects (heads, head_dim)");
+    const int64_t heads = qk.dim(0);
+    const int64_t hd = qk.dim(1);
+    if (hd % 2 != 0)
+        throw std::invalid_argument("applyRope head_dim must be even");
+    const double p = static_cast<double>(pos) / yarn_scale;
+    for (int64_t h = 0; h < heads; ++h) {
+        float *v = qk.row(h);
+        for (int64_t i = 0; i < hd / 2; ++i) {
+            const double freq =
+                std::pow(static_cast<double>(theta_base),
+                         -2.0 * static_cast<double>(i) /
+                             static_cast<double>(hd));
+            const double ang = p * freq;
+            const float c = static_cast<float>(std::cos(ang));
+            const float s = static_cast<float>(std::sin(ang));
+            const float x0 = v[2 * i];
+            const float x1 = v[2 * i + 1];
+            v[2 * i] = x0 * c - x1 * s;
+            v[2 * i + 1] = x0 * s + x1 * c;
+        }
+    }
+}
+
+int64_t
+argmax(const Tensor &t)
+{
+    if (t.numel() == 0)
+        throw std::invalid_argument("argmax of empty tensor");
+    const float *p = t.data();
+    int64_t best = 0;
+    for (int64_t i = 1; i < t.numel(); ++i) {
+        if (p[i] > p[best])
+            best = i;
+    }
+    return best;
+}
+
+float
+mean(const Tensor &t)
+{
+    if (t.numel() == 0)
+        return 0.0f;
+    double s = 0.0;
+    for (int64_t i = 0; i < t.numel(); ++i)
+        s += t.data()[i];
+    return static_cast<float>(s / static_cast<double>(t.numel()));
+}
+
+float
+cosineSimilarity(const Tensor &a, const Tensor &b)
+{
+    if (a.numel() != b.numel() || a.numel() == 0)
+        throw std::invalid_argument("cosineSimilarity size mismatch");
+    const float d = dot(a.data(), b.data(), a.numel());
+    const float na = std::sqrt(dot(a.data(), a.data(), a.numel()));
+    const float nb = std::sqrt(dot(b.data(), b.data(), b.numel()));
+    if (na == 0.0f || nb == 0.0f)
+        return 0.0f;
+    return d / (na * nb);
+}
+
+float
+klDivergenceFromLogits(const Tensor &p_logits, const Tensor &q_logits)
+{
+    if (p_logits.numel() != q_logits.numel())
+        throw std::invalid_argument("KL size mismatch");
+    Tensor p = p_logits.clone();
+    Tensor q = q_logits.clone();
+    softmaxInPlace(p.data(), p.numel());
+    softmaxInPlace(q.data(), q.numel());
+    double kl = 0.0;
+    for (int64_t i = 0; i < p.numel(); ++i) {
+        const double pi = std::max(1e-12f, p.data()[i]);
+        const double qi = std::max(1e-12f, q.data()[i]);
+        kl += pi * std::log(pi / qi);
+    }
+    return static_cast<float>(kl);
+}
+
+} // namespace ops
+} // namespace specontext

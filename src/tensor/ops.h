@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Kernel-level operations over Tensor: GEMM, softmax, normalization, RoPE,
+ * activation functions and reductions. These are the CPU stand-ins for the
+ * GPU kernels the paper's systems dispatch; the sim/ module prices them.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace specontext {
+namespace ops {
+
+/** C = A(mxk) * B(kxn). Shapes are validated. */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/** C = A(mxk) * B^T where B is (nxk). Avoids materializing transposes. */
+Tensor matmulTransposedB(const Tensor &a, const Tensor &b);
+
+/** y = W(mxk) * x(k). */
+Tensor matvec(const Tensor &w, const Tensor &x);
+
+/** y(k) = x(m) * W(mxk): row-vector times matrix, used for projections. */
+Tensor vecmat(const Tensor &x, const Tensor &w);
+
+/** In-place softmax over the last dimension. */
+void softmaxLastDim(Tensor &t);
+
+/** Numerically stable softmax of a raw buffer of length n, in place. */
+void softmaxInPlace(float *v, int64_t n);
+
+/** RMSNorm of x (rank 1) with learned gain (same length), eps 1e-5. */
+Tensor rmsnorm(const Tensor &x, const Tensor &gain);
+
+/** SiLU (x * sigmoid(x)) elementwise, returns new tensor. */
+Tensor silu(const Tensor &x);
+
+/** Elementwise a + b. */
+Tensor add(const Tensor &a, const Tensor &b);
+
+/** Elementwise a * b. */
+Tensor mul(const Tensor &a, const Tensor &b);
+
+/** In-place a += b. */
+void addInPlace(Tensor &a, const Tensor &b);
+
+/** Dot product of two equal-length rank-1 buffers. */
+float dot(const float *a, const float *b, int64_t n);
+
+/**
+ * Apply rotary position embedding in place to a (heads x head_dim) tensor
+ * for absolute position pos. head_dim must be even. theta_base follows
+ * Llama (10000). yarn_scale > 1 applies YaRN-style positional
+ * interpolation (position divided by the scale), the training-free
+ * context extension the paper uses for the DLM (Section 4.3).
+ */
+void applyRope(Tensor &qk, int64_t pos, float theta_base = 10000.0f,
+               float yarn_scale = 1.0f);
+
+/** Index of the maximum element of a rank-1 tensor. */
+int64_t argmax(const Tensor &t);
+
+/** Mean of all elements. */
+float mean(const Tensor &t);
+
+/** Cosine similarity between two equal-length rank-1 tensors. */
+float cosineSimilarity(const Tensor &a, const Tensor &b);
+
+/**
+ * KL divergence D(p || q) between two softmax-normalized logit vectors.
+ * Inputs are raw logits; the function normalizes internally.
+ */
+float klDivergenceFromLogits(const Tensor &p_logits, const Tensor &q_logits);
+
+} // namespace ops
+} // namespace specontext

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic random number generation for the whole project.
+ *
+ * All randomness in SpeContext flows from explicit 64-bit seeds through
+ * this SplitMix64-based generator so that tensors, selections, timelines
+ * and bench tables are bit-identical across platforms and runs.
+ */
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace specontext {
+
+/**
+ * SplitMix64 pseudo-random generator with Gaussian and uniform helpers.
+ *
+ * Chosen over std::mt19937 + std::normal_distribution because the C++
+ * standard does not pin down distribution algorithms, which would make
+ * results differ across standard libraries.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit value (SplitMix64). */
+    uint64_t
+    nextU64()
+    {
+        uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    uniformRange(float lo, float hi)
+    {
+        return lo + static_cast<float>(uniform()) * (hi - lo);
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    uint64_t
+    uniformInt(uint64_t n)
+    {
+        return nextU64() % n;
+    }
+
+    /** Standard normal via Box-Muller (deterministic, no cached spare). */
+    float
+    gaussian()
+    {
+        // Avoid log(0) by offsetting into (0, 1].
+        double u1 = 1.0 - uniform();
+        double u2 = uniform();
+        double r = std::sqrt(-2.0 * std::log(u1));
+        return static_cast<float>(r * std::cos(2.0 * M_PI * u2));
+    }
+
+    /** Gaussian with explicit mean and standard deviation. */
+    float
+    gaussian(float mean, float stddev)
+    {
+        return mean + stddev * gaussian();
+    }
+
+    /** Derive an independent child generator (for per-module seeding). */
+    Rng
+    fork()
+    {
+        return Rng(nextU64());
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace specontext

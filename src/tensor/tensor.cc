@@ -1,0 +1,236 @@
+#include "tensor/tensor.h"
+
+#include <cassert>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace specontext {
+
+namespace {
+
+int64_t
+productOf(const std::vector<int64_t> &shape)
+{
+    int64_t n = 1;
+    for (int64_t d : shape) {
+        if (d < 0)
+            throw std::invalid_argument("negative tensor dimension");
+        n *= d;
+    }
+    return n;
+}
+
+} // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape))
+{
+    numel_ = productOf(shape_);
+    storage_ = std::make_shared<std::vector<float>>(numel_, 0.0f);
+}
+
+Tensor
+Tensor::zeros(std::vector<int64_t> shape)
+{
+    return Tensor(std::move(shape));
+}
+
+Tensor
+Tensor::full(std::vector<int64_t> shape, float value)
+{
+    Tensor t(std::move(shape));
+    t.fill(value);
+    return t;
+}
+
+Tensor
+Tensor::randn(std::vector<int64_t> shape, Rng &rng, float stddev)
+{
+    Tensor t(std::move(shape));
+    float *p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i)
+        p[i] = rng.gaussian(0.0f, stddev);
+    return t;
+}
+
+Tensor
+Tensor::uniform(std::vector<int64_t> shape, Rng &rng, float lo, float hi)
+{
+    Tensor t(std::move(shape));
+    float *p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i)
+        p[i] = rng.uniformRange(lo, hi);
+    return t;
+}
+
+Tensor
+Tensor::fromVector(const std::vector<float> &values)
+{
+    Tensor t({static_cast<int64_t>(values.size())});
+    std::copy(values.begin(), values.end(), t.data());
+    return t;
+}
+
+int64_t
+Tensor::dim(int i) const
+{
+    if (i < 0 || i >= ndim())
+        throw std::out_of_range("Tensor::dim index out of range");
+    return shape_[i];
+}
+
+float *
+Tensor::data()
+{
+    return storage_ ? storage_->data() + offset_ : nullptr;
+}
+
+const float *
+Tensor::data() const
+{
+    return storage_ ? storage_->data() + offset_ : nullptr;
+}
+
+void
+Tensor::checkRank(int expected) const
+{
+    if (ndim() != expected) {
+        throw std::logic_error("Tensor rank mismatch: have " +
+                               std::to_string(ndim()) + ", want " +
+                               std::to_string(expected));
+    }
+}
+
+float &
+Tensor::at(int64_t i)
+{
+    checkRank(1);
+    return data()[i];
+}
+
+float
+Tensor::at(int64_t i) const
+{
+    checkRank(1);
+    return data()[i];
+}
+
+float &
+Tensor::at(int64_t i, int64_t j)
+{
+    checkRank(2);
+    return data()[i * shape_[1] + j];
+}
+
+float
+Tensor::at(int64_t i, int64_t j) const
+{
+    checkRank(2);
+    return data()[i * shape_[1] + j];
+}
+
+float &
+Tensor::at(int64_t i, int64_t j, int64_t k)
+{
+    checkRank(3);
+    return data()[(i * shape_[1] + j) * shape_[2] + k];
+}
+
+float
+Tensor::at(int64_t i, int64_t j, int64_t k) const
+{
+    checkRank(3);
+    return data()[(i * shape_[1] + j) * shape_[2] + k];
+}
+
+float &
+Tensor::at(int64_t i, int64_t j, int64_t k, int64_t l)
+{
+    checkRank(4);
+    return data()[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+}
+
+float
+Tensor::at(int64_t i, int64_t j, int64_t k, int64_t l) const
+{
+    checkRank(4);
+    return data()[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+}
+
+int64_t
+Tensor::rowSize() const
+{
+    if (ndim() < 1)
+        return 0;
+    int64_t n = 1;
+    for (int i = 1; i < ndim(); ++i)
+        n *= shape_[i];
+    return n;
+}
+
+float *
+Tensor::row(int64_t i)
+{
+    assert(ndim() >= 2);
+    return data() + i * rowSize();
+}
+
+const float *
+Tensor::row(int64_t i) const
+{
+    assert(ndim() >= 2);
+    return data() + i * rowSize();
+}
+
+Tensor
+Tensor::reshape(std::vector<int64_t> new_shape) const
+{
+    if (productOf(new_shape) != numel_)
+        throw std::invalid_argument("reshape changes element count");
+    Tensor t;
+    t.storage_ = storage_;
+    t.offset_ = offset_;
+    t.numel_ = numel_;
+    t.shape_ = std::move(new_shape);
+    return t;
+}
+
+Tensor
+Tensor::clone() const
+{
+    Tensor t(shape_);
+    if (numel_ > 0)
+        std::copy(data(), data() + numel_, t.data());
+    return t;
+}
+
+void
+Tensor::fill(float value)
+{
+    float *p = data();
+    for (int64_t i = 0; i < numel_; ++i)
+        p[i] = value;
+}
+
+void
+Tensor::copyFrom(const Tensor &src)
+{
+    if (src.numel() != numel_)
+        throw std::invalid_argument("copyFrom element count mismatch");
+    if (numel_ > 0)
+        std::copy(src.data(), src.data() + numel_, data());
+}
+
+std::string
+Tensor::shapeString() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (int i = 0; i < ndim(); ++i)
+        os << (i ? ", " : "") << shape_[i];
+    os << "]";
+    return os.str();
+}
+
+} // namespace specontext

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Minimal dense float32 tensor used by the model, retrieval and KV-cache
+ * subsystems.
+ *
+ * The tensor is always contiguous and row-major. Copying a Tensor shares
+ * the underlying storage (cheap, reference-counted); use clone() for a
+ * deep copy. This mirrors the aliasing semantics of the frameworks the
+ * paper builds on without dragging in a full autograd stack.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace specontext {
+
+/** Dense, contiguous, row-major float32 tensor with shared storage. */
+class Tensor
+{
+  public:
+    /** Empty (rank-0, zero elements) tensor. */
+    Tensor() = default;
+
+    /** Allocate a zero-initialized tensor of the given shape. */
+    explicit Tensor(std::vector<int64_t> shape);
+
+    /** Zero-initialized tensor (alias of the shape constructor). */
+    static Tensor zeros(std::vector<int64_t> shape);
+
+    /** Tensor filled with a constant. */
+    static Tensor full(std::vector<int64_t> shape, float value);
+
+    /** Tensor of i.i.d. N(0, stddev^2) entries drawn from rng. */
+    static Tensor randn(std::vector<int64_t> shape, Rng &rng,
+                        float stddev = 1.0f);
+
+    /** Tensor of uniform entries in [lo, hi). */
+    static Tensor uniform(std::vector<int64_t> shape, Rng &rng,
+                          float lo, float hi);
+
+    /** 1-D tensor from explicit values. */
+    static Tensor fromVector(const std::vector<float> &values);
+
+    int ndim() const { return static_cast<int>(shape_.size()); }
+    int64_t dim(int i) const;
+    const std::vector<int64_t> &shape() const { return shape_; }
+    int64_t numel() const { return numel_; }
+    bool empty() const { return numel_ == 0; }
+
+    float *data();
+    const float *data() const;
+
+    /** Element access for rank 1..4 tensors. */
+    float &at(int64_t i);
+    float at(int64_t i) const;
+    float &at(int64_t i, int64_t j);
+    float at(int64_t i, int64_t j) const;
+    float &at(int64_t i, int64_t j, int64_t k);
+    float at(int64_t i, int64_t j, int64_t k) const;
+    float &at(int64_t i, int64_t j, int64_t k, int64_t l);
+    float at(int64_t i, int64_t j, int64_t k, int64_t l) const;
+
+    /** Pointer to the start of row i of a rank>=2 tensor. */
+    float *row(int64_t i);
+    const float *row(int64_t i) const;
+
+    /** Number of elements in one row (product of dims 1..n-1). */
+    int64_t rowSize() const;
+
+    /**
+     * Reinterpret the same storage with a new shape.
+     * @pre product of new_shape equals numel().
+     */
+    Tensor reshape(std::vector<int64_t> new_shape) const;
+
+    /** Deep copy into fresh storage. */
+    Tensor clone() const;
+
+    /** Overwrite every element with value. */
+    void fill(float value);
+
+    /** Copy src into this tensor. Shapes must have equal numel. */
+    void copyFrom(const Tensor &src);
+
+    /** Human-readable shape such as "[2, 3, 4]". */
+    std::string shapeString() const;
+
+  private:
+    std::shared_ptr<std::vector<float>> storage_;
+    std::vector<int64_t> shape_;
+    int64_t offset_ = 0;
+    int64_t numel_ = 0;
+
+    void checkRank(int expected) const;
+};
+
+} // namespace specontext

@@ -1,0 +1,79 @@
+#include "tensor/topk.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace specontext {
+
+std::vector<int64_t>
+topkIndices(const float *scores, int64_t n, int64_t k)
+{
+    std::vector<int64_t> idx(n);
+    std::iota(idx.begin(), idx.end(), 0);
+    if (k >= n) {
+        return idx;
+    }
+    if (k <= 0)
+        return {};
+    // Deterministic tie-break: higher score first, then lower index.
+    auto better = [scores](int64_t a, int64_t b) {
+        if (scores[a] != scores[b])
+            return scores[a] > scores[b];
+        return a < b;
+    };
+    std::nth_element(idx.begin(), idx.begin() + k, idx.end(), better);
+    idx.resize(k);
+    std::sort(idx.begin(), idx.end());
+    return idx;
+}
+
+std::vector<int64_t>
+topkIndices(const std::vector<float> &scores, int64_t k)
+{
+    return topkIndices(scores.data(),
+                       static_cast<int64_t>(scores.size()), k);
+}
+
+std::vector<int64_t>
+sortedDifference(const std::vector<int64_t> &a, const std::vector<int64_t> &b)
+{
+    std::vector<int64_t> out;
+    out.reserve(a.size());
+    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+    return out;
+}
+
+std::vector<int64_t>
+sortedIntersection(const std::vector<int64_t> &a,
+                   const std::vector<int64_t> &b)
+{
+    std::vector<int64_t> out;
+    out.reserve(std::min(a.size(), b.size()));
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(out));
+    return out;
+}
+
+double
+jaccard(const std::vector<int64_t> &a, const std::vector<int64_t> &b)
+{
+    if (a.empty() && b.empty())
+        return 1.0;
+    const auto inter = sortedIntersection(a, b);
+    const double uni = static_cast<double>(a.size() + b.size()) -
+                       static_cast<double>(inter.size());
+    return uni == 0.0 ? 1.0 : static_cast<double>(inter.size()) / uni;
+}
+
+double
+overlapRate(const std::vector<int64_t> &prev, const std::vector<int64_t> &now)
+{
+    if (now.empty())
+        return 1.0;
+    const auto inter = sortedIntersection(prev, now);
+    return static_cast<double>(inter.size()) /
+           static_cast<double>(now.size());
+}
+
+} // namespace specontext

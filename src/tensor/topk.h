@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Top-k selection and sorted-set utilities.
+ *
+ * Top-k over importance scores is the central primitive of every KV
+ * retrieval algorithm in the paper (Quest, ClusterKV, ShadowKV and the
+ * SpeContext retrieval head all end in a Top-K); the set-difference
+ * helpers implement the elastic-loading arithmetic of Section 5.4
+ * (S_now − S_last / S_last − S_now).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace specontext {
+
+/**
+ * Indices of the k largest entries of scores, in ascending index order.
+ * Ties break toward the lower index so results are deterministic.
+ * If k >= scores.size() all indices are returned.
+ */
+std::vector<int64_t> topkIndices(const std::vector<float> &scores,
+                                 int64_t k);
+
+/** Same as topkIndices but over a raw buffer. */
+std::vector<int64_t> topkIndices(const float *scores, int64_t n, int64_t k);
+
+/**
+ * Elements of a not present in b. Both inputs must be sorted ascending.
+ * This is the transfer set of elastic loading: load = S_now − S_last.
+ */
+std::vector<int64_t> sortedDifference(const std::vector<int64_t> &a,
+                                      const std::vector<int64_t> &b);
+
+/** Elements present in both sorted inputs. */
+std::vector<int64_t> sortedIntersection(const std::vector<int64_t> &a,
+                                        const std::vector<int64_t> &b);
+
+/**
+ * |a ∩ b| / |a ∪ b| for sorted inputs; 1.0 when both are empty.
+ * Used to measure the adjacent-generation overlap of Figure 6(b).
+ */
+double jaccard(const std::vector<int64_t> &a, const std::vector<int64_t> &b);
+
+/**
+ * Overlap rate as the paper defines it: |a ∩ b| / |b| (fraction of the
+ * current selection already resident); 1.0 when b is empty.
+ */
+double overlapRate(const std::vector<int64_t> &prev,
+                   const std::vector<int64_t> &now);
+
+} // namespace specontext

@@ -1,0 +1,135 @@
+#include "workload/longwriter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "tensor/rng.h"
+
+namespace specontext {
+namespace workload {
+
+LongWriterTask
+makeLongWriterTask(int64_t vocab, uint64_t seed, int64_t prompt_len,
+                   int64_t steps)
+{
+    if (vocab < 32)
+        throw std::invalid_argument("vocab too small");
+    Rng rng(seed);
+    LongWriterTask t;
+    t.steps = steps;
+    // A handful of "topic" tokens the instruction asks the writer to
+    // cover; they are repeated inside the prompt so a faithful
+    // generation keeps returning to them.
+    const int64_t topics = 6;
+    for (int64_t i = 0; i < topics; ++i) {
+        t.plan_keywords.push_back(
+            static_cast<int32_t>(2 + rng.uniformInt(vocab - 2)));
+    }
+    for (int64_t i = 0; i < prompt_len; ++i) {
+        if (i % 7 == 3) {
+            t.prompt.push_back(
+                t.plan_keywords[(i / 7) % t.plan_keywords.size()]);
+        } else {
+            t.prompt.push_back(
+                static_cast<int32_t>(2 + rng.uniformInt(vocab - 2)));
+        }
+    }
+    return t;
+}
+
+namespace {
+
+double
+keywordCoverage(const std::vector<int32_t> &output,
+                const std::vector<int32_t> &keywords)
+{
+    if (keywords.empty())
+        return 1.0;
+    const std::set<int32_t> present(output.begin(), output.end());
+    int64_t hit = 0;
+    for (int32_t k : keywords)
+        hit += present.count(k) ? 1 : 0;
+    return static_cast<double>(hit) /
+           static_cast<double>(keywords.size());
+}
+
+std::set<std::pair<int32_t, int32_t>>
+bigrams(const std::vector<int32_t> &s)
+{
+    std::set<std::pair<int32_t, int32_t>> out;
+    for (size_t i = 0; i + 1 < s.size(); ++i)
+        out.insert({s[i], s[i + 1]});
+    return out;
+}
+
+double
+bigramOverlap(const std::vector<int32_t> &a,
+              const std::vector<int32_t> &b)
+{
+    const auto ba = bigrams(a);
+    const auto bb = bigrams(b);
+    if (ba.empty() && bb.empty())
+        return 1.0;
+    int64_t inter = 0;
+    for (const auto &x : ba)
+        inter += bb.count(x) ? 1 : 0;
+    const double uni =
+        static_cast<double>(ba.size() + bb.size() - inter);
+    return uni == 0.0 ? 1.0 : inter / uni;
+}
+
+double
+repeatedTrigramFraction(const std::vector<int32_t> &s)
+{
+    if (s.size() < 3)
+        return 0.0;
+    std::set<std::tuple<int32_t, int32_t, int32_t>> seen;
+    int64_t repeats = 0;
+    const int64_t total = static_cast<int64_t>(s.size()) - 2;
+    for (int64_t i = 0; i < total; ++i) {
+        auto tri = std::make_tuple(s[i], s[i + 1], s[i + 2]);
+        if (!seen.insert(tri).second)
+            ++repeats;
+    }
+    return static_cast<double>(repeats) / static_cast<double>(total);
+}
+
+double
+distinctRatio(const std::vector<int32_t> &s)
+{
+    if (s.empty())
+        return 0.0;
+    const std::set<int32_t> uniq(s.begin(), s.end());
+    return static_cast<double>(uniq.size()) /
+           static_cast<double>(s.size());
+}
+
+} // namespace
+
+LongWriterScore
+scoreLongWriter(const LongWriterTask &task,
+                const std::vector<int32_t> &full_output,
+                const std::vector<int32_t> &method_output,
+                const core::LiveGenResult *forced)
+{
+    LongWriterScore s;
+    s.relevance =
+        5.0 * keywordCoverage(method_output, task.plan_keywords);
+    s.accuracy = 5.0 * (forced ? forced->top1_agreement : 1.0);
+    s.coherence = 5.0 * bigramOverlap(method_output, full_output);
+    s.clarity = 5.0 * (1.0 - repeatedTrigramFraction(method_output));
+    const double full_distinct = std::max(1e-9, distinctRatio(full_output));
+    s.breadth_depth =
+        5.0 * std::min(1.0, distinctRatio(method_output) / full_distinct);
+    s.reading_experience =
+        5.0 * (forced ? std::exp(-forced->mean_kl) : 1.0);
+    s.average = (s.relevance + s.accuracy + s.coherence + s.clarity +
+                 s.breadth_depth + s.reading_experience) /
+                6.0;
+    return s;
+}
+
+} // namespace workload
+} // namespace specontext

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * LongWriter-style long-generation benchmark with deterministic proxy
+ * judging (paper Fig. 9 / Table 4).
+ *
+ * The paper scores 10k-word generations with GPT-4o on six dimensions.
+ * No judge LLM exists offline, so each dimension is replaced by a
+ * deterministic proxy that is monotone in the same failure mode the
+ * judge penalizes:
+ *
+ *  - relevance:  coverage of the prompt's plan keywords in the output;
+ *  - accuracy:   teacher-forced top-1 agreement with full attention;
+ *  - coherence:  bigram overlap with the full-attention generation;
+ *  - clarity:    1 − repeated-trigram fraction (degenerate repetition);
+ *  - breadth & depth: distinct-token ratio relative to full attention;
+ *  - reading experience: exp(−mean KL) — distributional closeness.
+ *
+ * Scores land on the paper's 0-5 scale (each proxy in [0,1], ×5).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/live_engine.h"
+
+namespace specontext {
+namespace workload {
+
+/** One long-generation writing task. */
+struct LongWriterTask
+{
+    std::vector<int32_t> prompt;        ///< short instruction (~100 tok)
+    std::vector<int32_t> plan_keywords; ///< topics the output should hit
+    int64_t steps = 192;                ///< generation length scored
+};
+
+/** Deterministic task construction. */
+LongWriterTask makeLongWriterTask(int64_t vocab, uint64_t seed,
+                                  int64_t prompt_len = 96,
+                                  int64_t steps = 192);
+
+/** Six-dimension score, 0-5 each, plus the average. */
+struct LongWriterScore
+{
+    double relevance = 0.0;
+    double accuracy = 0.0;
+    double coherence = 0.0;
+    double clarity = 0.0;
+    double breadth_depth = 0.0;
+    double reading_experience = 0.0;
+    double average = 0.0;
+};
+
+/**
+ * Score a method's free-running output against the full-attention
+ * output of the same task. `forced` carries the teacher-forced
+ * fidelity metrics (top-1 agreement, KL); pass nullptr for the
+ * full-attention row itself (agreement/KL are then exact by
+ * definition).
+ */
+LongWriterScore scoreLongWriter(const LongWriterTask &task,
+                                const std::vector<int32_t> &full_output,
+                                const std::vector<int32_t> &method_output,
+                                const core::LiveGenResult *forced);
+
+} // namespace workload
+} // namespace specontext

@@ -1,0 +1,118 @@
+#include "workload/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/topk.h"
+
+namespace specontext {
+namespace workload {
+
+std::vector<std::vector<int64_t>>
+trueTopKPerHead(const std::vector<Tensor> &layer_attn, int64_t group,
+                int64_t k)
+{
+    if (layer_attn.empty())
+        throw std::invalid_argument("no attention maps");
+    const int64_t q_heads = layer_attn[0].dim(0);
+    const int64_t ctx = layer_attn[0].dim(1);
+    if (group <= 0 || q_heads % group != 0)
+        throw std::invalid_argument("bad group size");
+    const int64_t out_heads = q_heads / group;
+
+    std::vector<std::vector<int64_t>> truth(out_heads);
+    std::vector<float> layer_max(ctx);
+    for (int64_t oh = 0; oh < out_heads; ++oh) {
+        std::vector<float> mass(ctx, 0.0f);
+        for (const Tensor &attn : layer_attn) {
+            // Per layer: element-wise max over the group's query heads
+            // (the Fig. 5(c) reduction), then summed across layers.
+            std::fill(layer_max.begin(), layer_max.end(), 0.0f);
+            for (int64_t g = 0; g < group; ++g) {
+                const float *row = attn.row(oh * group + g);
+                for (int64_t p = 0; p < ctx; ++p)
+                    layer_max[p] = std::max(layer_max[p], row[p]);
+            }
+            for (int64_t p = 0; p < ctx; ++p)
+                mass[p] += layer_max[p];
+        }
+        truth[oh] = topkIndices(mass, k);
+    }
+    return truth;
+}
+
+double
+hitRate(const model::LayerSelection &selection,
+        const std::vector<std::vector<int64_t>> &truth)
+{
+    if (selection.per_head.size() != truth.size())
+        throw std::invalid_argument("hitRate head count mismatch");
+    double sum = 0.0;
+    for (size_t h = 0; h < truth.size(); ++h) {
+        if (truth[h].empty()) {
+            sum += 1.0;
+            continue;
+        }
+        const auto inter =
+            sortedIntersection(selection.per_head[h], truth[h]);
+        sum += static_cast<double>(inter.size()) /
+               static_cast<double>(truth[h].size());
+    }
+    return sum / static_cast<double>(truth.size());
+}
+
+double
+attentionRecall(const model::LayerSelection &selection,
+                const std::vector<Tensor> &layer_attn, int64_t group)
+{
+    if (layer_attn.empty() || selection.per_head.empty())
+        return 0.0;
+    const int64_t out_heads =
+        static_cast<int64_t>(selection.per_head.size());
+    double sum = 0.0;
+    int64_t count = 0;
+    for (const Tensor &attn : layer_attn) {
+        const int64_t ctx = attn.dim(1);
+        for (int64_t oh = 0; oh < out_heads; ++oh) {
+            double covered = 0.0, total = 0.0;
+            for (int64_t g = 0; g < group; ++g) {
+                const float *row = attn.row(oh * group + g);
+                for (int64_t p = 0; p < ctx; ++p)
+                    total += row[p];
+                for (int64_t p : selection.per_head[oh]) {
+                    if (p < ctx)
+                        covered += row[p];
+                }
+            }
+            if (total > 0.0) {
+                sum += covered / total;
+                ++count;
+            }
+        }
+    }
+    return count == 0 ? 0.0 : sum / count;
+}
+
+double
+needleRecall(const std::vector<model::LayerSelection> &step_selections,
+             const std::vector<int64_t> &needle_positions)
+{
+    if (needle_positions.empty() || step_selections.empty())
+        return 1.0;
+    std::vector<int64_t> needles = needle_positions;
+    std::sort(needles.begin(), needles.end());
+    double sum = 0.0;
+    int64_t count = 0;
+    for (const auto &sel : step_selections) {
+        for (const auto &head : sel.per_head) {
+            const auto inter = sortedIntersection(head, needles);
+            sum += static_cast<double>(inter.size()) /
+                   static_cast<double>(needles.size());
+            ++count;
+        }
+    }
+    return count == 0 ? 1.0 : sum / count;
+}
+
+} // namespace workload
+} // namespace specontext

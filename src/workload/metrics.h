@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fidelity and selection-quality metrics used across the accuracy
+ * experiments: ground-truth important tokens from full-attention maps,
+ * hit rate, attention-mass recall (Fig. 5(a)), and needle coverage.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/transformer.h"
+#include "tensor/tensor.h"
+
+namespace specontext {
+namespace workload {
+
+/**
+ * Ground-truth important tokens per output head from one step's
+ * full-attention maps.
+ *
+ * layer_attn holds one (q_heads x ctx) probability tensor per layer
+ * (a Reference::attention entry). Importance of a position for an
+ * output head = attention mass summed over layers, max-reduced over
+ * the `group` query heads mapping to it. Returns the Top-K positions
+ * per output head (q_heads / group heads).
+ */
+std::vector<std::vector<int64_t>> trueTopKPerHead(
+    const std::vector<Tensor> &layer_attn, int64_t group, int64_t k);
+
+/**
+ * Hit rate: fraction of ground-truth positions covered by the
+ * selection, averaged over heads. Mismatched head counts are an error.
+ */
+double hitRate(const model::LayerSelection &selection,
+               const std::vector<std::vector<int64_t>> &truth);
+
+/**
+ * Attention-weight accumulation (Fig. 5(a) left): the share of total
+ * attention probability mass that the selected positions capture,
+ * averaged over layers and output heads.
+ */
+double attentionRecall(const model::LayerSelection &selection,
+                       const std::vector<Tensor> &layer_attn,
+                       int64_t group);
+
+/**
+ * Needle coverage: mean over steps and heads of
+ * |needles ∩ selection| / |needles|.
+ */
+double needleRecall(
+    const std::vector<model::LayerSelection> &step_selections,
+    const std::vector<int64_t> &needle_positions);
+
+} // namespace workload
+} // namespace specontext

@@ -1,0 +1,195 @@
+#include "workload/tasks.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "workload/metrics.h"
+
+namespace specontext {
+namespace workload {
+
+TaskGenerator::TaskGenerator(int64_t vocab, uint64_t seed)
+    : vocab_(vocab), rng_(seed)
+{
+    if (vocab < 32)
+        throw std::invalid_argument("vocab too small for task generation");
+}
+
+int32_t
+TaskGenerator::randomToken()
+{
+    // Avoid BOS/EOS ids 0 and 1.
+    return static_cast<int32_t>(2 + rng_.uniformInt(vocab_ - 2));
+}
+
+std::vector<int32_t>
+TaskGenerator::filler(int64_t n)
+{
+    // Locally coherent distractors: with probability 1/2 a token
+    // repeats one of the previous eight — natural text re-uses words,
+    // and uniform-random streams would make adjacent queries
+    // artificially uncorrelated.
+    std::vector<int32_t> out;
+    out.reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+        if (!out.empty() && rng_.uniform() < 0.5) {
+            const uint64_t back = rng_.uniformInt(
+                std::min<uint64_t>(8, out.size()));
+            out.push_back(out[out.size() - 1 - back]);
+        } else {
+            out.push_back(randomToken());
+        }
+    }
+    return out;
+}
+
+int64_t
+TaskGenerator::plant(std::vector<int32_t> &stream,
+                     const std::vector<int32_t> &fact, int64_t lo,
+                     int64_t hi)
+{
+    const int64_t span = static_cast<int64_t>(fact.size());
+    if (hi - lo < span)
+        throw std::invalid_argument("context too small for fact");
+    const int64_t start = lo + static_cast<int64_t>(
+                                   rng_.uniformInt(hi - lo - span + 1));
+    std::copy(fact.begin(), fact.end(), stream.begin() + start);
+    return start;
+}
+
+namespace {
+
+void
+appendRange(std::vector<int64_t> &needles, int64_t start, int64_t len)
+{
+    for (int64_t i = 0; i < len; ++i)
+        needles.push_back(start + i);
+}
+
+} // namespace
+
+QATask
+TaskGenerator::triviaQa(int64_t context_len)
+{
+    QATask t;
+    t.name = "TriviaQA";
+    const std::vector<int32_t> key = {randomToken(), randomToken()};
+    const std::vector<int32_t> value = {randomToken(), randomToken(),
+                                        randomToken()};
+    std::vector<int32_t> fact = key;
+    fact.insert(fact.end(), value.begin(), value.end());
+
+    t.prompt = filler(context_len);
+    const int64_t start = plant(t.prompt, fact, 0, context_len - 16);
+    appendRange(t.needle_positions, start,
+                static_cast<int64_t>(fact.size()));
+
+    // Question: repeat the key tokens at the end.
+    t.prompt.insert(t.prompt.end(), key.begin(), key.end());
+    t.prompt.push_back(key[0]);
+    return t;
+}
+
+QATask
+TaskGenerator::twoWikiMqa(int64_t context_len)
+{
+    QATask t;
+    t.name = "2WikiMQA";
+    const int32_t key = randomToken();
+    const int32_t entity = randomToken();
+    const int32_t value = randomToken();
+    const std::vector<int32_t> fact1 = {key, key, entity};
+    const std::vector<int32_t> fact2 = {entity, entity, value, value};
+
+    t.prompt = filler(context_len);
+    const int64_t half = context_len / 2;
+    const int64_t s1 = plant(t.prompt, fact1, 0, half);
+    const int64_t s2 = plant(t.prompt, fact2, half, context_len - 16);
+    appendRange(t.needle_positions, s1,
+                static_cast<int64_t>(fact1.size()));
+    appendRange(t.needle_positions, s2,
+                static_cast<int64_t>(fact2.size()));
+
+    t.prompt.push_back(key);
+    t.prompt.push_back(key);
+    return t;
+}
+
+QATask
+TaskGenerator::hotpotQa(int64_t context_len)
+{
+    QATask t;
+    t.name = "HotpotQA";
+    const int32_t key_a = randomToken();
+    const int32_t key_b = randomToken();
+    const int32_t val_a = randomToken();
+    const int32_t val_b = randomToken();
+    const std::vector<int32_t> fact_a = {key_a, key_a, val_a};
+    const std::vector<int32_t> fact_b = {key_b, key_b, val_b};
+
+    t.prompt = filler(context_len);
+    const int64_t half = context_len / 2;
+    const int64_t sa = plant(t.prompt, fact_a, 0, half);
+    const int64_t sb = plant(t.prompt, fact_b, half, context_len - 16);
+    appendRange(t.needle_positions, sa,
+                static_cast<int64_t>(fact_a.size()));
+    appendRange(t.needle_positions, sb,
+                static_cast<int64_t>(fact_b.size()));
+
+    t.prompt.push_back(key_a);
+    t.prompt.push_back(key_b);
+    return t;
+}
+
+QATask
+TaskGenerator::passageCount(int64_t context_len)
+{
+    QATask t;
+    t.name = "PassageCount";
+    const std::vector<int32_t> marker = {randomToken(), randomToken(),
+                                         randomToken()};
+    const int64_t copies =
+        3 + static_cast<int64_t>(rng_.uniformInt(4)); // 3..6
+    t.expected_count = copies;
+
+    t.prompt = filler(context_len);
+    const int64_t stride = (context_len - 16) / copies;
+    for (int64_t c = 0; c < copies; ++c) {
+        const int64_t start =
+            plant(t.prompt, marker, c * stride,
+                  std::min<int64_t>((c + 1) * stride, context_len - 16));
+        appendRange(t.needle_positions, start,
+                    static_cast<int64_t>(marker.size()));
+    }
+
+    t.prompt.insert(t.prompt.end(), marker.begin(), marker.end());
+    return t;
+}
+
+std::vector<QATask>
+TaskGenerator::all(int64_t context_len)
+{
+    return {twoWikiMqa(context_len), triviaQa(context_len),
+            hotpotQa(context_len), passageCount(context_len)};
+}
+
+core::Reference
+taskReference(const core::LiveEngine &engine, const QATask &task)
+{
+    return engine.buildReference(task.prompt, task.answer_steps);
+}
+
+TaskScore
+scoreTask(const QATask &task, const core::LiveGenResult &run)
+{
+    TaskScore s;
+    s.answer_agreement = run.top1_agreement;
+    s.mean_kl = run.mean_kl;
+    s.needle_recall =
+        needleRecall(run.step_selections, task.needle_positions);
+    s.score = 100.0 * (0.6 * s.answer_agreement + 0.4 * s.needle_recall);
+    return s;
+}
+
+} // namespace workload
+} // namespace specontext

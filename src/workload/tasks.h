@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Synthetic long-context QA tasks standing in for the four LongBench
+ * tasks of the paper's Fig. 8 (2WikiMQA, TriviaQA, HotpotQA,
+ * PassageCount).
+ *
+ * Construction: a long stream of random distractor tokens with planted
+ * "facts" (short token sequences) at known positions, followed by a
+ * question that repeats the facts' key tokens. Because the synthetic
+ * model's attention behaves as a similarity kernel (see
+ * model/weights.h), answering depends on the fact tokens' KV pairs
+ * being present — a KV selector that drops them measurably degrades
+ * the output. Ground truth (needle positions) is exact by
+ * construction, which the real benchmarks cannot offer.
+ *
+ * Scoring: answer agreement (top-1 vs full attention over the answer
+ * window, the quantity KV sparsity can corrupt) blended with needle
+ * recall — an F1-analogue on a 0-100 scale where full attention scores
+ * 100 by definition.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/live_engine.h"
+#include "model/tokenizer.h"
+#include "tensor/rng.h"
+
+namespace specontext {
+namespace workload {
+
+/** One generated QA instance. */
+struct QATask
+{
+    std::string name;
+    std::vector<int32_t> prompt;
+    std::vector<int64_t> needle_positions; ///< fact token positions
+    int64_t answer_steps = 24;             ///< scored generation window
+    int64_t expected_count = 0;            ///< PassageCount only
+};
+
+/** Deterministic generator of the four task families. */
+class TaskGenerator
+{
+  public:
+    TaskGenerator(int64_t vocab, uint64_t seed);
+
+    /** Multi-hop: fact A links to entity E, fact B links E to value. */
+    QATask twoWikiMqa(int64_t context_len);
+
+    /** Single planted fact, question repeats its key. */
+    QATask triviaQa(int64_t context_len);
+
+    /** Two supporting facts, both keys in the question. */
+    QATask hotpotQa(int64_t context_len);
+
+    /** Count repeated marker passages scattered through the context. */
+    QATask passageCount(int64_t context_len);
+
+    /** All four at the given length, in paper order. */
+    std::vector<QATask> all(int64_t context_len);
+
+  private:
+    int64_t vocab_;
+    Rng rng_;
+
+    int32_t randomToken();
+    std::vector<int32_t> filler(int64_t n);
+    /** Insert `fact` at a random position in [lo, hi); returns start. */
+    int64_t plant(std::vector<int32_t> &stream,
+                  const std::vector<int32_t> &fact, int64_t lo,
+                  int64_t hi);
+};
+
+/** Combined task score. */
+struct TaskScore
+{
+    double answer_agreement = 0.0; ///< top-1 vs full attention
+    double needle_recall = 0.0;    ///< selection coverage of needles
+    double mean_kl = 0.0;
+    double score = 0.0;            ///< 100*(0.6*agree + 0.4*recall)
+};
+
+/** Score a sparse run of a task against its reference. */
+TaskScore scoreTask(const QATask &task, const core::LiveGenResult &run);
+
+/** Reference for a task (full attention over the answer window). */
+core::Reference taskReference(const core::LiveEngine &engine,
+                              const QATask &task);
+
+} // namespace workload
+} // namespace specontext

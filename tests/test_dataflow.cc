@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests of the Fig. 7 dataflow timelines: relative ordering of the
+ * five system families and overlap behaviour on the two streams.
+ */
+#include <gtest/gtest.h>
+
+#include "core/dataflow.h"
+
+namespace specontext {
+namespace {
+
+using core::DataflowKind;
+using core::DataflowParams;
+
+DataflowParams
+offloadedParams()
+{
+    DataflowParams p;
+    p.llm = model::llama31_8bGeometry();
+    p.hw = sim::HardwareSpec::cloudA800();
+    p.seq_len = 32768;
+    p.budget = 2048;
+    return p;
+}
+
+TEST(Dataflow, Fig7OrderingHolds)
+{
+    // The whole point of Fig. 7: (a) full prefetch is worst, (b)
+    // serialized sparse fetch improves on it, prefetching variants
+    // improve further, and SpeContext's elastic prefetch is best.
+    const auto p = offloadedParams();
+    const double full =
+        simulateTokenDataflow(DataflowKind::PrefetchFullKV, p)
+            .token_seconds;
+    const double fetch =
+        simulateTokenDataflow(DataflowKind::FetchSparseKV, p)
+            .token_seconds;
+    const double spec =
+        simulateTokenDataflow(DataflowKind::PrefetchSparseKV, p)
+            .token_seconds;
+    const double shadow =
+        simulateTokenDataflow(DataflowKind::PrefetchSparseV, p)
+            .token_seconds;
+    const double ours =
+        simulateTokenDataflow(DataflowKind::SpeContextElastic, p)
+            .token_seconds;
+
+    EXPECT_LT(fetch, full);
+    EXPECT_LT(spec, fetch);
+    EXPECT_LT(shadow, fetch);
+    EXPECT_LT(ours, shadow);
+    EXPECT_LT(ours, spec);
+}
+
+TEST(Dataflow, SpeContextHidesTransfers)
+{
+    // With elastic diffs, the copy stream runs ahead of compute and
+    // exposed transfer time is a small fraction of the token time.
+    const auto p = offloadedParams();
+    const auto r =
+        simulateTokenDataflow(DataflowKind::SpeContextElastic, p);
+    EXPECT_LT(r.exposed_transfer, 0.25 * r.token_seconds);
+}
+
+TEST(Dataflow, FullPrefetchDominatedByTransfers)
+{
+    const auto p = offloadedParams();
+    const auto r =
+        simulateTokenDataflow(DataflowKind::PrefetchFullKV, p);
+    EXPECT_GT(r.copy_busy, r.compute_busy);
+}
+
+TEST(Dataflow, ElasticOverlapParameterMatters)
+{
+    auto p = offloadedParams();
+    p.elastic_overlap = 0.0;
+    const double no_reuse =
+        simulateTokenDataflow(DataflowKind::SpeContextElastic, p)
+            .token_seconds;
+    p.elastic_overlap = 0.9;
+    const double reuse =
+        simulateTokenDataflow(DataflowKind::SpeContextElastic, p)
+            .token_seconds;
+    EXPECT_LE(reuse, no_reuse);
+}
+
+TEST(Dataflow, SpeculativeMissRateDegradesInfiniGen)
+{
+    auto p = offloadedParams();
+    p.speculative_miss = 0.05;
+    const double good =
+        simulateTokenDataflow(DataflowKind::PrefetchSparseKV, p)
+            .token_seconds;
+    p.speculative_miss = 0.8;
+    const double bad =
+        simulateTokenDataflow(DataflowKind::PrefetchSparseKV, p)
+            .token_seconds;
+    EXPECT_GT(bad, good);
+}
+
+TEST(Dataflow, TagsAccountedPerKind)
+{
+    const auto p = offloadedParams();
+    const auto r =
+        simulateTokenDataflow(DataflowKind::FetchSparseKV, p);
+    EXPECT_GT(r.by_tag.at("retrieval"), 0.0);
+    EXPECT_GT(r.by_tag.at("transfer"), 0.0);
+    EXPECT_GT(r.by_tag.at("attn"), 0.0);
+
+    const auto ours =
+        simulateTokenDataflow(DataflowKind::SpeContextElastic, p);
+    EXPECT_GT(ours.by_tag.at("head"), 0.0);
+    EXPECT_EQ(ours.by_tag.count("retrieval"), 0u); // no per-layer retrieval
+}
+
+TEST(Dataflow, KindNames)
+{
+    EXPECT_STREQ(core::dataflowKindName(DataflowKind::SpeContextElastic),
+                 "SpeContext");
+    EXPECT_STREQ(core::dataflowKindName(DataflowKind::PrefetchFullKV),
+                 "PrefetchFullKV");
+}
+
+} // namespace
+} // namespace specontext

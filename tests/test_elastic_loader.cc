@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests of elastic loading (paper §5.4): set-difference transfers,
+ * in-place update semantics, reuse accounting and the non-elastic
+ * ablation mode.
+ */
+#include <gtest/gtest.h>
+
+#include "core/elastic_loader.h"
+
+namespace specontext {
+namespace {
+
+model::LayerSelection
+sel(std::vector<std::vector<int64_t>> heads)
+{
+    model::LayerSelection s;
+    s.per_head = std::move(heads);
+    return s;
+}
+
+TEST(ElasticLoader, FirstUpdateLoadsEverything)
+{
+    core::ElasticLoader loader;
+    auto plan = loader.update(sel({{1, 2, 3, 4}}));
+    EXPECT_EQ(plan.tokens_to_load, 4);
+    EXPECT_EQ(plan.tokens_reused, 0);
+    EXPECT_EQ(plan.tokens_evicted, 0);
+}
+
+TEST(ElasticLoader, DiffOnlyTransfers)
+{
+    core::ElasticLoader loader;
+    loader.update(sel({{1, 2, 3, 4}}));
+    auto plan = loader.update(sel({{3, 4, 5, 6}}));
+    EXPECT_EQ(plan.tokens_to_load, 2);   // 5, 6
+    EXPECT_EQ(plan.tokens_reused, 2);    // 3, 4
+    EXPECT_EQ(plan.tokens_evicted, 2);   // 1, 2
+    EXPECT_DOUBLE_EQ(plan.reuseFraction(), 0.5);
+}
+
+TEST(ElasticLoader, FixedBudgetBalancesLoadAndEvict)
+{
+    // |S_last - S_now| == |S_now - S_last| when budgets are equal
+    // (§5.4's in-place update precondition).
+    core::ElasticLoader loader;
+    loader.update(sel({{0, 1, 2, 3, 4, 5, 6, 7}}));
+    auto plan = loader.update(sel({{0, 1, 2, 3, 10, 11, 12, 13}}));
+    EXPECT_EQ(plan.tokens_to_load, plan.tokens_evicted);
+}
+
+TEST(ElasticLoader, IdenticalSelectionLoadsNothing)
+{
+    core::ElasticLoader loader;
+    loader.update(sel({{1, 2, 3}}));
+    auto plan = loader.update(sel({{1, 2, 3}}));
+    EXPECT_EQ(plan.tokens_to_load, 0);
+    EXPECT_DOUBLE_EQ(plan.reuseFraction(), 1.0);
+}
+
+TEST(ElasticLoader, PerHeadIndependentTracking)
+{
+    core::ElasticLoader loader;
+    loader.update(sel({{1, 2}, {3, 4}}));
+    auto plan = loader.update(sel({{1, 2}, {5, 6}}));
+    EXPECT_EQ(plan.tokens_to_load, 2); // only head 1 changed
+    EXPECT_EQ(loader.resident(0), (std::vector<int64_t>{1, 2}));
+    EXPECT_EQ(loader.resident(1), (std::vector<int64_t>{5, 6}));
+}
+
+TEST(ElasticLoader, NonElasticLoadsFullBudgetEveryStep)
+{
+    core::ElasticLoader loader(false);
+    loader.update(sel({{1, 2, 3}}));
+    auto plan = loader.update(sel({{1, 2, 3}}));
+    EXPECT_EQ(plan.tokens_to_load, 3); // no reuse without elasticity
+}
+
+TEST(ElasticLoader, CumulativeAccounting)
+{
+    core::ElasticLoader loader;
+    loader.update(sel({{1, 2, 3, 4}}));
+    loader.update(sel({{3, 4, 5, 6}}));
+    EXPECT_EQ(loader.totalLoaded(), 6);      // 4 + 2
+    EXPECT_EQ(loader.totalFullBudget(), 8);  // what full reload moves
+    EXPECT_EQ(loader.reuseHistory().size(), 2u);
+}
+
+TEST(ElasticLoader, HeadCountChangeRejected)
+{
+    core::ElasticLoader loader;
+    loader.update(sel({{1}, {2}}));
+    EXPECT_THROW(loader.update(sel({{1}})), std::invalid_argument);
+}
+
+TEST(ElasticLoader, ResetRestoresFreshState)
+{
+    core::ElasticLoader loader;
+    loader.update(sel({{1, 2}}));
+    loader.reset();
+    EXPECT_EQ(loader.totalLoaded(), 0);
+    auto plan = loader.update(sel({{1, 2}}));
+    EXPECT_EQ(plan.tokens_to_load, 2);
+}
+
+TEST(ElasticLoader, ResidentOutOfRangeIsEmpty)
+{
+    core::ElasticLoader loader;
+    EXPECT_TRUE(loader.resident(3).empty());
+}
+
+/** Transfer reduction grows with overlap (paper's up-to-90 % claim). */
+class OverlapSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(OverlapSweep, ReductionMatchesOverlap)
+{
+    const int shared = GetParam(); // tokens kept between steps (of 16)
+    core::ElasticLoader loader;
+    std::vector<int64_t> first;
+    for (int64_t i = 0; i < 16; ++i)
+        first.push_back(i);
+    loader.update(sel({first}));
+
+    std::vector<int64_t> second;
+    for (int64_t i = 0; i < shared; ++i)
+        second.push_back(i);
+    for (int64_t i = shared; i < 16; ++i)
+        second.push_back(100 + i);
+    auto plan = loader.update(sel({second}));
+    EXPECT_EQ(plan.tokens_to_load, 16 - shared);
+    EXPECT_NEAR(plan.reuseFraction(), shared / 16.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shares, OverlapSweep,
+                         ::testing::Values(0, 4, 8, 12, 14, 16));
+
+} // namespace
+} // namespace specontext

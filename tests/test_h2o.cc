@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests of the H2O heavy-hitter eviction baseline: accumulation,
+ * permanent eviction, recent-window protection, and its characteristic
+ * failure mode (evicted needles never return).
+ */
+#include <gtest/gtest.h>
+
+#include "core/live_engine.h"
+#include "retrieval/h2o.h"
+#include "workload/metrics.h"
+#include "workload/tasks.h"
+
+namespace specontext {
+namespace {
+
+struct H2OFixture
+{
+    model::ModelConfig cfg = model::tinyConfig(model::AttentionKind::GQA);
+    model::Transformer llm = model::Transformer::randomInit(cfg, 7);
+    core::LiveEngine eng{llm};
+
+    std::vector<int32_t>
+    prompt(int64_t n, uint64_t seed = 3) const
+    {
+        Rng rng(seed);
+        std::vector<int32_t> p(n);
+        for (auto &t : p)
+            t = static_cast<int32_t>(2 + rng.uniformInt(cfg.vocab - 2));
+        return p;
+    }
+};
+
+TEST(H2O, TracksWholeShortContext)
+{
+    H2OFixture f;
+    auto ref = f.eng.buildReference(f.prompt(24), 4);
+    retrieval::H2ORetriever r(64, 8);
+    auto run = f.eng.runWithRetriever(ref, r);
+    // Budget exceeds context: nothing evicted, perfect fidelity.
+    EXPECT_DOUBLE_EQ(run.top1_agreement, 1.0);
+}
+
+TEST(H2O, EnforcesBudgetOnLongContext)
+{
+    H2OFixture f;
+    auto ref = f.eng.buildReference(f.prompt(160), 8);
+    retrieval::H2ORetriever r(32, 8);
+    auto run = f.eng.runWithRetriever(ref, r);
+    // After the first selection, tracked sets shrink to ~budget.
+    for (const auto &sel : run.step_selections) {
+        for (const auto &head : sel.per_head) {
+            // One admission wave may briefly exceed budget before
+            // eviction applies on the next call.
+            EXPECT_LE(static_cast<int64_t>(head.size()), 32 + 8);
+        }
+    }
+}
+
+TEST(H2O, EvictedPositionsNeverReturn)
+{
+    H2OFixture f;
+    auto ref = f.eng.buildReference(f.prompt(160), 12);
+    retrieval::H2ORetriever r(32, 8);
+    auto run = f.eng.runWithRetriever(ref, r);
+    // Once a position disappears from head 0's selection, it must not
+    // reappear (permanent eviction).
+    std::vector<bool> seen_evicted(400, false);
+    std::vector<bool> present_before(400, false);
+    for (const auto &sel : run.step_selections) {
+        std::vector<bool> now(400, false);
+        for (int64_t p : sel.per_head[0])
+            now[p] = true;
+        for (int64_t p = 0; p < 200; ++p) {
+            if (present_before[p] && !now[p])
+                seen_evicted[p] = true;
+            EXPECT_FALSE(seen_evicted[p] && now[p])
+                << "position " << p << " returned after eviction";
+            present_before[p] = present_before[p] || now[p];
+        }
+    }
+}
+
+TEST(H2O, RecentWindowAlwaysTracked)
+{
+    H2OFixture f;
+    auto ref = f.eng.buildReference(f.prompt(120), 6);
+    retrieval::H2ORetriever r(24, 8);
+    auto run = f.eng.runWithRetriever(ref, r);
+    // The last positions before each step's context end stay selected.
+    const auto &sel = run.step_selections.back();
+    const int64_t ctx = 120 + 6 - 1;
+    for (const auto &head : sel.per_head) {
+        for (int64_t p = ctx - 4; p < ctx; ++p) {
+            EXPECT_TRUE(std::binary_search(head.begin(), head.end(), p))
+                << "recent position " << p << " missing";
+        }
+    }
+}
+
+TEST(H2O, AccumulatorsGrowOverSteps)
+{
+    H2OFixture f;
+    auto ref = f.eng.buildReference(f.prompt(64), 6);
+    retrieval::H2ORetriever r(128, 8);
+    f.eng.runWithRetriever(ref, r);
+    const auto &st = r.state(0, 0);
+    double total = 0.0;
+    for (const auto &[p, m] : st.mass)
+        total += m;
+    // Each select call adds one softmax (mass 1) per step: layers *
+    // steps calls for head 0 of layer 0 -> ~steps masses.
+    EXPECT_GT(total, 4.0);
+}
+
+TEST(H2O, LosesMidContextNeedleUnderPressure)
+{
+    // The irreversibility argument of §3.1: once attention drifts, the
+    // heavy-hitter policy can evict a needle that a later query needs.
+    H2OFixture f;
+    workload::TaskGenerator gen(f.cfg.vocab, 55);
+    auto task = gen.triviaQa(256);
+    task.answer_steps = 8;
+    auto ref = workload::taskReference(f.eng, task);
+    retrieval::H2ORetriever tight(16, 4);
+    auto run = f.eng.runWithRetriever(ref, tight);
+    retrieval::H2ORetriever loose(128, 4);
+    auto run2 = f.eng.runWithRetriever(ref, loose);
+    const double recall_tight = workload::needleRecall(
+        run.step_selections, task.needle_positions);
+    const double recall_loose = workload::needleRecall(
+        run2.step_selections, task.needle_positions);
+    EXPECT_LE(recall_tight, recall_loose + 1e-9);
+}
+
+} // namespace
+} // namespace specontext

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests of KV cache storage, the Quest page index, and tier placement.
+ */
+#include <gtest/gtest.h>
+
+#include "kvcache/kv_cache.h"
+#include "kvcache/paged.h"
+#include "kvcache/tiered.h"
+#include "tensor/rng.h"
+
+namespace specontext {
+namespace {
+
+kv::LayerKVCache
+makeFilledCache(int64_t tokens, int64_t kv_heads = 2, int64_t hd = 4,
+                uint64_t seed = 5)
+{
+    kv::LayerKVCache c(kv_heads, hd, false, 0);
+    Rng rng(seed);
+    std::vector<float> k(kv_heads * hd), v(kv_heads * hd);
+    for (int64_t t = 0; t < tokens; ++t) {
+        for (auto &x : k)
+            x = rng.gaussian();
+        for (auto &x : v)
+            x = rng.gaussian();
+        c.append(k.data(), v.data());
+    }
+    return c;
+}
+
+TEST(LayerKVCache, AppendAndRetrieve)
+{
+    kv::LayerKVCache c(2, 4, false, 0);
+    std::vector<float> k = {1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<float> v = {9, 10, 11, 12, 13, 14, 15, 16};
+    c.append(k.data(), v.data());
+    EXPECT_EQ(c.size(), 1);
+    EXPECT_FLOAT_EQ(c.keyAt(0, 0)[0], 1.0f);
+    EXPECT_FLOAT_EQ(c.keyAt(0, 1)[0], 5.0f);
+    EXPECT_FLOAT_EQ(c.valueAt(0, 1)[3], 16.0f);
+}
+
+TEST(LayerKVCache, LatentModeStoresCVectors)
+{
+    kv::LayerKVCache c(4, 8, true, 6);
+    std::vector<float> latent = {1, 2, 3, 4, 5, 6};
+    c.append(latent.data(), nullptr);
+    EXPECT_EQ(c.kStride(), 6);
+    EXPECT_EQ(c.vStride(), 0);
+    EXPECT_FLOAT_EQ(c.latentAt(0)[5], 6.0f);
+}
+
+TEST(LayerKVCache, BytesFp16Accounting)
+{
+    kv::LayerKVCache c = makeFilledCache(10, 2, 4);
+    // 10 tokens * (8 K + 8 V floats) * 2 bytes.
+    EXPECT_EQ(c.bytesFp16(), 10 * 16 * 2);
+}
+
+TEST(LayerKVCache, ClearResets)
+{
+    kv::LayerKVCache c = makeFilledCache(5);
+    c.clear();
+    EXPECT_EQ(c.size(), 0);
+    EXPECT_EQ(c.bytesFp16(), 0);
+}
+
+TEST(KVCacheSet, PerLayerConsistency)
+{
+    auto cfg = model::tinyConfig(model::AttentionKind::GQA);
+    kv::KVCacheSet set(cfg);
+    EXPECT_EQ(set.layers(), cfg.layers);
+    EXPECT_EQ(set.sequenceLength(), 0);
+}
+
+TEST(KVCacheSet, MlaConfigMakesLatentCaches)
+{
+    auto cfg = model::tinyConfig(model::AttentionKind::MLA);
+    kv::KVCacheSet set(cfg);
+    EXPECT_TRUE(set.layer(0).latentMode());
+    EXPECT_EQ(set.layer(0).latentDim(), cfg.mla_latent_dim);
+}
+
+TEST(PagedKeyIndex, PageBoundsCoverExactly)
+{
+    auto cache = makeFilledCache(37, 2, 4);
+    kv::PagedKeyIndex idx(8);
+    idx.rebuild(cache, 37);
+    EXPECT_EQ(idx.pages(), 5); // ceil(37/8)
+    EXPECT_EQ(idx.summary(4, 0).begin, 32);
+    EXPECT_EQ(idx.summary(4, 0).end, 37);
+}
+
+TEST(PagedKeyIndex, MinMaxSummariesBoundKeys)
+{
+    auto cache = makeFilledCache(32, 2, 4);
+    kv::PagedKeyIndex idx(8);
+    idx.rebuild(cache, 32);
+    for (int64_t p = 0; p < idx.pages(); ++p) {
+        for (int64_t h = 0; h < 2; ++h) {
+            const auto &s = idx.summary(p, h);
+            for (int64_t pos = s.begin; pos < s.end; ++pos) {
+                const float *k = cache.keyAt(pos, h);
+                for (int64_t d = 0; d < 4; ++d) {
+                    EXPECT_LE(k[d], s.max_key[d]);
+                    EXPECT_GE(k[d], s.min_key[d]);
+                }
+            }
+        }
+    }
+}
+
+TEST(PagedKeyIndex, UpperBoundDominatesTrueScores)
+{
+    // Quest's page score must upper-bound every member key's score.
+    auto cache = makeFilledCache(64, 2, 4, 9);
+    kv::PagedKeyIndex idx(16);
+    idx.rebuild(cache, 64);
+    Rng rng(10);
+    std::vector<float> q(4);
+    for (int trial = 0; trial < 20; ++trial) {
+        for (auto &x : q)
+            x = rng.gaussian();
+        for (int64_t p = 0; p < idx.pages(); ++p) {
+            for (int64_t h = 0; h < 2; ++h) {
+                const float ub = idx.upperBoundScore(p, h, q.data());
+                const auto &s = idx.summary(p, h);
+                for (int64_t pos = s.begin; pos < s.end; ++pos) {
+                    float dot = 0.0f;
+                    const float *k = cache.keyAt(pos, h);
+                    for (int64_t d = 0; d < 4; ++d)
+                        dot += q[d] * k[d];
+                    EXPECT_GE(ub, dot - 1e-4);
+                }
+            }
+        }
+    }
+}
+
+TEST(PagedKeyIndex, RejectsLatentCaches)
+{
+    kv::LayerKVCache latent(4, 8, true, 6);
+    kv::PagedKeyIndex idx(8);
+    EXPECT_THROW(idx.rebuild(latent, 0), std::logic_error);
+}
+
+TEST(TierPlacement, StartsAllGpu)
+{
+    kv::TierPlacement p(8);
+    EXPECT_EQ(p.gpuLayers(), 8);
+    EXPECT_EQ(p.cpuLayers(), 0);
+}
+
+TEST(TierPlacement, OffloadDeepestFirst)
+{
+    // Algorithm 2 offloads the last layers first (31st, 32nd ... in
+    // the paper's Llama3-8B example).
+    kv::TierPlacement p(4);
+    EXPECT_EQ(p.offloadDeepestResident(), 3);
+    EXPECT_EQ(p.offloadDeepestResident(), 2);
+    EXPECT_EQ(p.gpuLayers(), 2);
+    EXPECT_TRUE(p.onGpu(0));
+    EXPECT_FALSE(p.onGpu(3));
+}
+
+TEST(TierPlacement, OffloadExhaustsAndReturnsMinusOne)
+{
+    kv::TierPlacement p(2);
+    p.offloadDeepestResident();
+    p.offloadDeepestResident();
+    EXPECT_EQ(p.offloadDeepestResident(), -1);
+}
+
+TEST(TierPlacement, SetAll)
+{
+    kv::TierPlacement p(3);
+    p.setAll(kv::Tier::CPU);
+    EXPECT_EQ(p.cpuLayers(), 3);
+}
+
+} // namespace
+} // namespace specontext

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests of the live generation engine: reference construction,
+ * teacher-forced fidelity semantics, and budget monotonicity sweeps.
+ */
+#include <gtest/gtest.h>
+
+#include "core/live_engine.h"
+#include "model/distiller.h"
+#include "retrieval/full_attention.h"
+#include "retrieval/quest.h"
+#include "retrieval/retrieval_head.h"
+
+namespace specontext {
+namespace {
+
+using model::AttentionKind;
+
+struct EngineFixture
+{
+    model::ModelConfig cfg = model::tinyConfig(AttentionKind::GQA);
+    model::Transformer llm = model::Transformer::randomInit(cfg, 42);
+    model::Transformer dlm = model::distill(llm, {1.0f, 7});
+    core::LiveEngine eng{llm};
+
+    std::vector<int32_t>
+    prompt(int64_t n, uint64_t seed = 99) const
+    {
+        Rng rng(seed);
+        std::vector<int32_t> p(n);
+        for (auto &t : p)
+            t = static_cast<int32_t>(2 + rng.uniformInt(cfg.vocab - 2));
+        return p;
+    }
+};
+
+TEST(LiveEngine, ReferenceShapes)
+{
+    EngineFixture f;
+    auto ref = f.eng.buildReference(f.prompt(32), 8);
+    EXPECT_EQ(ref.tokens.size(), 8u);
+    EXPECT_EQ(ref.logits.size(), 8u);
+    EXPECT_EQ(ref.logits[0].numel(), f.cfg.vocab);
+    EXPECT_TRUE(ref.attention.empty());
+}
+
+TEST(LiveEngine, ReferenceRecordsAttentionWhenAsked)
+{
+    EngineFixture f;
+    auto ref = f.eng.buildReference(f.prompt(16), 4, true);
+    ASSERT_EQ(ref.attention.size(), 4u);
+    EXPECT_EQ(static_cast<int64_t>(ref.attention[0].size()),
+              f.cfg.layers);
+}
+
+TEST(LiveEngine, FullAttentionRetrieverPerfectFidelity)
+{
+    // Running the "sparse" path with a full-attention selector must
+    // agree with the reference exactly.
+    EngineFixture f;
+    auto ref = f.eng.buildReference(f.prompt(32), 12);
+    retrieval::FullAttentionRetriever full;
+    auto run = f.eng.runWithRetriever(ref, full);
+    EXPECT_DOUBLE_EQ(run.top1_agreement, 1.0);
+    EXPECT_NEAR(run.mean_kl, 0.0, 1e-6);
+    // run.tokens[i] is greedy over the distribution after feeding
+    // ref.tokens[i] — i.e. the reference's *next* token.
+    for (size_t i = 0; i < run.tokens.size(); ++i)
+        EXPECT_EQ(run.tokens[i], f.llm.greedy(ref.logits[i]));
+}
+
+TEST(LiveEngine, HugeBudgetHeadMatchesFullAttention)
+{
+    // A retrieval-head budget covering the whole context is full
+    // attention in disguise.
+    EngineFixture f;
+    auto ref = f.eng.buildReference(f.prompt(24), 10);
+    retrieval::RetrievalHead head(f.dlm, {4096});
+    auto run = f.eng.runWithSpeContext(ref, head);
+    EXPECT_DOUBLE_EQ(run.top1_agreement, 1.0);
+    EXPECT_NEAR(run.mean_kl, 0.0, 1e-5);
+}
+
+TEST(LiveEngine, SelectionsRecordedPerStep)
+{
+    EngineFixture f;
+    auto ref = f.eng.buildReference(f.prompt(48), 6);
+    retrieval::RetrievalHead head(f.dlm, {16});
+    auto run = f.eng.runWithSpeContext(ref, head);
+    EXPECT_EQ(run.step_selections.size(), 6u);
+    EXPECT_EQ(run.step_overlap.size(), 5u);
+    EXPECT_EQ(run.reuse_history.size(), 6u);
+}
+
+TEST(LiveEngine, ElasticLoadsLessThanFullBudget)
+{
+    EngineFixture f;
+    auto ref = f.eng.buildReference(f.prompt(96), 16);
+    retrieval::RetrievalHead head(f.dlm, {32});
+    auto run = f.eng.runWithSpeContext(ref, head, true);
+    EXPECT_LT(run.tokens_loaded, run.tokens_full_budget);
+    EXPECT_GT(run.tokens_loaded, 0);
+}
+
+TEST(LiveEngine, NonElasticLoadsFullBudget)
+{
+    EngineFixture f;
+    auto ref = f.eng.buildReference(f.prompt(96), 8);
+    retrieval::RetrievalHead head(f.dlm, {32});
+    auto run = f.eng.runWithSpeContext(ref, head, false);
+    EXPECT_EQ(run.tokens_loaded, run.tokens_full_budget);
+}
+
+TEST(LiveEngine, FreeRunningGenerationLength)
+{
+    EngineFixture f;
+    auto out = f.eng.generate(f.prompt(16), 20);
+    EXPECT_EQ(out.size(), 20u);
+    for (int32_t t : out) {
+        EXPECT_GE(t, 0);
+        EXPECT_LT(t, f.cfg.vocab);
+    }
+}
+
+TEST(LiveEngine, FreeRunningStopsAtStopToken)
+{
+    EngineFixture f;
+    auto probe = f.eng.generate(f.prompt(16), 20);
+    // Use the 3rd emitted token as a stop token and confirm truncation.
+    const int32_t stop = probe[2];
+    auto out = f.eng.generate(f.prompt(16), 20, nullptr, stop);
+    EXPECT_EQ(out.size(), 3u);
+    EXPECT_EQ(out.back(), stop);
+}
+
+TEST(LiveEngine, FreeRunningWithHeadMatchesWhenBudgetHuge)
+{
+    EngineFixture f;
+    auto full = f.eng.generate(f.prompt(16), 12);
+    retrieval::RetrievalHead head(f.dlm, {4096});
+    auto sparse = f.eng.generate(f.prompt(16), 12, &head);
+    EXPECT_EQ(full, sparse);
+}
+
+/** Fidelity should improve (weakly) with budget — the Pareto premise. */
+class BudgetMonotonicity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BudgetMonotonicity, AgreementHigherAtQuadrupleBudget)
+{
+    const int64_t budget = GetParam();
+    EngineFixture f;
+    auto ref = f.eng.buildReference(f.prompt(192), 16);
+
+    retrieval::RetrievalHead small(f.dlm, {budget});
+    retrieval::RetrievalHead large(f.dlm, {budget * 4});
+    const auto rs = f.eng.runWithSpeContext(ref, small);
+    const auto rl = f.eng.runWithSpeContext(ref, large);
+    EXPECT_GE(rl.top1_agreement + 1e-9, rs.top1_agreement);
+    EXPECT_LE(rl.mean_kl, rs.mean_kl + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetMonotonicity,
+                         ::testing::Values(16, 32, 48));
+
+} // namespace
+} // namespace specontext

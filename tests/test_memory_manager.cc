@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests of the adaptive memory manager (paper Algorithm 2) and the
+ * static policies it is compared against.
+ */
+#include <gtest/gtest.h>
+
+#include "core/memory_manager.h"
+
+namespace specontext {
+namespace {
+
+sim::MemoryModel
+edgeModel()
+{
+    sim::MemoryModelInputs in;
+    in.llm = model::reasoningLlama32_1bGeometry();
+    in.dlm = model::dlmGeometryFor(in.llm);
+    in.requests = 1;
+    in.budget = 2048;
+    in.gpu_mem_bytes = 4LL << 30;
+    return sim::MemoryModel(in);
+}
+
+TEST(MemoryManager, AllGpuNeverOffloads)
+{
+    auto mm = edgeModel();
+    core::AdaptiveMemoryManager mgr(mm, core::OffloadPolicy::AllGpu);
+    kv::TierPlacement p(mm.inputs().llm.layers);
+    EXPECT_TRUE(mgr.onSequenceLength(1 << 20, p).empty());
+    EXPECT_EQ(p.cpuLayers(), 0);
+}
+
+TEST(MemoryManager, AllCpuOffloadsEverythingOnce)
+{
+    auto mm = edgeModel();
+    core::AdaptiveMemoryManager mgr(mm, core::OffloadPolicy::AllCpu);
+    kv::TierPlacement p(mm.inputs().llm.layers);
+    auto first = mgr.onSequenceLength(128, p);
+    EXPECT_EQ(static_cast<int64_t>(first.size()),
+              mm.inputs().llm.layers);
+    EXPECT_EQ(p.cpuLayers(), mm.inputs().llm.layers);
+    // Second call is a no-op.
+    EXPECT_TRUE(mgr.onSequenceLength(256, p).empty());
+}
+
+TEST(MemoryManager, AdaptiveKeepsAllResidentBelowFirstThreshold)
+{
+    auto mm = edgeModel();
+    core::AdaptiveMemoryManager mgr(mm, core::OffloadPolicy::Adaptive);
+    kv::TierPlacement p(mm.inputs().llm.layers);
+    const auto th = mgr.thresholds();
+    ASSERT_GT(th[0], 0);
+    EXPECT_TRUE(mgr.onSequenceLength(th[0] - 1, p).empty());
+    EXPECT_EQ(p.cpuLayers(), 0);
+}
+
+TEST(MemoryManager, AdaptiveOffloadsAtThresholdCrossing)
+{
+    // Algorithm 2 lines 4-7: crossing S_T[L_CPU] offloads exactly the
+    // deepest resident layer.
+    auto mm = edgeModel();
+    core::AdaptiveMemoryManager mgr(mm, core::OffloadPolicy::Adaptive);
+    kv::TierPlacement p(mm.inputs().llm.layers);
+    const auto th = mgr.thresholds();
+    auto offloaded = mgr.onSequenceLength(th[0], p);
+    ASSERT_FALSE(offloaded.empty());
+    EXPECT_EQ(offloaded.front(), mm.inputs().llm.layers - 1);
+}
+
+TEST(MemoryManager, AdaptiveProgressionIsMonotone)
+{
+    auto mm = edgeModel();
+    core::AdaptiveMemoryManager mgr(mm, core::OffloadPolicy::Adaptive);
+    kv::TierPlacement p(mm.inputs().llm.layers);
+    int64_t prev_cpu = 0;
+    for (int64_t s = 64; s < 2000000; s = s * 3 / 2) {
+        mgr.onSequenceLength(s, p);
+        EXPECT_GE(p.cpuLayers(), prev_cpu);
+        prev_cpu = p.cpuLayers();
+    }
+}
+
+TEST(MemoryManager, AdaptivePlacementAlwaysFits)
+{
+    // The invariant Eq. 8 optimizes: after every adjustment, the
+    // placement's Eq. 7 footprint fits in GPU memory.
+    auto mm = edgeModel();
+    core::AdaptiveMemoryManager mgr(mm, core::OffloadPolicy::Adaptive);
+    kv::TierPlacement p(mm.inputs().llm.layers);
+    for (int64_t s = 1024; s < 500000; s += 7919) {
+        mgr.onSequenceLength(s, p);
+        if (p.cpuLayers() < mm.inputs().llm.layers) {
+            EXPECT_LE(mm.mPartBytes(s, p.gpuLayers()),
+                      mm.inputs().gpu_mem_bytes)
+                << "at s=" << s;
+        }
+    }
+}
+
+TEST(MemoryManager, LargeStepOffloadsMultipleLayers)
+{
+    // A big jump in sequence length may cross several thresholds in a
+    // single call; the while-loop of Alg. 2 must drain them all.
+    auto mm = edgeModel();
+    core::AdaptiveMemoryManager mgr(mm, core::OffloadPolicy::Adaptive);
+    kv::TierPlacement p(mm.inputs().llm.layers);
+    const auto th = mgr.thresholds();
+    auto offloaded = mgr.onSequenceLength(th[3], p);
+    EXPECT_GE(static_cast<int64_t>(offloaded.size()), 4);
+}
+
+TEST(MemoryManager, AllGpuOverflowDetection)
+{
+    auto mm = edgeModel();
+    core::AdaptiveMemoryManager mgr(mm, core::OffloadPolicy::AllGpu);
+    EXPECT_FALSE(mgr.allGpuOverflows(64));
+    EXPECT_TRUE(mgr.allGpuOverflows(1 << 22));
+}
+
+TEST(MemoryManager, PolicyNames)
+{
+    EXPECT_STREQ(core::offloadPolicyName(core::OffloadPolicy::Adaptive),
+                 "Adaptive");
+    EXPECT_STREQ(core::offloadPolicyName(core::OffloadPolicy::AllGpu),
+                 "AllGpu");
+    EXPECT_STREQ(core::offloadPolicyName(core::OffloadPolicy::AllCpu),
+                 "AllCpu");
+}
+
+} // namespace
+} // namespace specontext

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests of the baseline retrievers (FullAttention, StreamingLLM,
+ * Quest, ClusterKV, ShadowKV): budget compliance, the retained-tail
+ * behaviour (Challenge-2), and algorithm-specific invariants.
+ */
+#include <gtest/gtest.h>
+
+#include "core/live_engine.h"
+#include "retrieval/cluster_kv.h"
+#include "retrieval/full_attention.h"
+#include "retrieval/quest.h"
+#include "retrieval/shadow_kv.h"
+#include "retrieval/streaming_llm.h"
+
+namespace specontext {
+namespace {
+
+using model::AttentionKind;
+
+struct Fixture
+{
+    model::ModelConfig cfg = model::tinyConfig(AttentionKind::GQA);
+    model::Transformer llm = model::Transformer::randomInit(cfg, 7);
+    kv::KVCacheSet cache{cfg};
+    int64_t prompt_len = 96;
+
+    Fixture()
+    {
+        Rng rng(21);
+        std::vector<int32_t> prompt;
+        for (int64_t i = 0; i < prompt_len; ++i)
+            prompt.push_back(
+                static_cast<int32_t>(2 + rng.uniformInt(cfg.vocab - 2)));
+        llm.prefill(prompt, cache);
+    }
+
+    Tensor
+    queryAt(int64_t layer)
+    {
+        Rng rng(5);
+        Tensor x = Tensor::randn({cfg.hidden}, rng);
+        return llm.projectQuery(layer, x, cache.sequenceLength());
+    }
+};
+
+TEST(FullAttentionRetriever, SelectsEverything)
+{
+    Fixture f;
+    retrieval::FullAttentionRetriever r;
+    auto sel = r.selectForLayer(0, f.queryAt(0), f.cache, f.prompt_len);
+    EXPECT_TRUE(sel.full());
+}
+
+TEST(StreamingLLM, KeepsSinksAndWindow)
+{
+    Fixture f;
+    retrieval::StreamingLLMRetriever r(16, 4);
+    r.onPrefillComplete(f.cache, f.prompt_len);
+    auto sel = r.selectForLayer(0, f.queryAt(0), f.cache, f.prompt_len);
+    ASSERT_EQ(static_cast<int64_t>(sel.per_head.size()), f.cfg.kv_heads);
+    const auto &keep = sel.per_head[0];
+    ASSERT_EQ(static_cast<int64_t>(keep.size()), 16);
+    // Sinks: first 4 positions.
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(keep[i], i);
+    // Window: last 12 positions.
+    EXPECT_EQ(keep.back(), f.prompt_len - 1);
+    EXPECT_EQ(keep[4], f.prompt_len - 12);
+}
+
+TEST(StreamingLLM, ShortContextKeepsAll)
+{
+    Fixture f;
+    retrieval::StreamingLLMRetriever r(256, 4);
+    auto sel = r.selectForLayer(0, f.queryAt(0), f.cache, 32);
+    EXPECT_EQ(sel.per_head[0].size(), 32u);
+}
+
+TEST(StreamingLLM, InputAgnostic)
+{
+    // Permanent eviction ignores the query (§3.1).
+    Fixture f;
+    retrieval::StreamingLLMRetriever r(16, 4);
+    auto s1 = r.selectForLayer(0, f.queryAt(0), f.cache, f.prompt_len);
+    auto s2 = r.selectForLayer(0, f.queryAt(1), f.cache, f.prompt_len);
+    EXPECT_EQ(s1.per_head[0], s2.per_head[0]);
+}
+
+class BaselineBudgetSweep : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(BaselineBudgetSweep, QuestRespectsBudgetOnPrompt)
+{
+    Fixture f;
+    const int64_t budget = GetParam();
+    retrieval::QuestRetriever r(budget, 8);
+    r.onPrefillComplete(f.cache, f.prompt_len);
+    auto sel = r.selectForLayer(0, f.queryAt(0), f.cache, f.prompt_len);
+    for (const auto &head : sel.per_head) {
+        // Page granularity may exceed the budget by at most one page.
+        EXPECT_LE(static_cast<int64_t>(head.size()), budget + 8);
+        EXPECT_TRUE(std::is_sorted(head.begin(), head.end()));
+    }
+}
+
+TEST_P(BaselineBudgetSweep, ShadowKvExactBudgetOnPrompt)
+{
+    Fixture f;
+    const int64_t budget = GetParam();
+    retrieval::ShadowKVRetriever r(budget);
+    r.onPrefillComplete(f.cache, f.prompt_len);
+    auto sel = r.selectForLayer(0, f.queryAt(0), f.cache, f.prompt_len);
+    for (const auto &head : sel.per_head) {
+        EXPECT_EQ(static_cast<int64_t>(head.size()),
+                  std::min(budget, f.prompt_len));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BaselineBudgetSweep,
+                         ::testing::Values(8, 16, 32, 64));
+
+TEST(Quest, RetainsNewTokensInFull)
+{
+    // Challenge-2: positions past the prompt are always selected.
+    Fixture f;
+    retrieval::QuestRetriever r(16, 8);
+    r.onPrefillComplete(f.cache, f.prompt_len);
+    const int64_t ctx = f.prompt_len + 10; // 10 generated tokens
+    auto sel = r.selectForLayer(0, f.queryAt(0), f.cache, ctx);
+    for (const auto &head : sel.per_head) {
+        for (int64_t p = f.prompt_len; p < ctx; ++p) {
+            EXPECT_TRUE(std::binary_search(head.begin(), head.end(), p))
+                << "generated position " << p << " missing";
+        }
+    }
+}
+
+TEST(Quest, SelectsWholePages)
+{
+    Fixture f;
+    retrieval::QuestRetriever r(16, 8);
+    r.onPrefillComplete(f.cache, f.prompt_len);
+    auto sel = r.selectForLayer(0, f.queryAt(0), f.cache, f.prompt_len);
+    // Positions come in aligned runs of the page size.
+    const auto &head = sel.per_head[0];
+    for (size_t i = 0; i < head.size(); i += 8) {
+        EXPECT_EQ(head[i] % 8, 0);
+        for (size_t j = 1; j < 8 && i + j < head.size(); ++j)
+            EXPECT_EQ(head[i + j], head[i] + static_cast<int64_t>(j));
+    }
+}
+
+TEST(ClusterKV, ClustersPartitionPrompt)
+{
+    Fixture f;
+    retrieval::ClusterKVRetriever r(32, 8, 3);
+    r.onPrefillComplete(f.cache, f.prompt_len);
+    for (int64_t l = 0; l < f.cfg.layers; ++l) {
+        for (int64_t h = 0; h < f.cfg.kv_heads; ++h) {
+            const auto &kc = r.clusters(l, h);
+            int64_t members = 0;
+            std::vector<bool> seen(f.prompt_len, false);
+            for (const auto &m : kc.members) {
+                for (int64_t p : m) {
+                    EXPECT_FALSE(seen[p]) << "position in two clusters";
+                    seen[p] = true;
+                    ++members;
+                }
+            }
+            EXPECT_EQ(members, f.prompt_len);
+        }
+    }
+}
+
+TEST(ClusterKV, PreprocessingFlopsAccounted)
+{
+    Fixture f;
+    retrieval::ClusterKVRetriever r(32, 8, 3);
+    r.onPrefillComplete(f.cache, f.prompt_len);
+    EXPECT_GT(r.preprocessFlops(), 0.0);
+}
+
+TEST(ClusterKV, RecallsWholeClusters)
+{
+    Fixture f;
+    retrieval::ClusterKVRetriever r(24, 8, 3);
+    r.onPrefillComplete(f.cache, f.prompt_len);
+    auto sel = r.selectForLayer(0, f.queryAt(0), f.cache, f.prompt_len);
+    // Every selected prompt position's whole cluster must be present.
+    const auto &head = sel.per_head[0];
+    const auto &kc = r.clusters(0, 0);
+    for (int64_t c = 0; c < kc.count(); ++c) {
+        const auto &m = kc.members[c];
+        if (m.empty())
+            continue;
+        const bool first = std::binary_search(head.begin(), head.end(),
+                                              m.front());
+        for (int64_t p : m) {
+            EXPECT_EQ(std::binary_search(head.begin(), head.end(), p),
+                      first);
+        }
+    }
+}
+
+TEST(ShadowKV, QuantizationBoundedError)
+{
+    Fixture f;
+    retrieval::ShadowKVRetriever r(32);
+    r.onPrefillComplete(f.cache, f.prompt_len);
+    const double err = r.meanQuantError(f.cache);
+    EXPECT_GT(err, 0.0);   // lossy
+    EXPECT_LT(err, 0.15);  // but small for int4 symmetric
+}
+
+TEST(ShadowKV, QuantizedValuesInRange)
+{
+    Fixture f;
+    retrieval::ShadowKVRetriever r(32);
+    r.onPrefillComplete(f.cache, f.prompt_len);
+    const auto &qk = r.quantized(0, 0);
+    for (int8_t v : qk.q) {
+        EXPECT_GE(v, -7);
+        EXPECT_LE(v, 7);
+    }
+}
+
+TEST(ShadowKV, QuantizedScoresTrackExactScores)
+{
+    Fixture f;
+    retrieval::ShadowKVRetriever r(32);
+    r.onPrefillComplete(f.cache, f.prompt_len);
+    const auto &qk = r.quantized(0, 0);
+    Rng rng(33);
+    std::vector<float> q(f.cfg.head_dim);
+    for (auto &x : q)
+        x = rng.gaussian();
+    for (int64_t p = 0; p < 16; ++p) {
+        float exact = 0.0f;
+        const float *key = f.cache.layer(0).keyAt(p, 0);
+        for (int64_t d = 0; d < f.cfg.head_dim; ++d)
+            exact += q[d] * key[d];
+        EXPECT_NEAR(qk.score(q.data(), p), exact,
+                    0.35f * f.cfg.head_dim * 0.15f + 0.5f);
+    }
+}
+
+TEST(Baselines, StatsAccumulate)
+{
+    Fixture f;
+    retrieval::ShadowKVRetriever r(16);
+    r.onPrefillComplete(f.cache, f.prompt_len);
+    r.selectForLayer(0, f.queryAt(0), f.cache, f.prompt_len);
+    r.selectForLayer(1, f.queryAt(1), f.cache, f.prompt_len);
+    EXPECT_EQ(r.stats().select_calls, 2);
+    EXPECT_GT(r.stats().score_flops, 0.0);
+    r.resetStats();
+    EXPECT_EQ(r.stats().select_calls, 0);
+}
+
+} // namespace
+} // namespace specontext

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests of the serving layer: workload presets, batch sweeps with OOM
+ * handling, and wave scheduling.
+ */
+#include <gtest/gtest.h>
+
+#include "serving/scheduler.h"
+
+namespace specontext {
+namespace {
+
+using core::SystemKind;
+using core::TimingConfig;
+using core::TimingEngine;
+
+TimingConfig
+base(SystemKind sys)
+{
+    TimingConfig c;
+    c.llm = model::deepseekDistillLlama8bGeometry();
+    c.hw = sim::HardwareSpec::cloudA800();
+    c.system = sys;
+    c.prompt_len = 2048;
+    c.gen_len = 4096;
+    c.budget = 2048;
+    return c;
+}
+
+TEST(Serving, PaperWorkloadsMatchTable3)
+{
+    const auto w = serving::paperWorkloads();
+    ASSERT_EQ(w.size(), 4u);
+    EXPECT_EQ(w[0].prompt_len, 2048);
+    EXPECT_EQ(w[0].gen_len, 16384);
+    EXPECT_EQ(w[3].label(), "[32k, 2k]");
+}
+
+TEST(Serving, SweepPicksFeasibleBest)
+{
+    TimingEngine e;
+    auto sweep = serving::sweepBatches(e, base(SystemKind::FlashInfer),
+                                       {1, 4, 8});
+    ASSERT_TRUE(sweep.feasible());
+    ASSERT_EQ(sweep.points.size(), 3u);
+    const auto &best = sweep.bestPoint();
+    for (const auto &p : sweep.points) {
+        if (!p.result.oom) {
+            EXPECT_LE(p.result.throughput, best.result.throughput);
+        }
+    }
+}
+
+TEST(Serving, ThroughputGrowsWithBatchForFullAttention)
+{
+    // Weight streaming amortizes across the batch.
+    TimingEngine e;
+    auto sweep = serving::sweepBatches(e, base(SystemKind::FlashInfer),
+                                       {1, 8});
+    ASSERT_TRUE(sweep.feasible());
+    EXPECT_GT(sweep.points[1].result.throughput,
+              sweep.points[0].result.throughput);
+}
+
+TEST(Serving, SweepAllOomReportsInfeasible)
+{
+    TimingEngine e;
+    auto cfg = base(SystemKind::Quest);
+    auto sweep = serving::sweepBatches(e, cfg, {2, 4, 8});
+    EXPECT_FALSE(sweep.feasible()); // Quest is single-request only
+}
+
+TEST(Serving, SpeContextSupportsLargerBatchesThanFullAttention)
+{
+    // OOM boundary comparison on a long-generation workload: sparse
+    // KV residency admits more concurrent requests.
+    TimingEngine e;
+    auto fa = base(SystemKind::FlashInfer);
+    fa.gen_len = 32768;
+    fa.prompt_len = 2048;
+    auto ours = fa;
+    ours.system = SystemKind::SpeContext;
+
+    const auto batches = std::vector<int64_t>{16, 32, 64, 128, 256};
+    auto s_fa = serving::sweepBatches(e, fa, batches);
+    auto s_ours = serving::sweepBatches(e, ours, batches);
+
+    int64_t max_fa = 0, max_ours = 0;
+    for (const auto &p : s_fa.points)
+        if (!p.result.oom)
+            max_fa = std::max(max_fa, p.batch);
+    for (const auto &p : s_ours.points)
+        if (!p.result.oom)
+            max_ours = std::max(max_ours, p.batch);
+    EXPECT_GT(max_ours, max_fa);
+}
+
+TEST(Serving, WaveThroughputMatchesSingleWave)
+{
+    TimingEngine e;
+    auto cfg = base(SystemKind::FlashInfer);
+    const double one_wave = serving::waveThroughput(e, cfg, 8, 8);
+    cfg.batch = 8;
+    const auto direct = e.simulate(cfg);
+    EXPECT_NEAR(one_wave,
+                8.0 * cfg.gen_len /
+                    (direct.prefill_seconds + direct.decode_seconds),
+                1e-6);
+}
+
+TEST(Serving, MultiWaveSlowerThanBiggerBatch)
+{
+    TimingEngine e;
+    auto cfg = base(SystemKind::FlashInfer);
+    const double two_waves = serving::waveThroughput(e, cfg, 16, 8);
+    const double one_wave = serving::waveThroughput(e, cfg, 16, 16);
+    EXPECT_GT(one_wave, two_waves);
+}
+
+TEST(Serving, WaveThroughputValidatesInputs)
+{
+    TimingEngine e;
+    EXPECT_THROW(serving::waveThroughput(e, base(SystemKind::FlashInfer),
+                                         0, 4),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace specontext

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests of the speculative-decoding extension: losslessness of greedy
+ * draft-and-verify, acceptance-rate behaviour vs distillation quality,
+ * cache rollback, and composition with the retrieval head.
+ */
+#include <gtest/gtest.h>
+
+#include "core/live_engine.h"
+#include "core/speculative.h"
+#include "model/distiller.h"
+
+namespace specontext {
+namespace {
+
+struct SpecFixture
+{
+    model::ModelConfig cfg = model::tinyConfig(model::AttentionKind::GQA);
+    model::Transformer llm = model::Transformer::randomInit(cfg, 42);
+    model::Transformer dlm = model::distill(llm, {1.0f, 7});
+    core::LiveEngine eng{llm};
+
+    std::vector<int32_t>
+    prompt(int64_t n, uint64_t seed = 5) const
+    {
+        Rng rng(seed);
+        std::vector<int32_t> p(n);
+        for (auto &t : p)
+            t = static_cast<int32_t>(2 + rng.uniformInt(cfg.vocab - 2));
+        return p;
+    }
+};
+
+TEST(KVCacheTruncate, DropsTailOnly)
+{
+    auto cfg = model::tinyConfig(model::AttentionKind::GQA);
+    kv::KVCacheSet cache(cfg);
+    auto llm = model::Transformer::randomInit(cfg, 1);
+    llm.prefill({5, 6, 7, 8, 9}, cache);
+    const float k0 = cache.layer(0).keyAt(1, 0)[0];
+    cache.truncate(3);
+    EXPECT_EQ(cache.sequenceLength(), 3);
+    EXPECT_EQ(cache.layer(0).keyAt(1, 0)[0], k0); // prefix untouched
+    cache.truncate(10); // no-op
+    EXPECT_EQ(cache.sequenceLength(), 3);
+}
+
+TEST(KVCacheTruncate, RegeneratesIdenticalContinuation)
+{
+    // Truncate-then-refeed must be equivalent to never having fed the
+    // dropped tokens — the property speculative rollback relies on.
+    auto cfg = model::tinyConfig(model::AttentionKind::GQA);
+    auto llm = model::Transformer::randomInit(cfg, 2);
+
+    kv::KVCacheSet a(cfg), b(cfg);
+    llm.prefill({5, 6, 7}, a);
+    llm.decodeStep(9, a);
+    llm.decodeStep(10, a);
+    a.truncate(3);
+    Tensor la = llm.decodeStep(11, a);
+
+    llm.prefill({5, 6, 7}, b);
+    Tensor lb = llm.decodeStep(11, b);
+    for (int64_t i = 0; i < la.numel(); ++i)
+        EXPECT_EQ(la.data()[i], lb.data()[i]);
+}
+
+TEST(Speculative, LosslessVsGreedy)
+{
+    // With budget 0, speculative output must equal plain greedy
+    // decoding token for token, whatever the acceptance rate.
+    SpecFixture f;
+    const auto p = f.prompt(32);
+    const auto greedy = f.eng.generate(p, 24);
+    core::SpeculativeDecoder dec(f.llm, f.dlm, {4, 0});
+    const auto spec = dec.generate(p, 24);
+    EXPECT_EQ(spec.tokens, greedy);
+}
+
+TEST(Speculative, LosslessAcrossDraftLengths)
+{
+    SpecFixture f;
+    const auto p = f.prompt(24, 9);
+    const auto greedy = f.eng.generate(p, 20);
+    for (int64_t k : {1, 2, 3, 6, 8}) {
+        core::SpeculativeDecoder dec(f.llm, f.dlm, {k, 0});
+        EXPECT_EQ(dec.generate(p, 20).tokens, greedy)
+            << "draft_len " << k;
+    }
+}
+
+TEST(Speculative, AcceptanceRateWithinBounds)
+{
+    SpecFixture f;
+    core::SpeculativeDecoder dec(f.llm, f.dlm, {4, 0});
+    const auto r = dec.generate(f.prompt(32), 32);
+    EXPECT_GE(r.acceptanceRate(), 0.0);
+    EXPECT_LE(r.acceptanceRate(), 1.0);
+    EXPECT_GE(r.tokensPerRound(), 1.0); // every round emits >= 1 token
+    EXPECT_EQ(r.tokens.size(), 32u);
+}
+
+TEST(Speculative, BetterDlmAcceptsMore)
+{
+    // The §3.2 alignment claim seen through drafting: a higher-quality
+    // distillation should agree with the teacher more often.
+    SpecFixture f;
+    const auto p = f.prompt(48, 21);
+    auto rate = [&](float quality) {
+        auto dlm = model::distill(f.llm, {quality, 7});
+        core::SpeculativeDecoder dec(f.llm, dlm, {4, 0});
+        return dec.generate(p, 48).acceptanceRate();
+    };
+    EXPECT_GE(rate(1.0f) + 1e-9, rate(0.0f));
+}
+
+TEST(Speculative, ComposesWithRetrievalHead)
+{
+    SpecFixture f;
+    core::SpeculativeDecoder dec(f.llm, f.dlm, {4, 4096});
+    const auto r = dec.generate(f.prompt(40), 16);
+    EXPECT_EQ(r.tokens.size(), 16u);
+    // Huge budget == full attention: still lossless vs greedy.
+    EXPECT_EQ(r.tokens, f.eng.generate(f.prompt(40), 16));
+}
+
+TEST(Speculative, SparseVerificationRuns)
+{
+    SpecFixture f;
+    core::SpeculativeDecoder dec(f.llm, f.dlm, {3, 24});
+    const auto r = dec.generate(f.prompt(64), 20);
+    EXPECT_EQ(r.tokens.size(), 20u);
+    EXPECT_GT(r.drafted, 0);
+}
+
+TEST(Speculative, RejectsBadOptions)
+{
+    SpecFixture f;
+    EXPECT_THROW(core::SpeculativeDecoder(f.llm, f.dlm, {0, 0}),
+                 std::invalid_argument);
+}
+
+TEST(RetrievalHeadTruncate, RollbackMatchesFreshObserve)
+{
+    SpecFixture f;
+    retrieval::RetrievalHead h1(f.dlm, {16}), h2(f.dlm, {16});
+    const auto p = f.prompt(20, 31);
+    h1.observe(p);
+    h1.observe(5);
+    h1.observe(6);
+    h1.truncateTo(20);
+    h2.observe(p);
+    EXPECT_EQ(h1.cachedTokens(), h2.cachedTokens());
+    EXPECT_EQ(h1.step(9).per_head, h2.step(9).per_head);
+}
+
+} // namespace
+} // namespace specontext

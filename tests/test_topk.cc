@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests of Top-K selection and sorted-set utilities, including
+ * property-style parameterized sweeps over sizes — these primitives
+ * carry the elastic-loading arithmetic of Section 5.4.
+ */
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "tensor/rng.h"
+#include "tensor/topk.h"
+
+namespace specontext {
+namespace {
+
+TEST(TopK, SelectsLargest)
+{
+    std::vector<float> s = {0.1f, 5.0f, 3.0f, 4.0f};
+    auto idx = topkIndices(s, 2);
+    ASSERT_EQ(idx.size(), 2u);
+    EXPECT_EQ(idx[0], 1);
+    EXPECT_EQ(idx[1], 3);
+}
+
+TEST(TopK, ResultsSortedByIndex)
+{
+    std::vector<float> s = {9, 1, 8, 2, 7};
+    auto idx = topkIndices(s, 3);
+    EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
+}
+
+TEST(TopK, KLargerThanNReturnsAll)
+{
+    std::vector<float> s = {1, 2};
+    EXPECT_EQ(topkIndices(s, 10).size(), 2u);
+}
+
+TEST(TopK, KZeroReturnsEmpty)
+{
+    std::vector<float> s = {1, 2};
+    EXPECT_TRUE(topkIndices(s, 0).empty());
+}
+
+TEST(TopK, TieBreaksTowardLowerIndex)
+{
+    std::vector<float> s = {1, 1, 1, 1};
+    auto idx = topkIndices(s, 2);
+    EXPECT_EQ(idx[0], 0);
+    EXPECT_EQ(idx[1], 1);
+}
+
+TEST(SortedSets, DifferenceBasic)
+{
+    std::vector<int64_t> a = {1, 2, 3, 5};
+    std::vector<int64_t> b = {2, 5, 9};
+    auto d = sortedDifference(a, b);
+    EXPECT_EQ(d, (std::vector<int64_t>{1, 3}));
+}
+
+TEST(SortedSets, IntersectionBasic)
+{
+    std::vector<int64_t> a = {1, 2, 3, 5};
+    std::vector<int64_t> b = {2, 5, 9};
+    auto i = sortedIntersection(a, b);
+    EXPECT_EQ(i, (std::vector<int64_t>{2, 5}));
+}
+
+TEST(SortedSets, JaccardIdentitiesAndBounds)
+{
+    std::vector<int64_t> a = {1, 2, 3};
+    EXPECT_DOUBLE_EQ(jaccard(a, a), 1.0);
+    EXPECT_DOUBLE_EQ(jaccard(a, {}), 0.0);
+    EXPECT_DOUBLE_EQ(jaccard({}, {}), 1.0);
+}
+
+TEST(SortedSets, OverlapRateDefinition)
+{
+    std::vector<int64_t> prev = {1, 2, 3, 4};
+    std::vector<int64_t> now = {3, 4, 5, 6};
+    EXPECT_DOUBLE_EQ(overlapRate(prev, now), 0.5);
+    EXPECT_DOUBLE_EQ(overlapRate(prev, {}), 1.0);
+}
+
+/**
+ * Elastic-loading identity of §5.4: with a fixed budget,
+ * |S_last − S_now| == |S_now − S_last|, and reuse + load == |S_now|.
+ */
+class ElasticSetProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ElasticSetProperty, DiffSizesBalanceUnderFixedBudget)
+{
+    const int budget = GetParam();
+    Rng rng(1000 + budget);
+    const int64_t universe = 4 * budget;
+
+    auto sample = [&]() {
+        std::vector<float> scores(universe);
+        for (auto &v : scores)
+            v = static_cast<float>(rng.uniform());
+        return topkIndices(scores, budget);
+    };
+    const auto s_last = sample();
+    const auto s_now = sample();
+    ASSERT_EQ(s_last.size(), static_cast<size_t>(budget));
+    ASSERT_EQ(s_now.size(), static_cast<size_t>(budget));
+
+    const auto load = sortedDifference(s_now, s_last);
+    const auto evict = sortedDifference(s_last, s_now);
+    const auto reuse = sortedIntersection(s_now, s_last);
+    EXPECT_EQ(load.size(), evict.size());
+    EXPECT_EQ(load.size() + reuse.size(), s_now.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, ElasticSetProperty,
+                         ::testing::Values(4, 16, 64, 256, 1024));
+
+/** Top-K output must exactly match a sort-based oracle. */
+class TopKOracle : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(TopKOracle, MatchesSortOracle)
+{
+    const auto [n, k] = GetParam();
+    Rng rng(77 + n * 31 + k);
+    std::vector<float> scores(n);
+    for (auto &v : scores)
+        v = static_cast<float>(rng.uniform());
+
+    auto fast = topkIndices(scores, k);
+
+    std::vector<int64_t> oracle(n);
+    for (int i = 0; i < n; ++i)
+        oracle[i] = i;
+    std::sort(oracle.begin(), oracle.end(), [&](int64_t a, int64_t b) {
+        if (scores[a] != scores[b])
+            return scores[a] > scores[b];
+        return a < b;
+    });
+    oracle.resize(std::min<int64_t>(k, n));
+    std::sort(oracle.begin(), oracle.end());
+    EXPECT_EQ(fast, oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TopKOracle,
+    ::testing::Values(std::pair{10, 3}, std::pair{100, 10},
+                      std::pair{1000, 100}, std::pair{257, 256},
+                      std::pair{64, 64}, std::pair{5, 1}));
+
+} // namespace
+} // namespace specontext

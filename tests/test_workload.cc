@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests of workload generation, metrics, and the LongWriter proxy
+ * scoring.
+ */
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "model/distiller.h"
+#include "retrieval/full_attention.h"
+#include "retrieval/retrieval_head.h"
+#include "workload/longwriter.h"
+#include "workload/metrics.h"
+#include "workload/tasks.h"
+
+namespace specontext {
+namespace {
+
+TEST(Tasks, GeneratorsProduceValidPrompts)
+{
+    workload::TaskGenerator gen(256, 5);
+    for (auto &t : gen.all(192)) {
+        EXPECT_GE(t.prompt.size(), 192u);
+        EXPECT_FALSE(t.needle_positions.empty());
+        for (int64_t p : t.needle_positions) {
+            EXPECT_GE(p, 0);
+            EXPECT_LT(p, static_cast<int64_t>(t.prompt.size()));
+        }
+        for (int32_t tok : t.prompt) {
+            EXPECT_GE(tok, 2);
+            EXPECT_LT(tok, 256);
+        }
+    }
+}
+
+TEST(Tasks, NeedleTokensActuallyPlanted)
+{
+    workload::TaskGenerator gen(256, 6);
+    auto t = gen.triviaQa(128);
+    // The question repeats the fact's first key token.
+    const int32_t key = t.prompt[t.needle_positions[0]];
+    EXPECT_EQ(t.prompt[t.prompt.size() - 1], key);
+}
+
+TEST(Tasks, PassageCountPlantsExpectedCopies)
+{
+    workload::TaskGenerator gen(512, 7);
+    auto t = gen.passageCount(256);
+    EXPECT_GE(t.expected_count, 3);
+    EXPECT_EQ(static_cast<int64_t>(t.needle_positions.size()),
+              3 * t.expected_count);
+}
+
+TEST(Tasks, DeterministicAcrossGenerators)
+{
+    workload::TaskGenerator g1(256, 9), g2(256, 9);
+    EXPECT_EQ(g1.twoWikiMqa(128).prompt, g2.twoWikiMqa(128).prompt);
+}
+
+TEST(Tasks, DifferentSeedsDiffer)
+{
+    workload::TaskGenerator g1(256, 1), g2(256, 2);
+    EXPECT_NE(g1.triviaQa(128).prompt, g2.triviaQa(128).prompt);
+}
+
+TEST(Metrics, TrueTopKShapes)
+{
+    std::vector<Tensor> attn;
+    Tensor a = Tensor::zeros({4, 10});
+    a.at(0, 3) = 0.9f;
+    a.at(1, 3) = 0.8f;
+    a.at(2, 5) = 0.9f;
+    a.at(3, 5) = 0.8f;
+    attn.push_back(a);
+    auto truth = workload::trueTopKPerHead(attn, 2, 1);
+    ASSERT_EQ(truth.size(), 2u);
+    EXPECT_EQ(truth[0], (std::vector<int64_t>{3}));
+    EXPECT_EQ(truth[1], (std::vector<int64_t>{5}));
+}
+
+TEST(Metrics, HitRateFullCoverageIsOne)
+{
+    model::LayerSelection sel;
+    sel.per_head = {{1, 2, 3}, {4, 5, 6}};
+    std::vector<std::vector<int64_t>> truth = {{2, 3}, {4, 6}};
+    EXPECT_DOUBLE_EQ(workload::hitRate(sel, truth), 1.0);
+}
+
+TEST(Metrics, HitRatePartial)
+{
+    model::LayerSelection sel;
+    sel.per_head = {{1, 2}};
+    std::vector<std::vector<int64_t>> truth = {{2, 9}};
+    EXPECT_DOUBLE_EQ(workload::hitRate(sel, truth), 0.5);
+}
+
+TEST(Metrics, HitRateHeadMismatchThrows)
+{
+    model::LayerSelection sel;
+    sel.per_head = {{1}};
+    std::vector<std::vector<int64_t>> truth = {{1}, {2}};
+    EXPECT_THROW(workload::hitRate(sel, truth), std::invalid_argument);
+}
+
+TEST(Metrics, AttentionRecallBounds)
+{
+    std::vector<Tensor> attn;
+    Tensor a = Tensor::full({2, 4}, 0.25f);
+    attn.push_back(a);
+    model::LayerSelection all;
+    all.per_head = {{0, 1, 2, 3}, {0, 1, 2, 3}};
+    EXPECT_NEAR(workload::attentionRecall(all, attn, 1), 1.0, 1e-6);
+    model::LayerSelection half;
+    half.per_head = {{0, 1}, {0, 1}};
+    EXPECT_NEAR(workload::attentionRecall(half, attn, 1), 0.5, 1e-6);
+}
+
+TEST(Metrics, NeedleRecallEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(workload::needleRecall({}, {1, 2}), 1.0);
+    model::LayerSelection sel;
+    sel.per_head = {{1, 2, 3}};
+    EXPECT_DOUBLE_EQ(workload::needleRecall({sel}, {}), 1.0);
+    EXPECT_DOUBLE_EQ(workload::needleRecall({sel}, {2, 9}), 0.5);
+}
+
+TEST(TaskScoring, FullAttentionScoresHundred)
+{
+    auto cfg = model::tinyConfig(model::AttentionKind::GQA);
+    auto llm = model::Transformer::randomInit(cfg, 42);
+    core::LiveEngine eng(llm);
+    workload::TaskGenerator gen(cfg.vocab, 11);
+    auto task = gen.triviaQa(96);
+    task.answer_steps = 8;
+    auto ref = workload::taskReference(eng, task);
+    retrieval::FullAttentionRetriever full;
+    auto run = eng.runWithRetriever(ref, full);
+    const auto s = workload::scoreTask(task, run);
+    EXPECT_DOUBLE_EQ(s.answer_agreement, 1.0);
+    // Full attention selects everything -> needle recall 1.
+    EXPECT_NEAR(s.score, 100.0, 1e-6);
+}
+
+TEST(TaskScoring, SparseScoreBetweenZeroAndHundred)
+{
+    auto cfg = model::tinyConfig(model::AttentionKind::GQA);
+    auto llm = model::Transformer::randomInit(cfg, 42);
+    auto dlm = model::distill(llm, {1.0f, 7});
+    core::LiveEngine eng(llm);
+    workload::TaskGenerator gen(cfg.vocab, 12);
+    auto task = gen.hotpotQa(128);
+    task.answer_steps = 8;
+    auto ref = workload::taskReference(eng, task);
+    retrieval::RetrievalHead head(dlm, {32});
+    auto run = eng.runWithSpeContext(ref, head);
+    const auto s = workload::scoreTask(task, run);
+    EXPECT_GE(s.score, 0.0);
+    EXPECT_LE(s.score, 100.0);
+}
+
+TEST(LongWriter, TaskConstruction)
+{
+    auto t = workload::makeLongWriterTask(256, 3);
+    EXPECT_EQ(t.prompt.size(), 96u);
+    EXPECT_EQ(t.plan_keywords.size(), 6u);
+    // Keywords appear in the prompt.
+    for (int32_t k : t.plan_keywords) {
+        EXPECT_NE(std::find(t.prompt.begin(), t.prompt.end(), k),
+                  t.prompt.end());
+    }
+}
+
+TEST(LongWriter, FullAttentionRowScoresNearFive)
+{
+    auto t = workload::makeLongWriterTask(256, 3);
+    std::vector<int32_t> out;
+    for (int i = 0; i < 64; ++i)
+        out.push_back(t.plan_keywords[i % t.plan_keywords.size()] + i % 7);
+    // Scoring full output against itself with no forced metrics.
+    const auto s = workload::scoreLongWriter(t, out, out, nullptr);
+    EXPECT_NEAR(s.accuracy, 5.0, 1e-9);
+    EXPECT_NEAR(s.coherence, 5.0, 1e-9);
+    EXPECT_NEAR(s.reading_experience, 5.0, 1e-9);
+    EXPECT_LE(s.average, 5.0);
+}
+
+TEST(LongWriter, DegenerateRepetitionPenalized)
+{
+    auto t = workload::makeLongWriterTask(256, 4);
+    std::vector<int32_t> good, bad;
+    for (int i = 0; i < 60; ++i) {
+        good.push_back(2 + (i * 37) % 200);
+        bad.push_back(5); // constant loop
+    }
+    const auto sg = workload::scoreLongWriter(t, good, good, nullptr);
+    const auto sb = workload::scoreLongWriter(t, good, bad, nullptr);
+    EXPECT_GT(sg.clarity, sb.clarity);
+    EXPECT_GT(sg.breadth_depth, sb.breadth_depth);
+}
+
+TEST(LongWriter, ForcedMetricsPropagate)
+{
+    auto t = workload::makeLongWriterTask(256, 5);
+    std::vector<int32_t> out(32, 7);
+    core::LiveGenResult forced;
+    forced.top1_agreement = 0.8;
+    forced.mean_kl = 0.1;
+    const auto s = workload::scoreLongWriter(t, out, out, &forced);
+    EXPECT_NEAR(s.accuracy, 4.0, 1e-9);
+    EXPECT_LT(s.reading_experience, 5.0);
+}
+
+} // namespace
+} // namespace specontext
