@@ -8,14 +8,21 @@ namespace core {
 
 namespace {
 
-/** 1.3x weight bytes (runtime buffer rule of Eq. 6). */
+/** Shorthand for the shared runtime-buffer rule. */
 int64_t
 weightFootprint(const model::ModelConfig &m)
 {
-    return static_cast<int64_t>(1.3 * m.parameterBytesFp16());
+    return TimingEngine::weightFootprintBytes(m);
 }
 
 } // namespace
+
+int64_t
+TimingEngine::weightFootprintBytes(const model::ModelConfig &m)
+{
+    // 1.3x weight bytes (runtime buffer rule of Eq. 6).
+    return static_cast<int64_t>(1.3 * m.parameterBytesFp16());
+}
 
 const char *
 systemKindName(SystemKind s)
@@ -55,6 +62,212 @@ int64_t
 TimingEngine::kvBytesPerTokenPerLayer(const model::ModelConfig &m)
 {
     return 2 * m.kvFloatsPerTokenPerLayer(); // FP16
+}
+
+sim::MemoryModelInputs
+TimingEngine::memoryInputsFor(const TimingConfig &cfg, int64_t requests)
+{
+    sim::MemoryModelInputs mmin;
+    mmin.llm = cfg.llm;
+    mmin.dlm = model::dlmGeometryFor(cfg.llm);
+    mmin.requests = requests;
+    mmin.budget = cfg.budget;
+    mmin.gpu_mem_bytes = cfg.hw.gpu_mem_bytes;
+    return mmin;
+}
+
+int64_t
+TimingEngine::spcCpuLayers(const TimingConfig &cfg, int64_t requests,
+                           int64_t s) const
+{
+    // Per-call MemoryModel construction is two validate() calls plus a
+    // geometry derivation — microseconds against the O(L) placement
+    // scan it feeds, so the serving hot loop tolerates it.
+    const sim::MemoryModel mm(memoryInputsFor(cfg, requests));
+    if (!cfg.features.adaptive_memory) {
+        // Static pre-inference decision (no C3): everything resident
+        // when Eq. 6 fits at this shape, else full offload — the same
+        // all-or-nothing rule simulateSpeContext applies.
+        return mm.mAllBytesFor(requests, s) <= cfg.hw.gpu_mem_bytes
+                   ? 0
+                   : cfg.llm.layers;
+    }
+    const int64_t max_gpu = mm.maxGpuLayers(s);
+    return max_gpu < 0 ? cfg.llm.layers : cfg.llm.layers - max_gpu;
+}
+
+bool
+TimingEngine::supportsContinuousBatching(SystemKind s)
+{
+    switch (s) {
+      case SystemKind::HFEager:
+      case SystemKind::FlashAttention:
+      case SystemKind::FlashInfer:
+      case SystemKind::SpeContext:
+        return true;
+      case SystemKind::Quest:
+      case SystemKind::ClusterKV:
+      case SystemKind::ShadowKV:
+        return false;
+    }
+    return false;
+}
+
+double
+TimingEngine::requestPrefillSeconds(const TimingConfig &cfg,
+                                    int64_t prompt_len,
+                                    int64_t in_flight_requests,
+                                    int64_t resident_kv_tokens) const
+{
+    cfg.llm.validate();
+    if (!supportsContinuousBatching(cfg.system))
+        throw std::invalid_argument(
+            "requestPrefillSeconds: system is wave-scheduled only");
+    if (prompt_len <= 0)
+        throw std::invalid_argument(
+            "requestPrefillSeconds: non-positive prompt");
+    if (in_flight_requests < 0 || resident_kv_tokens < 0)
+        throw std::invalid_argument(
+            "requestPrefillSeconds: negative batch state");
+    const sim::CostModel cost(cfg.hw, backendOf(cfg.system));
+    const model::ModelConfig &m = cfg.llm;
+    const int64_t kvb = kvBytesPerTokenPerLayer(m);
+    double t = cost.prefillSeconds(m, 1, prompt_len);
+
+    if (cfg.system != SystemKind::SpeContext) {
+        // Complete-offloading spill: when the batch's KV (including
+        // the new prompt) no longer fits, the prompt's KV is evicted
+        // right after prefill — same charge as simulateFullAttention.
+        if (cfg.allow_full_attention_offload &&
+            weightFootprint(m) +
+                    (resident_kv_tokens + prompt_len) * kvb * m.layers >
+                cfg.hw.gpu_mem_bytes) {
+            t += cost.pcieSeconds(prompt_len * kvb * m.layers);
+        }
+        return t;
+    }
+
+    // Retrieval head builds its K cache over the joining prompt
+    // (one fused QK-projection GEMM, as in simulateSpeContext).
+    const int64_t q_dim = m.q_heads * m.head_dim;
+    const int64_t kv_dim = m.attention == model::AttentionKind::MLA
+                               ? m.mla_latent_dim
+                               : m.kv_heads * m.head_dim;
+    t += cost.gemmSeconds(prompt_len, q_dim + kv_dim, m.hidden);
+
+    // Prompt-KV eviction for the layers the placement keeps in CPU
+    // DRAM at the *joined batch's* shape: Eq. 7 prices uniform-length
+    // requests, so the heterogeneous batch is uniformized to its mean
+    // resident length (total KV conserved) — a short prompt joining an
+    // oversubscribed batch still pays its eviction. Overlap with
+    // prefill compute follows simulateSpeContext's exposure rule.
+    const int64_t r_joined = in_flight_requests + 1;
+    const int64_t s_uniform = std::max(
+        prompt_len, (resident_kv_tokens + prompt_len) / r_joined);
+    const int64_t l_cpu = spcCpuLayers(cfg, r_joined, s_uniform);
+    if (l_cpu > 0) {
+        const double evict =
+            cost.pcieSeconds(prompt_len * kvb * l_cpu);
+        const double exposed = cfg.features.async_elastic ? 0.2 : 1.0;
+        t += exposed * evict;
+    }
+    return t;
+}
+
+double
+TimingEngine::decodeIterationSeconds(
+    const TimingConfig &cfg, const std::vector<int64_t> &kv_lens) const
+{
+    cfg.llm.validate();
+    if (!supportsContinuousBatching(cfg.system))
+        throw std::invalid_argument(
+            "decodeIterationSeconds: system is wave-scheduled only");
+    if (kv_lens.empty())
+        return 0.0;
+    const sim::CostModel cost(cfg.hw, backendOf(cfg.system));
+    const model::ModelConfig &m = cfg.llm;
+    const int64_t R = static_cast<int64_t>(kv_lens.size());
+
+    // Batch-wide GEMMs, launches, LM head and the weight-streaming
+    // floor come from the uniform-step breakdown at kv_len == 0; the
+    // attention term is added per request below. attentionDecodeSeconds
+    // is linear in batch * kv_len (max of two linear-in-bytes terms),
+    // so summing per-request costs equals one call at the total length.
+    const sim::DecodeBreakdown base = cost.decodeStepBreakdown(m, R, 0);
+
+    int64_t attended_total = 0;
+    int64_t s_max = 0;
+    for (int64_t s : kv_lens) {
+        if (s <= 0)
+            throw std::invalid_argument(
+                "decodeIterationSeconds: non-positive KV length");
+        attended_total += cfg.system == SystemKind::SpeContext
+                              ? std::min<int64_t>(cfg.budget, s)
+                              : s;
+        s_max = std::max(s_max, s);
+    }
+    const double attn =
+        m.layers *
+        cost.attentionDecodeSeconds(
+            1, m.q_heads,
+            m.attention == model::AttentionKind::MLA ? m.q_heads
+                                                     : m.kv_heads,
+            m.head_dim, attended_total);
+
+    const double weight_stream =
+        double(m.parameterBytesFp16()) / (cfg.hw.hbm_bw_gbps * 1e9);
+    const double step_compute =
+        std::max(base.gemm + base.launch + base.lm_head + attn,
+                 weight_stream);
+    const int64_t kvb = kvBytesPerTokenPerLayer(m);
+
+    if (cfg.system != SystemKind::SpeContext) {
+        double extra = 0.0;
+        if (cfg.allow_full_attention_offload) {
+            // Complete-offloading spill (HF-Accelerate style): once
+            // the live KV outgrows HBM the whole cache crosses PCIe
+            // each iteration, serialized with compute — same rule as
+            // simulateFullAttention.
+            const int64_t kv_bytes = attended_total * kvb * m.layers;
+            if (weightFootprint(m) + kv_bytes > cfg.hw.gpu_mem_bytes)
+                extra = cost.pcieSeconds(kv_bytes);
+        }
+        return step_compute + extra;
+    }
+
+    // SpeContext: retrieval head once per iteration over the whole
+    // batch (scoring scans each request's context, bounded by the
+    // longest in-flight one), then the offloaded-layer KV movement of
+    // simulateSpeContext — Eq. 8 placement at the current batch shape
+    // decides how many layers live in CPU DRAM.
+    const int64_t q_dim = m.q_heads * m.head_dim;
+    const int64_t kv_dim = m.attention == model::AttentionKind::MLA
+                               ? m.mla_latent_dim
+                               : m.kv_heads * m.head_dim;
+    const double head =
+        cost.gemmSeconds(R, q_dim + kv_dim, m.hidden) +
+        cost.retrievalSeconds(2.0 * R * m.q_heads * m.head_dim * s_max,
+                              s_max);
+
+    const int64_t l_cpu = spcCpuLayers(cfg, R, s_max);
+
+    if (cfg.features.async_elastic) {
+        // C2: prefetch the selection diff on the copy stream; only the
+        // excess beyond compute is exposed, plus one event sync.
+        const double reuse = std::clamp(cfg.elastic_overlap, 0.0, 1.0);
+        const int64_t diff_tokens = static_cast<int64_t>(
+            (1.0 - reuse) * static_cast<double>(attended_total));
+        const double xfer =
+            l_cpu > 0 ? cost.pcieSeconds(diff_tokens * kvb * l_cpu)
+                      : 0.0;
+        return step_compute + head +
+               std::max(0.0, xfer - step_compute) + cost.syncSeconds();
+    }
+    // C1 only: synchronous full-budget load per offloaded layer.
+    const double sync_xfer =
+        l_cpu > 0 ? l_cpu * cost.pcieSeconds(attended_total * kvb)
+                  : 0.0;
+    return step_compute + head + sync_xfer;
 }
 
 TimingResult
@@ -291,7 +504,6 @@ TimingEngine::simulateSpeContext(const TimingConfig &cfg) const
     TimingResult r;
     const sim::CostModel cost(cfg.hw, backendOf(cfg.system));
     const model::ModelConfig &m = cfg.llm;
-    const model::ModelConfig dlm = model::dlmGeometryFor(m);
     const int64_t R = cfg.batch;
     const int64_t s_final = cfg.prompt_len + cfg.gen_len;
     const int64_t kvb = kvBytesPerTokenPerLayer(m);
@@ -300,13 +512,7 @@ TimingEngine::simulateSpeContext(const TimingConfig &cfg) const
                                ? m.mla_latent_dim
                                : m.kv_heads * m.head_dim;
 
-    sim::MemoryModelInputs mmin;
-    mmin.llm = m;
-    mmin.dlm = dlm;
-    mmin.requests = R;
-    mmin.budget = cfg.budget;
-    mmin.gpu_mem_bytes = cfg.hw.gpu_mem_bytes;
-    const sim::MemoryModel mm(mmin);
+    const sim::MemoryModel mm(memoryInputsFor(cfg, R));
 
     if (R * s_final * kvb * m.layers > cfg.hw.cpu_mem_bytes) {
         r.oom = true;

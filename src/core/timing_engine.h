@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "model/config.h"
 #include "sim/cost.h"
@@ -103,16 +104,76 @@ class TimingEngine
   public:
     TimingResult simulate(const TimingConfig &cfg) const;
 
+    // ---- Incremental stepping (continuous batching) -----------------
+    //
+    // simulate() prices a whole closed [prompt, gen] run at once, which
+    // forces wave barriers onto the serving layer. serving::Server
+    // instead advances all in-flight requests one decode iteration at a
+    // time, so the engine also exposes the two quanta it needs: the
+    // cost of prefilling a single joining request, and the cost of one
+    // decode iteration over a *heterogeneous* batch (each request at
+    // its own KV length). Only full-attention systems and SpeContext
+    // support this — the per-layer retrieve-then-load baselines
+    // (Quest/ClusterKV/ShadowKV) are wave-scheduled in the paper and
+    // keep that restriction here.
+
+    /** True for systems the continuous batcher can drive. */
+    static bool supportsContinuousBatching(SystemKind s);
+
+    /**
+     * Seconds to prefill one request of `prompt_len` tokens joining the
+     * running batch (chunked prefill iteration; includes the retrieval
+     * head's prompt pass for SpeContext, and the prompt-KV
+     * eviction/spill transfers simulate() charges when the cache
+     * oversubscribes HBM). `in_flight_requests` and
+     * `resident_kv_tokens` describe the batch being joined — they
+     * decide whether the new prompt's KV must move off-device.
+     * @throws std::invalid_argument for unsupported systems.
+     */
+    double requestPrefillSeconds(const TimingConfig &cfg,
+                                 int64_t prompt_len,
+                                 int64_t in_flight_requests = 0,
+                                 int64_t resident_kv_tokens = 0) const;
+
+    /**
+     * Seconds of one decode iteration over the in-flight batch;
+     * kv_lens[i] is request i's current context (prompt + generated so
+     * far). cfg.batch/prompt_len/gen_len are ignored — the batch is
+     * whatever kv_lens says. Returns 0 for an empty batch.
+     * @throws std::invalid_argument for unsupported systems.
+     */
+    double decodeIterationSeconds(const TimingConfig &cfg,
+                                  const std::vector<int64_t> &kv_lens)
+        const;
+
     /** Kernel backend a system builds on. */
     static sim::KernelBackend backendOf(SystemKind s);
 
     /** Bytes of KV cache per token per layer per request at FP16. */
     static int64_t kvBytesPerTokenPerLayer(const model::ModelConfig &m);
 
+    /** Weight + runtime-buffer bytes: 1.3x FP16 parameters (Eq. 6's
+     *  coefficient); the single copy of the rule shared with the
+     *  serving layer's admission control. */
+    static int64_t weightFootprintBytes(const model::ModelConfig &m);
+
+    /** Memory-model inputs for `requests` concurrent requests of this
+     *  config — the one place the {LLM, DLM, budget, GPU capacity}
+     *  block is assembled, shared by the engine's placement logic and
+     *  the serving layer's admission control. */
+    static sim::MemoryModelInputs memoryInputsFor(
+        const TimingConfig &cfg, int64_t requests);
+
   private:
     TimingResult simulateFullAttention(const TimingConfig &cfg) const;
     TimingResult simulateLayerwiseBaseline(const TimingConfig &cfg) const;
     TimingResult simulateSpeContext(const TimingConfig &cfg) const;
+
+    /** SpeContext KV layers resident in CPU DRAM for `requests`
+     *  uniform requests of length s, honoring features.adaptive_memory
+     *  (static all-or-nothing placement when C3 is off). */
+    int64_t spcCpuLayers(const TimingConfig &cfg, int64_t requests,
+                         int64_t s) const;
 };
 
 } // namespace core

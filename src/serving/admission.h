@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Admission control for the continuous-batching server.
+ *
+ * Before a waiting request joins the in-flight batch, its KV-cache
+ * reservation — the footprint it will have grown to at its *final*
+ * length, not its current one — must fit alongside every other
+ * in-flight reservation. Admitting on current lengths would deadlock:
+ * all in-flight requests grow every iteration and none can be evicted,
+ * so the controller books capacity pessimistically up front, the same
+ * discipline vLLM-style servers apply.
+ *
+ * Capacity comes from the paper's memory model (Section 6):
+ *  - SpeContext admits through sim::MemoryModel's Eq. 7 headroom
+ *    queries (some offload level 0..L must fit, Algorithm 1/2's
+ *    invariant) plus the CPU-DRAM ceiling on offloaded KV;
+ *  - full-attention systems admit iff 1.3x weights + total reserved KV
+ *    fit in HBM (plus eager's prefill attention scratch), with the
+ *    optional HF-Accelerate CPU spill gated by
+ *    TimingConfig::allow_full_attention_offload.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/timing_engine.h"
+#include "serving/request.h"
+
+namespace specontext {
+namespace serving {
+
+/** Outcome of one admission test. */
+struct AdmissionDecision
+{
+    bool admit = false;
+    std::string reason; ///< denial diagnostic, empty on admit
+};
+
+/** Memory-model-driven admission policy. */
+class AdmissionController
+{
+  public:
+    /**
+     * @throws std::invalid_argument when cfg.system cannot be
+     * continuously batched (per-layer retrieve-then-load baselines).
+     */
+    explicit AdmissionController(core::TimingConfig cfg);
+
+    const core::TimingConfig &config() const { return cfg_; }
+
+    /** Memory model the SpeContext path consults (for tests). */
+    const sim::MemoryModel &memoryModel() const { return mm_; }
+
+    /** Can `candidate` join `in_flight` without oversubscribing? */
+    AdmissionDecision admit(const std::vector<Request> &in_flight,
+                            const Request &candidate) const;
+
+    /** Does the candidate fit with an otherwise idle server? A false
+     *  here means the request can never be served (hard reject). */
+    bool feasibleAlone(const Request &candidate) const;
+
+  private:
+    core::TimingConfig cfg_;
+    sim::MemoryModel mm_; ///< SpeContext Eq. 6-8 instance (R overridden
+                          ///< per query)
+
+    AdmissionDecision admitSpeContext(
+        const std::vector<Request> &in_flight,
+        const Request &candidate) const;
+    AdmissionDecision admitFullAttention(
+        const std::vector<Request> &in_flight,
+        const Request &candidate) const;
+};
+
+} // namespace serving
+} // namespace specontext

@@ -1,0 +1,88 @@
+#include "serving/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace specontext {
+namespace serving {
+
+void
+ServingMetrics::record(const Request &r)
+{
+    if (r.state != RequestState::Finished)
+        throw std::invalid_argument(
+            "ServingMetrics: recording an unfinished request");
+    RequestRecord rec;
+    rec.id = r.id;
+    rec.prompt_len = r.prompt_len;
+    rec.gen_len = r.gen_len;
+    rec.arrival_seconds = r.arrival_seconds;
+    rec.admit_seconds = r.admit_seconds;
+    rec.first_token_seconds = r.first_token_seconds;
+    rec.finish_seconds = r.finish_seconds;
+    records_.push_back(rec);
+}
+
+double
+ServingMetrics::percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    if (p < 0.0 || p > 100.0)
+        throw std::invalid_argument("percentile: p outside [0, 100]");
+    std::sort(values.begin(), values.end());
+    // Nearest-rank: smallest value with cumulative frequency >= p%.
+    const auto n = static_cast<int64_t>(values.size());
+    int64_t rank = static_cast<int64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(n)));
+    rank = std::clamp<int64_t>(rank, 1, n);
+    return values[rank - 1];
+}
+
+ServingSummary
+ServingMetrics::summarize(double makespan_seconds) const
+{
+    ServingSummary s;
+    s.completed = count();
+    s.makespan_seconds = makespan_seconds;
+    if (records_.empty())
+        return s;
+
+    std::vector<double> ttft, e2e;
+    ttft.reserve(records_.size());
+    e2e.reserve(records_.size());
+    double tpot_sum = 0.0, queue_sum = 0.0;
+    for (const RequestRecord &r : records_) {
+        ttft.push_back(r.ttft());
+        e2e.push_back(r.e2e());
+        tpot_sum += r.tpot();
+        queue_sum += r.queueDelay();
+        s.total_generated_tokens += r.gen_len;
+    }
+    const double n = static_cast<double>(records_.size());
+    auto mean = [&](const std::vector<double> &v) {
+        double acc = 0.0;
+        for (double x : v)
+            acc += x;
+        return acc / n;
+    };
+    s.ttft_mean = mean(ttft);
+    s.ttft_p50 = percentile(ttft, 50.0);
+    s.ttft_p95 = percentile(ttft, 95.0);
+    s.ttft_p99 = percentile(ttft, 99.0);
+    s.e2e_mean = mean(e2e);
+    s.e2e_p50 = percentile(e2e, 50.0);
+    s.e2e_p95 = percentile(e2e, 95.0);
+    s.e2e_p99 = percentile(e2e, 99.0);
+    s.tpot_mean = tpot_sum / n;
+    s.queue_delay_mean = queue_sum / n;
+    if (makespan_seconds > 0.0)
+        s.throughput_tokens_per_s =
+            static_cast<double>(s.total_generated_tokens) /
+            makespan_seconds;
+    return s;
+}
+
+} // namespace serving
+} // namespace specontext

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Per-request latency metrics of the serving subsystem: TTFT (arrival
+ * to first generated token), TPOT (mean inter-token gap after the
+ * first), end-to-end latency, queueing delay, tail percentiles and
+ * aggregate token throughput — the quantities production serving SLOs
+ * are written against, which the paper's closed [in, out] sweeps
+ * cannot express.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serving/request.h"
+
+namespace specontext {
+namespace serving {
+
+/** Latency record of one completed request. */
+struct RequestRecord
+{
+    int64_t id = 0;
+    int64_t prompt_len = 0;
+    int64_t gen_len = 0;
+    double arrival_seconds = 0.0;
+    double admit_seconds = 0.0;
+    double first_token_seconds = 0.0;
+    double finish_seconds = 0.0;
+
+    /** Time to first token: arrival -> first generated token. */
+    double ttft() const { return first_token_seconds - arrival_seconds; }
+
+    /** Mean time per output token after the first. */
+    double
+    tpot() const
+    {
+        if (gen_len <= 1)
+            return 0.0;
+        return (finish_seconds - first_token_seconds) /
+               static_cast<double>(gen_len - 1);
+    }
+
+    /** End-to-end latency: arrival -> last token. */
+    double e2e() const { return finish_seconds - arrival_seconds; }
+
+    /** Time spent waiting for admission. */
+    double queueDelay() const { return admit_seconds - arrival_seconds; }
+};
+
+/** Aggregate view over all completed requests. */
+struct ServingSummary
+{
+    int64_t completed = 0;
+    int64_t total_generated_tokens = 0;
+    double makespan_seconds = 0.0;
+    /** total_generated_tokens / makespan. */
+    double throughput_tokens_per_s = 0.0;
+
+    double ttft_mean = 0.0, ttft_p50 = 0.0, ttft_p95 = 0.0,
+           ttft_p99 = 0.0;
+    double tpot_mean = 0.0;
+    double e2e_mean = 0.0, e2e_p50 = 0.0, e2e_p95 = 0.0, e2e_p99 = 0.0;
+    double queue_delay_mean = 0.0;
+};
+
+/** Collector of per-request records. */
+class ServingMetrics
+{
+  public:
+    /** Record a finished request (state must be Finished). */
+    void record(const Request &r);
+
+    int64_t count() const { return static_cast<int64_t>(records_.size()); }
+    const std::vector<RequestRecord> &records() const { return records_; }
+
+    /**
+     * Nearest-rank percentile of `values` (p in [0, 100]); 0 on an
+     * empty set. Exposed for tests and benches.
+     */
+    static double percentile(std::vector<double> values, double p);
+
+    /** Aggregate over the records; `makespan` is trace start -> last
+     *  retirement, the denominator of aggregate throughput. */
+    ServingSummary summarize(double makespan_seconds) const;
+
+  private:
+    std::vector<RequestRecord> records_;
+};
+
+} // namespace serving
+} // namespace specontext

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Request lifecycle type of the continuous-batching server.
+ *
+ * A Request is one user call in an open-loop arrival trace: it arrives
+ * at a wall-clock instant with a prompt and a generation target, waits
+ * in the RequestQueue until the AdmissionController finds KV headroom,
+ * is prefilled, then advances one token per server iteration until it
+ * retires. All timestamps are in simulated seconds from trace start;
+ * negative means "not reached yet".
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace specontext {
+namespace serving {
+
+/** Lifecycle stage of a served request. */
+enum class RequestState {
+    Queued,   ///< arrived, waiting for admission
+    Decoding, ///< prefilled, advancing one token per iteration
+    Finished, ///< all gen_len tokens produced
+    Rejected, ///< can never fit (infeasible even alone)
+};
+
+const char *requestStateName(RequestState s);
+
+/** One request of an arrival trace. */
+struct Request
+{
+    int64_t id = 0;
+    double arrival_seconds = 0.0;
+    int64_t prompt_len = 0;
+    int64_t gen_len = 0;
+
+    RequestState state = RequestState::Queued;
+    int64_t generated = 0;            ///< decode tokens produced so far
+    double admit_seconds = -1.0;      ///< admission (prefill start)
+    double first_token_seconds = -1.0;///< end of first decode iteration
+    double finish_seconds = -1.0;     ///< last token produced
+
+    /** Current context length: prompt plus tokens generated so far. */
+    int64_t kvLen() const { return prompt_len + generated; }
+
+    /** Context length when generation completes (KV reservation). */
+    int64_t finalLen() const { return prompt_len + gen_len; }
+
+    bool done() const { return generated >= gen_len; }
+};
+
+} // namespace serving
+} // namespace specontext

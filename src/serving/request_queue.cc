@@ -1,0 +1,75 @@
+#include "serving/request_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace specontext {
+namespace serving {
+
+const char *
+requestStateName(RequestState s)
+{
+    switch (s) {
+      case RequestState::Queued: return "Queued";
+      case RequestState::Decoding: return "Decoding";
+      case RequestState::Finished: return "Finished";
+      case RequestState::Rejected: return "Rejected";
+    }
+    return "?";
+}
+
+const char *
+queuePolicyName(QueuePolicy p)
+{
+    switch (p) {
+      case QueuePolicy::Fifo: return "FIFO";
+      case QueuePolicy::ShortestPromptFirst: return "SPF";
+    }
+    return "?";
+}
+
+RequestQueue::RequestQueue(QueuePolicy policy)
+    : policy_(policy)
+{
+}
+
+void
+RequestQueue::push(Request r)
+{
+    waiting_.push_back(std::move(r));
+}
+
+int64_t
+RequestQueue::candidateIndex() const
+{
+    if (waiting_.empty())
+        throw std::logic_error("RequestQueue: empty");
+    if (policy_ == QueuePolicy::Fifo)
+        return 0;
+    // Shortest prompt first; insertion order breaks ties, so the scan
+    // keeps strict inequality.
+    int64_t best = 0;
+    for (int64_t i = 1; i < size(); ++i) {
+        if (waiting_[i].prompt_len < waiting_[best].prompt_len)
+            best = i;
+    }
+    return best;
+}
+
+const Request &
+RequestQueue::peek() const
+{
+    return waiting_[candidateIndex()];
+}
+
+Request
+RequestQueue::pop()
+{
+    const int64_t idx = candidateIndex();
+    Request r = std::move(waiting_[idx]);
+    waiting_.erase(waiting_.begin() + idx);
+    return r;
+}
+
+} // namespace serving
+} // namespace specontext

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Waiting-request queue of the continuous-batching server with
+ * pluggable ordering policies.
+ *
+ * FIFO admits in arrival order and is starvation-free: the head blocks
+ * until it fits, so every feasible request is eventually admitted.
+ * Shortest-prompt-first favours small KV footprints — it raises
+ * utilization under mixed-length traffic but can starve long prompts
+ * under sustained load, which tests/test_server.cc demonstrates is the
+ * FIFO/SPF trade-off.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serving/request.h"
+
+namespace specontext {
+namespace serving {
+
+/** Ordering policy of the waiting queue. */
+enum class QueuePolicy {
+    Fifo,                ///< arrival order (starvation-free)
+    ShortestPromptFirst, ///< min prompt_len, FIFO tiebreak
+};
+
+const char *queuePolicyName(QueuePolicy p);
+
+/** Waiting requests, ordered for admission by the policy. */
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(QueuePolicy policy = QueuePolicy::Fifo);
+
+    QueuePolicy policy() const { return policy_; }
+    bool empty() const { return waiting_.empty(); }
+    int64_t size() const { return static_cast<int64_t>(waiting_.size()); }
+
+    void push(Request r);
+
+    /** Next admission candidate under the policy. Queue must be
+     *  non-empty. */
+    const Request &peek() const;
+
+    /** Remove and return the admission candidate. */
+    Request pop();
+
+  private:
+    QueuePolicy policy_;
+    std::vector<Request> waiting_; ///< insertion (arrival) order
+
+    /** Index of the policy's candidate in waiting_. */
+    int64_t candidateIndex() const;
+};
+
+} // namespace serving
+} // namespace specontext

@@ -61,6 +61,10 @@ waveThroughput(const core::TimingEngine &engine, core::TimingConfig base,
         total_tokens += wave * base.gen_len;
         remaining -= wave;
     }
+    // A degenerate run (e.g. gen_len == 0) produces no time and no
+    // tokens; report zero throughput instead of dividing by zero.
+    if (total_seconds <= 0.0)
+        return 0.0;
     return total_tokens / total_seconds;
 }
 

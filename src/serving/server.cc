@@ -1,0 +1,223 @@
+#include "serving/server.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace specontext {
+namespace serving {
+
+namespace {
+
+void
+sortByArrival(std::vector<Request> &trace)
+{
+    std::stable_sort(trace.begin(), trace.end(),
+                     [](const Request &a, const Request &b) {
+                         return a.arrival_seconds < b.arrival_seconds;
+                     });
+}
+
+} // namespace
+
+Server::Server(const core::TimingEngine &engine, ServerConfig cfg)
+    : engine_(engine), cfg_(std::move(cfg)), admission_(cfg_.timing)
+{
+    if (cfg_.max_batch <= 0)
+        throw std::invalid_argument("Server: non-positive max_batch");
+}
+
+ServeResult
+Server::run(std::vector<Request> trace) const
+{
+    sortByArrival(trace);
+    ServeResult out;
+    RequestQueue queue(cfg_.queue_policy);
+    std::vector<Request> active;
+    double now = 0.0;
+    size_t next = 0;
+
+    auto ingest = [&](double t) {
+        while (next < trace.size() &&
+               trace[next].arrival_seconds <= t) {
+            queue.push(trace[next]);
+            ++next;
+        }
+    };
+
+    while (true) {
+        ingest(now);
+
+        // Admit while the policy's candidate fits. A denial with other
+        // requests in flight just means "wait for retirements"; a
+        // denial on an idle server means the request can never fit.
+        while (!queue.empty() &&
+               static_cast<int64_t>(active.size()) < cfg_.max_batch) {
+            const AdmissionDecision d =
+                admission_.admit(active, queue.peek());
+            if (!d.admit) {
+                if (active.empty()) {
+                    Request r = queue.pop();
+                    r.state = RequestState::Rejected;
+                    out.rejected.push_back(std::move(r));
+                    continue;
+                }
+                break;
+            }
+            Request r = queue.pop();
+            r.admit_seconds = now;
+            r.state = RequestState::Decoding;
+            // Prefill iteration for the joining request; in-flight
+            // requests stall for its duration (prefill-prioritized
+            // scheduling), and arrivals during it still enqueue.
+            int64_t resident = 0;
+            for (const Request &q : active)
+                resident += q.kvLen();
+            now += engine_.requestPrefillSeconds(
+                cfg_.timing, r.prompt_len,
+                static_cast<int64_t>(active.size()), resident);
+            active.push_back(std::move(r));
+            ingest(now);
+        }
+        out.peak_in_flight = std::max(
+            out.peak_in_flight, static_cast<int64_t>(active.size()));
+
+        if (active.empty()) {
+            if (!queue.empty())
+                throw std::logic_error(
+                    "Server: idle with admissible work queued");
+            if (next >= trace.size())
+                break; // drained
+            // Idle until the next arrival.
+            now = std::max(now, trace[next].arrival_seconds);
+            continue;
+        }
+
+        // One decode iteration advances every in-flight request by one
+        // token — the continuous-batching core, no wave barrier.
+        std::vector<int64_t> kv_lens;
+        kv_lens.reserve(active.size());
+        for (const Request &r : active)
+            kv_lens.push_back(r.kvLen());
+        now += engine_.decodeIterationSeconds(cfg_.timing, kv_lens);
+        ++out.iterations;
+        for (Request &r : active) {
+            ++r.generated;
+            if (r.first_token_seconds < 0.0)
+                r.first_token_seconds = now;
+        }
+
+        // Retire finished requests; their reservations free headroom
+        // that the next loop head re-offers to the queue.
+        for (auto it = active.begin(); it != active.end();) {
+            if (it->done()) {
+                it->finish_seconds = now;
+                it->state = RequestState::Finished;
+                out.metrics.record(*it);
+                it = active.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    out.makespan_seconds = now;
+    return out;
+}
+
+ServeResult
+serveWaves(const core::TimingEngine &engine, const ServerConfig &cfg,
+           std::vector<Request> trace)
+{
+    if (cfg.max_batch <= 0)
+        throw std::invalid_argument("serveWaves: non-positive max_batch");
+    const AdmissionController admission(cfg.timing);
+    sortByArrival(trace);
+    ServeResult out;
+    double now = 0.0;
+
+    // Static batching pads every member to the wave's longest prompt
+    // and generation, so admission must price the padded shape.
+    auto paddedFits = [&](const std::vector<Request> &wave,
+                          const Request &cand) {
+        Request pad;
+        pad.prompt_len = cand.prompt_len;
+        pad.gen_len = cand.gen_len;
+        for (const Request &r : wave) {
+            pad.prompt_len = std::max(pad.prompt_len, r.prompt_len);
+            pad.gen_len = std::max(pad.gen_len, r.gen_len);
+        }
+        const std::vector<Request> in_flight(wave.size(), pad);
+        return admission.admit(in_flight, pad).admit;
+    };
+
+    size_t i = 0;
+    while (i < trace.size()) {
+        // The server went idle at `now`; a wave forms from whatever
+        // has arrived by then (never from future arrivals — waiting
+        // for them would inflate the baseline's queueing delay).
+        if (trace[i].arrival_seconds > now)
+            now = trace[i].arrival_seconds;
+        std::vector<Request> wave;
+        while (i < trace.size() &&
+               trace[i].arrival_seconds <= now &&
+               static_cast<int64_t>(wave.size()) < cfg.max_batch) {
+            if (!paddedFits(wave, trace[i])) {
+                if (wave.empty()) {
+                    Request r = trace[i];
+                    r.state = RequestState::Rejected;
+                    out.rejected.push_back(std::move(r));
+                    ++i;
+                    continue;
+                }
+                break;
+            }
+            wave.push_back(trace[i]);
+            ++i;
+        }
+        if (wave.empty())
+            continue;
+
+        int64_t max_prompt = 0, max_gen = 0;
+        for (const Request &r : wave) {
+            max_prompt = std::max(max_prompt, r.prompt_len);
+            max_gen = std::max(max_gen, r.gen_len);
+        }
+        for (Request &r : wave) {
+            r.admit_seconds = now;
+            r.state = RequestState::Decoding;
+        }
+        // Padded batch prefill (prefill cost is linear in tokens, so
+        // per-member padded prefill equals the batched GEMM cost);
+        // each member joins on top of the previously prefilled ones'
+        // resident KV.
+        for (size_t k = 0; k < wave.size(); ++k) {
+            now += engine.requestPrefillSeconds(
+                cfg.timing, max_prompt, static_cast<int64_t>(k),
+                static_cast<int64_t>(k) * max_prompt);
+        }
+
+        for (int64_t t = 0; t < max_gen; ++t) {
+            std::vector<int64_t> kv_lens(wave.size(), max_prompt + t);
+            now += engine.decodeIterationSeconds(cfg.timing, kv_lens);
+            ++out.iterations;
+            for (Request &r : wave) {
+                if (r.first_token_seconds < 0.0)
+                    r.first_token_seconds = now;
+            }
+        }
+        // Barrier out: every member retires when the wave does, even
+        // those whose own generation finished early.
+        for (Request &r : wave) {
+            r.generated = r.gen_len;
+            r.finish_seconds = now;
+            r.state = RequestState::Finished;
+            out.metrics.record(r);
+        }
+        out.peak_in_flight = std::max(
+            out.peak_in_flight, static_cast<int64_t>(wave.size()));
+    }
+    out.makespan_seconds = now;
+    return out;
+}
+
+} // namespace serving
+} // namespace specontext

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Continuous-batching request server (iteration-level scheduling).
+ *
+ * The seed's wave scheduler (serving/scheduler.h) launches a fixed
+ * batch and holds a barrier until every member finishes — the paper's
+ * Table 3 setup. Production traffic is open-loop and mixed-length, so
+ * this server instead advances all in-flight requests ONE decode
+ * iteration at a time via core::TimingEngine's incremental hooks,
+ * admitting newly arrived requests (admission.h decides whether their
+ * KV reservation fits) and retiring finished ones at every iteration
+ * boundary — no barriers, Orca/vLLM-style.
+ *
+ * serveWaves() runs the same trace through barrier scheduling with
+ * identical cost accounting, so the two disciplines are directly
+ * comparable (bench/bench_serving_continuous.cc).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/timing_engine.h"
+#include "serving/admission.h"
+#include "serving/metrics.h"
+#include "serving/request.h"
+#include "serving/request_queue.h"
+
+namespace specontext {
+namespace serving {
+
+/** Server configuration. */
+struct ServerConfig
+{
+    core::TimingConfig timing; ///< system, geometry, hardware, budget
+    QueuePolicy queue_policy = QueuePolicy::Fifo;
+    /** Hard cap on in-flight requests (scheduler table size); memory
+     *  admission usually binds first. */
+    int64_t max_batch = 64;
+};
+
+/** Outcome of serving one trace. */
+struct ServeResult
+{
+    ServingMetrics metrics;    ///< completed requests
+    std::vector<Request> rejected; ///< individually infeasible requests
+    double makespan_seconds = 0.0;
+    int64_t iterations = 0;    ///< decode iterations executed
+    int64_t peak_in_flight = 0;
+
+    int64_t completed() const { return metrics.count(); }
+    ServingSummary summary() const
+    {
+        return metrics.summarize(makespan_seconds);
+    }
+};
+
+/** Iteration-level continuous-batching server. */
+class Server
+{
+  public:
+    /**
+     * @throws std::invalid_argument when cfg.timing.system cannot be
+     * continuously batched or max_batch is non-positive.
+     */
+    Server(const core::TimingEngine &engine, ServerConfig cfg);
+
+    const ServerConfig &config() const { return cfg_; }
+    const AdmissionController &admission() const { return admission_; }
+
+    /**
+     * Serve an open-loop arrival trace to completion. Requests are
+     * sorted by arrival time; ids are preserved. Every feasible
+     * request finishes (FIFO is starvation-free); requests that cannot
+     * fit even alone come back in ServeResult::rejected.
+     */
+    ServeResult run(std::vector<Request> trace) const;
+
+  private:
+    const core::TimingEngine &engine_;
+    ServerConfig cfg_;
+    AdmissionController admission_;
+};
+
+/**
+ * Wave-scheduled baseline over the same trace and cost accounting:
+ * requests are grouped in arrival order into batches of at most
+ * cfg.max_batch (shrunk to what admission accepts), each wave waits
+ * for all members to arrive, pads every member to the wave's longest
+ * prompt/generation, and holds the barrier until the wave completes.
+ */
+ServeResult serveWaves(const core::TimingEngine &engine,
+                       const ServerConfig &cfg,
+                       std::vector<Request> trace);
+
+} // namespace serving
+} // namespace specontext

@@ -17,11 +17,11 @@ MemoryModel::MemoryModel(MemoryModelInputs in)
 }
 
 int64_t
-MemoryModel::kvCoefficient() const
+MemoryModel::kvCoefficientFor(int64_t requests) const
 {
     // Coefficient 4 of Eq. 6: FP16 K (2 bytes) + FP16 V (2 bytes),
     // times R requests, H KV heads, D head dim.
-    return 4 * in_.requests * in_.llm.kv_heads * in_.llm.head_dim;
+    return 4 * requests * in_.llm.kv_heads * in_.llm.head_dim;
 }
 
 int64_t
@@ -38,19 +38,13 @@ MemoryModel::modelBytes() const
 int64_t
 MemoryModel::mAllBytes(int64_t s) const
 {
-    const int64_t l_eff = in_.llm.layers + 1 + in_.llm.groups();
-    return modelBytes() + kvCoefficient() * l_eff * s;
+    return mAllBytesFor(in_.requests, s);
 }
 
 int64_t
 MemoryModel::mPartBytes(int64_t s, int64_t gpu_layers) const
 {
-    if (gpu_layers < 0 || gpu_layers > in_.llm.layers)
-        throw std::invalid_argument("gpu_layers out of range");
-    const int64_t l_cpu = in_.llm.layers - gpu_layers;
-    const int64_t resident = gpu_layers + 1 + in_.llm.groups();
-    return modelBytes() +
-           kvCoefficient() * (resident * s + l_cpu * in_.budget);
+    return mPartBytesFor(in_.requests, s, gpu_layers);
 }
 
 std::vector<int64_t>
@@ -93,6 +87,73 @@ bool
 MemoryModel::allFitsOnGpu(int64_t s) const
 {
     return mAllBytes(s) <= in_.gpu_mem_bytes;
+}
+
+int64_t
+MemoryModel::mAllBytesFor(int64_t requests, int64_t s) const
+{
+    if (requests <= 0)
+        throw std::invalid_argument("mAllBytesFor: non-positive requests");
+    const int64_t l_eff = in_.llm.layers + 1 + in_.llm.groups();
+    return modelBytes() + kvCoefficientFor(requests) * l_eff * s;
+}
+
+int64_t
+MemoryModel::mPartBytesFor(int64_t requests, int64_t s,
+                           int64_t gpu_layers) const
+{
+    if (requests <= 0)
+        throw std::invalid_argument("mPartBytesFor: non-positive requests");
+    if (gpu_layers < 0 || gpu_layers > in_.llm.layers)
+        throw std::invalid_argument("gpu_layers out of range");
+    const int64_t l_cpu = in_.llm.layers - gpu_layers;
+    const int64_t resident = gpu_layers + 1 + in_.llm.groups();
+    return modelBytes() + kvCoefficientFor(requests) *
+                              (resident * s + l_cpu * in_.budget);
+}
+
+int64_t
+MemoryModel::headroomBytes(int64_t requests, int64_t s) const
+{
+    return in_.gpu_mem_bytes - mAllBytesFor(requests, s);
+}
+
+bool
+MemoryModel::fitsWithOffload(int64_t requests, int64_t s) const
+{
+    // mPartBytesFor is monotone in gpu_layers (each offloaded layer
+    // trades S resident tokens for a B-token staging buffer, so the
+    // slope's sign is fixed by s - budget); the minimum over offload
+    // levels is at one of the two ends.
+    return std::min(mPartBytesFor(requests, s, 0),
+                    mAllBytesFor(requests, s)) <= in_.gpu_mem_bytes;
+}
+
+int64_t
+MemoryModel::maxConcurrentRequests(int64_t s, bool allow_offload) const
+{
+    if (s <= 0)
+        throw std::invalid_argument(
+            "maxConcurrentRequests: non-positive length");
+    // KV terms are linear in R, so binary search the feasibility edge.
+    auto fits = [&](int64_t r) {
+        return allow_offload ? fitsWithOffload(r, s)
+                             : mAllBytesFor(r, s) <= in_.gpu_mem_bytes;
+    };
+    if (!fits(1))
+        return 0;
+    int64_t lo = 1, hi = 2;
+    while (fits(hi)) {
+        lo = hi;
+        hi *= 2;
+        if (hi > (int64_t{1} << 30))
+            return lo; // degenerate geometry; avoid overflow
+    }
+    while (lo + 1 < hi) {
+        const int64_t mid = lo + (hi - lo) / 2;
+        (fits(mid) ? lo : hi) = mid;
+    }
+    return lo;
 }
 
 } // namespace sim

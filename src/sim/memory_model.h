@@ -81,11 +81,46 @@ class MemoryModel
     /** True when Eq. 6 fits entirely on the GPU at length S. */
     bool allFitsOnGpu(int64_t s) const;
 
+    // ---- Headroom queries (admission control) -----------------------
+    //
+    // The serving layer asks "would R concurrent requests, each grown
+    // to length S, still fit?" before admitting a waiting request.
+    // These variants take the request count explicitly instead of the
+    // constructor's in_.requests so one model instance can price any
+    // candidate batch.
+
+    /** Eq. 6 with an explicit request count. */
+    int64_t mAllBytesFor(int64_t requests, int64_t s) const;
+
+    /** Eq. 7 with an explicit request count. */
+    int64_t mPartBytesFor(int64_t requests, int64_t s,
+                          int64_t gpu_layers) const;
+
+    /**
+     * GPU bytes left over after Eq. 6 at (requests, s); negative when
+     * the configuration oversubscribes the device.
+     */
+    int64_t headroomBytes(int64_t requests, int64_t s) const;
+
+    /**
+     * True when some offload level 0..L fits at (requests, s) — the
+     * Eq. 8 feasibility test the adaptive placement relies on.
+     */
+    bool fitsWithOffload(int64_t requests, int64_t s) const;
+
+    /**
+     * Largest request count R such that R requests of length s fit:
+     * under Eq. 6 when !allow_offload, under best-case Eq. 7 when
+     * allow_offload. 0 when not even a single request fits.
+     */
+    int64_t maxConcurrentRequests(int64_t s, bool allow_offload) const;
+
   private:
     MemoryModelInputs in_;
 
-    /** 4 R H D: bytes per (layer-equivalent, token) of KV cache. */
-    int64_t kvCoefficient() const;
+    /** 4 R H D: bytes per (layer-equivalent, token) of KV cache for
+     *  an explicit request count. */
+    int64_t kvCoefficientFor(int64_t requests) const;
 };
 
 } // namespace sim

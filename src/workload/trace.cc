@@ -1,0 +1,96 @@
+#include "workload/trace.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/rng.h"
+
+namespace specontext {
+namespace workload {
+
+namespace {
+
+void
+validateConfig(const TraceConfig &cfg)
+{
+    if (cfg.num_requests <= 0)
+        throw std::invalid_argument("trace: non-positive num_requests");
+    if (cfg.arrival_rate_per_s <= 0.0)
+        throw std::invalid_argument("trace: non-positive arrival rate");
+}
+
+/** Exponential inter-arrival gap of a Poisson process at `rate`. */
+double
+expGap(Rng &rng, double rate)
+{
+    // 1 - uniform() is in (0, 1], so the log is finite.
+    return -std::log(1.0 - rng.uniform()) / rate;
+}
+
+/** Log-uniform integer in [lo, hi]. */
+int64_t
+logUniform(Rng &rng, int64_t lo, int64_t hi)
+{
+    const double u = rng.uniform();
+    const double v = std::exp(std::log(double(lo)) +
+                              u * (std::log(double(hi)) -
+                                   std::log(double(lo))));
+    return std::min<int64_t>(hi, std::max<int64_t>(lo,
+        static_cast<int64_t>(std::llround(v))));
+}
+
+} // namespace
+
+std::vector<serving::Request>
+poissonTrace(const TraceConfig &cfg,
+             const std::vector<serving::Workload> &mix)
+{
+    validateConfig(cfg);
+    if (mix.empty())
+        throw std::invalid_argument("poissonTrace: empty workload mix");
+    Rng rng(cfg.seed);
+    std::vector<serving::Request> trace;
+    trace.reserve(cfg.num_requests);
+    double t = 0.0;
+    for (int64_t i = 0; i < cfg.num_requests; ++i) {
+        t += expGap(rng, cfg.arrival_rate_per_s);
+        const serving::Workload &w =
+            mix[rng.uniformInt(static_cast<uint64_t>(mix.size()))];
+        serving::Request r;
+        r.id = i;
+        r.arrival_seconds = t;
+        r.prompt_len = w.prompt_len;
+        r.gen_len = w.gen_len;
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+std::vector<serving::Request>
+paperMixTrace(const TraceConfig &cfg)
+{
+    return poissonTrace(cfg, serving::paperWorkloads());
+}
+
+std::vector<serving::Request>
+mixedLengthTrace(const TraceConfig &cfg)
+{
+    validateConfig(cfg);
+    Rng rng(cfg.seed);
+    std::vector<serving::Request> trace;
+    trace.reserve(cfg.num_requests);
+    double t = 0.0;
+    for (int64_t i = 0; i < cfg.num_requests; ++i) {
+        t += expGap(rng, cfg.arrival_rate_per_s);
+        serving::Request r;
+        r.id = i;
+        r.arrival_seconds = t;
+        r.prompt_len = logUniform(rng, 1024, 32768);
+        r.gen_len = logUniform(rng, 256, 8192);
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+} // namespace workload
+} // namespace specontext

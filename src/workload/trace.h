@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Synthetic open-loop arrival traces for the serving subsystem.
+ *
+ * The paper evaluates serving on a closed grid of four [in, out]
+ * points (Table 3); real traffic is an open-loop arrival process over
+ * a mix of lengths. These generators produce deterministic Poisson
+ * arrival traces — exponential inter-arrival gaps at a configurable
+ * rate — over (a) the paper's four workloads and (b) mixed-length
+ * traffic with log-uniform prompt/generation lengths, so scenarios
+ * beyond the paper's grid are exercisable from tests and benches.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serving/request.h"
+#include "serving/scheduler.h"
+
+namespace specontext {
+namespace workload {
+
+/** Shared knobs of the trace generators. */
+struct TraceConfig
+{
+    int64_t num_requests = 32;
+    /** Open-loop Poisson arrival rate, requests per second. */
+    double arrival_rate_per_s = 0.05;
+    uint64_t seed = 42;
+};
+
+/**
+ * Poisson arrivals sampling uniformly from `mix`. Requests carry
+ * sequential ids in arrival order; the list is sorted by arrival.
+ * @throws std::invalid_argument on an empty mix or non-positive knobs.
+ */
+std::vector<serving::Request> poissonTrace(
+    const TraceConfig &cfg, const std::vector<serving::Workload> &mix);
+
+/** Poisson arrivals over the paper's four [in, out] workloads. */
+std::vector<serving::Request> paperMixTrace(const TraceConfig &cfg);
+
+/**
+ * Mixed-length traffic: prompt lengths log-uniform in [1K, 32K],
+ * generation lengths log-uniform in [256, 8K] — the heterogeneous
+ * regime where wave barriers hurt most.
+ */
+std::vector<serving::Request> mixedLengthTrace(const TraceConfig &cfg);
+
+} // namespace workload
+} // namespace specontext

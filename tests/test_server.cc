@@ -1,0 +1,450 @@
+/**
+ * @file
+ * Tests of the continuous-batching serving subsystem: request queue
+ * policies, latency metrics, Poisson trace generation, memory-model
+ * admission control, the Server loop's lifecycle invariants, and the
+ * continuous-vs-wave throughput ordering.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "serving/server.h"
+#include "workload/trace.h"
+
+namespace specontext {
+namespace {
+
+using core::SystemKind;
+using core::TimingConfig;
+using core::TimingEngine;
+using serving::AdmissionController;
+using serving::QueuePolicy;
+using serving::Request;
+using serving::RequestQueue;
+using serving::RequestState;
+using serving::ServerConfig;
+using serving::ServingMetrics;
+
+TimingConfig
+cloudConfig(SystemKind sys)
+{
+    TimingConfig c;
+    c.llm = model::deepseekDistillLlama8bGeometry();
+    c.hw = sim::HardwareSpec::cloudA800();
+    c.system = sys;
+    c.budget = 2048;
+    return c;
+}
+
+Request
+makeRequest(int64_t id, double arrival, int64_t prompt, int64_t gen)
+{
+    Request r;
+    r.id = id;
+    r.arrival_seconds = arrival;
+    r.prompt_len = prompt;
+    r.gen_len = gen;
+    return r;
+}
+
+// ---------------------------------------------------------------- queue
+
+TEST(RequestQueue, FifoPopsInArrivalOrder)
+{
+    RequestQueue q(QueuePolicy::Fifo);
+    q.push(makeRequest(0, 0.0, 4096, 256));
+    q.push(makeRequest(1, 1.0, 1024, 256));
+    q.push(makeRequest(2, 2.0, 8192, 256));
+    EXPECT_EQ(q.pop().id, 0);
+    EXPECT_EQ(q.pop().id, 1);
+    EXPECT_EQ(q.pop().id, 2);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(RequestQueue, ShortestPromptFirstPrefersSmallFootprint)
+{
+    RequestQueue q(QueuePolicy::ShortestPromptFirst);
+    q.push(makeRequest(0, 0.0, 4096, 256));
+    q.push(makeRequest(1, 1.0, 1024, 256));
+    q.push(makeRequest(2, 2.0, 1024, 512)); // tie -> FIFO (id 1 first)
+    EXPECT_EQ(q.peek().id, 1);
+    EXPECT_EQ(q.pop().id, 1);
+    EXPECT_EQ(q.pop().id, 2);
+    EXPECT_EQ(q.pop().id, 0);
+}
+
+// -------------------------------------------------------------- metrics
+
+TEST(ServingMetrics, NearestRankPercentiles)
+{
+    const std::vector<double> v{5.0, 1.0, 4.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(ServingMetrics::percentile(v, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(ServingMetrics::percentile(v, 95.0), 5.0);
+    EXPECT_DOUBLE_EQ(ServingMetrics::percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(ServingMetrics::percentile(v, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(ServingMetrics::percentile({}, 50.0), 0.0);
+    EXPECT_THROW(ServingMetrics::percentile(v, 101.0),
+                 std::invalid_argument);
+}
+
+TEST(ServingMetrics, RecordsDeriveLatencies)
+{
+    Request r = makeRequest(3, 10.0, 2048, 5);
+    r.admit_seconds = 12.0;
+    r.first_token_seconds = 14.0;
+    r.finish_seconds = 22.0;
+    r.generated = 5;
+    r.state = RequestState::Finished;
+
+    ServingMetrics m;
+    m.record(r);
+    ASSERT_EQ(m.count(), 1);
+    const serving::RequestRecord &rec = m.records()[0];
+    EXPECT_DOUBLE_EQ(rec.ttft(), 4.0);
+    EXPECT_DOUBLE_EQ(rec.e2e(), 12.0);
+    EXPECT_DOUBLE_EQ(rec.queueDelay(), 2.0);
+    EXPECT_DOUBLE_EQ(rec.tpot(), 2.0); // (22-14)/(5-1)
+
+    const serving::ServingSummary s = m.summarize(22.0);
+    EXPECT_EQ(s.completed, 1);
+    EXPECT_EQ(s.total_generated_tokens, 5);
+    EXPECT_NEAR(s.throughput_tokens_per_s, 5.0 / 22.0, 1e-12);
+
+    Request unfinished = makeRequest(4, 0.0, 16, 4);
+    EXPECT_THROW(m.record(unfinished), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- traces
+
+TEST(Trace, PoissonIsDeterministicAndSorted)
+{
+    workload::TraceConfig tc;
+    tc.num_requests = 200;
+    tc.arrival_rate_per_s = 2.0;
+    tc.seed = 11;
+    const auto a = workload::paperMixTrace(tc);
+    const auto b = workload::paperMixTrace(tc);
+    ASSERT_EQ(a.size(), 200u);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].arrival_seconds, b[i].arrival_seconds);
+        EXPECT_EQ(a[i].prompt_len, b[i].prompt_len);
+        if (i > 0) {
+            EXPECT_GE(a[i].arrival_seconds, a[i - 1].arrival_seconds);
+        }
+    }
+    // Mean inter-arrival gap of a Poisson process is 1/rate.
+    const double mean_gap =
+        a.back().arrival_seconds / static_cast<double>(a.size());
+    EXPECT_NEAR(mean_gap, 0.5, 0.15);
+}
+
+TEST(Trace, MixedLengthStaysInRangeAndVaries)
+{
+    workload::TraceConfig tc;
+    tc.num_requests = 100;
+    tc.arrival_rate_per_s = 1.0;
+    const auto t = workload::mixedLengthTrace(tc);
+    int64_t min_p = t[0].prompt_len, max_p = t[0].prompt_len;
+    for (const Request &r : t) {
+        EXPECT_GE(r.prompt_len, 1024);
+        EXPECT_LE(r.prompt_len, 32768);
+        EXPECT_GE(r.gen_len, 256);
+        EXPECT_LE(r.gen_len, 8192);
+        min_p = std::min(min_p, r.prompt_len);
+        max_p = std::max(max_p, r.prompt_len);
+    }
+    EXPECT_GT(max_p, 2 * min_p); // genuinely mixed lengths
+    EXPECT_THROW(workload::poissonTrace(tc, {}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ admission
+
+TEST(Admission, RejectsWaveOnlySystems)
+{
+    EXPECT_THROW(AdmissionController(cloudConfig(SystemKind::Quest)),
+                 std::invalid_argument);
+    EXPECT_THROW(AdmissionController(cloudConfig(SystemKind::ShadowKV)),
+                 std::invalid_argument);
+}
+
+TEST(Admission, SpeContextAdmitImpliesMemoryModelHeadroom)
+{
+    const AdmissionController ac(cloudConfig(SystemKind::SpeContext));
+    const sim::MemoryModel &mm = ac.memoryModel();
+    std::vector<Request> in_flight;
+    const Request cand = makeRequest(0, 0.0, 32768, 2048);
+    // Grow the batch until admission denies; every admitted state must
+    // satisfy the Eq. 7 offload-feasibility invariant.
+    while (ac.admit(in_flight, cand).admit) {
+        in_flight.push_back(cand);
+        const auto r = static_cast<int64_t>(in_flight.size());
+        EXPECT_TRUE(mm.fitsWithOffload(r, cand.finalLen()));
+        ASSERT_LT(r, 4096) << "admission never saturated";
+    }
+    // The denial is the memory model's edge, not an arbitrary cap.
+    const auto r = static_cast<int64_t>(in_flight.size()) + 1;
+    const int64_t kvb =
+        TimingEngine::kvBytesPerTokenPerLayer(ac.config().llm);
+    const bool gpu_fits = mm.fitsWithOffload(r, cand.finalLen());
+    const bool cpu_fits = r * cand.finalLen() * kvb *
+                              ac.config().llm.layers <=
+                          ac.config().hw.cpu_mem_bytes;
+    EXPECT_FALSE(gpu_fits && cpu_fits);
+}
+
+TEST(Admission, FullAttentionDeniesWhenKvExceedsHbm)
+{
+    const AdmissionController ac(cloudConfig(SystemKind::FlashInfer));
+    const Request cand = makeRequest(0, 0.0, 16384, 2048);
+    std::vector<Request> in_flight;
+    while (ac.admit(in_flight, cand).admit) {
+        in_flight.push_back(cand);
+        ASSERT_LT(in_flight.size(), 4096u);
+    }
+    // Check the denial against the exact byte arithmetic.
+    const model::ModelConfig &m = ac.config().llm;
+    const int64_t kvb = TimingEngine::kvBytesPerTokenPerLayer(m);
+    const int64_t weights =
+        static_cast<int64_t>(1.3 * m.parameterBytesFp16());
+    const auto r = static_cast<int64_t>(in_flight.size());
+    EXPECT_LE(weights + r * cand.finalLen() * kvb * m.layers,
+              ac.config().hw.gpu_mem_bytes);
+    EXPECT_GT(weights + (r + 1) * cand.finalLen() * kvb * m.layers,
+              ac.config().hw.gpu_mem_bytes);
+}
+
+TEST(Admission, MemoryModelHeadroomQueriesAreConsistent)
+{
+    sim::MemoryModelInputs in;
+    in.llm = model::deepseekDistillLlama8bGeometry();
+    in.dlm = model::dlmGeometryFor(in.llm);
+    in.budget = 2048;
+    in.gpu_mem_bytes = sim::HardwareSpec::cloudA800().gpu_mem_bytes;
+    const sim::MemoryModel mm(in);
+
+    const int64_t s = 34816; // [32k, 2k] final length
+    EXPECT_EQ(mm.mAllBytesFor(1, s), mm.mAllBytes(s));
+    EXPECT_EQ(mm.mPartBytesFor(1, s, 0), mm.mPartBytes(s, 0));
+    EXPECT_EQ(mm.headroomBytes(1, s),
+              in.gpu_mem_bytes - mm.mAllBytes(s));
+
+    const int64_t r_all = mm.maxConcurrentRequests(s, false);
+    const int64_t r_off = mm.maxConcurrentRequests(s, true);
+    EXPECT_GE(r_off, r_all); // offload can only admit more
+    EXPECT_GT(r_off, 0);
+    EXPECT_LE(mm.mAllBytesFor(std::max<int64_t>(r_all, 1), s),
+              in.gpu_mem_bytes);
+    if (r_all > 0) {
+        EXPECT_GT(mm.mAllBytesFor(r_all + 1, s), in.gpu_mem_bytes);
+    }
+    EXPECT_TRUE(mm.fitsWithOffload(r_off, s));
+    EXPECT_FALSE(mm.fitsWithOffload(r_off + 1, s));
+}
+
+// --------------------------------------------------------------- engine
+
+TEST(TimingEngineStepping, UniformIterationMatchesBatchedStep)
+{
+    TimingEngine e;
+    const TimingConfig cfg = cloudConfig(SystemKind::FlashInfer);
+    const sim::CostModel cost(cfg.hw,
+                              TimingEngine::backendOf(cfg.system));
+    const std::vector<int64_t> kv(8, 4096);
+    const double iter = e.decodeIterationSeconds(cfg, kv);
+    const double batched =
+        cost.decodeStepBreakdown(cfg.llm, 8, 4096).total;
+    EXPECT_NEAR(iter, batched, 1e-9 + 0.01 * batched);
+}
+
+TEST(TimingEngineStepping, ValidatesInputs)
+{
+    TimingEngine e;
+    EXPECT_DOUBLE_EQ(
+        e.decodeIterationSeconds(cloudConfig(SystemKind::FlashInfer), {}),
+        0.0);
+    EXPECT_THROW(e.decodeIterationSeconds(cloudConfig(SystemKind::Quest),
+                                          {1024}),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        e.requestPrefillSeconds(cloudConfig(SystemKind::FlashInfer), 0),
+        std::invalid_argument);
+    EXPECT_FALSE(
+        TimingEngine::supportsContinuousBatching(SystemKind::ClusterKV));
+    EXPECT_TRUE(
+        TimingEngine::supportsContinuousBatching(SystemKind::SpeContext));
+}
+
+TEST(TimingEngineStepping, SpeContextBudgetCapsAttendedContext)
+{
+    TimingEngine e;
+    const TimingConfig cfg = cloudConfig(SystemKind::SpeContext);
+    // Far beyond the budget, iteration cost grows only with the
+    // retrieval head's scoring scan, not with attended KV — so doubling
+    // the context costs much less than it does under full attention.
+    const double sparse_short =
+        e.decodeIterationSeconds(cfg, {8192, 8192});
+    const double sparse_long =
+        e.decodeIterationSeconds(cfg, {65536, 65536});
+    const TimingConfig fa = cloudConfig(SystemKind::FlashInfer);
+    const double full_short = e.decodeIterationSeconds(fa, {8192, 8192});
+    const double full_long =
+        e.decodeIterationSeconds(fa, {65536, 65536});
+    EXPECT_LT(sparse_long / sparse_short, full_long / full_short);
+}
+
+// --------------------------------------------------------------- server
+
+TEST(Server, AllAdmittedRequestsFinishUnderFifo)
+{
+    TimingEngine e;
+    ServerConfig cfg;
+    cfg.timing = cloudConfig(SystemKind::FlashInfer);
+    cfg.queue_policy = QueuePolicy::Fifo;
+    cfg.max_batch = 16;
+
+    workload::TraceConfig tc;
+    tc.num_requests = 24;
+    tc.arrival_rate_per_s = 1.0;
+    tc.seed = 3;
+    auto trace = workload::mixedLengthTrace(tc);
+
+    const serving::ServeResult r =
+        serving::Server(e, cfg).run(trace);
+    EXPECT_EQ(r.completed(), 24);
+    EXPECT_TRUE(r.rejected.empty());
+    EXPECT_GT(r.iterations, 0);
+    EXPECT_LE(r.peak_in_flight, cfg.max_batch);
+    for (const serving::RequestRecord &rec : r.metrics.records()) {
+        EXPECT_GE(rec.admit_seconds, rec.arrival_seconds);
+        EXPECT_GT(rec.first_token_seconds, rec.admit_seconds);
+        EXPECT_GE(rec.finish_seconds, rec.first_token_seconds);
+        EXPECT_LE(rec.finish_seconds, r.makespan_seconds + 1e-9);
+    }
+}
+
+TEST(Server, PeakInFlightRespectsUniformMemoryBound)
+{
+    // Uniform trace: the memory model's maxConcurrentRequests at the
+    // common final length is an exact ceiling on in-flight batch size.
+    TimingEngine e;
+    ServerConfig cfg;
+    cfg.timing = cloudConfig(SystemKind::FlashInfer);
+    cfg.max_batch = 1024; // memory must bind, not the table cap
+
+    const serving::Workload w{16384, 2048};
+    workload::TraceConfig tc;
+    tc.num_requests = 48;
+    tc.arrival_rate_per_s = 10.0; // everyone piles into the queue
+    const auto trace = workload::poissonTrace(tc, {w});
+
+    const serving::ServeResult r = serving::Server(e, cfg).run(trace);
+    EXPECT_EQ(r.completed(), 48);
+
+    const model::ModelConfig &m = cfg.timing.llm;
+    const int64_t kvb = TimingEngine::kvBytesPerTokenPerLayer(m);
+    const int64_t weights =
+        static_cast<int64_t>(1.3 * m.parameterBytesFp16());
+    const int64_t cap =
+        (cfg.timing.hw.gpu_mem_bytes - weights) /
+        ((w.prompt_len + w.gen_len) * kvb * m.layers);
+    EXPECT_GT(r.peak_in_flight, 1);
+    EXPECT_LE(r.peak_in_flight, cap);
+}
+
+TEST(Server, InfeasibleRequestIsRejectedOthersComplete)
+{
+    TimingEngine e;
+    ServerConfig cfg;
+    cfg.timing = cloudConfig(SystemKind::SpeContext);
+    std::vector<Request> trace;
+    trace.push_back(makeRequest(0, 0.0, 2048, 512));
+    // ~50M-token context: KV exceeds even CPU DRAM, can never be served.
+    trace.push_back(makeRequest(1, 1.0, 50'000'000, 512));
+    trace.push_back(makeRequest(2, 2.0, 2048, 512));
+
+    const serving::ServeResult r = serving::Server(e, cfg).run(trace);
+    EXPECT_EQ(r.completed(), 2);
+    ASSERT_EQ(r.rejected.size(), 1u);
+    EXPECT_EQ(r.rejected[0].id, 1);
+    EXPECT_EQ(r.rejected[0].state, RequestState::Rejected);
+    EXPECT_FALSE(serving::Server(e, cfg)
+                     .admission()
+                     .feasibleAlone(r.rejected[0]));
+}
+
+TEST(Server, ContinuousBatchingBeatsWavesOnMixedPoissonTrace)
+{
+    TimingEngine e;
+    workload::TraceConfig tc;
+    tc.num_requests = 32;
+    tc.arrival_rate_per_s = 0.5;
+    tc.seed = 7;
+    const auto trace = workload::mixedLengthTrace(tc);
+
+    for (SystemKind sys :
+         {SystemKind::FlashInfer, SystemKind::SpeContext}) {
+        ServerConfig cfg;
+        cfg.timing = cloudConfig(sys);
+        cfg.max_batch = 32;
+        const auto cont = serving::Server(e, cfg).run(trace);
+        const auto wave = serving::serveWaves(e, cfg, trace);
+        ASSERT_EQ(cont.completed(), 32);
+        ASSERT_EQ(wave.completed(), 32);
+        const auto cs = cont.summary();
+        const auto ws = wave.summary();
+        EXPECT_GE(cs.throughput_tokens_per_s,
+                  ws.throughput_tokens_per_s)
+            << core::systemKindName(sys);
+        EXPECT_LE(cs.ttft_p95, ws.ttft_p95)
+            << core::systemKindName(sys);
+    }
+}
+
+TEST(Server, ShortestPromptFirstCompletesAndLowersShortTtft)
+{
+    TimingEngine e;
+    workload::TraceConfig tc;
+    tc.num_requests = 24;
+    tc.arrival_rate_per_s = 2.0; // deep queue so ordering matters
+    tc.seed = 5;
+    const auto trace = workload::mixedLengthTrace(tc);
+
+    auto meanShortTtft = [](const serving::ServeResult &r) {
+        double acc = 0.0;
+        int64_t n = 0;
+        for (const auto &rec : r.metrics.records()) {
+            if (rec.prompt_len <= 4096) {
+                acc += rec.ttft();
+                ++n;
+            }
+        }
+        return n > 0 ? acc / static_cast<double>(n) : 0.0;
+    };
+
+    ServerConfig fifo;
+    fifo.timing = cloudConfig(SystemKind::FlashInfer);
+    fifo.max_batch = 8;
+    ServerConfig spf = fifo;
+    spf.queue_policy = QueuePolicy::ShortestPromptFirst;
+
+    const auto rf = serving::Server(e, fifo).run(trace);
+    const auto rs = serving::Server(e, spf).run(trace);
+    EXPECT_EQ(rf.completed(), 24);
+    EXPECT_EQ(rs.completed(), 24); // finite trace: no permanent starvation
+    EXPECT_LE(meanShortTtft(rs), meanShortTtft(rf));
+}
+
+TEST(Server, WaveSchedulingRejectsUnsupportedSystems)
+{
+    TimingEngine e;
+    ServerConfig cfg;
+    cfg.timing = cloudConfig(SystemKind::ClusterKV);
+    EXPECT_THROW(serving::Server(e, cfg), std::invalid_argument);
+    cfg.timing = cloudConfig(SystemKind::FlashInfer);
+    cfg.max_batch = 0;
+    EXPECT_THROW(serving::Server(e, cfg), std::invalid_argument);
+}
+
+} // namespace
+} // namespace specontext

@@ -68,6 +68,31 @@ TEST(Serving, SweepAllOomReportsInfeasible)
     auto cfg = base(SystemKind::Quest);
     auto sweep = serving::sweepBatches(e, cfg, {2, 4, 8});
     EXPECT_FALSE(sweep.feasible()); // Quest is single-request only
+    EXPECT_EQ(sweep.best, -1);
+    ASSERT_EQ(sweep.points.size(), 3u);
+    for (const auto &p : sweep.points)
+        EXPECT_TRUE(p.result.oom);
+}
+
+TEST(Serving, SweepPicksTrueMaxOfNonMonotoneCurve)
+{
+    // With HF-Accelerate-style offload enabled, throughput rises with
+    // batch until the KV cache spills to CPU DRAM, then craters (the
+    // per-step full-KV PCIe transfer) without reporting OOM — a
+    // non-monotone curve whose max sits mid-sweep.
+    TimingEngine e;
+    auto cfg = base(SystemKind::FlashInfer);
+    cfg.allow_full_attention_offload = true;
+    auto sweep = serving::sweepBatches(e, cfg, {8, 64, 96});
+    ASSERT_TRUE(sweep.feasible());
+    ASSERT_EQ(sweep.points.size(), 3u);
+    const double tp8 = sweep.points[0].result.throughput;
+    const double tp64 = sweep.points[1].result.throughput;
+    const double tp96 = sweep.points[2].result.throughput;
+    ASSERT_GT(tp64, tp8);  // rising edge
+    ASSERT_LT(tp96, tp64); // offload cliff: the curve is non-monotone
+    EXPECT_EQ(sweep.best, 1);
+    EXPECT_NEAR(sweep.bestPoint().result.throughput, tp64, 1e-12);
 }
 
 TEST(Serving, SpeContextSupportsLargerBatchesThanFullAttention)
@@ -123,6 +148,17 @@ TEST(Serving, WaveThroughputValidatesInputs)
     EXPECT_THROW(serving::waveThroughput(e, base(SystemKind::FlashInfer),
                                          0, 4),
                  std::invalid_argument);
+}
+
+TEST(Serving, WaveThroughputGuardsDegenerateZeroTimeRuns)
+{
+    // gen_len == 0 produces zero tokens; the guard must report zero
+    // throughput instead of dividing by a (potentially zero) duration.
+    TimingEngine e;
+    auto cfg = base(SystemKind::FlashInfer);
+    cfg.gen_len = 0;
+    const double tp = serving::waveThroughput(e, cfg, 8, 4);
+    EXPECT_DOUBLE_EQ(tp, 0.0);
 }
 
 } // namespace
