@@ -59,6 +59,8 @@ challenge2()
                 "A800, 8B):\n");
     std::printf("%-10s %14s %14s\n", "out-len", "ShadowKV tok/s",
                 "SpeContext tok/s");
+    core::SystemOptions opts;
+    opts.budget = 2048;
     for (int64_t out : {4096, 16384, 32768}) {
         core::TimingConfig tc;
         tc.llm = model::llama31_8bGeometry();
@@ -66,10 +68,9 @@ challenge2()
         tc.batch = 4;
         tc.prompt_len = 2048;
         tc.gen_len = out;
-        tc.budget = 2048;
-        tc.system = core::SystemKind::ShadowKV;
+        tc.system = core::SystemRegistry::create("ShadowKV", opts);
         const double shadow = te.simulate(tc).throughput;
-        tc.system = core::SystemKind::SpeContext;
+        tc.system = core::SystemRegistry::create("SpeContext", opts);
         const double ours = te.simulate(tc).throughput;
         std::printf("%-10ld %14.1f %14.1f\n", out, shadow, ours);
     }
@@ -86,19 +87,20 @@ challenge3()
     tc.hw = sim::HardwareSpec::cloudA800();
     tc.batch = 4;
     tc.gen_len = 2048;
-    tc.budget = 2048;
-    tc.system = core::SystemKind::SpeContext;
-    tc.elastic_overlap = 0.3; // keep transfers visible
-    tc.budget = 8192;
+    core::SystemOptions opts;
+    opts.elastic_overlap = 0.3; // keep transfers visible
+    opts.budget = 8192;
 
     std::printf("%-12s %16s %16s\n", "context", "static tok/s",
                 "adaptive tok/s");
     double before = 0.0, after = 0.0;
     for (int64_t ctx : {98304, 102400, 106496, 110592, 122880}) {
         tc.prompt_len = ctx;
-        tc.features = {true, true, false}; // static pre-decision
+        opts.features = {true, true, false}; // static pre-decision
+        tc.system = core::SystemRegistry::create("SpeContext", opts);
         const auto stat = te.simulate(tc);
-        tc.features = {true, true, true};
+        opts.features = {true, true, true};
+        tc.system = core::SystemRegistry::create("SpeContext", opts);
         const auto adp = te.simulate(tc);
         std::printf("%-12ld %16.1f %16.1f\n", ctx, stat.throughput,
                     adp.throughput);

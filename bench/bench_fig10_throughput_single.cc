@@ -16,26 +16,27 @@ namespace {
 void
 run(const char *title, const model::ModelConfig &m,
     const sim::HardwareSpec &hw, bool allow_offload,
-    const std::vector<core::SystemKind> &systems)
+    const std::vector<std::string> &systems)
 {
     bench::section(title);
     core::TimingEngine te;
+    core::SystemOptions opts;
+    opts.budget = 2048;
+    opts.allow_full_attention_offload = allow_offload;
     std::printf("%-10s", "workload");
-    for (auto s : systems)
-        std::printf(" %20s", core::systemKindName(s));
+    for (const auto &s : systems)
+        std::printf(" %20s", s.c_str());
     std::printf("\n");
     for (const auto &w : serving::paperWorkloads()) {
         std::printf("%-10s", w.label().c_str());
-        for (auto sys : systems) {
+        for (const auto &sys : systems) {
             core::TimingConfig tc;
             tc.llm = m;
             tc.hw = hw;
-            tc.system = sys;
+            tc.system = core::SystemRegistry::create(sys, opts);
             tc.batch = 1;
             tc.prompt_len = w.prompt_len;
             tc.gen_len = w.gen_len;
-            tc.budget = 2048;
-            tc.allow_full_attention_offload = allow_offload;
             const auto r = te.simulate(tc);
             if (r.oom)
                 std::printf(" %20s", "OOM");
@@ -53,19 +54,17 @@ main()
 {
     run("Fig 10(a): cloud single request (A800, DeepSeek-8B geometry), "
         "tokens/s",
-        model::deepseekDistillLlama8bGeometry(),
+        model::geometryPreset("DeepSeek-Distill-Llama-8B"),
         sim::HardwareSpec::cloudA800(), false,
-        {core::SystemKind::HFEager, core::SystemKind::FlashAttention,
-         core::SystemKind::FlashInfer, core::SystemKind::Quest,
-         core::SystemKind::ShadowKV, core::SystemKind::ClusterKV,
-         core::SystemKind::SpeContext});
+        {"FullAttn(Eager)", "FullAttn(FlashAttn)", "FullAttn(FlashInfer)",
+         "Quest", "ShadowKV", "ClusterKV", "SpeContext"});
 
     run("Fig 10(b): edge single request (RTX4060 4GB cap, "
         "Reasoning-Llama-1B geometry), tokens/s",
-        model::reasoningLlama32_1bGeometry(),
+        model::geometryPreset("Reasoning-Llama-3.2-1B"),
         sim::HardwareSpec::edge4060Capped4G(), true,
-        {core::SystemKind::HFEager, core::SystemKind::FlashAttention,
-         core::SystemKind::ShadowKV, core::SystemKind::SpeContext});
+        {"FullAttn(Eager)", "FullAttn(FlashAttn)", "ShadowKV",
+         "SpeContext"});
 
     std::printf("\n(paper shape: (a) ours best on the reasoning rows "
                 "[2k,16k]/[2k,32k], ~FlashInfer on the input rows; "

@@ -13,6 +13,22 @@
 
 using namespace specontext;
 
+namespace {
+
+/** SpeContext instance with the given ablation stage enabled. */
+std::shared_ptr<const core::SystemModel>
+speContextStage(bool c2, bool c3, double overlap = 0.85,
+                int64_t budget = 2048)
+{
+    core::SystemOptions o;
+    o.budget = budget;
+    o.elastic_overlap = overlap;
+    o.features = {true, c2, c3};
+    return core::SystemRegistry::create("SpeContext", o);
+}
+
+} // namespace
+
 int
 main()
 {
@@ -24,27 +40,27 @@ main()
                 "+C1+C2", "+C1+C2+C3");
     for (const auto &w : serving::paperWorkloads()) {
         core::TimingConfig tc;
-        tc.llm = model::deepseekDistillLlama8bGeometry();
+        tc.llm = model::geometryPreset("DeepSeek-Distill-Llama-8B");
         tc.hw = sim::HardwareSpec::cloudA800();
         tc.prompt_len = w.prompt_len;
         tc.gen_len = w.gen_len;
-        tc.budget = 2048;
-        tc.elastic_overlap = 0.85;
 
         // All stages at the paper's batch 32 under memory pressure;
         // the HF anchor is eager full attention *with complete
         // offloading*, the baseline §7.5.3 names for this figure.
         tc.batch = 32;
-        tc.system = core::SystemKind::HFEager;
-        tc.allow_full_attention_offload = true;
+        core::SystemOptions hf_opts;
+        hf_opts.budget = 2048;
+        hf_opts.allow_full_attention_offload = true;
+        tc.system = core::SystemRegistry::create("FullAttn(Eager)",
+                                                 hf_opts);
         const auto hf = te.simulate(tc);
 
-        tc.system = core::SystemKind::SpeContext;
-        tc.features = {true, false, false};
+        tc.system = speContextStage(false, false);
         const auto c1 = te.simulate(tc);
-        tc.features = {true, true, false};
+        tc.system = speContextStage(true, false);
         const auto c12 = te.simulate(tc);
-        tc.features = {true, true, true};
+        tc.system = speContextStage(true, true);
         const auto c123 = te.simulate(tc);
 
         auto cell = [](const core::TimingResult &r) {
@@ -66,23 +82,20 @@ main()
     bench::section("elastic-loading ablation detail (C2), [2k,32k], "
                    "batch 32, low-memory regime");
     core::TimingConfig tc;
-    tc.llm = model::deepseekDistillLlama8bGeometry();
+    tc.llm = model::geometryPreset("DeepSeek-Distill-Llama-8B");
     tc.hw = sim::HardwareSpec::cloudA800();
     tc.hw.gpu_mem_bytes = 48LL << 30; // force offloading
-    tc.system = core::SystemKind::SpeContext;
     tc.prompt_len = 2048;
     tc.gen_len = 32768;
-    tc.budget = 2048;
     tc.batch = 16;
     std::printf("%-28s %12s\n", "variant", "tokens/s");
-    tc.features = {true, false, false};
+    tc.system = speContextStage(false, false);
     std::printf("%-28s %12.1f\n", "sync full-budget loading",
                 te.simulate(tc).throughput);
-    tc.features = {true, true, true};
-    tc.elastic_overlap = 0.0;
+    tc.system = speContextStage(true, true, 0.0);
     std::printf("%-28s %12.1f\n", "async, no reuse",
                 te.simulate(tc).throughput);
-    tc.elastic_overlap = 0.85;
+    tc.system = speContextStage(true, true, 0.85);
     std::printf("%-28s %12.1f\n", "async + elastic (85% reuse)",
                 te.simulate(tc).throughput);
     return 0;

@@ -1,8 +1,9 @@
 /**
  * @file
  * Continuous batching vs wave scheduling on open-loop Poisson traffic
- * (beyond the paper's closed Table 3 grid): FlashInfer and SpeContext
- * serving the paper-mix and mixed-length traces on the cloud A800,
+ * (beyond the paper's closed Table 3 grid): every registry system the
+ * continuous batcher can drive (FlashInfer, SpeContext, H2O,
+ * StreamingLLM) serving the paper-mix and mixed-length traces on A800,
  * with per-request latency metrics (TTFT / TPOT / E2E percentiles)
  * and aggregate token throughput. Writes machine-readable results to
  * BENCH_serving.json (override with argv[1]) so the trajectory is
@@ -31,22 +32,23 @@ struct Row
 };
 
 Row
-runOne(const core::TimingEngine &engine, core::SystemKind sys,
+runOne(const core::TimingEngine &engine, const std::string &sys,
        const std::string &trace_name,
        const std::vector<serving::Request> &trace, bool continuous)
 {
     serving::ServerConfig cfg;
     cfg.timing.llm = model::deepseekDistillLlama8bGeometry();
     cfg.timing.hw = sim::HardwareSpec::cloudA800();
-    cfg.timing.system = sys;
-    cfg.timing.budget = 2048;
+    core::SystemOptions opts;
+    opts.budget = 2048;
+    cfg.timing.system = core::SystemRegistry::create(sys, opts);
     cfg.max_batch = 64;
 
     serving::ServeResult r =
         continuous ? serving::Server(engine, cfg).run(trace)
                    : serving::serveWaves(engine, cfg, trace);
     Row row;
-    row.system = core::systemKindName(sys);
+    row.system = sys;
     row.trace = trace_name;
     row.discipline = continuous ? "continuous" : "wave";
     row.s = r.summary();
@@ -73,33 +75,27 @@ printRows(const std::vector<Row> &rows)
 void
 writeJson(const std::vector<Row> &rows, const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        std::printf("cannot write %s\n", path.c_str());
-        return;
-    }
-    std::fprintf(f, "{\n  \"bench\": \"serving_continuous\",\n"
-                    "  \"hardware\": \"cloudA800\",\n  \"rows\": [\n");
-    for (size_t i = 0; i < rows.size(); ++i) {
-        const Row &r = rows[i];
-        std::fprintf(
-            f,
-            "    {\"system\": \"%s\", \"trace\": \"%s\", "
+    std::vector<std::string> out;
+    out.reserve(rows.size());
+    for (const Row &r : rows) {
+        char line[640];
+        std::snprintf(
+            line, sizeof(line),
+            "{\"system\": \"%s\", \"trace\": \"%s\", "
             "\"discipline\": \"%s\", \"throughput_tokens_per_s\": %.2f, "
             "\"ttft_mean_s\": %.3f, \"ttft_p95_s\": %.3f, "
             "\"tpot_mean_s\": %.5f, \"e2e_mean_s\": %.3f, "
             "\"e2e_p95_s\": %.3f, \"queue_delay_mean_s\": %.3f, "
             "\"completed\": %ld, \"rejected\": %ld, "
-            "\"peak_in_flight\": %ld, \"makespan_s\": %.2f}%s\n",
+            "\"peak_in_flight\": %ld, \"makespan_s\": %.2f}",
             r.system.c_str(), r.trace.c_str(), r.discipline.c_str(),
             r.s.throughput_tokens_per_s, r.s.ttft_mean, r.s.ttft_p95,
             r.s.tpot_mean, r.s.e2e_mean, r.s.e2e_p95,
             r.s.queue_delay_mean, r.s.completed, r.rejected, r.peak,
-            r.s.makespan_seconds, i + 1 < rows.size() ? "," : "");
+            r.s.makespan_seconds);
+        out.push_back(line);
     }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("\nwrote %s\n", path.c_str());
+    bench::writeBenchJson(path, "serving_continuous", "cloudA800", out);
 }
 
 } // namespace
@@ -118,9 +114,17 @@ main(int argc, char **argv)
     const auto paper_trace = workload::paperMixTrace(tc);
     const auto mixed_trace = workload::mixedLengthTrace(tc);
 
+    // Every registered system the continuous batcher can drive, with
+    // the eager/FlashAttention variants elided (same dataflow as
+    // FlashInfer, slower kernels — noise in this comparison).
     std::vector<Row> rows;
-    for (auto sys : {core::SystemKind::FlashInfer,
-                     core::SystemKind::SpeContext}) {
+    core::SystemOptions probe_opts;
+    for (const std::string &sys : core::SystemRegistry::names()) {
+        if (!core::SystemRegistry::create(sys, probe_opts)
+                 ->supportsContinuousBatching())
+            continue;
+        if (sys == "FullAttn(Eager)" || sys == "FullAttn(FlashAttn)")
+            continue;
         for (bool continuous : {false, true}) {
             rows.push_back(runOne(engine, sys, "paper-mix",
                                   paper_trace, continuous));

@@ -76,5 +76,33 @@ section(const std::string &title)
     std::printf("\n===== %s =====\n", title.c_str());
 }
 
+/**
+ * Write a bench artifact as {"bench": ..., "hardware": ..., "rows":
+ * [...]} — the shared writer of BENCH_*.json. Each entry of `rows` is
+ * one complete JSON object (no trailing comma).
+ */
+inline void
+writeBenchJson(const std::string &path, const std::string &bench,
+               const std::string &hardware,
+               const std::vector<std::string> &rows)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::printf("cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"%s\",\n  \"hardware\": \"%s\",\n"
+                 "  \"rows\": [\n",
+                 bench.c_str(), hardware.c_str());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        std::fprintf(f, "    %s%s\n", rows[i].c_str(),
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+}
+
 } // namespace bench
 } // namespace specontext

@@ -4,7 +4,7 @@
  * 4 GB-capped RTX 4060 Laptop. Shows the simulated throughput of full
  * attention (with complete offloading), ShadowKV, and SpeContext, and
  * the static-policy performance cliff that adaptive memory management
- * removes.
+ * removes. Systems come from the SystemRegistry (core/system_model.h).
  */
 #include <cstdio>
 
@@ -18,11 +18,12 @@ main()
 {
     core::TimingEngine engine;
     core::TimingConfig base;
-    base.llm = model::reasoningLlama32_1bGeometry();
+    base.llm = model::geometryPreset("Reasoning-Llama-3.2-1B");
     base.hw = sim::HardwareSpec::edge4060Capped4G();
     base.batch = 1;
-    base.budget = 2048;
-    base.allow_full_attention_offload = true;
+    core::SystemOptions opts;
+    opts.budget = 2048;
+    opts.allow_full_attention_offload = true;
 
     std::printf("Edge platform: %s, model %s (%.2fB params)\n\n",
                 base.hw.name.c_str(), base.llm.name.c_str(),
@@ -31,21 +32,21 @@ main()
     std::printf("%-12s %-22s %12s %10s\n", "workload", "system",
                 "tokens/s", "GPU-layers");
     for (const auto &w : serving::paperWorkloads()) {
-        for (auto sys :
-             {core::SystemKind::HFEager, core::SystemKind::FlashAttention,
-              core::SystemKind::ShadowKV, core::SystemKind::SpeContext}) {
+        for (const char *sys :
+             {"FullAttn(Eager)", "FullAttn(FlashAttn)", "ShadowKV",
+              "SpeContext"}) {
             auto cfg = base;
-            cfg.system = sys;
+            cfg.system = core::SystemRegistry::create(sys, opts);
             cfg.prompt_len = w.prompt_len;
             cfg.gen_len = w.gen_len;
             const auto r = engine.simulate(cfg);
             if (r.oom) {
                 std::printf("%-12s %-22s %12s %10s\n", w.label().c_str(),
-                            core::systemKindName(sys), "OOM", "-");
+                            sys, "OOM", "-");
             } else {
                 std::printf("%-12s %-22s %12.2f %10ld\n",
-                            w.label().c_str(), core::systemKindName(sys),
-                            r.throughput, r.final_gpu_layers);
+                            w.label().c_str(), sys, r.throughput,
+                            r.final_gpu_layers);
             }
         }
         std::printf("\n");
@@ -57,16 +58,18 @@ main()
                 "([2k in], growing output):\n");
     std::printf("%-10s %14s %14s\n", "out-len", "static tok/s",
                 "adaptive tok/s");
+    core::SystemOptions cliff = opts;
+    cliff.budget = 8192;        // stress the PCIe path
+    cliff.elastic_overlap = 0.3;
     for (int64_t out : {8192, 16384, 24576, 32768}) {
         auto cfg = base;
-        cfg.system = core::SystemKind::SpeContext;
         cfg.prompt_len = 2048;
         cfg.gen_len = out;
-        cfg.budget = 8192;        // stress the PCIe path
-        cfg.elastic_overlap = 0.3;
-        cfg.features = {true, true, false};
+        cliff.features = {true, true, false};
+        cfg.system = core::SystemRegistry::create("SpeContext", cliff);
         const double stat = engine.simulate(cfg).throughput;
-        cfg.features = {true, true, true};
+        cliff.features = {true, true, true};
+        cfg.system = core::SystemRegistry::create("SpeContext", cliff);
         const double adp = engine.simulate(cfg).throughput;
         std::printf("%-10ld %14.2f %14.2f\n", out, stat, adp);
     }

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "core/timing_engine.h"
+#include "core/system_model.h"
 
 namespace specontext {
 namespace core {
@@ -16,6 +16,7 @@ dataflowKindName(DataflowKind k)
       case DataflowKind::PrefetchSparseKV: return "PrefetchSparseKV";
       case DataflowKind::PrefetchSparseV: return "PrefetchSparseV";
       case DataflowKind::SpeContextElastic: return "SpeContext";
+      case DataflowKind::ResidentKV: return "ResidentKV";
     }
     return "?";
 }
@@ -25,7 +26,7 @@ simulateTokenDataflow(DataflowKind kind, const DataflowParams &p)
 {
     const sim::CostModel cost(p.hw, p.backend);
     const model::ModelConfig &m = p.llm;
-    const int64_t kvb = TimingEngine::kvBytesPerTokenPerLayer(m);
+    const int64_t kvb = kvBytesPerTokenPerLayer(m);
     const int64_t R = p.batch;
 
     // Per-layer component durations.
@@ -148,6 +149,15 @@ simulateTokenDataflow(DataflowKind kind, const DataflowParams &p)
                 tl.enqueue(StreamId::Copy, diff_xfer_layer, "transfer");
         for (int64_t l = 0; l < m.layers; ++l) {
             tl.waitEvent(StreamId::Compute, layer_ready[l]);
+            tl.enqueue(StreamId::Compute, attn_sparse_layer, "attn");
+            tl.enqueue(StreamId::Compute, ffn_gemm_layer, "ffn");
+        }
+        break;
+      }
+      case DataflowKind::ResidentKV: {
+        // Permanent eviction keeps the budget-bounded cache in HBM:
+        // no retrieval fetch, no transfers, the copy stream idles.
+        for (int64_t l = 0; l < m.layers; ++l) {
             tl.enqueue(StreamId::Compute, attn_sparse_layer, "attn");
             tl.enqueue(StreamId::Compute, ffn_gemm_layer, "ffn");
         }

@@ -15,7 +15,11 @@
  *      keys, V fetched on the copy stream, K reconstructed on GPU;
  *  (e) SpeContextElastic — ours: the global selection is known before
  *      layer 0, so the copy stream prefetches the per-layer elastic
- *      diffs ahead of the compute stream (data independence).
+ *      diffs ahead of the compute stream (data independence);
+ *  (f) ResidentKV      — permanent-eviction systems (H2O,
+ *      StreamingLLM): the budget-bounded cache lives entirely in HBM,
+ *      so the copy stream is idle and every layer attends the sparse
+ *      resident set back-to-back.
  */
 #pragma once
 
@@ -37,6 +41,7 @@ enum class DataflowKind {
     PrefetchSparseKV,
     PrefetchSparseV,
     SpeContextElastic,
+    ResidentKV,
 };
 
 const char *dataflowKindName(DataflowKind k);

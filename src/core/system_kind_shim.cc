@@ -1,0 +1,30 @@
+#include "core/system_kind_shim.h"
+
+#include <stdexcept>
+
+namespace specontext {
+namespace core {
+
+const char *
+legacySystemName(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::HFEager: return "FullAttn(Eager)";
+      case SystemKind::FlashAttention: return "FullAttn(FlashAttn)";
+      case SystemKind::FlashInfer: return "FullAttn(FlashInfer)";
+      case SystemKind::Quest: return "Quest";
+      case SystemKind::ClusterKV: return "ClusterKV";
+      case SystemKind::ShadowKV: return "ShadowKV";
+      case SystemKind::SpeContext: return "SpeContext";
+    }
+    throw std::logic_error("unknown system kind");
+}
+
+std::shared_ptr<const SystemModel>
+systemFromKind(SystemKind kind, const SystemOptions &opts)
+{
+    return SystemRegistry::create(legacySystemName(kind), opts);
+}
+
+} // namespace core
+} // namespace specontext

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * DEPRECATION SHIM — scheduled for removal next PR.
+ *
+ * The old `core::SystemKind` enum and its helpers, kept for one PR so
+ * out-of-tree callers can migrate to the string-keyed SystemRegistry
+ * (core/system_model.h). This file contains the ONLY remaining switch
+ * over SystemKind in the repository: the enum → registry-name map.
+ *
+ * Migration:
+ *     cfg.system = SystemKind::SpeContext;            // old
+ *     cfg.system = SystemRegistry::create("SpeContext", opts); // new
+ */
+#pragma once
+
+#include "core/system_model.h"
+
+namespace specontext {
+namespace core {
+
+/** @deprecated Use SystemRegistry names instead. */
+enum class SystemKind {
+    HFEager,       ///< HuggingFace full attention, eager kernels
+    FlashAttention,///< full attention, fused kernel
+    FlashInfer,    ///< full attention, fused + batch-scheduled
+    Quest,
+    ClusterKV,
+    ShadowKV,
+    SpeContext,
+};
+
+/** @deprecated The enum value's registry name (the one enum switch
+ *  left in the tree). */
+const char *legacySystemName(SystemKind kind);
+
+/** @deprecated Old display-name helper; now identical to
+ *  legacySystemName(). */
+inline const char *
+systemKindName(SystemKind kind)
+{
+    return legacySystemName(kind);
+}
+
+/** @deprecated Resolve an enum value through the registry:
+ *  SystemRegistry::create(legacySystemName(kind), opts). */
+std::shared_ptr<const SystemModel>
+systemFromKind(SystemKind kind, const SystemOptions &opts = {});
+
+} // namespace core
+} // namespace specontext

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Pluggable inference-system API: the polymorphic replacement of the
+ * old `SystemKind` enum-switch dispatch.
+ *
+ * A `SystemModel` encapsulates everything one simulated inference
+ * system knows about itself:
+ *  - identity: display name and kernel backend;
+ *  - memory: HBM/DRAM footprint at a batch shape (wrapping the paper's
+ *    Eq. 6-8 `sim::MemoryModel` where applicable);
+ *  - timing: whole-run `simulate()`, plus the two incremental quanta
+ *    the continuous-batching server needs (per-request prefill and
+ *    one heterogeneous-batch decode iteration);
+ *  - serving: the admission test deciding whether a request's KV
+ *    reservation fits next to the in-flight batch;
+ *  - dataflow: which Fig. 7 row it schedules on the two-stream
+ *    `sim::Timeline`.
+ *
+ * Systems are constructed through the string-keyed `SystemRegistry`:
+ *
+ *     auto sys = core::SystemRegistry::create("SpeContext", opts);
+ *     core::TimingConfig cfg{llm, hw, sys, batch, in, out};
+ *     core::TimingEngine().simulate(cfg);
+ *
+ * Adding a new system is a self-contained plugin: subclass
+ * `SystemModel` in one translation unit and register a factory (see
+ * src/core/systems/eviction_system.cc — the H2O worked example — and
+ * the how-to in README.md). Nothing else in the repository needs to
+ * change; registered systems automatically appear in the Pareto and
+ * Table-3 sweeps, the serving benches, and the registry tests.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataflow.h"
+#include "model/config.h"
+#include "sim/cost.h"
+#include "sim/hardware.h"
+#include "sim/memory_model.h"
+
+namespace specontext {
+namespace core {
+
+class SystemModel;
+
+/** Ablation switches of SpeContext (paper Fig. 11). */
+struct SpeContextFeatures
+{
+    bool retrieval_head = true; ///< C1: sparse attention via DLM head
+    bool async_elastic = true;  ///< C2: async prefetch + elastic loading
+    bool adaptive_memory = true;///< C3: Algorithm 1/2 placement
+};
+
+/**
+ * Knobs a system is constructed with — the single options block that
+ * replaces the old ad-hoc plumbing of per-system fields through
+ * TimingConfig. Systems read only the fields they care about.
+ */
+struct SystemOptions
+{
+    int64_t budget = 2048;      ///< B: sparse-attention KV budget
+    int64_t page_size = 16;     ///< Quest page granularity
+    int64_t avg_cluster_size = 16; ///< ClusterKV mean cluster size
+    int64_t cluster_iterations = 4;///< ClusterKV k-means iterations
+    /**
+     * Adjacent-step selection overlap used by elastic loading. The
+     * default matches the >80 % the paper measures (Fig. 6(b)); benches
+     * feed values measured from live runs.
+     */
+    double elastic_overlap = 0.85;
+    SpeContextFeatures features;
+    /**
+     * Let full-attention systems spill KV to CPU DRAM when it does not
+     * fit (HF-Accelerate style, per-step full-KV transfer). The paper
+     * enables this in the edge evaluation (§7.3.2) but reports OOM for
+     * full attention in the cloud tables, so it defaults off.
+     */
+    bool allow_full_attention_offload = false;
+    /**
+     * H2O's always-protected trailing tokens, excluded from eviction
+     * scoring. (StreamingLLM's sink/window split needs no knob here:
+     * sink + window always total `budget`, so the simulated cost is
+     * split-independent; the live retriever takes its own sink size.)
+     */
+    int64_t recent_window = 8;
+};
+
+/** One simulated run: geometry, hardware, system, and batch shape. */
+struct TimingConfig
+{
+    model::ModelConfig llm;     ///< geometry preset
+    sim::HardwareSpec hw;
+    /** System under simulation, from SystemRegistry::create(). */
+    std::shared_ptr<const SystemModel> system;
+    int64_t batch = 1;          ///< R
+    int64_t prompt_len = 2048;  ///< input tokens per request
+    int64_t gen_len = 2048;     ///< output tokens per request
+};
+
+/** Simulated outcome. */
+struct TimingResult
+{
+    bool oom = false;
+    std::string oom_reason;
+    double prefill_seconds = 0.0;
+    double decode_seconds = 0.0;
+    /** batch * gen_len / (prefill + decode). */
+    double throughput = 0.0;
+    /** batch * gen_len / decode only. */
+    double decode_throughput = 0.0;
+    /** seconds by component tag (attn, gemm, retrieval, transfer...). */
+    std::map<std::string, double> breakdown;
+    int64_t final_gpu_layers = 0; ///< KV layers resident at the end
+};
+
+/** Outcome of one admission test (continuous-batching serving). */
+struct AdmissionDecision
+{
+    bool admit = false;
+    std::string reason; ///< denial diagnostic, empty on admit
+};
+
+/** Bytes of KV cache per token per layer per request at FP16. */
+int64_t kvBytesPerTokenPerLayer(const model::ModelConfig &m);
+
+/** Weight + runtime-buffer bytes: 1.3x FP16 parameters (Eq. 6's
+ *  coefficient); the single copy of the rule shared by every system's
+ *  footprint math and the serving layer's admission control. */
+int64_t weightFootprintBytes(const model::ModelConfig &m);
+
+/** Abstract simulated inference system. */
+class SystemModel
+{
+  public:
+    explicit SystemModel(const SystemOptions &opts) : opts_(opts) {}
+    virtual ~SystemModel() = default;
+
+    /** Display name; equals the registry key it was created under. */
+    virtual const char *name() const = 0;
+
+    /** Kernel backend the system builds on. */
+    virtual sim::KernelBackend backend() const = 0;
+
+    /** Fig. 7 row this system schedules on the two-stream timeline. */
+    virtual DataflowKind dataflow() const = 0;
+
+    /** True for systems the continuous batcher can drive; wave-only
+     *  systems (per-layer retrieve-then-load baselines) return false. */
+    virtual bool supportsContinuousBatching() const { return false; }
+
+    /** Largest request count simulate() supports — 1 for the
+     *  single-request baselines (§7.3.1), unbounded otherwise. */
+    virtual int64_t maxSimulatedBatch() const;
+
+    const SystemOptions &options() const { return opts_; }
+
+    // ---- Timing ----------------------------------------------------
+    //
+    // Input validation lives in the TimingEngine façade (the public
+    // entry point): cfg.llm is validated and the stepping guards run
+    // there, so implementations can assume a well-formed config and
+    // plugins do not re-implement the checks.
+
+    /** Price a whole closed [prompt, gen] run. */
+    virtual TimingResult simulate(const TimingConfig &cfg) const = 0;
+
+    /**
+     * Seconds to prefill one request of `prompt_len` tokens joining the
+     * running batch (chunked prefill iteration, including any
+     * system-specific prompt preprocessing and KV spill transfers).
+     * `in_flight_requests` and `resident_kv_tokens` describe the batch
+     * being joined. Base implementation throws for wave-only systems.
+     * @throws std::invalid_argument for unsupported systems.
+     */
+    virtual double requestPrefillSeconds(const TimingConfig &cfg,
+                                         int64_t prompt_len,
+                                         int64_t in_flight_requests,
+                                         int64_t resident_kv_tokens) const;
+
+    /**
+     * Seconds of one decode iteration over the in-flight batch;
+     * kv_lens[i] is request i's current context. Base implementation
+     * throws for wave-only systems.
+     * @throws std::invalid_argument for unsupported systems.
+     */
+    virtual double decodeIterationSeconds(
+        const TimingConfig &cfg, const std::vector<int64_t> &kv_lens) const;
+
+    // ---- Memory footprint ------------------------------------------
+
+    /** Memory-model inputs (the {LLM, DLM, budget, GPU capacity} block
+     *  of Eq. 6-8) for `requests` concurrent requests. */
+    sim::MemoryModelInputs memoryInputs(const TimingConfig &cfg,
+                                        int64_t requests) const;
+
+    /**
+     * Peak HBM bytes for `requests` uniform requests at context length
+     * s: weights + runtime buffers + this system's resident KV. Base
+     * implementation prices a fully resident FP16 KV cache.
+     */
+    virtual int64_t hbmFootprintBytes(const TimingConfig &cfg,
+                                      int64_t requests, int64_t s) const;
+
+    /** CPU-DRAM bytes the system parks at the same shape (offloaded or
+     *  spilled KV); 0 for fully resident systems. */
+    virtual int64_t dramFootprintBytes(const TimingConfig &cfg,
+                                       int64_t requests, int64_t s) const;
+
+    // ---- Serving ---------------------------------------------------
+
+    /**
+     * Admission test: can a request of `candidate_final_len` final
+     * tokens (prompt `candidate_prompt_len`) join a batch whose members
+     * have the given final-length reservations without oversubscribing
+     * memory? Base implementation rejects wave-only systems.
+     */
+    virtual AdmissionDecision admit(
+        const TimingConfig &cfg,
+        const std::vector<int64_t> &in_flight_final_lens,
+        int64_t candidate_prompt_len, int64_t candidate_final_len) const;
+
+    // ---- Dataflow --------------------------------------------------
+
+    /** One decode token's two-stream timeline at context `seq_len`
+     *  under this system's dataflow() row and options. */
+    DataflowResult tokenDataflow(const TimingConfig &cfg,
+                                 int64_t seq_len) const;
+
+  protected:
+    /**
+     * Shared skeleton of one heterogeneous-batch decode iteration:
+     * batch-wide GEMMs/launches/LM head from the uniform-step
+     * breakdown at kv_len == 0, per-request attention summed over
+     * `attended(s)` tokens (attentionDecodeSeconds is linear in
+     * batch * kv_len, so the sum equals one call at the total), all
+     * floored by weight streaming. Throws on non-positive lengths.
+     * Optionally reports the attended total and longest context.
+     */
+    double stepComputeSeconds(
+        const TimingConfig &cfg, const sim::CostModel &cost,
+        const std::vector<int64_t> &kv_lens,
+        const std::function<int64_t(int64_t)> &attended,
+        int64_t *attended_total_out = nullptr,
+        int64_t *s_max_out = nullptr) const;
+
+    SystemOptions opts_;
+};
+
+/**
+ * String-keyed factory registry of every simulatable system. The seven
+ * paper systems plus H2O and StreamingLLM are built in; plugins add
+ * themselves with registerSystem().
+ */
+class SystemRegistry
+{
+  public:
+    using Factory = std::function<std::shared_ptr<const SystemModel>(
+        const SystemOptions &)>;
+
+    /** Register a factory under a unique display name.
+     *  @throws std::invalid_argument when the name is taken or empty. */
+    static void registerSystem(const std::string &name, Factory factory);
+
+    /** Instantiate a system by name.
+     *  @throws std::invalid_argument for unknown names (the message
+     *  lists every registered name). */
+    static std::shared_ptr<const SystemModel>
+    create(const std::string &name, const SystemOptions &opts = {});
+
+    /** Sorted names of every registered system. */
+    static std::vector<std::string> names();
+
+    static bool contains(const std::string &name);
+};
+
+} // namespace core
+} // namespace specontext

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Permanent-eviction systems: H2O (heavy-hitter accumulated-attention
+ * eviction, Zhang et al. NeurIPS'23) and StreamingLLM (attention sink
+ * + sliding window, Xiao et al. ICLR'24) — the §2.2 baselines whose
+ * live retrievers already existed in src/retrieval/ but could not be
+ * simulated or served before the SystemModel registry.
+ *
+ * Pricing model: both hold a *bounded* resident KV cache — at most
+ * `budget` tokens per request per layer survive eviction — entirely in
+ * HBM, so there is no retrieval fetch, no PCIe traffic and no per-layer
+ * sync; attention reads min(budget, context) tokens. The cost of that
+ * compactness is irreversible information loss (§3.1), visible as
+ * accuracy degradation in the Fig. 1 Pareto bench's live runs.
+ *  - StreamingLLM's selection is input-agnostic (sink + window), so
+ *    eviction upkeep is free.
+ *  - H2O updates a per-(layer, head) accumulated-attention mass table
+ *    and evicts the arg-min each step: one cheap on-GPU scan + top-k
+ *    over the tracked set per layer, priced via retrievalSeconds.
+ * Both evict during chunked prefill as well, so the resident cache
+ * never materializes beyond the budget (no eager-style scratch OOM).
+ *
+ * This file doubles as the registry's worked "adding a new system"
+ * example (README.md): a self-contained subclass plus one factory
+ * registration, no edits anywhere else in the tree.
+ */
+#include "core/systems/registration.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace specontext {
+namespace core {
+namespace {
+
+/** Shared skeleton of budget-bounded permanent-eviction systems. */
+class EvictionSystem : public SystemModel
+{
+  public:
+    using SystemModel::SystemModel;
+
+    sim::KernelBackend backend() const override
+    {
+        return sim::KernelBackend::FlashAttention;
+    }
+    DataflowKind dataflow() const override
+    {
+        return DataflowKind::ResidentKV;
+    }
+    bool supportsContinuousBatching() const override { return true; }
+
+    TimingResult simulate(const TimingConfig &cfg) const override;
+    double requestPrefillSeconds(const TimingConfig &cfg,
+                                 int64_t prompt_len,
+                                 int64_t in_flight_requests,
+                                 int64_t resident_kv_tokens) const override;
+    double decodeIterationSeconds(
+        const TimingConfig &cfg,
+        const std::vector<int64_t> &kv_lens) const override;
+    AdmissionDecision admit(const TimingConfig &cfg,
+                            const std::vector<int64_t> &in_flight_final_lens,
+                            int64_t candidate_prompt_len,
+                            int64_t candidate_final_len) const override;
+    int64_t hbmFootprintBytes(const TimingConfig &cfg, int64_t requests,
+                              int64_t s) const override;
+
+  protected:
+    /** Resident KV tokens of one request at context length s. */
+    int64_t residentTokens(int64_t s) const
+    {
+        return std::min(s, opts_.budget);
+    }
+
+    /** One-time scoring pass over the prompt (H2O's mass accumulation);
+     *  seconds, added to prefill. */
+    virtual double preprocessSeconds(const TimingConfig &cfg,
+                                     const sim::CostModel &cost,
+                                     int64_t requests,
+                                     int64_t prompt_len) const
+    {
+        (void)cfg;
+        (void)cost;
+        (void)requests;
+        (void)prompt_len;
+        return 0.0;
+    }
+
+    /** Per-step eviction upkeep across all layers (H2O's accumulate +
+     *  arg-min scan); seconds, added to every decode iteration. */
+    virtual double evictionSeconds(const TimingConfig &cfg,
+                                   const sim::CostModel &cost,
+                                   int64_t requests,
+                                   int64_t attended_total) const
+    {
+        (void)cfg;
+        (void)cost;
+        (void)requests;
+        (void)attended_total;
+        return 0.0;
+    }
+};
+
+TimingResult
+EvictionSystem::simulate(const TimingConfig &cfg) const
+{
+    TimingResult r;
+    const sim::CostModel cost(cfg.hw, backend());
+    const model::ModelConfig &m = cfg.llm;
+    const int64_t R = cfg.batch;
+    const int64_t s_final = cfg.prompt_len + cfg.gen_len;
+    const int64_t kvb = kvBytesPerTokenPerLayer(m);
+
+    // Bounded residency: eviction runs during chunked prefill too, so
+    // the cache never exceeds budget tokens per request per layer.
+    const int64_t gpu_kv =
+        R * residentTokens(s_final) * kvb * m.layers;
+    if (weightFootprintBytes(m) + gpu_kv > cfg.hw.gpu_mem_bytes) {
+        r.oom = true;
+        r.oom_reason = "budget-bounded KV exceeds GPU memory";
+        return r;
+    }
+
+    // --- Prefill (full prompt pass; evicted KV is freed, not moved) --
+    r.prefill_seconds = cost.prefillSeconds(m, R, cfg.prompt_len);
+    const double preprocess =
+        preprocessSeconds(cfg, cost, R, cfg.prompt_len);
+    r.prefill_seconds += preprocess;
+    if (preprocess > 0.0)
+        r.breakdown["preprocess"] += preprocess;
+
+    // --- Decode: attention over the bounded resident set -------------
+    for (int64_t t = 0; t < cfg.gen_len; ++t) {
+        const int64_t attended = residentTokens(cfg.prompt_len + t);
+        const sim::DecodeBreakdown b =
+            cost.decodeStepBreakdown(m, R, attended);
+        double dt = b.total;
+        r.breakdown["attn"] += b.attn;
+        r.breakdown["gemm"] += b.gemm + b.lm_head;
+        r.breakdown["launch"] += b.launch;
+        const double evict = evictionSeconds(cfg, cost, R, R * attended);
+        if (evict > 0.0) {
+            r.breakdown["evict"] += evict;
+            dt += evict;
+        }
+        r.decode_seconds += dt;
+    }
+
+    const double total = r.prefill_seconds + r.decode_seconds;
+    r.throughput = R * cfg.gen_len / total;
+    r.decode_throughput = R * cfg.gen_len / r.decode_seconds;
+    r.final_gpu_layers = m.layers;
+    return r;
+}
+
+double
+EvictionSystem::requestPrefillSeconds(const TimingConfig &cfg,
+                                      int64_t prompt_len,
+                                      int64_t in_flight_requests,
+                                      int64_t resident_kv_tokens) const
+{
+    (void)in_flight_requests;
+    (void)resident_kv_tokens; // eviction frees KV, nothing spills
+    const sim::CostModel cost(cfg.hw, backend());
+    return cost.prefillSeconds(cfg.llm, 1, prompt_len) +
+           preprocessSeconds(cfg, cost, 1, prompt_len);
+}
+
+double
+EvictionSystem::decodeIterationSeconds(
+    const TimingConfig &cfg, const std::vector<int64_t> &kv_lens) const
+{
+    if (kv_lens.empty())
+        return 0.0;
+    const sim::CostModel cost(cfg.hw, backend());
+    const int64_t R = static_cast<int64_t>(kv_lens.size());
+
+    // Attention reads the budget-bounded resident set per request.
+    int64_t attended_total = 0;
+    const double step_compute = stepComputeSeconds(
+        cfg, cost, kv_lens,
+        [this](int64_t s) { return residentTokens(s); },
+        &attended_total);
+    return step_compute + evictionSeconds(cfg, cost, R, attended_total);
+}
+
+AdmissionDecision
+EvictionSystem::admit(const TimingConfig &cfg,
+                      const std::vector<int64_t> &in_flight_final_lens,
+                      int64_t candidate_prompt_len,
+                      int64_t candidate_final_len) const
+{
+    (void)candidate_prompt_len; // eviction bounds prefill residency too
+    const model::ModelConfig &m = cfg.llm;
+    const int64_t kvb = kvBytesPerTokenPerLayer(m);
+    int64_t kv_tokens = residentTokens(candidate_final_len);
+    for (int64_t fl : in_flight_final_lens)
+        kv_tokens += residentTokens(fl);
+    if (weightFootprintBytes(m) + kv_tokens * kvb * m.layers >
+        cfg.hw.gpu_mem_bytes)
+        return {false, "budget-bounded KV reservations exceed GPU memory"};
+    return {true, ""};
+}
+
+int64_t
+EvictionSystem::hbmFootprintBytes(const TimingConfig &cfg,
+                                  int64_t requests, int64_t s) const
+{
+    return weightFootprintBytes(cfg.llm) +
+           requests * residentTokens(s) *
+               kvBytesPerTokenPerLayer(cfg.llm) * cfg.llm.layers;
+}
+
+// -------------------------------------------------------------------- H2O
+
+class H2OSystem final : public EvictionSystem
+{
+  public:
+    using EvictionSystem::EvictionSystem;
+    const char *name() const override { return "H2O"; }
+
+  protected:
+    double preprocessSeconds(const TimingConfig &cfg,
+                             const sim::CostModel &cost, int64_t requests,
+                             int64_t prompt_len) const override
+    {
+        // One accumulated-attention-mass pass over the prompt keys
+        // (the retriever's onPrefillComplete scan).
+        const model::ModelConfig &m = cfg.llm;
+        return cost.gemmFlopsSeconds(2.0 * requests * m.layers *
+                                     m.kv_heads * prompt_len *
+                                     m.head_dim);
+    }
+    double evictionSeconds(const TimingConfig &cfg,
+                           const sim::CostModel &cost, int64_t requests,
+                           int64_t attended_total) const override
+    {
+        // Per layer: accumulate this step's attention mass into the
+        // tracked set and evict the arg-min outside each request's
+        // protected recent window — an on-GPU scan + top-k over at
+        // most `budget` candidates per request, no PCIe and no host
+        // sync. attended_total is batch-aggregate, so the exclusion
+        // is too.
+        const int64_t candidates = std::max<int64_t>(
+            attended_total - requests * opts_.recent_window, 1);
+        return cfg.llm.layers *
+               cost.retrievalSeconds(2.0 * cfg.llm.kv_heads * candidates,
+                                     candidates);
+    }
+};
+
+// ---------------------------------------------------------- StreamingLLM
+
+class StreamingLLMSystem final : public EvictionSystem
+{
+  public:
+    using EvictionSystem::EvictionSystem;
+    const char *name() const override { return "StreamingLLM"; }
+    // Sink + sliding window is input-agnostic: no preprocessing, no
+    // per-step upkeep — the cheapest dataflow of the whole registry.
+};
+
+} // namespace
+
+namespace detail {
+
+void
+registerEvictionSystems()
+{
+    addBuiltinSystem("H2O", [](const SystemOptions &o) {
+        return std::make_shared<H2OSystem>(o);
+    });
+    addBuiltinSystem("StreamingLLM", [](const SystemOptions &o) {
+        return std::make_shared<StreamingLLMSystem>(o);
+    });
+}
+
+} // namespace detail
+} // namespace core
+} // namespace specontext

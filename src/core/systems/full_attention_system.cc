@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Full-attention baselines: HuggingFace eager, FlashAttention, and
+ * FlashInfer. They differ only in kernel efficiency and in the eager
+ * backend's materialized attention scratch (its OOM mode); when the KV
+ * cache outgrows the GPU they fall back to complete offloading
+ * (per-step full KV transfer), HF-Accelerate style, when
+ * SystemOptions::allow_full_attention_offload permits.
+ */
+#include "core/systems/registration.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace specontext {
+namespace core {
+namespace {
+
+class FullAttentionSystem final : public SystemModel
+{
+  public:
+    FullAttentionSystem(const SystemOptions &opts, const char *name,
+                        sim::KernelBackend backend, bool eager_scratch)
+        : SystemModel(opts), name_(name), backend_(backend),
+          eager_scratch_(eager_scratch)
+    {
+    }
+
+    const char *name() const override { return name_; }
+    sim::KernelBackend backend() const override { return backend_; }
+    DataflowKind dataflow() const override
+    {
+        return DataflowKind::PrefetchFullKV;
+    }
+    bool supportsContinuousBatching() const override { return true; }
+
+    TimingResult simulate(const TimingConfig &cfg) const override;
+    double requestPrefillSeconds(const TimingConfig &cfg,
+                                 int64_t prompt_len,
+                                 int64_t in_flight_requests,
+                                 int64_t resident_kv_tokens) const override;
+    double decodeIterationSeconds(
+        const TimingConfig &cfg,
+        const std::vector<int64_t> &kv_lens) const override;
+    AdmissionDecision admit(const TimingConfig &cfg,
+                            const std::vector<int64_t> &in_flight_final_lens,
+                            int64_t candidate_prompt_len,
+                            int64_t candidate_final_len) const override;
+    int64_t hbmFootprintBytes(const TimingConfig &cfg, int64_t requests,
+                              int64_t s) const override;
+    int64_t dramFootprintBytes(const TimingConfig &cfg, int64_t requests,
+                               int64_t s) const override;
+
+  private:
+    /** Prefill attention scratch: eager materializes the (S x S)
+     *  attention matrix per head — its distinctive OOM mode. */
+    int64_t scratchBytes(const model::ModelConfig &m, int64_t requests,
+                         int64_t prompt_len) const
+    {
+        return eager_scratch_
+                   ? 2 * requests * m.q_heads * prompt_len * prompt_len
+                   : 0;
+    }
+
+    const char *name_;
+    sim::KernelBackend backend_;
+    bool eager_scratch_;
+};
+
+TimingResult
+FullAttentionSystem::simulate(const TimingConfig &cfg) const
+{
+    TimingResult r;
+    const sim::CostModel cost(cfg.hw, backend_);
+    const model::ModelConfig &m = cfg.llm;
+    const int64_t R = cfg.batch;
+    const int64_t s_final = cfg.prompt_len + cfg.gen_len;
+    const int64_t kvb = kvBytesPerTokenPerLayer(m);
+    const int64_t weights = weightFootprintBytes(m);
+
+    const int64_t scratch = scratchBytes(m, R, cfg.prompt_len);
+    if (weights + scratch > cfg.hw.gpu_mem_bytes) {
+        r.oom = true;
+        r.oom_reason = "prefill attention scratch exceeds GPU memory";
+        return r;
+    }
+
+    const int64_t kv_total = R * s_final * kvb * m.layers;
+    const bool offload =
+        weights + scratch + kv_total > cfg.hw.gpu_mem_bytes;
+    if (offload && !opts_.allow_full_attention_offload) {
+        r.oom = true;
+        r.oom_reason = "KV cache exceeds GPU memory (no offload)";
+        return r;
+    }
+    if (offload && kv_total > cfg.hw.cpu_mem_bytes) {
+        r.oom = true;
+        r.oom_reason = "KV cache exceeds CPU memory";
+        return r;
+    }
+
+    r.prefill_seconds = cost.prefillSeconds(m, R, cfg.prompt_len);
+    if (offload) {
+        // Initial KV eviction of the prompt.
+        r.prefill_seconds +=
+            cost.pcieSeconds(R * cfg.prompt_len * kvb * m.layers);
+    }
+
+    for (int64_t t = 0; t < cfg.gen_len; ++t) {
+        const int64_t s = cfg.prompt_len + t;
+        const sim::DecodeBreakdown b = cost.decodeStepBreakdown(m, R, s);
+        double dt = b.total;
+        r.breakdown["attn"] += b.attn;
+        r.breakdown["gemm"] += b.gemm + b.lm_head;
+        r.breakdown["launch"] += b.launch;
+        if (offload) {
+            // Complete offloading: the entire KV cache crosses PCIe
+            // every step, layer by layer, serialized with compute.
+            const double xfer =
+                cost.pcieSeconds(R * s * kvb * m.layers);
+            r.breakdown["transfer"] += xfer;
+            dt += xfer;
+        }
+        r.decode_seconds += dt;
+    }
+
+    const double total = r.prefill_seconds + r.decode_seconds;
+    r.throughput = R * cfg.gen_len / total;
+    r.decode_throughput = R * cfg.gen_len / r.decode_seconds;
+    r.final_gpu_layers = offload ? 0 : m.layers;
+    return r;
+}
+
+double
+FullAttentionSystem::requestPrefillSeconds(const TimingConfig &cfg,
+                                           int64_t prompt_len,
+                                           int64_t in_flight_requests,
+                                           int64_t resident_kv_tokens) const
+{
+    (void)in_flight_requests;
+    const sim::CostModel cost(cfg.hw, backend_);
+    const model::ModelConfig &m = cfg.llm;
+    const int64_t kvb = kvBytesPerTokenPerLayer(m);
+    double t = cost.prefillSeconds(m, 1, prompt_len);
+
+    // Complete-offloading spill: when the batch's KV (including the
+    // new prompt) no longer fits, the prompt's KV is evicted right
+    // after prefill — same charge as simulate().
+    if (opts_.allow_full_attention_offload &&
+        weightFootprintBytes(m) +
+                (resident_kv_tokens + prompt_len) * kvb * m.layers >
+            cfg.hw.gpu_mem_bytes) {
+        t += cost.pcieSeconds(prompt_len * kvb * m.layers);
+    }
+    return t;
+}
+
+double
+FullAttentionSystem::decodeIterationSeconds(
+    const TimingConfig &cfg, const std::vector<int64_t> &kv_lens) const
+{
+    if (kv_lens.empty())
+        return 0.0;
+    const sim::CostModel cost(cfg.hw, backend_);
+    const model::ModelConfig &m = cfg.llm;
+
+    // Full attention reads every cached token of every request.
+    int64_t attended_total = 0;
+    const double step_compute = stepComputeSeconds(
+        cfg, cost, kv_lens, [](int64_t s) { return s; },
+        &attended_total);
+    const int64_t kvb = kvBytesPerTokenPerLayer(m);
+
+    double extra = 0.0;
+    if (opts_.allow_full_attention_offload) {
+        // Complete-offloading spill (HF-Accelerate style): once the
+        // live KV outgrows HBM the whole cache crosses PCIe each
+        // iteration, serialized with compute — same rule as simulate().
+        const int64_t kv_bytes = attended_total * kvb * m.layers;
+        if (weightFootprintBytes(m) + kv_bytes > cfg.hw.gpu_mem_bytes)
+            extra = cost.pcieSeconds(kv_bytes);
+    }
+    return step_compute + extra;
+}
+
+AdmissionDecision
+FullAttentionSystem::admit(const TimingConfig &cfg,
+                           const std::vector<int64_t> &in_flight_final_lens,
+                           int64_t candidate_prompt_len,
+                           int64_t candidate_final_len) const
+{
+    const model::ModelConfig &m = cfg.llm;
+    const int64_t kvb = kvBytesPerTokenPerLayer(m);
+    int64_t kv_tokens = candidate_final_len;
+    for (int64_t fl : in_flight_final_lens)
+        kv_tokens += fl;
+    const int64_t kv_total = kv_tokens * kvb * m.layers;
+
+    // Eager materializes the (S x S) attention matrix while prefilling
+    // the joining request (one request at a time in this server).
+    const int64_t scratch = scratchBytes(m, 1, candidate_prompt_len);
+    const int64_t weights = weightFootprintBytes(m);
+    const int64_t need = weights + scratch + kv_total;
+    if (need <= cfg.hw.gpu_mem_bytes)
+        return {true, ""};
+    if (opts_.allow_full_attention_offload) {
+        if (weights + scratch > cfg.hw.gpu_mem_bytes)
+            return {false, "weights + prefill scratch exceed GPU memory"};
+        if (kv_total > cfg.hw.cpu_mem_bytes)
+            return {false, "spilled KV would exceed CPU DRAM"};
+        return {true, ""};
+    }
+    return {false, "reserved KV exceeds GPU memory (no offload)"};
+}
+
+int64_t
+FullAttentionSystem::hbmFootprintBytes(const TimingConfig &cfg,
+                                       int64_t requests, int64_t s) const
+{
+    const int64_t resident = SystemModel::hbmFootprintBytes(cfg, requests, s);
+    if (resident <= cfg.hw.gpu_mem_bytes ||
+        !opts_.allow_full_attention_offload)
+        return resident;
+    // Spilled: only weights + runtime buffers stay on the device.
+    return weightFootprintBytes(cfg.llm);
+}
+
+int64_t
+FullAttentionSystem::dramFootprintBytes(const TimingConfig &cfg,
+                                        int64_t requests, int64_t s) const
+{
+    if (!opts_.allow_full_attention_offload)
+        return 0;
+    const int64_t resident = SystemModel::hbmFootprintBytes(cfg, requests, s);
+    if (resident <= cfg.hw.gpu_mem_bytes)
+        return 0;
+    return requests * s * kvBytesPerTokenPerLayer(cfg.llm) *
+           cfg.llm.layers;
+}
+
+} // namespace
+
+namespace detail {
+
+void
+registerFullAttentionSystems()
+{
+    addBuiltinSystem("FullAttn(Eager)", [](const SystemOptions &o) {
+        return std::make_shared<FullAttentionSystem>(
+            o, "FullAttn(Eager)", sim::KernelBackend::Eager, true);
+    });
+    addBuiltinSystem("FullAttn(FlashAttn)", [](const SystemOptions &o) {
+        return std::make_shared<FullAttentionSystem>(
+            o, "FullAttn(FlashAttn)", sim::KernelBackend::FlashAttention,
+            false);
+    });
+    addBuiltinSystem("FullAttn(FlashInfer)", [](const SystemOptions &o) {
+        // FlashInfer: fused + batch-scheduled kernels.
+        return std::make_shared<FullAttentionSystem>(
+            o, "FullAttn(FlashInfer)", sim::KernelBackend::FlashInfer,
+            false);
+    });
+}
+
+} // namespace detail
+} // namespace core
+} // namespace specontext

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Internal registration hooks of the built-in systems. Each
+ * translation unit under systems/ defines one of these; the registry
+ * invokes them lazily on first use so static-library dead-stripping
+ * and initialization order cannot drop or reorder them.
+ */
+#pragma once
+
+#include "core/system_model.h"
+
+namespace specontext {
+namespace core {
+namespace detail {
+
+/** Add a factory during built-in registration (no lazy-init recursion). */
+void addBuiltinSystem(const std::string &name,
+                      SystemRegistry::Factory factory);
+
+void registerFullAttentionSystems();
+void registerLayerwiseBaselineSystems();
+void registerSpeContextSystem();
+void registerEvictionSystems();
+
+} // namespace detail
+} // namespace core
+} // namespace specontext

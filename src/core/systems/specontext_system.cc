@@ -1,0 +1,361 @@
+/**
+ * @file
+ * SpeContext: the paper's system. Runs the pruned retrieval head once
+ * per step, attends a fixed budget in every layer, prefetches KV diffs
+ * on the copy stream (C2), and drives placement with Algorithm 2 (C3).
+ * The three feature flags reproduce the paper's ablation (Fig. 11).
+ * Built on the FlashInfer framework (§7.5.1).
+ */
+#include "core/systems/registration.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace specontext {
+namespace core {
+namespace {
+
+class SpeContextSystem final : public SystemModel
+{
+  public:
+    using SystemModel::SystemModel;
+
+    const char *name() const override { return "SpeContext"; }
+    sim::KernelBackend backend() const override
+    {
+        return sim::KernelBackend::FlashInfer;
+    }
+    DataflowKind dataflow() const override
+    {
+        return DataflowKind::SpeContextElastic;
+    }
+    bool supportsContinuousBatching() const override { return true; }
+
+    TimingResult simulate(const TimingConfig &cfg) const override;
+    double requestPrefillSeconds(const TimingConfig &cfg,
+                                 int64_t prompt_len,
+                                 int64_t in_flight_requests,
+                                 int64_t resident_kv_tokens) const override;
+    double decodeIterationSeconds(
+        const TimingConfig &cfg,
+        const std::vector<int64_t> &kv_lens) const override;
+    AdmissionDecision admit(const TimingConfig &cfg,
+                            const std::vector<int64_t> &in_flight_final_lens,
+                            int64_t candidate_prompt_len,
+                            int64_t candidate_final_len) const override;
+    int64_t hbmFootprintBytes(const TimingConfig &cfg, int64_t requests,
+                              int64_t s) const override;
+    int64_t dramFootprintBytes(const TimingConfig &cfg, int64_t requests,
+                               int64_t s) const override;
+
+  private:
+    /** KV layers resident in CPU DRAM for `requests` uniform requests
+     *  of length s, honoring features.adaptive_memory (static
+     *  all-or-nothing placement when C3 is off). */
+    int64_t cpuLayers(const TimingConfig &cfg, int64_t requests,
+                      int64_t s) const;
+};
+
+int64_t
+SpeContextSystem::cpuLayers(const TimingConfig &cfg, int64_t requests,
+                            int64_t s) const
+{
+    // Per-call MemoryModel construction is two validate() calls plus a
+    // geometry derivation — microseconds against the O(L) placement
+    // scan it feeds, so the serving hot loop tolerates it.
+    const sim::MemoryModel mm(memoryInputs(cfg, requests));
+    if (!opts_.features.adaptive_memory) {
+        // Static pre-inference decision (no C3): everything resident
+        // when Eq. 6 fits at this shape, else full offload — the same
+        // all-or-nothing rule simulate() applies.
+        return mm.mAllBytesFor(requests, s) <= cfg.hw.gpu_mem_bytes
+                   ? 0
+                   : cfg.llm.layers;
+    }
+    const int64_t max_gpu = mm.maxGpuLayers(s);
+    return max_gpu < 0 ? cfg.llm.layers : cfg.llm.layers - max_gpu;
+}
+
+TimingResult
+SpeContextSystem::simulate(const TimingConfig &cfg) const
+{
+    TimingResult r;
+    const sim::CostModel cost(cfg.hw, backend());
+    const model::ModelConfig &m = cfg.llm;
+    const int64_t R = cfg.batch;
+    const int64_t s_final = cfg.prompt_len + cfg.gen_len;
+    const int64_t kvb = kvBytesPerTokenPerLayer(m);
+    const int64_t q_dim = m.q_heads * m.head_dim;
+    const int64_t kv_dim = m.attention == model::AttentionKind::MLA
+                               ? m.mla_latent_dim
+                               : m.kv_heads * m.head_dim;
+
+    const sim::MemoryModel mm(memoryInputs(cfg, R));
+
+    if (R * s_final * kvb * m.layers > cfg.hw.cpu_mem_bytes) {
+        r.oom = true;
+        r.oom_reason = "KV cache exceeds CPU memory";
+        return r;
+    }
+    if (mm.maxGpuLayers(s_final) < 0) {
+        r.oom = true;
+        r.oom_reason = "weights + staging buffers exceed GPU memory";
+        return r;
+    }
+
+    // Placement: static decision before inference (no C3) or
+    // threshold-driven adaptive (C3, Algorithm 2).
+    const std::vector<int64_t> th = mm.thresholds();
+    int64_t l_cpu_static = 0;
+    if (!opts_.features.adaptive_memory)
+        l_cpu_static = mm.allFitsOnGpu(s_final) ? 0 : m.layers;
+
+    auto cpuLayersAt = [&](int64_t s) -> int64_t {
+        if (!opts_.features.adaptive_memory)
+            return l_cpu_static;
+        int64_t l_cpu = 0;
+        while (l_cpu < m.layers && s >= th[l_cpu])
+            ++l_cpu;
+        return l_cpu;
+    };
+
+    // --- Prefill ------------------------------------------------------
+    r.prefill_seconds = cost.prefillSeconds(m, R, cfg.prompt_len);
+    // Retrieval head builds its K cache over the prompt: one fused
+    // QK-projection GEMM over all prompt tokens.
+    const double head_prefill = cost.gemmSeconds(
+        R * cfg.prompt_len, q_dim + kv_dim, m.hidden);
+    r.prefill_seconds += head_prefill;
+    r.breakdown["head"] += head_prefill;
+    int64_t l_cpu = cpuLayersAt(cfg.prompt_len);
+    if (l_cpu > 0) {
+        const double evict = cost.pcieSeconds(
+            R * cfg.prompt_len * kvb * l_cpu);
+        // Prompt KV eviction overlaps with prefill compute when the
+        // async dataflow exists.
+        const double exposed = opts_.features.async_elastic ? 0.2 : 1.0;
+        r.prefill_seconds += exposed * evict;
+        r.breakdown["offload"] += exposed * evict;
+    }
+
+    // --- Decode -------------------------------------------------------
+    const double reuse =
+        opts_.features.async_elastic
+            ? std::clamp(opts_.elastic_overlap, 0.0, 1.0)
+            : 0.0;
+    for (int64_t t = 0; t < cfg.gen_len; ++t) {
+        const int64_t s = cfg.prompt_len + t;
+
+        // C3: progressive layer offload when thresholds are crossed.
+        const int64_t l_cpu_now = cpuLayersAt(s);
+        double dt = 0.0;
+        if (l_cpu_now > l_cpu) {
+            for (int64_t i = l_cpu; i < l_cpu_now; ++i) {
+                const double evict = cost.pcieSeconds(R * s * kvb);
+                const double exposed =
+                    opts_.features.async_elastic ? 0.3 : 1.0;
+                dt += exposed * evict;
+                r.breakdown["offload"] += exposed * evict;
+            }
+            l_cpu = l_cpu_now;
+        }
+
+        // Retrieval head: once per step, before the LLM (not per layer).
+        const int64_t b_eff = std::min<int64_t>(opts_.budget, s);
+        const double head =
+            cost.gemmSeconds(R, q_dim + kv_dim, m.hidden) +
+            cost.retrievalSeconds(
+                2.0 * R * m.q_heads * m.head_dim * s, s);
+        r.breakdown["head"] += head;
+
+        const sim::DecodeBreakdown b =
+            cost.decodeStepBreakdown(m, R, b_eff);
+        r.breakdown["attn"] += b.attn;
+        r.breakdown["gemm"] += b.gemm + b.lm_head;
+        r.breakdown["launch"] += b.launch;
+
+        const int64_t diff_tokens = static_cast<int64_t>(
+            (1.0 - reuse) * static_cast<double>(b_eff));
+        const double xfer =
+            l_cpu > 0 ? cost.pcieSeconds(R * diff_tokens * kvb * l_cpu)
+                      : 0.0;
+        if (opts_.features.async_elastic) {
+            // C2: prefetch on the copy stream; only the excess beyond
+            // compute is exposed, plus one event sync.
+            const double exposed =
+                std::max(0.0, xfer - b.total) + cost.syncSeconds();
+            r.breakdown["transfer"] += exposed;
+            dt += head + b.total + exposed;
+        } else {
+            // C1 only: synchronous full-budget load per offloaded layer.
+            const double sync_xfer =
+                l_cpu > 0
+                    ? l_cpu * cost.pcieSeconds(R * b_eff * kvb)
+                    : 0.0;
+            r.breakdown["transfer"] += sync_xfer;
+            dt += head + b.total + sync_xfer;
+        }
+        r.decode_seconds += dt;
+    }
+
+    const double total = r.prefill_seconds + r.decode_seconds;
+    r.throughput = R * cfg.gen_len / total;
+    r.decode_throughput = R * cfg.gen_len / r.decode_seconds;
+    r.final_gpu_layers = m.layers - l_cpu;
+    return r;
+}
+
+double
+SpeContextSystem::requestPrefillSeconds(const TimingConfig &cfg,
+                                        int64_t prompt_len,
+                                        int64_t in_flight_requests,
+                                        int64_t resident_kv_tokens) const
+{
+    const sim::CostModel cost(cfg.hw, backend());
+    const model::ModelConfig &m = cfg.llm;
+    const int64_t kvb = kvBytesPerTokenPerLayer(m);
+    double t = cost.prefillSeconds(m, 1, prompt_len);
+
+    // Retrieval head builds its K cache over the joining prompt
+    // (one fused QK-projection GEMM, as in simulate()).
+    const int64_t q_dim = m.q_heads * m.head_dim;
+    const int64_t kv_dim = m.attention == model::AttentionKind::MLA
+                               ? m.mla_latent_dim
+                               : m.kv_heads * m.head_dim;
+    t += cost.gemmSeconds(prompt_len, q_dim + kv_dim, m.hidden);
+
+    // Prompt-KV eviction for the layers the placement keeps in CPU
+    // DRAM at the *joined batch's* shape: Eq. 7 prices uniform-length
+    // requests, so the heterogeneous batch is uniformized to its mean
+    // resident length (total KV conserved) — a short prompt joining an
+    // oversubscribed batch still pays its eviction. Overlap with
+    // prefill compute follows simulate()'s exposure rule.
+    const int64_t r_joined = in_flight_requests + 1;
+    const int64_t s_uniform = std::max(
+        prompt_len, (resident_kv_tokens + prompt_len) / r_joined);
+    const int64_t l_cpu = cpuLayers(cfg, r_joined, s_uniform);
+    if (l_cpu > 0) {
+        const double evict =
+            cost.pcieSeconds(prompt_len * kvb * l_cpu);
+        const double exposed = opts_.features.async_elastic ? 0.2 : 1.0;
+        t += exposed * evict;
+    }
+    return t;
+}
+
+double
+SpeContextSystem::decodeIterationSeconds(
+    const TimingConfig &cfg, const std::vector<int64_t> &kv_lens) const
+{
+    if (kv_lens.empty())
+        return 0.0;
+    const sim::CostModel cost(cfg.hw, backend());
+    const model::ModelConfig &m = cfg.llm;
+    const int64_t R = static_cast<int64_t>(kv_lens.size());
+
+    // Attention reads at most `budget` tokens per request.
+    int64_t attended_total = 0;
+    int64_t s_max = 0;
+    const double step_compute = stepComputeSeconds(
+        cfg, cost, kv_lens,
+        [this](int64_t s) { return std::min<int64_t>(opts_.budget, s); },
+        &attended_total, &s_max);
+    const int64_t kvb = kvBytesPerTokenPerLayer(m);
+
+    // Retrieval head once per iteration over the whole batch (scoring
+    // scans each request's context, bounded by the longest in-flight
+    // one), then the offloaded-layer KV movement of simulate() — Eq. 8
+    // placement at the current batch shape decides how many layers
+    // live in CPU DRAM.
+    const int64_t q_dim = m.q_heads * m.head_dim;
+    const int64_t kv_dim = m.attention == model::AttentionKind::MLA
+                               ? m.mla_latent_dim
+                               : m.kv_heads * m.head_dim;
+    const double head =
+        cost.gemmSeconds(R, q_dim + kv_dim, m.hidden) +
+        cost.retrievalSeconds(2.0 * R * m.q_heads * m.head_dim * s_max,
+                              s_max);
+
+    const int64_t l_cpu = cpuLayers(cfg, R, s_max);
+
+    if (opts_.features.async_elastic) {
+        // C2: prefetch the selection diff on the copy stream; only the
+        // excess beyond compute is exposed, plus one event sync.
+        const double reuse =
+            std::clamp(opts_.elastic_overlap, 0.0, 1.0);
+        const int64_t diff_tokens = static_cast<int64_t>(
+            (1.0 - reuse) * static_cast<double>(attended_total));
+        const double xfer =
+            l_cpu > 0 ? cost.pcieSeconds(diff_tokens * kvb * l_cpu)
+                      : 0.0;
+        return step_compute + head +
+               std::max(0.0, xfer - step_compute) + cost.syncSeconds();
+    }
+    // C1 only: synchronous full-budget load per offloaded layer.
+    const double sync_xfer =
+        l_cpu > 0 ? l_cpu * cost.pcieSeconds(attended_total * kvb)
+                  : 0.0;
+    return step_compute + head + sync_xfer;
+}
+
+AdmissionDecision
+SpeContextSystem::admit(const TimingConfig &cfg,
+                        const std::vector<int64_t> &in_flight_final_lens,
+                        int64_t candidate_prompt_len,
+                        int64_t candidate_final_len) const
+{
+    (void)candidate_prompt_len;
+    const int64_t r =
+        static_cast<int64_t>(in_flight_final_lens.size()) + 1;
+    // Eq. 7 prices R uniform-length requests; bound the heterogeneous
+    // batch by its longest final reservation (conservative).
+    int64_t s_max = candidate_final_len;
+    int64_t kv_tokens = candidate_final_len;
+    for (int64_t fl : in_flight_final_lens) {
+        s_max = std::max(s_max, fl);
+        kv_tokens += fl;
+    }
+    const sim::MemoryModel mm(memoryInputs(cfg, 1));
+    if (!mm.fitsWithOffload(r, s_max))
+        return {false, "no offload level fits (Eq. 7 headroom exhausted)"};
+    // Offloaded layers land in CPU DRAM; the full KV cache must fit
+    // there in the worst (all-offloaded) placement. Exact per-request
+    // sum — DRAM capacity is not a uniform-length bound.
+    const int64_t kvb = kvBytesPerTokenPerLayer(cfg.llm);
+    if (kv_tokens * kvb * cfg.llm.layers > cfg.hw.cpu_mem_bytes)
+        return {false, "offloaded KV would exceed CPU DRAM"};
+    return {true, ""};
+}
+
+int64_t
+SpeContextSystem::hbmFootprintBytes(const TimingConfig &cfg,
+                                    int64_t requests, int64_t s) const
+{
+    const sim::MemoryModel mm(memoryInputs(cfg, requests));
+    const int64_t l_cpu = cpuLayers(cfg, requests, s);
+    return mm.mPartBytesFor(requests, s, cfg.llm.layers - l_cpu);
+}
+
+int64_t
+SpeContextSystem::dramFootprintBytes(const TimingConfig &cfg,
+                                     int64_t requests, int64_t s) const
+{
+    const int64_t l_cpu = cpuLayers(cfg, requests, s);
+    return requests * s * kvBytesPerTokenPerLayer(cfg.llm) * l_cpu;
+}
+
+} // namespace
+
+namespace detail {
+
+void
+registerSpeContextSystem()
+{
+    addBuiltinSystem("SpeContext", [](const SystemOptions &o) {
+        return std::make_shared<SpeContextSystem>(o);
+    });
+}
+
+} // namespace detail
+} // namespace core
+} // namespace specontext

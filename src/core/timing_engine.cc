@@ -1,6 +1,5 @@
 #include "core/timing_engine.h"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace specontext {
@@ -8,109 +7,53 @@ namespace core {
 
 namespace {
 
-/** Shorthand for the shared runtime-buffer rule. */
-int64_t
-weightFootprint(const model::ModelConfig &m)
+const SystemModel &
+requireSystem(const TimingConfig &cfg)
 {
-    return TimingEngine::weightFootprintBytes(m);
+    if (!cfg.system)
+        throw std::invalid_argument(
+            "TimingConfig.system is null - construct one with "
+            "SystemRegistry::create()");
+    return *cfg.system;
 }
 
 } // namespace
 
 int64_t
-TimingEngine::weightFootprintBytes(const model::ModelConfig &m)
+TimingEngine::kvBytesPerTokenPerLayer(const model::ModelConfig &m)
 {
-    // 1.3x weight bytes (runtime buffer rule of Eq. 6).
-    return static_cast<int64_t>(1.3 * m.parameterBytesFp16());
-}
-
-const char *
-systemKindName(SystemKind s)
-{
-    switch (s) {
-      case SystemKind::HFEager: return "FullAttn(Eager)";
-      case SystemKind::FlashAttention: return "FullAttn(FlashAttn)";
-      case SystemKind::FlashInfer: return "FullAttn(FlashInfer)";
-      case SystemKind::Quest: return "Quest";
-      case SystemKind::ClusterKV: return "ClusterKV";
-      case SystemKind::ShadowKV: return "ShadowKV";
-      case SystemKind::SpeContext: return "SpeContext";
-    }
-    return "?";
-}
-
-sim::KernelBackend
-TimingEngine::backendOf(SystemKind s)
-{
-    switch (s) {
-      case SystemKind::HFEager: return sim::KernelBackend::Eager;
-      case SystemKind::FlashAttention:
-        return sim::KernelBackend::FlashAttention;
-      case SystemKind::FlashInfer: return sim::KernelBackend::FlashInfer;
-      case SystemKind::Quest:
-      case SystemKind::ClusterKV:
-      case SystemKind::ShadowKV:
-        return sim::KernelBackend::FlashAttention;
-      case SystemKind::SpeContext:
-        // SpeContext is built on the FlashInfer framework (§7.5.1).
-        return sim::KernelBackend::FlashInfer;
-    }
-    return sim::KernelBackend::Eager;
+    return core::kvBytesPerTokenPerLayer(m);
 }
 
 int64_t
-TimingEngine::kvBytesPerTokenPerLayer(const model::ModelConfig &m)
+TimingEngine::weightFootprintBytes(const model::ModelConfig &m)
 {
-    return 2 * m.kvFloatsPerTokenPerLayer(); // FP16
+    return core::weightFootprintBytes(m);
 }
 
 sim::MemoryModelInputs
 TimingEngine::memoryInputsFor(const TimingConfig &cfg, int64_t requests)
 {
-    sim::MemoryModelInputs mmin;
-    mmin.llm = cfg.llm;
-    mmin.dlm = model::dlmGeometryFor(cfg.llm);
-    mmin.requests = requests;
-    mmin.budget = cfg.budget;
-    mmin.gpu_mem_bytes = cfg.hw.gpu_mem_bytes;
-    return mmin;
+    return requireSystem(cfg).memoryInputs(cfg, requests);
 }
 
-int64_t
-TimingEngine::spcCpuLayers(const TimingConfig &cfg, int64_t requests,
-                           int64_t s) const
+TimingResult
+TimingEngine::simulate(const TimingConfig &cfg) const
 {
-    // Per-call MemoryModel construction is two validate() calls plus a
-    // geometry derivation — microseconds against the O(L) placement
-    // scan it feeds, so the serving hot loop tolerates it.
-    const sim::MemoryModel mm(memoryInputsFor(cfg, requests));
-    if (!cfg.features.adaptive_memory) {
-        // Static pre-inference decision (no C3): everything resident
-        // when Eq. 6 fits at this shape, else full offload — the same
-        // all-or-nothing rule simulateSpeContext applies.
-        return mm.mAllBytesFor(requests, s) <= cfg.hw.gpu_mem_bytes
-                   ? 0
-                   : cfg.llm.layers;
+    cfg.llm.validate();
+    const SystemModel &sys = requireSystem(cfg);
+    if (cfg.batch > sys.maxSimulatedBatch()) {
+        // The one enforcement point of the capability — systems
+        // declare their cap, the façade refuses past it.
+        TimingResult r;
+        r.oom = true;
+        r.oom_reason = sys.maxSimulatedBatch() == 1
+                           ? "single-request system"
+                           : "batch exceeds the system's supported "
+                             "maximum";
+        return r;
     }
-    const int64_t max_gpu = mm.maxGpuLayers(s);
-    return max_gpu < 0 ? cfg.llm.layers : cfg.llm.layers - max_gpu;
-}
-
-bool
-TimingEngine::supportsContinuousBatching(SystemKind s)
-{
-    switch (s) {
-      case SystemKind::HFEager:
-      case SystemKind::FlashAttention:
-      case SystemKind::FlashInfer:
-      case SystemKind::SpeContext:
-        return true;
-      case SystemKind::Quest:
-      case SystemKind::ClusterKV:
-      case SystemKind::ShadowKV:
-        return false;
-    }
-    return false;
+    return sys.simulate(cfg);
 }
 
 double
@@ -120,7 +63,8 @@ TimingEngine::requestPrefillSeconds(const TimingConfig &cfg,
                                     int64_t resident_kv_tokens) const
 {
     cfg.llm.validate();
-    if (!supportsContinuousBatching(cfg.system))
+    const SystemModel &sys = requireSystem(cfg);
+    if (!sys.supportsContinuousBatching())
         throw std::invalid_argument(
             "requestPrefillSeconds: system is wave-scheduled only");
     if (prompt_len <= 0)
@@ -129,49 +73,8 @@ TimingEngine::requestPrefillSeconds(const TimingConfig &cfg,
     if (in_flight_requests < 0 || resident_kv_tokens < 0)
         throw std::invalid_argument(
             "requestPrefillSeconds: negative batch state");
-    const sim::CostModel cost(cfg.hw, backendOf(cfg.system));
-    const model::ModelConfig &m = cfg.llm;
-    const int64_t kvb = kvBytesPerTokenPerLayer(m);
-    double t = cost.prefillSeconds(m, 1, prompt_len);
-
-    if (cfg.system != SystemKind::SpeContext) {
-        // Complete-offloading spill: when the batch's KV (including
-        // the new prompt) no longer fits, the prompt's KV is evicted
-        // right after prefill — same charge as simulateFullAttention.
-        if (cfg.allow_full_attention_offload &&
-            weightFootprint(m) +
-                    (resident_kv_tokens + prompt_len) * kvb * m.layers >
-                cfg.hw.gpu_mem_bytes) {
-            t += cost.pcieSeconds(prompt_len * kvb * m.layers);
-        }
-        return t;
-    }
-
-    // Retrieval head builds its K cache over the joining prompt
-    // (one fused QK-projection GEMM, as in simulateSpeContext).
-    const int64_t q_dim = m.q_heads * m.head_dim;
-    const int64_t kv_dim = m.attention == model::AttentionKind::MLA
-                               ? m.mla_latent_dim
-                               : m.kv_heads * m.head_dim;
-    t += cost.gemmSeconds(prompt_len, q_dim + kv_dim, m.hidden);
-
-    // Prompt-KV eviction for the layers the placement keeps in CPU
-    // DRAM at the *joined batch's* shape: Eq. 7 prices uniform-length
-    // requests, so the heterogeneous batch is uniformized to its mean
-    // resident length (total KV conserved) — a short prompt joining an
-    // oversubscribed batch still pays its eviction. Overlap with
-    // prefill compute follows simulateSpeContext's exposure rule.
-    const int64_t r_joined = in_flight_requests + 1;
-    const int64_t s_uniform = std::max(
-        prompt_len, (resident_kv_tokens + prompt_len) / r_joined);
-    const int64_t l_cpu = spcCpuLayers(cfg, r_joined, s_uniform);
-    if (l_cpu > 0) {
-        const double evict =
-            cost.pcieSeconds(prompt_len * kvb * l_cpu);
-        const double exposed = cfg.features.async_elastic ? 0.2 : 1.0;
-        t += exposed * evict;
-    }
-    return t;
+    return sys.requestPrefillSeconds(cfg, prompt_len, in_flight_requests,
+                                     resident_kv_tokens);
 }
 
 double
@@ -179,451 +82,11 @@ TimingEngine::decodeIterationSeconds(
     const TimingConfig &cfg, const std::vector<int64_t> &kv_lens) const
 {
     cfg.llm.validate();
-    if (!supportsContinuousBatching(cfg.system))
+    const SystemModel &sys = requireSystem(cfg);
+    if (!sys.supportsContinuousBatching())
         throw std::invalid_argument(
             "decodeIterationSeconds: system is wave-scheduled only");
-    if (kv_lens.empty())
-        return 0.0;
-    const sim::CostModel cost(cfg.hw, backendOf(cfg.system));
-    const model::ModelConfig &m = cfg.llm;
-    const int64_t R = static_cast<int64_t>(kv_lens.size());
-
-    // Batch-wide GEMMs, launches, LM head and the weight-streaming
-    // floor come from the uniform-step breakdown at kv_len == 0; the
-    // attention term is added per request below. attentionDecodeSeconds
-    // is linear in batch * kv_len (max of two linear-in-bytes terms),
-    // so summing per-request costs equals one call at the total length.
-    const sim::DecodeBreakdown base = cost.decodeStepBreakdown(m, R, 0);
-
-    int64_t attended_total = 0;
-    int64_t s_max = 0;
-    for (int64_t s : kv_lens) {
-        if (s <= 0)
-            throw std::invalid_argument(
-                "decodeIterationSeconds: non-positive KV length");
-        attended_total += cfg.system == SystemKind::SpeContext
-                              ? std::min<int64_t>(cfg.budget, s)
-                              : s;
-        s_max = std::max(s_max, s);
-    }
-    const double attn =
-        m.layers *
-        cost.attentionDecodeSeconds(
-            1, m.q_heads,
-            m.attention == model::AttentionKind::MLA ? m.q_heads
-                                                     : m.kv_heads,
-            m.head_dim, attended_total);
-
-    const double weight_stream =
-        double(m.parameterBytesFp16()) / (cfg.hw.hbm_bw_gbps * 1e9);
-    const double step_compute =
-        std::max(base.gemm + base.launch + base.lm_head + attn,
-                 weight_stream);
-    const int64_t kvb = kvBytesPerTokenPerLayer(m);
-
-    if (cfg.system != SystemKind::SpeContext) {
-        double extra = 0.0;
-        if (cfg.allow_full_attention_offload) {
-            // Complete-offloading spill (HF-Accelerate style): once
-            // the live KV outgrows HBM the whole cache crosses PCIe
-            // each iteration, serialized with compute — same rule as
-            // simulateFullAttention.
-            const int64_t kv_bytes = attended_total * kvb * m.layers;
-            if (weightFootprint(m) + kv_bytes > cfg.hw.gpu_mem_bytes)
-                extra = cost.pcieSeconds(kv_bytes);
-        }
-        return step_compute + extra;
-    }
-
-    // SpeContext: retrieval head once per iteration over the whole
-    // batch (scoring scans each request's context, bounded by the
-    // longest in-flight one), then the offloaded-layer KV movement of
-    // simulateSpeContext — Eq. 8 placement at the current batch shape
-    // decides how many layers live in CPU DRAM.
-    const int64_t q_dim = m.q_heads * m.head_dim;
-    const int64_t kv_dim = m.attention == model::AttentionKind::MLA
-                               ? m.mla_latent_dim
-                               : m.kv_heads * m.head_dim;
-    const double head =
-        cost.gemmSeconds(R, q_dim + kv_dim, m.hidden) +
-        cost.retrievalSeconds(2.0 * R * m.q_heads * m.head_dim * s_max,
-                              s_max);
-
-    const int64_t l_cpu = spcCpuLayers(cfg, R, s_max);
-
-    if (cfg.features.async_elastic) {
-        // C2: prefetch the selection diff on the copy stream; only the
-        // excess beyond compute is exposed, plus one event sync.
-        const double reuse = std::clamp(cfg.elastic_overlap, 0.0, 1.0);
-        const int64_t diff_tokens = static_cast<int64_t>(
-            (1.0 - reuse) * static_cast<double>(attended_total));
-        const double xfer =
-            l_cpu > 0 ? cost.pcieSeconds(diff_tokens * kvb * l_cpu)
-                      : 0.0;
-        return step_compute + head +
-               std::max(0.0, xfer - step_compute) + cost.syncSeconds();
-    }
-    // C1 only: synchronous full-budget load per offloaded layer.
-    const double sync_xfer =
-        l_cpu > 0 ? l_cpu * cost.pcieSeconds(attended_total * kvb)
-                  : 0.0;
-    return step_compute + head + sync_xfer;
-}
-
-TimingResult
-TimingEngine::simulate(const TimingConfig &cfg) const
-{
-    cfg.llm.validate();
-    switch (cfg.system) {
-      case SystemKind::HFEager:
-      case SystemKind::FlashAttention:
-      case SystemKind::FlashInfer:
-        return simulateFullAttention(cfg);
-      case SystemKind::Quest:
-      case SystemKind::ClusterKV:
-      case SystemKind::ShadowKV:
-        return simulateLayerwiseBaseline(cfg);
-      case SystemKind::SpeContext:
-        return simulateSpeContext(cfg);
-    }
-    throw std::logic_error("unknown system kind");
-}
-
-TimingResult
-TimingEngine::simulateFullAttention(const TimingConfig &cfg) const
-{
-    TimingResult r;
-    const sim::CostModel cost(cfg.hw, backendOf(cfg.system));
-    const model::ModelConfig &m = cfg.llm;
-    const int64_t R = cfg.batch;
-    const int64_t s_final = cfg.prompt_len + cfg.gen_len;
-    const int64_t kvb = kvBytesPerTokenPerLayer(m);
-    const int64_t weights = weightFootprint(m);
-
-    // Eager materializes the (S x S) attention matrix per head during
-    // prefill — its distinctive OOM mode (Table 3's OOM cells).
-    int64_t scratch = 0;
-    if (cfg.system == SystemKind::HFEager) {
-        scratch = 2 * R * m.q_heads * cfg.prompt_len * cfg.prompt_len;
-    }
-    if (weights + scratch > cfg.hw.gpu_mem_bytes) {
-        r.oom = true;
-        r.oom_reason = "prefill attention scratch exceeds GPU memory";
-        return r;
-    }
-
-    const int64_t kv_total = R * s_final * kvb * m.layers;
-    const bool offload = weights + scratch + kv_total >
-                         cfg.hw.gpu_mem_bytes;
-    if (offload && !cfg.allow_full_attention_offload) {
-        r.oom = true;
-        r.oom_reason = "KV cache exceeds GPU memory (no offload)";
-        return r;
-    }
-    if (offload && kv_total > cfg.hw.cpu_mem_bytes) {
-        r.oom = true;
-        r.oom_reason = "KV cache exceeds CPU memory";
-        return r;
-    }
-
-    r.prefill_seconds = cost.prefillSeconds(m, R, cfg.prompt_len);
-    if (offload) {
-        // Initial KV eviction of the prompt.
-        r.prefill_seconds +=
-            cost.pcieSeconds(R * cfg.prompt_len * kvb * m.layers);
-    }
-
-    for (int64_t t = 0; t < cfg.gen_len; ++t) {
-        const int64_t s = cfg.prompt_len + t;
-        const sim::DecodeBreakdown b = cost.decodeStepBreakdown(m, R, s);
-        double dt = b.total;
-        r.breakdown["attn"] += b.attn;
-        r.breakdown["gemm"] += b.gemm + b.lm_head;
-        r.breakdown["launch"] += b.launch;
-        if (offload) {
-            // Complete offloading: the entire KV cache crosses PCIe
-            // every step, layer by layer, serialized with compute.
-            const double xfer =
-                cost.pcieSeconds(R * s * kvb * m.layers);
-            r.breakdown["transfer"] += xfer;
-            dt += xfer;
-        }
-        r.decode_seconds += dt;
-    }
-
-    const double total = r.prefill_seconds + r.decode_seconds;
-    r.throughput = R * cfg.gen_len / total;
-    r.decode_throughput = R * cfg.gen_len / r.decode_seconds;
-    r.final_gpu_layers = offload ? 0 : m.layers;
-    return r;
-}
-
-TimingResult
-TimingEngine::simulateLayerwiseBaseline(const TimingConfig &cfg) const
-{
-    TimingResult r;
-    const sim::CostModel cost(cfg.hw, backendOf(cfg.system));
-    const model::ModelConfig &m = cfg.llm;
-    const int64_t R = cfg.batch;
-    const int64_t s_final = cfg.prompt_len + cfg.gen_len;
-    const int64_t kvb = kvBytesPerTokenPerLayer(m);
-    const int64_t weights = weightFootprint(m);
-
-    // Quest and ClusterKV only support a single request (§7.3.1).
-    if (cfg.system != SystemKind::ShadowKV && R > 1) {
-        r.oom = true;
-        r.oom_reason = "single-request system";
-        return r;
-    }
-
-    const int64_t kv_total = R * s_final * kvb * m.layers;
-    if (cfg.system == SystemKind::ShadowKV) {
-        // ShadowKV keeps quantized K (~K/4) + new KV + staging on GPU,
-        // full V (and K landmarks) in CPU DRAM.
-        const int64_t gpu_kv =
-            R * (cfg.prompt_len * kvb / 8 +
-                 (cfg.gen_len + cfg.budget) * kvb) *
-            m.layers;
-        if (weights + gpu_kv > cfg.hw.gpu_mem_bytes) {
-            r.oom = true;
-            r.oom_reason = "quantized K + retained KV exceed GPU memory";
-            return r;
-        }
-        if (kv_total > cfg.hw.cpu_mem_bytes) {
-            r.oom = true;
-            r.oom_reason = "offloaded KV exceeds CPU memory";
-            return r;
-        }
-    } else if (weights + kv_total > cfg.hw.gpu_mem_bytes) {
-        r.oom = true;
-        r.oom_reason = "full KV cache exceeds GPU memory (no offload)";
-        return r;
-    }
-
-    // --- Prefill + preprocessing (§3.1) ------------------------------
-    r.prefill_seconds = cost.prefillSeconds(m, R, cfg.prompt_len);
-    const double tflops = cfg.hw.gpu_tflops_fp16 * 1e12 *
-                          sim::BackendEfficiency::of(backendOf(cfg.system))
-                              .gemm;
-    double preprocess_flops = 0.0;
-    switch (cfg.system) {
-      case SystemKind::Quest:
-        // One min/max pass over the prompt keys.
-        preprocess_flops = 2.0 * R * m.layers * m.kv_heads *
-                           cfg.prompt_len * m.head_dim;
-        break;
-      case SystemKind::ClusterKV: {
-        const double k = double(cfg.prompt_len) / cfg.avg_cluster_size;
-        preprocess_flops = 3.0 * cfg.cluster_iterations * R * m.layers *
-                           m.kv_heads * cfg.prompt_len * k * m.head_dim;
-        break;
-      }
-      case SystemKind::ShadowKV:
-        // Quantization pass + SVD-style landmark factorization.
-        preprocess_flops = 8.0 * R * m.layers * m.kv_heads *
-                           cfg.prompt_len * m.head_dim;
-        break;
-      default:
-        break;
-    }
-    const double preprocess = preprocess_flops / tflops;
-    r.prefill_seconds += preprocess;
-    r.breakdown["preprocess"] += preprocess;
-    if (cfg.system == SystemKind::ShadowKV) {
-        // Prompt V moves to CPU after prefill.
-        r.prefill_seconds +=
-            cost.pcieSeconds(R * cfg.prompt_len * (kvb / 2) * m.layers);
-    }
-
-    // --- Decode: per-layer retrieve-then-load, serialized ------------
-    for (int64_t t = 0; t < cfg.gen_len; ++t) {
-        // Challenge-2: only the prompt is preprocessed, every generated
-        // token's KV is retained, so attention reads budget + t tokens.
-        const int64_t attended =
-            std::min<int64_t>(cfg.budget + t, cfg.prompt_len + t);
-        const sim::DecodeBreakdown b =
-            cost.decodeStepBreakdown(m, R, attended);
-        double dt = b.total;
-        r.breakdown["attn"] += b.attn;
-        r.breakdown["gemm"] += b.gemm + b.lm_head;
-        r.breakdown["launch"] += b.launch;
-
-        double score_flops = 0.0;
-        int64_t candidates = 0;
-        switch (cfg.system) {
-          case SystemKind::Quest:
-            candidates = cfg.prompt_len / cfg.page_size;
-            score_flops = 2.0 * R * m.q_heads * m.head_dim * candidates;
-            break;
-          case SystemKind::ClusterKV:
-            candidates = cfg.prompt_len / cfg.avg_cluster_size;
-            score_flops = 2.0 * R * m.q_heads * m.head_dim * candidates;
-            break;
-          case SystemKind::ShadowKV:
-            candidates = cfg.prompt_len;
-            // int4 keys: ~half the effective scoring cost.
-            score_flops =
-                1.0 * R * m.q_heads * m.head_dim * candidates;
-            break;
-          default:
-            break;
-        }
-        // Challenge-1: retrieval + gather + sync repeated per layer on
-        // the critical path.
-        const double retr = m.layers * (cost.retrievalSeconds(
-                                            score_flops, candidates) +
-                                        cost.syncSeconds());
-        r.breakdown["retrieval"] += retr;
-        dt += retr;
-
-        if (cfg.system == SystemKind::ShadowKV) {
-            // Per-layer V fetch from CPU; partially overlapped with the
-            // next layer's compute (Fig. 7(d)) — 35 % stays exposed —
-            // plus the K reconstruction GEMM.
-            const double vfetch =
-                cost.pcieSeconds(R * cfg.budget * (kvb / 2));
-            const double krecons = cost.gemmSeconds(
-                R * cfg.budget, m.kv_heads * m.head_dim, 64);
-            r.breakdown["transfer"] += m.layers * 0.35 * vfetch;
-            r.breakdown["krecons"] += m.layers * krecons;
-            dt += m.layers * (0.35 * vfetch + krecons);
-        }
-        r.decode_seconds += dt;
-    }
-
-    const double total = r.prefill_seconds + r.decode_seconds;
-    r.throughput = R * cfg.gen_len / total;
-    r.decode_throughput = R * cfg.gen_len / r.decode_seconds;
-    r.final_gpu_layers = m.layers;
-    return r;
-}
-
-TimingResult
-TimingEngine::simulateSpeContext(const TimingConfig &cfg) const
-{
-    TimingResult r;
-    const sim::CostModel cost(cfg.hw, backendOf(cfg.system));
-    const model::ModelConfig &m = cfg.llm;
-    const int64_t R = cfg.batch;
-    const int64_t s_final = cfg.prompt_len + cfg.gen_len;
-    const int64_t kvb = kvBytesPerTokenPerLayer(m);
-    const int64_t q_dim = m.q_heads * m.head_dim;
-    const int64_t kv_dim = m.attention == model::AttentionKind::MLA
-                               ? m.mla_latent_dim
-                               : m.kv_heads * m.head_dim;
-
-    const sim::MemoryModel mm(memoryInputsFor(cfg, R));
-
-    if (R * s_final * kvb * m.layers > cfg.hw.cpu_mem_bytes) {
-        r.oom = true;
-        r.oom_reason = "KV cache exceeds CPU memory";
-        return r;
-    }
-    if (mm.maxGpuLayers(s_final) < 0) {
-        r.oom = true;
-        r.oom_reason = "weights + staging buffers exceed GPU memory";
-        return r;
-    }
-
-    // Placement: static decision before inference (no C3) or
-    // threshold-driven adaptive (C3, Algorithm 2).
-    const std::vector<int64_t> th = mm.thresholds();
-    int64_t l_cpu_static = 0;
-    if (!cfg.features.adaptive_memory)
-        l_cpu_static = mm.allFitsOnGpu(s_final) ? 0 : m.layers;
-
-    auto cpuLayersAt = [&](int64_t s) -> int64_t {
-        if (!cfg.features.adaptive_memory)
-            return l_cpu_static;
-        int64_t l_cpu = 0;
-        while (l_cpu < m.layers && s >= th[l_cpu])
-            ++l_cpu;
-        return l_cpu;
-    };
-
-    // --- Prefill ------------------------------------------------------
-    r.prefill_seconds = cost.prefillSeconds(m, R, cfg.prompt_len);
-    // Retrieval head builds its K cache over the prompt: one fused
-    // QK-projection GEMM over all prompt tokens.
-    const double head_prefill = cost.gemmSeconds(
-        R * cfg.prompt_len, q_dim + kv_dim, m.hidden);
-    r.prefill_seconds += head_prefill;
-    r.breakdown["head"] += head_prefill;
-    int64_t l_cpu = cpuLayersAt(cfg.prompt_len);
-    if (l_cpu > 0) {
-        const double evict = cost.pcieSeconds(
-            R * cfg.prompt_len * kvb * l_cpu);
-        // Prompt KV eviction overlaps with prefill compute when the
-        // async dataflow exists.
-        const double exposed = cfg.features.async_elastic ? 0.2 : 1.0;
-        r.prefill_seconds += exposed * evict;
-        r.breakdown["offload"] += exposed * evict;
-    }
-
-    // --- Decode -------------------------------------------------------
-    const double reuse = cfg.features.async_elastic
-                             ? std::clamp(cfg.elastic_overlap, 0.0, 1.0)
-                             : 0.0;
-    for (int64_t t = 0; t < cfg.gen_len; ++t) {
-        const int64_t s = cfg.prompt_len + t;
-
-        // C3: progressive layer offload when thresholds are crossed.
-        const int64_t l_cpu_now = cpuLayersAt(s);
-        double dt = 0.0;
-        if (l_cpu_now > l_cpu) {
-            for (int64_t i = l_cpu; i < l_cpu_now; ++i) {
-                const double evict = cost.pcieSeconds(R * s * kvb);
-                const double exposed =
-                    cfg.features.async_elastic ? 0.3 : 1.0;
-                dt += exposed * evict;
-                r.breakdown["offload"] += exposed * evict;
-            }
-            l_cpu = l_cpu_now;
-        }
-
-        // Retrieval head: once per step, before the LLM (not per layer).
-        const int64_t b_eff = std::min<int64_t>(cfg.budget, s);
-        const double head =
-            cost.gemmSeconds(R, q_dim + kv_dim, m.hidden) +
-            cost.retrievalSeconds(
-                2.0 * R * m.q_heads * m.head_dim * s, s);
-        r.breakdown["head"] += head;
-
-        const sim::DecodeBreakdown b =
-            cost.decodeStepBreakdown(m, R, b_eff);
-        r.breakdown["attn"] += b.attn;
-        r.breakdown["gemm"] += b.gemm + b.lm_head;
-        r.breakdown["launch"] += b.launch;
-
-        const int64_t diff_tokens = static_cast<int64_t>(
-            (1.0 - reuse) * static_cast<double>(b_eff));
-        const double xfer =
-            l_cpu > 0 ? cost.pcieSeconds(R * diff_tokens * kvb * l_cpu)
-                      : 0.0;
-        if (cfg.features.async_elastic) {
-            // C2: prefetch on the copy stream; only the excess beyond
-            // compute is exposed, plus one event sync.
-            const double exposed =
-                std::max(0.0, xfer - b.total) + cost.syncSeconds();
-            r.breakdown["transfer"] += exposed;
-            dt += head + b.total + exposed;
-        } else {
-            // C1 only: synchronous full-budget load per offloaded layer.
-            const double sync_xfer =
-                l_cpu > 0
-                    ? l_cpu * cost.pcieSeconds(R * b_eff * kvb)
-                    : 0.0;
-            r.breakdown["transfer"] += sync_xfer;
-            dt += head + b.total + sync_xfer;
-        }
-        r.decode_seconds += dt;
-    }
-
-    const double total = r.prefill_seconds + r.decode_seconds;
-    r.throughput = R * cfg.gen_len / total;
-    r.decode_throughput = R * cfg.gen_len / r.decode_seconds;
-    r.final_gpu_layers = m.layers - l_cpu;
-    return r;
+    return sys.decodeIterationSeconds(cfg, kv_lens);
 }
 
 } // namespace core

@@ -1,107 +1,34 @@
 /**
  * @file
- * Simulated end-to-end timing of every system the paper evaluates, at
+ * Simulated end-to-end timing of every registered system, at
  * paper-scale model geometry, on the analytical cost model and
  * two-stream timeline.
  *
- * Each SystemKind encodes one dataflow faithfully:
- *  - full-attention backends differ only in kernel efficiency and in
- *    the eager backend's materialized attention scratch (its OOM mode);
- *    when the KV cache outgrows the GPU they fall back to complete
- *    offloading (per-step full KV transfer), HF-Accelerate style;
- *  - Quest/ClusterKV/ShadowKV pay per-layer retrieval + sync on the
- *    critical path (Challenge-1) and attend budget + all newly
- *    generated tokens (Challenge-2, the KV they retain in full);
- *  - SpeContext runs the pruned retrieval head once per step, attends
- *    a fixed budget in every layer, prefetches KV diffs on the copy
- *    stream (C2), and drives placement with Algorithm 2 (C3). The
- *    three feature flags reproduce the paper's ablation (Fig. 11).
+ * The engine is a thin façade: the per-system dataflows (full
+ * attention with complete offloading, layer-wise retrieve-then-load,
+ * SpeContext's speculative sparsity, permanent eviction, ...) live in
+ * `core::SystemModel` subclasses constructed through the
+ * `core::SystemRegistry` (system_model.h); TimingConfig carries the
+ * system instance and the engine validates inputs and delegates. The
+ * old `SystemKind` enum survives one more PR in
+ * core/system_kind_shim.h.
  */
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <string>
 #include <vector>
 
-#include "model/config.h"
-#include "sim/cost.h"
-#include "sim/hardware.h"
-#include "sim/memory_model.h"
+#include "core/system_model.h"
 
 namespace specontext {
 namespace core {
 
-/** Inference system being simulated. */
-enum class SystemKind {
-    HFEager,       ///< HuggingFace full attention, eager kernels
-    FlashAttention,///< full attention, fused kernel
-    FlashInfer,    ///< full attention, fused + batch-scheduled
-    Quest,
-    ClusterKV,
-    ShadowKV,
-    SpeContext,
-};
-
-const char *systemKindName(SystemKind s);
-
-/** Ablation switches of SpeContext (paper Fig. 11). */
-struct SpeContextFeatures
-{
-    bool retrieval_head = true; ///< C1: sparse attention via DLM head
-    bool async_elastic = true;  ///< C2: async prefetch + elastic loading
-    bool adaptive_memory = true;///< C3: Algorithm 1/2 placement
-};
-
-/** One simulated run. */
-struct TimingConfig
-{
-    model::ModelConfig llm;     ///< geometry preset
-    sim::HardwareSpec hw;
-    SystemKind system = SystemKind::SpeContext;
-    int64_t batch = 1;          ///< R
-    int64_t prompt_len = 2048;  ///< input tokens per request
-    int64_t gen_len = 2048;     ///< output tokens per request
-    int64_t budget = 2048;      ///< B
-    int64_t page_size = 16;     ///< Quest
-    int64_t avg_cluster_size = 16; ///< ClusterKV
-    int64_t cluster_iterations = 4;
-    /**
-     * Adjacent-step selection overlap used by elastic loading. The
-     * default matches the >80 % the paper measures (Fig. 6(b)); benches
-     * feed values measured from live runs.
-     */
-    double elastic_overlap = 0.85;
-    SpeContextFeatures features;
-    /**
-     * Let full-attention systems spill KV to CPU DRAM when it does not
-     * fit (HF-Accelerate style, per-step full-KV transfer). The paper
-     * enables this in the edge evaluation (§7.3.2) but reports OOM for
-     * full attention in the cloud tables, so it defaults off.
-     */
-    bool allow_full_attention_offload = false;
-};
-
-/** Simulated outcome. */
-struct TimingResult
-{
-    bool oom = false;
-    std::string oom_reason;
-    double prefill_seconds = 0.0;
-    double decode_seconds = 0.0;
-    /** batch * gen_len / (prefill + decode). */
-    double throughput = 0.0;
-    /** batch * gen_len / decode only. */
-    double decode_throughput = 0.0;
-    /** seconds by component tag (attn, gemm, retrieval, transfer...). */
-    std::map<std::string, double> breakdown;
-    int64_t final_gpu_layers = 0; ///< KV layers resident at the end
-};
-
-/** Analytical simulator. */
+/** Analytical simulator over the pluggable system API. */
 class TimingEngine
 {
   public:
+    /** Price a whole closed [prompt, gen] run of cfg.system.
+     *  @throws std::invalid_argument when cfg.system is null. */
     TimingResult simulate(const TimingConfig &cfg) const;
 
     // ---- Incremental stepping (continuous batching) -----------------
@@ -112,22 +39,20 @@ class TimingEngine
     // time, so the engine also exposes the two quanta it needs: the
     // cost of prefilling a single joining request, and the cost of one
     // decode iteration over a *heterogeneous* batch (each request at
-    // its own KV length). Only full-attention systems and SpeContext
-    // support this — the per-layer retrieve-then-load baselines
+    // its own KV length). Only systems whose
+    // SystemModel::supportsContinuousBatching() is true can be driven
+    // this way — the per-layer retrieve-then-load baselines
     // (Quest/ClusterKV/ShadowKV) are wave-scheduled in the paper and
     // keep that restriction here.
 
-    /** True for systems the continuous batcher can drive. */
-    static bool supportsContinuousBatching(SystemKind s);
-
     /**
      * Seconds to prefill one request of `prompt_len` tokens joining the
-     * running batch (chunked prefill iteration; includes the retrieval
-     * head's prompt pass for SpeContext, and the prompt-KV
-     * eviction/spill transfers simulate() charges when the cache
-     * oversubscribes HBM). `in_flight_requests` and
-     * `resident_kv_tokens` describe the batch being joined — they
-     * decide whether the new prompt's KV must move off-device.
+     * running batch (chunked prefill iteration; includes the system's
+     * prompt preprocessing and the prompt-KV eviction/spill transfers
+     * simulate() charges when the cache oversubscribes HBM).
+     * `in_flight_requests` and `resident_kv_tokens` describe the batch
+     * being joined — they decide whether the new prompt's KV must move
+     * off-device.
      * @throws std::invalid_argument for unsupported systems.
      */
     double requestPrefillSeconds(const TimingConfig &cfg,
@@ -146,34 +71,18 @@ class TimingEngine
                                   const std::vector<int64_t> &kv_lens)
         const;
 
-    /** Kernel backend a system builds on. */
-    static sim::KernelBackend backendOf(SystemKind s);
-
-    /** Bytes of KV cache per token per layer per request at FP16. */
+    /** Bytes of KV cache per token per layer per request at FP16
+     *  (delegates to core::kvBytesPerTokenPerLayer). */
     static int64_t kvBytesPerTokenPerLayer(const model::ModelConfig &m);
 
     /** Weight + runtime-buffer bytes: 1.3x FP16 parameters (Eq. 6's
-     *  coefficient); the single copy of the rule shared with the
-     *  serving layer's admission control. */
+     *  coefficient; delegates to core::weightFootprintBytes). */
     static int64_t weightFootprintBytes(const model::ModelConfig &m);
 
     /** Memory-model inputs for `requests` concurrent requests of this
-     *  config — the one place the {LLM, DLM, budget, GPU capacity}
-     *  block is assembled, shared by the engine's placement logic and
-     *  the serving layer's admission control. */
+     *  config (delegates to cfg.system->memoryInputs()). */
     static sim::MemoryModelInputs memoryInputsFor(
         const TimingConfig &cfg, int64_t requests);
-
-  private:
-    TimingResult simulateFullAttention(const TimingConfig &cfg) const;
-    TimingResult simulateLayerwiseBaseline(const TimingConfig &cfg) const;
-    TimingResult simulateSpeContext(const TimingConfig &cfg) const;
-
-    /** SpeContext KV layers resident in CPU DRAM for `requests`
-     *  uniform requests of length s, honoring features.adaptive_memory
-     *  (static all-or-nothing placement when C3 is off). */
-    int64_t spcCpuLayers(const TimingConfig &cfg, int64_t requests,
-                         int64_t s) const;
 };
 
 } // namespace core

@@ -1,6 +1,7 @@
 #include "model/config.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace specontext {
 namespace model {
@@ -201,6 +202,48 @@ reasoningLlama32_1bGeometry()
     c.rope_theta = 500000.0f;
     c.tied_embeddings = true; // Llama3.2-1B ties its LM head
     return c;
+}
+
+namespace {
+
+/** The one name -> preset table (paper §7.1's model list). */
+const std::vector<std::pair<std::string, ModelConfig (*)()>> &
+geometryTable()
+{
+    static const std::vector<std::pair<std::string, ModelConfig (*)()>>
+        table = {
+            {"Llama3.1-8B", &llama31_8bGeometry},
+            {"DeepSeek-Distill-Llama-8B",
+             &deepseekDistillLlama8bGeometry},
+            {"Qwen3-8B", &qwen3_8bGeometry},
+            {"Reasoning-Llama-3.2-1B", &reasoningLlama32_1bGeometry},
+        };
+    return table;
+}
+
+} // namespace
+
+std::vector<std::string>
+geometryPresetNames()
+{
+    std::vector<std::string> names;
+    names.reserve(geometryTable().size());
+    for (const auto &[name, fn] : geometryTable()) {
+        (void)fn;
+        names.push_back(name);
+    }
+    return names;
+}
+
+ModelConfig
+geometryPreset(const std::string &name)
+{
+    for (const auto &[preset, fn] : geometryTable()) {
+        if (preset == name)
+            return fn();
+    }
+    throw std::invalid_argument("geometryPreset: unknown preset '" +
+                                name + "'");
 }
 
 int64_t

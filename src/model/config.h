@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace specontext {
 namespace model {
@@ -98,6 +99,17 @@ ModelConfig reasoningLlama32_1bGeometry();
  * layer, same head layout, same vocab (~0.5B params for an 8B base).
  */
 ModelConfig dlmGeometryFor(const ModelConfig &base);
+
+/**
+ * Names of the paper-scale geometry presets, in the paper's evaluation
+ * order — the single source benches iterate instead of hardcoding
+ * preset lists.
+ */
+std::vector<std::string> geometryPresetNames();
+
+/** Look up a geometry preset by its ModelConfig::name.
+ *  @throws std::invalid_argument for unknown names. */
+ModelConfig geometryPreset(const std::string &name);
 
 /**
  * Parameters of the pruned retrieval head for a base model: input norm

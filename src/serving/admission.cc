@@ -1,30 +1,18 @@
 #include "serving/admission.h"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace specontext {
 namespace serving {
 
-namespace {
-
-/** Shorthand for the engine's shared runtime-buffer rule. */
-int64_t
-weightFootprint(const model::ModelConfig &m)
-{
-    return core::TimingEngine::weightFootprintBytes(m);
-}
-
-} // namespace
-
-// requests = 1 in the model instance; admission queries override it
-// per candidate batch via the *For variants.
 AdmissionController::AdmissionController(core::TimingConfig cfg)
-    : cfg_(std::move(cfg)),
-      mm_(core::TimingEngine::memoryInputsFor(cfg_, 1))
+    : cfg_(std::move(cfg))
 {
+    if (!cfg_.system)
+        throw std::invalid_argument(
+            "AdmissionController: TimingConfig.system is null");
     cfg_.llm.validate();
-    if (!core::TimingEngine::supportsContinuousBatching(cfg_.system))
+    if (!cfg_.system->supportsContinuousBatching())
         throw std::invalid_argument(
             "AdmissionController: system is wave-scheduled only");
 }
@@ -35,71 +23,18 @@ AdmissionController::admit(const std::vector<Request> &in_flight,
 {
     if (candidate.prompt_len <= 0 || candidate.gen_len <= 0)
         return {false, "degenerate request shape"};
-    if (cfg_.system == core::SystemKind::SpeContext)
-        return admitSpeContext(in_flight, candidate);
-    return admitFullAttention(in_flight, candidate);
+    std::vector<int64_t> final_lens;
+    final_lens.reserve(in_flight.size());
+    for (const Request &q : in_flight)
+        final_lens.push_back(q.finalLen());
+    return cfg_.system->admit(cfg_, final_lens, candidate.prompt_len,
+                              candidate.finalLen());
 }
 
 bool
 AdmissionController::feasibleAlone(const Request &candidate) const
 {
     return admit({}, candidate).admit;
-}
-
-AdmissionDecision
-AdmissionController::admitSpeContext(
-    const std::vector<Request> &in_flight, const Request &candidate) const
-{
-    const int64_t r = static_cast<int64_t>(in_flight.size()) + 1;
-    // Eq. 7 prices R uniform-length requests; bound the heterogeneous
-    // batch by its longest final reservation (conservative).
-    int64_t s_max = candidate.finalLen();
-    int64_t kv_tokens = candidate.finalLen();
-    for (const Request &q : in_flight) {
-        s_max = std::max(s_max, q.finalLen());
-        kv_tokens += q.finalLen();
-    }
-    if (!mm_.fitsWithOffload(r, s_max))
-        return {false, "no offload level fits (Eq. 7 headroom exhausted)"};
-    // Offloaded layers land in CPU DRAM; the full KV cache must fit
-    // there in the worst (all-offloaded) placement. Exact per-request
-    // sum — DRAM capacity is not a uniform-length bound.
-    const int64_t kvb =
-        core::TimingEngine::kvBytesPerTokenPerLayer(cfg_.llm);
-    if (kv_tokens * kvb * cfg_.llm.layers > cfg_.hw.cpu_mem_bytes)
-        return {false, "offloaded KV would exceed CPU DRAM"};
-    return {true, ""};
-}
-
-AdmissionDecision
-AdmissionController::admitFullAttention(
-    const std::vector<Request> &in_flight, const Request &candidate) const
-{
-    const model::ModelConfig &m = cfg_.llm;
-    const int64_t kvb = core::TimingEngine::kvBytesPerTokenPerLayer(m);
-    int64_t kv_tokens = candidate.finalLen();
-    for (const Request &q : in_flight)
-        kv_tokens += q.finalLen();
-    const int64_t kv_total = kv_tokens * kvb * m.layers;
-
-    // Eager materializes the (S x S) attention matrix while prefilling
-    // the joining request (one request at a time in this server).
-    int64_t scratch = 0;
-    if (cfg_.system == core::SystemKind::HFEager) {
-        scratch =
-            2 * m.q_heads * candidate.prompt_len * candidate.prompt_len;
-    }
-    const int64_t need = weightFootprint(m) + scratch + kv_total;
-    if (need <= cfg_.hw.gpu_mem_bytes)
-        return {true, ""};
-    if (cfg_.allow_full_attention_offload) {
-        if (weightFootprint(m) + scratch > cfg_.hw.gpu_mem_bytes)
-            return {false, "weights + prefill scratch exceed GPU memory"};
-        if (kv_total > cfg_.hw.cpu_mem_bytes)
-            return {false, "spilled KV would exceed CPU DRAM"};
-        return {true, ""};
-    }
-    return {false, "reserved KV exceeds GPU memory (no offload)"};
 }
 
 } // namespace serving

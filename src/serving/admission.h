@@ -10,18 +10,21 @@
  * so the controller books capacity pessimistically up front, the same
  * discipline vLLM-style servers apply.
  *
- * Capacity comes from the paper's memory model (Section 6):
+ * The capacity test itself is polymorphic: the controller delegates to
+ * core::SystemModel::admit(), so every system brings its own memory
+ * discipline —
  *  - SpeContext admits through sim::MemoryModel's Eq. 7 headroom
  *    queries (some offload level 0..L must fit, Algorithm 1/2's
  *    invariant) plus the CPU-DRAM ceiling on offloaded KV;
  *  - full-attention systems admit iff 1.3x weights + total reserved KV
  *    fit in HBM (plus eager's prefill attention scratch), with the
  *    optional HF-Accelerate CPU spill gated by
- *    TimingConfig::allow_full_attention_offload.
+ *    SystemOptions::allow_full_attention_offload;
+ *  - permanent-eviction systems (H2O, StreamingLLM) reserve only
+ *    min(final length, budget) tokens per request.
  */
 #pragma once
 
-#include <string>
 #include <vector>
 
 #include "core/timing_engine.h"
@@ -31,26 +34,30 @@ namespace specontext {
 namespace serving {
 
 /** Outcome of one admission test. */
-struct AdmissionDecision
-{
-    bool admit = false;
-    std::string reason; ///< denial diagnostic, empty on admit
-};
+using AdmissionDecision = core::AdmissionDecision;
 
 /** Memory-model-driven admission policy. */
 class AdmissionController
 {
   public:
     /**
-     * @throws std::invalid_argument when cfg.system cannot be
-     * continuously batched (per-layer retrieve-then-load baselines).
+     * @throws std::invalid_argument when cfg.system is null or cannot
+     * be continuously batched (per-layer retrieve-then-load baselines).
      */
     explicit AdmissionController(core::TimingConfig cfg);
 
     const core::TimingConfig &config() const { return cfg_; }
 
-    /** Memory model the SpeContext path consults (for tests). */
-    const sim::MemoryModel &memoryModel() const { return mm_; }
+    /** Eq. 6-8 memory-model instance over this config (requests = 1;
+     *  headroom queries take explicit request counts). Built on
+     *  demand — only the SpeContext admission path prices through it,
+     *  via SystemModel::admit(); exposed so tests can cross-check
+     *  admission decisions against the raw Eq. 7 queries. */
+    sim::MemoryModel memoryModel() const
+    {
+        return sim::MemoryModel(
+            core::TimingEngine::memoryInputsFor(cfg_, 1));
+    }
 
     /** Can `candidate` join `in_flight` without oversubscribing? */
     AdmissionDecision admit(const std::vector<Request> &in_flight,
@@ -62,15 +69,6 @@ class AdmissionController
 
   private:
     core::TimingConfig cfg_;
-    sim::MemoryModel mm_; ///< SpeContext Eq. 6-8 instance (R overridden
-                          ///< per query)
-
-    AdmissionDecision admitSpeContext(
-        const std::vector<Request> &in_flight,
-        const Request &candidate) const;
-    AdmissionDecision admitFullAttention(
-        const std::vector<Request> &in_flight,
-        const Request &candidate) const;
 };
 
 } // namespace serving

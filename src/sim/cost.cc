@@ -33,6 +33,12 @@ CostModel::gemmSeconds(int64_t m, int64_t n, int64_t k) const
 }
 
 double
+CostModel::gemmFlopsSeconds(double flops) const
+{
+    return flops / (hw_.gpu_tflops_fp16 * kTera * eff_.gemm);
+}
+
+double
 CostModel::attentionDecodeSeconds(int64_t batch, int64_t q_heads,
                                   int64_t kv_heads, int64_t head_dim,
                                   int64_t kv_len) const

@@ -42,6 +42,13 @@ class CostModel
     double gemmSeconds(int64_t m, int64_t n, int64_t k) const;
 
     /**
+     * Seconds of `flops` of GEMM-shaped compute at this backend's GEMM
+     * efficiency, with no memory floor — the one conversion rule
+     * shared by the systems' prompt-preprocessing passes.
+     */
+    double gemmFlopsSeconds(double flops) const;
+
+    /**
      * Seconds of decode attention for one layer: `batch` requests each
      * reading `kv_len` cached tokens of kv_heads*head_dim K plus V at
      * FP16 (memory-bound path) with q_heads scoring compute.

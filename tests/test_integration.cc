@@ -154,13 +154,12 @@ TEST(Integration, ParetoFrontierShape)
     tc.batch = 1;
     tc.prompt_len = 2048;
     tc.gen_len = 16384;
-    tc.budget = 2048;
 
-    tc.system = core::SystemKind::SpeContext;
+    tc.system = core::SystemRegistry::create("SpeContext");
     const double tp_ours = te.simulate(tc).throughput;
-    tc.system = core::SystemKind::Quest;
+    tc.system = core::SystemRegistry::create("Quest");
     const double tp_quest = te.simulate(tc).throughput;
-    tc.system = core::SystemKind::ClusterKV;
+    tc.system = core::SystemRegistry::create("ClusterKV");
     const double tp_ck = te.simulate(tc).throughput;
 
     EXPECT_GT(tp_ours, tp_quest);
@@ -178,11 +177,10 @@ TEST(Integration, CloudHeadlineSpeedupOrder)
     tc.hw = sim::HardwareSpec::cloudA800();
     tc.prompt_len = 2048;
     tc.gen_len = 32768;
-    tc.budget = 2048;
 
-    tc.system = core::SystemKind::HFEager;
+    tc.system = core::SystemRegistry::create("FullAttn(Eager)");
     auto eager = serving::sweepBatches(te, tc, {4});
-    tc.system = core::SystemKind::SpeContext;
+    tc.system = core::SystemRegistry::create("SpeContext");
     auto ours = serving::sweepBatches(te, tc, {32});
     ASSERT_TRUE(eager.feasible());
     ASSERT_TRUE(ours.feasible());
@@ -202,12 +200,12 @@ TEST(Integration, EdgeSpeedupOverEagerOffload)
     tc.batch = 1;
     tc.prompt_len = 2048;
     tc.gen_len = 32768;
-    tc.budget = 2048;
 
-    tc.system = core::SystemKind::HFEager;
-    tc.allow_full_attention_offload = true; // §7.3.2 edge methodology
+    core::SystemOptions offload;
+    offload.allow_full_attention_offload = true; // §7.3.2 edge methodology
+    tc.system = core::SystemRegistry::create("FullAttn(Eager)", offload);
     const auto eager = te.simulate(tc);
-    tc.system = core::SystemKind::SpeContext;
+    tc.system = core::SystemRegistry::create("SpeContext");
     const auto ours = te.simulate(tc);
     ASSERT_FALSE(eager.oom);
     ASSERT_FALSE(ours.oom);

@@ -104,7 +104,7 @@ TEST_P(BatchSweepProp, DecodeTimeIncreasesWithBatch)
     core::TimingConfig c;
     c.llm = model::llama31_8bGeometry();
     c.hw = sim::HardwareSpec::cloudA800();
-    c.system = core::SystemKind::FlashInfer;
+    c.system = core::SystemRegistry::create("FullAttn(FlashInfer)");
     c.prompt_len = 2048;
     c.gen_len = 1024;
     c.batch = GetParam();
@@ -124,13 +124,14 @@ TEST_P(BatchSweepProp, SpeContextDecodeMonotoneInBudget)
     core::TimingConfig c;
     c.llm = model::llama31_8bGeometry();
     c.hw = sim::HardwareSpec::cloudA800();
-    c.system = core::SystemKind::SpeContext;
     c.prompt_len = 2048;
     c.gen_len = 1024;
     c.batch = GetParam();
     double prev = 0.0;
     for (int64_t budget : {512, 1024, 2048, 4096}) {
-        c.budget = budget;
+        core::SystemOptions o;
+        o.budget = budget;
+        c.system = core::SystemRegistry::create("SpeContext", o);
         const auto r = e.simulate(c);
         ASSERT_FALSE(r.oom);
         EXPECT_GE(r.decode_seconds, prev);
@@ -147,7 +148,7 @@ TEST(TimingProperties, OomMonotoneInGpuMemory)
     core::TimingEngine e;
     core::TimingConfig c;
     c.llm = model::llama31_8bGeometry();
-    c.system = core::SystemKind::FlashInfer;
+    c.system = core::SystemRegistry::create("FullAttn(FlashInfer)");
     c.prompt_len = 16384;
     c.gen_len = 2048;
     c.batch = 8;
@@ -201,10 +202,9 @@ TEST(ServingProperties, WaveDecompositionConsistent)
     core::TimingConfig c;
     c.llm = model::llama31_8bGeometry();
     c.hw = sim::HardwareSpec::cloudA800();
-    c.system = core::SystemKind::SpeContext;
+    c.system = core::SystemRegistry::create("SpeContext");
     c.prompt_len = 2048;
     c.gen_len = 2048;
-    c.budget = 2048;
     const double two_waves = serving::waveThroughput(e, c, 8, 4);
     c.batch = 4;
     const auto one = e.simulate(c);

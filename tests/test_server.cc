@@ -15,7 +15,8 @@
 namespace specontext {
 namespace {
 
-using core::SystemKind;
+using core::SystemOptions;
+using core::SystemRegistry;
 using core::TimingConfig;
 using core::TimingEngine;
 using serving::AdmissionController;
@@ -27,13 +28,12 @@ using serving::ServerConfig;
 using serving::ServingMetrics;
 
 TimingConfig
-cloudConfig(SystemKind sys)
+cloudConfig(const std::string &sys)
 {
     TimingConfig c;
     c.llm = model::deepseekDistillLlama8bGeometry();
     c.hw = sim::HardwareSpec::cloudA800();
-    c.system = sys;
-    c.budget = 2048;
+    c.system = SystemRegistry::create(sys);
     return c;
 }
 
@@ -162,16 +162,16 @@ TEST(Trace, MixedLengthStaysInRangeAndVaries)
 
 TEST(Admission, RejectsWaveOnlySystems)
 {
-    EXPECT_THROW(AdmissionController(cloudConfig(SystemKind::Quest)),
+    EXPECT_THROW(AdmissionController(cloudConfig("Quest")),
                  std::invalid_argument);
-    EXPECT_THROW(AdmissionController(cloudConfig(SystemKind::ShadowKV)),
+    EXPECT_THROW(AdmissionController(cloudConfig("ShadowKV")),
                  std::invalid_argument);
 }
 
 TEST(Admission, SpeContextAdmitImpliesMemoryModelHeadroom)
 {
-    const AdmissionController ac(cloudConfig(SystemKind::SpeContext));
-    const sim::MemoryModel &mm = ac.memoryModel();
+    const AdmissionController ac(cloudConfig("SpeContext"));
+    const sim::MemoryModel mm = ac.memoryModel();
     std::vector<Request> in_flight;
     const Request cand = makeRequest(0, 0.0, 32768, 2048);
     // Grow the batch until admission denies; every admitted state must
@@ -195,7 +195,7 @@ TEST(Admission, SpeContextAdmitImpliesMemoryModelHeadroom)
 
 TEST(Admission, FullAttentionDeniesWhenKvExceedsHbm)
 {
-    const AdmissionController ac(cloudConfig(SystemKind::FlashInfer));
+    const AdmissionController ac(cloudConfig("FullAttn(FlashInfer)"));
     const Request cand = makeRequest(0, 0.0, 16384, 2048);
     std::vector<Request> in_flight;
     while (ac.admit(in_flight, cand).admit) {
@@ -247,9 +247,8 @@ TEST(Admission, MemoryModelHeadroomQueriesAreConsistent)
 TEST(TimingEngineStepping, UniformIterationMatchesBatchedStep)
 {
     TimingEngine e;
-    const TimingConfig cfg = cloudConfig(SystemKind::FlashInfer);
-    const sim::CostModel cost(cfg.hw,
-                              TimingEngine::backendOf(cfg.system));
+    const TimingConfig cfg = cloudConfig("FullAttn(FlashInfer)");
+    const sim::CostModel cost(cfg.hw, cfg.system->backend());
     const std::vector<int64_t> kv(8, 4096);
     const double iter = e.decodeIterationSeconds(cfg, kv);
     const double batched =
@@ -261,24 +260,24 @@ TEST(TimingEngineStepping, ValidatesInputs)
 {
     TimingEngine e;
     EXPECT_DOUBLE_EQ(
-        e.decodeIterationSeconds(cloudConfig(SystemKind::FlashInfer), {}),
+        e.decodeIterationSeconds(cloudConfig("FullAttn(FlashInfer)"), {}),
         0.0);
-    EXPECT_THROW(e.decodeIterationSeconds(cloudConfig(SystemKind::Quest),
+    EXPECT_THROW(e.decodeIterationSeconds(cloudConfig("Quest"),
                                           {1024}),
                  std::invalid_argument);
     EXPECT_THROW(
-        e.requestPrefillSeconds(cloudConfig(SystemKind::FlashInfer), 0),
+        e.requestPrefillSeconds(cloudConfig("FullAttn(FlashInfer)"), 0),
         std::invalid_argument);
-    EXPECT_FALSE(
-        TimingEngine::supportsContinuousBatching(SystemKind::ClusterKV));
-    EXPECT_TRUE(
-        TimingEngine::supportsContinuousBatching(SystemKind::SpeContext));
+    EXPECT_FALSE(SystemRegistry::create("ClusterKV")
+                     ->supportsContinuousBatching());
+    EXPECT_TRUE(SystemRegistry::create("SpeContext")
+                    ->supportsContinuousBatching());
 }
 
 TEST(TimingEngineStepping, SpeContextBudgetCapsAttendedContext)
 {
     TimingEngine e;
-    const TimingConfig cfg = cloudConfig(SystemKind::SpeContext);
+    const TimingConfig cfg = cloudConfig("SpeContext");
     // Far beyond the budget, iteration cost grows only with the
     // retrieval head's scoring scan, not with attended KV — so doubling
     // the context costs much less than it does under full attention.
@@ -286,7 +285,7 @@ TEST(TimingEngineStepping, SpeContextBudgetCapsAttendedContext)
         e.decodeIterationSeconds(cfg, {8192, 8192});
     const double sparse_long =
         e.decodeIterationSeconds(cfg, {65536, 65536});
-    const TimingConfig fa = cloudConfig(SystemKind::FlashInfer);
+    const TimingConfig fa = cloudConfig("FullAttn(FlashInfer)");
     const double full_short = e.decodeIterationSeconds(fa, {8192, 8192});
     const double full_long =
         e.decodeIterationSeconds(fa, {65536, 65536});
@@ -299,7 +298,7 @@ TEST(Server, AllAdmittedRequestsFinishUnderFifo)
 {
     TimingEngine e;
     ServerConfig cfg;
-    cfg.timing = cloudConfig(SystemKind::FlashInfer);
+    cfg.timing = cloudConfig("FullAttn(FlashInfer)");
     cfg.queue_policy = QueuePolicy::Fifo;
     cfg.max_batch = 16;
 
@@ -329,7 +328,7 @@ TEST(Server, PeakInFlightRespectsUniformMemoryBound)
     // common final length is an exact ceiling on in-flight batch size.
     TimingEngine e;
     ServerConfig cfg;
-    cfg.timing = cloudConfig(SystemKind::FlashInfer);
+    cfg.timing = cloudConfig("FullAttn(FlashInfer)");
     cfg.max_batch = 1024; // memory must bind, not the table cap
 
     const serving::Workload w{16384, 2048};
@@ -356,7 +355,7 @@ TEST(Server, InfeasibleRequestIsRejectedOthersComplete)
 {
     TimingEngine e;
     ServerConfig cfg;
-    cfg.timing = cloudConfig(SystemKind::SpeContext);
+    cfg.timing = cloudConfig("SpeContext");
     std::vector<Request> trace;
     trace.push_back(makeRequest(0, 0.0, 2048, 512));
     // ~50M-token context: KV exceeds even CPU DRAM, can never be served.
@@ -382,8 +381,7 @@ TEST(Server, ContinuousBatchingBeatsWavesOnMixedPoissonTrace)
     tc.seed = 7;
     const auto trace = workload::mixedLengthTrace(tc);
 
-    for (SystemKind sys :
-         {SystemKind::FlashInfer, SystemKind::SpeContext}) {
+    for (const char *sys : {"FullAttn(FlashInfer)", "SpeContext"}) {
         ServerConfig cfg;
         cfg.timing = cloudConfig(sys);
         cfg.max_batch = 32;
@@ -395,9 +393,8 @@ TEST(Server, ContinuousBatchingBeatsWavesOnMixedPoissonTrace)
         const auto ws = wave.summary();
         EXPECT_GE(cs.throughput_tokens_per_s,
                   ws.throughput_tokens_per_s)
-            << core::systemKindName(sys);
-        EXPECT_LE(cs.ttft_p95, ws.ttft_p95)
-            << core::systemKindName(sys);
+            << sys;
+        EXPECT_LE(cs.ttft_p95, ws.ttft_p95) << sys;
     }
 }
 
@@ -423,7 +420,7 @@ TEST(Server, ShortestPromptFirstCompletesAndLowersShortTtft)
     };
 
     ServerConfig fifo;
-    fifo.timing = cloudConfig(SystemKind::FlashInfer);
+    fifo.timing = cloudConfig("FullAttn(FlashInfer)");
     fifo.max_batch = 8;
     ServerConfig spf = fifo;
     spf.queue_policy = QueuePolicy::ShortestPromptFirst;
@@ -439,9 +436,9 @@ TEST(Server, WaveSchedulingRejectsUnsupportedSystems)
 {
     TimingEngine e;
     ServerConfig cfg;
-    cfg.timing = cloudConfig(SystemKind::ClusterKV);
+    cfg.timing = cloudConfig("ClusterKV");
     EXPECT_THROW(serving::Server(e, cfg), std::invalid_argument);
-    cfg.timing = cloudConfig(SystemKind::FlashInfer);
+    cfg.timing = cloudConfig("FullAttn(FlashInfer)");
     cfg.max_batch = 0;
     EXPECT_THROW(serving::Server(e, cfg), std::invalid_argument);
 }

@@ -10,20 +10,20 @@
 namespace specontext {
 namespace {
 
-using core::SystemKind;
+using core::SystemOptions;
+using core::SystemRegistry;
 using core::TimingConfig;
 using core::TimingEngine;
 
 TimingConfig
-base(SystemKind sys)
+base(const std::string &sys, const SystemOptions &opts = {})
 {
     TimingConfig c;
     c.llm = model::deepseekDistillLlama8bGeometry();
     c.hw = sim::HardwareSpec::cloudA800();
-    c.system = sys;
+    c.system = SystemRegistry::create(sys, opts);
     c.prompt_len = 2048;
     c.gen_len = 4096;
-    c.budget = 2048;
     return c;
 }
 
@@ -39,7 +39,7 @@ TEST(Serving, PaperWorkloadsMatchTable3)
 TEST(Serving, SweepPicksFeasibleBest)
 {
     TimingEngine e;
-    auto sweep = serving::sweepBatches(e, base(SystemKind::FlashInfer),
+    auto sweep = serving::sweepBatches(e, base("FullAttn(FlashInfer)"),
                                        {1, 4, 8});
     ASSERT_TRUE(sweep.feasible());
     ASSERT_EQ(sweep.points.size(), 3u);
@@ -55,7 +55,7 @@ TEST(Serving, ThroughputGrowsWithBatchForFullAttention)
 {
     // Weight streaming amortizes across the batch.
     TimingEngine e;
-    auto sweep = serving::sweepBatches(e, base(SystemKind::FlashInfer),
+    auto sweep = serving::sweepBatches(e, base("FullAttn(FlashInfer)"),
                                        {1, 8});
     ASSERT_TRUE(sweep.feasible());
     EXPECT_GT(sweep.points[1].result.throughput,
@@ -65,7 +65,7 @@ TEST(Serving, ThroughputGrowsWithBatchForFullAttention)
 TEST(Serving, SweepAllOomReportsInfeasible)
 {
     TimingEngine e;
-    auto cfg = base(SystemKind::Quest);
+    auto cfg = base("Quest");
     auto sweep = serving::sweepBatches(e, cfg, {2, 4, 8});
     EXPECT_FALSE(sweep.feasible()); // Quest is single-request only
     EXPECT_EQ(sweep.best, -1);
@@ -81,8 +81,9 @@ TEST(Serving, SweepPicksTrueMaxOfNonMonotoneCurve)
     // per-step full-KV PCIe transfer) without reporting OOM — a
     // non-monotone curve whose max sits mid-sweep.
     TimingEngine e;
-    auto cfg = base(SystemKind::FlashInfer);
-    cfg.allow_full_attention_offload = true;
+    SystemOptions o;
+    o.allow_full_attention_offload = true;
+    auto cfg = base("FullAttn(FlashInfer)", o);
     auto sweep = serving::sweepBatches(e, cfg, {8, 64, 96});
     ASSERT_TRUE(sweep.feasible());
     ASSERT_EQ(sweep.points.size(), 3u);
@@ -100,11 +101,11 @@ TEST(Serving, SpeContextSupportsLargerBatchesThanFullAttention)
     // OOM boundary comparison on a long-generation workload: sparse
     // KV residency admits more concurrent requests.
     TimingEngine e;
-    auto fa = base(SystemKind::FlashInfer);
+    auto fa = base("FullAttn(FlashInfer)");
     fa.gen_len = 32768;
     fa.prompt_len = 2048;
     auto ours = fa;
-    ours.system = SystemKind::SpeContext;
+    ours.system = SystemRegistry::create("SpeContext");
 
     const auto batches = std::vector<int64_t>{16, 32, 64, 128, 256};
     auto s_fa = serving::sweepBatches(e, fa, batches);
@@ -123,7 +124,7 @@ TEST(Serving, SpeContextSupportsLargerBatchesThanFullAttention)
 TEST(Serving, WaveThroughputMatchesSingleWave)
 {
     TimingEngine e;
-    auto cfg = base(SystemKind::FlashInfer);
+    auto cfg = base("FullAttn(FlashInfer)");
     const double one_wave = serving::waveThroughput(e, cfg, 8, 8);
     cfg.batch = 8;
     const auto direct = e.simulate(cfg);
@@ -136,7 +137,7 @@ TEST(Serving, WaveThroughputMatchesSingleWave)
 TEST(Serving, MultiWaveSlowerThanBiggerBatch)
 {
     TimingEngine e;
-    auto cfg = base(SystemKind::FlashInfer);
+    auto cfg = base("FullAttn(FlashInfer)");
     const double two_waves = serving::waveThroughput(e, cfg, 16, 8);
     const double one_wave = serving::waveThroughput(e, cfg, 16, 16);
     EXPECT_GT(one_wave, two_waves);
@@ -145,7 +146,7 @@ TEST(Serving, MultiWaveSlowerThanBiggerBatch)
 TEST(Serving, WaveThroughputValidatesInputs)
 {
     TimingEngine e;
-    EXPECT_THROW(serving::waveThroughput(e, base(SystemKind::FlashInfer),
+    EXPECT_THROW(serving::waveThroughput(e, base("FullAttn(FlashInfer)"),
                                          0, 4),
                  std::invalid_argument);
 }
@@ -155,7 +156,7 @@ TEST(Serving, WaveThroughputGuardsDegenerateZeroTimeRuns)
     // gen_len == 0 produces zero tokens; the guard must report zero
     // throughput instead of dividing by a (potentially zero) duration.
     TimingEngine e;
-    auto cfg = base(SystemKind::FlashInfer);
+    auto cfg = base("FullAttn(FlashInfer)");
     cfg.gen_len = 0;
     const double tp = serving::waveThroughput(e, cfg, 8, 4);
     EXPECT_DOUBLE_EQ(tp, 0.0);
