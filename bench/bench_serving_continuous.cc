@@ -7,9 +7,10 @@
  * with per-request latency metrics (TTFT / TPOT / E2E percentiles)
  * and aggregate token throughput. Writes machine-readable results to
  * BENCH_serving.json (override with argv[1]) so the trajectory is
- * trackable across PRs.
+ * trackable across PRs; argv[2] shrinks the trace for CI smoke runs.
  */
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -108,7 +109,7 @@ main(int argc, char **argv)
     core::TimingEngine engine;
 
     workload::TraceConfig tc;
-    tc.num_requests = 64;
+    tc.num_requests = argc > 2 ? std::atoll(argv[2]) : 64;
     tc.arrival_rate_per_s = 0.5; // heavy open-loop load
     tc.seed = 7;
     const auto paper_trace = workload::paperMixTrace(tc);
@@ -134,7 +135,8 @@ main(int argc, char **argv)
     }
 
     bench::section("Continuous batching vs wave scheduling "
-                   "(open-loop Poisson, 64 requests)");
+                   "(open-loop Poisson, " +
+                   std::to_string(tc.num_requests) + " requests)");
     printRows(rows);
     std::printf(
         "\nNotes: wave scheduling pads every member to the wave's "

@@ -1,7 +1,8 @@
 /**
  * @file
- * Pluggable inference-system API: the polymorphic replacement of the
- * old `SystemKind` enum-switch dispatch.
+ * Pluggable inference-system API: string-keyed, factory-registered
+ * system models (the polymorphic replacement of the long-gone
+ * `SystemKind` enum-switch dispatch).
  *
  * A `SystemModel` encapsulates everything one simulated inference
  * system knows about itself:

@@ -9,9 +9,9 @@
  * SpeContext's speculative sparsity, permanent eviction, ...) live in
  * `core::SystemModel` subclasses constructed through the
  * `core::SystemRegistry` (system_model.h); TimingConfig carries the
- * system instance and the engine validates inputs and delegates. The
- * old `SystemKind` enum survives one more PR in
- * core/system_kind_shim.h.
+ * system instance and the engine validates inputs and delegates.
+ * Systems are addressed by registry name only (the deprecated
+ * `SystemKind` enum shim has been removed).
  */
 #pragma once
 

@@ -1,0 +1,100 @@
+#include "serving/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "sim/event_clock.h"
+
+namespace specontext {
+namespace serving {
+
+Cluster::Cluster(const core::TimingEngine &engine, ClusterConfig cfg)
+    : engine_(engine), cfg_(std::move(cfg))
+{
+    if (cfg_.replicas.empty())
+        throw std::invalid_argument("Cluster: empty fleet");
+    for (size_t i = 0; i < cfg_.replicas.size(); ++i) {
+        cfg_.replicas[i].id = static_cast<int64_t>(i);
+        // Validate every replica config now (throws on wave-only or
+        // null systems / bad max_batch), not at first run().
+        ReplicaEngine probe(engine_, cfg_.replicas[i]);
+        cfg_.replicas[i].name = probe.config().name;
+    }
+}
+
+ClusterResult
+Cluster::run(std::vector<Request> trace) const
+{
+    sortByArrival(trace);
+
+    std::vector<std::unique_ptr<ReplicaEngine>> fleet;
+    fleet.reserve(cfg_.replicas.size());
+    for (const ReplicaConfig &rc : cfg_.replicas)
+        fleet.push_back(std::make_unique<ReplicaEngine>(engine_, rc));
+    Router router(cfg_.router);
+
+    ClusterResult out;
+    size_t next = 0;
+
+    // Route every arrival at or before t, in arrival order, against
+    // the fleet's current state. Called both from the event loop (when
+    // the next arrival is the earliest event) and from inside a
+    // replica's step (a prefill advanced its clock past arrivals).
+    auto routeUpTo = [&](double t) {
+        while (next < trace.size() &&
+               trace[next].arrival_seconds <= t) {
+            const size_t target = router.route(trace[next], fleet);
+            out.placements.push_back(
+                {trace[next].id, static_cast<int64_t>(target)});
+            fleet[target]->deliver(trace[next]);
+            ++next;
+        }
+    };
+
+    // Event-driven main loop: advance whichever comes first, the next
+    // unrouted arrival or the earliest replica event — never
+    // lock-stepping the fleet.
+    sim::EventClock clock(fleet.size());
+    while (true) {
+        for (size_t i = 0; i < fleet.size(); ++i)
+            clock.set(i, fleet[i]->nextEventSeconds());
+        const double t_replica = clock.earliest();
+        const double t_arrival =
+            next < trace.size()
+                ? trace[next].arrival_seconds
+                : std::numeric_limits<double>::infinity();
+        if (!std::isfinite(t_replica) && !std::isfinite(t_arrival))
+            break; // fleet drained, trace exhausted
+        if (t_arrival <= t_replica) {
+            // Arrivals route before any replica reaches t_arrival, so
+            // the same-instant ordering matches the single server's
+            // ingest-then-admit discipline.
+            routeUpTo(t_arrival);
+            continue;
+        }
+        fleet[clock.earliestLane()]->step(routeUpTo);
+    }
+
+    // Aggregate: per-replica results plus the fleet-wide roll-up.
+    out.per_replica.reserve(fleet.size());
+    for (const auto &rep : fleet) {
+        out.replica_names.push_back(rep->config().name);
+        out.per_replica.push_back(rep->takeResult());
+    }
+    for (const ServeResult &r : out.per_replica) {
+        out.fleet.metrics.merge(r.metrics);
+        out.fleet.rejected.insert(out.fleet.rejected.end(),
+                                  r.rejected.begin(), r.rejected.end());
+        out.fleet.iterations += r.iterations;
+        out.fleet.peak_in_flight += r.peak_in_flight;
+        out.fleet.makespan_seconds =
+            std::max(out.fleet.makespan_seconds, r.makespan_seconds);
+    }
+    return out;
+}
+
+} // namespace serving
+} // namespace specontext

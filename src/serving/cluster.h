@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Multi-replica cluster serving: N ReplicaEngines — each with its own
+ * hardware, model geometry and SystemModel (heterogeneous fleets of
+ * cloud A800 and edge RTX 4060 replicas are first-class) — fed by a
+ * pluggable Router, advanced by an event-driven clock.
+ *
+ * The global clock is not lock-stepped: a sim::EventClock books every
+ * replica's next-event instant plus the next unrouted arrival, and
+ * each round advances only the earliest of them (ties toward the
+ * lowest replica index, arrivals before replica steps at equal
+ * instants — both deterministic). Arrivals are routed when the fleet's
+ * earliest event passes them, so routing decisions see every replica
+ * at a state no older than the arrival; routed requests wait in the
+ * target replica's pending list until its local clock reaches their
+ * arrival time, preserving per-replica causality however far clocks
+ * drift apart.
+ *
+ * This is the machinery behind the repo's central capacity question:
+ * how many replicas of which hardware does a given open-loop load
+ * need to hold a p99 TTFT target? (bench/bench_cluster_scaling.cc,
+ * examples/fleet_sizing.cpp)
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serving/replica_engine.h"
+#include "serving/router.h"
+
+namespace specontext {
+namespace serving {
+
+/** Fleet configuration: replica shapes plus the routing policy. */
+struct ClusterConfig
+{
+    std::vector<ReplicaConfig> replicas;
+    RouterConfig router;
+};
+
+/** One routing decision (request -> replica), in routed order. */
+struct Placement
+{
+    int64_t request_id = 0;
+    int64_t replica = 0;
+};
+
+/** Outcome of serving one trace on the fleet. */
+struct ClusterResult
+{
+    /**
+     * Fleet-wide aggregation: merged metrics (records keep replica
+     * ids, so summarizeReplica() breaks them down again), concatenated
+     * rejections, summed iterations, summed per-replica in-flight
+     * peaks, and the fleet makespan (latest replica clock at drain) —
+     * summary() works on it exactly as on a single server's result.
+     */
+    ServeResult fleet;
+    std::vector<ServeResult> per_replica;
+    std::vector<std::string> replica_names;
+    std::vector<Placement> placements;
+
+    int64_t completed() const { return fleet.completed(); }
+    ServingSummary summary() const { return fleet.summary(); }
+};
+
+/** Routed fleet of continuous-batching replicas. */
+class Cluster
+{
+  public:
+    /**
+     * @throws std::invalid_argument when the fleet is empty or any
+     * replica config is invalid (null / wave-only system, non-positive
+     * max_batch). Replica ids are overwritten with fleet indices.
+     */
+    Cluster(const core::TimingEngine &engine, ClusterConfig cfg);
+
+    const ClusterConfig &config() const { return cfg_; }
+
+    /**
+     * Serve an open-loop arrival trace to completion. Requests are
+     * sorted by arrival time; ids are preserved. Each run builds a
+     * fresh fleet and router, so a Cluster can serve many traces and
+     * identical inputs give bit-identical results.
+     */
+    ClusterResult run(std::vector<Request> trace) const;
+
+  private:
+    const core::TimingEngine &engine_;
+    ClusterConfig cfg_;
+};
+
+} // namespace serving
+} // namespace specontext

@@ -8,13 +8,14 @@ namespace specontext {
 namespace serving {
 
 void
-ServingMetrics::record(const Request &r)
+ServingMetrics::record(const Request &r, int64_t replica)
 {
     if (r.state != RequestState::Finished)
         throw std::invalid_argument(
             "ServingMetrics: recording an unfinished request");
     RequestRecord rec;
     rec.id = r.id;
+    rec.replica = replica;
     rec.prompt_len = r.prompt_len;
     rec.gen_len = r.gen_len;
     rec.arrival_seconds = r.arrival_seconds;
@@ -24,43 +25,77 @@ ServingMetrics::record(const Request &r)
     records_.push_back(rec);
 }
 
-double
-ServingMetrics::percentile(std::vector<double> values, double p)
+void
+ServingMetrics::merge(const ServingMetrics &other)
 {
-    if (values.empty())
+    records_.insert(records_.end(), other.records_.begin(),
+                    other.records_.end());
+}
+
+std::vector<int64_t>
+ServingMetrics::replicaIds() const
+{
+    std::vector<int64_t> ids;
+    for (const RequestRecord &r : records_)
+        ids.push_back(r.replica);
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+}
+
+double
+ServingMetrics::percentileSorted(const std::vector<double> &sorted,
+                                 double p)
+{
+    if (sorted.empty())
         return 0.0;
     if (p < 0.0 || p > 100.0)
         throw std::invalid_argument("percentile: p outside [0, 100]");
-    std::sort(values.begin(), values.end());
     // Nearest-rank: smallest value with cumulative frequency >= p%.
-    const auto n = static_cast<int64_t>(values.size());
+    const auto n = static_cast<int64_t>(sorted.size());
     int64_t rank = static_cast<int64_t>(
         std::ceil(p / 100.0 * static_cast<double>(n)));
     rank = std::clamp<int64_t>(rank, 1, n);
-    return values[rank - 1];
+    return sorted[rank - 1];
 }
 
+double
+ServingMetrics::percentile(std::vector<double> values, double p)
+{
+    std::sort(values.begin(), values.end());
+    return percentileSorted(values, p);
+}
+
+namespace {
+
+/** Shared aggregation body of summarize()/summarizeReplica(); records
+ *  with replica != `replica` are skipped when `filter` is set. */
 ServingSummary
-ServingMetrics::summarize(double makespan_seconds) const
+summarizeRecords(const std::vector<RequestRecord> &records, bool filter,
+                 int64_t replica, double makespan_seconds)
 {
     ServingSummary s;
-    s.completed = count();
     s.makespan_seconds = makespan_seconds;
-    if (records_.empty())
-        return s;
 
+    // Means accumulate in record order (before sorting) so aggregation
+    // stays bit-for-bit independent of how the percentile series are
+    // laid out.
     std::vector<double> ttft, e2e;
-    ttft.reserve(records_.size());
-    e2e.reserve(records_.size());
     double tpot_sum = 0.0, queue_sum = 0.0;
-    for (const RequestRecord &r : records_) {
+    for (const RequestRecord &r : records) {
+        if (filter && r.replica != replica)
+            continue;
         ttft.push_back(r.ttft());
         e2e.push_back(r.e2e());
         tpot_sum += r.tpot();
         queue_sum += r.queueDelay();
         s.total_generated_tokens += r.gen_len;
+        ++s.completed;
     }
-    const double n = static_cast<double>(records_.size());
+    if (s.completed == 0)
+        return s;
+
+    const double n = static_cast<double>(s.completed);
     auto mean = [&](const std::vector<double> &v) {
         double acc = 0.0;
         for (double x : v)
@@ -68,13 +103,17 @@ ServingMetrics::summarize(double makespan_seconds) const
         return acc / n;
     };
     s.ttft_mean = mean(ttft);
-    s.ttft_p50 = percentile(ttft, 50.0);
-    s.ttft_p95 = percentile(ttft, 95.0);
-    s.ttft_p99 = percentile(ttft, 99.0);
     s.e2e_mean = mean(e2e);
-    s.e2e_p50 = percentile(e2e, 50.0);
-    s.e2e_p95 = percentile(e2e, 95.0);
-    s.e2e_p99 = percentile(e2e, 99.0);
+
+    // Sort each series once; all three quantiles read from it.
+    std::sort(ttft.begin(), ttft.end());
+    std::sort(e2e.begin(), e2e.end());
+    s.ttft_p50 = ServingMetrics::percentileSorted(ttft, 50.0);
+    s.ttft_p95 = ServingMetrics::percentileSorted(ttft, 95.0);
+    s.ttft_p99 = ServingMetrics::percentileSorted(ttft, 99.0);
+    s.e2e_p50 = ServingMetrics::percentileSorted(e2e, 50.0);
+    s.e2e_p95 = ServingMetrics::percentileSorted(e2e, 95.0);
+    s.e2e_p99 = ServingMetrics::percentileSorted(e2e, 99.0);
     s.tpot_mean = tpot_sum / n;
     s.queue_delay_mean = queue_sum / n;
     if (makespan_seconds > 0.0)
@@ -82,6 +121,21 @@ ServingMetrics::summarize(double makespan_seconds) const
             static_cast<double>(s.total_generated_tokens) /
             makespan_seconds;
     return s;
+}
+
+} // namespace
+
+ServingSummary
+ServingMetrics::summarize(double makespan_seconds) const
+{
+    return summarizeRecords(records_, false, 0, makespan_seconds);
+}
+
+ServingSummary
+ServingMetrics::summarizeReplica(int64_t replica,
+                                 double makespan_seconds) const
+{
+    return summarizeRecords(records_, true, replica, makespan_seconds);
 }
 
 } // namespace serving

@@ -6,6 +6,11 @@
  * aggregate token throughput — the quantities production serving SLOs
  * are written against, which the paper's closed [in, out] sweeps
  * cannot express.
+ *
+ * Records carry the id of the replica that served them, so the same
+ * collector works at both scopes of the cluster layer: summarize()
+ * aggregates fleet-wide, summarizeReplica() breaks the fleet down per
+ * replica, and merge() folds per-replica collectors into one.
  */
 #pragma once
 
@@ -21,6 +26,7 @@ namespace serving {
 struct RequestRecord
 {
     int64_t id = 0;
+    int64_t replica = 0; ///< id of the replica that served the request
     int64_t prompt_len = 0;
     int64_t gen_len = 0;
     double arrival_seconds = 0.0;
@@ -68,21 +74,41 @@ struct ServingSummary
 class ServingMetrics
 {
   public:
-    /** Record a finished request (state must be Finished). */
-    void record(const Request &r);
+    /** Record a finished request (state must be Finished) served by
+     *  `replica` (0 for the single-server case). */
+    void record(const Request &r, int64_t replica = 0);
 
     int64_t count() const { return static_cast<int64_t>(records_.size()); }
     const std::vector<RequestRecord> &records() const { return records_; }
 
+    /** Append another collector's records (fleet-wide aggregation);
+     *  records keep their replica ids. */
+    void merge(const ServingMetrics &other);
+
+    /** Sorted distinct replica ids present in the records. */
+    std::vector<int64_t> replicaIds() const;
+
     /**
      * Nearest-rank percentile of `values` (p in [0, 100]); 0 on an
-     * empty set. Exposed for tests and benches.
+     * empty set. Exposed for tests and benches. Copies and sorts —
+     * when reading several quantiles from one series, sort once and
+     * use percentileSorted().
      */
     static double percentile(std::vector<double> values, double p);
+
+    /** Nearest-rank percentile of an already ascending-sorted series;
+     *  0 on an empty set. */
+    static double percentileSorted(const std::vector<double> &sorted,
+                                   double p);
 
     /** Aggregate over the records; `makespan` is trace start -> last
      *  retirement, the denominator of aggregate throughput. */
     ServingSummary summarize(double makespan_seconds) const;
+
+    /** Aggregate over the records of one replica only; same shape as
+     *  summarize(), so fleet and per-replica views read identically. */
+    ServingSummary summarizeReplica(int64_t replica,
+                                    double makespan_seconds) const;
 
   private:
     std::vector<RequestRecord> records_;

@@ -1,0 +1,194 @@
+#include "serving/replica_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace specontext {
+namespace serving {
+
+ReplicaEngine::ReplicaEngine(const core::TimingEngine &engine,
+                             ReplicaConfig cfg)
+    : engine_(engine), cfg_(std::move(cfg)), admission_(cfg_.timing),
+      queue_(cfg_.queue_policy)
+{
+    if (cfg_.max_batch <= 0)
+        throw std::invalid_argument(
+            "ReplicaEngine: non-positive max_batch");
+    if (cfg_.name.empty()) {
+        cfg_.name = "replica" + std::to_string(cfg_.id) + "(" +
+                    cfg_.timing.hw.name + "/" +
+                    cfg_.timing.system->name() + ")";
+    }
+}
+
+int64_t
+ReplicaEngine::reservedKvTokens() const
+{
+    int64_t tokens = 0;
+    for (const Request &r : active_)
+        tokens += r.finalLen();
+    for (size_t i = static_cast<size_t>(pending_next_);
+         i < pending_.size(); ++i)
+        tokens += pending_[i].finalLen();
+    // The queue does not expose iteration; mirror its content via the
+    // running total maintained on push/pop instead of scanning.
+    return tokens + queued_kv_tokens_;
+}
+
+int64_t
+ReplicaEngine::kvCapacityBytes() const
+{
+    const int64_t cap =
+        cfg_.timing.hw.gpu_mem_bytes -
+        core::weightFootprintBytes(cfg_.timing.llm);
+    return std::max<int64_t>(cap, 1);
+}
+
+double
+ReplicaEngine::kvLoadFraction(int64_t extra_final_len_tokens) const
+{
+    const int64_t per_token =
+        core::kvBytesPerTokenPerLayer(cfg_.timing.llm) *
+        cfg_.timing.llm.layers;
+    const double bytes =
+        static_cast<double>(reservedKvTokens() + extra_final_len_tokens) *
+        static_cast<double>(per_token);
+    return bytes / static_cast<double>(kvCapacityBytes());
+}
+
+void
+ReplicaEngine::deliver(Request r)
+{
+    if (r.arrival_seconds < last_delivered_arrival_)
+        throw std::invalid_argument(
+            "ReplicaEngine: deliveries must be in arrival order");
+    last_delivered_arrival_ = r.arrival_seconds;
+    pending_.push_back(std::move(r));
+}
+
+void
+ReplicaEngine::ingestPending(double t)
+{
+    while (pending_next_ < static_cast<int64_t>(pending_.size()) &&
+           pending_[pending_next_].arrival_seconds <= t) {
+        queued_kv_tokens_ += pending_[pending_next_].finalLen();
+        queue_.push(std::move(pending_[pending_next_]));
+        ++pending_next_;
+    }
+    if (pending_next_ == static_cast<int64_t>(pending_.size())) {
+        pending_.clear();
+        pending_next_ = 0;
+    }
+}
+
+double
+ReplicaEngine::nextEventSeconds() const
+{
+    if (!active_.empty() || !queue_.empty())
+        return now_;
+    if (pending_next_ < static_cast<int64_t>(pending_.size()))
+        return std::max(now_,
+                        pending_[pending_next_].arrival_seconds);
+    return std::numeric_limits<double>::infinity();
+}
+
+bool
+ReplicaEngine::idle() const
+{
+    return active_.empty() && queue_.empty() &&
+           pending_next_ >= static_cast<int64_t>(pending_.size());
+}
+
+void
+ReplicaEngine::step(const IngestFn &ingest)
+{
+    const double event = nextEventSeconds();
+    if (!std::isfinite(event))
+        throw std::logic_error("ReplicaEngine: step on an idle replica");
+    now_ = std::max(now_, event);
+
+    auto ingestUpTo = [&](double t) {
+        if (ingest)
+            ingest(t); // the router delivers arrivals <= t
+        ingestPending(t);
+    };
+    ingestUpTo(now_);
+
+    // Admit while the policy's candidate fits. A denial with other
+    // requests in flight just means "wait for retirements"; a denial
+    // on an idle replica means the request can never fit here.
+    while (!queue_.empty() &&
+           static_cast<int64_t>(active_.size()) < cfg_.max_batch) {
+        const AdmissionDecision d = admission_.admit(active_,
+                                                     queue_.peek());
+        if (!d.admit) {
+            if (active_.empty()) {
+                Request r = queue_.pop();
+                queued_kv_tokens_ -= r.finalLen();
+                r.state = RequestState::Rejected;
+                result_.rejected.push_back(std::move(r));
+                continue;
+            }
+            break;
+        }
+        Request r = queue_.pop();
+        queued_kv_tokens_ -= r.finalLen();
+        r.admit_seconds = now_;
+        r.state = RequestState::Decoding;
+        // Prefill iteration for the joining request; in-flight
+        // requests stall for its duration (prefill-prioritized
+        // scheduling), and arrivals during it still enqueue.
+        int64_t resident = 0;
+        for (const Request &q : active_)
+            resident += q.kvLen();
+        now_ += engine_.requestPrefillSeconds(
+            cfg_.timing, r.prompt_len,
+            static_cast<int64_t>(active_.size()), resident);
+        active_.push_back(std::move(r));
+        ingestUpTo(now_);
+    }
+    result_.peak_in_flight =
+        std::max(result_.peak_in_flight,
+                 static_cast<int64_t>(active_.size()));
+
+    if (active_.empty()) {
+        if (!queue_.empty())
+            throw std::logic_error(
+                "ReplicaEngine: idle with admissible work queued");
+        result_.makespan_seconds = now_;
+        return; // round spent rejecting; next event is a future arrival
+    }
+
+    // One decode iteration advances every in-flight request by one
+    // token — the continuous-batching core, no wave barrier.
+    std::vector<int64_t> kv_lens;
+    kv_lens.reserve(active_.size());
+    for (const Request &r : active_)
+        kv_lens.push_back(r.kvLen());
+    now_ += engine_.decodeIterationSeconds(cfg_.timing, kv_lens);
+    ++result_.iterations;
+    for (Request &r : active_) {
+        ++r.generated;
+        if (r.first_token_seconds < 0.0)
+            r.first_token_seconds = now_;
+    }
+
+    // Retire finished requests; their reservations free headroom that
+    // the next round re-offers to the queue.
+    for (auto it = active_.begin(); it != active_.end();) {
+        if (it->done()) {
+            it->finish_seconds = now_;
+            it->state = RequestState::Finished;
+            result_.metrics.record(*it, cfg_.id);
+            it = active_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    result_.makespan_seconds = now_;
+}
+
+} // namespace serving
+} // namespace specontext

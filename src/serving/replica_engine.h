@@ -1,0 +1,174 @@
+/**
+ * @file
+ * One continuous-batching replica as a steppable state machine — the
+ * per-iteration loop extracted from serving::Server so a single engine
+ * implementation drives both the single-server facade and the
+ * multi-replica serving::Cluster.
+ *
+ * A ReplicaEngine owns one simulated device (its TimingConfig picks
+ * the hardware, model geometry and SystemModel), a waiting queue, the
+ * in-flight batch and a local clock. The caller delivers routed
+ * arrivals with deliver() and repeatedly invokes step(), which runs
+ * one scheduling round at the replica's next event time:
+ *
+ *     admit while headroom lasts (each admission prefills the joiner,
+ *     advancing the clock; in-flight requests stall for its duration)
+ *     -> one decode iteration advancing every in-flight request by one
+ *     token -> retire finished requests.
+ *
+ * Arrivals that land *during* a prefill must become admissible within
+ * the same round (exactly what Server did with its trace cursor), so
+ * step() takes an ingest callback invoked with the replica clock at
+ * the round head and after every prefill; the cluster uses it to route
+ * arrivals the advancing clock has just passed. Delivered requests
+ * wait in a pending list until the replica clock reaches their arrival
+ * time — a request can never be admitted before it arrives, however
+ * early the router hands it over.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/timing_engine.h"
+#include "serving/admission.h"
+#include "serving/metrics.h"
+#include "serving/request.h"
+#include "serving/request_queue.h"
+
+namespace specontext {
+namespace serving {
+
+/** Configuration of one replica (Server reuses this shape). */
+struct ReplicaConfig
+{
+    core::TimingConfig timing; ///< system, geometry, hardware, budget
+    QueuePolicy queue_policy = QueuePolicy::Fifo;
+    /** Hard cap on in-flight requests (scheduler table size); memory
+     *  admission usually binds first. */
+    int64_t max_batch = 64;
+    /** Replica id stamped on metrics records (cluster index). */
+    int64_t id = 0;
+    /** Display name; defaulted to "replica<id>(<hw>/<system>)". */
+    std::string name;
+};
+
+/** Outcome of serving one trace (single replica or aggregated fleet). */
+struct ServeResult
+{
+    ServingMetrics metrics;    ///< completed requests
+    std::vector<Request> rejected; ///< individually infeasible requests
+    double makespan_seconds = 0.0;
+    int64_t iterations = 0;    ///< decode iterations executed
+    int64_t peak_in_flight = 0;
+
+    int64_t completed() const { return metrics.count(); }
+    ServingSummary summary() const
+    {
+        return metrics.summarize(makespan_seconds);
+    }
+};
+
+/** One steppable continuous-batching replica. */
+class ReplicaEngine
+{
+  public:
+    /** Called with the replica clock whenever arrivals up to that
+     *  instant must be made deliverable (round head and after each
+     *  prefill). */
+    using IngestFn = std::function<void(double)>;
+
+    /**
+     * @throws std::invalid_argument when cfg.timing.system cannot be
+     * continuously batched or max_batch is non-positive.
+     */
+    ReplicaEngine(const core::TimingEngine &engine, ReplicaConfig cfg);
+
+    const ReplicaConfig &config() const { return cfg_; }
+    const AdmissionController &admission() const { return admission_; }
+
+    // ---- State inspection (router policies read these) --------------
+
+    /** Local clock, simulated seconds from trace start. */
+    double now() const { return now_; }
+
+    int64_t inFlight() const
+    {
+        return static_cast<int64_t>(active_.size());
+    }
+
+    /** Requests delivered but not yet admitted (queued + pending). */
+    int64_t waiting() const
+    {
+        return queue_.size() + static_cast<int64_t>(pending_.size()) -
+               pending_next_;
+    }
+
+    /** All requests this replica still owes work to. */
+    int64_t outstanding() const { return inFlight() + waiting(); }
+
+    /** Sum of final-length KV reservations (tokens) over every
+     *  outstanding request — the load signal of least-KV routing. */
+    int64_t reservedKvTokens() const;
+
+    /** Bytes of KV the replica can hold in HBM next to the weights
+     *  (>= 1; the least-KV router's normalizer, so heterogeneous
+     *  replicas compare by load *fraction*). */
+    int64_t kvCapacityBytes() const;
+
+    /** reservedKvTokens() priced in bytes / kvCapacityBytes(). */
+    double kvLoadFraction(int64_t extra_final_len_tokens = 0) const;
+
+    // ---- Driving -----------------------------------------------------
+
+    /** Hand over a routed request; it waits in the pending list until
+     *  the replica clock reaches its arrival time. Deliveries must be
+     *  in non-decreasing arrival order per replica. */
+    void deliver(Request r);
+
+    /**
+     * Simulated time of this replica's next state change: now() when
+     * admissible or in-flight work exists, the earliest pending
+     * arrival when it is idle but booked, +infinity when fully idle.
+     */
+    double nextEventSeconds() const;
+
+    /** True when nextEventSeconds() is +infinity. */
+    bool idle() const;
+
+    /**
+     * Run one scheduling round at nextEventSeconds() (the clock jumps
+     * there first when the replica is idle-but-booked).
+     * @throws std::logic_error when invoked on a fully idle replica.
+     */
+    void step(const IngestFn &ingest = nullptr);
+
+    /** Results accumulated so far; makespan_seconds tracks the clock
+     *  at the last completed round. */
+    const ServeResult &result() const { return result_; }
+
+    /** Move the accumulated results out (engine is spent afterwards). */
+    ServeResult takeResult() { return std::move(result_); }
+
+  private:
+    const core::TimingEngine &engine_;
+    ReplicaConfig cfg_;
+    AdmissionController admission_;
+
+    double now_ = 0.0;
+    RequestQueue queue_;
+    std::vector<Request> active_;
+    std::vector<Request> pending_; ///< delivered, arrival not reached
+    int64_t pending_next_ = 0;     ///< first live index into pending_
+    int64_t queued_kv_tokens_ = 0; ///< final-length tokens in queue_
+    double last_delivered_arrival_ = 0.0; ///< delivery-order guard
+    ServeResult result_;
+
+    /** Move pending requests with arrival <= t into the queue. */
+    void ingestPending(double t);
+};
+
+} // namespace serving
+} // namespace specontext

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace specontext {
 namespace serving {
@@ -48,6 +49,11 @@ struct Request
 
     bool done() const { return generated >= gen_len; }
 };
+
+/** Sort a trace by arrival time (stable: equal arrivals keep input
+ *  order) — the canonical ordering every serving entry point applies
+ *  (Server, Cluster, serveWaves, workload::splitTrace). */
+void sortByArrival(std::vector<Request> &trace);
 
 } // namespace serving
 } // namespace specontext

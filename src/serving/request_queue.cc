@@ -1,10 +1,20 @@
 #include "serving/request_queue.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace specontext {
 namespace serving {
+
+void
+sortByArrival(std::vector<Request> &trace)
+{
+    std::stable_sort(trace.begin(), trace.end(),
+                     [](const Request &a, const Request &b) {
+                         return a.arrival_seconds < b.arrival_seconds;
+                     });
+}
 
 const char *
 requestStateName(RequestState s)
@@ -46,11 +56,21 @@ RequestQueue::candidateIndex() const
         throw std::logic_error("RequestQueue: empty");
     if (policy_ == QueuePolicy::Fifo)
         return 0;
-    // Shortest prompt first; insertion order breaks ties, so the scan
-    // keeps strict inequality.
+    // Shortest prompt first. Ties break on arrival time, then request
+    // id — an explicit total order, so cluster runs are bit-reproducible
+    // regardless of how the caller happened to enqueue equal-length
+    // requests (insertion order is not guaranteed to be id order once a
+    // router interleaves deliveries).
+    auto precedes = [](const Request &a, const Request &b) {
+        if (a.prompt_len != b.prompt_len)
+            return a.prompt_len < b.prompt_len;
+        if (a.arrival_seconds != b.arrival_seconds)
+            return a.arrival_seconds < b.arrival_seconds;
+        return a.id < b.id;
+    };
     int64_t best = 0;
     for (int64_t i = 1; i < size(); ++i) {
-        if (waiting_[i].prompt_len < waiting_[best].prompt_len)
+        if (precedes(waiting_[i], waiting_[best]))
             best = i;
     }
     return best;

@@ -23,7 +23,9 @@ namespace serving {
 /** Ordering policy of the waiting queue. */
 enum class QueuePolicy {
     Fifo,                ///< arrival order (starvation-free)
-    ShortestPromptFirst, ///< min prompt_len, FIFO tiebreak
+    /** Min prompt_len; ties break on arrival time, then request id (a
+     *  total order, so runs are bit-reproducible). */
+    ShortestPromptFirst,
 };
 
 const char *queuePolicyName(QueuePolicy p);

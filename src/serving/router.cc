@@ -1,0 +1,128 @@
+#include "serving/router.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace specontext {
+namespace serving {
+
+const char *
+routerPolicyName(RouterPolicy p)
+{
+    switch (p) {
+      case RouterPolicy::RoundRobin: return "round-robin";
+      case RouterPolicy::JoinShortestQueue: return "join-shortest-queue";
+      case RouterPolicy::LeastKvLoad: return "least-kv-load";
+      case RouterPolicy::TwoTier: return "two-tier";
+    }
+    return "?";
+}
+
+Router::Router(RouterConfig cfg) : cfg_(cfg) {}
+
+namespace {
+
+using Fleet = std::vector<std::unique_ptr<ReplicaEngine>>;
+
+/** Indices able to serve `r` at all; the whole fleet when none can
+ *  (the pick then hard-rejects, keeping accounting policy-free). */
+std::vector<size_t>
+feasibleReplicas(const Request &r, const Fleet &fleet)
+{
+    std::vector<size_t> out;
+    for (size_t i = 0; i < fleet.size(); ++i) {
+        if (fleet[i]->admission().feasibleAlone(r))
+            out.push_back(i);
+    }
+    if (out.empty()) {
+        out.resize(fleet.size());
+        for (size_t i = 0; i < fleet.size(); ++i)
+            out[i] = i;
+    }
+    return out;
+}
+
+/** Candidate minimizing `score`; ties toward the lowest index (the
+ *  candidate list is ascending). */
+template <typename Score>
+size_t
+argminReplica(const std::vector<size_t> &candidates, const Score &score)
+{
+    size_t best = candidates.front();
+    double best_score = score(best);
+    for (size_t k = 1; k < candidates.size(); ++k) {
+        const double s = score(candidates[k]);
+        if (s < best_score) {
+            best = candidates[k];
+            best_score = s;
+        }
+    }
+    return best;
+}
+
+size_t
+joinShortestQueue(const std::vector<size_t> &candidates,
+                  const Fleet &fleet)
+{
+    return argminReplica(candidates, [&](size_t i) {
+        return static_cast<double>(fleet[i]->outstanding());
+    });
+}
+
+} // namespace
+
+size_t
+Router::route(const Request &r, const Fleet &fleet)
+{
+    if (fleet.empty())
+        throw std::invalid_argument("Router: empty fleet");
+    const std::vector<size_t> candidates = feasibleReplicas(r, fleet);
+
+    switch (cfg_.policy) {
+      case RouterPolicy::RoundRobin: {
+        // Next candidate at or after the cursor, cyclically; the
+        // cursor sweeps the whole fleet so heterogeneous feasibility
+        // does not skew the rotation.
+        for (size_t probe = 0; probe < fleet.size(); ++probe) {
+            const size_t i = (rr_cursor_ + probe) % fleet.size();
+            for (size_t c : candidates) {
+                if (c == i) {
+                    rr_cursor_ = (i + 1) % fleet.size();
+                    return i;
+                }
+            }
+        }
+        return candidates.front(); // unreachable: candidates non-empty
+      }
+
+      case RouterPolicy::JoinShortestQueue:
+        return joinShortestQueue(candidates, fleet);
+
+      case RouterPolicy::LeastKvLoad:
+        return argminReplica(candidates, [&](size_t i) {
+            return fleet[i]->kvLoadFraction(r.finalLen());
+        });
+
+      case RouterPolicy::TwoTier: {
+        int64_t max_hbm = 0;
+        for (const auto &rep : fleet)
+            max_hbm = std::max(max_hbm,
+                               rep->config().timing.hw.gpu_mem_bytes);
+        const bool is_long = r.prompt_len >= cfg_.long_prompt_threshold;
+        std::vector<size_t> tier;
+        for (size_t i : candidates) {
+            const bool big =
+                fleet[i]->config().timing.hw.gpu_mem_bytes == max_hbm;
+            if (big == is_long)
+                tier.push_back(i);
+        }
+        if (tier.empty())
+            tier = candidates;
+        return joinShortestQueue(tier, fleet);
+      }
+    }
+    throw std::logic_error("Router: unknown policy");
+}
+
+} // namespace serving
+} // namespace specontext

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Request router of the multi-replica cluster: picks which replica a
+ * newly arrived request is delivered to. Dispatch-to-replicas is the
+ * fleet's first-class scheduling decision (the scaling analogue of
+ * exposed-datapath dispatch-to-units), so policies are pluggable:
+ *
+ *  - RoundRobin: cycle through the fleet — the oblivious baseline.
+ *  - JoinShortestQueue: fewest outstanding requests.
+ *  - LeastKvLoad: smallest fraction of KV capacity reserved, where
+ *    each replica's reservation sums the final-length KV of everything
+ *    it owes work to (the same pessimistic booking its
+ *    SystemModel::admit() discipline applies) and capacity is the HBM
+ *    left next to the weights — so heterogeneous replicas compare by
+ *    *fractional* memory pressure, not absolute tokens.
+ *  - TwoTier: prompt-length-aware placement — prompts of at least
+ *    long_prompt_threshold tokens go to the big-HBM tier (replicas
+ *    whose GPU memory equals the fleet maximum), short prompts prefer
+ *    the small tier so long-context capacity stays available;
+ *    join-shortest-queue inside the chosen tier.
+ *
+ * Every policy first drops replicas that could not serve the request
+ * even alone (admission's feasibleAlone(), i.e. the per-replica
+ * SystemModel memory discipline); when no replica is feasible the
+ * policy runs over the whole fleet and the chosen replica hard-rejects
+ * the request, keeping rejection accounting policy-independent.
+ * Ties always break toward the lowest replica index, so placements
+ * are bit-reproducible.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serving/replica_engine.h"
+
+namespace specontext {
+namespace serving {
+
+/** Placement policy of the cluster router. */
+enum class RouterPolicy {
+    RoundRobin,
+    JoinShortestQueue,
+    LeastKvLoad,
+    TwoTier,
+};
+
+const char *routerPolicyName(RouterPolicy p);
+
+/** Router knobs. */
+struct RouterConfig
+{
+    RouterPolicy policy = RouterPolicy::RoundRobin;
+    /** TwoTier: prompts at least this long route to big-HBM replicas. */
+    int64_t long_prompt_threshold = 8192;
+};
+
+/** Stateful placement engine (round-robin keeps a cursor). */
+class Router
+{
+  public:
+    explicit Router(RouterConfig cfg = {});
+
+    const RouterConfig &config() const { return cfg_; }
+
+    /**
+     * Index of the replica `r` should be delivered to, given the
+     * fleet's current state. Deterministic: ties break toward the
+     * lowest index.
+     * @throws std::invalid_argument on an empty fleet.
+     */
+    size_t route(const Request &r,
+                 const std::vector<std::unique_ptr<ReplicaEngine>>
+                     &replicas);
+
+  private:
+    RouterConfig cfg_;
+    size_t rr_cursor_ = 0;
+};
+
+} // namespace serving
+} // namespace specontext

@@ -1,23 +1,12 @@
 #include "serving/server.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace specontext {
 namespace serving {
-
-namespace {
-
-void
-sortByArrival(std::vector<Request> &trace)
-{
-    std::stable_sort(trace.begin(), trace.end(),
-                     [](const Request &a, const Request &b) {
-                         return a.arrival_seconds < b.arrival_seconds;
-                     });
-}
-
-} // namespace
 
 Server::Server(const core::TimingEngine &engine, ServerConfig cfg)
     : engine_(engine), cfg_(std::move(cfg)), admission_(cfg_.timing)
@@ -30,97 +19,32 @@ ServeResult
 Server::run(std::vector<Request> trace) const
 {
     sortByArrival(trace);
-    ServeResult out;
-    RequestQueue queue(cfg_.queue_policy);
-    std::vector<Request> active;
-    double now = 0.0;
+    ReplicaEngine replica(
+        engine_,
+        {cfg_.timing, cfg_.queue_policy, cfg_.max_batch, 0, "server"});
+
+    // Single-replica driver: the trace cursor plays the router's role.
     size_t next = 0;
-
-    auto ingest = [&](double t) {
+    const auto ingest = [&](double t) {
         while (next < trace.size() &&
-               trace[next].arrival_seconds <= t) {
-            queue.push(trace[next]);
-            ++next;
-        }
+               trace[next].arrival_seconds <= t)
+            replica.deliver(trace[next++]);
     };
-
     while (true) {
-        ingest(now);
-
-        // Admit while the policy's candidate fits. A denial with other
-        // requests in flight just means "wait for retirements"; a
-        // denial on an idle server means the request can never fit.
-        while (!queue.empty() &&
-               static_cast<int64_t>(active.size()) < cfg_.max_batch) {
-            const AdmissionDecision d =
-                admission_.admit(active, queue.peek());
-            if (!d.admit) {
-                if (active.empty()) {
-                    Request r = queue.pop();
-                    r.state = RequestState::Rejected;
-                    out.rejected.push_back(std::move(r));
-                    continue;
-                }
-                break;
-            }
-            Request r = queue.pop();
-            r.admit_seconds = now;
-            r.state = RequestState::Decoding;
-            // Prefill iteration for the joining request; in-flight
-            // requests stall for its duration (prefill-prioritized
-            // scheduling), and arrivals during it still enqueue.
-            int64_t resident = 0;
-            for (const Request &q : active)
-                resident += q.kvLen();
-            now += engine_.requestPrefillSeconds(
-                cfg_.timing, r.prompt_len,
-                static_cast<int64_t>(active.size()), resident);
-            active.push_back(std::move(r));
-            ingest(now);
-        }
-        out.peak_in_flight = std::max(
-            out.peak_in_flight, static_cast<int64_t>(active.size()));
-
-        if (active.empty()) {
-            if (!queue.empty())
-                throw std::logic_error(
-                    "Server: idle with admissible work queued");
-            if (next >= trace.size())
-                break; // drained
-            // Idle until the next arrival.
-            now = std::max(now, trace[next].arrival_seconds);
+        const double t_replica = replica.nextEventSeconds();
+        const double t_arrival =
+            next < trace.size()
+                ? trace[next].arrival_seconds
+                : std::numeric_limits<double>::infinity();
+        if (!std::isfinite(t_replica) && !std::isfinite(t_arrival))
+            break;
+        if (t_arrival <= t_replica) {
+            ingest(t_arrival);
             continue;
         }
-
-        // One decode iteration advances every in-flight request by one
-        // token — the continuous-batching core, no wave barrier.
-        std::vector<int64_t> kv_lens;
-        kv_lens.reserve(active.size());
-        for (const Request &r : active)
-            kv_lens.push_back(r.kvLen());
-        now += engine_.decodeIterationSeconds(cfg_.timing, kv_lens);
-        ++out.iterations;
-        for (Request &r : active) {
-            ++r.generated;
-            if (r.first_token_seconds < 0.0)
-                r.first_token_seconds = now;
-        }
-
-        // Retire finished requests; their reservations free headroom
-        // that the next loop head re-offers to the queue.
-        for (auto it = active.begin(); it != active.end();) {
-            if (it->done()) {
-                it->finish_seconds = now;
-                it->state = RequestState::Finished;
-                out.metrics.record(*it);
-                it = active.erase(it);
-            } else {
-                ++it;
-            }
-        }
+        replica.step(ingest);
     }
-    out.makespan_seconds = now;
-    return out;
+    return replica.takeResult();
 }
 
 ServeResult

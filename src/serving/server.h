@@ -1,6 +1,8 @@
 /**
  * @file
- * Continuous-batching request server (iteration-level scheduling).
+ * Single-replica continuous-batching server: a thin facade over
+ * serving::ReplicaEngine (where the iteration-level scheduling loop
+ * now lives; serving::Cluster drives the same engine N-wide).
  *
  * The seed's wave scheduler (serving/scheduler.h) launches a fixed
  * batch and holds a barrier until every member finishes — the paper's
@@ -23,6 +25,7 @@
 #include "core/timing_engine.h"
 #include "serving/admission.h"
 #include "serving/metrics.h"
+#include "serving/replica_engine.h"
 #include "serving/request.h"
 #include "serving/request_queue.h"
 
@@ -39,23 +42,7 @@ struct ServerConfig
     int64_t max_batch = 64;
 };
 
-/** Outcome of serving one trace. */
-struct ServeResult
-{
-    ServingMetrics metrics;    ///< completed requests
-    std::vector<Request> rejected; ///< individually infeasible requests
-    double makespan_seconds = 0.0;
-    int64_t iterations = 0;    ///< decode iterations executed
-    int64_t peak_in_flight = 0;
-
-    int64_t completed() const { return metrics.count(); }
-    ServingSummary summary() const
-    {
-        return metrics.summarize(makespan_seconds);
-    }
-};
-
-/** Iteration-level continuous-batching server. */
+/** Iteration-level continuous-batching server (one replica). */
 class Server
 {
   public:
@@ -73,6 +60,9 @@ class Server
      * sorted by arrival time; ids are preserved. Every feasible
      * request finishes (FIFO is starvation-free); requests that cannot
      * fit even alone come back in ServeResult::rejected.
+     *
+     * Bit-for-bit identical to a single-replica Cluster over the same
+     * trace (tests/test_cluster.cc pins the parity).
      */
     ServeResult run(std::vector<Request> trace) const;
 

@@ -1,0 +1,49 @@
+#include "sim/event_clock.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace specontext {
+namespace sim {
+
+EventClock::EventClock(size_t lanes)
+    : times_(lanes, std::numeric_limits<double>::infinity())
+{
+    if (lanes == 0)
+        throw std::invalid_argument("EventClock: zero lanes");
+}
+
+double
+EventClock::at(size_t lane) const
+{
+    return times_.at(lane);
+}
+
+void
+EventClock::set(size_t lane, double t)
+{
+    if (std::isnan(t))
+        throw std::invalid_argument("EventClock: NaN event time");
+    times_.at(lane) = t;
+}
+
+size_t
+EventClock::earliestLane() const
+{
+    size_t best = 0;
+    for (size_t i = 1; i < times_.size(); ++i) {
+        if (times_[i] < times_[best])
+            best = i;
+    }
+    return best;
+}
+
+double
+EventClock::earliest() const
+{
+    return times_[earliestLane()];
+}
+
+} // namespace sim
+} // namespace specontext

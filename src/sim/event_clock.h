@@ -1,0 +1,51 @@
+/**
+ * @file
+ * N-lane event clock: the generalization of the two-stream Timeline's
+ * scheduling idea to a fleet of independently advancing replicas.
+ *
+ * Where sim::Timeline interleaves exactly two CUDA streams inside one
+ * device, EventClock tracks one "next event" instant per lane (one
+ * lane per cluster replica) and answers the discrete-event scheduler's
+ * question: which lane fires next (earliest instant, ties toward the
+ * lowest lane — bit-reproducible). Lanes may be +infinity ("idle, no
+ * event booked"), which earliest() reports when every lane is idle.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace specontext {
+namespace sim {
+
+/** Per-lane next-event times with deterministic earliest-lane picks. */
+class EventClock
+{
+  public:
+    /** All lanes start at +infinity (idle).
+     *  @throws std::invalid_argument on zero lanes. */
+    explicit EventClock(size_t lanes);
+
+    size_t lanes() const { return times_.size(); }
+
+    /** Next-event instant of `lane` (+infinity when idle). */
+    double at(size_t lane) const;
+
+    /** Book `lane`'s next event at `t` (+infinity to mark it idle).
+     *  NaN is rejected — it would poison the min/max scans. */
+    void set(size_t lane, double t);
+
+    /** Lane with the earliest booked event; ties break toward the
+     *  lowest lane index. Defined (lane 0) even when all lanes are
+     *  idle — check earliest() for infinity first. */
+    size_t earliestLane() const;
+
+    /** Earliest booked instant (+infinity when every lane is idle). */
+    double earliest() const;
+
+  private:
+    std::vector<double> times_;
+};
+
+} // namespace sim
+} // namespace specontext

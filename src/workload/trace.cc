@@ -1,5 +1,6 @@
 #include "workload/trace.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -70,6 +71,53 @@ std::vector<serving::Request>
 paperMixTrace(const TraceConfig &cfg)
 {
     return poissonTrace(cfg, serving::paperWorkloads());
+}
+
+std::vector<std::vector<serving::Request>>
+splitTrace(std::vector<serving::Request> trace, size_t shards)
+{
+    if (shards == 0)
+        throw std::invalid_argument("splitTrace: zero shards");
+    serving::sortByArrival(trace);
+    std::vector<std::vector<serving::Request>> out(shards);
+    for (size_t i = 0; i < trace.size(); ++i)
+        out[i % shards].push_back(trace[i]);
+    return out;
+}
+
+std::vector<serving::Request>
+mergeTraces(const std::vector<std::vector<serving::Request>> &shards)
+{
+    // K-way merge by arrival time. Equal arrivals break on the
+    // smallest cursor position, then the lowest shard index: a
+    // round-robin split puts shard k's element j at trace position
+    // j * N + k, so this order restores the original interleave even
+    // when a run of identical arrival instants wraps around the fleet
+    // (split-then-merge round-trips exactly).
+    std::vector<size_t> cursor(shards.size(), 0);
+    size_t total = 0;
+    for (const auto &s : shards)
+        total += s.size();
+    std::vector<serving::Request> out;
+    out.reserve(total);
+    while (out.size() < total) {
+        size_t best = shards.size();
+        for (size_t k = 0; k < shards.size(); ++k) {
+            if (cursor[k] >= shards[k].size())
+                continue;
+            if (best == shards.size()) {
+                best = k;
+                continue;
+            }
+            const double a = shards[k][cursor[k]].arrival_seconds;
+            const double b = shards[best][cursor[best]].arrival_seconds;
+            if (a < b || (a == b && cursor[k] < cursor[best]))
+                best = k;
+        }
+        out.push_back(shards[best][cursor[best]]);
+        ++cursor[best];
+    }
+    return out;
 }
 
 std::vector<serving::Request>

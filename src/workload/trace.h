@@ -48,5 +48,27 @@ std::vector<serving::Request> paperMixTrace(const TraceConfig &cfg);
  */
 std::vector<serving::Request> mixedLengthTrace(const TraceConfig &cfg);
 
+/**
+ * Statically partition a trace across `shards` replicas, round-robin
+ * in arrival order (request i of the sorted trace lands in shard
+ * i % shards) — the offline-splitting baseline a dynamic
+ * serving::Router is measured against. Ids and arrival times are
+ * preserved; each shard stays sorted by arrival.
+ * @throws std::invalid_argument on zero shards.
+ */
+std::vector<std::vector<serving::Request>> splitTrace(
+    std::vector<serving::Request> trace, size_t shards);
+
+/**
+ * Inverse of splitTrace (and of any per-replica partition): interleave
+ * the shards back into one arrival-sorted trace. Equal arrival
+ * instants resolve by cursor position then shard index — the original
+ * round-robin interleave — so split-then-merge round-trips exactly,
+ * even when a run of identical arrivals wraps around the fleet. Each
+ * shard must already be sorted by arrival.
+ */
+std::vector<serving::Request> mergeTraces(
+    const std::vector<std::vector<serving::Request>> &shards);
+
 } // namespace workload
 } // namespace specontext

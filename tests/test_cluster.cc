@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Tests of the multi-replica cluster layer: router-policy placement on
+ * crafted fleets, bit-for-bit parity of a single-replica Cluster with
+ * the Server facade, determinism of heterogeneous fleet runs, fleet
+ * aggregation consistency, trace splitting/merging, and the headline
+ * routing result (load-aware routing beats round-robin on p99 TTFT on
+ * a mixed A800 + RTX 4060 fleet).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "serving/cluster.h"
+#include "serving/server.h"
+#include "workload/trace.h"
+
+namespace specontext {
+namespace {
+
+using serving::Cluster;
+using serving::ClusterConfig;
+using serving::ClusterResult;
+using serving::ReplicaConfig;
+using serving::ReplicaEngine;
+using serving::Request;
+using serving::Router;
+using serving::RouterConfig;
+using serving::RouterPolicy;
+using serving::Server;
+using serving::ServerConfig;
+
+ReplicaConfig
+cloudReplica(const std::string &sys = "SpeContext")
+{
+    ReplicaConfig rc;
+    rc.timing.llm = model::deepseekDistillLlama8bGeometry();
+    rc.timing.hw = sim::HardwareSpec::cloudA800();
+    rc.timing.system = core::SystemRegistry::create(sys);
+    rc.max_batch = 64;
+    return rc;
+}
+
+ReplicaConfig
+edgeReplica()
+{
+    ReplicaConfig rc;
+    rc.timing.llm = model::reasoningLlama32_1bGeometry();
+    rc.timing.hw = sim::HardwareSpec::edge4060();
+    rc.timing.system = core::SystemRegistry::create("SpeContext");
+    rc.max_batch = 16;
+    return rc;
+}
+
+Request
+makeRequest(int64_t id, double arrival, int64_t prompt, int64_t gen)
+{
+    Request r;
+    r.id = id;
+    r.arrival_seconds = arrival;
+    r.prompt_len = prompt;
+    r.gen_len = gen;
+    return r;
+}
+
+/** Fleet of live ReplicaEngines for direct Router unit tests. */
+std::vector<std::unique_ptr<ReplicaEngine>>
+makeFleet(const core::TimingEngine &engine,
+          std::vector<ReplicaConfig> cfgs)
+{
+    std::vector<std::unique_ptr<ReplicaEngine>> fleet;
+    for (size_t i = 0; i < cfgs.size(); ++i) {
+        cfgs[i].id = static_cast<int64_t>(i);
+        fleet.push_back(
+            std::make_unique<ReplicaEngine>(engine, cfgs[i]));
+    }
+    return fleet;
+}
+
+// --------------------------------------------------------------- router
+
+TEST(Router, RoundRobinCyclesThroughTheFleet)
+{
+    core::TimingEngine e;
+    const auto fleet =
+        makeFleet(e, {cloudReplica(), cloudReplica(), cloudReplica()});
+    Router router({RouterPolicy::RoundRobin, 8192});
+    const Request r = makeRequest(0, 0.0, 2048, 256);
+    EXPECT_EQ(router.route(r, fleet), 0u);
+    EXPECT_EQ(router.route(r, fleet), 1u);
+    EXPECT_EQ(router.route(r, fleet), 2u);
+    EXPECT_EQ(router.route(r, fleet), 0u);
+}
+
+TEST(Router, RoundRobinSkipsReplicasThatCanNeverServeTheRequest)
+{
+    core::TimingEngine e;
+    const auto fleet = makeFleet(e, {edgeReplica(), cloudReplica()});
+    Router router({RouterPolicy::RoundRobin, 8192});
+    // ~2M-token context: KV exceeds the edge box's 24 GB DRAM but fits
+    // the cloud host's 1 TB, so only replica 1 is feasible.
+    const Request huge = makeRequest(0, 0.0, 2'000'000, 512);
+    ASSERT_FALSE(fleet[0]->admission().feasibleAlone(huge));
+    ASSERT_TRUE(fleet[1]->admission().feasibleAlone(huge));
+    EXPECT_EQ(router.route(huge, fleet), 1u);
+    EXPECT_EQ(router.route(huge, fleet), 1u);
+}
+
+TEST(Router, JoinShortestQueuePicksTheLeastLoadedReplica)
+{
+    core::TimingEngine e;
+    const auto fleet =
+        makeFleet(e, {cloudReplica(), cloudReplica(), cloudReplica()});
+    fleet[0]->deliver(makeRequest(0, 5.0, 2048, 256));
+    fleet[0]->deliver(makeRequest(1, 6.0, 2048, 256));
+    fleet[1]->deliver(makeRequest(2, 5.0, 2048, 256));
+    Router router({RouterPolicy::JoinShortestQueue, 8192});
+    EXPECT_EQ(router.route(makeRequest(3, 7.0, 2048, 256), fleet), 2u);
+    // Ties break toward the lowest index: even out the fleet at two
+    // outstanding requests each.
+    fleet[1]->deliver(makeRequest(3, 7.0, 2048, 256));
+    fleet[2]->deliver(makeRequest(4, 7.0, 2048, 256));
+    fleet[2]->deliver(makeRequest(5, 7.0, 2048, 256));
+    EXPECT_EQ(fleet[0]->outstanding(), 2);
+    EXPECT_EQ(fleet[1]->outstanding(), 2);
+    EXPECT_EQ(fleet[2]->outstanding(), 2);
+    EXPECT_EQ(router.route(makeRequest(6, 8.0, 2048, 256), fleet), 0u);
+}
+
+TEST(Router, LeastKvLoadComparesFractionalMemoryPressure)
+{
+    core::TimingEngine e;
+    // Identical replicas: the one with the big outstanding reservation
+    // loses.
+    auto fleet = makeFleet(e, {cloudReplica(), cloudReplica()});
+    fleet[0]->deliver(makeRequest(0, 1.0, 32768, 4096));
+    Router router({RouterPolicy::LeastKvLoad, 8192});
+    EXPECT_EQ(router.route(makeRequest(1, 2.0, 2048, 256), fleet), 1u);
+
+    // Heterogeneous idle replicas: the same reservation is a larger
+    // *fraction* of the edge box's KV capacity, so the cloud replica
+    // wins even from the higher index.
+    auto hetero = makeFleet(e, {edgeReplica(), cloudReplica()});
+    EXPECT_GT(hetero[0]->kvLoadFraction(4096),
+              hetero[1]->kvLoadFraction(4096));
+    EXPECT_EQ(router.route(makeRequest(2, 0.0, 2048, 2048), hetero),
+              1u);
+}
+
+TEST(Router, TwoTierSendsLongPromptsToBigHbmReplicas)
+{
+    core::TimingEngine e;
+    const auto fleet = makeFleet(e, {edgeReplica(), cloudReplica()});
+    Router router({RouterPolicy::TwoTier, 8192});
+    // Long prompt -> big-HBM tier (the A800), short -> edge tier.
+    EXPECT_EQ(router.route(makeRequest(0, 0.0, 16384, 512), fleet), 1u);
+    EXPECT_EQ(router.route(makeRequest(1, 0.0, 2048, 512), fleet), 0u);
+    // At the threshold the prompt counts as long.
+    EXPECT_EQ(router.route(makeRequest(2, 0.0, 8192, 512), fleet), 1u);
+}
+
+TEST(Router, EmptyFleetThrows)
+{
+    Router router;
+    const std::vector<std::unique_ptr<ReplicaEngine>> none;
+    EXPECT_THROW(router.route(makeRequest(0, 0.0, 16, 16), none),
+                 std::invalid_argument);
+}
+
+// --------------------------------------------------- server parity
+
+TEST(Cluster, SingleReplicaMatchesServerBitForBit)
+{
+    core::TimingEngine e;
+    workload::TraceConfig tc;
+    tc.num_requests = 24;
+    tc.arrival_rate_per_s = 1.0;
+    tc.seed = 3;
+    const auto trace = workload::mixedLengthTrace(tc);
+
+    for (const char *sys : {"FullAttn(FlashInfer)", "SpeContext"}) {
+        ServerConfig sc;
+        sc.timing = cloudReplica(sys).timing;
+        sc.max_batch = 16;
+        const serving::ServeResult server =
+            Server(e, sc).run(trace);
+
+        ClusterConfig cc;
+        cc.replicas = {cloudReplica(sys)};
+        cc.replicas[0].max_batch = 16;
+        const ClusterResult cluster = Cluster(e, cc).run(trace);
+
+        // Bit-for-bit: same makespan, iteration count and per-request
+        // timestamps — the facade and the event loop drive the same
+        // ReplicaEngine arithmetic in the same order.
+        EXPECT_EQ(cluster.fleet.makespan_seconds,
+                  server.makespan_seconds)
+            << sys;
+        EXPECT_EQ(cluster.fleet.iterations, server.iterations) << sys;
+        EXPECT_EQ(cluster.fleet.peak_in_flight, server.peak_in_flight)
+            << sys;
+        ASSERT_EQ(cluster.completed(), server.completed()) << sys;
+        const auto &cr = cluster.fleet.metrics.records();
+        const auto &sr = server.metrics.records();
+        for (size_t i = 0; i < sr.size(); ++i) {
+            EXPECT_EQ(cr[i].id, sr[i].id);
+            EXPECT_EQ(cr[i].admit_seconds, sr[i].admit_seconds);
+            EXPECT_EQ(cr[i].first_token_seconds,
+                      sr[i].first_token_seconds);
+            EXPECT_EQ(cr[i].finish_seconds, sr[i].finish_seconds);
+        }
+    }
+}
+
+TEST(Cluster, RoundRobinOnUniformFleetEqualsStaticSplit)
+{
+    // On identical replicas, round-robin routing is exactly the
+    // i % N static partition — and replicas are independent, so the
+    // routed cluster must reproduce per-shard single-replica runs
+    // bit-for-bit.
+    core::TimingEngine e;
+    workload::TraceConfig tc;
+    tc.num_requests = 32;
+    tc.arrival_rate_per_s = 2.0;
+    tc.seed = 11;
+    const auto trace = workload::mixedLengthTrace(tc);
+
+    ClusterConfig cc;
+    cc.replicas = {cloudReplica(), cloudReplica()};
+    cc.router.policy = RouterPolicy::RoundRobin;
+    const ClusterResult routed = Cluster(e, cc).run(trace);
+
+    const auto shards = workload::splitTrace(trace, 2);
+    for (size_t k = 0; k < 2; ++k) {
+        ClusterConfig solo;
+        solo.replicas = {cloudReplica()};
+        const ClusterResult alone =
+            Cluster(e, solo).run(shards[k]);
+        EXPECT_EQ(routed.per_replica[k].makespan_seconds,
+                  alone.fleet.makespan_seconds);
+        EXPECT_EQ(routed.per_replica[k].iterations,
+                  alone.fleet.iterations);
+        EXPECT_EQ(routed.per_replica[k].completed(),
+                  alone.completed());
+    }
+}
+
+// ----------------------------------------------------- determinism
+
+TEST(Cluster, HeterogeneousRunsAreBitReproducible)
+{
+    core::TimingEngine e;
+    workload::TraceConfig tc;
+    tc.num_requests = 32;
+    tc.arrival_rate_per_s = 1.0;
+    tc.seed = 7;
+    const auto trace = workload::mixedLengthTrace(tc);
+
+    ClusterConfig cc;
+    cc.replicas = {cloudReplica(), cloudReplica(), edgeReplica(),
+                   edgeReplica()};
+    cc.router.policy = RouterPolicy::LeastKvLoad;
+    cc.replicas[0].queue_policy =
+        serving::QueuePolicy::ShortestPromptFirst;
+    const Cluster cluster(e, cc);
+
+    const ClusterResult a = cluster.run(trace);
+    const ClusterResult b = cluster.run(trace);
+    ASSERT_EQ(a.placements.size(), b.placements.size());
+    for (size_t i = 0; i < a.placements.size(); ++i) {
+        EXPECT_EQ(a.placements[i].request_id,
+                  b.placements[i].request_id);
+        EXPECT_EQ(a.placements[i].replica, b.placements[i].replica);
+    }
+    const auto sa = a.summary();
+    const auto sb = b.summary();
+    // The exact doubles the bench would print into BENCH_cluster.json.
+    EXPECT_EQ(sa.throughput_tokens_per_s, sb.throughput_tokens_per_s);
+    EXPECT_EQ(sa.ttft_mean, sb.ttft_mean);
+    EXPECT_EQ(sa.ttft_p99, sb.ttft_p99);
+    EXPECT_EQ(sa.e2e_p99, sb.e2e_p99);
+    EXPECT_EQ(sa.tpot_mean, sb.tpot_mean);
+    EXPECT_EQ(a.fleet.makespan_seconds, b.fleet.makespan_seconds);
+    EXPECT_EQ(a.fleet.iterations, b.fleet.iterations);
+}
+
+// ----------------------------------------------------- aggregation
+
+TEST(Cluster, FleetAggregationIsConsistentWithPerReplicaResults)
+{
+    core::TimingEngine e;
+    workload::TraceConfig tc;
+    tc.num_requests = 24;
+    tc.arrival_rate_per_s = 1.0;
+    tc.seed = 5;
+    const auto trace = workload::mixedLengthTrace(tc);
+
+    ClusterConfig cc;
+    cc.replicas = {cloudReplica(), edgeReplica()};
+    cc.router.policy = RouterPolicy::TwoTier;
+    const ClusterResult r = Cluster(e, cc).run(trace);
+
+    ASSERT_EQ(r.per_replica.size(), 2u);
+    ASSERT_EQ(r.replica_names.size(), 2u);
+    EXPECT_NE(r.replica_names[0], r.replica_names[1]);
+
+    int64_t completed = 0, iterations = 0, peak = 0;
+    double makespan = 0.0;
+    for (const auto &pr : r.per_replica) {
+        completed += pr.completed();
+        iterations += pr.iterations;
+        peak += pr.peak_in_flight;
+        makespan = std::max(makespan, pr.makespan_seconds);
+    }
+    EXPECT_EQ(r.completed(), completed);
+    EXPECT_EQ(r.fleet.iterations, iterations);
+    EXPECT_EQ(r.fleet.peak_in_flight, peak);
+    EXPECT_EQ(r.fleet.makespan_seconds, makespan);
+    EXPECT_EQ(static_cast<int64_t>(r.placements.size()),
+              completed +
+                  static_cast<int64_t>(r.fleet.rejected.size()));
+
+    // Per-replica breakdown of the merged metrics matches each
+    // replica's own collector.
+    for (int64_t id : r.fleet.metrics.replicaIds()) {
+        const auto fleet_view = r.fleet.metrics.summarizeReplica(
+            id, r.per_replica[id].makespan_seconds);
+        const auto own = r.per_replica[id].summary();
+        EXPECT_EQ(fleet_view.completed, own.completed);
+        EXPECT_EQ(fleet_view.ttft_mean, own.ttft_mean);
+        EXPECT_EQ(fleet_view.ttft_p99, own.ttft_p99);
+        EXPECT_EQ(fleet_view.total_generated_tokens,
+                  own.total_generated_tokens);
+    }
+}
+
+// -------------------------------------------------- routing quality
+
+TEST(Cluster, LoadAwareRoutingBeatsRoundRobinP99TtftOnMixedFleet)
+{
+    // The acceptance headline: on a heterogeneous A800 + RTX 4060
+    // fleet under mixed-length Poisson load, least-KV-load routing
+    // must beat oblivious round-robin on p99 TTFT (round-robin keeps
+    // handing long prompts to the slow edge prefill).
+    core::TimingEngine e;
+    workload::TraceConfig tc;
+    tc.num_requests = 96;
+    tc.arrival_rate_per_s = 1.0;
+    tc.seed = 7;
+    const auto trace = workload::mixedLengthTrace(tc);
+
+    auto p99 = [&](RouterPolicy policy) {
+        ClusterConfig cc;
+        cc.replicas = {cloudReplica(), cloudReplica(), edgeReplica(),
+                       edgeReplica()};
+        cc.router.policy = policy;
+        const ClusterResult r = Cluster(e, cc).run(trace);
+        EXPECT_EQ(r.completed(),
+                  static_cast<int64_t>(trace.size()));
+        return r.summary().ttft_p99;
+    };
+    EXPECT_LT(p99(RouterPolicy::LeastKvLoad),
+              p99(RouterPolicy::RoundRobin));
+}
+
+// ----------------------------------------------------- construction
+
+TEST(Cluster, RejectsEmptyOrInvalidFleets)
+{
+    core::TimingEngine e;
+    EXPECT_THROW(Cluster(e, ClusterConfig{}), std::invalid_argument);
+
+    ClusterConfig wave;
+    wave.replicas = {cloudReplica("Quest")}; // wave-only system
+    EXPECT_THROW(Cluster(e, wave), std::invalid_argument);
+
+    ClusterConfig bad;
+    bad.replicas = {cloudReplica()};
+    bad.replicas[0].max_batch = 0;
+    EXPECT_THROW(Cluster(e, bad), std::invalid_argument);
+}
+
+TEST(ReplicaEngine, StepOnIdleReplicaThrows)
+{
+    core::TimingEngine e;
+    ReplicaEngine rep(e, cloudReplica());
+    EXPECT_TRUE(rep.idle());
+    EXPECT_THROW(rep.step(), std::logic_error);
+    rep.deliver(makeRequest(0, 4.0, 2048, 4));
+    EXPECT_FALSE(rep.idle());
+    EXPECT_DOUBLE_EQ(rep.nextEventSeconds(), 4.0);
+    rep.step(); // clock jumps to the arrival, admits, decodes once
+    EXPECT_GT(rep.now(), 4.0);
+    EXPECT_EQ(rep.inFlight(), 1);
+    EXPECT_THROW(
+        rep.deliver(makeRequest(1, 3.0, 2048, 4)), // out of order
+        std::invalid_argument);
+}
+
+// ------------------------------------------------- trace utilities
+
+TEST(Trace, SplitRoundRobinsAndMergeRoundTrips)
+{
+    workload::TraceConfig tc;
+    tc.num_requests = 25;
+    tc.arrival_rate_per_s = 2.0;
+    tc.seed = 9;
+    auto trace = workload::mixedLengthTrace(tc);
+
+    const auto shards = workload::splitTrace(trace, 3);
+    ASSERT_EQ(shards.size(), 3u);
+    EXPECT_EQ(shards[0].size(), 9u);
+    EXPECT_EQ(shards[1].size(), 8u);
+    EXPECT_EQ(shards[2].size(), 8u);
+    for (const auto &shard : shards) {
+        for (size_t i = 1; i < shard.size(); ++i)
+            EXPECT_GE(shard[i].arrival_seconds,
+                      shard[i - 1].arrival_seconds);
+    }
+    // Request i of the arrival-sorted trace lands in shard i % 3.
+    EXPECT_EQ(shards[0][0].id, trace[0].id);
+    EXPECT_EQ(shards[1][0].id, trace[1].id);
+    EXPECT_EQ(shards[2][0].id, trace[2].id);
+
+    const auto merged = workload::mergeTraces(shards);
+    ASSERT_EQ(merged.size(), trace.size());
+    for (size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(merged[i].id, trace[i].id);
+        EXPECT_DOUBLE_EQ(merged[i].arrival_seconds,
+                         trace[i].arrival_seconds);
+    }
+    EXPECT_THROW(workload::splitTrace(trace, 0),
+                 std::invalid_argument);
+}
+
+TEST(Trace, MergeRestoresTheInterleaveAcrossEqualArrivals)
+{
+    // A run of identical arrival instants wraps around the fleet; the
+    // merge must restore the original round-robin interleave, not
+    // drain shard 0 first.
+    std::vector<Request> trace;
+    for (int64_t id : {10, 11, 12, 13, 14})
+        trace.push_back(makeRequest(id, 0.0, 1024, 64));
+    const auto shards = workload::splitTrace(trace, 2);
+    const auto merged = workload::mergeTraces(shards);
+    ASSERT_EQ(merged.size(), trace.size());
+    for (size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(merged[i].id, trace[i].id) << i;
+}
+
+} // namespace
+} // namespace specontext

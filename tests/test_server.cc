@@ -74,6 +74,23 @@ TEST(RequestQueue, ShortestPromptFirstPrefersSmallFootprint)
     EXPECT_EQ(q.pop().id, 0);
 }
 
+TEST(RequestQueue, ShortestPromptFirstTiesAreATotalOrder)
+{
+    // Equal prompt lengths pushed out of both arrival and id order:
+    // the candidate order must be (prompt_len, arrival, id) regardless
+    // of insertion order, so cluster runs are bit-reproducible even
+    // when a router interleaves deliveries.
+    RequestQueue q(QueuePolicy::ShortestPromptFirst);
+    q.push(makeRequest(7, 3.0, 1024, 256));
+    q.push(makeRequest(2, 1.0, 1024, 256));
+    q.push(makeRequest(9, 1.0, 1024, 256)); // same arrival as id 2
+    q.push(makeRequest(4, 2.0, 1024, 256));
+    EXPECT_EQ(q.pop().id, 2); // earliest arrival, lowest id
+    EXPECT_EQ(q.pop().id, 9); // same arrival, higher id
+    EXPECT_EQ(q.pop().id, 4);
+    EXPECT_EQ(q.pop().id, 7);
+}
+
 // -------------------------------------------------------------- metrics
 
 TEST(ServingMetrics, NearestRankPercentiles)
@@ -113,6 +130,51 @@ TEST(ServingMetrics, RecordsDeriveLatencies)
 
     Request unfinished = makeRequest(4, 0.0, 16, 4);
     EXPECT_THROW(m.record(unfinished), std::invalid_argument);
+}
+
+TEST(ServingMetrics, SortedPercentileReadsMatchTheCopyingPath)
+{
+    // summarize() sorts each series once and reads all quantiles from
+    // it; the values must equal the copy-and-sort-per-call helper.
+    std::vector<double> v{9.0, 1.0, 7.0, 3.0, 5.0, 2.0, 8.0};
+    std::vector<double> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    for (double p : {0.0, 25.0, 50.0, 95.0, 99.0, 100.0}) {
+        EXPECT_DOUBLE_EQ(ServingMetrics::percentileSorted(sorted, p),
+                         ServingMetrics::percentile(v, p));
+    }
+    EXPECT_DOUBLE_EQ(ServingMetrics::percentileSorted({}, 50.0), 0.0);
+    EXPECT_THROW(ServingMetrics::percentileSorted(sorted, -1.0),
+                 std::invalid_argument);
+}
+
+TEST(ServingMetrics, MergeKeepsReplicaIdsForPerReplicaBreakdowns)
+{
+    auto finished = [&](int64_t id, double finish) {
+        Request r = makeRequest(id, 0.0, 128, 4);
+        r.admit_seconds = 1.0;
+        r.first_token_seconds = 2.0;
+        r.finish_seconds = finish;
+        r.generated = r.gen_len;
+        r.state = RequestState::Finished;
+        return r;
+    };
+    ServingMetrics a, b;
+    a.record(finished(0, 4.0), 0);
+    a.record(finished(1, 6.0), 0);
+    b.record(finished(2, 8.0), 1);
+
+    ServingMetrics fleet = a;
+    fleet.merge(b);
+    ASSERT_EQ(fleet.count(), 3);
+    EXPECT_EQ(fleet.replicaIds(), (std::vector<int64_t>{0, 1}));
+    EXPECT_EQ(fleet.summarize(8.0).completed, 3);
+    const auto r0 = fleet.summarizeReplica(0, 6.0);
+    const auto r1 = fleet.summarizeReplica(1, 8.0);
+    EXPECT_EQ(r0.completed, 2);
+    EXPECT_EQ(r1.completed, 1);
+    EXPECT_DOUBLE_EQ(r1.e2e_mean, 8.0);
+    EXPECT_EQ(fleet.summarizeReplica(7, 1.0).completed, 0);
 }
 
 // --------------------------------------------------------------- traces

@@ -1,11 +1,16 @@
 /**
  * @file
- * Tests of the hardware cost model and the two-stream timeline.
+ * Tests of the hardware cost model, the two-stream timeline, and the
+ * N-lane event clock behind the multi-replica cluster.
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "model/config.h"
 #include "sim/cost.h"
+#include "sim/event_clock.h"
 #include "sim/hardware.h"
 #include "sim/timeline.h"
 
@@ -178,6 +183,40 @@ TEST(Timeline, ResetClears)
     tl.reset();
     EXPECT_DOUBLE_EQ(tl.makespan(), 0.0);
     EXPECT_DOUBLE_EQ(tl.tagSeconds("c"), 0.0);
+}
+
+TEST(EventClock, StartsIdleAndTracksEarliestLane)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    sim::EventClock clock(3);
+    EXPECT_EQ(clock.lanes(), 3u);
+    EXPECT_EQ(clock.earliest(), inf);
+    EXPECT_EQ(clock.earliestLane(), 0u); // defined even when all idle
+
+    clock.set(1, 5.0);
+    clock.set(2, 3.0);
+    EXPECT_EQ(clock.earliestLane(), 2u);
+    EXPECT_DOUBLE_EQ(clock.earliest(), 3.0);
+    clock.set(2, inf); // lane 2 goes idle
+    EXPECT_EQ(clock.earliestLane(), 1u);
+    EXPECT_DOUBLE_EQ(clock.at(1), 5.0);
+}
+
+TEST(EventClock, TiesBreakTowardTheLowestLane)
+{
+    sim::EventClock clock(4);
+    clock.set(3, 2.0);
+    clock.set(1, 2.0);
+    clock.set(2, 2.0);
+    EXPECT_EQ(clock.earliestLane(), 1u);
+}
+
+TEST(EventClock, RejectsDegenerateInputs)
+{
+    EXPECT_THROW(sim::EventClock(0), std::invalid_argument);
+    sim::EventClock clock(1);
+    EXPECT_THROW(clock.set(0, std::nan("")), std::invalid_argument);
+    EXPECT_THROW(clock.set(5, 1.0), std::out_of_range);
 }
 
 } // namespace

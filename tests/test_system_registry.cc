@@ -5,29 +5,28 @@
  * — critically — parity of the new polymorphic simulate()/stepping
  * paths with the old SystemKind enum dispatch. The golden numbers were
  * captured from the pre-registry enum implementation (PR 1 tree) with
- * "%.17g" formatting, so EXPECT_EQ pins bit-for-bit agreement.
+ * "%.17g" formatting, so EXPECT_EQ pins bit-for-bit agreement. (The
+ * deprecated SystemKind shim itself was deleted; the seven legacy
+ * systems are addressed by their registry names.)
  */
 #include <gtest/gtest.h>
 
 #include <algorithm>
 
-#include "core/system_kind_shim.h"
 #include "core/timing_engine.h"
 
 namespace specontext {
 namespace {
 
-using core::SystemKind;
 using core::SystemOptions;
 using core::SystemRegistry;
 using core::TimingConfig;
 using core::TimingEngine;
 
-const std::vector<SystemKind> kLegacyKinds = {
-    SystemKind::HFEager,   SystemKind::FlashAttention,
-    SystemKind::FlashInfer, SystemKind::Quest,
-    SystemKind::ClusterKV, SystemKind::ShadowKV,
-    SystemKind::SpeContext,
+const std::vector<const char *> kLegacyNames = {
+    "FullAttn(Eager)", "FullAttn(FlashAttn)", "FullAttn(FlashInfer)",
+    "Quest",           "ClusterKV",           "ShadowKV",
+    "SpeContext",
 };
 
 TimingConfig
@@ -107,15 +106,13 @@ TEST(SystemRegistry, OptionsReachTheConstructedSystem)
     EXPECT_EQ(sys->memoryInputs(cfg, 3).requests, 3);
 }
 
-// ------------------------------------------------------- legacy shim
+// ----------------------------------------------------- legacy names
 
-TEST(SystemKindShim, EnumNamesResolveThroughRegistry)
+TEST(LegacySystems, AllSevenResolveThroughRegistry)
 {
-    for (SystemKind kind : kLegacyKinds) {
-        const char *name = core::legacySystemName(kind);
-        EXPECT_STREQ(core::systemKindName(kind), name);
+    for (const char *name : kLegacyNames) {
         EXPECT_TRUE(SystemRegistry::contains(name)) << name;
-        EXPECT_STREQ(core::systemFromKind(kind)->name(), name);
+        EXPECT_STREQ(SystemRegistry::create(name)->name(), name);
     }
 }
 
@@ -306,19 +303,20 @@ TEST(SystemParity, SteppingHooksMatchLegacyEnumPathBitForBit)
     }
 }
 
-TEST(SystemParity, ShimAndRegistryProduceIdenticalResults)
+TEST(SystemParity, RepeatedCreateIsDeterministic)
 {
+    // Two independently created instances of the same system must
+    // price identically — no hidden per-instance state.
     TimingEngine e;
-    for (SystemKind kind : kLegacyKinds) {
-        const bool single = kind == SystemKind::Quest ||
-                            kind == SystemKind::ClusterKV;
-        TimingConfig via_shim = cloudShape(single ? 1 : 4, 2048, 2048);
-        via_shim.system = core::systemFromKind(kind);
-        TimingConfig via_registry = via_shim;
-        via_registry.system =
-            SystemRegistry::create(core::legacySystemName(kind));
-        const auto a = e.simulate(via_shim);
-        const auto b = e.simulate(via_registry);
+    for (const char *name : kLegacyNames) {
+        const bool single = std::string(name) == "Quest" ||
+                            std::string(name) == "ClusterKV";
+        TimingConfig first = cloudShape(single ? 1 : 4, 2048, 2048);
+        first.system = SystemRegistry::create(name);
+        TimingConfig second = first;
+        second.system = SystemRegistry::create(name);
+        const auto a = e.simulate(first);
+        const auto b = e.simulate(second);
         EXPECT_EQ(a.oom, b.oom);
         EXPECT_EQ(a.prefill_seconds, b.prefill_seconds);
         EXPECT_EQ(a.decode_seconds, b.decode_seconds);
