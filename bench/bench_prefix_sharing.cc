@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Shared-prefix serving sweep: router policy x per-replica prefix
+ * cache budget x prompt-family count on the shared-prefix Poisson
+ * trace (K families, Zipf popularity, unique per-request suffixes) —
+ * the multi-tenant traffic shape where thousands of requests share a
+ * system prompt and full prefill per request is pure waste.
+ *
+ * The sweep quantifies two effects on a 4x A800 SpeContext fleet:
+ *  1. The cache itself: budget 0 (every request pays full prefill)
+ *     vs small and ample budgets — hit rate and prefill tokens saved.
+ *  2. Routing x cache interaction: round-robin and join-shortest-
+ *     queue scatter each family across the fleet (every replica pays
+ *     every family's cold prefill, and a small budget thrashes),
+ *     while prefix-affinity gives each family one sticky warm home —
+ *     the p99 TTFT gap is the headline.
+ *
+ * Writes BENCH_prefix.json (override with argv[1]); argv[2] shrinks
+ * the trace for CI smoke runs.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "serving/cluster.h"
+#include "workload/trace.h"
+
+using namespace specontext;
+
+namespace {
+
+serving::ReplicaConfig
+cloudReplica(int64_t cache_budget_bytes)
+{
+    serving::ReplicaConfig rc;
+    rc.timing.llm = model::deepseekDistillLlama8bGeometry();
+    rc.timing.hw = sim::HardwareSpec::cloudA800();
+    rc.timing.system = core::SystemRegistry::create("SpeContext");
+    rc.max_batch = 64;
+    rc.prefix_cache.budget_bytes = cache_budget_bytes;
+    rc.prefix_cache.page_size = 16;
+    return rc;
+}
+
+struct Row
+{
+    std::string policy;
+    int64_t families = 0;
+    double budget_gib = 0.0;
+    serving::ServingSummary s;
+    serving::PrefixCacheStats prefix;
+    int64_t rejected = 0;
+};
+
+Row
+runOne(const core::TimingEngine &engine, serving::RouterPolicy policy,
+       int64_t families, double budget_gib,
+       const std::vector<serving::Request> &trace)
+{
+    const int64_t budget_bytes =
+        static_cast<int64_t>(budget_gib * (1LL << 30));
+    serving::ClusterConfig cc;
+    cc.replicas = {cloudReplica(budget_bytes),
+                   cloudReplica(budget_bytes),
+                   cloudReplica(budget_bytes),
+                   cloudReplica(budget_bytes)};
+    cc.router.policy = policy;
+    const serving::ClusterResult r =
+        serving::Cluster(engine, cc).run(trace);
+    Row row;
+    row.policy = serving::routerPolicyName(policy);
+    row.families = families;
+    row.budget_gib = budget_gib;
+    row.s = r.summary();
+    row.prefix = r.fleet.prefix;
+    row.rejected = static_cast<int64_t>(r.fleet.rejected.size());
+    return row;
+}
+
+void
+printRows(const std::vector<Row> &rows)
+{
+    std::printf("%-20s %4s %7s %8s %12s %9s %9s %9s %9s\n", "policy",
+                "K", "budget", "hit_rate", "saved_tok", "ttft_avg",
+                "ttft_p99", "e2e_p99", "tpot_ms");
+    for (const Row &r : rows) {
+        std::printf(
+            "%-20s %4ld %6.1fG %8.3f %12ld %9.2f %9.2f %9.2f %9.2f\n",
+            r.policy.c_str(), r.families, r.budget_gib,
+            r.prefix.hitRate(), r.prefix.hit_tokens, r.s.ttft_mean,
+            r.s.ttft_p99, r.s.e2e_p99, r.s.tpot_mean * 1e3);
+    }
+}
+
+void
+writeJson(const std::vector<Row> &rows, const std::string &path)
+{
+    std::vector<std::string> out;
+    out.reserve(rows.size());
+    for (const Row &r : rows) {
+        char line[640];
+        std::snprintf(
+            line, sizeof(line),
+            "{\"policy\": \"%s\", \"families\": %ld, "
+            "\"cache_budget_gib\": %.1f, \"replicas\": 4, "
+            "\"trace\": \"shared-prefix\", "
+            "\"hit_rate\": %.4f, \"prefill_tokens_saved\": %ld, "
+            "\"hit_requests\": %ld, \"lookups\": %ld, "
+            "\"evicted_tokens\": %ld, "
+            "\"throughput_tokens_per_s\": %.2f, \"ttft_mean_s\": %.3f, "
+            "\"ttft_p50_s\": %.3f, \"ttft_p95_s\": %.3f, "
+            "\"ttft_p99_s\": %.3f, \"e2e_p99_s\": %.3f, "
+            "\"tpot_mean_s\": %.5f, \"completed\": %ld, "
+            "\"rejected\": %ld, \"makespan_s\": %.2f}",
+            r.policy.c_str(), r.families, r.budget_gib,
+            r.prefix.hitRate(), r.prefix.hit_tokens,
+            r.prefix.hit_requests, r.prefix.lookups,
+            r.prefix.evicted_tokens, r.s.throughput_tokens_per_s,
+            r.s.ttft_mean, r.s.ttft_p50, r.s.ttft_p95, r.s.ttft_p99,
+            r.s.e2e_p99, r.s.tpot_mean, r.s.completed, r.rejected,
+            r.s.makespan_seconds);
+        out.push_back(line);
+    }
+    bench::writeBenchJson(path, "prefix_sharing", "4x cloudA800", out);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_prefix.json";
+    const int64_t num_requests = argc > 2 ? std::atoll(argv[2]) : 192;
+    core::TimingEngine engine;
+
+    const auto policies = {serving::RouterPolicy::RoundRobin,
+                           serving::RouterPolicy::JoinShortestQueue,
+                           serving::RouterPolicy::PrefixAffinity};
+
+    std::vector<Row> rows;
+    for (int64_t families : {4, 16}) {
+        workload::SharedPrefixTraceConfig pc;
+        pc.base.num_requests = num_requests;
+        pc.base.arrival_rate_per_s = 4.0;
+        pc.base.seed = 7;
+        pc.num_families = families;
+        pc.prefix_len = 4096;
+        pc.suffix_lo = 64;
+        pc.suffix_hi = 256;
+        pc.gen_lo = 32;
+        pc.gen_hi = 128;
+        const auto trace = workload::sharedPrefixTrace(pc);
+
+        // Budget sweep: disabled / ~4 family prefixes per replica
+        // (4096 tokens x 128 KiB/token = 512 MiB each) / ample.
+        for (double budget_gib : {0.0, 2.0, 8.0}) {
+            for (auto policy : policies)
+                rows.push_back(runOne(engine, policy, families,
+                                      budget_gib, trace));
+        }
+    }
+
+    bench::section("Shared-prefix serving: router policy x cache "
+                   "budget x family count (4x A800, Zipf families)");
+    printRows(rows);
+    std::printf(
+        "\nNotes: K = prompt families (Zipf-popular 4096-token shared "
+        "prefixes + unique suffixes).\nhit_rate = cached prompt tokens "
+        "/ all prompt tokens; saved_tok = prefill tokens skipped.\n"
+        "With budget 0 the cache is off and prefix-affinity degrades "
+        "to least-kv-load. Oblivious\npolicies pay each family's cold "
+        "prefill once per replica and thrash small budgets;\n"
+        "prefix-affinity pins each family to one warm home, which is "
+        "where the p99 TTFT gap\ncomes from.\n");
+    writeJson(rows, out_path);
+    return 0;
+}

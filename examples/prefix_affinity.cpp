@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Prefix cache + affinity routing walkthrough: multi-tenant traffic
+ * where thousands of requests share a handful of system prompts is
+ * the regime production fleets live in — and exactly where full
+ * per-request prefill is pure waste. This example builds a
+ * shared-prefix trace (K Zipf-popular prompt families), shows what a
+ * per-replica kv::PrefixTree is worth on one replica, then shows why
+ * the *router* must be cache-aware on a fleet: oblivious policies
+ * scatter each family over every replica, prefix-affinity gives each
+ * family one sticky warm home. bench_prefix_sharing.cc sweeps this
+ * exhaustively.
+ */
+#include <cstdio>
+
+#include "serving/cluster.h"
+#include "workload/trace.h"
+
+using namespace specontext;
+
+namespace {
+
+serving::ReplicaConfig
+cloudReplica(int64_t cache_budget_bytes)
+{
+    serving::ReplicaConfig rc;
+    rc.timing.llm = model::deepseekDistillLlama8bGeometry();
+    rc.timing.hw = sim::HardwareSpec::cloudA800();
+    rc.timing.system = core::SystemRegistry::create("SpeContext");
+    rc.max_batch = 64;
+    rc.prefix_cache.budget_bytes = cache_budget_bytes; // 0 = disabled
+    rc.prefix_cache.page_size = 16;
+    return rc;
+}
+
+void
+printRow(const char *label, const serving::ClusterResult &r)
+{
+    const auto s = r.summary();
+    const auto &p = r.fleet.prefix;
+    std::printf("%-22s %8.3f %12ld %9.2f %9.2f %9.2f %6ld\n", label,
+                p.hitRate(), p.hit_tokens, s.ttft_mean, s.ttft_p99,
+                s.e2e_p99, s.completed);
+}
+
+} // namespace
+
+int
+main()
+{
+    core::TimingEngine engine;
+
+    // 16 prompt families (4096-token shared system prompts), Zipf
+    // popularity, unique per-request suffixes — 192 requests at
+    // 4 req/s offered to a 4x A800 fleet.
+    workload::SharedPrefixTraceConfig pc;
+    pc.base.num_requests = 192;
+    pc.base.arrival_rate_per_s = 4.0;
+    pc.base.seed = 7;
+    pc.num_families = 16;
+    pc.prefix_len = 4096;
+    pc.suffix_lo = 64;
+    pc.suffix_hi = 256;
+    pc.gen_lo = 32;
+    pc.gen_hi = 128;
+    const auto trace = workload::sharedPrefixTrace(pc);
+    std::printf("Shared-prefix trace: %zu requests, %ld families, "
+                "%ld-token shared prefixes\n\n",
+                trace.size(), pc.num_families, pc.prefix_len);
+
+    // Step 1: what the cache alone is worth. One replica, same trace,
+    // budget off vs on (2 GiB ~= 4 cached family prefixes at
+    // 128 KiB/token x 4096 tokens).
+    std::printf("1. One A800 replica, prefix cache off vs on:\n");
+    std::printf("%-22s %8s %12s %9s %9s %9s %6s\n", "replica",
+                "hit_rate", "saved_tok", "ttft_avg", "ttft_p99",
+                "e2e_p99", "done");
+    for (int64_t budget : {0LL, 2LL << 30}) {
+        serving::ClusterConfig cc;
+        cc.replicas = {cloudReplica(budget)};
+        const auto r = serving::Cluster(engine, cc).run(trace);
+        printRow(budget ? "cache 2 GiB" : "cache off", r);
+    }
+    std::printf("\nMatched prefixes skip prefill entirely: the cache "
+                "turns most 4K-token prefills into\n~200-token suffix "
+                "prefills, which is where the TTFT drop comes from.\n\n");
+
+    // Step 2: the router matters. Same per-replica cache, three
+    // placement policies.
+    std::printf("2. 4x A800 fleet, 2 GiB cache per replica, router "
+                "policy:\n");
+    std::printf("%-22s %8s %12s %9s %9s %9s %6s\n", "policy",
+                "hit_rate", "saved_tok", "ttft_avg", "ttft_p99",
+                "e2e_p99", "done");
+    for (auto policy : {serving::RouterPolicy::RoundRobin,
+                        serving::RouterPolicy::JoinShortestQueue,
+                        serving::RouterPolicy::PrefixAffinity}) {
+        serving::ClusterConfig cc;
+        cc.replicas = {cloudReplica(2LL << 30), cloudReplica(2LL << 30),
+                       cloudReplica(2LL << 30), cloudReplica(2LL << 30)};
+        cc.router.policy = policy;
+        const auto r = serving::Cluster(engine, cc).run(trace);
+        printRow(serving::routerPolicyName(policy), r);
+    }
+    std::printf(
+        "\nOblivious policies pay every family's cold prefill on every "
+        "replica and thrash the\n2 GiB budget across 16 families. "
+        "Prefix-affinity hashes cold families to a sticky\nhome, "
+        "follows the warmest cache afterwards, and spills to "
+        "least-kv-load only when\nthe home replica is overloaded — "
+        "fleet-wide hit rate, mean and tail TTFT all win.\n");
+    return 0;
+}

@@ -1,0 +1,185 @@
+#include "kvcache/prefix_tree.h"
+
+#include <stdexcept>
+
+namespace specontext {
+namespace kv {
+
+/**
+ * One cached block. Children are keyed by their block's token content
+ * (std::map, so traversal order is deterministic); the key doubles as
+ * the stored tokens, which a simulator never needs to read back.
+ */
+struct PrefixTree::Node
+{
+    Node *parent = nullptr;
+    std::map<std::vector<int32_t>, std::unique_ptr<Node>> children;
+    int64_t refcount = 0;     ///< in-flight requests pinning this block
+    uint64_t last_use = 0;    ///< lru_clock_ at the last release
+    int64_t depth_tokens = 0; ///< tokens from root through this block
+};
+
+PrefixTree::PrefixTree(PrefixTreeConfig cfg) : cfg_(cfg)
+{
+    if (cfg_.page_size <= 0)
+        throw std::invalid_argument("PrefixTree: non-positive page_size");
+    if (cfg_.budget_bytes < 0)
+        throw std::invalid_argument("PrefixTree: negative budget");
+    if (cfg_.budget_bytes > 0 && cfg_.bytes_per_token <= 0)
+        throw std::invalid_argument(
+            "PrefixTree: enabled cache needs positive bytes_per_token");
+    root_ = std::make_unique<Node>();
+}
+
+PrefixTree::~PrefixTree() = default;
+
+PrefixMatch
+PrefixTree::match(const std::vector<int32_t> &tokens) const
+{
+    PrefixMatch m;
+    if (!enabled())
+        return m;
+    const Node *node = root_.get();
+    const int64_t full_blocks =
+        static_cast<int64_t>(tokens.size()) / cfg_.page_size;
+    std::vector<int32_t> block(static_cast<size_t>(cfg_.page_size));
+    for (int64_t b = 0; b < full_blocks; ++b) {
+        const auto begin = tokens.begin() + b * cfg_.page_size;
+        block.assign(begin, begin + cfg_.page_size);
+        const auto it = node->children.find(block);
+        if (it == node->children.end())
+            break;
+        node = it->second.get();
+    }
+    m.hit_tokens = node->depth_tokens;
+    m.reserved_bytes = m.hit_tokens * cfg_.bytes_per_token;
+    return m;
+}
+
+PrefixHandle
+PrefixTree::insert(const std::vector<int32_t> &tokens)
+{
+    PrefixHandle handle;
+    if (!enabled())
+        return handle;
+    Node *node = root_.get();
+    const int64_t full_blocks =
+        static_cast<int64_t>(tokens.size()) / cfg_.page_size;
+    const int64_t block_bytes = cfg_.page_size * cfg_.bytes_per_token;
+    std::vector<int32_t> block(static_cast<size_t>(cfg_.page_size));
+    for (int64_t b = 0; b < full_blocks; ++b) {
+        const auto begin = tokens.begin() + b * cfg_.page_size;
+        block.assign(begin, begin + cfg_.page_size);
+        auto it = node->children.find(block);
+        if (it == node->children.end()) {
+            // New block: make room first. Nodes on the pinned path
+            // (including everything this walk already pinned) have
+            // refcount > 0 and are eviction-proof.
+            while (bytes() + block_bytes > cfg_.budget_bytes) {
+                if (!evictOne())
+                    break;
+            }
+            if (bytes() + block_bytes > cfg_.budget_bytes)
+                break; // budget exhausted; pin what we have
+            auto child = std::make_unique<Node>();
+            child->parent = node;
+            child->depth_tokens = node->depth_tokens + cfg_.page_size;
+            it = node->children.emplace(block, std::move(child)).first;
+            resident_tokens_ += cfg_.page_size;
+            inserted_tokens_ += cfg_.page_size;
+            ++node_count_;
+        }
+        node = it->second.get();
+        if (node->refcount == 0)
+            pinned_tokens_ += cfg_.page_size;
+        ++node->refcount;
+    }
+    if (node != root_.get()) {
+        handle.node_ = node;
+        handle.pinned_tokens_ = node->depth_tokens;
+    }
+    return handle;
+}
+
+void
+PrefixTree::release(PrefixHandle &handle)
+{
+    Node *node = static_cast<Node *>(handle.node_);
+    handle.node_ = nullptr;
+    handle.pinned_tokens_ = 0;
+    if (!node)
+        return;
+    // One stamp per release keeps whole paths ordered: deeper nodes
+    // share the stamp, and leaves are evicted before their parents
+    // regardless.
+    const uint64_t stamp = ++lru_clock_;
+    for (; node != root_.get(); node = node->parent) {
+        if (node->refcount <= 0)
+            throw std::logic_error("PrefixTree: release without pin");
+        --node->refcount;
+        if (node->refcount == 0)
+            pinned_tokens_ -= cfg_.page_size;
+        node->last_use = stamp;
+    }
+    enforceBudget();
+}
+
+void
+PrefixTree::setBudget(int64_t budget_bytes)
+{
+    if (budget_bytes < 0)
+        throw std::invalid_argument("PrefixTree: negative budget");
+    if (budget_bytes > 0 && cfg_.bytes_per_token <= 0)
+        throw std::invalid_argument(
+            "PrefixTree: enabled cache needs positive bytes_per_token");
+    cfg_.budget_bytes = budget_bytes;
+    enforceBudget();
+}
+
+bool
+PrefixTree::evictOne()
+{
+    // Deterministic full-tree scan for the unreferenced leaf with the
+    // oldest release stamp (strict <, and children are visited in
+    // token order, so ties — impossible under the unique stamps, but
+    // cheap to make explicit — keep the first visited). O(nodes) per
+    // eviction is fine at simulator scale.
+    Node *victim = nullptr;
+    std::vector<Node *> stack = {root_.get()};
+    while (!stack.empty()) {
+        Node *n = stack.back();
+        stack.pop_back();
+        for (auto &kv_pair : n->children)
+            stack.push_back(kv_pair.second.get());
+        if (n == root_.get() || n->refcount > 0 || !n->children.empty())
+            continue;
+        if (!victim || n->last_use < victim->last_use)
+            victim = n;
+    }
+    if (!victim)
+        return false;
+    Node *parent = victim->parent;
+    for (auto it = parent->children.begin(); it != parent->children.end();
+         ++it) {
+        if (it->second.get() == victim) {
+            parent->children.erase(it);
+            break;
+        }
+    }
+    resident_tokens_ -= cfg_.page_size;
+    evicted_tokens_ += cfg_.page_size;
+    --node_count_;
+    return true;
+}
+
+void
+PrefixTree::enforceBudget()
+{
+    while (bytes() > cfg_.budget_bytes) {
+        if (!evictOne())
+            break; // everything left is pinned
+    }
+}
+
+} // namespace kv
+} // namespace specontext

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Shared-prefix KV cache model: a per-replica radix tree over token-id
+ * sequences with block-granular nodes, reference counts and LRU
+ * eviction under a byte budget — the memory-side model behind
+ * prefix-affinity routing (serving::RouterPolicy::PrefixAffinity).
+ *
+ * Production traffic is dominated by requests that share long prompt
+ * prefixes (system prompts, few-shot templates, multi-turn history).
+ * A replica that still holds the KV blocks of a previously served
+ * prefix can skip prefill for the matched tokens entirely; what it
+ * pays instead is HBM residency for the cached blocks, which competes
+ * with live KV headroom. This tree models exactly that trade:
+ *
+ *  - Nodes are page-size-aligned token blocks (vLLM-style): only
+ *    complete blocks are cached, so a match is always block-aligned
+ *    and maps one-to-one onto paged KV storage.
+ *  - match(tokens) returns the longest cached block-aligned prefix
+ *    and the HBM bytes it occupies; it never mutates the tree.
+ *  - insert(tokens) pins (refcounts) the cached prefix path and
+ *    extends it with the remaining full blocks while the byte budget
+ *    lasts, returning a handle the caller releases at retirement.
+ *    Pinned nodes are never evicted — they are the KV of an in-flight
+ *    request and freeing them would fabricate memory.
+ *  - release(handle) unpins the path and stamps it with a logical
+ *    LRU timestamp; unreferenced leaves are then evictable,
+ *    bottom-up, least-recently-released first.
+ *  - setBudget() re-clamps the budget (the serving layer shrinks it
+ *    to the HBM headroom left by live KV reservations, priced through
+ *    sim::MemoryModel); shrinking evicts unreferenced subtrees
+ *    immediately. Budget 0 disables the cache entirely.
+ *
+ * Everything is deterministic: children are kept in token-content
+ * order and LRU stamps come from a logical counter, so identical
+ * operation sequences give identical trees, matches and evictions.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace specontext {
+namespace kv {
+
+/** Construction knobs of one replica's prefix cache. */
+struct PrefixTreeConfig
+{
+    /** Tokens per cached block; matches are aligned to this. */
+    int64_t page_size = 16;
+    /** HBM bytes one cached token occupies (KV across all layers). */
+    int64_t bytes_per_token = 0;
+    /** Byte budget for cached blocks; 0 disables the cache. */
+    int64_t budget_bytes = 0;
+};
+
+/** Outcome of one longest-prefix lookup. */
+struct PrefixMatch
+{
+    int64_t hit_tokens = 0;     ///< cached block-aligned prefix length
+    int64_t reserved_bytes = 0; ///< hit_tokens * bytes_per_token
+};
+
+/**
+ * Pin on an inserted prefix path; obtained from insert(), returned to
+ * release(). A default-constructed handle is a no-op to release.
+ */
+class PrefixHandle
+{
+  public:
+    PrefixHandle() = default;
+
+    /** Tokens of the path this handle pins (block-aligned). */
+    int64_t pinnedTokens() const { return pinned_tokens_; }
+
+  private:
+    friend class PrefixTree;
+    void *node_ = nullptr; ///< deepest pinned node
+    int64_t pinned_tokens_ = 0;
+};
+
+/** Radix tree of cached prompt-prefix KV blocks. */
+class PrefixTree
+{
+  public:
+    /**
+     * @throws std::invalid_argument on non-positive page_size, a
+     * negative budget, or an enabled cache (budget > 0) with
+     * non-positive bytes_per_token.
+     */
+    explicit PrefixTree(PrefixTreeConfig cfg);
+    ~PrefixTree();
+
+    PrefixTree(const PrefixTree &) = delete;
+    PrefixTree &operator=(const PrefixTree &) = delete;
+
+    const PrefixTreeConfig &config() const { return cfg_; }
+
+    /** False when the budget is 0 — every operation is then a no-op. */
+    bool enabled() const { return cfg_.budget_bytes > 0; }
+
+    /** Longest cached block-aligned prefix of `tokens`. Read-only. */
+    PrefixMatch match(const std::vector<int32_t> &tokens) const;
+
+    /**
+     * Pin the cached prefix of `tokens` and insert its remaining full
+     * blocks while the budget lasts (evicting unreferenced LRU leaves
+     * to make room; pinned nodes are never evicted, so the path may
+     * stop short of the full prompt when the budget is exhausted).
+     * The returned handle must be release()d exactly once.
+     */
+    PrefixHandle insert(const std::vector<int32_t> &tokens);
+
+    /** Unpin a handle's path and stamp it least-recently-used; the
+     *  budget is re-enforced afterwards. Safe on a default-constructed
+     *  handle; the handle is cleared (double release is a no-op). */
+    void release(PrefixHandle &handle);
+
+    /**
+     * Re-clamp the byte budget (>= 0) and evict unreferenced LRU
+     * subtrees down to it. Pinned bytes can keep residency above a
+     * shrunken budget until their handles are released; insertions
+     * never start new blocks past the budget.
+     */
+    void setBudget(int64_t budget_bytes);
+
+    // ---- Accounting --------------------------------------------------
+
+    /** Bytes of cached KV currently resident. */
+    int64_t bytes() const { return resident_tokens_ * cfg_.bytes_per_token; }
+
+    /** Tokens of cached KV currently resident. */
+    int64_t residentTokens() const { return resident_tokens_; }
+
+    /** Tokens of resident blocks pinned by at least one live handle —
+     *  the prompt KV of in-flight requests. Callers that already book
+     *  that KV elsewhere (admission reservations) can add
+     *  pinnedBytes() to the budget so one physical copy is not
+     *  charged twice. */
+    int64_t pinnedTokens() const { return pinned_tokens_; }
+
+    /** pinnedTokens() priced in bytes. */
+    int64_t pinnedBytes() const
+    {
+        return pinned_tokens_ * cfg_.bytes_per_token;
+    }
+
+    /** Cached blocks (tree nodes, root excluded). */
+    int64_t nodeCount() const { return node_count_; }
+
+    /** Tokens evicted over the tree's lifetime. */
+    int64_t evictedTokens() const { return evicted_tokens_; }
+
+    /** Tokens inserted (new blocks created) over the tree's lifetime. */
+    int64_t insertedTokens() const { return inserted_tokens_; }
+
+  private:
+    struct Node;
+
+    PrefixTreeConfig cfg_;
+    std::unique_ptr<Node> root_;
+    int64_t resident_tokens_ = 0;
+    int64_t pinned_tokens_ = 0;
+    int64_t node_count_ = 0;
+    int64_t evicted_tokens_ = 0;
+    int64_t inserted_tokens_ = 0;
+    uint64_t lru_clock_ = 0; ///< logical time, bumped on release
+
+    /** Evict unreferenced LRU leaves until bytes() <= budget. */
+    void enforceBudget();
+
+    /** Evict the least-recently-released unreferenced leaf; false when
+     *  nothing is evictable. */
+    bool evictOne();
+};
+
+} // namespace kv
+} // namespace specontext

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "tensor/hash.h"
+
 namespace specontext {
 namespace model {
 
@@ -17,11 +19,7 @@ int32_t
 ToyTokenizer::wordId(const std::string &word) const
 {
     // FNV-1a, mapped into [2, vocab) so BOS/EOS stay reserved.
-    uint64_t h = 1469598103934665603ULL;
-    for (unsigned char c : word) {
-        h ^= c;
-        h *= 1099511628211ULL;
-    }
+    const uint64_t h = fnv1a64(word.data(), word.size());
     const int32_t id =
         static_cast<int32_t>(2 + h % static_cast<uint64_t>(vocab_ - 2));
     names_[id] = word;

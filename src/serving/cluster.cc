@@ -49,7 +49,9 @@ Cluster::run(std::vector<Request> trace) const
             const size_t target = router.route(trace[next], fleet);
             out.placements.push_back(
                 {trace[next].id, static_cast<int64_t>(target)});
-            fleet[target]->deliver(trace[next]);
+            // Moved, not copied: prompt_tokens can be kilobytes per
+            // request and the slot is never read again.
+            fleet[target]->deliver(std::move(trace[next]));
             ++next;
         }
     };
@@ -90,6 +92,7 @@ Cluster::run(std::vector<Request> trace) const
                                   r.rejected.begin(), r.rejected.end());
         out.fleet.iterations += r.iterations;
         out.fleet.peak_in_flight += r.peak_in_flight;
+        out.fleet.prefix.merge(r.prefix);
         out.fleet.makespan_seconds =
             std::max(out.fleet.makespan_seconds, r.makespan_seconds);
     }

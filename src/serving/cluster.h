@@ -54,8 +54,10 @@ struct ClusterResult
      * Fleet-wide aggregation: merged metrics (records keep replica
      * ids, so summarizeReplica() breaks them down again), concatenated
      * rejections, summed iterations, summed per-replica in-flight
-     * peaks, and the fleet makespan (latest replica clock at drain) —
-     * summary() works on it exactly as on a single server's result.
+     * peaks, merged prefix-cache counters (fleet hit rate / prefill
+     * tokens saved), and the fleet makespan (latest replica clock at
+     * drain) — summary() works on it exactly as on a single server's
+     * result.
      */
     ServeResult fleet;
     std::vector<ServeResult> per_replica;

@@ -47,10 +47,13 @@ double
 ServingMetrics::percentileSorted(const std::vector<double> &sorted,
                                  double p)
 {
-    if (sorted.empty())
-        return 0.0;
-    if (p < 0.0 || p > 100.0)
+    // Range-check p before the empty-series sentinel so a bad
+    // percentile never succeeds silently just because the series was
+    // empty.
+    if (p < 0.0 || p > 100.0 || std::isnan(p))
         throw std::invalid_argument("percentile: p outside [0, 100]");
+    if (sorted.empty())
+        return 0.0; // defined sentinel: empty series -> 0.0
     // Nearest-rank: smallest value with cumulative frequency >= p%.
     const auto n = static_cast<int64_t>(sorted.size());
     int64_t rank = static_cast<int64_t>(

@@ -54,7 +54,15 @@ struct RequestRecord
     double queueDelay() const { return admit_seconds - arrival_seconds; }
 };
 
-/** Aggregate view over all completed requests. */
+/**
+ * Aggregate view over all completed requests.
+ *
+ * Empty-series sentinel: when no record matches (a replica that
+ * served zero requests, an empty collector), `completed` is 0 and
+ * every mean/percentile/throughput field is exactly 0.0 —
+ * well-defined values, never uninitialized or NaN — so callers can
+ * gate on `completed == 0` without defensive checks.
+ */
 struct ServingSummary
 {
     int64_t completed = 0;
@@ -89,15 +97,16 @@ class ServingMetrics
     std::vector<int64_t> replicaIds() const;
 
     /**
-     * Nearest-rank percentile of `values` (p in [0, 100]); 0 on an
-     * empty set. Exposed for tests and benches. Copies and sorts —
-     * when reading several quantiles from one series, sort once and
-     * use percentileSorted().
+     * Nearest-rank percentile of `values` (p in [0, 100]); exactly
+     * 0.0 on an empty set (the defined empty sentinel — p is still
+     * range-checked first). Exposed for tests and benches. Copies and
+     * sorts — when reading several quantiles from one series, sort
+     * once and use percentileSorted().
      */
     static double percentile(std::vector<double> values, double p);
 
     /** Nearest-rank percentile of an already ascending-sorted series;
-     *  0 on an empty set. */
+     *  exactly 0.0 on an empty set (p is still range-checked). */
     static double percentileSorted(const std::vector<double> &sorted,
                                    double p);
 

@@ -8,14 +8,71 @@
 namespace specontext {
 namespace serving {
 
+void
+PrefixCacheStats::merge(const PrefixCacheStats &other)
+{
+    lookups += other.lookups;
+    hit_requests += other.hit_requests;
+    hit_tokens += other.hit_tokens;
+    prompt_tokens += other.prompt_tokens;
+    inserted_tokens += other.inserted_tokens;
+    evicted_tokens += other.evicted_tokens;
+    resident_bytes += other.resident_bytes;
+    resident_tokens += other.resident_tokens;
+}
+
+namespace {
+
+/** KV bytes one token occupies across all layers of this geometry. */
+int64_t
+kvBytesPerToken(const core::TimingConfig &timing)
+{
+    return core::kvBytesPerTokenPerLayer(timing.llm) * timing.llm.layers;
+}
+
+/** HBM left next to the LLM weights; negative when they alone
+ *  oversubscribe the device. Shared by kvCapacityBytes() (the least-KV
+ *  router's normalizer) and the construction-time cache budget clamp.
+ *  Note the *runtime* budget sync prices weights more precisely
+ *  through sim::MemoryModel::modelBytes() (which adds the retrieval
+ *  head / DLM), so the working budget can sit below the configured
+ *  cap even on an otherwise idle replica. */
+int64_t
+rawKvCapacityBytes(const ReplicaConfig &cfg)
+{
+    return cfg.timing.hw.gpu_mem_bytes -
+           core::weightFootprintBytes(cfg.timing.llm);
+}
+
+/** Tree config of a replica: the configured budget clamped to the HBM
+ *  left next to the weights (a cache larger than the device is
+ *  meaningless). */
+kv::PrefixTreeConfig
+prefixTreeConfigFor(const ReplicaConfig &cfg)
+{
+    kv::PrefixTreeConfig tc;
+    tc.page_size = cfg.prefix_cache.page_size;
+    tc.bytes_per_token = kvBytesPerToken(cfg.timing);
+    tc.budget_bytes = std::max<int64_t>(
+        0, std::min(cfg.prefix_cache.budget_bytes,
+                    std::max<int64_t>(rawKvCapacityBytes(cfg), 0)));
+    return tc;
+}
+
+} // namespace
+
 ReplicaEngine::ReplicaEngine(const core::TimingEngine &engine,
                              ReplicaConfig cfg)
     : engine_(engine), cfg_(std::move(cfg)), admission_(cfg_.timing),
-      queue_(cfg_.queue_policy)
+      queue_(cfg_.queue_policy), prefix_tree_(prefixTreeConfigFor(cfg_))
 {
     if (cfg_.max_batch <= 0)
         throw std::invalid_argument(
             "ReplicaEngine: non-positive max_batch");
+    if (cfg_.prefix_cache.budget_bytes < 0)
+        throw std::invalid_argument(
+            "ReplicaEngine: negative prefix-cache budget");
+    configured_prefix_budget_ = prefix_tree_.config().budget_bytes;
     if (cfg_.name.empty()) {
         cfg_.name = "replica" + std::to_string(cfg_.id) + "(" +
                     cfg_.timing.hw.name + "/" +
@@ -40,22 +97,129 @@ ReplicaEngine::reservedKvTokens() const
 int64_t
 ReplicaEngine::kvCapacityBytes() const
 {
-    const int64_t cap =
-        cfg_.timing.hw.gpu_mem_bytes -
-        core::weightFootprintBytes(cfg_.timing.llm);
-    return std::max<int64_t>(cap, 1);
+    return std::max<int64_t>(rawKvCapacityBytes(cfg_), 1);
 }
 
 double
 ReplicaEngine::kvLoadFraction(int64_t extra_final_len_tokens) const
 {
-    const int64_t per_token =
-        core::kvBytesPerTokenPerLayer(cfg_.timing.llm) *
-        cfg_.timing.llm.layers;
     const double bytes =
         static_cast<double>(reservedKvTokens() + extra_final_len_tokens) *
-        static_cast<double>(per_token);
+        static_cast<double>(kvBytesPerToken(cfg_.timing));
     return bytes / static_cast<double>(kvCapacityBytes());
+}
+
+int64_t
+ReplicaEngine::prefixHitTokens(const Request &r) const
+{
+    // The *tree's* enabled() is the right gate here (not the
+    // configured budget): while live-KV pressure has the working
+    // budget clamped to 0 the tree is empty, and match() on it is a
+    // correct miss.
+    if (!prefix_tree_.enabled() || r.prompt_tokens.empty())
+        return 0;
+    const int64_t hit = prefix_tree_.match(r.prompt_tokens).hit_tokens;
+    // Prefill must still compute at least the last prompt token — the
+    // decode loop needs its logits (vLLM caps full-prompt hits the
+    // same way).
+    return std::min(hit, r.prompt_len - 1);
+}
+
+void
+ReplicaEngine::syncPrefixBudget(int64_t extra_reserved_tokens,
+                                int64_t extra_budget_tokens)
+{
+    // Cached prefixes compete with live KV for HBM headroom: the
+    // tree's working budget is whatever Eq. 6's weight term and the
+    // booked final-length reservations leave free, capped by the
+    // configured budget. `extra_reserved_tokens` carries the
+    // reservation of the request being admitted right now (already
+    // popped from the queue, not yet in active_). Live KV always wins
+    // — a growing batch shrinks the cache, never the other way around
+    // — and a squeeze to 0 is transient: the next sync with headroom
+    // restores the budget.
+    const sim::MemoryModel mm = admission_.memoryModel();
+    const int64_t reserved_bytes =
+        (reservedKvTokens() + extra_reserved_tokens) *
+        kvBytesPerToken(cfg_.timing);
+    const int64_t headroom =
+        cfg_.timing.hw.gpu_mem_bytes - mm.modelBytes() - reserved_bytes;
+    // Pinned blocks are in-flight prompts' KV — one physical copy,
+    // already paid for inside reserved_bytes via those requests'
+    // final-length reservations — so they ride on top of the budget:
+    // the clamp bounds only the *idle* (unpinned, evictable) cache.
+    // `extra_budget_tokens` extends the same courtesy to the blocks
+    // the candidate's own prompt is about to insert-and-pin (also
+    // inside extra_reserved_tokens), so they do not displace idle
+    // cache the physical accounting would let stay.
+    prefix_tree_.setBudget(
+        std::max<int64_t>(
+            0, std::min(configured_prefix_budget_,
+                        std::max<int64_t>(headroom, 0))) +
+        prefix_tree_.pinnedBytes() +
+        extra_budget_tokens * kvBytesPerToken(cfg_.timing));
+}
+
+int64_t
+ReplicaEngine::admitThroughPrefixCache(Request &r)
+{
+    // Gate on the *configured* budget: the tree's working budget may
+    // be squeezed to 0 right now, but syncPrefixBudget() below must
+    // still run so the cache revives once the pressure passes. It
+    // runs for token-less admissions too — their reservations squeeze
+    // the cache just the same.
+    if (!prefixCacheEnabled())
+        return 0;
+    // Budget allowance for the blocks the candidate's prompt will
+    // *newly* insert (full blocks minus what the tree already holds):
+    // created below and pinned immediately, they are covered by the
+    // reservation this same call books via extra_reserved_tokens.
+    // Already-resident blocks cost insert() nothing (and the pinned
+    // ones are inside pinnedBytes() already), so granting them too
+    // would credit one physical copy twice. Capped at the configured
+    // budget — the cache never indexes more of one prompt than it
+    // could ever retain, so a pathological prompt cannot balloon the
+    // tree only to be mass-evicted.
+    const int64_t prompt_block_tokens =
+        static_cast<int64_t>(r.prompt_tokens.size()) /
+        cfg_.prefix_cache.page_size * cfg_.prefix_cache.page_size;
+    const int64_t new_block_tokens =
+        prompt_block_tokens -
+        prefix_tree_.match(r.prompt_tokens).hit_tokens;
+    syncPrefixBudget(
+        r.finalLen(),
+        std::min(new_block_tokens,
+                 configured_prefix_budget_ /
+                     kvBytesPerToken(cfg_.timing)));
+    if (r.prompt_tokens.empty())
+        return 0;
+    const int64_t hit = prefixHitTokens(r);
+    ++result_.prefix.lookups;
+    result_.prefix.prompt_tokens += r.prompt_len;
+    if (hit > 0) {
+        ++result_.prefix.hit_requests;
+        result_.prefix.hit_tokens += hit;
+    }
+    // Pin the whole prompt path (hit + newly inserted suffix blocks)
+    // until retirement so future same-prefix admissions hit it and
+    // eviction cannot pull KV out from under an in-flight request.
+    // Pins are keyed by a per-admission slot, not the request id —
+    // duplicate ids in a degenerate trace must not cross-release each
+    // other's live pins.
+    r.prefix_pin_slot = next_pin_slot_++;
+    prefix_pins_.emplace(r.prefix_pin_slot,
+                         prefix_tree_.insert(r.prompt_tokens));
+    r.cached_prompt_len = hit;
+    return hit;
+}
+
+void
+ReplicaEngine::snapshotPrefixStats()
+{
+    result_.prefix.inserted_tokens = prefix_tree_.insertedTokens();
+    result_.prefix.evicted_tokens = prefix_tree_.evictedTokens();
+    result_.prefix.resident_bytes = prefix_tree_.bytes();
+    result_.prefix.resident_tokens = prefix_tree_.residentTokens();
 }
 
 void
@@ -64,6 +228,17 @@ ReplicaEngine::deliver(Request r)
     if (r.arrival_seconds < last_delivered_arrival_)
         throw std::invalid_argument(
             "ReplicaEngine: deliveries must be in arrival order");
+    if (!r.prompt_tokens.empty() &&
+        static_cast<int64_t>(r.prompt_tokens.size()) != r.prompt_len)
+        throw std::invalid_argument(
+            "ReplicaEngine: prompt_tokens size disagrees with "
+            "prompt_len");
+    // Sanitize engine-owned bookkeeping: a replayed/copied Request may
+    // carry a stale pin slot or hit count from a previous run, and
+    // retirement trusts prefix_pin_slot to name a pin THIS engine
+    // took.
+    r.prefix_pin_slot = -1;
+    r.cached_prompt_len = 0;
     last_delivered_arrival_ = r.arrival_seconds;
     pending_.push_back(std::move(r));
 }
@@ -128,6 +303,11 @@ ReplicaEngine::step(const IngestFn &ingest)
                 Request r = queue_.pop();
                 queued_kv_tokens_ -= r.finalLen();
                 r.state = RequestState::Rejected;
+                // Rejection records are read for ids/shapes only;
+                // keeping kilobytes of token ids per rejection would
+                // bloat fleet-wide roll-ups for nothing.
+                r.prompt_tokens.clear();
+                r.prompt_tokens.shrink_to_fit();
                 result_.rejected.push_back(std::move(r));
                 continue;
             }
@@ -137,6 +317,12 @@ ReplicaEngine::step(const IngestFn &ingest)
         queued_kv_tokens_ -= r.finalLen();
         r.admit_seconds = now_;
         r.state = RequestState::Decoding;
+        // Prefix-cache consultation: tokens matched in the tree skip
+        // prefill (they are KV the replica already holds); only the
+        // uncached suffix is charged, attending over the cached
+        // prefix as extra resident KV. With the cache disabled this
+        // is a no-op and the arithmetic below is unchanged.
+        const int64_t cached = admitThroughPrefixCache(r);
         // Prefill iteration for the joining request; in-flight
         // requests stall for its duration (prefill-prioritized
         // scheduling), and arrivals during it still enqueue.
@@ -144,8 +330,8 @@ ReplicaEngine::step(const IngestFn &ingest)
         for (const Request &q : active_)
             resident += q.kvLen();
         now_ += engine_.requestPrefillSeconds(
-            cfg_.timing, r.prompt_len,
-            static_cast<int64_t>(active_.size()), resident);
+            cfg_.timing, r.prompt_len - cached,
+            static_cast<int64_t>(active_.size()), resident + cached);
         active_.push_back(std::move(r));
         ingestUpTo(now_);
     }
@@ -176,17 +362,26 @@ ReplicaEngine::step(const IngestFn &ingest)
     }
 
     // Retire finished requests; their reservations free headroom that
-    // the next round re-offers to the queue.
+    // the next round re-offers to the queue, and their prefix pins are
+    // released (cached blocks become LRU-evictable but stay resident
+    // for future same-prefix admissions while the budget lasts).
     for (auto it = active_.begin(); it != active_.end();) {
         if (it->done()) {
             it->finish_seconds = now_;
             it->state = RequestState::Finished;
+            if (it->prefix_pin_slot >= 0) {
+                const auto pin = prefix_pins_.find(it->prefix_pin_slot);
+                prefix_tree_.release(pin->second);
+                prefix_pins_.erase(pin);
+            }
             result_.metrics.record(*it, cfg_.id);
             it = active_.erase(it);
         } else {
             ++it;
         }
     }
+    if (prefixCacheEnabled())
+        snapshotPrefixStats();
     result_.makespan_seconds = now_;
 }
 

@@ -30,9 +30,11 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/timing_engine.h"
+#include "kvcache/prefix_tree.h"
 #include "serving/admission.h"
 #include "serving/metrics.h"
 #include "serving/request.h"
@@ -40,6 +42,52 @@
 
 namespace specontext {
 namespace serving {
+
+/**
+ * Per-replica prefix-cache knobs. With a non-zero budget the replica
+ * keeps a kv::PrefixTree over the prompt tokens of admitted requests:
+ * a request whose prompt prefix is cached skips prefill for the
+ * matched tokens (TimingEngine charges only the uncached suffix), and
+ * cached blocks occupy HBM that competes with live KV reservations —
+ * the tree's budget is re-clamped every admission round to the
+ * headroom sim::MemoryModel leaves next to the weights and the booked
+ * KV. Budget 0 (the default) disables the cache and leaves the
+ * replica's arithmetic bit-for-bit identical to the pre-cache engine.
+ */
+struct PrefixCacheConfig
+{
+    /** HBM byte budget for cached prefix KV; 0 disables the cache. */
+    int64_t budget_bytes = 0;
+    /** Tokens per cached block (match alignment). */
+    int64_t page_size = 16;
+};
+
+/** Prefix-cache counters of one replica (or a fleet roll-up). */
+struct PrefixCacheStats
+{
+    int64_t lookups = 0;      ///< admissions that consulted the cache
+    int64_t hit_requests = 0; ///< admissions with a non-empty match
+    /** Prompt tokens served from cache — the prefill work skipped. */
+    int64_t hit_tokens = 0;
+    /** Prompt tokens of every looked-up request (hit-rate denominator). */
+    int64_t prompt_tokens = 0;
+    int64_t inserted_tokens = 0; ///< new blocks created, in tokens
+    int64_t evicted_tokens = 0;  ///< LRU evictions, in tokens
+    int64_t resident_bytes = 0;  ///< cached bytes at the last round
+    int64_t resident_tokens = 0; ///< cached tokens at the last round
+
+    /** Fraction of looked-up prompt tokens served from cache. */
+    double hitRate() const
+    {
+        return prompt_tokens > 0
+                   ? static_cast<double>(hit_tokens) /
+                         static_cast<double>(prompt_tokens)
+                   : 0.0;
+    }
+
+    /** Fleet aggregation: counters sum (resident across replicas). */
+    void merge(const PrefixCacheStats &other);
+};
 
 /** Configuration of one replica (Server reuses this shape). */
 struct ReplicaConfig
@@ -53,6 +101,8 @@ struct ReplicaConfig
     int64_t id = 0;
     /** Display name; defaulted to "replica<id>(<hw>/<system>)". */
     std::string name;
+    /** Shared-prefix KV cache; disabled (budget 0) by default. */
+    PrefixCacheConfig prefix_cache;
 };
 
 /** Outcome of serving one trace (single replica or aggregated fleet). */
@@ -63,6 +113,7 @@ struct ServeResult
     double makespan_seconds = 0.0;
     int64_t iterations = 0;    ///< decode iterations executed
     int64_t peak_in_flight = 0;
+    PrefixCacheStats prefix;   ///< all-zero when the cache is disabled
 
     int64_t completed() const { return metrics.count(); }
     ServingSummary summary() const
@@ -121,11 +172,34 @@ class ReplicaEngine
     /** reservedKvTokens() priced in bytes / kvCapacityBytes(). */
     double kvLoadFraction(int64_t extra_final_len_tokens = 0) const;
 
+    /** True when this replica keeps a prefix cache (configured budget
+     *  > 0). Stays true through transient live-KV pressure that
+     *  clamps the tree's working budget to 0 — the cache revives when
+     *  headroom returns. */
+    bool prefixCacheEnabled() const
+    {
+        return configured_prefix_budget_ > 0;
+    }
+
+    /**
+     * Prompt tokens of `r` this replica could serve from its prefix
+     * cache right now (capped at prompt_len - 1 — prefill always
+     * computes at least the last prompt token). 0 when the cache is
+     * disabled or `r` carries no prompt tokens. Read-only; the
+     * prefix-affinity router scores replicas with it.
+     */
+    int64_t prefixHitTokens(const Request &r) const;
+
+    /** Live prefix-cache counters (also folded into result().prefix). */
+    const PrefixCacheStats &prefixStats() const { return result_.prefix; }
+
     // ---- Driving -----------------------------------------------------
 
     /** Hand over a routed request; it waits in the pending list until
      *  the replica clock reaches its arrival time. Deliveries must be
-     *  in non-decreasing arrival order per replica. */
+     *  in non-decreasing arrival order per replica.
+     *  @throws std::invalid_argument when prompt_tokens is non-empty
+     *  but its size disagrees with prompt_len. */
     void deliver(Request r);
 
     /**
@@ -165,9 +239,37 @@ class ReplicaEngine
     int64_t queued_kv_tokens_ = 0; ///< final-length tokens in queue_
     double last_delivered_arrival_ = 0.0; ///< delivery-order guard
     ServeResult result_;
+    kv::PrefixTree prefix_tree_;
+    /** Capacity-clamped configured budget — the cache's on/off truth.
+     *  The tree's own budget is a *working* value syncPrefixBudget()
+     *  squeezes under live-KV pressure and later restores. */
+    int64_t configured_prefix_budget_ = 0;
+    /** Pin held for each in-flight request, keyed by its admission's
+     *  unique pin slot (Request::prefix_pin_slot); released at
+     *  retirement. */
+    std::unordered_map<int64_t, kv::PrefixHandle> prefix_pins_;
+    int64_t next_pin_slot_ = 0;
 
     /** Move pending requests with arrival <= t into the queue. */
     void ingestPending(double t);
+
+    /** Shrink the tree's budget to min(configured budget, HBM headroom
+     *  left by weights + booked KV + `extra_reserved_tokens` — the
+     *  admission candidate in flight between queue and active_),
+     *  pricing the weights through sim::MemoryModel — cached prefixes
+     *  yield to live KV. Pinned blocks plus `extra_budget_tokens`
+     *  (the candidate's about-to-be-pinned prompt blocks) ride on top
+     *  of the clamp: they are live KV the reservations already pay
+     *  for, so one physical copy is never charged twice. */
+    void syncPrefixBudget(int64_t extra_reserved_tokens = 0,
+                          int64_t extra_budget_tokens = 0);
+
+    /** Cache consultation at admission: returns the prefill tokens
+     *  skipped for `r` and pins its prompt path in the tree. */
+    int64_t admitThroughPrefixCache(Request &r);
+
+    /** Copy the tree's lifetime counters into result_.prefix. */
+    void snapshotPrefixStats();
 };
 
 } // namespace serving

@@ -34,9 +34,25 @@ struct Request
     double arrival_seconds = 0.0;
     int64_t prompt_len = 0;
     int64_t gen_len = 0;
+    /**
+     * Prompt token ids, for prefix-cache matching (kv::PrefixTree) and
+     * prefix-affinity routing. Optional: empty means "no sharing
+     * information" and the request bypasses the prefix cache. When
+     * non-empty, size() must equal prompt_len (ReplicaEngine::deliver
+     * enforces this).
+     */
+    std::vector<int32_t> prompt_tokens;
 
     RequestState state = RequestState::Queued;
     int64_t generated = 0;            ///< decode tokens produced so far
+    /** Prompt tokens served from the replica's prefix cache at
+     *  admission (prefill skipped for them); 0 when the cache is
+     *  disabled or missed. */
+    int64_t cached_prompt_len = 0;
+    /** Internal: ReplicaEngine's key for the prefix-cache pin this
+     *  admission took (unique per admission, so duplicate request ids
+     *  cannot cross-release each other's pins); -1 = no pin. */
+    int64_t prefix_pin_slot = -1;
     double admit_seconds = -1.0;      ///< admission (prefill start)
     double first_token_seconds = -1.0;///< end of first decode iteration
     double finish_seconds = -1.0;     ///< last token produced

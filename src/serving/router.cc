@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "tensor/hash.h"
+
 namespace specontext {
 namespace serving {
 
@@ -14,6 +16,7 @@ routerPolicyName(RouterPolicy p)
       case RouterPolicy::JoinShortestQueue: return "join-shortest-queue";
       case RouterPolicy::LeastKvLoad: return "least-kv-load";
       case RouterPolicy::TwoTier: return "two-tier";
+      case RouterPolicy::PrefixAffinity: return "prefix-affinity";
     }
     return "?";
 }
@@ -69,6 +72,103 @@ joinShortestQueue(const std::vector<size_t> &candidates,
     });
 }
 
+size_t
+leastKvLoad(const Request &r, const std::vector<size_t> &candidates,
+            const Fleet &fleet)
+{
+    return argminReplica(candidates, [&](size_t i) {
+        return fleet[i]->kvLoadFraction(r.finalLen());
+    });
+}
+
+/** FNV-1a 64 over the first `n` token ids, folded least-significant
+ *  byte first so the value is endianness-independent — the
+ *  deterministic sticky home of a cold prompt family. */
+uint64_t
+hashTokens(const std::vector<int32_t> &tokens, size_t n)
+{
+    uint64_t h = kFnv1a64OffsetBasis;
+    for (size_t i = 0; i < n && i < tokens.size(); ++i) {
+        const auto t = static_cast<uint32_t>(tokens[i]);
+        for (int shift = 0; shift < 32; shift += 8) {
+            h ^= (t >> shift) & 0xffu;
+            h *= kFnv1a64Prime;
+        }
+    }
+    return h;
+}
+
+size_t
+prefixAffinity(const Request &r, const std::vector<size_t> &candidates,
+               const Fleet &fleet, int64_t spill_slack)
+{
+    // Load escape shared by the warm and cold sticky paths: stick
+    // only while the sticky pick owes at most spill_slack requests
+    // more than the least-loaded candidate — past that, re-prefilling
+    // the prefix is cheaper than queueing behind a hot family.
+    const size_t least = leastKvLoad(r, candidates, fleet);
+    auto stickyOrSpill = [&](size_t sticky) {
+        return fleet[sticky]->outstanding() >
+                       fleet[least]->outstanding() + spill_slack
+                   ? least
+                   : sticky;
+    };
+
+    // Warm path: the replica with the longest cached prefix of this
+    // prompt wins — it skips the most prefill work. Ties (several
+    // replicas equally warm, or none warm at all for a token-less
+    // request) break by KV load, then lowest index.
+    int64_t best_hit = 0;
+    std::vector<int64_t> hits(candidates.size(), 0);
+    for (size_t k = 0; k < candidates.size(); ++k) {
+        hits[k] = fleet[candidates[k]]->prefixHitTokens(r);
+        best_hit = std::max(best_hit, hits[k]);
+    }
+    if (best_hit > 0) {
+        std::vector<size_t> warmest;
+        for (size_t k = 0; k < candidates.size(); ++k) {
+            if (hits[k] == best_hit)
+                warmest.push_back(candidates[k]);
+        }
+        return stickyOrSpill(leastKvLoad(r, warmest, fleet));
+    }
+    // Cold prompt with tokens: hash its first cache block onto the
+    // cache-enabled replicas, so every request of the same family
+    // has the same sticky home before any cache state exists — one
+    // fleet-wide cold prefill per family instead of one per replica.
+    // Only cached replicas are hashable homes (a cache-less one can
+    // never warm up, which would strand the family on full prefill
+    // forever), and the modulus runs over the *whole fleet's* cached
+    // set — not this request's candidate subset — so same-family
+    // requests with different feasibility still agree on the home;
+    // a request its home cannot serve falls back to least-kv-load.
+    // The block length is the widest cache page among the cached
+    // replicas so the hashed span is block-aligned everywhere.
+    if (!r.prompt_tokens.empty()) {
+        int64_t page = 0;
+        std::vector<size_t> cached;
+        for (size_t i = 0; i < fleet.size(); ++i) {
+            if (fleet[i]->prefixCacheEnabled()) {
+                cached.push_back(i);
+                page = std::max(
+                    page, fleet[i]->config().prefix_cache.page_size);
+            }
+        }
+        if (!cached.empty()) {
+            const uint64_t h =
+                hashTokens(r.prompt_tokens, static_cast<size_t>(page));
+            const size_t home = cached[h % cached.size()];
+            for (size_t c : candidates) {
+                if (c == home)
+                    return stickyOrSpill(home);
+            }
+        }
+    }
+    // No tokens, no caches anywhere, or an infeasible home: plain
+    // least-kv-load.
+    return least;
+}
+
 } // namespace
 
 size_t
@@ -99,9 +199,11 @@ Router::route(const Request &r, const Fleet &fleet)
         return joinShortestQueue(candidates, fleet);
 
       case RouterPolicy::LeastKvLoad:
-        return argminReplica(candidates, [&](size_t i) {
-            return fleet[i]->kvLoadFraction(r.finalLen());
-        });
+        return leastKvLoad(r, candidates, fleet);
+
+      case RouterPolicy::PrefixAffinity:
+        return prefixAffinity(r, candidates, fleet,
+                              cfg_.affinity_spill_slack);
 
       case RouterPolicy::TwoTier: {
         int64_t max_hbm = 0;

@@ -18,6 +18,19 @@
  *    whose GPU memory equals the fleet maximum), short prompts prefer
  *    the small tier so long-context capacity stays available;
  *    join-shortest-queue inside the chosen tier.
+ *  - PrefixAffinity: route to the replica already holding the longest
+ *    cached prefix of the request's prompt tokens (ties break to the
+ *    least KV-loaded, then lowest index). When no replica holds any
+ *    of it, a cold prompt is hashed by its first cache block so every
+ *    request of the same prompt family lands on the same sticky home
+ *    from the very first arrival (one fleet-wide prefill per family
+ *    instead of one per replica); requests without prompt tokens fall
+ *    back to least-kv-load. Affinity is load-escaped: when the sticky
+ *    pick owes more than affinity_spill_slack requests beyond the
+ *    least-loaded candidate, the request spills to least-kv-load —
+ *    re-prefilling a prefix is cheaper than queueing behind a hot
+ *    family (cache-aware load balancing). Degenerates to
+ *    least-kv-load when no replica has a prefix cache.
  *
  * Every policy first drops replicas that could not serve the request
  * even alone (admission's feasibleAlone(), i.e. the per-replica
@@ -44,6 +57,7 @@ enum class RouterPolicy {
     JoinShortestQueue,
     LeastKvLoad,
     TwoTier,
+    PrefixAffinity,
 };
 
 const char *routerPolicyName(RouterPolicy p);
@@ -54,6 +68,11 @@ struct RouterConfig
     RouterPolicy policy = RouterPolicy::RoundRobin;
     /** TwoTier: prompts at least this long route to big-HBM replicas. */
     int64_t long_prompt_threshold = 8192;
+    /** PrefixAffinity: outstanding-request headroom the sticky pick
+     *  may have over the least-loaded candidate before the request
+     *  spills to least-kv-load (a hot family must not head-of-line
+     *  block its home replica). */
+    int64_t affinity_spill_slack = 2;
 };
 
 /** Stateful placement engine (round-robin keeps a cursor). */

@@ -19,16 +19,20 @@ ServeResult
 Server::run(std::vector<Request> trace) const
 {
     sortByArrival(trace);
+    // The facade never enables the prefix cache ({} = budget 0), so a
+    // Server run stays the cache-free baseline a zero-budget Cluster
+    // is pinned against.
     ReplicaEngine replica(
         engine_,
-        {cfg_.timing, cfg_.queue_policy, cfg_.max_batch, 0, "server"});
+        {cfg_.timing, cfg_.queue_policy, cfg_.max_batch, 0, "server",
+         {}});
 
     // Single-replica driver: the trace cursor plays the router's role.
     size_t next = 0;
     const auto ingest = [&](double t) {
         while (next < trace.size() &&
                trace[next].arrival_seconds <= t)
-            replica.deliver(trace[next++]);
+            replica.deliver(std::move(trace[next++]));
     };
     while (true) {
         const double t_replica = replica.nextEventSeconds();

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * FNV-1a 64-bit hashing — the repo's single copy of the offset-basis
+ * and prime constants (no std::hash, whose values are
+ * implementation-defined). fnv1a64() is deterministic for a given
+ * byte sequence; callers hashing multi-byte values must fold them in
+ * a fixed byte order themselves if they need endianness-independent
+ * results (serving/router.cc does). Callers: the toy tokenizer's
+ * word -> id mapping and the prefix-affinity router's sticky-home
+ * choice for cold prompt families.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace specontext {
+
+constexpr uint64_t kFnv1a64OffsetBasis = 1469598103934665603ull;
+constexpr uint64_t kFnv1a64Prime = 1099511628211ull;
+
+/** Fold `bytes[0..n)` into an FNV-1a 64 state (chainable via `h`). */
+inline uint64_t
+fnv1a64(const void *bytes, size_t n, uint64_t h = kFnv1a64OffsetBasis)
+{
+    const auto *p = static_cast<const unsigned char *>(bytes);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnv1a64Prime;
+    }
+    return h;
+}
+
+} // namespace specontext

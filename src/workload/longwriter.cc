@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "tensor/rng.h"
+#include "workload/tasks.h"
 
 namespace specontext {
 namespace workload {
@@ -24,16 +25,14 @@ makeLongWriterTask(int64_t vocab, uint64_t seed, int64_t prompt_len,
     // generation keeps returning to them.
     const int64_t topics = 6;
     for (int64_t i = 0; i < topics; ++i) {
-        t.plan_keywords.push_back(
-            static_cast<int32_t>(2 + rng.uniformInt(vocab - 2)));
+        t.plan_keywords.push_back(randomTokenId(rng, vocab));
     }
     for (int64_t i = 0; i < prompt_len; ++i) {
         if (i % 7 == 3) {
             t.prompt.push_back(
                 t.plan_keywords[(i / 7) % t.plan_keywords.size()]);
         } else {
-            t.prompt.push_back(
-                static_cast<int32_t>(2 + rng.uniformInt(vocab - 2)));
+            t.prompt.push_back(randomTokenId(rng, vocab));
         }
     }
     return t;

@@ -18,8 +18,7 @@ TaskGenerator::TaskGenerator(int64_t vocab, uint64_t seed)
 int32_t
 TaskGenerator::randomToken()
 {
-    // Avoid BOS/EOS ids 0 and 1.
-    return static_cast<int32_t>(2 + rng_.uniformInt(vocab_ - 2));
+    return randomTokenId(rng_, vocab_);
 }
 
 std::vector<int32_t>

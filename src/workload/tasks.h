@@ -31,6 +31,16 @@
 namespace specontext {
 namespace workload {
 
+/** Random token id in [2, vocab) — ids 0/1 stay reserved for
+ *  BOS/EOS. The single copy of the workload module's token-id
+ *  convention, shared by the task, LongWriter and trace generators. */
+inline int32_t
+randomTokenId(Rng &rng, int64_t vocab)
+{
+    return static_cast<int32_t>(
+        2 + rng.uniformInt(static_cast<uint64_t>(vocab - 2)));
+}
+
 /** One generated QA instance. */
 struct QATask
 {

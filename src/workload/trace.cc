@@ -5,20 +5,23 @@
 #include <stdexcept>
 
 #include "tensor/rng.h"
+#include "workload/tasks.h"
 
 namespace specontext {
 namespace workload {
 
-namespace {
-
 void
-validateConfig(const TraceConfig &cfg)
+validateTraceConfig(const TraceConfig &cfg)
 {
     if (cfg.num_requests <= 0)
         throw std::invalid_argument("trace: non-positive num_requests");
-    if (cfg.arrival_rate_per_s <= 0.0)
-        throw std::invalid_argument("trace: non-positive arrival rate");
+    if (!(cfg.arrival_rate_per_s > 0.0) ||
+        !std::isfinite(cfg.arrival_rate_per_s))
+        throw std::invalid_argument(
+            "trace: arrival_rate_per_s must be positive and finite");
 }
+
+namespace {
 
 /** Exponential inter-arrival gap of a Poisson process at `rate`. */
 double
@@ -46,7 +49,7 @@ std::vector<serving::Request>
 poissonTrace(const TraceConfig &cfg,
              const std::vector<serving::Workload> &mix)
 {
-    validateConfig(cfg);
+    validateTraceConfig(cfg);
     if (mix.empty())
         throw std::invalid_argument("poissonTrace: empty workload mix");
     Rng rng(cfg.seed);
@@ -120,10 +123,92 @@ mergeTraces(const std::vector<std::vector<serving::Request>> &shards)
     return out;
 }
 
+namespace {
+
+void
+validateSharedPrefixConfig(const SharedPrefixTraceConfig &cfg)
+{
+    validateTraceConfig(cfg.base);
+    if (cfg.num_families <= 0)
+        throw std::invalid_argument(
+            "sharedPrefixTrace: non-positive num_families");
+    if (cfg.prefix_len <= 0)
+        throw std::invalid_argument(
+            "sharedPrefixTrace: non-positive prefix_len");
+    if (cfg.suffix_lo <= 0 || cfg.suffix_hi < cfg.suffix_lo)
+        throw std::invalid_argument(
+            "sharedPrefixTrace: suffix bounds must satisfy "
+            "0 < lo <= hi");
+    if (cfg.gen_lo <= 0 || cfg.gen_hi < cfg.gen_lo)
+        throw std::invalid_argument(
+            "sharedPrefixTrace: gen bounds must satisfy 0 < lo <= hi");
+    if (cfg.zipf_s < 0.0 || !std::isfinite(cfg.zipf_s))
+        throw std::invalid_argument(
+            "sharedPrefixTrace: zipf_s must be finite and >= 0");
+    if (cfg.vocab < 3)
+        throw std::invalid_argument("sharedPrefixTrace: vocab < 3");
+}
+
+} // namespace
+
+std::vector<serving::Request>
+sharedPrefixTrace(const SharedPrefixTraceConfig &cfg)
+{
+    validateSharedPrefixConfig(cfg);
+    Rng rng(cfg.base.seed);
+
+    // One shared prefix per family, each drawn from its own
+    // seed-derived stream so family contents are stable however many
+    // requests the trace has.
+    std::vector<std::vector<int32_t>> prefixes(
+        static_cast<size_t>(cfg.num_families));
+    for (int64_t f = 0; f < cfg.num_families; ++f) {
+        Rng frng(cfg.base.seed * 1000003ull +
+                 static_cast<uint64_t>(f) + 1);
+        auto &p = prefixes[static_cast<size_t>(f)];
+        p.reserve(cfg.prefix_len);
+        for (int64_t i = 0; i < cfg.prefix_len; ++i)
+            p.push_back(randomTokenId(frng, cfg.vocab));
+    }
+
+    // Zipf popularity CDF over family ranks: weight 1/(f+1)^zipf_s.
+    std::vector<double> cdf(static_cast<size_t>(cfg.num_families));
+    double total = 0.0;
+    for (int64_t f = 0; f < cfg.num_families; ++f) {
+        total += 1.0 / std::pow(static_cast<double>(f + 1), cfg.zipf_s);
+        cdf[static_cast<size_t>(f)] = total;
+    }
+
+    std::vector<serving::Request> trace;
+    trace.reserve(cfg.base.num_requests);
+    double t = 0.0;
+    for (int64_t i = 0; i < cfg.base.num_requests; ++i) {
+        t += expGap(rng, cfg.base.arrival_rate_per_s);
+        const double u = rng.uniform() * total;
+        size_t family = 0;
+        while (family + 1 < cdf.size() && cdf[family] < u)
+            ++family;
+        const int64_t suffix =
+            logUniform(rng, cfg.suffix_lo, cfg.suffix_hi);
+
+        serving::Request r;
+        r.id = i;
+        r.arrival_seconds = t;
+        r.prompt_len = cfg.prefix_len + suffix;
+        r.gen_len = logUniform(rng, cfg.gen_lo, cfg.gen_hi);
+        r.prompt_tokens = prefixes[family];
+        r.prompt_tokens.reserve(static_cast<size_t>(r.prompt_len));
+        for (int64_t k = 0; k < suffix; ++k)
+            r.prompt_tokens.push_back(randomTokenId(rng, cfg.vocab));
+        trace.push_back(std::move(r));
+    }
+    return trace;
+}
+
 std::vector<serving::Request>
 mixedLengthTrace(const TraceConfig &cfg)
 {
-    validateConfig(cfg);
+    validateTraceConfig(cfg);
     Rng rng(cfg.seed);
     std::vector<serving::Request> trace;
     trace.reserve(cfg.num_requests);

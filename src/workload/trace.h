@@ -31,6 +31,55 @@ struct TraceConfig
 };
 
 /**
+ * Validate the shared knobs — every generator calls this first.
+ * @throws std::invalid_argument on num_requests <= 0 or a
+ * non-positive/non-finite arrival rate, naming the offending knob.
+ */
+void validateTraceConfig(const TraceConfig &cfg);
+
+/**
+ * Knobs of the shared-prefix generator: K prompt families (distinct
+ * shared prefixes, e.g. system prompts or few-shot templates) with
+ * Zipf-distributed popularity, each request appending a unique
+ * log-uniform suffix — the multi-tenant traffic shape prefix caching
+ * and prefix-affinity routing are built for.
+ */
+struct SharedPrefixTraceConfig
+{
+    TraceConfig base;
+    /** K: distinct prompt families. */
+    int64_t num_families = 8;
+    /** Tokens of the shared prefix every family member starts with. */
+    int64_t prefix_len = 4096;
+    /** Per-request unique suffix length, log-uniform in [lo, hi]. */
+    int64_t suffix_lo = 64;
+    int64_t suffix_hi = 512;
+    /** Generation length, log-uniform in [lo, hi]. */
+    int64_t gen_lo = 128;
+    int64_t gen_hi = 1024;
+    /** Zipf popularity exponent: family rank f is drawn with weight
+     *  1 / (f+1)^s. 0 means uniform popularity. */
+    double zipf_s = 1.0;
+    /** Token-id alphabet (ids are drawn in [2, vocab)). */
+    int32_t vocab = 32000;
+};
+
+/**
+ * Shared-prefix trace: Poisson arrivals where each request samples a
+ * family by Zipf popularity and carries concrete prompt token ids —
+ * `prefix_len` tokens shared verbatim within its family followed by a
+ * unique suffix — so serving::ReplicaEngine's kv::PrefixTree and the
+ * PrefixAffinity router are drivable from benches and tests.
+ * Deterministic in cfg.base.seed; requests carry sequential ids in
+ * arrival order and prompt_tokens.size() == prompt_len.
+ * @throws std::invalid_argument on invalid knobs (non-positive
+ * families/prefix/suffix/gen bounds, hi < lo, negative zipf_s,
+ * vocab < 3, or a bad base config).
+ */
+std::vector<serving::Request> sharedPrefixTrace(
+    const SharedPrefixTraceConfig &cfg);
+
+/**
  * Poisson arrivals sampling uniformly from `mix`. Requests carry
  * sequential ids in arrival order; the list is sorted by arrival.
  * @throws std::invalid_argument on an empty mix or non-positive knobs.

@@ -170,6 +170,59 @@ TEST(Router, EmptyFleetThrows)
 
 // --------------------------------------------------- server parity
 
+/** Per-request timestamp equality of two serve results. */
+void
+expectBitIdentical(const serving::ServeResult &cluster_fleet,
+                   const serving::ServeResult &server)
+{
+    EXPECT_EQ(cluster_fleet.makespan_seconds, server.makespan_seconds);
+    EXPECT_EQ(cluster_fleet.iterations, server.iterations);
+    EXPECT_EQ(cluster_fleet.peak_in_flight, server.peak_in_flight);
+    ASSERT_EQ(cluster_fleet.metrics.count(), server.metrics.count());
+    const auto &cr = cluster_fleet.metrics.records();
+    const auto &sr = server.metrics.records();
+    for (size_t i = 0; i < sr.size(); ++i) {
+        EXPECT_EQ(cr[i].id, sr[i].id);
+        EXPECT_EQ(cr[i].admit_seconds, sr[i].admit_seconds);
+        EXPECT_EQ(cr[i].first_token_seconds, sr[i].first_token_seconds);
+        EXPECT_EQ(cr[i].finish_seconds, sr[i].finish_seconds);
+    }
+}
+
+TEST(Cluster, ZeroBudgetPrefixCacheKeepsServerParity)
+{
+    // The acceptance pin of the prefix-cache subsystem: with the cache
+    // disabled (budget 0, the default), a 1-replica Cluster over a
+    // trace that *does* carry prompt tokens is bit-for-bit the
+    // cache-free Server — the cache branches must be pure no-ops.
+    core::TimingEngine e;
+    workload::SharedPrefixTraceConfig pc;
+    pc.base.num_requests = 16;
+    pc.base.arrival_rate_per_s = 1.0;
+    pc.base.seed = 13;
+    pc.num_families = 4;
+    pc.prefix_len = 2048;
+    pc.gen_lo = 16;
+    pc.gen_hi = 64;
+    const auto trace = workload::sharedPrefixTrace(pc);
+
+    ServerConfig sc;
+    sc.timing = cloudReplica().timing;
+    sc.max_batch = 16;
+    const serving::ServeResult server = Server(e, sc).run(trace);
+
+    ClusterConfig cc;
+    cc.replicas = {cloudReplica()};
+    cc.replicas[0].max_batch = 16;
+    cc.replicas[0].prefix_cache.budget_bytes = 0; // explicit: disabled
+    const ClusterResult cluster = Cluster(e, cc).run(trace);
+
+    expectBitIdentical(cluster.fleet, server);
+    EXPECT_EQ(cluster.fleet.prefix.lookups, 0);
+    EXPECT_EQ(cluster.fleet.prefix.hit_tokens, 0);
+    EXPECT_EQ(cluster.fleet.prefix.resident_bytes, 0);
+}
+
 TEST(Cluster, SingleReplicaMatchesServerBitForBit)
 {
     core::TimingEngine e;
@@ -362,6 +415,330 @@ TEST(Cluster, LoadAwareRoutingBeatsRoundRobinP99TtftOnMixedFleet)
     };
     EXPECT_LT(p99(RouterPolicy::LeastKvLoad),
               p99(RouterPolicy::RoundRobin));
+}
+
+// ------------------------------------------- prefix cache & affinity
+
+/** Cloud replica with an enabled prefix cache. */
+ReplicaConfig
+cachedCloudReplica(int64_t budget_gib = 8)
+{
+    ReplicaConfig rc = cloudReplica();
+    rc.prefix_cache.budget_bytes = budget_gib << 30;
+    rc.prefix_cache.page_size = 16;
+    return rc;
+}
+
+workload::SharedPrefixTraceConfig
+smallSharedPrefixConfig()
+{
+    workload::SharedPrefixTraceConfig pc;
+    pc.base.num_requests = 24;
+    pc.base.arrival_rate_per_s = 2.0;
+    pc.base.seed = 17;
+    pc.num_families = 2;
+    pc.prefix_len = 2048;
+    pc.suffix_lo = 64;
+    pc.suffix_hi = 128;
+    pc.gen_lo = 16;
+    pc.gen_hi = 48;
+    return pc;
+}
+
+TEST(PrefixCache, SkipsPrefillWorkAndReportsHits)
+{
+    core::TimingEngine e;
+    const auto trace =
+        workload::sharedPrefixTrace(smallSharedPrefixConfig());
+
+    auto runWithBudget = [&](int64_t budget_bytes) {
+        ClusterConfig cc;
+        cc.replicas = {cloudReplica()};
+        cc.replicas[0].prefix_cache.budget_bytes = budget_bytes;
+        return Cluster(e, cc).run(trace);
+    };
+    const ClusterResult cold = runWithBudget(0);
+    const ClusterResult warm = runWithBudget(8LL << 30);
+
+    // Same requests complete either way; the cache only removes
+    // prefill work, it never changes what is served.
+    EXPECT_EQ(warm.completed(), cold.completed());
+    EXPECT_EQ(warm.completed(),
+              static_cast<int64_t>(trace.size()));
+
+    // Two families, 24 requests: everything after the two cold
+    // prompts hits, so most prefill tokens are saved...
+    const serving::PrefixCacheStats &ps = warm.fleet.prefix;
+    EXPECT_EQ(ps.lookups, static_cast<int64_t>(trace.size()));
+    EXPECT_GT(ps.hit_requests, 0);
+    EXPECT_GT(ps.hit_tokens, 0);
+    EXPECT_GT(ps.hitRate(), 0.5);
+    EXPECT_GT(ps.resident_tokens, 0);
+    // ...and the saved work shows up as lower latency.
+    EXPECT_LT(warm.summary().ttft_mean, cold.summary().ttft_mean);
+    EXPECT_LE(warm.fleet.makespan_seconds, cold.fleet.makespan_seconds);
+
+    // Per-request accounting: cached_prompt_len is block-aligned-ish
+    // (capped at prompt_len - 1) and never exceeds the prompt.
+    const ClusterResult again = runWithBudget(8LL << 30);
+    EXPECT_EQ(again.summary().ttft_mean, warm.summary().ttft_mean);
+    EXPECT_EQ(again.fleet.prefix.hit_tokens, ps.hit_tokens);
+}
+
+TEST(PrefixCache, MismatchedPromptTokensAreRejectedAtDelivery)
+{
+    core::TimingEngine e;
+    ReplicaEngine rep(e, cachedCloudReplica());
+    Request r = makeRequest(0, 0.0, 128, 8);
+    r.prompt_tokens.assign(64, 7); // size != prompt_len
+    EXPECT_THROW(rep.deliver(std::move(r)), std::invalid_argument);
+}
+
+TEST(PrefixCache, DuplicateRequestIdsKeepIndependentPins)
+{
+    // Pins are keyed per admission, not per request id: two in-flight
+    // requests sharing an id must not cross-release each other's
+    // prefix pins (which would make a decoding request's KV
+    // evictable, or throw on the second release).
+    core::TimingEngine e;
+    ReplicaEngine rep(e, cachedCloudReplica());
+    Request a = makeRequest(7, 0.0, 256, 64);
+    a.prompt_tokens.assign(256, 21);
+    Request b = makeRequest(7, 0.1, 256, 64); // same id, in flight too
+    b.prompt_tokens.assign(256, 22);
+    rep.deliver(a);
+    rep.deliver(b);
+    while (!rep.idle())
+        rep.step();
+    const serving::ServeResult r = rep.takeResult();
+    EXPECT_EQ(r.completed(), 2);
+    EXPECT_EQ(r.prefix.lookups, 2);
+    EXPECT_GT(r.prefix.resident_tokens, 0); // both paths survive
+}
+
+TEST(Router, PrefixAffinityPrefersTheWarmestReplica)
+{
+    core::TimingEngine e;
+    auto fleet = makeFleet(
+        e, {cachedCloudReplica(), cachedCloudReplica(),
+            cachedCloudReplica()});
+    Router router({RouterPolicy::PrefixAffinity, 8192});
+
+    // Warm replica 1 by actually serving a family member there.
+    std::vector<int32_t> family(256);
+    for (size_t i = 0; i < family.size(); ++i)
+        family[i] = static_cast<int32_t>(100 + i);
+    Request seedr = makeRequest(0, 0.0, 256, 1);
+    seedr.prompt_tokens = family;
+    fleet[1]->deliver(seedr);
+    while (!fleet[1]->idle())
+        fleet[1]->step();
+    ASSERT_GT(fleet[1]->prefixHitTokens(seedr), 0);
+
+    // A same-family request routes to the warm replica even though
+    // colder replicas are equally idle...
+    Request again = makeRequest(1, 1.0, 256, 8);
+    again.prompt_tokens = family;
+    EXPECT_EQ(router.route(again, fleet), 1u);
+    // ...and keeps routing there when replica 1 carries load.
+    fleet[1]->deliver(makeRequest(2, 1.0, 4096, 256));
+    EXPECT_EQ(router.route(again, fleet), 1u);
+}
+
+TEST(Router, PrefixAffinityColdPromptsGetAStickyHashedHome)
+{
+    core::TimingEngine e;
+    auto fleet = makeFleet(
+        e, {cachedCloudReplica(), cachedCloudReplica(),
+            cachedCloudReplica(), cachedCloudReplica()});
+    Router router({RouterPolicy::PrefixAffinity, 8192});
+
+    Request a = makeRequest(0, 0.0, 256, 8);
+    a.prompt_tokens.assign(256, 11);
+    const size_t home = router.route(a, fleet);
+    // Same family -> same home, regardless of load skew, before any
+    // cache state exists (one fleet-wide cold prefill per family).
+    fleet[home]->deliver(makeRequest(9, 0.0, 16384, 512));
+    EXPECT_EQ(router.route(a, fleet), home);
+
+    // No prompt tokens -> least-kv-load fallback (ties -> index 0).
+    Request plain = makeRequest(1, 0.0, 256, 8);
+    EXPECT_EQ(router.route(plain, fleet),
+              Router({RouterPolicy::LeastKvLoad, 8192})
+                  .route(plain, fleet));
+}
+
+TEST(PrefixCache, RevivesAfterTransientLiveKvPressure)
+{
+    // A huge admission squeezes the tree's working budget to 0 (live
+    // KV always wins the headroom); once it retires, the cache must
+    // come back — the squeeze is transient, not a permanent off
+    // switch.
+    core::TimingEngine e;
+    ClusterConfig cc;
+    cc.replicas = {cachedCloudReplica(8)};
+    const Cluster cluster(e, cc);
+
+    workload::SharedPrefixTraceConfig pc;
+    pc.base.num_requests = 2;
+    pc.base.arrival_rate_per_s = 1.0;
+    pc.num_families = 1;
+    pc.prefix_len = 2048;
+    pc.suffix_lo = 16;
+    pc.suffix_hi = 32;
+    pc.gen_lo = 2;
+    pc.gen_hi = 4;
+    auto family = workload::sharedPrefixTrace(pc);
+
+    std::vector<Request> trace;
+    trace.push_back(family[0]); // caches the family
+    // ~470K-token reservation ~= 59 GB of KV: eats the whole A800
+    // headroom next to the weights while outstanding.
+    Request huge = makeRequest(50, 10.0, 470'000, 2);
+    huge.prompt_tokens.assign(470'000, 9);
+    trace.push_back(huge);
+    // Same family again, long after the pressure has drained.
+    Request back = family[1];
+    back.id = 51;
+    back.arrival_seconds = 1e7;
+    trace.push_back(back);
+    Request back2 = family[1];
+    back2.id = 52;
+    back2.arrival_seconds = 2e7;
+    trace.push_back(back2);
+
+    const ClusterResult r = cluster.run(trace);
+    ASSERT_EQ(r.completed(), 4);
+    const serving::PrefixCacheStats &ps = r.fleet.prefix;
+    // Every token-carrying admission consulted the cache — including
+    // the ones arriving after the squeeze.
+    EXPECT_EQ(ps.lookups, 4);
+    // The squeeze wiped the family, so `back` re-seeded it and
+    // `back2` hit the revived cache.
+    EXPECT_GE(ps.hit_requests, 1);
+    EXPECT_GT(ps.resident_tokens, 0);
+}
+
+TEST(Router, PrefixAffinityHashesColdFamiliesOntoCachedReplicasOnly)
+{
+    // Mixed fleet: a cache-less replica can never warm up, so hashing
+    // a cold family onto it would strand the family on full prefill
+    // forever. The sticky home must come from the cached subset.
+    core::TimingEngine e;
+    auto fleet = makeFleet(e, {cloudReplica(), cachedCloudReplica()});
+    ASSERT_FALSE(fleet[0]->prefixCacheEnabled());
+    ASSERT_TRUE(fleet[1]->prefixCacheEnabled());
+    Router router({RouterPolicy::PrefixAffinity, 8192});
+    for (int32_t fam = 0; fam < 8; ++fam) {
+        Request r = makeRequest(fam, 0.0, 256, 8);
+        r.prompt_tokens.assign(256, 1000 + fam);
+        EXPECT_EQ(router.route(r, fleet), 1u) << "family " << fam;
+    }
+}
+
+TEST(Router, PrefixAffinityWithoutCachesDegradesToLeastKvLoad)
+{
+    core::TimingEngine e;
+    auto fleet = makeFleet(e, {cloudReplica(), cloudReplica()});
+    fleet[0]->deliver(makeRequest(0, 1.0, 32768, 4096));
+    Router affinity({RouterPolicy::PrefixAffinity, 8192});
+    Router least({RouterPolicy::LeastKvLoad, 8192});
+    Request r = makeRequest(1, 2.0, 2048, 256);
+    r.prompt_tokens.assign(2048, 3);
+    EXPECT_EQ(affinity.route(r, fleet), least.route(r, fleet));
+    EXPECT_EQ(affinity.route(r, fleet), 1u);
+}
+
+// Satellite: every policy must degrade deterministically (not crash)
+// when no replica can serve a request even alone.
+TEST(Router, AllInfeasibleFleetFallsBackDeterministically)
+{
+    core::TimingEngine e;
+    auto fleet = makeFleet(e, {edgeReplica(), edgeReplica()});
+    // ~2M-token context: KV exceeds the edge box's DRAM on both.
+    Request huge = makeRequest(0, 0.0, 2'000'000, 512);
+    huge.prompt_tokens.assign(2'000'000, 5);
+    ASSERT_FALSE(fleet[0]->admission().feasibleAlone(huge));
+    ASSERT_FALSE(fleet[1]->admission().feasibleAlone(huge));
+
+    for (auto policy : {RouterPolicy::LeastKvLoad,
+                        RouterPolicy::PrefixAffinity}) {
+        Router router({policy, 8192});
+        const size_t first = router.route(huge, fleet);
+        EXPECT_LT(first, fleet.size());
+        EXPECT_EQ(router.route(huge, fleet), first)
+            << serving::routerPolicyName(policy);
+    }
+}
+
+TEST(Cluster, InfeasibleRequestIsRejectedUnderEveryPolicy)
+{
+    core::TimingEngine e;
+    workload::SharedPrefixTraceConfig pc = smallSharedPrefixConfig();
+    pc.base.num_requests = 6;
+    auto trace = workload::sharedPrefixTrace(pc);
+    Request huge = makeRequest(100, 0.5, 2'000'000, 64);
+    trace.push_back(huge);
+
+    for (auto policy : {RouterPolicy::LeastKvLoad,
+                        RouterPolicy::PrefixAffinity}) {
+        ClusterConfig cc;
+        cc.replicas = {edgeReplica(), edgeReplica()};
+        cc.router.policy = policy;
+        const ClusterResult r = Cluster(e, cc).run(trace);
+        ASSERT_EQ(r.fleet.rejected.size(), 1u)
+            << serving::routerPolicyName(policy);
+        EXPECT_EQ(r.fleet.rejected[0].id, 100);
+        EXPECT_EQ(r.completed(), 6);
+    }
+}
+
+// The acceptance headline: prefix-affinity routing must beat
+// join-shortest-queue on p99 TTFT on a shared-prefix trace, because
+// JSQ scatters each family over the fleet (every replica pays the
+// family's cold prefill and the per-replica budget thrashes across
+// all families) while affinity gives each family one warm home.
+TEST(Cluster, PrefixAffinityBeatsJsqOnSharedPrefixTrace)
+{
+    core::TimingEngine e;
+    workload::SharedPrefixTraceConfig pc;
+    // The bench's contended configuration: 16 families against a
+    // 4-family-per-replica budget, heavy enough that prefill work
+    // queues. JSQ pays each family's cold prefill once per replica
+    // (and re-pays it on LRU thrash), and those stalls cascade into
+    // the tail; 192 requests keep p99 a tail statistic rather than
+    // the single worst cold prefill.
+    pc.base.num_requests = 192;
+    pc.base.arrival_rate_per_s = 4.0;
+    pc.base.seed = 7;
+    pc.num_families = 16;
+    pc.prefix_len = 4096;
+    pc.suffix_lo = 64;
+    pc.suffix_hi = 256;
+    pc.gen_lo = 32;
+    pc.gen_hi = 128;
+    const auto trace = workload::sharedPrefixTrace(pc);
+
+    auto run = [&](RouterPolicy policy) {
+        ClusterConfig cc;
+        // Budget 2 GiB ~= 4 cached family prefixes per replica: the
+        // whole family set fits fleet-wide only if routing keeps
+        // families apart.
+        cc.replicas = {cachedCloudReplica(2), cachedCloudReplica(2),
+                       cachedCloudReplica(2), cachedCloudReplica(2)};
+        cc.router.policy = policy;
+        const ClusterResult r = Cluster(e, cc).run(trace);
+        EXPECT_EQ(r.completed(), static_cast<int64_t>(trace.size()))
+            << serving::routerPolicyName(policy);
+        return r;
+    };
+    const ClusterResult affinity = run(RouterPolicy::PrefixAffinity);
+    const ClusterResult jsq = run(RouterPolicy::JoinShortestQueue);
+
+    EXPECT_GT(affinity.fleet.prefix.hit_tokens, 0);
+    EXPECT_GT(affinity.fleet.prefix.hitRate(),
+              jsq.fleet.prefix.hitRate());
+    EXPECT_LT(affinity.summary().ttft_p99, jsq.summary().ttft_p99);
 }
 
 // ----------------------------------------------------- construction

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests of the shared-prefix KV cache radix tree: block-aligned
+ * match/insert/release, refcount-protected eviction, LRU ordering,
+ * and byte-budget enforcement (including the budget-0 disabled mode
+ * and shrink-under-pressure via setBudget).
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kvcache/prefix_tree.h"
+
+namespace specontext {
+namespace {
+
+using kv::PrefixHandle;
+using kv::PrefixMatch;
+using kv::PrefixTree;
+using kv::PrefixTreeConfig;
+
+constexpr int64_t kPage = 4;
+constexpr int64_t kBytesPerToken = 10;
+constexpr int64_t kBlockBytes = kPage * kBytesPerToken;
+
+PrefixTreeConfig
+cfgWith(int64_t budget_blocks)
+{
+    PrefixTreeConfig c;
+    c.page_size = kPage;
+    c.bytes_per_token = kBytesPerToken;
+    c.budget_bytes = budget_blocks * kBlockBytes;
+    return c;
+}
+
+/** n tokens starting at `base` (distinct sequences per base). */
+std::vector<int32_t>
+seq(int32_t base, int64_t n)
+{
+    std::vector<int32_t> out;
+    out.reserve(n);
+    for (int64_t i = 0; i < n; ++i)
+        out.push_back(base + static_cast<int32_t>(i));
+    return out;
+}
+
+// ------------------------------------------------------ match/insert
+
+TEST(PrefixTree, EmptyTreeMatchesNothing)
+{
+    PrefixTree tree(cfgWith(8));
+    const PrefixMatch m = tree.match(seq(0, 10));
+    EXPECT_EQ(m.hit_tokens, 0);
+    EXPECT_EQ(m.reserved_bytes, 0);
+    EXPECT_EQ(tree.bytes(), 0);
+    EXPECT_EQ(tree.nodeCount(), 0);
+}
+
+TEST(PrefixTree, InsertThenMatchIsBlockAligned)
+{
+    PrefixTree tree(cfgWith(8));
+    // 10 tokens at page 4 -> only 2 full blocks (8 tokens) cached.
+    PrefixHandle h = tree.insert(seq(0, 10));
+    EXPECT_EQ(h.pinnedTokens(), 8);
+    EXPECT_EQ(tree.residentTokens(), 8);
+    EXPECT_EQ(tree.nodeCount(), 2);
+    EXPECT_EQ(tree.insertedTokens(), 8);
+
+    const PrefixMatch full = tree.match(seq(0, 10));
+    EXPECT_EQ(full.hit_tokens, 8);
+    EXPECT_EQ(full.reserved_bytes, 8 * kBytesPerToken);
+    // A shorter probe sharing the first block only.
+    std::vector<int32_t> diverges = seq(0, 10);
+    diverges[5] = 999; // inside block 1
+    EXPECT_EQ(tree.match(diverges).hit_tokens, 4);
+    // Probe shorter than one block can never match.
+    EXPECT_EQ(tree.match(seq(0, 3)).hit_tokens, 0);
+    tree.release(h);
+}
+
+TEST(PrefixTree, DivergingSuffixesShareThePrefixPath)
+{
+    PrefixTree tree(cfgWith(16));
+    std::vector<int32_t> a = seq(0, 12);
+    std::vector<int32_t> b = seq(0, 12);
+    b[8] = 777; // diverge in block 2
+    PrefixHandle ha = tree.insert(a);
+    PrefixHandle hb = tree.insert(b);
+    // Blocks: a = {0,1,2}, b reuses {0,1} and adds its own third.
+    EXPECT_EQ(tree.nodeCount(), 4);
+    EXPECT_EQ(tree.residentTokens(), 16);
+    EXPECT_EQ(tree.match(a).hit_tokens, 12);
+    EXPECT_EQ(tree.match(b).hit_tokens, 12);
+    tree.release(ha);
+    tree.release(hb);
+}
+
+TEST(PrefixTree, DisabledTreeIsANoOp)
+{
+    PrefixTree tree(cfgWith(0));
+    EXPECT_FALSE(tree.enabled());
+    PrefixHandle h = tree.insert(seq(0, 16));
+    EXPECT_EQ(h.pinnedTokens(), 0);
+    EXPECT_EQ(tree.bytes(), 0);
+    EXPECT_EQ(tree.match(seq(0, 16)).hit_tokens, 0);
+    tree.release(h); // harmless
+}
+
+// --------------------------------------------------- refcount/release
+
+TEST(PrefixTree, ReleaseIsIdempotentAndDefaultHandleIsSafe)
+{
+    PrefixTree tree(cfgWith(8));
+    PrefixHandle none;
+    tree.release(none); // default handle: no-op
+
+    PrefixHandle h = tree.insert(seq(0, 8));
+    tree.release(h);
+    EXPECT_EQ(h.pinnedTokens(), 0);
+    tree.release(h); // cleared handle: no-op, not a double unpin
+    EXPECT_EQ(tree.residentTokens(), 8);
+}
+
+TEST(PrefixTree, RefcountProtectsPinnedPathsFromEviction)
+{
+    PrefixTree tree(cfgWith(2)); // room for exactly 2 blocks
+    PrefixHandle ha = tree.insert(seq(0, 8));
+    EXPECT_EQ(ha.pinnedTokens(), 8);
+
+    // B wants 2 different blocks; A's are pinned, so nothing can be
+    // evicted and B's insertion is truncated to nothing.
+    PrefixHandle hb = tree.insert(seq(1000, 8));
+    EXPECT_EQ(hb.pinnedTokens(), 0);
+    EXPECT_EQ(tree.match(seq(0, 8)).hit_tokens, 8);
+    EXPECT_EQ(tree.match(seq(1000, 8)).hit_tokens, 0);
+    tree.release(hb);
+
+    // Once A is released its blocks are evictable and B fits.
+    tree.release(ha);
+    PrefixHandle hb2 = tree.insert(seq(1000, 8));
+    EXPECT_EQ(hb2.pinnedTokens(), 8);
+    EXPECT_EQ(tree.match(seq(0, 8)).hit_tokens, 0); // A evicted
+    EXPECT_EQ(tree.evictedTokens(), 8);
+    tree.release(hb2);
+}
+
+TEST(PrefixTree, EvictionIsLeastRecentlyReleasedFirst)
+{
+    PrefixTree tree(cfgWith(2));
+    PrefixHandle ha = tree.insert(seq(0, 4));
+    PrefixHandle hb = tree.insert(seq(1000, 4));
+    tree.release(ha); // A released first...
+    tree.release(hb);
+    // ...but re-pinning A refreshes its stamp, so B is now the LRU.
+    PrefixHandle ha2 = tree.insert(seq(0, 4));
+    tree.release(ha2);
+
+    PrefixHandle hc = tree.insert(seq(2000, 4));
+    EXPECT_EQ(hc.pinnedTokens(), 4);
+    EXPECT_EQ(tree.match(seq(0, 4)).hit_tokens, 4);    // A survives
+    EXPECT_EQ(tree.match(seq(1000, 4)).hit_tokens, 0); // B evicted
+    tree.release(hc);
+}
+
+TEST(PrefixTree, PinnedTokensTrackLiveHandles)
+{
+    PrefixTree tree(cfgWith(16));
+    EXPECT_EQ(tree.pinnedTokens(), 0);
+    PrefixHandle ha = tree.insert(seq(0, 8)); // 2 blocks
+    EXPECT_EQ(tree.pinnedTokens(), 8);
+    PrefixHandle hb = tree.insert(seq(0, 8)); // same path, repinned
+    EXPECT_EQ(tree.pinnedTokens(), 8);        // counted once
+    PrefixHandle hc = tree.insert(seq(0, 12)); // extends by 1 block
+    EXPECT_EQ(tree.pinnedTokens(), 12);
+    tree.release(ha);
+    EXPECT_EQ(tree.pinnedTokens(), 12); // still pinned by hb/hc
+    tree.release(hb);
+    tree.release(hc);
+    EXPECT_EQ(tree.pinnedTokens(), 0);
+    EXPECT_EQ(tree.pinnedBytes(), 0);
+    EXPECT_EQ(tree.residentTokens(), 12); // resident but idle
+}
+
+// ------------------------------------------------------------ budget
+
+TEST(PrefixTree, BudgetBoundsResidencyAndTruncatesInsertions)
+{
+    PrefixTree tree(cfgWith(3));
+    PrefixHandle h = tree.insert(seq(0, 40)); // wants 10 blocks
+    EXPECT_EQ(h.pinnedTokens(), 12);          // got 3
+    EXPECT_LE(tree.bytes(), tree.config().budget_bytes);
+    EXPECT_EQ(tree.match(seq(0, 40)).hit_tokens, 12);
+    tree.release(h);
+    EXPECT_LE(tree.bytes(), tree.config().budget_bytes);
+}
+
+TEST(PrefixTree, SetBudgetShrinkEvictsUnreferencedSubtrees)
+{
+    PrefixTree tree(cfgWith(8));
+    PrefixHandle h = tree.insert(seq(0, 32)); // 8 blocks resident
+    tree.release(h);
+    EXPECT_EQ(tree.residentTokens(), 32);
+
+    tree.setBudget(2 * kBlockBytes);
+    EXPECT_EQ(tree.residentTokens(), 8);
+    EXPECT_LE(tree.bytes(), 2 * kBlockBytes);
+    // Leaves go first, so the surviving blocks are the prefix head —
+    // the path is still matchable end to end.
+    EXPECT_EQ(tree.match(seq(0, 32)).hit_tokens, 8);
+
+    tree.setBudget(0);
+    EXPECT_EQ(tree.residentTokens(), 0);
+    EXPECT_FALSE(tree.enabled());
+}
+
+TEST(PrefixTree, PinnedBytesMayExceedAShrunkenBudgetUntilRelease)
+{
+    PrefixTree tree(cfgWith(4));
+    PrefixHandle h = tree.insert(seq(0, 16)); // 4 blocks, all pinned
+    tree.setBudget(kBlockBytes);              // shrink below residency
+    EXPECT_EQ(tree.residentTokens(), 16);     // pinned: nothing evicted
+    tree.release(h);                          // now the budget binds
+    EXPECT_LE(tree.bytes(), kBlockBytes);
+}
+
+// -------------------------------------------------------- validation
+
+TEST(PrefixTree, ConstructorValidatesConfig)
+{
+    PrefixTreeConfig bad_page = cfgWith(4);
+    bad_page.page_size = 0;
+    EXPECT_THROW(PrefixTree{bad_page}, std::invalid_argument);
+
+    PrefixTreeConfig bad_budget = cfgWith(4);
+    bad_budget.budget_bytes = -1;
+    EXPECT_THROW(PrefixTree{bad_budget}, std::invalid_argument);
+
+    PrefixTreeConfig bad_bytes = cfgWith(4);
+    bad_bytes.bytes_per_token = 0;
+    EXPECT_THROW(PrefixTree{bad_bytes}, std::invalid_argument);
+    // ...but bytes_per_token 0 is fine for a disabled cache.
+    bad_bytes.budget_bytes = 0;
+    EXPECT_NO_THROW(PrefixTree{bad_bytes});
+
+    PrefixTree tree(cfgWith(4));
+    EXPECT_THROW(tree.setBudget(-1), std::invalid_argument);
+}
+
+} // namespace
+} // namespace specontext

@@ -8,6 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
 
 #include "serving/server.h"
 #include "workload/trace.h"
@@ -177,6 +180,48 @@ TEST(ServingMetrics, MergeKeepsReplicaIdsForPerReplicaBreakdowns)
     EXPECT_EQ(fleet.summarizeReplica(7, 1.0).completed, 0);
 }
 
+// Satellite pin: percentile summaries over empty series return the
+// defined all-zero sentinel — never uninitialized values or NaN — and
+// argument validation still fires on empty input.
+TEST(ServingMetrics, EmptySeriesSummarizeToTheZeroSentinel)
+{
+    const ServingMetrics empty;
+    const auto s = empty.summarize(10.0);
+    EXPECT_EQ(s.completed, 0);
+    EXPECT_EQ(s.total_generated_tokens, 0);
+    EXPECT_DOUBLE_EQ(s.throughput_tokens_per_s, 0.0);
+    for (double v : {s.ttft_mean, s.ttft_p50, s.ttft_p95, s.ttft_p99,
+                     s.tpot_mean, s.e2e_mean, s.e2e_p50, s.e2e_p95,
+                     s.e2e_p99, s.queue_delay_mean}) {
+        EXPECT_FALSE(std::isnan(v));
+        EXPECT_DOUBLE_EQ(v, 0.0);
+    }
+
+    // A replica that served zero requests, read out of a non-empty
+    // fleet collector, gets the same sentinel.
+    Request done = makeRequest(0, 0.0, 128, 4);
+    done.admit_seconds = 1.0;
+    done.first_token_seconds = 2.0;
+    done.finish_seconds = 3.0;
+    done.generated = done.gen_len;
+    done.state = RequestState::Finished;
+    ServingMetrics fleet;
+    fleet.record(done, 0);
+    const auto idle_replica = fleet.summarizeReplica(42, 5.0);
+    EXPECT_EQ(idle_replica.completed, 0);
+    EXPECT_DOUBLE_EQ(idle_replica.ttft_p99, 0.0);
+    EXPECT_FALSE(std::isnan(idle_replica.tpot_mean));
+
+    // Percentiles of an empty series: sentinel 0.0, but a bad p still
+    // throws (the empty set is not a validation bypass).
+    EXPECT_DOUBLE_EQ(ServingMetrics::percentile({}, 99.0), 0.0);
+    EXPECT_DOUBLE_EQ(ServingMetrics::percentileSorted({}, 50.0), 0.0);
+    EXPECT_THROW(ServingMetrics::percentile({}, 101.0),
+                 std::invalid_argument);
+    EXPECT_THROW(ServingMetrics::percentileSorted({}, -1.0),
+                 std::invalid_argument);
+}
+
 // --------------------------------------------------------------- traces
 
 TEST(Trace, PoissonIsDeterministicAndSorted)
@@ -218,6 +263,139 @@ TEST(Trace, MixedLengthStaysInRangeAndVaries)
     }
     EXPECT_GT(max_p, 2 * min_p); // genuinely mixed lengths
     EXPECT_THROW(workload::poissonTrace(tc, {}), std::invalid_argument);
+}
+
+// Satellite pin: every generator validates the shared TraceConfig
+// knobs up front with a clear error, via validateTraceConfig().
+TEST(Trace, ConfigValidationRejectsDegenerateKnobs)
+{
+    workload::TraceConfig ok;
+    EXPECT_NO_THROW(workload::validateTraceConfig(ok));
+
+    workload::TraceConfig no_requests = ok;
+    no_requests.num_requests = 0;
+    EXPECT_THROW(workload::validateTraceConfig(no_requests),
+                 std::invalid_argument);
+    workload::TraceConfig negative = ok;
+    negative.num_requests = -4;
+    EXPECT_THROW(workload::validateTraceConfig(negative),
+                 std::invalid_argument);
+    workload::TraceConfig no_rate = ok;
+    no_rate.arrival_rate_per_s = 0.0;
+    EXPECT_THROW(workload::validateTraceConfig(no_rate),
+                 std::invalid_argument);
+    workload::TraceConfig nan_rate = ok;
+    nan_rate.arrival_rate_per_s =
+        std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(workload::validateTraceConfig(nan_rate),
+                 std::invalid_argument);
+
+    // Every generator goes through the same validation.
+    EXPECT_THROW(workload::paperMixTrace(no_requests),
+                 std::invalid_argument);
+    EXPECT_THROW(workload::mixedLengthTrace(no_rate),
+                 std::invalid_argument);
+    workload::SharedPrefixTraceConfig pc;
+    pc.base = no_rate;
+    EXPECT_THROW(workload::sharedPrefixTrace(pc),
+                 std::invalid_argument);
+}
+
+TEST(Trace, SharedPrefixFamiliesShareTokensExactly)
+{
+    workload::SharedPrefixTraceConfig pc;
+    pc.base.num_requests = 60;
+    pc.base.arrival_rate_per_s = 2.0;
+    pc.base.seed = 5;
+    pc.num_families = 3;
+    pc.prefix_len = 64;
+    pc.suffix_lo = 8;
+    pc.suffix_hi = 32;
+    const auto t = workload::sharedPrefixTrace(pc);
+    const auto t2 = workload::sharedPrefixTrace(pc);
+    ASSERT_EQ(t.size(), 60u);
+
+    // Group by the shared prefix; every request must carry exactly
+    // prompt_len tokens, prefix_len of which are its family's.
+    std::vector<std::vector<int32_t>> families;
+    for (size_t i = 0; i < t.size(); ++i) {
+        const Request &r = t[i];
+        ASSERT_EQ(static_cast<int64_t>(r.prompt_tokens.size()),
+                  r.prompt_len);
+        EXPECT_GE(r.prompt_len, pc.prefix_len + pc.suffix_lo);
+        EXPECT_LE(r.prompt_len, pc.prefix_len + pc.suffix_hi);
+        // Deterministic in the seed.
+        EXPECT_EQ(r.prompt_tokens, t2[i].prompt_tokens);
+        EXPECT_DOUBLE_EQ(r.arrival_seconds, t2[i].arrival_seconds);
+        if (i > 0) {
+            EXPECT_GE(r.arrival_seconds, t[i - 1].arrival_seconds);
+        }
+
+        const std::vector<int32_t> prefix(
+            r.prompt_tokens.begin(),
+            r.prompt_tokens.begin() + pc.prefix_len);
+        bool known = false;
+        for (const auto &f : families)
+            known = known || f == prefix;
+        if (!known)
+            families.push_back(prefix);
+    }
+    // All three families appear and no request invented a fourth.
+    EXPECT_EQ(families.size(), 3u);
+}
+
+TEST(Trace, SharedPrefixZipfSkewsPopularityTowardRankZero)
+{
+    workload::SharedPrefixTraceConfig pc;
+    pc.base.num_requests = 400;
+    pc.base.arrival_rate_per_s = 2.0;
+    pc.num_families = 8;
+    pc.prefix_len = 32;
+    pc.zipf_s = 1.2;
+    const auto t = workload::sharedPrefixTrace(pc);
+
+    // Count family occupancy by matching each request's prefix to the
+    // rank-0 family (family streams are seed-derived, so rank 0 is
+    // the first distinct prefix observed... identified by counting).
+    std::map<std::vector<int32_t>, int64_t> counts;
+    for (const Request &r : t) {
+        const std::vector<int32_t> prefix(
+            r.prompt_tokens.begin(),
+            r.prompt_tokens.begin() + pc.prefix_len);
+        ++counts[prefix];
+    }
+    EXPECT_LE(counts.size(), 8u);
+    int64_t max_count = 0;
+    for (const auto &kv_pair : counts)
+        max_count = std::max(max_count, kv_pair.second);
+    // Rank 0 carries weight 1/H(8,1.2) ~ 0.42 of the traffic; uniform
+    // would be 50. Loose bound: the hottest family clearly dominates.
+    EXPECT_GT(max_count, 400 / 4);
+
+    workload::SharedPrefixTraceConfig bad = pc;
+    bad.num_families = 0;
+    EXPECT_THROW(workload::sharedPrefixTrace(bad),
+                 std::invalid_argument);
+    bad = pc;
+    bad.prefix_len = 0;
+    EXPECT_THROW(workload::sharedPrefixTrace(bad),
+                 std::invalid_argument);
+    bad = pc;
+    bad.suffix_hi = bad.suffix_lo - 1;
+    EXPECT_THROW(workload::sharedPrefixTrace(bad),
+                 std::invalid_argument);
+    bad = pc;
+    bad.gen_lo = 0;
+    EXPECT_THROW(workload::sharedPrefixTrace(bad),
+                 std::invalid_argument);
+    bad = pc;
+    bad.zipf_s = -0.5;
+    EXPECT_THROW(workload::sharedPrefixTrace(bad),
+                 std::invalid_argument);
+    bad = pc;
+    bad.vocab = 2;
+    EXPECT_THROW(workload::sharedPrefixTrace(bad),
+                 std::invalid_argument);
 }
 
 // ------------------------------------------------------------ admission
