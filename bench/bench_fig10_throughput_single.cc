@@ -7,7 +7,7 @@
  */
 #include "bench/bench_util.h"
 #include "core/timing_engine.h"
-#include "serving/scheduler.h"
+#include "serving/batch_sweep.h"
 
 using namespace specontext;
 

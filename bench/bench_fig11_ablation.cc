@@ -9,7 +9,7 @@
  *   -> +C1+C2+C3 (adaptive memory management).
  */
 #include "bench/bench_util.h"
-#include "serving/scheduler.h"
+#include "serving/batch_sweep.h"
 
 using namespace specontext;
 

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "serving/scheduler.h"
+#include "serving/batch_sweep.h"
 
 using namespace specontext;
 

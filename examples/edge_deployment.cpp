@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "core/timing_engine.h"
-#include "serving/scheduler.h"
+#include "serving/batch_sweep.h"
 
 using namespace specontext;
 

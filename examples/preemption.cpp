@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Preemptive scheduling walkthrough: why a serving engine should admit
+ * on what a request holds *now* instead of what it will have grown to.
+ *
+ * Reserve mode (the classic discipline) books each request's KV at its
+ * final length before admitting it, so a burst of long-generation
+ * conversations runs a small in-flight batch: HBM is booked for
+ * tokens that will not exist for thousands of iterations, and the
+ * queue head-of-line blocks. Optimistic mode admits on the current
+ * footprint and lets the serving::Scheduler preempt policy-chosen
+ * victims when a decode step would actually oversubscribe the memory
+ * model — a preempted request releases its KV and prefix-cache pins,
+ * re-queues, and restores later by recomputing its generated suffix
+ * through prefill (its prompt usually rides the prefix cache).
+ *
+ * This example runs the same multi-turn burst through both modes on
+ * one replica and prints the trade: Optimistic's far lower TTFT and
+ * higher goodput vs the recompute tokens preemption spent.
+ * bench_preemption.cc sweeps mode x victim policy x load on a fleet.
+ */
+#include <cstdio>
+
+#include "serving/cluster.h"
+#include "workload/trace.h"
+
+using namespace specontext;
+
+namespace {
+
+serving::ReplicaConfig
+replica(serving::SchedulerMode mode)
+{
+    serving::ReplicaConfig rc;
+    rc.timing.llm = model::deepseekDistillLlama8bGeometry();
+    rc.timing.hw = sim::HardwareSpec::cloudA800();
+    core::SystemOptions opts;
+    opts.prefix_reload_gbps = 200.0; // cache hits re-load, not free
+    rc.timing.system =
+        core::SystemRegistry::create("FullAttn(FlashAttn)", opts);
+    rc.max_batch = 64;
+    rc.prefix_cache.budget_bytes = 8LL << 30;
+    rc.scheduler_mode = mode;
+    rc.victim_policy = serving::VictimPolicy::LastAdmitted;
+    return rc;
+}
+
+void
+printRow(const char *label, const serving::ClusterResult &r)
+{
+    const auto s = r.summary();
+    const auto &p = r.fleet.preempt;
+    std::printf("%-12s %9.1f %9.2f %10.2f %9ld %9ld %11ld\n", label,
+                s.throughput_tokens_per_s, s.ttft_mean, s.ttft_p99,
+                s.completed, p.preemptions, p.recompute_tokens);
+}
+
+} // namespace
+
+int
+main()
+{
+    core::TimingEngine engine;
+
+    // A burst of 8 multi-turn conversations: every turn replays the
+    // whole history as its prompt and generations run long, so
+    // contexts grow mid-stream — the shape that makes final-length
+    // booking waste the most HBM.
+    workload::MultiTurnTraceConfig mt;
+    mt.base.num_requests = 8;
+    mt.base.arrival_rate_per_s = 0.2;
+    mt.base.seed = 3;
+    mt.turns = 4;
+    mt.first_prompt_lo = 2048;
+    mt.first_prompt_hi = 8192;
+    mt.gen_lo = 4096;
+    mt.gen_hi = 16384;
+    mt.think_time_mean_s = 15.0;
+    const auto trace = workload::multiTurnTrace(mt);
+
+    std::printf("one A800 replica, %zu multi-turn requests\n\n",
+                trace.size());
+    std::printf("%-12s %9s %9s %10s %9s %9s %11s\n", "mode",
+                "goodput", "ttft_avg", "ttft_p99", "completed",
+                "preempt", "recompute");
+
+    for (const auto mode : {serving::SchedulerMode::Reserve,
+                            serving::SchedulerMode::Optimistic}) {
+        serving::ClusterConfig cc;
+        cc.replicas = {replica(mode)};
+        printRow(serving::schedulerModeName(mode),
+                 serving::Cluster(engine, cc).run(trace));
+    }
+
+    std::printf(
+        "\nOptimistic admits the burst immediately (low TTFT) and "
+        "preempts at the KV edge;\nReserve keeps requests queued "
+        "until their final-length booking fits. The recompute\n"
+        "column is the decode work preemption threw away — the price "
+        "of packing tighter.\n");
+    return 0;
+}

@@ -48,6 +48,19 @@ SystemModel::admit(const TimingConfig &, const std::vector<int64_t> &,
     return {false, "system is wave-scheduled only (no admission path)"};
 }
 
+AdmissionDecision
+SystemModel::fitsCurrent(const TimingConfig &cfg,
+                         const std::vector<int64_t> &kv_lens) const
+{
+    if (kv_lens.empty())
+        return {true, ""};
+    // Reuse the admission discipline at the *current* lengths: the
+    // last entry plays the joining candidate (1-token prompt, so no
+    // meaningful prefill-scratch term), the rest the in-flight batch.
+    std::vector<int64_t> rest(kv_lens.begin(), kv_lens.end() - 1);
+    return admit(cfg, rest, 1, kv_lens.back());
+}
+
 int64_t
 SystemModel::maxSimulatedBatch() const
 {

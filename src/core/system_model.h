@@ -90,6 +90,16 @@ struct SystemOptions
      * split-independent; the live retriever takes its own sink size.)
      */
     int64_t recent_window = 8;
+    /**
+     * Bandwidth (GB/s) at which prefix-cache-matched KV blocks are
+     * re-loaded into the compute working set at admission. 0 (the
+     * default) keeps matched prefixes free — the historical behavior
+     * BENCH_prefix.json is pinned to; a positive value charges
+     * hit_tokens * kv_bytes_per_token / (gbps * 1e9) seconds per
+     * admission, so cache hits skip prefill *compute* but still pay a
+     * cheap KV re-load (NVLink/PCIe-class) instead of being free.
+     */
+    double prefix_reload_gbps = 0.0;
 };
 
 /** One simulated run: geometry, hardware, system, and batch shape. */
@@ -225,6 +235,27 @@ class SystemModel
         const TimingConfig &cfg,
         const std::vector<int64_t> &in_flight_final_lens,
         int64_t candidate_prompt_len, int64_t candidate_final_len) const;
+
+    /**
+     * Current-footprint sibling of admit() — the query optimistic
+     * (preemptive) serving schedules against. Where admit() prices the
+     * batch at its booked final-length *reservations*, this prices it
+     * at explicit *current* KV lengths (`kv_lens[i]` tokens live right
+     * now, no candidate, no prefill scratch): can the batch execute one
+     * decode iteration at these lengths under this system's memory
+     * discipline? The serving::Scheduler calls it with every length
+     * one past the live context to decide whether the next decode
+     * token fits or victims must be preempted.
+     *
+     * Base implementation reuses admit() with the last length playing
+     * the candidate at a 1-token prompt (so eager's prefill-scratch
+     * term stays negligible); admits trivially on an empty batch.
+     * Override when a system distinguishes reserved from live
+     * footprints more finely.
+     */
+    virtual AdmissionDecision fitsCurrent(
+        const TimingConfig &cfg,
+        const std::vector<int64_t> &kv_lens) const;
 
     // ---- Dataflow --------------------------------------------------
 

@@ -33,12 +33,10 @@ PrefixTree::PrefixTree(PrefixTreeConfig cfg) : cfg_(cfg)
 
 PrefixTree::~PrefixTree() = default;
 
-PrefixMatch
-PrefixTree::match(const std::vector<int32_t> &tokens) const
+void
+PrefixTree::walkMatch(const std::vector<int32_t> &tokens,
+                      std::vector<Node *> &path) const
 {
-    PrefixMatch m;
-    if (!enabled())
-        return m;
     const Node *node = root_.get();
     const int64_t full_blocks =
         static_cast<int64_t>(tokens.size()) / cfg_.page_size;
@@ -50,8 +48,19 @@ PrefixTree::match(const std::vector<int32_t> &tokens) const
         if (it == node->children.end())
             break;
         node = it->second.get();
+        path.push_back(const_cast<Node *>(node));
     }
-    m.hit_tokens = node->depth_tokens;
+}
+
+PrefixMatch
+PrefixTree::match(const std::vector<int32_t> &tokens) const
+{
+    PrefixMatch m;
+    if (!enabled())
+        return m;
+    std::vector<Node *> path;
+    walkMatch(tokens, path);
+    m.hit_tokens = path.empty() ? 0 : path.back()->depth_tokens;
     m.reserved_bytes = m.hit_tokens * cfg_.bytes_per_token;
     return m;
 }
@@ -59,46 +68,88 @@ PrefixTree::match(const std::vector<int32_t> &tokens) const
 PrefixHandle
 PrefixTree::insert(const std::vector<int32_t> &tokens)
 {
-    PrefixHandle handle;
+    return matchAndPin(tokens).handle;
+}
+
+MatchAndPinResult
+PrefixTree::matchAndPin(
+    const std::vector<int32_t> &tokens,
+    const std::function<void(const PrefixMatch &estimate)> &resize)
+{
+    MatchAndPinResult out;
+
+    // Walk 1 (fused): the pre-resize cached prefix, remembered as the
+    // node path so the post-callback phases need no second descent.
+    std::vector<Node *> path;
+    bool walked = false;
+    if (enabled()) {
+        walkMatch(tokens, path);
+        walked = true;
+        out.estimate.hit_tokens =
+            path.empty() ? 0 : path.back()->depth_tokens;
+        out.estimate.reserved_bytes =
+            out.estimate.hit_tokens * cfg_.bytes_per_token;
+    }
+
+    const uint64_t epoch = eviction_epoch_;
+    if (resize)
+        resize(out.estimate);
     if (!enabled())
-        return handle;
-    Node *node = root_.get();
+        return out; // budget (still) 0 after the callback: no-op pin
+
+    // Walk 2 (usually skipped): the held path is stale only when the
+    // callback evicted — or when the cache was disabled at entry so
+    // walk 1 never ran (the callback may just have revived it).
+    if (!walked || eviction_epoch_ != epoch) {
+        path.clear();
+        walkMatch(tokens, path);
+    }
+    out.match.hit_tokens = path.empty() ? 0 : path.back()->depth_tokens;
+    out.match.reserved_bytes =
+        out.match.hit_tokens * cfg_.bytes_per_token;
+
+    // Pin the matched prefix (top-down, insert()'s accounting), then
+    // extend it with the remaining full blocks while the budget lasts.
+    for (Node *n : path) {
+        if (n->refcount == 0)
+            pinned_tokens_ += cfg_.page_size;
+        ++n->refcount;
+    }
+    Node *node = path.empty() ? root_.get() : path.back();
+    const int64_t matched_blocks =
+        static_cast<int64_t>(path.size());
     const int64_t full_blocks =
         static_cast<int64_t>(tokens.size()) / cfg_.page_size;
     const int64_t block_bytes = cfg_.page_size * cfg_.bytes_per_token;
     std::vector<int32_t> block(static_cast<size_t>(cfg_.page_size));
-    for (int64_t b = 0; b < full_blocks; ++b) {
+    for (int64_t b = matched_blocks; b < full_blocks; ++b) {
+        // New block: make room first. Nodes on the pinned path
+        // (including everything this walk already pinned) have
+        // refcount > 0 and are eviction-proof.
+        while (bytes() + block_bytes > cfg_.budget_bytes) {
+            if (!evictOne())
+                break;
+        }
+        if (bytes() + block_bytes > cfg_.budget_bytes)
+            break; // budget exhausted; pin what we have
         const auto begin = tokens.begin() + b * cfg_.page_size;
         block.assign(begin, begin + cfg_.page_size);
-        auto it = node->children.find(block);
-        if (it == node->children.end()) {
-            // New block: make room first. Nodes on the pinned path
-            // (including everything this walk already pinned) have
-            // refcount > 0 and are eviction-proof.
-            while (bytes() + block_bytes > cfg_.budget_bytes) {
-                if (!evictOne())
-                    break;
-            }
-            if (bytes() + block_bytes > cfg_.budget_bytes)
-                break; // budget exhausted; pin what we have
-            auto child = std::make_unique<Node>();
-            child->parent = node;
-            child->depth_tokens = node->depth_tokens + cfg_.page_size;
-            it = node->children.emplace(block, std::move(child)).first;
-            resident_tokens_ += cfg_.page_size;
-            inserted_tokens_ += cfg_.page_size;
-            ++node_count_;
-        }
-        node = it->second.get();
-        if (node->refcount == 0)
-            pinned_tokens_ += cfg_.page_size;
+        auto child = std::make_unique<Node>();
+        child->parent = node;
+        child->depth_tokens = node->depth_tokens + cfg_.page_size;
+        node = node->children.emplace(block, std::move(child))
+                   .first->second.get();
+        resident_tokens_ += cfg_.page_size;
+        inserted_tokens_ += cfg_.page_size;
+        ++node_count_;
+        pinned_tokens_ += cfg_.page_size; // fresh block: refcount 0 -> 1
         ++node->refcount;
     }
     if (node != root_.get()) {
-        handle.node_ = node;
-        handle.pinned_tokens_ = node->depth_tokens;
+        out.handle.node_ = node;
+        out.handle.pinned_tokens_ = node->depth_tokens;
     }
-    return handle;
+    return out;
 }
 
 void
@@ -169,6 +220,7 @@ PrefixTree::evictOne()
     resident_tokens_ -= cfg_.page_size;
     evicted_tokens_ += cfg_.page_size;
     --node_count_;
+    ++eviction_epoch_;
     return true;
 }
 

@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -80,6 +81,27 @@ class PrefixHandle
     int64_t pinned_tokens_ = 0;
 };
 
+/**
+ * Outcome of one combined match-and-pin traversal — the fused form of
+ * the admission sequence that used to take three separate tree walks
+ * (new-block estimate, post-resize hit lookup, insert).
+ */
+struct MatchAndPinResult
+{
+    /** Cached prefix found *before* the resize callback ran — the
+     *  "new-block estimate" of the legacy three-walk admission path
+     *  (estimate.hit_tokens tokens of the prompt are already
+     *  resident, so only the remaining full blocks are new). */
+    PrefixMatch estimate;
+    /** Cached prefix actually pinned, re-read after the callback (a
+     *  budget shrink inside it may have evicted part of the
+     *  estimate); equals `estimate` when no callback evicted. */
+    PrefixMatch match;
+    /** Pin on the full inserted path (match + newly created blocks);
+     *  must be release()d exactly once. */
+    PrefixHandle handle;
+};
+
 /** Radix tree of cached prompt-prefix KV blocks. */
 class PrefixTree
 {
@@ -111,6 +133,24 @@ class PrefixTree
      * The returned handle must be release()d exactly once.
      */
     PrefixHandle insert(const std::vector<int32_t> &tokens);
+
+    /**
+     * Combined admission traversal: match the cached prefix of
+     * `tokens`, hand the pre-resize match to `resize` (the serving
+     * layer re-clamps the budget there, which may evict), then pin the
+     * surviving prefix and extend it with the remaining full blocks —
+     * insert() semantics — all in one walk. Bit-for-bit equivalent to
+     * the legacy three-walk sequence match() -> resize -> match() ->
+     * insert(): the matched node path is remembered across the
+     * callback and re-walked from the root only when the callback
+     * actually evicted (so held nodes can never dangle).
+     * With the cache disabled after the callback, nothing is pinned
+     * and the returned handle is a no-op to release.
+     */
+    MatchAndPinResult matchAndPin(
+        const std::vector<int32_t> &tokens,
+        const std::function<void(const PrefixMatch &estimate)> &resize =
+            nullptr);
 
     /** Unpin a handle's path and stamp it least-recently-used; the
      *  budget is re-enforced afterwards. Safe on a default-constructed
@@ -166,6 +206,15 @@ class PrefixTree
     int64_t evicted_tokens_ = 0;
     int64_t inserted_tokens_ = 0;
     uint64_t lru_clock_ = 0; ///< logical time, bumped on release
+    /** Bumped on every eviction; matchAndPin() uses it to detect that
+     *  a node path held across the resize callback may have become
+     *  stale and must be re-walked. */
+    uint64_t eviction_epoch_ = 0;
+
+    /** Walk the cached block-aligned prefix of `tokens`, appending the
+     *  matched nodes (root excluded) to `path`. */
+    void walkMatch(const std::vector<int32_t> &tokens,
+                   std::vector<Node *> &path) const;
 
     /** Evict unreferenced LRU leaves until bytes() <= budget. */
     void enforceBudget();

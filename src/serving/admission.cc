@@ -31,10 +31,51 @@ AdmissionController::admit(const std::vector<Request> &in_flight,
                               candidate.finalLen());
 }
 
+AdmissionDecision
+AdmissionController::admitCurrent(const std::vector<Request> &in_flight,
+                                  const Request &candidate) const
+{
+    if (candidate.prompt_len <= 0 || candidate.gen_len <= 0)
+        return {false, "degenerate request shape"};
+    std::vector<int64_t> kv_lens;
+    kv_lens.reserve(in_flight.size());
+    for (const Request &q : in_flight)
+        kv_lens.push_back(q.kvLen());
+    // The candidate's live footprint after (re)prefill is its current
+    // context — prompt plus whatever it had generated before a
+    // preemption; that recompute is also the prefill shape.
+    return cfg_.system->admit(cfg_, kv_lens, candidate.kvLen(),
+                              candidate.kvLen());
+}
+
+AdmissionDecision
+AdmissionController::decodeStepFits(
+    const std::vector<Request> &in_flight) const
+{
+    std::vector<int64_t> kv_lens;
+    kv_lens.reserve(in_flight.size());
+    for (const Request &q : in_flight)
+        kv_lens.push_back(q.kvLen() + 1);
+    return cfg_.system->fitsCurrent(cfg_, kv_lens);
+}
+
 bool
 AdmissionController::feasibleAlone(const Request &candidate) const
 {
     return admit({}, candidate).admit;
+}
+
+bool
+AdmissionController::restoreFeasibleAlone(const Request &candidate) const
+{
+    if (candidate.prompt_len <= 0 || candidate.gen_len <= 0)
+        return false;
+    // The deepest possible restore prefills the whole final context in
+    // one pass (all gen_len tokens generated, then preempted); prompt
+    // monotonicity makes this the worst prefill-scratch shape.
+    return cfg_.system
+        ->admit(cfg_, {}, candidate.finalLen(), candidate.finalLen())
+        .admit;
 }
 
 } // namespace serving

@@ -59,13 +59,42 @@ class AdmissionController
             core::TimingEngine::memoryInputsFor(cfg_, 1));
     }
 
-    /** Can `candidate` join `in_flight` without oversubscribing? */
+    /** Can `candidate` join `in_flight` without oversubscribing?
+     *  Pessimistic (Reserve) discipline: every request is priced at
+     *  its final-length reservation. */
     AdmissionDecision admit(const std::vector<Request> &in_flight,
                             const Request &candidate) const;
+
+    /**
+     * Optimistic sibling of admit(): price the batch at *current* KV
+     * lengths — in-flight requests at kvLen(), the candidate at its
+     * restore length (prompt plus any generated tokens it must
+     * recompute after a preemption). Admitting this way can
+     * oversubscribe later as contexts grow; the serving::Scheduler
+     * pairs it with decodeStepFits() + preemption to stay sound.
+     */
+    AdmissionDecision admitCurrent(const std::vector<Request> &in_flight,
+                                   const Request &candidate) const;
+
+    /** Can every in-flight request grow one more decode token (each at
+     *  kvLen() + 1) under the system's memory discipline? The
+     *  preemption trigger of Optimistic scheduling; delegates to
+     *  core::SystemModel::fitsCurrent(). */
+    AdmissionDecision decodeStepFits(
+        const std::vector<Request> &in_flight) const;
 
     /** Does the candidate fit with an otherwise idle server? A false
      *  here means the request can never be served (hard reject). */
     bool feasibleAlone(const Request &candidate) const;
+
+    /** Would the candidate's *worst-case restore* fit alone — a
+     *  prefill of its full final context (prompt + every generated
+     *  token recomputed at once)? Distinct from feasibleAlone() only
+     *  for systems whose prefill cost grows with the prefilled span
+     *  (eager attention's O(S^2) scratch); Optimistic scheduling
+     *  gates admission on it so a preempted request can always be
+     *  restored rather than silently dropped mid-generation. */
+    bool restoreFeasibleAlone(const Request &candidate) const;
 
   private:
     core::TimingConfig cfg_;

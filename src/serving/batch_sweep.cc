@@ -1,0 +1,72 @@
+#include "serving/batch_sweep.h"
+
+#include <stdexcept>
+
+namespace specontext {
+namespace serving {
+
+std::vector<Workload>
+paperWorkloads()
+{
+    return {
+        {2048, 16384},
+        {2048, 32768},
+        {16384, 2048},
+        {32768, 2048},
+    };
+}
+
+std::vector<int64_t>
+paperBatchSizes()
+{
+    return {1, 4, 6, 8, 16, 32, 64};
+}
+
+BatchSweepResult
+sweepBatches(const core::TimingEngine &engine, core::TimingConfig base,
+             const std::vector<int64_t> &batches)
+{
+    BatchSweepResult out;
+    double best_tp = -1.0;
+    for (int64_t b : batches) {
+        base.batch = b;
+        BatchPoint p;
+        p.batch = b;
+        p.result = engine.simulate(base);
+        if (!p.result.oom && p.result.throughput > best_tp) {
+            best_tp = p.result.throughput;
+            out.best = static_cast<int64_t>(out.points.size());
+        }
+        out.points.push_back(std::move(p));
+    }
+    return out;
+}
+
+double
+waveThroughput(const core::TimingEngine &engine, core::TimingConfig base,
+               int64_t total_requests, int64_t max_batch)
+{
+    if (total_requests <= 0 || max_batch <= 0)
+        throw std::invalid_argument("waveThroughput: non-positive counts");
+    double total_seconds = 0.0;
+    int64_t total_tokens = 0;
+    int64_t remaining = total_requests;
+    while (remaining > 0) {
+        const int64_t wave = std::min(remaining, max_batch);
+        base.batch = wave;
+        const core::TimingResult r = engine.simulate(base);
+        if (r.oom)
+            return 0.0;
+        total_seconds += r.prefill_seconds + r.decode_seconds;
+        total_tokens += wave * base.gen_len;
+        remaining -= wave;
+    }
+    // A degenerate run (e.g. gen_len == 0) produces no time and no
+    // tokens; report zero throughput instead of dividing by zero.
+    if (total_seconds <= 0.0)
+        return 0.0;
+    return total_tokens / total_seconds;
+}
+
+} // namespace serving
+} // namespace specontext

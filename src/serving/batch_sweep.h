@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Closed-workload batch machinery: workload definitions, batch sweeps
+ * with OOM detection, and wave scheduling — the machinery behind
+ * Table 3 and Figure 10 (the paper reports each system at its best
+ * feasible batch size, shown in grey).
+ *
+ * Historical note: these helpers owned the `serving/scheduler.h` name
+ * until the iteration-level serving::Scheduler (admission + preemption
+ * policy of the continuous-batching engine) took it over; they are
+ * wave/sweep utilities, not a scheduler.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/timing_engine.h"
+
+namespace specontext {
+namespace serving {
+
+/** [input len, output len] workload of the paper's evaluation. */
+struct Workload
+{
+    int64_t prompt_len = 0;
+    int64_t gen_len = 0;
+
+    std::string
+    label() const
+    {
+        auto k = [](int64_t v) {
+            return std::to_string(v / 1024) + "k";
+        };
+        return "[" + k(prompt_len) + ", " + k(gen_len) + "]";
+    }
+};
+
+/** The four [in, out] combinations of Table 3 / Fig. 10. */
+std::vector<Workload> paperWorkloads();
+
+/** Outcome of one batch size. */
+struct BatchPoint
+{
+    int64_t batch = 0;
+    core::TimingResult result;
+};
+
+/** Best feasible batch for a system/workload. */
+struct BatchSweepResult
+{
+    std::vector<BatchPoint> points;
+    /** Index into points of the feasible batch with max throughput,
+     *  or -1 when every batch OOMs. */
+    int64_t best = -1;
+
+    bool feasible() const { return best >= 0; }
+    const BatchPoint &bestPoint() const { return points.at(best); }
+};
+
+/** The batch sizes the paper sweeps (its grey annotations). */
+std::vector<int64_t> paperBatchSizes();
+
+/**
+ * Simulate `base` at each batch size and pick the feasible batch with
+ * the highest throughput. base.batch is overwritten per point.
+ */
+BatchSweepResult sweepBatches(const core::TimingEngine &engine,
+                              core::TimingConfig base,
+                              const std::vector<int64_t> &batches);
+
+/**
+ * Wave scheduling: serve `total_requests` identical requests with at
+ * most `max_batch` in flight; returns aggregate tokens/s across waves
+ * (ceil(total/max_batch) sequential waves).
+ */
+double waveThroughput(const core::TimingEngine &engine,
+                      core::TimingConfig base, int64_t total_requests,
+                      int64_t max_batch);
+
+} // namespace serving
+} // namespace specontext

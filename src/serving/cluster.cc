@@ -93,6 +93,7 @@ Cluster::run(std::vector<Request> trace) const
         out.fleet.iterations += r.iterations;
         out.fleet.peak_in_flight += r.peak_in_flight;
         out.fleet.prefix.merge(r.prefix);
+        out.fleet.preempt.merge(r.preempt);
         out.fleet.makespan_seconds =
             std::max(out.fleet.makespan_seconds, r.makespan_seconds);
     }

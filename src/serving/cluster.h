@@ -55,9 +55,10 @@ struct ClusterResult
      * ids, so summarizeReplica() breaks them down again), concatenated
      * rejections, summed iterations, summed per-replica in-flight
      * peaks, merged prefix-cache counters (fleet hit rate / prefill
-     * tokens saved), and the fleet makespan (latest replica clock at
-     * drain) — summary() works on it exactly as on a single server's
-     * result.
+     * tokens saved), merged preemption counters (evictions, restores,
+     * recompute tokens), and the fleet makespan (latest replica clock
+     * at drain) — summary() works on it exactly as on a single
+     * server's result.
      */
     ServeResult fleet;
     std::vector<ServeResult> per_replica;

@@ -22,6 +22,8 @@ ServingMetrics::record(const Request &r, int64_t replica)
     rec.admit_seconds = r.admit_seconds;
     rec.first_token_seconds = r.first_token_seconds;
     rec.finish_seconds = r.finish_seconds;
+    rec.preemptions = r.preemptions;
+    rec.recompute_tokens = r.recompute_tokens;
     records_.push_back(rec);
 }
 
@@ -85,6 +87,10 @@ summarizeRecords(const std::vector<RequestRecord> &records, bool filter,
     // laid out.
     std::vector<double> ttft, e2e;
     double tpot_sum = 0.0, queue_sum = 0.0;
+    // TTFT sums/counts grouped by per-request preemption count — the
+    // inflation series (only materialized when preemption fired).
+    std::vector<double> ttft_by_preempt_sum;
+    std::vector<int64_t> ttft_by_preempt_n;
     for (const RequestRecord &r : records) {
         if (filter && r.replica != replica)
             continue;
@@ -94,9 +100,31 @@ summarizeRecords(const std::vector<RequestRecord> &records, bool filter,
         queue_sum += r.queueDelay();
         s.total_generated_tokens += r.gen_len;
         ++s.completed;
+        if (r.preemptions > 0) {
+            ++s.preempted_completed;
+            s.preemptions_total += r.preemptions;
+        }
+        s.recompute_tokens += r.recompute_tokens;
+        const auto bucket = static_cast<size_t>(r.preemptions);
+        if (ttft_by_preempt_sum.size() <= bucket) {
+            ttft_by_preempt_sum.resize(bucket + 1, 0.0);
+            ttft_by_preempt_n.resize(bucket + 1, 0);
+        }
+        ttft_by_preempt_sum[bucket] += r.ttft();
+        ++ttft_by_preempt_n[bucket];
     }
     if (s.completed == 0)
         return s;
+    if (s.preempted_completed > 0) {
+        s.ttft_mean_by_preemptions.resize(ttft_by_preempt_sum.size(),
+                                          0.0);
+        for (size_t k = 0; k < ttft_by_preempt_sum.size(); ++k) {
+            if (ttft_by_preempt_n[k] > 0)
+                s.ttft_mean_by_preemptions[k] =
+                    ttft_by_preempt_sum[k] /
+                    static_cast<double>(ttft_by_preempt_n[k]);
+        }
+    }
 
     const double n = static_cast<double>(s.completed);
     auto mean = [&](const std::vector<double> &v) {

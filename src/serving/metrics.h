@@ -33,6 +33,11 @@ struct RequestRecord
     double admit_seconds = 0.0;
     double first_token_seconds = 0.0;
     double finish_seconds = 0.0;
+    /** Times this request was evicted from the in-flight batch under
+     *  KV pressure (Optimistic scheduling); 0 in Reserve mode. */
+    int64_t preemptions = 0;
+    /** Generated tokens re-prefilled across its restores. */
+    int64_t recompute_tokens = 0;
 
     /** Time to first token: arrival -> first generated token. */
     double ttft() const { return first_token_seconds - arrival_seconds; }
@@ -76,6 +81,25 @@ struct ServingSummary
     double tpot_mean = 0.0;
     double e2e_mean = 0.0, e2e_p50 = 0.0, e2e_p95 = 0.0, e2e_p99 = 0.0;
     double queue_delay_mean = 0.0;
+
+    // ---- Preemption (all zero under Reserve scheduling) -------------
+
+    /** Completed requests that were preempted at least once. */
+    int64_t preempted_completed = 0;
+    /** Preemption events across all completed requests. */
+    int64_t preemptions_total = 0;
+    /** Generated tokens re-prefilled across all restores. */
+    int64_t recompute_tokens = 0;
+    /**
+     * TTFT-inflation-per-preemption series: entry k is the mean TTFT
+     * of completed requests preempted exactly k times (0.0 when no
+     * request completed with that count), sized max-observed-count +
+     * 1. Empty when no completed request was ever preempted — entry 0
+     * alone would just repeat ttft_mean. Note TTFT is first-token
+     * time, so only preemptions *before* the first token inflate it;
+     * e2e inflation shows up regardless.
+     */
+    std::vector<double> ttft_mean_by_preemptions;
 };
 
 /** Collector of per-request records. */

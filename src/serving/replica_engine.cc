@@ -59,12 +59,25 @@ prefixTreeConfigFor(const ReplicaConfig &cfg)
     return tc;
 }
 
+/** Scheduler knobs of a replica config. */
+SchedulerConfig
+schedulerConfigFor(const ReplicaConfig &cfg)
+{
+    SchedulerConfig sc;
+    sc.mode = cfg.scheduler_mode;
+    sc.victim_policy = cfg.victim_policy;
+    sc.queue_policy = cfg.queue_policy;
+    sc.max_batch = cfg.max_batch;
+    return sc;
+}
+
 } // namespace
 
 ReplicaEngine::ReplicaEngine(const core::TimingEngine &engine,
                              ReplicaConfig cfg)
-    : engine_(engine), cfg_(std::move(cfg)), admission_(cfg_.timing),
-      queue_(cfg_.queue_policy), prefix_tree_(prefixTreeConfigFor(cfg_))
+    : engine_(engine), cfg_(std::move(cfg)),
+      scheduler_(cfg_.timing, schedulerConfigFor(cfg_)),
+      prefix_tree_(prefixTreeConfigFor(cfg_))
 {
     if (cfg_.max_batch <= 0)
         throw std::invalid_argument(
@@ -89,9 +102,22 @@ ReplicaEngine::reservedKvTokens() const
     for (size_t i = static_cast<size_t>(pending_next_);
          i < pending_.size(); ++i)
         tokens += pending_[i].finalLen();
-    // The queue does not expose iteration; mirror its content via the
-    // running total maintained on push/pop instead of scanning.
-    return tokens + queued_kv_tokens_;
+    // The queue does not expose iteration; the Scheduler mirrors its
+    // content via running totals maintained on enqueue/pop instead of
+    // scanning.
+    return tokens + scheduler_.queuedFinalKvTokens();
+}
+
+int64_t
+ReplicaEngine::liveKvTokens() const
+{
+    int64_t tokens = 0;
+    for (const Request &r : active_)
+        tokens += r.kvLen();
+    for (size_t i = static_cast<size_t>(pending_next_);
+         i < pending_.size(); ++i)
+        tokens += pending_[i].kvLen();
+    return tokens + scheduler_.queuedLiveKvTokens();
 }
 
 int64_t
@@ -105,6 +131,19 @@ ReplicaEngine::kvLoadFraction(int64_t extra_final_len_tokens) const
 {
     const double bytes =
         static_cast<double>(reservedKvTokens() + extra_final_len_tokens) *
+        static_cast<double>(kvBytesPerToken(cfg_.timing));
+    return bytes / static_cast<double>(kvCapacityBytes());
+}
+
+double
+ReplicaEngine::routingLoadFraction(const Request &r) const
+{
+    if (!optimistic())
+        return kvLoadFraction(r.finalLen());
+    // Optimistic replicas hold (and admit against) live contexts, not
+    // booked reservations — price the router's signal the same way.
+    const double bytes =
+        static_cast<double>(liveKvTokens() + r.kvLen()) *
         static_cast<double>(kvBytesPerToken(cfg_.timing));
     return bytes / static_cast<double>(kvCapacityBytes());
 }
@@ -131,23 +170,27 @@ ReplicaEngine::syncPrefixBudget(int64_t extra_reserved_tokens,
 {
     // Cached prefixes compete with live KV for HBM headroom: the
     // tree's working budget is whatever Eq. 6's weight term and the
-    // booked final-length reservations leave free, capped by the
-    // configured budget. `extra_reserved_tokens` carries the
-    // reservation of the request being admitted right now (already
-    // popped from the queue, not yet in active_). Live KV always wins
-    // — a growing batch shrinks the cache, never the other way around
-    // — and a squeeze to 0 is transient: the next sync with headroom
+    // outstanding KV leave free, capped by the configured budget.
+    // Reserve mode prices the outstanding KV at its booked
+    // final-length reservations, Optimistic at the live contexts its
+    // preemptive discipline actually holds. `extra_reserved_tokens`
+    // carries the request being admitted right now (already popped
+    // from the queue, not yet in active_). Live KV always wins — a
+    // growing batch shrinks the cache, never the other way around —
+    // and a squeeze to 0 is transient: the next sync with headroom
     // restores the budget.
-    const sim::MemoryModel mm = admission_.memoryModel();
+    const sim::MemoryModel mm = scheduler_.admission().memoryModel();
+    const int64_t outstanding_tokens =
+        optimistic() ? liveKvTokens() : reservedKvTokens();
     const int64_t reserved_bytes =
-        (reservedKvTokens() + extra_reserved_tokens) *
+        (outstanding_tokens + extra_reserved_tokens) *
         kvBytesPerToken(cfg_.timing);
     const int64_t headroom =
         cfg_.timing.hw.gpu_mem_bytes - mm.modelBytes() - reserved_bytes;
     // Pinned blocks are in-flight prompts' KV — one physical copy,
     // already paid for inside reserved_bytes via those requests'
-    // final-length reservations — so they ride on top of the budget:
-    // the clamp bounds only the *idle* (unpinned, evictable) cache.
+    // reservations — so they ride on top of the budget: the clamp
+    // bounds only the *idle* (unpinned, evictable) cache.
     // `extra_budget_tokens` extends the same courtesy to the blocks
     // the candidate's own prompt is about to insert-and-pin (also
     // inside extra_reserved_tokens), so they do not displace idle
@@ -164,51 +207,69 @@ int64_t
 ReplicaEngine::admitThroughPrefixCache(Request &r)
 {
     // Gate on the *configured* budget: the tree's working budget may
-    // be squeezed to 0 right now, but syncPrefixBudget() below must
+    // be squeezed to 0 right now, but the resize callback below must
     // still run so the cache revives once the pressure passes. It
     // runs for token-less admissions too — their reservations squeeze
     // the cache just the same.
     if (!prefixCacheEnabled())
         return 0;
+    // The admission candidate's outstanding KV: its final-length
+    // reservation in Reserve mode, its live (restore) context in
+    // Optimistic mode — mirroring what each discipline admits on.
+    const int64_t candidate_tokens =
+        optimistic() ? r.kvLen() : r.finalLen();
     // Budget allowance for the blocks the candidate's prompt will
     // *newly* insert (full blocks minus what the tree already holds):
     // created below and pinned immediately, they are covered by the
     // reservation this same call books via extra_reserved_tokens.
-    // Already-resident blocks cost insert() nothing (and the pinned
-    // ones are inside pinnedBytes() already), so granting them too
-    // would credit one physical copy twice. Capped at the configured
-    // budget — the cache never indexes more of one prompt than it
-    // could ever retain, so a pathological prompt cannot balloon the
-    // tree only to be mass-evicted.
+    // Already-resident blocks cost the extension nothing (and the
+    // pinned ones are inside pinnedBytes() already), so granting them
+    // too would credit one physical copy twice. Capped at the
+    // configured budget — the cache never indexes more of one prompt
+    // than it could ever retain, so a pathological prompt cannot
+    // balloon the tree only to be mass-evicted.
     const int64_t prompt_block_tokens =
         static_cast<int64_t>(r.prompt_tokens.size()) /
         cfg_.prefix_cache.page_size * cfg_.prefix_cache.page_size;
-    const int64_t new_block_tokens =
-        prompt_block_tokens -
-        prefix_tree_.match(r.prompt_tokens).hit_tokens;
-    syncPrefixBudget(
-        r.finalLen(),
-        std::min(new_block_tokens,
-                 configured_prefix_budget_ /
-                     kvBytesPerToken(cfg_.timing)));
-    if (r.prompt_tokens.empty())
+    const auto resizeToHeadroom = [&](const kv::PrefixMatch &estimate) {
+        const int64_t new_block_tokens =
+            prompt_block_tokens - estimate.hit_tokens;
+        syncPrefixBudget(
+            candidate_tokens,
+            std::min(new_block_tokens,
+                     configured_prefix_budget_ /
+                         kvBytesPerToken(cfg_.timing)));
+    };
+    if (r.prompt_tokens.empty()) {
+        resizeToHeadroom(kv::PrefixMatch{});
         return 0;
-    const int64_t hit = prefixHitTokens(r);
+    }
+    // One combined traversal: match, resize (the callback above),
+    // pin + insert — the fused form of the legacy three-walk
+    // admission sequence.
+    kv::MatchAndPinResult pin =
+        prefix_tree_.matchAndPin(r.prompt_tokens, resizeToHeadroom);
+    // Prefill must still compute at least the last token of the
+    // restored context: for a fresh request that caps the hit at
+    // prompt_len - 1 (the decode loop needs the last prompt token's
+    // logits); a restore recomputes its generated suffix anyway, so
+    // the full prompt may ride the cache.
+    const int64_t hit =
+        std::min(pin.match.hit_tokens, r.kvLen() - 1);
     ++result_.prefix.lookups;
     result_.prefix.prompt_tokens += r.prompt_len;
     if (hit > 0) {
         ++result_.prefix.hit_requests;
         result_.prefix.hit_tokens += hit;
     }
-    // Pin the whole prompt path (hit + newly inserted suffix blocks)
-    // until retirement so future same-prefix admissions hit it and
-    // eviction cannot pull KV out from under an in-flight request.
-    // Pins are keyed by a per-admission slot, not the request id —
-    // duplicate ids in a degenerate trace must not cross-release each
-    // other's live pins.
+    // Keep the whole prompt path (hit + newly inserted suffix blocks)
+    // pinned until retirement or preemption so future same-prefix
+    // admissions hit it and eviction cannot pull KV out from under an
+    // in-flight request. Pins are keyed by a per-admission slot, not
+    // the request id — duplicate ids in a degenerate trace must not
+    // cross-release each other's live pins.
     r.prefix_pin_slot = next_pin_slot_++;
-    prefix_pins_.emplace(r.prefix_pin_slot,
-                         prefix_tree_.insert(r.prompt_tokens));
+    prefix_pins_.emplace(r.prefix_pin_slot, pin.handle);
     r.cached_prompt_len = hit;
     return hit;
 }
@@ -248,8 +309,7 @@ ReplicaEngine::ingestPending(double t)
 {
     while (pending_next_ < static_cast<int64_t>(pending_.size()) &&
            pending_[pending_next_].arrival_seconds <= t) {
-        queued_kv_tokens_ += pending_[pending_next_].finalLen();
-        queue_.push(std::move(pending_[pending_next_]));
+        scheduler_.enqueue(std::move(pending_[pending_next_]));
         ++pending_next_;
     }
     if (pending_next_ == static_cast<int64_t>(pending_.size())) {
@@ -261,7 +321,7 @@ ReplicaEngine::ingestPending(double t)
 double
 ReplicaEngine::nextEventSeconds() const
 {
-    if (!active_.empty() || !queue_.empty())
+    if (!active_.empty() || !scheduler_.queueEmpty())
         return now_;
     if (pending_next_ < static_cast<int64_t>(pending_.size()))
         return std::max(now_,
@@ -272,8 +332,33 @@ ReplicaEngine::nextEventSeconds() const
 bool
 ReplicaEngine::idle() const
 {
-    return active_.empty() && queue_.empty() &&
+    return active_.empty() && scheduler_.queueEmpty() &&
            pending_next_ >= static_cast<int64_t>(pending_.size());
+}
+
+void
+ReplicaEngine::preemptVictim()
+{
+    const size_t v = scheduler_.selectVictim(active_);
+    Request r = std::move(active_[v]);
+    active_.erase(active_.begin() +
+                  static_cast<std::vector<Request>::difference_type>(v));
+    // The victim's prefix pin goes back to the LRU pool: its prompt
+    // blocks stay resident while the budget lasts, which is exactly
+    // what makes its restore cheap.
+    if (r.prefix_pin_slot >= 0) {
+        const auto pin = prefix_pins_.find(r.prefix_pin_slot);
+        prefix_tree_.release(pin->second);
+        prefix_pins_.erase(pin);
+        r.prefix_pin_slot = -1;
+    }
+    ++r.preemptions;
+    ++result_.preempt.preemptions;
+    r.state = RequestState::Preempted;
+    // Releasing KV is free in simulated time; the cost lands at the
+    // restore, which re-prefills the whole live context (minus
+    // whatever prefix the cache still holds).
+    scheduler_.enqueue(std::move(r));
 }
 
 void
@@ -291,17 +376,17 @@ ReplicaEngine::step(const IngestFn &ingest)
     };
     ingestUpTo(now_);
 
-    // Admit while the policy's candidate fits. A denial with other
-    // requests in flight just means "wait for retirements"; a denial
-    // on an idle replica means the request can never fit here.
-    while (!queue_.empty() &&
-           static_cast<int64_t>(active_.size()) < cfg_.max_batch) {
-        const AdmissionDecision d = admission_.admit(active_,
-                                                     queue_.peek());
+    // Admit while the Scheduler's discipline accepts the policy's
+    // candidate. A denial with other requests in flight just means
+    // "wait for retirements"; a denial on an idle replica means the
+    // request can never fit here.
+    while (!scheduler_.queueEmpty() &&
+           scheduler_.hasBatchSlot(active_)) {
+        const AdmissionDecision d =
+            scheduler_.admit(active_, scheduler_.peek());
         if (!d.admit) {
             if (active_.empty()) {
-                Request r = queue_.pop();
-                queued_kv_tokens_ -= r.finalLen();
+                Request r = scheduler_.pop();
                 r.state = RequestState::Rejected;
                 // Rejection records are read for ids/shapes only;
                 // keeping kilobytes of token ids per rejection would
@@ -313,9 +398,14 @@ ReplicaEngine::step(const IngestFn &ingest)
             }
             break;
         }
-        Request r = queue_.pop();
-        queued_kv_tokens_ -= r.finalLen();
-        r.admit_seconds = now_;
+        Request r = scheduler_.pop();
+        // A restore is any re-admission after a preemption — including
+        // a victim evicted before its first decode step (generated
+        // still 0), whose re-prefilled prompt is pure churn.
+        const bool restore = r.preemptions > 0;
+        if (r.admit_seconds < 0.0)
+            r.admit_seconds = now_;
+        r.last_admit_seconds = now_;
         r.state = RequestState::Decoding;
         // Prefix-cache consultation: tokens matched in the tree skip
         // prefill (they are KV the replica already holds); only the
@@ -323,15 +413,39 @@ ReplicaEngine::step(const IngestFn &ingest)
         // prefix as extra resident KV. With the cache disabled this
         // is a no-op and the arithmetic below is unchanged.
         const int64_t cached = admitThroughPrefixCache(r);
+        if (restore) {
+            // A preempted request restores by recomputing its whole
+            // live context through prefill; the generated suffix is
+            // the decode work thrown away and done again.
+            ++result_.preempt.restores;
+            result_.preempt.recompute_tokens += r.generated;
+            r.recompute_tokens += r.generated;
+        }
         // Prefill iteration for the joining request; in-flight
         // requests stall for its duration (prefill-prioritized
-        // scheduling), and arrivals during it still enqueue.
+        // scheduling), and arrivals during it still enqueue. A
+        // restore prefills prompt + generated (its current context),
+        // which for a fresh request is just the prompt.
         int64_t resident = 0;
         for (const Request &q : active_)
             resident += q.kvLen();
         now_ += engine_.requestPrefillSeconds(
-            cfg_.timing, r.prompt_len - cached,
+            cfg_.timing, r.kvLen() - cached,
             static_cast<int64_t>(active_.size()), resident + cached);
+        if (restore)
+            result_.preempt.restore_prefill_tokens +=
+                r.kvLen() - cached;
+        // Cache hits are not entirely free when the reload knob is
+        // set: matched KV blocks stream back into the compute working
+        // set at prefix_reload_gbps (0 = free, the bit-pinned
+        // default).
+        const double reload_gbps =
+            cfg_.timing.system->options().prefix_reload_gbps;
+        if (cached > 0 && reload_gbps > 0.0) {
+            now_ += static_cast<double>(cached *
+                                        kvBytesPerToken(cfg_.timing)) /
+                    (reload_gbps * 1e9);
+        }
         active_.push_back(std::move(r));
         ingestUpTo(now_);
     }
@@ -340,12 +454,24 @@ ReplicaEngine::step(const IngestFn &ingest)
                  static_cast<int64_t>(active_.size()));
 
     if (active_.empty()) {
-        if (!queue_.empty())
+        if (!scheduler_.queueEmpty())
             throw std::logic_error(
                 "ReplicaEngine: idle with admissible work queued");
         result_.makespan_seconds = now_;
         return; // round spent rejecting; next event is a future arrival
     }
+
+    // Optimistic KV pressure: every in-flight context grows one token
+    // this iteration; while that would oversubscribe the memory
+    // model's headroom, evict victims (policy-ordered, deterministic)
+    // until the survivors fit. The feasibleAlone() admission gate
+    // guarantees a lone request always fits through its final length,
+    // so the loop cannot strand the batch — the > 1 guard is a
+    // belt-and-suspenders backstop against a non-monotone system
+    // model.
+    while (active_.size() > 1 &&
+           !scheduler_.nextDecodeTokenFits(active_))
+        preemptVictim();
 
     // One decode iteration advances every in-flight request by one
     // token — the continuous-batching core, no wave barrier.

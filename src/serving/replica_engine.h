@@ -6,15 +6,24 @@
  * multi-replica serving::Cluster.
  *
  * A ReplicaEngine owns one simulated device (its TimingConfig picks
- * the hardware, model geometry and SystemModel), a waiting queue, the
- * in-flight batch and a local clock. The caller delivers routed
- * arrivals with deliver() and repeatedly invokes step(), which runs
- * one scheduling round at the replica's next event time:
+ * the hardware, model geometry and SystemModel), the in-flight batch,
+ * the prefix cache and a local clock; admission and preemption policy
+ * live in the serving::Scheduler it embeds (which owns the waiting
+ * queue and the memory-model admission test). The caller delivers
+ * routed arrivals with deliver() and repeatedly invokes step(), which
+ * runs one scheduling round at the replica's next event time:
  *
- *     admit while headroom lasts (each admission prefills the joiner,
- *     advancing the clock; in-flight requests stall for its duration)
- *     -> one decode iteration advancing every in-flight request by one
- *     token -> retire finished requests.
+ *     admit while the Scheduler's discipline allows (each admission
+ *     prefills the joiner, advancing the clock; in-flight requests
+ *     stall for its duration) -> preempt victims while the next decode
+ *     token would oversubscribe memory (Optimistic mode only) -> one
+ *     decode iteration advancing every in-flight request by one token
+ *     -> retire finished requests.
+ *
+ * Under SchedulerMode::Optimistic a preempted request releases its KV
+ * and prefix-cache pins and re-enters the queue; its restore is
+ * charged as a fresh prefill of prompt + already-generated tokens
+ * (recompute) minus whatever prefix the cache still holds.
  *
  * Arrivals that land *during* a prefill must become admissible within
  * the same round (exactly what Server did with its trace cursor), so
@@ -35,10 +44,9 @@
 
 #include "core/timing_engine.h"
 #include "kvcache/prefix_tree.h"
-#include "serving/admission.h"
 #include "serving/metrics.h"
 #include "serving/request.h"
-#include "serving/request_queue.h"
+#include "serving/scheduler.h"
 
 namespace specontext {
 namespace serving {
@@ -103,6 +111,12 @@ struct ReplicaConfig
     std::string name;
     /** Shared-prefix KV cache; disabled (budget 0) by default. */
     PrefixCacheConfig prefix_cache;
+    /** Admission discipline: Reserve (pessimistic final-length
+     *  booking, the bit-pinned default) or Optimistic (current
+     *  footprint + KV-pressure preemption). */
+    SchedulerMode scheduler_mode = SchedulerMode::Reserve;
+    /** Who is evicted first under Optimistic KV pressure. */
+    VictimPolicy victim_policy = VictimPolicy::LastAdmitted;
 };
 
 /** Outcome of serving one trace (single replica or aggregated fleet). */
@@ -114,6 +128,7 @@ struct ServeResult
     int64_t iterations = 0;    ///< decode iterations executed
     int64_t peak_in_flight = 0;
     PrefixCacheStats prefix;   ///< all-zero when the cache is disabled
+    PreemptionStats preempt;   ///< all-zero in Reserve mode
 
     int64_t completed() const { return metrics.count(); }
     ServingSummary summary() const
@@ -138,7 +153,14 @@ class ReplicaEngine
     ReplicaEngine(const core::TimingEngine &engine, ReplicaConfig cfg);
 
     const ReplicaConfig &config() const { return cfg_; }
-    const AdmissionController &admission() const { return admission_; }
+    const AdmissionController &admission() const
+    {
+        return scheduler_.admission();
+    }
+    const Scheduler &scheduler() const { return scheduler_; }
+
+    /** True when this replica admits optimistically (and preempts). */
+    bool optimistic() const { return scheduler_.optimistic(); }
 
     // ---- State inspection (router policies read these) --------------
 
@@ -153,16 +175,23 @@ class ReplicaEngine
     /** Requests delivered but not yet admitted (queued + pending). */
     int64_t waiting() const
     {
-        return queue_.size() + static_cast<int64_t>(pending_.size()) -
-               pending_next_;
+        return scheduler_.queueSize() +
+               static_cast<int64_t>(pending_.size()) - pending_next_;
     }
 
     /** All requests this replica still owes work to. */
     int64_t outstanding() const { return inFlight() + waiting(); }
 
     /** Sum of final-length KV reservations (tokens) over every
-     *  outstanding request — the load signal of least-KV routing. */
+     *  outstanding request — the booked load signal Reserve-mode
+     *  routing reads. */
     int64_t reservedKvTokens() const;
+
+    /** Sum of *current* KV contexts (tokens) over every outstanding
+     *  request — in-flight requests at their live kvLen(), waiting
+     *  ones at the restore length they would prefill today. The live
+     *  occupancy signal Optimistic-mode routing reads. */
+    int64_t liveKvTokens() const;
 
     /** Bytes of KV the replica can hold in HBM next to the weights
      *  (>= 1; the least-KV router's normalizer, so heterogeneous
@@ -171,6 +200,17 @@ class ReplicaEngine
 
     /** reservedKvTokens() priced in bytes / kvCapacityBytes(). */
     double kvLoadFraction(int64_t extra_final_len_tokens = 0) const;
+
+    /**
+     * Mode-aware routing load: the fraction of kvCapacityBytes() this
+     * replica would hold if `r` were added. Reserve replicas price
+     * booked reservations (bit-identical to
+     * kvLoadFraction(r.finalLen())); Optimistic replicas price live
+     * occupancy — what actually sits in HBM now — because booked
+     * final lengths systematically overstate a preemptive replica's
+     * pressure.
+     */
+    double routingLoadFraction(const Request &r) const;
 
     /** True when this replica keeps a prefix cache (configured budget
      *  > 0). Stays true through transient live-KV pressure that
@@ -229,14 +269,12 @@ class ReplicaEngine
   private:
     const core::TimingEngine &engine_;
     ReplicaConfig cfg_;
-    AdmissionController admission_;
+    Scheduler scheduler_;
 
     double now_ = 0.0;
-    RequestQueue queue_;
     std::vector<Request> active_;
     std::vector<Request> pending_; ///< delivered, arrival not reached
     int64_t pending_next_ = 0;     ///< first live index into pending_
-    int64_t queued_kv_tokens_ = 0; ///< final-length tokens in queue_
     double last_delivered_arrival_ = 0.0; ///< delivery-order guard
     ServeResult result_;
     kv::PrefixTree prefix_tree_;
@@ -246,7 +284,7 @@ class ReplicaEngine
     int64_t configured_prefix_budget_ = 0;
     /** Pin held for each in-flight request, keyed by its admission's
      *  unique pin slot (Request::prefix_pin_slot); released at
-     *  retirement. */
+     *  retirement or preemption. */
     std::unordered_map<int64_t, kv::PrefixHandle> prefix_pins_;
     int64_t next_pin_slot_ = 0;
 
@@ -254,19 +292,29 @@ class ReplicaEngine
     void ingestPending(double t);
 
     /** Shrink the tree's budget to min(configured budget, HBM headroom
-     *  left by weights + booked KV + `extra_reserved_tokens` — the
+     *  left by weights + outstanding KV + `extra_reserved_tokens` — the
      *  admission candidate in flight between queue and active_),
      *  pricing the weights through sim::MemoryModel — cached prefixes
-     *  yield to live KV. Pinned blocks plus `extra_budget_tokens`
-     *  (the candidate's about-to-be-pinned prompt blocks) ride on top
-     *  of the clamp: they are live KV the reservations already pay
-     *  for, so one physical copy is never charged twice. */
+     *  yield to live KV. Outstanding KV is booked final lengths in
+     *  Reserve mode and live contexts in Optimistic mode (matching
+     *  what each discipline actually holds). Pinned blocks plus
+     *  `extra_budget_tokens` (the candidate's about-to-be-pinned
+     *  prompt blocks) ride on top of the clamp: they are live KV the
+     *  reservations already pay for, so one physical copy is never
+     *  charged twice. */
     void syncPrefixBudget(int64_t extra_reserved_tokens = 0,
                           int64_t extra_budget_tokens = 0);
 
     /** Cache consultation at admission: returns the prefill tokens
-     *  skipped for `r` and pins its prompt path in the tree. */
+     *  skipped for `r` and pins its prompt path in the tree — one
+     *  combined kv::PrefixTree::matchAndPin() traversal with the
+     *  budget re-clamp as its resize callback. */
     int64_t admitThroughPrefixCache(Request &r);
+
+    /** Optimistic KV pressure: evict the Scheduler's victim from the
+     *  in-flight batch — release its prefix pin, count the preemption
+     *  and re-enqueue it for recompute. */
+    void preemptVictim();
 
     /** Copy the tree's lifetime counters into result_.prefix. */
     void snapshotPrefixStats();

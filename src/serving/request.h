@@ -21,6 +21,10 @@ namespace serving {
 enum class RequestState {
     Queued,   ///< arrived, waiting for admission
     Decoding, ///< prefilled, advancing one token per iteration
+    /** Evicted from the in-flight batch under KV pressure (Optimistic
+     *  scheduling); waits in the queue to be re-admitted, recomputing
+     *  its generated tokens through prefill. */
+    Preempted,
     Finished, ///< all gen_len tokens produced
     Rejected, ///< can never fit (infeasible even alone)
 };
@@ -53,9 +57,19 @@ struct Request
      *  admission took (unique per admission, so duplicate request ids
      *  cannot cross-release each other's pins); -1 = no pin. */
     int64_t prefix_pin_slot = -1;
-    double admit_seconds = -1.0;      ///< admission (prefill start)
+    double admit_seconds = -1.0;      ///< first admission (prefill start)
+    /** Latest (re-)admission instant — the LastAdmitted victim
+     *  policy's ordering key; equals admit_seconds until a preempted
+     *  request is restored. */
+    double last_admit_seconds = -1.0;
     double first_token_seconds = -1.0;///< end of first decode iteration
     double finish_seconds = -1.0;     ///< last token produced
+    /** Times this request was evicted from the in-flight batch under
+     *  KV pressure (Optimistic scheduling); 0 in Reserve mode. */
+    int64_t preemptions = 0;
+    /** Generated tokens re-prefilled across all restores — the decode
+     *  work preemption threw away and prefill recomputed. */
+    int64_t recompute_tokens = 0;
 
     /** Current context length: prompt plus tokens generated so far. */
     int64_t kvLen() const { return prompt_len + generated; }

@@ -22,6 +22,7 @@ requestStateName(RequestState s)
     switch (s) {
       case RequestState::Queued: return "Queued";
       case RequestState::Decoding: return "Decoding";
+      case RequestState::Preempted: return "Preempted";
       case RequestState::Finished: return "Finished";
       case RequestState::Rejected: return "Rejected";
     }

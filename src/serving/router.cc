@@ -76,8 +76,14 @@ size_t
 leastKvLoad(const Request &r, const std::vector<size_t> &candidates,
             const Fleet &fleet)
 {
+    // Mode-aware load signal: Reserve replicas are scored on booked
+    // final-length reservations (bit-identical to the historical
+    // kvLoadFraction(r.finalLen())), Optimistic replicas on the live
+    // occupancy their preemptive discipline actually holds — booked
+    // finals would systematically overstate their pressure and starve
+    // them of traffic they could absorb.
     return argminReplica(candidates, [&](size_t i) {
-        return fleet[i]->kvLoadFraction(r.finalLen());
+        return fleet[i]->routingLoadFraction(r);
     });
 }
 

@@ -5,67 +5,139 @@
 namespace specontext {
 namespace serving {
 
-std::vector<Workload>
-paperWorkloads()
+const char *
+schedulerModeName(SchedulerMode m)
 {
-    return {
-        {2048, 16384},
-        {2048, 32768},
-        {16384, 2048},
-        {32768, 2048},
-    };
+    switch (m) {
+      case SchedulerMode::Reserve: return "reserve";
+      case SchedulerMode::Optimistic: return "optimistic";
+    }
+    return "?";
 }
 
-std::vector<int64_t>
-paperBatchSizes()
+const char *
+victimPolicyName(VictimPolicy p)
 {
-    return {1, 4, 6, 8, 16, 32, 64};
+    switch (p) {
+      case VictimPolicy::LastAdmitted: return "last-admitted";
+      case VictimPolicy::ShortestProgress: return "shortest-progress";
+      case VictimPolicy::FewestPrefixHitTokens:
+        return "fewest-prefix-hits";
+    }
+    return "?";
 }
 
-BatchSweepResult
-sweepBatches(const core::TimingEngine &engine, core::TimingConfig base,
-             const std::vector<int64_t> &batches)
+void
+PreemptionStats::merge(const PreemptionStats &other)
 {
-    BatchSweepResult out;
-    double best_tp = -1.0;
-    for (int64_t b : batches) {
-        base.batch = b;
-        BatchPoint p;
-        p.batch = b;
-        p.result = engine.simulate(base);
-        if (!p.result.oom && p.result.throughput > best_tp) {
-            best_tp = p.result.throughput;
-            out.best = static_cast<int64_t>(out.points.size());
+    preemptions += other.preemptions;
+    restores += other.restores;
+    recompute_tokens += other.recompute_tokens;
+    restore_prefill_tokens += other.restore_prefill_tokens;
+}
+
+Scheduler::Scheduler(core::TimingConfig timing, SchedulerConfig cfg)
+    : cfg_(cfg), admission_(std::move(timing)),
+      queue_(cfg.queue_policy)
+{
+    if (cfg_.max_batch <= 0)
+        throw std::invalid_argument("Scheduler: non-positive max_batch");
+}
+
+void
+Scheduler::enqueue(Request r)
+{
+    queued_final_tokens_ += r.finalLen();
+    queued_live_tokens_ += r.kvLen();
+    queue_.push(std::move(r));
+}
+
+Request
+Scheduler::pop()
+{
+    Request r = queue_.pop();
+    queued_final_tokens_ -= r.finalLen();
+    queued_live_tokens_ -= r.kvLen();
+    return r;
+}
+
+AdmissionDecision
+Scheduler::admit(const std::vector<Request> &active,
+                 const Request &candidate) const
+{
+    if (cfg_.mode == SchedulerMode::Reserve)
+        return admission_.admit(active, candidate);
+    // Optimistic: a request whose *final* context could never fit even
+    // on an idle replica must still hard-reject — admitted on its
+    // (smaller) current footprint it would grow until no victim set
+    // can save it, then cycle through preempt/restore forever.
+    if (!admission_.feasibleAlone(candidate))
+        return {false,
+                "final-length reservation infeasible even alone"};
+    // And its worst-case restore (a full final-context prefill) must
+    // fit alone too: otherwise a preemption deep into generation
+    // would strand the request — permanently denied re-admission and
+    // eventually dropped as Rejected with its completed work lost.
+    // Only prefill-scratch-heavy systems (eager attention's O(S^2)
+    // term) distinguish this from the final-length gate above.
+    if (!admission_.restoreFeasibleAlone(candidate))
+        return {false,
+                "worst-case restore (final-context prefill) "
+                "infeasible even alone"};
+    return admission_.admitCurrent(active, candidate);
+}
+
+bool
+Scheduler::nextDecodeTokenFits(const std::vector<Request> &active) const
+{
+    if (cfg_.mode == SchedulerMode::Reserve)
+        return true; // final-length reservations already cover growth
+    return admission_.decodeStepFits(active).admit;
+}
+
+namespace {
+
+/** Shared equal-pressure tie-break: the (progress, arrival, id) total
+ *  order, mirroring the ShortestPromptFirst queue tie-break. */
+bool
+tieBreakPrecedes(const Request &a, const Request &b)
+{
+    if (a.generated != b.generated)
+        return a.generated < b.generated;
+    if (a.arrival_seconds != b.arrival_seconds)
+        return a.arrival_seconds < b.arrival_seconds;
+    return a.id < b.id;
+}
+
+} // namespace
+
+size_t
+Scheduler::selectVictim(const std::vector<Request> &active) const
+{
+    if (active.empty())
+        throw std::logic_error("Scheduler: victim from an empty batch");
+    auto precedes = [&](const Request &a, const Request &b) {
+        switch (cfg_.victim_policy) {
+          case VictimPolicy::LastAdmitted:
+            if (a.last_admit_seconds != b.last_admit_seconds)
+                return a.last_admit_seconds > b.last_admit_seconds;
+            break;
+          case VictimPolicy::ShortestProgress:
+            // Primary key == the tie-break's first component.
+            break;
+          case VictimPolicy::FewestPrefixHitTokens:
+            if (a.cached_prompt_len != b.cached_prompt_len)
+                return a.cached_prompt_len < b.cached_prompt_len;
+            break;
         }
-        out.points.push_back(std::move(p));
+        return tieBreakPrecedes(a, b);
+    };
+    size_t best = 0;
+    for (size_t i = 1; i < active.size(); ++i) {
+        if (precedes(active[i], active[best]))
+            best = i;
     }
-    return out;
-}
-
-double
-waveThroughput(const core::TimingEngine &engine, core::TimingConfig base,
-               int64_t total_requests, int64_t max_batch)
-{
-    if (total_requests <= 0 || max_batch <= 0)
-        throw std::invalid_argument("waveThroughput: non-positive counts");
-    double total_seconds = 0.0;
-    int64_t total_tokens = 0;
-    int64_t remaining = total_requests;
-    while (remaining > 0) {
-        const int64_t wave = std::min(remaining, max_batch);
-        base.batch = wave;
-        const core::TimingResult r = engine.simulate(base);
-        if (r.oom)
-            return 0.0;
-        total_seconds += r.prefill_seconds + r.decode_seconds;
-        total_tokens += wave * base.gen_len;
-        remaining -= wave;
-    }
-    // A degenerate run (e.g. gen_len == 0) produces no time and no
-    // tokens; report zero throughput instead of dividing by zero.
-    if (total_seconds <= 0.0)
-        return 0.0;
-    return total_tokens / total_seconds;
+    return best;
 }
 
 } // namespace serving

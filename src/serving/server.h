@@ -4,7 +4,7 @@
  * serving::ReplicaEngine (where the iteration-level scheduling loop
  * now lives; serving::Cluster drives the same engine N-wide).
  *
- * The seed's wave scheduler (serving/scheduler.h) launches a fixed
+ * The seed's wave scheduler (serving/batch_sweep.h) launches a fixed
  * batch and holds a barrier until every member finishes — the paper's
  * Table 3 setup. Production traffic is open-loop and mixed-length, so
  * this server instead advances all in-flight requests ONE decode

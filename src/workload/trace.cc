@@ -205,6 +205,96 @@ sharedPrefixTrace(const SharedPrefixTraceConfig &cfg)
     return trace;
 }
 
+namespace {
+
+void
+validateMultiTurnConfig(const MultiTurnTraceConfig &cfg)
+{
+    validateTraceConfig(cfg.base);
+    if (cfg.turns <= 0)
+        throw std::invalid_argument(
+            "multiTurnTrace: non-positive turns");
+    if (cfg.first_prompt_lo <= 0 ||
+        cfg.first_prompt_hi < cfg.first_prompt_lo)
+        throw std::invalid_argument(
+            "multiTurnTrace: first-prompt bounds must satisfy "
+            "0 < lo <= hi");
+    if (cfg.followup_lo <= 0 || cfg.followup_hi < cfg.followup_lo)
+        throw std::invalid_argument(
+            "multiTurnTrace: follow-up bounds must satisfy "
+            "0 < lo <= hi");
+    if (cfg.gen_lo <= 0 || cfg.gen_hi < cfg.gen_lo)
+        throw std::invalid_argument(
+            "multiTurnTrace: gen bounds must satisfy 0 < lo <= hi");
+    if (!(cfg.think_time_mean_s > 0.0) ||
+        !std::isfinite(cfg.think_time_mean_s))
+        throw std::invalid_argument(
+            "multiTurnTrace: think_time_mean_s must be positive and "
+            "finite");
+    if (cfg.vocab < 3)
+        throw std::invalid_argument("multiTurnTrace: vocab < 3");
+}
+
+} // namespace
+
+std::vector<serving::Request>
+multiTurnTrace(const MultiTurnTraceConfig &cfg)
+{
+    validateMultiTurnConfig(cfg);
+    Rng rng(cfg.base.seed);
+    std::vector<serving::Request> trace;
+    trace.reserve(
+        static_cast<size_t>(cfg.base.num_requests * cfg.turns));
+
+    double session_start = 0.0;
+    for (int64_t s = 0; s < cfg.base.num_requests; ++s) {
+        session_start += expGap(rng, cfg.base.arrival_rate_per_s);
+        // Per-session stream so one session's content is stable
+        // however many sessions the trace has.
+        Rng srng(cfg.base.seed * 9176203ull +
+                 static_cast<uint64_t>(s) + 1);
+
+        // The conversation so far: every turn appends the previous
+        // turn's synthesized assistant reply and a fresh user
+        // message, then replays the whole history as its prompt.
+        std::vector<int32_t> history;
+        double t = session_start;
+        int64_t prev_gen = 0;
+        for (int64_t turn = 0; turn < cfg.turns; ++turn) {
+            if (turn > 0) {
+                t += expGap(srng, 1.0 / cfg.think_time_mean_s);
+                // The previous assistant reply enters the context as
+                // deterministic stand-in token ids (the simulator
+                // never materializes real ones).
+                for (int64_t k = 0; k < prev_gen; ++k)
+                    history.push_back(randomTokenId(srng, cfg.vocab));
+            }
+            const int64_t user_len =
+                turn == 0 ? logUniform(srng, cfg.first_prompt_lo,
+                                       cfg.first_prompt_hi)
+                          : logUniform(srng, cfg.followup_lo,
+                                       cfg.followup_hi);
+            for (int64_t k = 0; k < user_len; ++k)
+                history.push_back(randomTokenId(srng, cfg.vocab));
+
+            serving::Request r;
+            r.arrival_seconds = t;
+            r.prompt_len = static_cast<int64_t>(history.size());
+            r.gen_len = logUniform(srng, cfg.gen_lo, cfg.gen_hi);
+            r.prompt_tokens = history;
+            prev_gen = r.gen_len;
+            trace.push_back(std::move(r));
+        }
+    }
+
+    // Sessions interleave; ids are sequential in global arrival order
+    // (the convention every generator here follows).
+    serving::sortByArrival(trace);
+    for (size_t i = 0; i < trace.size(); ++i)
+        trace[i].id = static_cast<int64_t>(i);
+    return trace;
+}
+
 std::vector<serving::Request>
 mixedLengthTrace(const TraceConfig &cfg)
 {

@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "serving/request.h"
-#include "serving/scheduler.h"
+#include "serving/batch_sweep.h"
 
 namespace specontext {
 namespace workload {
@@ -78,6 +78,54 @@ struct SharedPrefixTraceConfig
  */
 std::vector<serving::Request> sharedPrefixTrace(
     const SharedPrefixTraceConfig &cfg);
+
+/**
+ * Knobs of the multi-turn session generator: conversations where each
+ * turn's prompt replays the whole history so far — see
+ * multiTurnTrace().
+ */
+struct MultiTurnTraceConfig
+{
+    /** base.num_requests counts *sessions*; the trace holds
+     *  num_requests x turns requests. */
+    TraceConfig base;
+    /** Turns per session (user -> assistant round trips). */
+    int64_t turns = 4;
+    /** Opening user message length, log-uniform in [lo, hi]. */
+    int64_t first_prompt_lo = 512;
+    int64_t first_prompt_hi = 2048;
+    /** Later-turn user message length, log-uniform in [lo, hi]. */
+    int64_t followup_lo = 32;
+    int64_t followup_hi = 256;
+    /** Assistant reply (generation) length, log-uniform in [lo, hi]. */
+    int64_t gen_lo = 128;
+    int64_t gen_hi = 1024;
+    /** Mean think time between a turn's arrival and the next turn's
+     *  (exponential gap) — the trace is open-loop, so gaps anchor on
+     *  arrivals, not completions. */
+    double think_time_mean_s = 30.0;
+    /** Token-id alphabet (ids are drawn in [2, vocab)). */
+    int32_t vocab = 32000;
+};
+
+/**
+ * Multi-turn conversation trace: each session opens with a user
+ * message and every later turn's prompt is the full history — the
+ * previous prompt, the previous turn's generated tokens (synthesized
+ * deterministically, standing in for the assistant reply the serving
+ * layer never materializes) and a fresh user message — so contexts
+ * grow turn over turn. This is the traffic shape that makes
+ * preemptive (Optimistic) scheduling fire: conversation history
+ * inflates live KV mid-stream, and a replica's prefix cache can serve
+ * each turn's history prefix from the previous turn's blocks.
+ * Deterministic in cfg.base.seed; requests carry sequential ids in
+ * arrival order and prompt_tokens.size() == prompt_len.
+ * @throws std::invalid_argument on invalid knobs (non-positive turns
+ * or length bounds, hi < lo, non-positive/non-finite think time,
+ * vocab < 3, or a bad base config).
+ */
+std::vector<serving::Request> multiTurnTrace(
+    const MultiTurnTraceConfig &cfg);
 
 /**
  * Poisson arrivals sampling uniformly from `mix`. Requests carry

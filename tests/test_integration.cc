@@ -14,7 +14,7 @@
 #include "retrieval/retrieval_head.h"
 #include "retrieval/shadow_kv.h"
 #include "retrieval/streaming_llm.h"
-#include "serving/scheduler.h"
+#include "serving/batch_sweep.h"
 #include "workload/metrics.h"
 #include "workload/tasks.h"
 

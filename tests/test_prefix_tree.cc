@@ -246,5 +246,117 @@ TEST(PrefixTree, ConstructorValidatesConfig)
     EXPECT_THROW(tree.setBudget(-1), std::invalid_argument);
 }
 
+// -------------------------------------------------- matchAndPin
+
+/** Drive `combined` through matchAndPin and `legacy` through the
+ *  three-walk sequence it fuses (match -> resize -> match -> insert),
+ *  applying `new_budget_blocks` inside the resize step of both, and
+ *  assert every observable agrees. Returns the two handles. */
+std::pair<PrefixHandle, PrefixHandle>
+admitBothWays(PrefixTree &combined, PrefixTree &legacy,
+              const std::vector<int32_t> &tokens,
+              int64_t new_budget_blocks)
+{
+    // Legacy: walk 1 (estimate), resize, walk 2 (hit), walk 3 (insert).
+    const PrefixMatch legacy_estimate = legacy.match(tokens);
+    legacy.setBudget(new_budget_blocks * kBlockBytes);
+    const PrefixMatch legacy_hit = legacy.match(tokens);
+    PrefixHandle legacy_handle = legacy.insert(tokens);
+
+    kv::MatchAndPinResult fused = combined.matchAndPin(
+        tokens, [&](const PrefixMatch &estimate) {
+            EXPECT_EQ(estimate.hit_tokens, legacy_estimate.hit_tokens);
+            combined.setBudget(new_budget_blocks * kBlockBytes);
+        });
+    EXPECT_EQ(fused.estimate.hit_tokens, legacy_estimate.hit_tokens);
+    EXPECT_EQ(fused.match.hit_tokens, legacy_hit.hit_tokens);
+    EXPECT_EQ(fused.handle.pinnedTokens(),
+              legacy_handle.pinnedTokens());
+    EXPECT_EQ(combined.bytes(), legacy.bytes());
+    EXPECT_EQ(combined.pinnedTokens(), legacy.pinnedTokens());
+    EXPECT_EQ(combined.nodeCount(), legacy.nodeCount());
+    EXPECT_EQ(combined.insertedTokens(), legacy.insertedTokens());
+    EXPECT_EQ(combined.evictedTokens(), legacy.evictedTokens());
+    return {std::move(fused.handle), std::move(legacy_handle)};
+}
+
+TEST(PrefixTree, MatchAndPinMatchesThreeWalkPath)
+{
+    // Parity pin: a sequence of admissions (shared prefixes, budget
+    // shrinks and regrowth inside the resize callback, releases
+    // between) must leave the fused and the three-walk trees in
+    // bit-identical states at every step.
+    PrefixTree combined(cfgWith(8)), legacy(cfgWith(8));
+
+    auto [c1, l1] = admitBothWays(combined, legacy, seq(0, 12), 8);
+    // Same family, longer prompt: hits the cached path.
+    auto [c2, l2] = admitBothWays(combined, legacy, seq(0, 20), 8);
+    combined.release(c1);
+    legacy.release(l1);
+    // Budget shrink inside the callback evicts released blocks in
+    // both paths (the estimate / post-resize match divergence case).
+    auto [c3, l3] = admitBothWays(combined, legacy, seq(100, 16), 2);
+    combined.release(c2);
+    legacy.release(l2);
+    combined.release(c3);
+    legacy.release(l3);
+    EXPECT_EQ(combined.bytes(), legacy.bytes());
+    EXPECT_EQ(combined.evictedTokens(), legacy.evictedTokens());
+    // Regrow and re-admit the first family: identical matches again.
+    auto [c4, l4] = admitBothWays(combined, legacy, seq(0, 20), 8);
+    combined.release(c4);
+    legacy.release(l4);
+}
+
+TEST(PrefixTree, MatchAndPinResizeEvictionShrinksTheMatch)
+{
+    // When the resize callback's budget shrink evicts part of the
+    // estimated prefix, the pinned match must reflect the post-shrink
+    // tree — the exact semantics of the legacy three-walk sequence.
+    PrefixTree tree(cfgWith(8));
+    PrefixHandle warm = tree.insert(seq(0, 32)); // 8 blocks resident
+    tree.release(warm);                          // all evictable
+
+    kv::MatchAndPinResult res = tree.matchAndPin(
+        seq(0, 32), [&](const PrefixMatch &estimate) {
+            EXPECT_EQ(estimate.hit_tokens, 32);
+            tree.setBudget(2 * kBlockBytes); // evicts 6 of 8 blocks
+        });
+    EXPECT_EQ(res.estimate.hit_tokens, 32);
+    EXPECT_EQ(res.match.hit_tokens, 2 * kPage);
+    // The pin covers only what the post-shrink budget retains.
+    EXPECT_EQ(res.handle.pinnedTokens(), 2 * kPage);
+    tree.release(res.handle);
+}
+
+TEST(PrefixTree, MatchAndPinWithoutResizeEqualsInsert)
+{
+    PrefixTree a(cfgWith(4)), b(cfgWith(4));
+    PrefixHandle ha = a.insert(seq(0, 16));
+    kv::MatchAndPinResult rb = b.matchAndPin(seq(0, 16));
+    EXPECT_EQ(rb.estimate.hit_tokens, 0);
+    EXPECT_EQ(rb.match.hit_tokens, 0);
+    EXPECT_EQ(ha.pinnedTokens(), rb.handle.pinnedTokens());
+    EXPECT_EQ(a.bytes(), b.bytes());
+    a.release(ha);
+    b.release(rb.handle);
+}
+
+TEST(PrefixTree, MatchAndPinOnDisabledTreeIsANoOp)
+{
+    PrefixTree tree(cfgWith(0));
+    bool resized = false;
+    kv::MatchAndPinResult res =
+        tree.matchAndPin(seq(0, 16), [&](const PrefixMatch &estimate) {
+            EXPECT_EQ(estimate.hit_tokens, 0);
+            resized = true;
+        });
+    EXPECT_TRUE(resized); // the callback still runs (budget revival)
+    EXPECT_EQ(res.match.hit_tokens, 0);
+    EXPECT_EQ(res.handle.pinnedTokens(), 0);
+    EXPECT_EQ(tree.bytes(), 0);
+    tree.release(res.handle); // default-constructed path: safe no-op
+}
+
 } // namespace
 } // namespace specontext

@@ -9,7 +9,7 @@
 #include "core/timing_engine.h"
 #include "model/distiller.h"
 #include "retrieval/retrieval_head.h"
-#include "serving/scheduler.h"
+#include "serving/batch_sweep.h"
 #include "tensor/ops.h"
 
 namespace specontext {

@@ -301,6 +301,95 @@ TEST(Trace, ConfigValidationRejectsDegenerateKnobs)
                  std::invalid_argument);
 }
 
+TEST(Trace, MultiTurnPromptsReplayTheConversationHistory)
+{
+    // One session, several turns: every turn's prompt must extend the
+    // previous one (history + synthesized reply + fresh user message),
+    // creating the growing-context shape preemption feeds on.
+    workload::MultiTurnTraceConfig mt;
+    mt.base.num_requests = 1;
+    mt.base.arrival_rate_per_s = 1.0;
+    mt.base.seed = 17;
+    mt.turns = 4;
+    const auto trace = workload::multiTurnTrace(mt);
+    ASSERT_EQ(trace.size(), 4u);
+    for (size_t t = 0; t < trace.size(); ++t) {
+        const auto &r = trace[t];
+        EXPECT_EQ(r.id, static_cast<int64_t>(t));
+        EXPECT_EQ(static_cast<int64_t>(r.prompt_tokens.size()),
+                  r.prompt_len);
+        EXPECT_GE(r.gen_len, mt.gen_lo);
+        EXPECT_LE(r.gen_len, mt.gen_hi);
+        if (t == 0)
+            continue;
+        const auto &prev = trace[t - 1];
+        EXPECT_GT(r.arrival_seconds, prev.arrival_seconds);
+        // Prompt grows by exactly the previous reply plus a bounded
+        // user message...
+        const int64_t growth =
+            r.prompt_len - (prev.prompt_len + prev.gen_len);
+        EXPECT_GE(growth, mt.followup_lo);
+        EXPECT_LE(growth, mt.followup_hi);
+        // ...and replays the previous prompt verbatim as its prefix.
+        EXPECT_TRUE(std::equal(prev.prompt_tokens.begin(),
+                               prev.prompt_tokens.end(),
+                               r.prompt_tokens.begin()));
+    }
+}
+
+TEST(Trace, MultiTurnSessionsInterleaveSortedWithSequentialIds)
+{
+    workload::MultiTurnTraceConfig mt;
+    mt.base.num_requests = 6;
+    mt.base.arrival_rate_per_s = 0.5;
+    mt.base.seed = 21;
+    mt.turns = 3;
+    const auto trace = workload::multiTurnTrace(mt);
+    ASSERT_EQ(trace.size(), 18u);
+    for (size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(trace[i].id, static_cast<int64_t>(i));
+        if (i > 0)
+            EXPECT_GE(trace[i].arrival_seconds,
+                      trace[i - 1].arrival_seconds);
+    }
+    // Deterministic in the seed.
+    const auto again = workload::multiTurnTrace(mt);
+    for (size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(trace[i].prompt_len, again[i].prompt_len);
+        EXPECT_EQ(trace[i].arrival_seconds, again[i].arrival_seconds);
+        EXPECT_EQ(trace[i].prompt_tokens, again[i].prompt_tokens);
+    }
+}
+
+TEST(Trace, MultiTurnValidationRejectsDegenerateKnobs)
+{
+    workload::MultiTurnTraceConfig ok;
+    ok.base.num_requests = 2;
+    EXPECT_NO_THROW(workload::multiTurnTrace(ok));
+
+    auto bad = ok;
+    bad.turns = 0;
+    EXPECT_THROW(workload::multiTurnTrace(bad), std::invalid_argument);
+    bad = ok;
+    bad.first_prompt_hi = bad.first_prompt_lo - 1;
+    EXPECT_THROW(workload::multiTurnTrace(bad), std::invalid_argument);
+    bad = ok;
+    bad.followup_lo = 0;
+    EXPECT_THROW(workload::multiTurnTrace(bad), std::invalid_argument);
+    bad = ok;
+    bad.gen_lo = -1;
+    EXPECT_THROW(workload::multiTurnTrace(bad), std::invalid_argument);
+    bad = ok;
+    bad.think_time_mean_s = 0.0;
+    EXPECT_THROW(workload::multiTurnTrace(bad), std::invalid_argument);
+    bad = ok;
+    bad.vocab = 2;
+    EXPECT_THROW(workload::multiTurnTrace(bad), std::invalid_argument);
+    bad = ok;
+    bad.base.arrival_rate_per_s = 0.0;
+    EXPECT_THROW(workload::multiTurnTrace(bad), std::invalid_argument);
+}
+
 TEST(Trace, SharedPrefixFamiliesShareTokensExactly)
 {
     workload::SharedPrefixTraceConfig pc;

@@ -5,7 +5,7 @@
  */
 #include <gtest/gtest.h>
 
-#include "serving/scheduler.h"
+#include "serving/batch_sweep.h"
 
 namespace specontext {
 namespace {
