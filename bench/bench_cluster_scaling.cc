@@ -154,30 +154,26 @@ writeJson(const std::vector<Row> &rows, const std::string &path)
     std::vector<std::string> out;
     out.reserve(rows.size());
     for (const Row &r : rows) {
-        std::string per_replica = "[";
-        for (size_t i = 0; i < r.per_replica_completed.size(); ++i) {
-            per_replica +=
-                (i ? ", " : "") +
-                std::to_string(r.per_replica_completed[i]);
-        }
-        per_replica += "]";
-        char line[640];
-        std::snprintf(
-            line, sizeof(line),
-            "{\"fleet\": \"%s\", \"policy\": \"%s\", \"replicas\": %ld, "
-            "\"trace\": \"mixed-length\", "
-            "\"throughput_tokens_per_s\": %.2f, \"ttft_mean_s\": %.3f, "
-            "\"ttft_p50_s\": %.3f, \"ttft_p95_s\": %.3f, "
-            "\"ttft_p99_s\": %.3f, \"e2e_p99_s\": %.3f, "
-            "\"tpot_mean_s\": %.5f, \"queue_delay_mean_s\": %.3f, "
-            "\"completed\": %ld, \"rejected\": %ld, "
-            "\"makespan_s\": %.2f, \"per_replica_completed\": %s}",
-            r.fleet.c_str(), r.policy.c_str(), r.replicas,
-            r.s.throughput_tokens_per_s, r.s.ttft_mean, r.s.ttft_p50,
-            r.s.ttft_p95, r.s.ttft_p99, r.s.e2e_p99, r.s.tpot_mean,
-            r.s.queue_delay_mean, r.s.completed, r.rejected,
-            r.s.makespan_seconds, per_replica.c_str());
-        out.push_back(line);
+        obs::JsonRow row;
+        row.str("fleet", r.fleet)
+            .str("policy", r.policy)
+            .num("replicas", r.replicas)
+            .str("trace", "mixed-length")
+            .num("throughput_tokens_per_s",
+                 r.s.throughput_tokens_per_s, "%.2f")
+            .num("ttft_mean_s", r.s.ttft_mean, "%.3f")
+            .num("ttft_p50_s", r.s.ttft_p50, "%.3f")
+            .num("ttft_p95_s", r.s.ttft_p95, "%.3f")
+            .num("ttft_p99_s", r.s.ttft_p99, "%.3f")
+            .num("e2e_p99_s", r.s.e2e_p99, "%.3f")
+            .num("tpot_mean_s", r.s.tpot_mean, "%.5f")
+            .num("queue_delay_mean_s", r.s.queue_delay_mean, "%.3f")
+            .num("completed", r.s.completed)
+            .num("rejected", r.rejected)
+            .num("makespan_s", r.s.makespan_seconds, "%.2f")
+            .raw("per_replica_completed",
+                 obs::jsonNumberArray(r.per_replica_completed));
+        out.push_back(row.render());
     }
     bench::writeBenchJson(path, "cluster_scaling", "cloudA800+edge4060",
                           out);

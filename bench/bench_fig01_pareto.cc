@@ -182,14 +182,13 @@ writeJson(const std::string &path)
     std::vector<std::string> rows;
     rows.reserve(g_points.size());
     for (const Point &p : g_points) {
-        char line[256];
-        std::snprintf(line, sizeof(line),
-                      "{\"scenario\": \"%s\", \"system\": \"%s\", "
-                      "\"budget\": %ld, \"norm_acc\": %.4f, "
-                      "\"norm_tput\": %.4f}",
-                      p.scenario.c_str(), p.system.c_str(), p.budget,
-                      p.norm_acc, p.norm_tput);
-        rows.push_back(line);
+        obs::JsonRow row;
+        row.str("scenario", p.scenario)
+            .str("system", p.system)
+            .num("budget", p.budget)
+            .num("norm_acc", p.norm_acc, "%.4f")
+            .num("norm_tput", p.norm_tput, "%.4f");
+        rows.push_back(row.render());
     }
     bench::writeBenchJson(path, "fig01_pareto", "cloudA800", rows);
 }

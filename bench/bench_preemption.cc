@@ -115,52 +115,39 @@ printRows(const std::vector<SchedRow> &rows)
     }
 }
 
-std::string
-ttftSeriesJson(const std::vector<double> &series)
-{
-    std::string out = "[";
-    for (size_t i = 0; i < series.size(); ++i) {
-        char buf[32];
-        std::snprintf(buf, sizeof(buf), "%s%.3f", i ? ", " : "",
-                      series[i]);
-        out += buf;
-    }
-    return out + "]";
-}
-
 void
 writeJson(const std::vector<SchedRow> &rows, const std::string &path)
 {
     std::vector<std::string> out;
     out.reserve(rows.size());
     for (const SchedRow &r : rows) {
-        char line[896];
-        std::snprintf(
-            line, sizeof(line),
-            "{\"mode\": \"%s\", \"victim_policy\": \"%s\", "
-            "\"load_factor\": %.2f, \"replicas\": 2, "
-            "\"trace\": \"multi-turn\", "
-            "\"goodput_tokens_per_s\": %.2f, "
-            "\"completed\": %ld, \"rejected\": %ld, "
-            "\"preemptions\": %ld, \"restores\": %ld, "
-            "\"recompute_tokens\": %ld, "
-            "\"restore_prefill_tokens\": %ld, "
-            "\"preempted_completed\": %ld, "
-            "\"ttft_mean_s\": %.3f, \"ttft_p99_s\": %.3f, "
-            "\"e2e_p99_s\": %.2f, \"queue_delay_mean_s\": %.3f, "
-            "\"peak_in_flight\": %ld, \"cache_hit_rate\": %.4f, "
-            "\"makespan_s\": %.2f, "
-            "\"ttft_mean_by_preemptions_s\": %s}",
-            r.mode.c_str(), r.victim.c_str(), r.load,
-            r.s.throughput_tokens_per_s, r.s.completed, r.rejected,
-            r.preempt.preemptions, r.preempt.restores,
-            r.preempt.recompute_tokens,
-            r.preempt.restore_prefill_tokens, r.s.preempted_completed,
-            r.s.ttft_mean, r.s.ttft_p99, r.s.e2e_p99,
-            r.s.queue_delay_mean, r.peak_in_flight,
-            r.prefix.hitRate(), r.s.makespan_seconds,
-            ttftSeriesJson(r.s.ttft_mean_by_preemptions).c_str());
-        out.push_back(line);
+        obs::JsonRow row;
+        row.str("mode", r.mode)
+            .str("victim_policy", r.victim)
+            .num("load_factor", r.load, "%.2f")
+            .num("replicas", static_cast<int64_t>(2))
+            .str("trace", "multi-turn")
+            .num("goodput_tokens_per_s",
+                 r.s.throughput_tokens_per_s, "%.2f")
+            .num("completed", r.s.completed)
+            .num("rejected", r.rejected)
+            .num("preemptions", r.preempt.preemptions)
+            .num("restores", r.preempt.restores)
+            .num("recompute_tokens", r.preempt.recompute_tokens)
+            .num("restore_prefill_tokens",
+                 r.preempt.restore_prefill_tokens)
+            .num("preempted_completed", r.s.preempted_completed)
+            .num("ttft_mean_s", r.s.ttft_mean, "%.3f")
+            .num("ttft_p99_s", r.s.ttft_p99, "%.3f")
+            .num("e2e_p99_s", r.s.e2e_p99, "%.2f")
+            .num("queue_delay_mean_s", r.s.queue_delay_mean, "%.3f")
+            .num("peak_in_flight", r.peak_in_flight)
+            .num("cache_hit_rate", r.prefix.hitRate(), "%.4f")
+            .num("makespan_s", r.s.makespan_seconds, "%.2f")
+            .raw("ttft_mean_by_preemptions_s",
+                 obs::jsonNumberArray(r.s.ttft_mean_by_preemptions,
+                                      "%.3f"));
+        out.push_back(row.render());
     }
     bench::writeBenchJson(path, "preemption", "2x cloudA800", out);
 }

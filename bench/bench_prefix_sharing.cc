@@ -100,28 +100,29 @@ writeJson(const std::vector<Row> &rows, const std::string &path)
     std::vector<std::string> out;
     out.reserve(rows.size());
     for (const Row &r : rows) {
-        char line[640];
-        std::snprintf(
-            line, sizeof(line),
-            "{\"policy\": \"%s\", \"families\": %ld, "
-            "\"cache_budget_gib\": %.1f, \"replicas\": 4, "
-            "\"trace\": \"shared-prefix\", "
-            "\"hit_rate\": %.4f, \"prefill_tokens_saved\": %ld, "
-            "\"hit_requests\": %ld, \"lookups\": %ld, "
-            "\"evicted_tokens\": %ld, "
-            "\"throughput_tokens_per_s\": %.2f, \"ttft_mean_s\": %.3f, "
-            "\"ttft_p50_s\": %.3f, \"ttft_p95_s\": %.3f, "
-            "\"ttft_p99_s\": %.3f, \"e2e_p99_s\": %.3f, "
-            "\"tpot_mean_s\": %.5f, \"completed\": %ld, "
-            "\"rejected\": %ld, \"makespan_s\": %.2f}",
-            r.policy.c_str(), r.families, r.budget_gib,
-            r.prefix.hitRate(), r.prefix.hit_tokens,
-            r.prefix.hit_requests, r.prefix.lookups,
-            r.prefix.evicted_tokens, r.s.throughput_tokens_per_s,
-            r.s.ttft_mean, r.s.ttft_p50, r.s.ttft_p95, r.s.ttft_p99,
-            r.s.e2e_p99, r.s.tpot_mean, r.s.completed, r.rejected,
-            r.s.makespan_seconds);
-        out.push_back(line);
+        obs::JsonRow row;
+        row.str("policy", r.policy)
+            .num("families", r.families)
+            .num("cache_budget_gib", r.budget_gib, "%.1f")
+            .num("replicas", static_cast<int64_t>(4))
+            .str("trace", "shared-prefix")
+            .num("hit_rate", r.prefix.hitRate(), "%.4f")
+            .num("prefill_tokens_saved", r.prefix.hit_tokens)
+            .num("hit_requests", r.prefix.hit_requests)
+            .num("lookups", r.prefix.lookups)
+            .num("evicted_tokens", r.prefix.evicted_tokens)
+            .num("throughput_tokens_per_s",
+                 r.s.throughput_tokens_per_s, "%.2f")
+            .num("ttft_mean_s", r.s.ttft_mean, "%.3f")
+            .num("ttft_p50_s", r.s.ttft_p50, "%.3f")
+            .num("ttft_p95_s", r.s.ttft_p95, "%.3f")
+            .num("ttft_p99_s", r.s.ttft_p99, "%.3f")
+            .num("e2e_p99_s", r.s.e2e_p99, "%.3f")
+            .num("tpot_mean_s", r.s.tpot_mean, "%.5f")
+            .num("completed", r.s.completed)
+            .num("rejected", r.rejected)
+            .num("makespan_s", r.s.makespan_seconds, "%.2f");
+        out.push_back(row.render());
     }
     bench::writeBenchJson(path, "prefix_sharing", "4x cloudA800", out);
 }

@@ -79,22 +79,23 @@ writeJson(const std::vector<Row> &rows, const std::string &path)
     std::vector<std::string> out;
     out.reserve(rows.size());
     for (const Row &r : rows) {
-        char line[640];
-        std::snprintf(
-            line, sizeof(line),
-            "{\"system\": \"%s\", \"trace\": \"%s\", "
-            "\"discipline\": \"%s\", \"throughput_tokens_per_s\": %.2f, "
-            "\"ttft_mean_s\": %.3f, \"ttft_p95_s\": %.3f, "
-            "\"tpot_mean_s\": %.5f, \"e2e_mean_s\": %.3f, "
-            "\"e2e_p95_s\": %.3f, \"queue_delay_mean_s\": %.3f, "
-            "\"completed\": %ld, \"rejected\": %ld, "
-            "\"peak_in_flight\": %ld, \"makespan_s\": %.2f}",
-            r.system.c_str(), r.trace.c_str(), r.discipline.c_str(),
-            r.s.throughput_tokens_per_s, r.s.ttft_mean, r.s.ttft_p95,
-            r.s.tpot_mean, r.s.e2e_mean, r.s.e2e_p95,
-            r.s.queue_delay_mean, r.s.completed, r.rejected, r.peak,
-            r.s.makespan_seconds);
-        out.push_back(line);
+        obs::JsonRow row;
+        row.str("system", r.system)
+            .str("trace", r.trace)
+            .str("discipline", r.discipline)
+            .num("throughput_tokens_per_s",
+                 r.s.throughput_tokens_per_s, "%.2f")
+            .num("ttft_mean_s", r.s.ttft_mean, "%.3f")
+            .num("ttft_p95_s", r.s.ttft_p95, "%.3f")
+            .num("tpot_mean_s", r.s.tpot_mean, "%.5f")
+            .num("e2e_mean_s", r.s.e2e_mean, "%.3f")
+            .num("e2e_p95_s", r.s.e2e_p95, "%.3f")
+            .num("queue_delay_mean_s", r.s.queue_delay_mean, "%.3f")
+            .num("completed", r.s.completed)
+            .num("rejected", r.rejected)
+            .num("peak_in_flight", r.peak)
+            .num("makespan_s", r.s.makespan_seconds, "%.2f");
+        out.push_back(row.render());
     }
     bench::writeBenchJson(path, "serving_continuous", "cloudA800", out);
 }

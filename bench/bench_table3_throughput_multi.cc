@@ -102,25 +102,20 @@ writeJson(const std::string &path)
     std::vector<std::string> rows;
     rows.reserve(g_cells.size());
     for (const Cell &c : g_cells) {
+        obs::JsonRow row;
+        row.str("model", c.model)
+            .str("workload", c.workload)
+            .str("system", c.system)
+            .boolean("feasible", c.feasible)
+            .num("best_batch", c.batch)
+            .num("throughput_tokens_per_s", c.throughput, "%.2f");
         // No anchor (eager infeasible on the workload) -> null, so
         // consumers cannot mistake it for a measured 0x speedup.
-        char speedup[32];
         if (c.speedup_vs_eager > 0.0)
-            std::snprintf(speedup, sizeof(speedup), "%.3f",
-                          c.speedup_vs_eager);
+            row.num("speedup_vs_eager", c.speedup_vs_eager, "%.3f");
         else
-            std::snprintf(speedup, sizeof(speedup), "null");
-        char line[320];
-        std::snprintf(
-            line, sizeof(line),
-            "{\"model\": \"%s\", \"workload\": \"%s\", "
-            "\"system\": \"%s\", \"feasible\": %s, \"best_batch\": %ld, "
-            "\"throughput_tokens_per_s\": %.2f, "
-            "\"speedup_vs_eager\": %s}",
-            c.model.c_str(), c.workload.c_str(), c.system.c_str(),
-            c.feasible ? "true" : "false", c.batch, c.throughput,
-            speedup);
-        rows.push_back(line);
+            row.raw("speedup_vs_eager", "null");
+        rows.push_back(row.render());
     }
     bench::writeBenchJson(path, "table3_throughput_multi", "cloudA800",
                           rows);

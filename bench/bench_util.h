@@ -16,6 +16,7 @@
 
 #include "core/live_engine.h"
 #include "model/distiller.h"
+#include "obs/json.h"
 #include "retrieval/retrieval_head.h"
 #include "tensor/rng.h"
 
@@ -79,7 +80,10 @@ section(const std::string &title)
 /**
  * Write a bench artifact as {"bench": ..., "hardware": ..., "rows":
  * [...]} — the shared writer of BENCH_*.json. Each entry of `rows` is
- * one complete JSON object (no trailing comma).
+ * one complete JSON object (no trailing comma); build rows with
+ * obs::JsonRow (and obs::jsonNumberArray for array fields) so key
+ * escaping and the `": "` / `", "` formatting contract live in one
+ * place.
  */
 inline void
 writeBenchJson(const std::string &path, const std::string &bench,

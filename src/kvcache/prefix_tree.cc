@@ -1,6 +1,7 @@
 #include "kvcache/prefix_tree.h"
 
 #include <stdexcept>
+#include <string>
 
 namespace specontext {
 namespace kv {
@@ -32,6 +33,17 @@ PrefixTree::PrefixTree(PrefixTreeConfig cfg) : cfg_(cfg)
 }
 
 PrefixTree::~PrefixTree() = default;
+
+void
+PrefixTree::setObserver(const PrefixTreeObserver &observer)
+{
+    observer_ = observer;
+    if (observer_.counters) {
+        evicted_counter_ = observer_.counters->counter(
+            "replica" + std::to_string(observer_.replica) +
+            ".prefix_evicted_tokens");
+    }
+}
 
 void
 PrefixTree::walkMatch(const std::vector<int32_t> &tokens,
@@ -221,6 +233,11 @@ PrefixTree::evictOne()
     evicted_tokens_ += cfg_.page_size;
     --node_count_;
     ++eviction_epoch_;
+    if (observer_.counters)
+        observer_.counters->add(evicted_counter_, cfg_.page_size);
+    OBS_EVENT(observer_.trace, obs::EventType::PrefixEvict,
+              observer_.clock ? *observer_.clock : 0.0,
+              observer_.replica, -1, cfg_.page_size, resident_tokens_);
     return true;
 }
 

@@ -42,8 +42,27 @@
 #include <memory>
 #include <vector>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
+
 namespace specontext {
 namespace kv {
+
+/**
+ * Observability hooks of one tree (all optional): eviction events go
+ * to `trace` stamped with `*clock` (the owning replica's simulated
+ * time — the tree itself has no clock) and the lifetime
+ * evicted-token counter publishes into `counters` under
+ * `replica<replica>.prefix_evicted_tokens`. Pointers are non-owning
+ * and must outlive the tree.
+ */
+struct PrefixTreeObserver
+{
+    obs::Trace *trace = nullptr;
+    obs::CounterRegistry *counters = nullptr;
+    int32_t replica = -1;
+    const double *clock = nullptr;
+};
 
 /** Construction knobs of one replica's prefix cache. */
 struct PrefixTreeConfig
@@ -121,6 +140,10 @@ class PrefixTree
 
     /** False when the budget is 0 — every operation is then a no-op. */
     bool enabled() const { return cfg_.budget_bytes > 0; }
+
+    /** Attach observability hooks (see PrefixTreeObserver); resolves
+     *  counter slots once. Call before the first insert/eviction. */
+    void setObserver(const PrefixTreeObserver &observer);
 
     /** Longest cached block-aligned prefix of `tokens`. Read-only. */
     PrefixMatch match(const std::vector<int32_t> &tokens) const;
@@ -210,6 +233,8 @@ class PrefixTree
      *  a node path held across the resize callback may have become
      *  stale and must be re-walked. */
     uint64_t eviction_epoch_ = 0;
+    PrefixTreeObserver observer_;
+    obs::CounterRegistry::Handle evicted_counter_ = 0;
 
     /** Walk the cached block-aligned prefix of `tokens`, appending the
      *  matched nodes (root excluded) to `path`. */

@@ -1,0 +1,63 @@
+#include "obs/counters.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace specontext {
+namespace obs {
+
+CounterRegistry::Handle
+CounterRegistry::getOrCreate(const std::string &name, bool is_gauge)
+{
+    const auto it = index_.find(name);
+    if (it != index_.end()) {
+        if (is_gauge_[it->second] != is_gauge)
+            throw std::invalid_argument(
+                "CounterRegistry: '" + name +
+                "' already registered as a " +
+                (is_gauge ? "counter" : "gauge"));
+        return it->second;
+    }
+    const Handle h = values_.size();
+    index_.emplace(name, h);
+    names_.push_back(name);
+    values_.push_back(0);
+    is_gauge_.push_back(is_gauge);
+    return h;
+}
+
+CounterRegistry::Handle
+CounterRegistry::counter(const std::string &name)
+{
+    return getOrCreate(name, false);
+}
+
+CounterRegistry::Handle
+CounterRegistry::gauge(const std::string &name)
+{
+    return getOrCreate(name, true);
+}
+
+int64_t
+CounterRegistry::valueOf(const std::string &name) const
+{
+    const auto it = index_.find(name);
+    return it == index_.end() ? 0 : values_[it->second];
+}
+
+std::vector<CounterRegistry::Entry>
+CounterRegistry::snapshot() const
+{
+    std::vector<Entry> out;
+    out.reserve(values_.size());
+    for (size_t i = 0; i < values_.size(); ++i)
+        out.push_back({names_[i], values_[i], is_gauge_[i] == true});
+    std::sort(out.begin(), out.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+} // namespace obs
+} // namespace specontext

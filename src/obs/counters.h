@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Always-on component counters: a string-keyed registry of monotonic
+ * counters and gauges that every layer of the serving stack publishes
+ * into (SESC's ThreadStats is the model — resolve a name to a slot
+ * once at wiring time, then bump a plain int64 on the hot path).
+ *
+ * Names follow the `component.metric` / `replica<N>.metric` convention
+ * documented in README's Observability section; snapshot() is cheap
+ * and callable mid-run, which is exactly the feed a future SLO-driven
+ * autoscaler polls (arrival rate, queue depth, live KV occupancy).
+ *
+ * Counters are *monotonic* (add only); gauges are set to the current
+ * level. Both live in one slot table so one snapshot sees a coherent
+ * view. Not thread-safe (single-threaded simulator).
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace specontext {
+namespace obs {
+
+/** String-keyed slot table of counters and gauges. */
+class CounterRegistry
+{
+  public:
+    /** Stable slot index; resolve once, bump forever. */
+    using Handle = size_t;
+
+    /** Get-or-create the monotonic counter `name`.
+     *  @throws std::invalid_argument when `name` exists as a gauge. */
+    Handle counter(const std::string &name);
+
+    /** Get-or-create the gauge `name`.
+     *  @throws std::invalid_argument when `name` exists as a counter. */
+    Handle gauge(const std::string &name);
+
+    /** Bump a slot (counters; gauges accept deltas too). */
+    void add(Handle h, int64_t delta) { values_[h] += delta; }
+
+    /** Set a slot to its current level (gauges). */
+    void set(Handle h, int64_t value) { values_[h] = value; }
+
+    int64_t value(Handle h) const { return values_[h]; }
+
+    /** Value of `name`; 0 when the slot does not exist (absent and
+     *  never-bumped counters read the same — both mean "nothing
+     *  happened"). */
+    int64_t valueOf(const std::string &name) const;
+
+    /** Registered slots. */
+    size_t size() const { return values_.size(); }
+
+    /** Slot names in registration order (the time-series columns). */
+    const std::vector<std::string> &names() const { return names_; }
+
+    /** True when slot `h` is a gauge. */
+    bool isGauge(Handle h) const { return is_gauge_[h]; }
+
+    struct Entry
+    {
+        std::string name;
+        int64_t value = 0;
+        bool is_gauge = false;
+    };
+
+    /** Coherent mid-run view of every slot, sorted by name. */
+    std::vector<Entry> snapshot() const;
+
+    /** Current values in registration order (the sampler's row). */
+    const std::vector<int64_t> &values() const { return values_; }
+
+  private:
+    Handle getOrCreate(const std::string &name, bool is_gauge);
+
+    std::unordered_map<std::string, Handle> index_;
+    std::vector<std::string> names_;
+    std::vector<int64_t> values_;
+    std::vector<bool> is_gauge_;
+};
+
+} // namespace obs
+} // namespace specontext

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Exporters of the observability layer:
+ *
+ *  - writeChromeTrace(): the event ring as Chrome trace-event JSON —
+ *    one lane (tid) per replica, instant markers for every event plus
+ *    reconstructed duration slices (request residency from
+ *    Admit/Restore to Preempt/Complete, prefill from
+ *    PrefillStart/End). Open the file at https://ui.perfetto.dev or
+ *    chrome://tracing.
+ *
+ *  - writeCountersJson(): the counter registry as a flat JSON
+ *    document, name-sorted, with counter/gauge kinds — the mid-run or
+ *    end-of-run metrics dump.
+ *
+ *  - writeTimeseriesCsv(): the sampler's rows as CSV (one column per
+ *    registered slot, one row per cadence instant) — ready for any
+ *    plotting tool.
+ *
+ * All writers return false (after printing the reason) when the file
+ * cannot be opened; output is deterministic for a given input, so
+ * artifacts diff cleanly across runs.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace specontext {
+namespace obs {
+
+class CounterRegistry;
+class TimeseriesSampler;
+class Trace;
+
+/**
+ * Write `trace` as Chrome trace-event JSON to `path`. `lane_names`
+ * optionally labels replica lanes (index = replica id) via
+ * thread_name metadata; unnamed lanes show as "replica<N>".
+ */
+bool writeChromeTrace(const Trace &trace, const std::string &path,
+                      const std::vector<std::string> &lane_names = {});
+
+/** Write `registry` as {"counters": [{name, kind, value}...]} (name-
+ *  sorted) to `path`. */
+bool writeCountersJson(const CounterRegistry &registry,
+                       const std::string &path);
+
+/** Write `sampler`'s rows as CSV to `path`: header
+ *  `t_seconds,<slot>...`, rows padded with 0 for slots registered
+ *  after the row was taken. */
+bool writeTimeseriesCsv(const TimeseriesSampler &sampler,
+                        const std::string &path);
+
+} // namespace obs
+} // namespace specontext

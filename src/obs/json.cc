@@ -1,0 +1,386 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace specontext {
+namespace obs {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+JsonRow &
+JsonRow::field(const std::string &key, const std::string &rendered)
+{
+    if (!body_.empty())
+        body_ += ", ";
+    body_ += "\"" + jsonEscape(key) + "\": " + rendered;
+    return *this;
+}
+
+JsonRow &
+JsonRow::str(const std::string &key, const std::string &value)
+{
+    return field(key, "\"" + jsonEscape(value) + "\"");
+}
+
+JsonRow &
+JsonRow::num(const std::string &key, int64_t value)
+{
+    return field(key, std::to_string(value));
+}
+
+JsonRow &
+JsonRow::num(const std::string &key, double value, const char *fmt)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, value);
+    return field(key, buf);
+}
+
+JsonRow &
+JsonRow::boolean(const std::string &key, bool value)
+{
+    return field(key, value ? "true" : "false");
+}
+
+JsonRow &
+JsonRow::raw(const std::string &key, const std::string &json)
+{
+    return field(key, json);
+}
+
+std::string
+jsonNumberArray(const std::vector<double> &values, const char *fmt)
+{
+    std::string out = "[";
+    char buf[64];
+    for (size_t i = 0; i < values.size(); ++i) {
+        std::snprintf(buf, sizeof(buf), fmt, values[i]);
+        out += (i ? ", " : "") + std::string(buf);
+    }
+    return out + "]";
+}
+
+std::string
+jsonNumberArray(const std::vector<int64_t> &values)
+{
+    std::string out = "[";
+    for (size_t i = 0; i < values.size(); ++i)
+        out += (i ? ", " : "") + std::to_string(values[i]);
+    return out + "]";
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/** Recursive-descent parser over a string view (RFC 8259 subset:
+ *  exactly standard JSON, no extensions). */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool parseDocument(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    const std::string &text_;
+    std::string *error_;
+    size_t pos_ = 0;
+
+    bool fail(const std::string &reason)
+    {
+        if (error_)
+            *error_ = "offset " + std::to_string(pos_) + ": " + reason;
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos_;
+            else
+                break;
+        }
+    }
+
+    bool literal(const char *word, size_t n)
+    {
+        if (text_.compare(pos_, n, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos_ += n;
+        return true;
+    }
+
+    bool parseValue(JsonValue &out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true", 4);
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false", 5);
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null", 4);
+          default: return parseNumber(out);
+        }
+    }
+
+    bool parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key string");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':' after object key");
+            ++pos_;
+            skipWs();
+            JsonValue member;
+            if (!parseValue(member))
+                return false;
+            out.object[key] = std::move(member);
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue element;
+            if (!parseValue(element))
+                return false;
+            out.array.push_back(std::move(element));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool parseHex4(unsigned &out)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_ + static_cast<size_t>(i)];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return fail("bad hex digit in \\u escape");
+        }
+        pos_ += 4;
+        return true;
+    }
+
+    /** UTF-8-encode a code point (no surrogate-pair recombination —
+     *  the exporters never emit any; lone surrogates encode as-is). */
+    void appendUtf8(std::string &s, unsigned cp)
+    {
+        if (cp < 0x80) {
+            s += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            s += static_cast<char>(0xc0 | (cp >> 6));
+            s += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            s += static_cast<char>(0xe0 | (cp >> 12));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            s += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("truncated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                unsigned cp = 0;
+                if (!parseHex4(cp))
+                    return false;
+                appendUtf8(out, cp);
+                break;
+              }
+              default: return fail("unknown escape character");
+            }
+        }
+    }
+
+    bool parseNumber(JsonValue &out)
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        auto digits = [&] {
+            const size_t before = pos_;
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9')
+                ++pos_;
+            return pos_ > before;
+        };
+        // Integer part: one zero, or a nonzero digit run (RFC 8259
+        // forbids leading zeros).
+        if (pos_ < text_.size() && text_[pos_] == '0') {
+            ++pos_;
+        } else if (!digits()) {
+            return fail("expected number");
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (!digits())
+                return fail("expected digits after decimal point");
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (!digits())
+                return fail("expected exponent digits");
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::strtod(text_.c_str() + start, nullptr);
+        return true;
+    }
+};
+
+} // namespace
+
+bool
+jsonParse(const std::string &text, JsonValue &out, std::string *error)
+{
+    out = JsonValue{};
+    Parser p(text, error);
+    return p.parseDocument(out);
+}
+
+} // namespace obs
+} // namespace specontext

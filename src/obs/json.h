@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Minimal JSON utilities of the observability layer: string escaping,
+ * a flat `{"key": value, ...}` row builder, and a small DOM parser —
+ * enough for the exporters (Chrome trace, counters dump, time-series)
+ * and their round-trip validation in ctest, with zero external
+ * dependencies.
+ *
+ * The row builder is also the shared backend of the bench JSON
+ * emitters (bench/bench_util.h): every BENCH_*.json row is built
+ * through it, so the formatting contract — `": "` after keys, `", "`
+ * between fields, caller-chosen printf precision for doubles — lives
+ * in exactly one place. The builder reproduces the historical
+ * hand-rolled snprintf output byte-for-byte; the committed BENCH
+ * files pin that.
+ *
+ * The parser builds a simple tagged-union DOM. It accepts exactly
+ * standard JSON (RFC 8259): no comments, no trailing commas. It
+ * exists for *validation and tests*, not performance.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace specontext {
+namespace obs {
+
+/** `s` with JSON string escapes applied ("\"" for quote, "\\" for
+ *  backslash, \b \f \n \r \t, \u00XX for other control bytes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Builder of one flat JSON object, fields in insertion order:
+ *
+ *     JsonRow row;
+ *     row.str("mode", mode).num("load", load, "%.2f").num("n", n);
+ *     out.push_back(row.render()); // {"mode": "x", "load": 0.05, "n": 4}
+ */
+class JsonRow
+{
+  public:
+    /** Escaped string field. */
+    JsonRow &str(const std::string &key, const std::string &value);
+
+    /** Integer field. */
+    JsonRow &num(const std::string &key, int64_t value);
+
+    /** Double field under a printf format spec (default "%.2f" —
+     *  always pass the spec the artifact's schema promises). */
+    JsonRow &num(const std::string &key, double value,
+                 const char *fmt = "%.2f");
+
+    JsonRow &boolean(const std::string &key, bool value);
+
+    /** Verbatim JSON fragment (an array, "null", a nested object). */
+    JsonRow &raw(const std::string &key, const std::string &json);
+
+    /** The assembled `{...}` object. */
+    std::string render() const { return "{" + body_ + "}"; }
+
+  private:
+    JsonRow &field(const std::string &key, const std::string &rendered);
+    std::string body_;
+};
+
+/** `[v, v, ...]` of doubles under one printf format spec. */
+std::string jsonNumberArray(const std::vector<double> &values,
+                            const char *fmt = "%.3f");
+
+/** `[v, v, ...]` of integers. */
+std::string jsonNumberArray(const std::vector<int64_t> &values);
+
+/** Parsed JSON value (tagged union). */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /** Ordered map: object keys sorted; duplicate keys keep the last. */
+    std::map<std::string, JsonValue> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+};
+
+/**
+ * Parse `text` as one JSON document. Returns false (and sets `error`
+ * to "offset N: reason" when non-null) on any syntax violation,
+ * including trailing garbage after the document.
+ */
+bool jsonParse(const std::string &text, JsonValue &out,
+               std::string *error = nullptr);
+
+} // namespace obs
+} // namespace specontext

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The observability context threaded through the serving stack: a
+ * bundle of non-owning pointers to the trace ring, the counter
+ * registry and the time-series sampler. Every component accepts one
+ * by value in its config; all pointers default to nullptr, which is
+ * "observability off" — the hot loop then pays a predicted null check
+ * per site (or nothing at all with SPECONTEXT_OBS_ENABLED=0) and
+ * produces bit-identical results (tests/test_obs.cc pins this).
+ *
+ * Lifetime: the caller that builds the Trace/CounterRegistry/Sampler
+ * owns them and must keep them alive across the run they observe
+ * (benches and examples stack-allocate them around Cluster::run).
+ */
+#pragma once
+
+#include "obs/counters.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+
+namespace specontext {
+namespace obs {
+
+/** Non-owning hooks into the three observability layers. */
+struct Observability
+{
+    Trace *trace = nullptr;             ///< structured event ring
+    CounterRegistry *counters = nullptr; ///< always-on counters/gauges
+    TimeseriesSampler *sampler = nullptr; ///< fixed-cadence gauge sampling
+
+    /** True when any layer is attached. */
+    bool enabled() const { return trace || counters || sampler; }
+};
+
+} // namespace obs
+} // namespace specontext

@@ -1,0 +1,38 @@
+#include "obs/sampler.h"
+
+#include <stdexcept>
+
+#include "obs/counters.h"
+
+namespace specontext {
+namespace obs {
+
+TimeseriesSampler::TimeseriesSampler(const CounterRegistry *registry,
+                                     TimeseriesSamplerConfig cfg)
+    : registry_(registry), cfg_(cfg)
+{
+    if (!registry_)
+        throw std::invalid_argument("TimeseriesSampler: null registry");
+    if (!(cfg_.interval_seconds > 0.0))
+        throw std::invalid_argument(
+            "TimeseriesSampler: non-positive interval");
+}
+
+void
+TimeseriesSampler::sample(double now_seconds)
+{
+    while (next_sample_ <= now_seconds) {
+        if (samples_.size() < cfg_.max_samples) {
+            SamplePoint p;
+            p.t_seconds = next_sample_;
+            p.values = registry_->values();
+            samples_.push_back(std::move(p));
+        } else {
+            ++dropped_;
+        }
+        next_sample_ += cfg_.interval_seconds;
+    }
+}
+
+} // namespace obs
+} // namespace specontext

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fixed-cadence time-series sampling over the counter registry: the
+ * serving loop calls sample(now) as simulated time advances, and the
+ * sampler records one row of every registered slot at each cadence
+ * crossing — the raw material for "queue depth over time" / "live KV
+ * occupancy over time" plots and the observation window a future
+ * autoscaler trains its control loop on.
+ *
+ * Rows are stamped at the exact cadence instants (k * interval), not
+ * at the event times that crossed them: counters only change at
+ * discrete simulated events, so the value *at* the crossing equals
+ * the value carried since the last event — sampling on crossing is
+ * exact, not an approximation.
+ *
+ * The row count is bounded (max_samples); past the cap new crossings
+ * are counted in droppedSamples() but not stored, so a million-
+ * request sweep cannot balloon memory. Columns are the registry's
+ * slots in registration order; slots registered after the first
+ * sample produce ragged early rows, which the exporters pad with 0.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace specontext {
+namespace obs {
+
+class CounterRegistry;
+
+/** Sampler knobs. */
+struct TimeseriesSamplerConfig
+{
+    /** Simulated seconds between rows. */
+    double interval_seconds = 1.0;
+    /** Hard cap on stored rows (memory bound for long sweeps). */
+    size_t max_samples = 1 << 16;
+};
+
+/** One recorded row: gauge/counter values at a cadence instant. */
+struct SamplePoint
+{
+    double t_seconds = 0.0;
+    /** Registry values in registration order at this instant; may be
+     *  shorter than the registry's final width when slots were
+     *  registered later (exporters pad with 0). */
+    std::vector<int64_t> values;
+};
+
+/** Fixed-cadence recorder over one CounterRegistry. */
+class TimeseriesSampler
+{
+  public:
+    /** @throws std::invalid_argument on null registry or non-positive
+     *  interval. */
+    TimeseriesSampler(const CounterRegistry *registry,
+                      TimeseriesSamplerConfig cfg = {});
+
+    const TimeseriesSamplerConfig &config() const { return cfg_; }
+    const CounterRegistry &registry() const { return *registry_; }
+
+    /**
+     * Record a row at every cadence instant in (last, now]; the first
+     * row lands at t = 0 (trace start). Idempotent for non-advancing
+     * time: sample(t) twice records once.
+     */
+    void sample(double now_seconds);
+
+    const std::vector<SamplePoint> &samples() const { return samples_; }
+
+    /** Cadence crossings past max_samples (counted, not stored). */
+    uint64_t droppedSamples() const { return dropped_; }
+
+  private:
+    const CounterRegistry *registry_;
+    TimeseriesSamplerConfig cfg_;
+    std::vector<SamplePoint> samples_;
+    double next_sample_ = 0.0;
+    uint64_t dropped_ = 0;
+};
+
+} // namespace obs
+} // namespace specontext

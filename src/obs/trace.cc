@@ -1,0 +1,56 @@
+#include "obs/trace.h"
+
+#include <stdexcept>
+
+namespace specontext {
+namespace obs {
+
+const char *
+eventTypeName(EventType t)
+{
+    switch (t) {
+      case EventType::Enqueue: return "Enqueue";
+      case EventType::Admit: return "Admit";
+      case EventType::PrefillStart: return "PrefillStart";
+      case EventType::PrefillEnd: return "PrefillEnd";
+      case EventType::DecodeStep: return "DecodeStep";
+      case EventType::Preempt: return "Preempt";
+      case EventType::Restore: return "Restore";
+      case EventType::Complete: return "Complete";
+      case EventType::Reject: return "Reject";
+      case EventType::RouterPlace: return "RouterPlace";
+      case EventType::PrefixHit: return "PrefixHit";
+      case EventType::PrefixInsert: return "PrefixInsert";
+      case EventType::PrefixEvict: return "PrefixEvict";
+      case EventType::KvClamp: return "KvClamp";
+    }
+    return "?";
+}
+
+Trace::Trace(TraceConfig cfg) : cfg_(cfg)
+{
+    if (cfg_.capacity == 0)
+        throw std::invalid_argument("Trace: zero capacity");
+    ring_.reserve(cfg_.capacity);
+}
+
+std::vector<TraceEvent>
+Trace::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    for (size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    return out;
+}
+
+void
+Trace::clear()
+{
+    ring_.clear();
+    head_ = 0;
+    emitted_ = 0;
+}
+
+} // namespace obs
+} // namespace specontext

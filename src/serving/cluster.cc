@@ -19,8 +19,12 @@ Cluster::Cluster(const core::TimingEngine &engine, ClusterConfig cfg)
     for (size_t i = 0; i < cfg_.replicas.size(); ++i) {
         cfg_.replicas[i].id = static_cast<int64_t>(i);
         // Validate every replica config now (throws on wave-only or
-        // null systems / bad max_batch), not at first run().
-        ReplicaEngine probe(engine_, cfg_.replicas[i]);
+        // null systems / bad max_batch), not at first run(). The probe
+        // runs unobserved — a throwaway engine must not emit events or
+        // resolve counters.
+        ReplicaConfig probe_cfg = cfg_.replicas[i];
+        probe_cfg.obs = {};
+        ReplicaEngine probe(engine_, probe_cfg);
         cfg_.replicas[i].name = probe.config().name;
     }
 }
@@ -32,9 +36,20 @@ Cluster::run(std::vector<Request> trace) const
 
     std::vector<std::unique_ptr<ReplicaEngine>> fleet;
     fleet.reserve(cfg_.replicas.size());
-    for (const ReplicaConfig &rc : cfg_.replicas)
-        fleet.push_back(std::make_unique<ReplicaEngine>(engine_, rc));
+    for (const ReplicaConfig &rc : cfg_.replicas) {
+        if (cfg_.obs.enabled()) {
+            ReplicaConfig observed = rc;
+            observed.obs = cfg_.obs;
+            fleet.push_back(
+                std::make_unique<ReplicaEngine>(engine_, observed));
+        } else {
+            fleet.push_back(
+                std::make_unique<ReplicaEngine>(engine_, rc));
+        }
+    }
     Router router(cfg_.router);
+    router.attachObservability(cfg_.obs, fleet.size());
+    obs::TimeseriesSampler *sampler = cfg_.obs.sampler;
 
     ClusterResult out;
     size_t next = 0;
@@ -47,6 +62,11 @@ Cluster::run(std::vector<Request> trace) const
         while (next < trace.size() &&
                trace[next].arrival_seconds <= t) {
             const size_t target = router.route(trace[next], fleet);
+            OBS_EVENT(cfg_.obs.trace, obs::EventType::RouterPlace,
+                      trace[next].arrival_seconds,
+                      static_cast<int32_t>(target), trace[next].id,
+                      trace[next].prompt_len,
+                      static_cast<int64_t>(cfg_.router.policy));
             out.placements.push_back(
                 {trace[next].id, static_cast<int64_t>(target)});
             // Moved, not copied: prompt_tokens can be kilobytes per
@@ -60,6 +80,7 @@ Cluster::run(std::vector<Request> trace) const
     // unrouted arrival or the earliest replica event — never
     // lock-stepping the fleet.
     sim::EventClock clock(fleet.size());
+    clock.attachObservability(cfg_.obs);
     while (true) {
         for (size_t i = 0; i < fleet.size(); ++i)
             clock.set(i, fleet[i]->nextEventSeconds());
@@ -70,6 +91,14 @@ Cluster::run(std::vector<Request> trace) const
                 : std::numeric_limits<double>::infinity();
         if (!std::isfinite(t_replica) && !std::isfinite(t_arrival))
             break; // fleet drained, trace exhausted
+        // Time-series rows are cut as simulated time passes each
+        // cadence point — before the round runs, so a row reflects
+        // the fleet's state entering that instant.
+        if (sampler) {
+            const double t_now = std::min(t_replica, t_arrival);
+            if (std::isfinite(t_now))
+                sampler->sample(t_now);
+        }
         if (t_arrival <= t_replica) {
             // Arrivals route before any replica reaches t_arrival, so
             // the same-instant ordering matches the single server's
@@ -77,7 +106,7 @@ Cluster::run(std::vector<Request> trace) const
             routeUpTo(t_arrival);
             continue;
         }
-        fleet[clock.earliestLane()]->step(routeUpTo);
+        fleet[clock.fire()]->step(routeUpTo);
     }
 
     // Aggregate: per-replica results plus the fleet-wide roll-up.
@@ -97,6 +126,10 @@ Cluster::run(std::vector<Request> trace) const
         out.fleet.makespan_seconds =
             std::max(out.fleet.makespan_seconds, r.makespan_seconds);
     }
+    // Final flush: one last row at the fleet makespan so the series
+    // always covers the whole run.
+    if (sampler)
+        sampler->sample(out.fleet.makespan_seconds);
     return out;
 }
 

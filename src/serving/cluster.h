@@ -38,6 +38,12 @@ struct ClusterConfig
 {
     std::vector<ReplicaConfig> replicas;
     RouterConfig router;
+    /** Fleet-wide observability (trace / counters / sampler). When any
+     *  hook is set it is propagated to every replica, the router and
+     *  the event clock at run(); all-null (the default) is bit-for-bit
+     *  the unobserved cluster. Pointers are caller-owned and must
+     *  outlive run(). */
+    obs::Observability obs;
 };
 
 /** One routing decision (request -> replica), in routed order. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace specontext {
@@ -25,6 +26,7 @@ ServingMetrics::record(const Request &r, int64_t replica)
     rec.preemptions = r.preemptions;
     rec.recompute_tokens = r.recompute_tokens;
     records_.push_back(rec);
+    series_cache_.clear();
 }
 
 void
@@ -32,6 +34,7 @@ ServingMetrics::merge(const ServingMetrics &other)
 {
     records_.insert(records_.end(), other.records_.begin(),
                     other.records_.end());
+    series_cache_.clear();
 }
 
 std::vector<int64_t>
@@ -71,14 +74,11 @@ ServingMetrics::percentile(std::vector<double> values, double p)
     return percentileSorted(values, p);
 }
 
-namespace {
-
-/** Shared aggregation body of summarize()/summarizeReplica(); records
- *  with replica != `replica` are skipped when `filter` is set. */
 ServingSummary
-summarizeRecords(const std::vector<RequestRecord> &records, bool filter,
-                 int64_t replica, double makespan_seconds)
+ServingMetrics::summarizeScoped(bool filter, int64_t replica,
+                                double makespan_seconds) const
 {
+    const std::vector<RequestRecord> &records = records_;
     ServingSummary s;
     s.makespan_seconds = makespan_seconds;
 
@@ -136,15 +136,28 @@ summarizeRecords(const std::vector<RequestRecord> &records, bool filter,
     s.ttft_mean = mean(ttft);
     s.e2e_mean = mean(e2e);
 
-    // Sort each series once; all three quantiles read from it.
-    std::sort(ttft.begin(), ttft.end());
-    std::sort(e2e.begin(), e2e.end());
-    s.ttft_p50 = ServingMetrics::percentileSorted(ttft, 50.0);
-    s.ttft_p95 = ServingMetrics::percentileSorted(ttft, 95.0);
-    s.ttft_p99 = ServingMetrics::percentileSorted(ttft, 99.0);
-    s.e2e_p50 = ServingMetrics::percentileSorted(e2e, 50.0);
-    s.e2e_p95 = ServingMetrics::percentileSorted(e2e, 95.0);
-    s.e2e_p99 = ServingMetrics::percentileSorted(e2e, 99.0);
+    // Sort each series once per scope *per records generation*: the
+    // sorted vectors are memoized until the next record()/merge(), so
+    // a caller polling summarize() mid-run pays the O(n log n) only on
+    // the first read after new completions.
+    const int64_t key =
+        filter ? replica : std::numeric_limits<int64_t>::min();
+    auto memo = series_cache_.find(key);
+    if (memo == series_cache_.end()) {
+        std::sort(ttft.begin(), ttft.end());
+        std::sort(e2e.begin(), e2e.end());
+        SortedSeries ss;
+        ss.ttft = std::move(ttft);
+        ss.e2e = std::move(e2e);
+        memo = series_cache_.emplace(key, std::move(ss)).first;
+    }
+    const SortedSeries &ss = memo->second;
+    s.ttft_p50 = ServingMetrics::percentileSorted(ss.ttft, 50.0);
+    s.ttft_p95 = ServingMetrics::percentileSorted(ss.ttft, 95.0);
+    s.ttft_p99 = ServingMetrics::percentileSorted(ss.ttft, 99.0);
+    s.e2e_p50 = ServingMetrics::percentileSorted(ss.e2e, 50.0);
+    s.e2e_p95 = ServingMetrics::percentileSorted(ss.e2e, 95.0);
+    s.e2e_p99 = ServingMetrics::percentileSorted(ss.e2e, 99.0);
     s.tpot_mean = tpot_sum / n;
     s.queue_delay_mean = queue_sum / n;
     if (makespan_seconds > 0.0)
@@ -154,19 +167,17 @@ summarizeRecords(const std::vector<RequestRecord> &records, bool filter,
     return s;
 }
 
-} // namespace
-
 ServingSummary
 ServingMetrics::summarize(double makespan_seconds) const
 {
-    return summarizeRecords(records_, false, 0, makespan_seconds);
+    return summarizeScoped(false, 0, makespan_seconds);
 }
 
 ServingSummary
 ServingMetrics::summarizeReplica(int64_t replica,
                                  double makespan_seconds) const
 {
-    return summarizeRecords(records_, true, replica, makespan_seconds);
+    return summarizeScoped(true, replica, makespan_seconds);
 }
 
 } // namespace serving

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "serving/request.h"
@@ -144,7 +145,27 @@ class ServingMetrics
                                     double makespan_seconds) const;
 
   private:
+    /** Sorted ttft/e2e series of one summarize scope, memoized so a
+     *  polling caller (mid-run dashboards, the obs sampler's consumer)
+     *  does not re-pay the O(n log n) sort per call. Sorting the same
+     *  multiset is deterministic, so cached and fresh percentiles are
+     *  bit-identical. */
+    struct SortedSeries
+    {
+        std::vector<double> ttft;
+        std::vector<double> e2e;
+    };
+
+    /** Shared body of summarize()/summarizeReplica(): accumulate means
+     *  in record order (bit-pinned), then read percentiles from the
+     *  memoized sorted series of this scope. */
+    ServingSummary summarizeScoped(bool filter, int64_t replica,
+                                   double makespan_seconds) const;
+
     std::vector<RequestRecord> records_;
+    /** Per-scope memo (key: replica id, INT64_MIN = fleet-wide);
+     *  cleared whenever records_ changes. */
+    mutable std::map<int64_t, SortedSeries> series_cache_;
 };
 
 } // namespace serving

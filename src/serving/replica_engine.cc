@@ -91,6 +91,62 @@ ReplicaEngine::ReplicaEngine(const core::TimingEngine &engine,
                     cfg_.timing.hw.name + "/" +
                     cfg_.timing.system->name() + ")";
     }
+    trace_ = cfg_.obs.trace;
+    counters_ = cfg_.obs.counters;
+    if (counters_) {
+        const std::string p = "replica" + std::to_string(cfg_.id) + ".";
+        slots_.enqueued_requests =
+            counters_->counter(p + "enqueued_requests");
+        slots_.admitted_requests =
+            counters_->counter(p + "admitted_requests");
+        slots_.admitted_prefill_tokens =
+            counters_->counter(p + "admitted_prefill_tokens");
+        slots_.prefix_hit_tokens =
+            counters_->counter(p + "prefix_hit_tokens");
+        slots_.preemptions = counters_->counter(p + "preemptions");
+        slots_.preempted_tokens =
+            counters_->counter(p + "preempted_tokens");
+        slots_.restores = counters_->counter(p + "restores");
+        slots_.recompute_tokens =
+            counters_->counter(p + "recompute_tokens");
+        slots_.completed_requests =
+            counters_->counter(p + "completed_requests");
+        slots_.rejected_requests =
+            counters_->counter(p + "rejected_requests");
+        slots_.generated_tokens =
+            counters_->counter(p + "generated_tokens");
+        slots_.decode_iterations =
+            counters_->counter(p + "decode_iterations");
+        slots_.queue_depth = counters_->gauge(p + "queue_depth");
+        slots_.in_flight = counters_->gauge(p + "in_flight");
+        slots_.live_kv_bytes = counters_->gauge(p + "live_kv_bytes");
+        slots_.prefix_resident_bytes =
+            counters_->gauge(p + "prefix_resident_bytes");
+        slots_.prefix_pinned_bytes =
+            counters_->gauge(p + "prefix_pinned_bytes");
+    }
+    scheduler_.attachObservability(cfg_.obs, cfg_.id);
+    kv::PrefixTreeObserver tree_obs;
+    tree_obs.trace = trace_;
+    tree_obs.counters = counters_;
+    tree_obs.replica = static_cast<int32_t>(cfg_.id);
+    tree_obs.clock = &now_;
+    prefix_tree_.setObserver(tree_obs);
+}
+
+void
+ReplicaEngine::publishGauges()
+{
+    if (!counters_)
+        return;
+    counters_->set(slots_.queue_depth, waiting());
+    counters_->set(slots_.in_flight,
+                   static_cast<int64_t>(active_.size()));
+    counters_->set(slots_.live_kv_bytes,
+                   liveKvTokens() * kvBytesPerToken(cfg_.timing));
+    counters_->set(slots_.prefix_resident_bytes, prefix_tree_.bytes());
+    counters_->set(slots_.prefix_pinned_bytes,
+                   prefix_tree_.pinnedBytes());
 }
 
 int64_t
@@ -195,12 +251,23 @@ ReplicaEngine::syncPrefixBudget(int64_t extra_reserved_tokens,
     // the candidate's own prompt is about to insert-and-pin (also
     // inside extra_reserved_tokens), so they do not displace idle
     // cache the physical accounting would let stay.
+    const int64_t idle_budget = std::max<int64_t>(
+        0, std::min(configured_prefix_budget_,
+                    std::max<int64_t>(headroom, 0)));
     prefix_tree_.setBudget(
-        std::max<int64_t>(
-            0, std::min(configured_prefix_budget_,
-                        std::max<int64_t>(headroom, 0))) +
-        prefix_tree_.pinnedBytes() +
+        idle_budget + prefix_tree_.pinnedBytes() +
         extra_budget_tokens * kvBytesPerToken(cfg_.timing));
+#if SPECONTEXT_OBS_ENABLED
+    // The trace records the *idle* clamp (the evictable-cache cap) and
+    // only when it changes — every admission re-clamps, but only
+    // pressure transitions are interesting.
+    if (trace_ && idle_budget != last_clamp_emitted_) {
+        trace_->emit(obs::EventType::KvClamp, now_,
+                     static_cast<int32_t>(cfg_.id), -1, idle_budget,
+                     configured_prefix_budget_);
+        last_clamp_emitted_ = idle_budget;
+    }
+#endif
 }
 
 int64_t
@@ -247,6 +314,7 @@ ReplicaEngine::admitThroughPrefixCache(Request &r)
     // One combined traversal: match, resize (the callback above),
     // pin + insert — the fused form of the legacy three-walk
     // admission sequence.
+    const int64_t inserted_before = prefix_tree_.insertedTokens();
     kv::MatchAndPinResult pin =
         prefix_tree_.matchAndPin(r.prompt_tokens, resizeToHeadroom);
     // Prefill must still compute at least the last token of the
@@ -262,6 +330,22 @@ ReplicaEngine::admitThroughPrefixCache(Request &r)
         ++result_.prefix.hit_requests;
         result_.prefix.hit_tokens += hit;
     }
+#if SPECONTEXT_OBS_ENABLED
+    if (trace_) {
+        if (hit > 0)
+            trace_->emit(obs::EventType::PrefixHit, now_,
+                         static_cast<int32_t>(cfg_.id), r.id, hit,
+                         r.prompt_len);
+        const int64_t inserted =
+            prefix_tree_.insertedTokens() - inserted_before;
+        if (inserted > 0)
+            trace_->emit(obs::EventType::PrefixInsert, now_,
+                         static_cast<int32_t>(cfg_.id), r.id, inserted,
+                         prefix_tree_.residentTokens());
+    }
+#else
+    (void)inserted_before;
+#endif
     // Keep the whole prompt path (hit + newly inserted suffix blocks)
     // pinned until retirement or preemption so future same-prefix
     // admissions hit it and eviction cannot pull KV out from under an
@@ -309,7 +393,13 @@ ReplicaEngine::ingestPending(double t)
 {
     while (pending_next_ < static_cast<int64_t>(pending_.size()) &&
            pending_[pending_next_].arrival_seconds <= t) {
-        scheduler_.enqueue(std::move(pending_[pending_next_]));
+        Request &q = pending_[pending_next_];
+        OBS_EVENT(trace_, obs::EventType::Enqueue, q.arrival_seconds,
+                  static_cast<int32_t>(cfg_.id), q.id, q.prompt_len,
+                  q.gen_len);
+        if (counters_)
+            counters_->add(slots_.enqueued_requests, 1);
+        scheduler_.enqueue(std::move(q));
         ++pending_next_;
     }
     if (pending_next_ == static_cast<int64_t>(pending_.size())) {
@@ -355,6 +445,13 @@ ReplicaEngine::preemptVictim()
     ++r.preemptions;
     ++result_.preempt.preemptions;
     r.state = RequestState::Preempted;
+    OBS_EVENT(trace_, obs::EventType::Preempt, now_,
+              static_cast<int32_t>(cfg_.id), r.id, r.generated,
+              r.preemptions);
+    if (counters_) {
+        counters_->add(slots_.preemptions, 1);
+        counters_->add(slots_.preempted_tokens, r.kvLen());
+    }
     // Releasing KV is free in simulated time; the cost lands at the
     // restore, which re-prefills the whole live context (minus
     // whatever prefix the cache still holds).
@@ -388,6 +485,11 @@ ReplicaEngine::step(const IngestFn &ingest)
             if (active_.empty()) {
                 Request r = scheduler_.pop();
                 r.state = RequestState::Rejected;
+                OBS_EVENT(trace_, obs::EventType::Reject, now_,
+                          static_cast<int32_t>(cfg_.id), r.id,
+                          r.prompt_len, r.gen_len);
+                if (counters_)
+                    counters_->add(slots_.rejected_requests, 1);
                 // Rejection records are read for ids/shapes only;
                 // keeping kilobytes of token ids per rejection would
                 // bloat fleet-wide roll-ups for nothing.
@@ -420,6 +522,23 @@ ReplicaEngine::step(const IngestFn &ingest)
             ++result_.preempt.restores;
             result_.preempt.recompute_tokens += r.generated;
             r.recompute_tokens += r.generated;
+            OBS_EVENT(trace_, obs::EventType::Restore, now_,
+                      static_cast<int32_t>(cfg_.id), r.id, r.generated,
+                      cached);
+        } else {
+            OBS_EVENT(trace_, obs::EventType::Admit, now_,
+                      static_cast<int32_t>(cfg_.id), r.id, cached,
+                      r.kvLen());
+        }
+        if (counters_) {
+            counters_->add(slots_.admitted_requests, 1);
+            counters_->add(slots_.admitted_prefill_tokens,
+                           r.kvLen() - cached);
+            counters_->add(slots_.prefix_hit_tokens, cached);
+            if (restore) {
+                counters_->add(slots_.restores, 1);
+                counters_->add(slots_.recompute_tokens, r.generated);
+            }
         }
         // Prefill iteration for the joining request; in-flight
         // requests stall for its duration (prefill-prioritized
@@ -429,12 +548,15 @@ ReplicaEngine::step(const IngestFn &ingest)
         int64_t resident = 0;
         for (const Request &q : active_)
             resident += q.kvLen();
+        const int64_t prefill_tokens = r.kvLen() - cached;
+        OBS_EVENT(trace_, obs::EventType::PrefillStart, now_,
+                  static_cast<int32_t>(cfg_.id), r.id, prefill_tokens,
+                  static_cast<int64_t>(active_.size()));
         now_ += engine_.requestPrefillSeconds(
-            cfg_.timing, r.kvLen() - cached,
+            cfg_.timing, prefill_tokens,
             static_cast<int64_t>(active_.size()), resident + cached);
         if (restore)
-            result_.preempt.restore_prefill_tokens +=
-                r.kvLen() - cached;
+            result_.preempt.restore_prefill_tokens += prefill_tokens;
         // Cache hits are not entirely free when the reload knob is
         // set: matched KV blocks stream back into the compute working
         // set at prefix_reload_gbps (0 = free, the bit-pinned
@@ -446,6 +568,9 @@ ReplicaEngine::step(const IngestFn &ingest)
                                         kvBytesPerToken(cfg_.timing)) /
                     (reload_gbps * 1e9);
         }
+        OBS_EVENT(trace_, obs::EventType::PrefillEnd, now_,
+                  static_cast<int32_t>(cfg_.id), r.id, prefill_tokens,
+                  static_cast<int64_t>(active_.size()) + 1);
         active_.push_back(std::move(r));
         ingestUpTo(now_);
     }
@@ -458,6 +583,7 @@ ReplicaEngine::step(const IngestFn &ingest)
             throw std::logic_error(
                 "ReplicaEngine: idle with admissible work queued");
         result_.makespan_seconds = now_;
+        publishGauges();
         return; // round spent rejecting; next event is a future arrival
     }
 
@@ -481,6 +607,21 @@ ReplicaEngine::step(const IngestFn &ingest)
         kv_lens.push_back(r.kvLen());
     now_ += engine_.decodeIterationSeconds(cfg_.timing, kv_lens);
     ++result_.iterations;
+#if SPECONTEXT_OBS_ENABLED
+    if (trace_) {
+        int64_t kv_sum = 0;
+        for (int64_t k : kv_lens)
+            kv_sum += k;
+        trace_->emit(obs::EventType::DecodeStep, now_,
+                     static_cast<int32_t>(cfg_.id), -1,
+                     static_cast<int64_t>(kv_lens.size()), kv_sum);
+    }
+#endif
+    if (counters_) {
+        counters_->add(slots_.decode_iterations, 1);
+        counters_->add(slots_.generated_tokens,
+                       static_cast<int64_t>(active_.size()));
+    }
     for (Request &r : active_) {
         ++r.generated;
         if (r.first_token_seconds < 0.0)
@@ -501,6 +642,11 @@ ReplicaEngine::step(const IngestFn &ingest)
                 prefix_pins_.erase(pin);
             }
             result_.metrics.record(*it, cfg_.id);
+            OBS_EVENT(trace_, obs::EventType::Complete, now_,
+                      static_cast<int32_t>(cfg_.id), it->id,
+                      it->gen_len, it->preemptions);
+            if (counters_)
+                counters_->add(slots_.completed_requests, 1);
             it = active_.erase(it);
         } else {
             ++it;
@@ -509,6 +655,7 @@ ReplicaEngine::step(const IngestFn &ingest)
     if (prefixCacheEnabled())
         snapshotPrefixStats();
     result_.makespan_seconds = now_;
+    publishGauges();
 }
 
 } // namespace serving

@@ -44,6 +44,7 @@
 
 #include "core/timing_engine.h"
 #include "kvcache/prefix_tree.h"
+#include "obs/obs.h"
 #include "serving/metrics.h"
 #include "serving/request.h"
 #include "serving/scheduler.h"
@@ -117,6 +118,9 @@ struct ReplicaConfig
     SchedulerMode scheduler_mode = SchedulerMode::Reserve;
     /** Who is evicted first under Optimistic KV pressure. */
     VictimPolicy victim_policy = VictimPolicy::LastAdmitted;
+    /** Observability hooks (trace / counters / sampler); all-null by
+     *  default, which is bit-for-bit the unobserved engine. */
+    obs::Observability obs;
 };
 
 /** Outcome of serving one trace (single replica or aggregated fleet). */
@@ -288,8 +292,45 @@ class ReplicaEngine
     std::unordered_map<int64_t, kv::PrefixHandle> prefix_pins_;
     int64_t next_pin_slot_ = 0;
 
+    /** Per-replica counter/gauge slots (resolved once at
+     *  construction; meaningful only when counters_ is non-null). */
+    struct CounterSlots
+    {
+        obs::CounterRegistry::Handle enqueued_requests = 0;
+        obs::CounterRegistry::Handle admitted_requests = 0;
+        obs::CounterRegistry::Handle admitted_prefill_tokens = 0;
+        obs::CounterRegistry::Handle prefix_hit_tokens = 0;
+        obs::CounterRegistry::Handle preemptions = 0;
+        obs::CounterRegistry::Handle preempted_tokens = 0;
+        obs::CounterRegistry::Handle restores = 0;
+        obs::CounterRegistry::Handle recompute_tokens = 0;
+        obs::CounterRegistry::Handle completed_requests = 0;
+        obs::CounterRegistry::Handle rejected_requests = 0;
+        obs::CounterRegistry::Handle generated_tokens = 0;
+        obs::CounterRegistry::Handle decode_iterations = 0;
+        obs::CounterRegistry::Handle queue_depth = 0;      ///< gauge
+        obs::CounterRegistry::Handle in_flight = 0;        ///< gauge
+        obs::CounterRegistry::Handle live_kv_bytes = 0;    ///< gauge
+        obs::CounterRegistry::Handle prefix_resident_bytes = 0; ///< gauge
+        obs::CounterRegistry::Handle prefix_pinned_bytes = 0;   ///< gauge
+    };
+
+    /** Observability (all optional): the event ring, the counter
+     *  registry and this replica's resolved slots. */
+    obs::Trace *trace_ = nullptr;
+    obs::CounterRegistry *counters_ = nullptr;
+    CounterSlots slots_;
+    /** Last KvClamp working budget emitted, so the trace records
+     *  budget *changes*, not every admission's re-clamp. */
+    int64_t last_clamp_emitted_ = -1;
+
     /** Move pending requests with arrival <= t into the queue. */
     void ingestPending(double t);
+
+    /** Refresh this replica's gauges (queue depth, in-flight, live KV
+     *  bytes, prefix residency); called at every step() exit so a
+     *  mid-run snapshot or sampler row always sees current levels. */
+    void publishGauges();
 
     /** Shrink the tree's budget to min(configured budget, HBM headroom
      *  left by weights + outstanding KV + `extra_reserved_tokens` — the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "tensor/hash.h"
 
@@ -22,6 +23,23 @@ routerPolicyName(RouterPolicy p)
 }
 
 Router::Router(RouterConfig cfg) : cfg_(cfg) {}
+
+void
+Router::attachObservability(const obs::Observability &obs,
+                            size_t fleet_size)
+{
+    counters_ = obs.counters;
+    if (!counters_)
+        return;
+    placements_ = counters_->counter("router.placements");
+    affinity_spills_ = counters_->counter("router.affinity_spills");
+    to_replica_.clear();
+    to_replica_.reserve(fleet_size);
+    for (size_t i = 0; i < fleet_size; ++i) {
+        to_replica_.push_back(counters_->counter(
+            "router.to_replica" + std::to_string(i)));
+    }
+}
 
 namespace {
 
@@ -106,7 +124,8 @@ hashTokens(const std::vector<int32_t> &tokens, size_t n)
 
 size_t
 prefixAffinity(const Request &r, const std::vector<size_t> &candidates,
-               const Fleet &fleet, int64_t spill_slack)
+               const Fleet &fleet, int64_t spill_slack,
+               int64_t *affinity_spills)
 {
     // Load escape shared by the warm and cold sticky paths: stick
     // only while the sticky pick owes at most spill_slack requests
@@ -114,10 +133,12 @@ prefixAffinity(const Request &r, const std::vector<size_t> &candidates,
     // the prefix is cheaper than queueing behind a hot family.
     const size_t least = leastKvLoad(r, candidates, fleet);
     auto stickyOrSpill = [&](size_t sticky) {
-        return fleet[sticky]->outstanding() >
-                       fleet[least]->outstanding() + spill_slack
-                   ? least
-                   : sticky;
+        const bool spill =
+            fleet[sticky]->outstanding() >
+            fleet[least]->outstanding() + spill_slack;
+        if (spill && affinity_spills)
+            ++*affinity_spills;
+        return spill ? least : sticky;
     };
 
     // Warm path: the replica with the longest cached prefix of this
@@ -180,6 +201,22 @@ prefixAffinity(const Request &r, const std::vector<size_t> &candidates,
 size_t
 Router::route(const Request &r, const Fleet &fleet)
 {
+    int64_t affinity_spills = 0;
+    const size_t pick = pickReplica(r, fleet, &affinity_spills);
+    if (counters_) {
+        counters_->add(placements_, 1);
+        if (pick < to_replica_.size())
+            counters_->add(to_replica_[pick], 1);
+        if (affinity_spills > 0)
+            counters_->add(affinity_spills_, affinity_spills);
+    }
+    return pick;
+}
+
+size_t
+Router::pickReplica(const Request &r, const Fleet &fleet,
+                    int64_t *affinity_spills)
+{
     if (fleet.empty())
         throw std::invalid_argument("Router: empty fleet");
     const std::vector<size_t> candidates = feasibleReplicas(r, fleet);
@@ -209,7 +246,8 @@ Router::route(const Request &r, const Fleet &fleet)
 
       case RouterPolicy::PrefixAffinity:
         return prefixAffinity(r, candidates, fleet,
-                              cfg_.affinity_spill_slack);
+                              cfg_.affinity_spill_slack,
+                              affinity_spills);
 
       case RouterPolicy::TwoTier: {
         int64_t max_hbm = 0;

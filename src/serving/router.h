@@ -46,6 +46,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/obs.h"
 #include "serving/replica_engine.h"
 
 namespace specontext {
@@ -84,6 +85,16 @@ class Router
     const RouterConfig &config() const { return cfg_; }
 
     /**
+     * Publish placement counters into `obs`: router.placements (total
+     * routing decisions), router.to_replica<i> (one per lane, so skew
+     * is visible at a glance) and router.affinity_spills (sticky picks
+     * abandoned for load). No-op when obs carries no registry; call
+     * once, before the first route().
+     */
+    void attachObservability(const obs::Observability &obs,
+                             size_t fleet_size);
+
+    /**
      * Index of the replica `r` should be delivered to, given the
      * fleet's current state. Deterministic: ties break toward the
      * lowest index.
@@ -94,8 +105,20 @@ class Router
                      &replicas);
 
   private:
+    /** The placement decision proper; route() wraps it with counting. */
+    size_t pickReplica(const Request &r,
+                       const std::vector<std::unique_ptr<ReplicaEngine>>
+                           &replicas,
+                       int64_t *affinity_spills);
+
     RouterConfig cfg_;
     size_t rr_cursor_ = 0;
+
+    /** Always-on placement counters (null = observability off). */
+    obs::CounterRegistry *counters_ = nullptr;
+    obs::CounterRegistry::Handle placements_ = 0;
+    obs::CounterRegistry::Handle affinity_spills_ = 0;
+    std::vector<obs::CounterRegistry::Handle> to_replica_;
 };
 
 } // namespace serving

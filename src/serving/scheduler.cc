@@ -1,6 +1,7 @@
 #include "serving/scheduler.h"
 
 #include <stdexcept>
+#include <string>
 
 namespace specontext {
 namespace serving {
@@ -45,6 +46,21 @@ Scheduler::Scheduler(core::TimingConfig timing, SchedulerConfig cfg)
 }
 
 void
+Scheduler::attachObservability(const obs::Observability &obs,
+                               int64_t replica_id)
+{
+    counters_ = obs.counters;
+    if (!counters_)
+        return;
+    const std::string prefix =
+        "replica" + std::to_string(replica_id) + ".";
+    admit_checks_ = counters_->counter(prefix + "admit_checks");
+    admit_denials_ = counters_->counter(prefix + "admit_denials");
+    victim_selections_ =
+        counters_->counter(prefix + "victim_selections");
+}
+
+void
 Scheduler::enqueue(Request r)
 {
     queued_final_tokens_ += r.finalLen();
@@ -64,6 +80,19 @@ Scheduler::pop()
 AdmissionDecision
 Scheduler::admit(const std::vector<Request> &active,
                  const Request &candidate) const
+{
+    const AdmissionDecision d = admitUncounted(active, candidate);
+    if (counters_) {
+        counters_->add(admit_checks_, 1);
+        if (!d.admit)
+            counters_->add(admit_denials_, 1);
+    }
+    return d;
+}
+
+AdmissionDecision
+Scheduler::admitUncounted(const std::vector<Request> &active,
+                          const Request &candidate) const
 {
     if (cfg_.mode == SchedulerMode::Reserve)
         return admission_.admit(active, candidate);
@@ -137,6 +166,8 @@ Scheduler::selectVictim(const std::vector<Request> &active) const
         if (precedes(active[i], active[best]))
             best = i;
     }
+    if (counters_)
+        counters_->add(victim_selections_, 1);
     return best;
 }
 

@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/obs.h"
 #include "serving/admission.h"
 #include "serving/request.h"
 #include "serving/request_queue.h"
@@ -127,6 +128,16 @@ class Scheduler
         return cfg_.mode == SchedulerMode::Optimistic;
     }
 
+    /**
+     * Publish this scheduler's policy-decision counters into `obs`
+     * under the `replica<id>.` prefix: admit_checks / admit_denials
+     * (how often the discipline said no — the queue-pressure signal)
+     * and victim_selections. No-op when obs carries no registry;
+     * call once, before the first admit().
+     */
+    void attachObservability(const obs::Observability &obs,
+                             int64_t replica_id);
+
     // ---- Waiting queue facade ---------------------------------------
 
     bool queueEmpty() const { return queue_.empty(); }
@@ -192,11 +203,24 @@ class Scheduler
     size_t selectVictim(const std::vector<Request> &active) const;
 
   private:
+    /** The admission test proper; admit() wraps it with counting. */
+    AdmissionDecision
+    admitUncounted(const std::vector<Request> &active,
+                   const Request &candidate) const;
+
     SchedulerConfig cfg_;
     AdmissionController admission_;
     RequestQueue queue_;
     int64_t queued_final_tokens_ = 0;
     int64_t queued_live_tokens_ = 0;
+
+    /** Always-on decision counters (null = observability off). The
+     *  registry outlives the scheduler (caller-owned); slots are
+     *  resolved once in attachObservability(). */
+    obs::CounterRegistry *counters_ = nullptr;
+    obs::CounterRegistry::Handle admit_checks_ = 0;
+    obs::CounterRegistry::Handle admit_denials_ = 0;
+    obs::CounterRegistry::Handle victim_selections_ = 0;
 };
 
 } // namespace serving

@@ -19,13 +19,17 @@ ServeResult
 Server::run(std::vector<Request> trace) const
 {
     sortByArrival(trace);
-    // The facade never enables the prefix cache ({} = budget 0), so a
-    // Server run stays the cache-free baseline a zero-budget Cluster
+    // The facade never enables the prefix cache (budget 0 default), so
+    // a Server run stays the cache-free baseline a zero-budget Cluster
     // is pinned against.
-    ReplicaEngine replica(
-        engine_,
-        {cfg_.timing, cfg_.queue_policy, cfg_.max_batch, 0, "server",
-         {}});
+    ReplicaConfig rc;
+    rc.timing = cfg_.timing;
+    rc.queue_policy = cfg_.queue_policy;
+    rc.max_batch = cfg_.max_batch;
+    rc.name = "server";
+    rc.obs = cfg_.obs;
+    ReplicaEngine replica(engine_, rc);
+    obs::TimeseriesSampler *sampler = cfg_.obs.sampler;
 
     // Single-replica driver: the trace cursor plays the router's role.
     size_t next = 0;
@@ -42,12 +46,19 @@ Server::run(std::vector<Request> trace) const
                 : std::numeric_limits<double>::infinity();
         if (!std::isfinite(t_replica) && !std::isfinite(t_arrival))
             break;
+        if (sampler) {
+            const double t_now = std::min(t_replica, t_arrival);
+            if (std::isfinite(t_now))
+                sampler->sample(t_now);
+        }
         if (t_arrival <= t_replica) {
             ingest(t_arrival);
             continue;
         }
         replica.step(ingest);
     }
+    if (sampler)
+        sampler->sample(replica.result().makespan_seconds);
     return replica.takeResult();
 }
 

@@ -40,6 +40,9 @@ struct ServerConfig
     /** Hard cap on in-flight requests (scheduler table size); memory
      *  admission usually binds first. */
     int64_t max_batch = 64;
+    /** Observability hooks, forwarded to the underlying ReplicaEngine
+     *  (all-null default = bit-identical unobserved server). */
+    obs::Observability obs;
 };
 
 /** Iteration-level continuous-batching server (one replica). */

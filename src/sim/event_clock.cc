@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace specontext {
 namespace sim {
@@ -26,6 +27,35 @@ EventClock::set(size_t lane, double t)
     if (std::isnan(t))
         throw std::invalid_argument("EventClock: NaN event time");
     times_.at(lane) = t;
+    if (counters_)
+        counters_->add(lane_updates_, 1);
+}
+
+void
+EventClock::attachObservability(const obs::Observability &obs)
+{
+    counters_ = obs.counters;
+    if (!counters_)
+        return;
+    rounds_ = counters_->counter("clock.rounds");
+    lane_updates_ = counters_->counter("clock.lane_updates");
+    lane_fires_.clear();
+    lane_fires_.reserve(times_.size());
+    for (size_t i = 0; i < times_.size(); ++i) {
+        lane_fires_.push_back(counters_->counter(
+            "clock.lane" + std::to_string(i) + ".fires"));
+    }
+}
+
+size_t
+EventClock::fire()
+{
+    const size_t lane = earliestLane();
+    if (counters_) {
+        counters_->add(rounds_, 1);
+        counters_->add(lane_fires_[lane], 1);
+    }
+    return lane;
 }
 
 size_t

@@ -15,6 +15,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace specontext {
 namespace sim {
 
@@ -43,8 +45,26 @@ class EventClock
     /** Earliest booked instant (+infinity when every lane is idle). */
     double earliest() const;
 
+    /**
+     * Publish scheduling counters into `obs`: clock.rounds (fire()
+     * calls — event-loop rounds resolved), clock.lane_updates (set()
+     * calls) and clock.lane<i>.fires (how often each lane won the
+     * round — fleet balance at a glance). No-op without a registry.
+     */
+    void attachObservability(const obs::Observability &obs);
+
+    /** earliestLane() plus round accounting — the event loop's "this
+     *  lane fires next" pick. */
+    size_t fire();
+
   private:
     std::vector<double> times_;
+
+    /** Always-on scheduling counters (null = observability off). */
+    obs::CounterRegistry *counters_ = nullptr;
+    obs::CounterRegistry::Handle rounds_ = 0;
+    obs::CounterRegistry::Handle lane_updates_ = 0;
+    std::vector<obs::CounterRegistry::Handle> lane_fires_;
 };
 
 } // namespace sim
