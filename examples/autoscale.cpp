@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Autoscaling walkthrough on a flash crowd: a steady 0.8 req/s stream
+ * spikes 6x for 60 seconds, and an SLO-driven autoscale::Controller
+ * rides it out with an elastic fleet (min 1 / max 4 A800 replicas)
+ * while a static single replica drowns.
+ *
+ * Everything the controller knew is replayed from the observability
+ * layer it steered by: the decision log (the Signals digested from
+ * obs::CounterRegistry gauges and counter deltas at each control
+ * tick) and the fleet transitions it caused, interleaved in simulated
+ * time. bench/bench_autoscale.cc scores the same machinery on
+ * cost-normalized goodput across policies and traces.
+ */
+#include <algorithm>
+#include <cstdio>
+
+#include "autoscale/controller.h"
+#include "serving/cluster.h"
+#include "workload/trace.h"
+
+using namespace specontext;
+
+namespace {
+
+serving::ReplicaConfig
+cloudReplica()
+{
+    serving::ReplicaConfig rc;
+    rc.timing.llm = model::deepseekDistillLlama8bGeometry();
+    rc.timing.hw = sim::HardwareSpec::cloudA800();
+    core::SystemOptions opts;
+    opts.budget = 2048;
+    rc.timing.system = core::SystemRegistry::create("SpeContext", opts);
+    rc.max_batch = 8; // overload should queue, not hide in one batch
+    return rc;
+}
+
+void
+printSummary(const char *label, const serving::ClusterResult &r,
+             double slo_ttft)
+{
+    const auto s = r.summary();
+    int64_t good = 0, total = 0;
+    for (const auto &rec : r.fleet.metrics.records()) {
+        total += rec.gen_len;
+        if (rec.ttft() <= slo_ttft)
+            good += rec.gen_len;
+    }
+    std::printf("%-16s ttft_p99 %6.1fs  goodput %6ld/%6ld tok  "
+                "replica-s %6.0f  good/replica-s %6.1f\n",
+                label, s.ttft_p99, good, total, r.replica_seconds,
+                r.replica_seconds > 0.0
+                    ? static_cast<double>(good) / r.replica_seconds
+                    : 0.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    core::TimingEngine engine;
+
+    workload::FlashCrowdTraceConfig fc;
+    fc.base.num_requests = 480; // runs ~120s past the burst window
+    fc.base.arrival_rate_per_s = 0.8;
+    fc.base.seed = 23;
+    fc.burst_start_seconds = 120.0;
+    fc.burst_duration_seconds = 60.0;
+    fc.burst_multiplier = 6.0;
+    const auto trace = workload::flashCrowdTrace(fc);
+
+    autoscale::SloConfig slo;
+    slo.ttft_p99_target_seconds = 25.0;
+    slo.queue_depth_high = 4.0;
+    slo.queue_depth_low = 0.5;
+
+    const double warmup =
+        serving::replicaWarmupSeconds(cloudReplica(), 10.0);
+    std::printf("Flash crowd: %.1f req/s baseline, %.0fx burst over "
+                "[%.0f, %.0f)s; SLO p99 TTFT <= %.0fs.\n",
+                fc.base.arrival_rate_per_s, fc.burst_multiplier,
+                fc.burst_start_seconds,
+                fc.burst_start_seconds + fc.burst_duration_seconds,
+                slo.ttft_p99_target_seconds);
+    std::printf("A cold replica costs %.1fs to bring live (10s "
+                "provisioning + weight load over PCIe).\n\n",
+                warmup);
+
+    // Baseline: one replica, no control plane.
+    serving::ClusterConfig fixed;
+    fixed.replicas = {cloudReplica()};
+    const auto base = serving::Cluster(engine, fixed).run(trace);
+
+    // Elastic: predictive policy over the obs:: layer.
+    obs::CounterRegistry counters;
+    obs::TimeseriesSamplerConfig sc;
+    sc.interval_seconds = 5.0;
+    obs::TimeseriesSampler sampler(&counters, sc);
+
+    autoscale::PredictivePolicyConfig pc;
+    pc.lookahead_seconds = 30.0;
+    pc.consecutive_low_ticks = 12;
+    autoscale::PredictivePolicy policy(pc);
+
+    autoscale::ControllerConfig ctl;
+    ctl.slo = slo;
+    ctl.policy = &policy;
+    ctl.counters = &counters;
+    ctl.sampler = &sampler;
+    autoscale::Controller controller(ctl);
+
+    serving::ClusterConfig elastic;
+    elastic.replicas = {cloudReplica()};
+    elastic.obs.counters = &counters;
+    elastic.obs.sampler = &sampler;
+    elastic.elastic.controller = &controller;
+    elastic.elastic.min_replicas = 1;
+    elastic.elastic.max_replicas = 4;
+    elastic.elastic.control_period_seconds = 5.0;
+    elastic.elastic.provision_seconds = 10.0;
+    const auto r = serving::Cluster(engine, elastic).run(trace);
+
+    // Replay the control loop from what the obs layer recorded: every
+    // decision that moved the fleet (plus the signals it was made on),
+    // interleaved with the transitions it caused.
+    std::printf("Decision log (ticks that moved the fleet) and fleet "
+                "transitions:\n");
+    std::printf("%8s %-14s %6s %8s %8s %8s %6s\n", "t", "event",
+                "queued", "arr/s", "trend/s", "wait_s", "fleet");
+    size_t di = 0, si = 0;
+    const auto &decisions = controller.decisions();
+    const auto &events = r.scale_events;
+    while (di < decisions.size() || si < events.size()) {
+        const bool take_decision =
+            si >= events.size() ||
+            (di < decisions.size() &&
+             decisions[di].t_seconds <= events[si].t_seconds);
+        if (take_decision) {
+            const auto &d = decisions[di++];
+            // Holds are logged too, and the cluster clamps deltas to
+            // [min, max]; print only the decisions that moved the
+            // fleet.
+            const long cap = static_cast<long>(d.signals.live +
+                                               d.signals.warming);
+            const long want = std::clamp(
+                cap + d.delta,
+                static_cast<long>(d.signals.min_replicas),
+                static_cast<long>(d.signals.max_replicas));
+            if (want == cap)
+                continue;
+            char verb[16];
+            std::snprintf(verb, sizeof(verb), "%s%ld",
+                          want > cap ? "order +" : "give back ",
+                          want - cap);
+            std::printf(
+                "%8.1f %-14s %6ld %8.2f %8.2f %8.1f %4zu+%zu\n",
+                d.t_seconds, verb,
+                static_cast<long>(d.signals.queued),
+                d.signals.arrival_rate_per_s,
+                d.signals.queue_trend_per_s,
+                d.signals.est_wait_seconds, d.signals.live,
+                d.signals.warming);
+        } else {
+            const auto &e = events[si++];
+            std::printf("%8.1f %-14s %40s-> %zu live\n", e.t_seconds,
+                        serving::scaleActionName(e.action), "",
+                        e.live_after);
+        }
+    }
+
+    std::printf("\nOutcome (goodput = tokens of requests whose TTFT "
+                "met the SLO):\n");
+    printSummary("static-1", base, slo.ttft_p99_target_seconds);
+    printSummary("elastic 1..4", r, slo.ttft_p99_target_seconds);
+    std::printf(
+        "\nThe burst hits at t=%.0fs; the controller reads the spike "
+        "off the queue gauges\nand the sampler trend, orders three "
+        "replicas in one decision, and gives them\nback once the "
+        "crowd passes. The earliest burst arrivals still eat the "
+        "warmup\nlag — flash crowds punish slow scale-up — but the "
+        "fleet converts most of the\nburst into SLO-met tokens where "
+        "the static replica converts almost none of it.\n",
+        fc.burst_start_seconds);
+    return 0;
+}

@@ -1,0 +1,169 @@
+#include "autoscale/controller.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace specontext {
+namespace autoscale {
+
+namespace {
+
+bool
+endsWith(const std::string &s, const char *suffix)
+{
+    const size_t n = std::char_traits<char>::length(suffix);
+    return s.size() >= n &&
+           s.compare(s.size() - n, n, suffix) == 0;
+}
+
+bool
+isReplicaSlot(const std::string &name)
+{
+    return name.compare(0, 7, "replica") == 0;
+}
+
+} // namespace
+
+Controller::Controller(ControllerConfig cfg) : cfg_(cfg)
+{
+    validateSloConfig(cfg_.slo);
+    if (!cfg_.policy)
+        throw std::invalid_argument("Controller: null policy");
+    if (!cfg_.counters)
+        throw std::invalid_argument(
+            "Controller: null counter registry — the controller has "
+            "no other window onto fleet load");
+    if (!(cfg_.trend_window_seconds > 0.0) ||
+        !std::isfinite(cfg_.trend_window_seconds))
+        throw std::invalid_argument(
+            "Controller: trend_window_seconds must be positive and "
+            "finite");
+}
+
+void
+Controller::refreshSlots()
+{
+    const std::vector<std::string> &names = cfg_.counters->names();
+    for (size_t h = names_seen_; h < names.size(); ++h) {
+        const std::string &n = names[h];
+        if (!isReplicaSlot(n))
+            continue;
+        if (endsWith(n, ".queue_depth"))
+            queue_gauges_.push_back(h);
+        else if (endsWith(n, ".in_flight"))
+            in_flight_gauges_.push_back(h);
+        else if (endsWith(n, ".live_kv_bytes"))
+            kv_gauges_.push_back(h);
+        else if (endsWith(n, ".enqueued_requests"))
+            enqueued_counters_.push_back(h);
+        else if (endsWith(n, ".completed_requests"))
+            completed_counters_.push_back(h);
+    }
+    names_seen_ = names.size();
+}
+
+int
+Controller::control(const serving::FleetState &state)
+{
+    refreshSlots();
+
+    Signals s;
+    s.now_seconds = state.now_seconds;
+    s.live = state.live;
+    s.warming = state.warming;
+    s.draining = state.draining;
+    s.min_replicas = state.min_replicas;
+    s.max_replicas = state.max_replicas;
+
+    // Levels: poll the per-replica gauges through the handle path.
+    // These are as of each replica's last step — the monitoring lag a
+    // real control plane lives with.
+    for (obs::CounterRegistry::Handle h : queue_gauges_)
+        s.queued += cfg_.counters->gauge(h);
+    for (obs::CounterRegistry::Handle h : in_flight_gauges_)
+        s.in_flight += cfg_.counters->gauge(h);
+    for (obs::CounterRegistry::Handle h : kv_gauges_)
+        s.live_kv_bytes += cfg_.counters->gauge(h);
+
+    // Rates: monotonic-counter deltas since the previous tick.
+    int64_t enqueued = 0, completed = 0;
+    for (obs::CounterRegistry::Handle h : enqueued_counters_)
+        enqueued += cfg_.counters->value(h);
+    for (obs::CounterRegistry::Handle h : completed_counters_)
+        completed += cfg_.counters->value(h);
+    if (have_baseline_ && state.now_seconds > last_t_) {
+        const double dt = state.now_seconds - last_t_;
+        s.arrival_rate_per_s =
+            static_cast<double>(enqueued - last_enqueued_) / dt;
+        s.completion_rate_per_s =
+            static_cast<double>(completed - last_completed_) / dt;
+    }
+    s.est_wait_seconds =
+        s.queued == 0
+            ? 0.0
+            : (s.completion_rate_per_s > 0.0
+                   ? static_cast<double>(s.queued) /
+                         s.completion_rate_per_s
+                   : std::numeric_limits<double>::infinity());
+
+    // Trend: fleet queue-depth slope over the trailing sampler window
+    // (first vs last row inside it; rows may be ragged — slots
+    // registered after a row was cut are absent from it and read 0).
+    if (cfg_.sampler) {
+        const std::vector<obs::SamplePoint> &rows =
+            cfg_.sampler->samples();
+        auto fleetQueueAt = [&](const obs::SamplePoint &row) {
+            int64_t q = 0;
+            for (obs::CounterRegistry::Handle h : queue_gauges_) {
+                if (h < row.values.size())
+                    q += row.values[h];
+            }
+            return q;
+        };
+        const double horizon =
+            state.now_seconds - cfg_.trend_window_seconds;
+        size_t first = rows.size();
+        while (first > 0 && rows[first - 1].t_seconds >= horizon)
+            --first;
+        if (first < rows.size()) {
+            const obs::SamplePoint &a = rows[first];
+            const obs::SamplePoint &b = rows.back();
+            if (b.t_seconds > a.t_seconds)
+                s.queue_trend_per_s =
+                    static_cast<double>(fleetQueueAt(b) -
+                                        fleetQueueAt(a)) /
+                    (b.t_seconds - a.t_seconds);
+        }
+    }
+
+    const int delta = cfg_.policy->desiredDelta(s, cfg_.slo);
+    log_.push_back({state.now_seconds, s, delta});
+
+    have_baseline_ = true;
+    last_t_ = state.now_seconds;
+    last_enqueued_ = enqueued;
+    last_completed_ = completed;
+    return delta;
+}
+
+void
+Controller::reset()
+{
+    names_seen_ = 0;
+    queue_gauges_.clear();
+    in_flight_gauges_.clear();
+    kv_gauges_.clear();
+    enqueued_counters_.clear();
+    completed_counters_.clear();
+    have_baseline_ = false;
+    last_t_ = 0.0;
+    last_enqueued_ = 0;
+    last_completed_ = 0;
+    log_.clear();
+    cfg_.policy->reset();
+}
+
+} // namespace autoscale
+} // namespace specontext

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The SLO-driven autoscaling controller: the serving::FleetController
+ * implementation that closes the loop between the observability layer
+ * and the elastic cluster.
+ *
+ * Each control tick the serving::Cluster hands over the fleet's shape
+ * (serving::FleetState); the Controller digests its *signals* from the
+ * obs:: layer it was built over —
+ *
+ *  - levels, by polling the obs::CounterRegistry gauges every replica
+ *    publishes (`replica<i>.queue_depth`, `.in_flight`,
+ *    `.live_kv_bytes`) through the handle-indexed gauge() accessor;
+ *  - rates, from counter deltas between ticks (`.enqueued_requests`,
+ *    `.completed_requests`);
+ *  - trends, from the obs::TimeseriesSampler window (fleet queue
+ *    depth slope over the trailing trend_window_seconds);
+ *
+ * — evaluates the plugged ScalePolicy against the SloConfig, logs the
+ * decision, and returns the replica-count delta. Reading through obs
+ * rather than reaching into engine internals is deliberate: the
+ * controller sees exactly what a production control plane would see
+ * (gauges as of each replica's last step — monitoring lag included),
+ * and the decision log can be cross-checked against the very counters
+ * it steered by (examples/autoscale.cpp does exactly that).
+ *
+ * Replica slots appear dynamically as the fleet scales, so gauge and
+ * counter handles are discovered incrementally from the registry's
+ * append-only name list — slots registered after construction are
+ * picked up on the next tick.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "autoscale/policy.h"
+#include "autoscale/slo.h"
+#include "obs/counters.h"
+#include "obs/sampler.h"
+#include "serving/cluster.h"
+
+namespace specontext {
+namespace autoscale {
+
+/** Controller wiring. All pointers are caller-owned and must outlive
+ *  the controller. */
+struct ControllerConfig
+{
+    SloConfig slo;
+    /** Decision rule; required. */
+    ScalePolicy *policy = nullptr;
+    /** Registry the fleet publishes into; required (it is the
+     *  controller's only window onto load). */
+    const obs::CounterRegistry *counters = nullptr;
+    /** Optional trend source; without it queue_trend_per_s is 0 and
+     *  predictive policies degrade to reactive ones. */
+    const obs::TimeseriesSampler *sampler = nullptr;
+    /** Trailing window the queue-depth trend is fit over. */
+    double trend_window_seconds = 60.0;
+};
+
+/** One logged control decision (tick order). */
+struct Decision
+{
+    double t_seconds = 0.0;
+    /** The digested signals the policy saw. */
+    Signals signals;
+    /** The policy's requested delta, before the cluster's [min, max]
+     *  clamp. */
+    int delta = 0;
+};
+
+/** SLO-driven FleetController over the obs:: layer. */
+class Controller final : public serving::FleetController
+{
+  public:
+    /**
+     * @throws std::invalid_argument on a null policy or registry, a
+     * bad SloConfig (validateSloConfig), or a non-positive/non-finite
+     * trend window.
+     */
+    explicit Controller(ControllerConfig cfg);
+
+    const ControllerConfig &config() const { return cfg_; }
+
+    /** Cluster hook: digest signals, consult the policy, log, decide. */
+    int control(const serving::FleetState &state) override;
+
+    /** Every decision taken so far, in tick order. */
+    const std::vector<Decision> &decisions() const { return log_; }
+
+    /** Forget per-run state — counter baselines, discovered slots,
+     *  the decision log and the policy's memory — so one controller
+     *  can drive several runs bit-reproducibly. */
+    void reset();
+
+  private:
+    /** Pick up replica slots registered since the last tick (the
+     *  registry's name list is append-only, so a suffix scan sees
+     *  exactly the new ones). */
+    void refreshSlots();
+
+    ControllerConfig cfg_;
+    size_t names_seen_ = 0;
+    std::vector<obs::CounterRegistry::Handle> queue_gauges_;
+    std::vector<obs::CounterRegistry::Handle> in_flight_gauges_;
+    std::vector<obs::CounterRegistry::Handle> kv_gauges_;
+    std::vector<obs::CounterRegistry::Handle> enqueued_counters_;
+    std::vector<obs::CounterRegistry::Handle> completed_counters_;
+    bool have_baseline_ = false;
+    double last_t_ = 0.0;
+    int64_t last_enqueued_ = 0;
+    int64_t last_completed_ = 0;
+    std::vector<Decision> log_;
+};
+
+} // namespace autoscale
+} // namespace specontext

@@ -1,0 +1,170 @@
+#include "autoscale/policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace specontext {
+namespace autoscale {
+
+namespace {
+
+/** Queued requests per live replica (the watermark unit); a fleet
+ *  with queued work but zero live replicas counts as saturated. */
+double
+queuePerLive(const Signals &s)
+{
+    if (s.live == 0)
+        return s.queued > 0
+                   ? std::numeric_limits<double>::infinity()
+                   : 0.0;
+    return static_cast<double>(s.queued) /
+           static_cast<double>(s.live);
+}
+
+/** SLO pressure: estimated queueing delay eating more than half the
+ *  TTFT budget — prefill and scheduling need the other half. */
+bool
+waitPressure(const Signals &s, const SloConfig &slo)
+{
+    return s.est_wait_seconds > 0.5 * slo.ttft_p99_target_seconds;
+}
+
+} // namespace
+
+ThresholdPolicy::ThresholdPolicy(ThresholdPolicyConfig cfg) : cfg_(cfg)
+{
+    if (cfg_.consecutive_low_ticks < 1)
+        throw std::invalid_argument(
+            "ThresholdPolicy: consecutive_low_ticks must be >= 1");
+    if (cfg_.up_step < 1)
+        throw std::invalid_argument(
+            "ThresholdPolicy: up_step must be >= 1");
+}
+
+int
+ThresholdPolicy::desiredDelta(const Signals &s, const SloConfig &slo)
+{
+    const double per_live = queuePerLive(s);
+    if (per_live > slo.queue_depth_high || waitPressure(s, slo)) {
+        low_ticks_ = 0;
+        // Warming replicas are capacity already on order — re-ordering
+        // every tick of a long warmup would overshoot straight to max.
+        return std::max(
+            0, cfg_.up_step - static_cast<int>(s.warming));
+    }
+    if (per_live < slo.queue_depth_low && !waitPressure(s, slo)) {
+        if (++low_ticks_ >= cfg_.consecutive_low_ticks) {
+            low_ticks_ = 0;
+            return -1;
+        }
+        return 0;
+    }
+    // Inside the hysteresis band: hold, and restart the idle streak.
+    low_ticks_ = 0;
+    return 0;
+}
+
+TargetUtilizationPolicy::TargetUtilizationPolicy(
+    TargetUtilizationPolicyConfig cfg)
+    : cfg_(cfg)
+{
+    if (!(cfg_.target_utilization > 0.0) ||
+        cfg_.target_utilization > 1.0)
+        throw std::invalid_argument(
+            "TargetUtilizationPolicy: target_utilization must be in "
+            "(0, 1]");
+    if (!(cfg_.ewma_alpha > 0.0) || cfg_.ewma_alpha > 1.0)
+        throw std::invalid_argument(
+            "TargetUtilizationPolicy: ewma_alpha must be in (0, 1]");
+}
+
+int
+TargetUtilizationPolicy::desiredDelta(const Signals &s,
+                                      const SloConfig &slo)
+{
+    // Learn the per-replica service rate from what the fleet actually
+    // completes while it has work in flight — dividing by the live
+    // count makes the estimate per machine, the EWMA smooths the
+    // burstiness of completion arrivals.
+    if (s.live > 0 && s.in_flight > 0 &&
+        s.completion_rate_per_s > 0.0) {
+        const double mu_obs = s.completion_rate_per_s /
+                              static_cast<double>(s.live);
+        mu_per_replica_ =
+            mu_per_replica_ == 0.0
+                ? mu_obs
+                : cfg_.ewma_alpha * mu_obs +
+                      (1.0 - cfg_.ewma_alpha) * mu_per_replica_;
+    }
+    const int64_t cap = static_cast<int64_t>(s.live + s.warming);
+    if (mu_per_replica_ <= 0.0) {
+        // No service-rate estimate yet (nothing completed): fall back
+        // to the watermark rule so a cold start still reacts.
+        const bool saturated =
+            queuePerLive(s) > slo.queue_depth_high ||
+            waitPressure(s, slo);
+        return saturated && s.warming == 0 ? 1 : 0;
+    }
+    // M/M/c-flavoured sizing: replicas needed so offered load sits at
+    // the target utilization of learned capacity.
+    int64_t want = static_cast<int64_t>(std::ceil(
+        s.arrival_rate_per_s /
+        (mu_per_replica_ * cfg_.target_utilization)));
+    // A backlog already past the watermark needs net-positive drain
+    // capacity on top of keeping up with arrivals.
+    if (queuePerLive(s) > slo.queue_depth_high || waitPressure(s, slo))
+        want = std::max(want, cap + 1);
+    return static_cast<int>(want - cap);
+}
+
+PredictivePolicy::PredictivePolicy(PredictivePolicyConfig cfg)
+    : cfg_(cfg)
+{
+    if (!(cfg_.lookahead_seconds > 0.0) ||
+        !std::isfinite(cfg_.lookahead_seconds))
+        throw std::invalid_argument(
+            "PredictivePolicy: lookahead_seconds must be positive and "
+            "finite");
+    if (cfg_.consecutive_low_ticks < 1)
+        throw std::invalid_argument(
+            "PredictivePolicy: consecutive_low_ticks must be >= 1");
+}
+
+int
+PredictivePolicy::desiredDelta(const Signals &s, const SloConfig &slo)
+{
+    // Project the fleet queue one lookahead ahead along the sampler-
+    // window trend; capacity ordered now goes live roughly when the
+    // projection lands (lookahead ~ warmup time).
+    const double projected = std::max(
+        0.0, static_cast<double>(s.queued) +
+                 s.queue_trend_per_s * cfg_.lookahead_seconds);
+    const double cap =
+        static_cast<double>(s.live + s.warming);
+    const double per_cap = projected / std::max(1.0, cap);
+    if (per_cap > slo.queue_depth_high || waitPressure(s, slo)) {
+        low_ticks_ = 0;
+        // Order enough machines to push the projected depth back
+        // under the high watermark in one decision — a flash crowd
+        // outruns one-at-a-time scaling.
+        const double want =
+            std::ceil(projected / slo.queue_depth_high);
+        const int delta = static_cast<int>(want - cap);
+        return std::max(1, delta);
+    }
+    if (per_cap < slo.queue_depth_low &&
+        queuePerLive(s) < slo.queue_depth_low) {
+        if (++low_ticks_ >= cfg_.consecutive_low_ticks) {
+            low_ticks_ = 0;
+            return -1;
+        }
+        return 0;
+    }
+    low_ticks_ = 0;
+    return 0;
+}
+
+} // namespace autoscale
+} // namespace specontext

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Pluggable scaling policies: given one tick's digested signals and
+ * the SLO, answer "how many replicas should the fleet gain or lose?".
+ *
+ * The controller (controller.h) owns signal extraction — polling the
+ * obs::CounterRegistry gauges and the obs::TimeseriesSampler window —
+ * and hands every policy the same Signals struct, so policies stay
+ * pure decision rules and are comparable head-to-head in
+ * bench/bench_autoscale.cc:
+ *
+ *  - ThresholdPolicy: classic watermark hysteresis. Scale up the
+ *    moment queue pressure or estimated wait crosses the SLO band;
+ *    scale down only after the fleet has idled below the low
+ *    watermark for a configurable number of consecutive ticks.
+ *  - TargetUtilizationPolicy: queue-theoretic sizing. Estimate the
+ *    per-replica service rate from completion-counter deltas (EWMA-
+ *    smoothed), then size the fleet so offered load / capacity sits
+ *    at a target utilization — the M/M/c-style rule of thumb that
+ *    headroom, not zero queue, is what holds tail latency.
+ *  - PredictivePolicy: step-ahead control. Project the queue one
+ *    lookahead horizon forward along the sampler-window trend and act
+ *    on the *projected* pressure — paying a warmup early so capacity
+ *    lands before the wave does, and shedding it when the trend says
+ *    the wave is over.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "autoscale/slo.h"
+
+namespace specontext {
+namespace autoscale {
+
+/** One control tick's digested signals (controller-computed). */
+struct Signals
+{
+    double now_seconds = 0.0;
+    // Fleet shape (from serving::FleetState).
+    size_t live = 0;
+    size_t warming = 0;
+    size_t draining = 0;
+    size_t min_replicas = 1;
+    size_t max_replicas = 1;
+    // Levels polled from the counter registry's gauges.
+    int64_t queued = 0;       ///< Σ replica<i>.queue_depth
+    int64_t in_flight = 0;    ///< Σ replica<i>.in_flight
+    int64_t live_kv_bytes = 0;///< Σ replica<i>.live_kv_bytes
+    // Windowed rates from counter deltas between ticks.
+    double arrival_rate_per_s = 0.0;    ///< d enqueued / dt
+    double completion_rate_per_s = 0.0; ///< d completed / dt
+    /** Queue-depth slope over the sampler window, requests per
+     *  second; 0 without a sampler. */
+    double queue_trend_per_s = 0.0;
+    /** Estimated queueing delay of a newly arrived request: queued /
+     *  observed fleet completion rate (infinity when the fleet
+     *  completes nothing while work is queued). */
+    double est_wait_seconds = 0.0;
+};
+
+/** Decision rule interface; implementations may keep state across
+ *  ticks (hysteresis counters, EWMAs) — reset() clears it so one
+ *  instance can score several runs reproducibly. */
+class ScalePolicy
+{
+  public:
+    virtual ~ScalePolicy() = default;
+
+    /** Stable policy name (bench rows, decision logs). */
+    virtual const char *name() const = 0;
+
+    /** Desired replica-count delta this tick (positive = attach,
+     *  negative = retire); the cluster clamps to [min, max]. */
+    virtual int desiredDelta(const Signals &s, const SloConfig &slo) = 0;
+
+    /** Forget cross-tick state (default: nothing to forget). */
+    virtual void reset() {}
+};
+
+/** Watermark hysteresis knobs. */
+struct ThresholdPolicyConfig
+{
+    /** Consecutive below-low-watermark ticks required before one
+     *  replica is released (the hysteresis that prevents flapping). */
+    int consecutive_low_ticks = 3;
+    /** Replicas added per saturated tick. */
+    int up_step = 1;
+};
+
+/** Watermark hysteresis: up fast on pressure, down slowly on idle. */
+class ThresholdPolicy final : public ScalePolicy
+{
+  public:
+    explicit ThresholdPolicy(ThresholdPolicyConfig cfg = {});
+
+    const char *name() const override { return "threshold"; }
+    int desiredDelta(const Signals &s, const SloConfig &slo) override;
+    void reset() override { low_ticks_ = 0; }
+
+  private:
+    ThresholdPolicyConfig cfg_;
+    int low_ticks_ = 0;
+};
+
+/** Queue-theoretic sizing knobs. */
+struct TargetUtilizationPolicyConfig
+{
+    /** Offered-load fraction each live replica should run at; the
+     *  1 - target headroom is what absorbs bursts between ticks. */
+    double target_utilization = 0.7;
+    /** EWMA smoothing of the per-replica service-rate estimate. */
+    double ewma_alpha = 0.3;
+};
+
+/** Size the fleet to arrival_rate / (mu * target_utilization). */
+class TargetUtilizationPolicy final : public ScalePolicy
+{
+  public:
+    explicit TargetUtilizationPolicy(
+        TargetUtilizationPolicyConfig cfg = {});
+
+    const char *name() const override { return "target-utilization"; }
+    int desiredDelta(const Signals &s, const SloConfig &slo) override;
+    void reset() override { mu_per_replica_ = 0.0; }
+
+  private:
+    TargetUtilizationPolicyConfig cfg_;
+    /** EWMA of completions per second per busy live replica. */
+    double mu_per_replica_ = 0.0;
+};
+
+/** Step-ahead knobs. */
+struct PredictivePolicyConfig
+{
+    /** How far ahead the queue trend is projected — set it near the
+     *  replica warmup time, so capacity ordered on a projection goes
+     *  live right when the projection lands. */
+    double lookahead_seconds = 30.0;
+    /** Consecutive projected-idle ticks before release (shares the
+     *  threshold policy's anti-flap rationale). */
+    int consecutive_low_ticks = 2;
+};
+
+/** Act on the queue projected one lookahead ahead of now. */
+class PredictivePolicy final : public ScalePolicy
+{
+  public:
+    explicit PredictivePolicy(PredictivePolicyConfig cfg = {});
+
+    const char *name() const override { return "predictive"; }
+    int desiredDelta(const Signals &s, const SloConfig &slo) override;
+    void reset() override { low_ticks_ = 0; }
+
+  private:
+    PredictivePolicyConfig cfg_;
+    int low_ticks_ = 0;
+};
+
+} // namespace autoscale
+} // namespace specontext

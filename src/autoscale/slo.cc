@@ -1,0 +1,33 @@
+#include "autoscale/slo.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace specontext {
+namespace autoscale {
+
+void
+validateSloConfig(const SloConfig &slo)
+{
+    if (!(slo.ttft_p99_target_seconds > 0.0) ||
+        !std::isfinite(slo.ttft_p99_target_seconds))
+        throw std::invalid_argument(
+            "SloConfig: ttft_p99_target_seconds must be positive and "
+            "finite");
+    if (!(slo.queue_depth_high > 0.0) ||
+        !std::isfinite(slo.queue_depth_high))
+        throw std::invalid_argument(
+            "SloConfig: queue_depth_high must be positive and finite");
+    if (slo.queue_depth_low < 0.0 ||
+        !std::isfinite(slo.queue_depth_low))
+        throw std::invalid_argument(
+            "SloConfig: queue_depth_low must be non-negative and "
+            "finite");
+    if (slo.queue_depth_low >= slo.queue_depth_high)
+        throw std::invalid_argument(
+            "SloConfig: queue_depth_low must be strictly below "
+            "queue_depth_high (the gap is the hysteresis band)");
+}
+
+} // namespace autoscale
+} // namespace specontext

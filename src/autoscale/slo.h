@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Service-level objectives the autoscaling control plane steers by.
+ *
+ * The fleet-sizing question the cluster benches answer offline ("how
+ * many replicas does this load need to hold a p99 TTFT target?") is
+ * answered *online* here: an SloConfig names the latency target and
+ * the queue-pressure watermarks, and autoscale::Controller holds the
+ * fleet to them with as few replica-seconds as it can. Targets are
+ * expressed in the same units the obs:: layer publishes — queue depth
+ * per live replica from the `replica<i>.queue_depth` gauges, TTFT
+ * from serving summaries — so attainment is checkable after a run
+ * from the very counters the controller steered by.
+ */
+#pragma once
+
+namespace specontext {
+namespace autoscale {
+
+/** The objectives one controller instance enforces. */
+struct SloConfig
+{
+    /**
+     * p99 time-to-first-token the fleet is sized against, simulated
+     * seconds. Policies treat estimated queueing delay beyond a
+     * fraction of this target as SLO pressure; benches score final
+     * attainment against it (summary().ttft_p99 <= target).
+     */
+    double ttft_p99_target_seconds = 30.0;
+
+    /**
+     * High watermark: queued requests per live replica at which the
+     * fleet counts as saturated (scale-up pressure). Queue depth is
+     * the leading indicator of TTFT — a request's first token waits
+     * behind everything queued ahead of it.
+     */
+    double queue_depth_high = 4.0;
+
+    /** Low watermark: queued requests per live replica under which
+     *  capacity counts as excess (scale-down pressure once sustained).
+     *  Must be strictly below queue_depth_high — the gap is the
+     *  hysteresis band that keeps the controller from flapping. */
+    double queue_depth_low = 1.0;
+};
+
+/**
+ * Validate an SloConfig.
+ * @throws std::invalid_argument on a non-positive/non-finite TTFT
+ * target, a non-positive/non-finite high watermark, a negative or
+ * non-finite low watermark, or low >= high — naming the offending
+ * knob.
+ */
+void validateSloConfig(const SloConfig &slo);
+
+} // namespace autoscale
+} // namespace specontext

@@ -39,6 +39,16 @@ CounterRegistry::gauge(const std::string &name)
 }
 
 int64_t
+CounterRegistry::gauge(Handle h) const
+{
+    if (!is_gauge_.at(h))
+        throw std::invalid_argument(
+            "CounterRegistry: gauge(Handle) on counter '" + names_[h] +
+            "' — read counters through value()");
+    return values_[h];
+}
+
+int64_t
 CounterRegistry::valueOf(const std::string &name) const
 {
     const auto it = index_.find(name);

@@ -40,6 +40,16 @@ class CounterRegistry
      *  @throws std::invalid_argument when `name` exists as a counter. */
     Handle gauge(const std::string &name);
 
+    /**
+     * Read-side accessor: the current level of gauge `h`. This is the
+     * cheap polling path a control loop (the autoscale controller)
+     * takes each tick — no snapshot(), no export round-trip, no name
+     * lookup after the handle is resolved once.
+     * @throws std::invalid_argument when `h` names a counter (read
+     * those through value()); std::out_of_range on a bad handle.
+     */
+    int64_t gauge(Handle h) const;
+
     /** Bump a slot (counters; gauges accept deltas too). */
     void add(Handle h, int64_t delta) { values_[h] += delta; }
 

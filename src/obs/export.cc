@@ -68,6 +68,10 @@ eventArgNames(EventType t, const char *&a, const char *&b)
         a = "working_budget_bytes";
         b = "configured_budget_bytes";
         return;
+      case EventType::FleetScale:
+        a = "scale_action";
+        b = "live_replicas";
+        return;
     }
     a = "a";
     b = "b";

@@ -23,6 +23,7 @@ eventTypeName(EventType t)
       case EventType::PrefixInsert: return "PrefixInsert";
       case EventType::PrefixEvict: return "PrefixEvict";
       case EventType::KvClamp: return "KvClamp";
+      case EventType::FleetScale: return "FleetScale";
     }
     return "?";
 }

@@ -45,6 +45,7 @@ enum class EventType : uint8_t {
     PrefixInsert, ///< new prefix blocks cached; a=tokens inserted, b=resident tokens after
     PrefixEvict,  ///< LRU block evicted (request=-1); a=tokens evicted, b=resident tokens after
     KvClamp,      ///< prefix-cache working budget re-clamped (request=-1); a=new working budget bytes, b=configured budget bytes
+    FleetScale,   ///< elastic fleet transition (request=-1, replica=slot); a=serving::ScaleAction ordinal, b=live replicas after
 };
 
 /** Stable lowercase name of an event type (trace/export schema). */

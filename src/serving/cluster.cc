@@ -5,11 +5,64 @@
 #include <limits>
 #include <memory>
 #include <stdexcept>
+#include <string>
 
+#include "core/elastic_loader.h"
 #include "sim/event_clock.h"
 
 namespace specontext {
 namespace serving {
+
+const char *
+scaleActionName(ScaleAction a)
+{
+    switch (a) {
+      case ScaleAction::Attach: return "attach";
+      case ScaleAction::WarmComplete: return "warm-complete";
+      case ScaleAction::CancelWarming: return "cancel-warming";
+      case ScaleAction::Drain: return "drain";
+      case ScaleAction::Retire: return "retire";
+    }
+    return "?";
+}
+
+double
+replicaWarmupSeconds(const ReplicaConfig &rc, double provision_seconds)
+{
+    if (!(provision_seconds >= 0.0) ||
+        !std::isfinite(provision_seconds))
+        throw std::invalid_argument(
+            "replicaWarmupSeconds: provision_seconds must be finite "
+            "and non-negative");
+    const double bw_gbps = rc.timing.hw.pcie_bw_gbps;
+    if (!(bw_gbps > 0.0) || !std::isfinite(bw_gbps))
+        throw std::invalid_argument(
+            "replicaWarmupSeconds: hardware has no positive PCIe "
+            "bandwidth to load weights over");
+    const int64_t weight_bytes =
+        core::TimingEngine::weightFootprintBytes(rc.timing.llm);
+    // Charge the footprint through a cold ElasticLoader: express it as
+    // KV-token-equivalents, hand the cold loader that selection, and
+    // price whatever it says must move. Empty resident sets report the
+    // full selection as to-load, so the bill is the whole footprint —
+    // by the same set-difference machinery that prices elastic KV
+    // movement, not by a parallel formula that could drift from it.
+    const int64_t bytes_per_token =
+        core::TimingEngine::kvBytesPerTokenPerLayer(rc.timing.llm);
+    const int64_t token_equiv =
+        (weight_bytes + bytes_per_token - 1) / bytes_per_token;
+    model::LayerSelection sel;
+    sel.per_head.emplace_back();
+    sel.per_head.back().reserve(static_cast<size_t>(token_equiv));
+    for (int64_t p = 0; p < token_equiv; ++p)
+        sel.per_head.back().push_back(p);
+    core::ElasticLoader cold;
+    const core::LoadPlan plan = cold.update(sel);
+    const double load_bytes =
+        static_cast<double>(plan.tokens_to_load) *
+        static_cast<double>(bytes_per_token);
+    return provision_seconds + load_bytes / (bw_gbps * 1e9);
+}
 
 Cluster::Cluster(const core::TimingEngine &engine, ClusterConfig cfg)
     : engine_(engine), cfg_(std::move(cfg))
@@ -27,12 +80,40 @@ Cluster::Cluster(const core::TimingEngine &engine, ClusterConfig cfg)
         ReplicaEngine probe(engine_, probe_cfg);
         cfg_.replicas[i].name = probe.config().name;
     }
+    if (cfg_.elastic.controller) {
+        const ElasticConfig &e = cfg_.elastic;
+        if (e.min_replicas < 1)
+            throw std::invalid_argument(
+                "Cluster: elastic.min_replicas must be >= 1");
+        if (e.max_replicas < e.min_replicas)
+            throw std::invalid_argument(
+                "Cluster: elastic.max_replicas < min_replicas");
+        if (cfg_.replicas.size() < e.min_replicas ||
+            cfg_.replicas.size() > e.max_replicas)
+            throw std::invalid_argument(
+                "Cluster: initial fleet size outside elastic "
+                "[min_replicas, max_replicas]");
+        if (!(e.control_period_seconds > 0.0) ||
+            !std::isfinite(e.control_period_seconds))
+            throw std::invalid_argument(
+                "Cluster: elastic.control_period_seconds must be "
+                "positive and finite");
+        if (e.template_replica >= cfg_.replicas.size())
+            throw std::invalid_argument(
+                "Cluster: elastic.template_replica out of range");
+        // Validates provision_seconds and the template's PCIe link,
+        // and fails fast on shapes whose warmup cannot be priced.
+        replicaWarmupSeconds(cfg_.replicas[e.template_replica],
+                             e.provision_seconds);
+    }
 }
 
 ClusterResult
 Cluster::run(std::vector<Request> trace) const
 {
     sortByArrival(trace);
+    const bool elastic = cfg_.elastic.controller != nullptr;
+    const double inf = std::numeric_limits<double>::infinity();
 
     std::vector<std::unique_ptr<ReplicaEngine>> fleet;
     fleet.reserve(cfg_.replicas.size());
@@ -54,6 +135,71 @@ Cluster::run(std::vector<Request> trace) const
     ClusterResult out;
     size_t next = 0;
 
+    // Per-slot lifecycle. Fixed fleets never leave Live, and retired
+    // slots keep their indices — routing, tie-breaks and counter names
+    // never shift under scaling.
+    enum class Slot { Live, Warming, Draining, Retired };
+    std::vector<Slot> slot(fleet.size(), Slot::Live);
+    std::vector<double> warm_ready(fleet.size(), 0.0);
+    std::vector<double> attach_t(fleet.size(), 0.0);
+    std::vector<double> retire_t(fleet.size(), inf);
+    auto countState = [&](Slot s) {
+        size_t n = 0;
+        for (Slot v : slot)
+            n += v == s ? 1 : 0;
+        return n;
+    };
+
+    // Fleet-shape gauges and scale counters exist only on elastic runs
+    // so fixed-fleet registries keep the pre-elastic schema (BENCH_obs
+    // byte-stability).
+    obs::CounterRegistry *counters =
+        elastic ? cfg_.obs.counters : nullptr;
+    obs::CounterRegistry::Handle g_live = 0, g_warming = 0,
+                                 g_draining = 0, c_ups = 0, c_downs = 0;
+    auto publishFleetGauges = [&]() {
+        if (!counters)
+            return;
+        counters->set(g_live,
+                      static_cast<int64_t>(countState(Slot::Live)));
+        counters->set(g_warming,
+                      static_cast<int64_t>(countState(Slot::Warming)));
+        counters->set(g_draining,
+                      static_cast<int64_t>(countState(Slot::Draining)));
+    };
+    if (counters) {
+        g_live = counters->gauge("cluster.live_replicas");
+        g_warming = counters->gauge("cluster.warming_replicas");
+        g_draining = counters->gauge("cluster.draining_replicas");
+        c_ups = counters->counter("cluster.scale_ups");
+        c_downs = counters->counter("cluster.scale_downs");
+        publishFleetGauges();
+    }
+
+    sim::EventClock clock(fleet.size());
+    clock.attachObservability(cfg_.obs);
+
+    auto scaleEvent = [&](double t, ScaleAction a, size_t i) {
+        const size_t live_after = countState(Slot::Live);
+        out.scale_events.push_back(
+            {t, a, static_cast<int64_t>(i), live_after});
+        OBS_EVENT(cfg_.obs.trace, obs::EventType::FleetScale, t,
+                  static_cast<int32_t>(i), int64_t{-1},
+                  static_cast<int64_t>(a),
+                  static_cast<int64_t>(live_after));
+        publishFleetGauges();
+    };
+
+    // Replicas currently accepting new work.
+    auto routableSet = [&]() {
+        std::vector<size_t> r;
+        for (size_t i = 0; i < slot.size(); ++i) {
+            if (slot[i] == Slot::Live)
+                r.push_back(i);
+        }
+        return r;
+    };
+
     // Route every arrival at or before t, in arrival order, against
     // the fleet's current state. Called both from the event loop (when
     // the next arrival is the earliest event) and from inside a
@@ -61,7 +207,8 @@ Cluster::run(std::vector<Request> trace) const
     auto routeUpTo = [&](double t) {
         while (next < trace.size() &&
                trace[next].arrival_seconds <= t) {
-            const size_t target = router.route(trace[next], fleet);
+            const size_t target =
+                router.route(trace[next], fleet, routableSet());
             OBS_EVENT(cfg_.obs.trace, obs::EventType::RouterPlace,
                       trace[next].arrival_seconds,
                       static_cast<int32_t>(target), trace[next].id,
@@ -76,37 +223,150 @@ Cluster::run(std::vector<Request> trace) const
         }
     };
 
+    auto attachReplica = [&](double t) {
+        ReplicaConfig rc = cfg_.replicas[cfg_.elastic.template_replica];
+        rc.id = static_cast<int64_t>(fleet.size());
+        rc.name.clear(); // regenerate "replica<id>(...)" for this slot
+        rc.obs = cfg_.obs.enabled() ? cfg_.obs : obs::Observability{};
+        const double warmup =
+            replicaWarmupSeconds(rc, cfg_.elastic.provision_seconds);
+        fleet.push_back(std::make_unique<ReplicaEngine>(engine_, rc));
+        clock.addLane();
+        slot.push_back(Slot::Warming);
+        warm_ready.push_back(t + warmup);
+        attach_t.push_back(t);
+        retire_t.push_back(inf);
+        if (counters)
+            counters->add(c_ups, 1);
+        scaleEvent(t, ScaleAction::Attach, fleet.size() - 1);
+    };
+
+    auto retireSlot = [&](double t, size_t i, ScaleAction how) {
+        slot[i] = Slot::Retired;
+        clock.retireLane(i);
+        retire_t[i] = t;
+        scaleEvent(t, how, i);
+    };
+
+    auto scaleDownOne = [&](double t) {
+        if (counters)
+            counters->add(c_downs, 1);
+        // Cancel the youngest warming replica first: reclaiming a
+        // machine that never served is strictly cheaper than draining
+        // one that does.
+        for (size_t k = slot.size(); k-- > 0;) {
+            if (slot[k] == Slot::Warming) {
+                retireSlot(t, k, ScaleAction::CancelWarming);
+                return;
+            }
+        }
+        // Then drain the highest-index live replica — the low-index
+        // initial slots stay the long-lived core of the fleet, which
+        // keeps prefix-affinity homes and tie-breaks maximally stable.
+        for (size_t k = slot.size(); k-- > 0;) {
+            if (slot[k] == Slot::Live) {
+                slot[k] = Slot::Draining;
+                scaleEvent(t, ScaleAction::Drain, k);
+                if (fleet[k]->outstanding() == 0)
+                    retireSlot(t, k, ScaleAction::Retire);
+                return;
+            }
+        }
+    };
+
+    auto controlTick = [&](double t) {
+        FleetState s;
+        s.now_seconds = t;
+        s.live = countState(Slot::Live);
+        s.warming = countState(Slot::Warming);
+        s.draining = countState(Slot::Draining);
+        s.min_replicas = cfg_.elastic.min_replicas;
+        s.max_replicas = cfg_.elastic.max_replicas;
+        for (size_t i = 0; i < fleet.size(); ++i) {
+            if (slot[i] == Slot::Live || slot[i] == Slot::Draining) {
+                s.queued += fleet[i]->waiting();
+                s.in_flight += fleet[i]->inFlight();
+            }
+        }
+        const int delta = cfg_.elastic.controller->control(s);
+        // Clamp so live + warming (the capacity that will serve) stays
+        // inside [min, max]; draining replicas are already spent.
+        const int64_t cap = static_cast<int64_t>(s.live + s.warming);
+        const int64_t want = std::min(
+            static_cast<int64_t>(cfg_.elastic.max_replicas),
+            std::max(static_cast<int64_t>(cfg_.elastic.min_replicas),
+                     cap + static_cast<int64_t>(delta)));
+        for (int64_t k = cap; k < want; ++k)
+            attachReplica(t);
+        for (int64_t k = cap; k > want; --k)
+            scaleDownOne(t);
+    };
+
     // Event-driven main loop: advance whichever comes first, the next
-    // unrouted arrival or the earliest replica event — never
-    // lock-stepping the fleet.
-    sim::EventClock clock(fleet.size());
-    clock.attachObservability(cfg_.obs);
+    // unrouted arrival, the next control tick (elastic only) or the
+    // earliest replica event — never lock-stepping the fleet. At equal
+    // instants arrivals route first (so the controller and every
+    // stepping replica see state no older than the instant), then the
+    // controller runs, then replicas step.
+    double t_ctrl =
+        elastic ? cfg_.elastic.control_period_seconds : inf;
     while (true) {
-        for (size_t i = 0; i < fleet.size(); ++i)
-            clock.set(i, fleet[i]->nextEventSeconds());
+        for (size_t i = 0; i < fleet.size(); ++i) {
+            if (slot[i] == Slot::Retired)
+                continue;
+            clock.set(i, slot[i] == Slot::Warming
+                             ? warm_ready[i]
+                             : fleet[i]->nextEventSeconds());
+        }
         const double t_replica = clock.earliest();
-        const double t_arrival =
-            next < trace.size()
-                ? trace[next].arrival_seconds
-                : std::numeric_limits<double>::infinity();
+        const double t_arrival = next < trace.size()
+                                     ? trace[next].arrival_seconds
+                                     : inf;
+        // Control ticks live only while there is work to govern —
+        // otherwise they would keep a drained fleet ticking forever.
+        const double t_control =
+            elastic && (next < trace.size() || std::isfinite(t_replica))
+                ? t_ctrl
+                : inf;
         if (!std::isfinite(t_replica) && !std::isfinite(t_arrival))
             break; // fleet drained, trace exhausted
         // Time-series rows are cut as simulated time passes each
         // cadence point — before the round runs, so a row reflects
         // the fleet's state entering that instant.
         if (sampler) {
-            const double t_now = std::min(t_replica, t_arrival);
+            const double t_now =
+                std::min(std::min(t_replica, t_arrival), t_control);
             if (std::isfinite(t_now))
                 sampler->sample(t_now);
         }
-        if (t_arrival <= t_replica) {
+        if (t_arrival <= std::min(t_replica, t_control)) {
             // Arrivals route before any replica reaches t_arrival, so
             // the same-instant ordering matches the single server's
             // ingest-then-admit discipline.
             routeUpTo(t_arrival);
             continue;
         }
-        fleet[clock.fire()]->step(routeUpTo);
+        if (t_control <= t_replica) {
+            controlTick(t_control);
+            t_ctrl += cfg_.elastic.control_period_seconds;
+            continue;
+        }
+        const size_t lane = clock.fire();
+        if (slot[lane] == Slot::Warming) {
+            // Weight load finished: the replica joins the routable set
+            // (its prefix cache starts cold; arrivals reach it from
+            // the next routing decision on).
+            slot[lane] = Slot::Live;
+            scaleEvent(warm_ready[lane], ScaleAction::WarmComplete,
+                       lane);
+            continue;
+        }
+        fleet[lane]->step(routeUpTo);
+        // Drain-before-retire: a draining replica's lane retires the
+        // moment it owes nothing more.
+        if (slot[lane] == Slot::Draining &&
+            fleet[lane]->outstanding() == 0)
+            retireSlot(fleet[lane]->now(), lane, ScaleAction::Retire);
     }
 
     // Aggregate: per-replica results plus the fleet-wide roll-up.
@@ -125,6 +385,16 @@ Cluster::run(std::vector<Request> trace) const
         out.fleet.preempt.merge(r.preempt);
         out.fleet.makespan_seconds =
             std::max(out.fleet.makespan_seconds, r.makespan_seconds);
+    }
+    // Cost accounting: every slot is paid for from attach (run start
+    // for the initial fleet) to retirement, or to the fleet makespan
+    // while still attached — warmup included, a provisioning replica
+    // is billed before it serves.
+    for (size_t i = 0; i < slot.size(); ++i) {
+        const double end = std::isfinite(retire_t[i])
+                               ? retire_t[i]
+                               : out.fleet.makespan_seconds;
+        out.replica_seconds += std::max(0.0, end - attach_t[i]);
     }
     // Final flush: one last row at the fleet makespan so the series
     // always covers the whole run.

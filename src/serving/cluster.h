@@ -20,6 +20,21 @@
  * how many replicas of which hardware does a given open-loop load
  * need to hold a p99 TTFT target? (bench/bench_cluster_scaling.cc,
  * examples/fleet_sizing.cpp)
+ *
+ * Fleets can also be *elastic*: plug a FleetController into
+ * ClusterConfig::elastic and the cluster evaluates it at a fixed
+ * simulated-time cadence (a third event stream next to arrivals and
+ * replica events). Scale-up attaches a fresh replica slot — new
+ * sim::EventClock lane, cold kv::PrefixTree — that warms up for
+ * replicaWarmupSeconds() (weight load over PCIe priced through a cold
+ * core::ElasticLoader) before it joins the routable set; scale-down
+ * cancels warming replicas first, then drains live ones
+ * (drain-before-retire: a draining replica finishes everything it
+ * owes, receives no new work, then its lane retires). Retired slots
+ * keep their indices, so placements and tie-breaks never shift under
+ * scaling; with no controller the code path is bit-for-bit the fixed
+ * fleet. (src/autoscale/ builds SLO-driven controllers on this hook;
+ * bench/bench_autoscale.cc scores them on cost-normalized goodput.)
  */
 #pragma once
 
@@ -33,6 +48,69 @@
 namespace specontext {
 namespace serving {
 
+/**
+ * What a FleetController sees at each control tick: replica counts by
+ * lifecycle state, the fleet-wide backlog, and the scaling bounds.
+ * Deeper signals (p99 TTFT, live KV bytes, queue-depth histories) are
+ * read from the obs::CounterRegistry / obs::TimeseriesSampler the
+ * cluster publishes into — the controller polls gauges, the cluster
+ * hands it the shape of the fleet.
+ */
+struct FleetState
+{
+    double now_seconds = 0.0;
+    size_t live = 0;     ///< routable replicas
+    size_t warming = 0;  ///< attached, still loading weights
+    size_t draining = 0; ///< finishing owed work, not routable
+    size_t min_replicas = 1;
+    size_t max_replicas = 1;
+    /** Requests delivered to live/draining replicas, not yet admitted. */
+    int64_t queued = 0;
+    /** Requests currently in a replica's running batch. */
+    int64_t in_flight = 0;
+};
+
+/**
+ * Scaling hook evaluated once per control tick. Implementations live
+ * above serving (src/autoscale/); the cluster only consumes the
+ * decision. Stateful controllers are fine — ticks arrive in strictly
+ * increasing simulated time within one run(), but a controller is NOT
+ * reset between runs, so reuse one instance per run for bit
+ * reproducibility.
+ */
+class FleetController
+{
+  public:
+    virtual ~FleetController() = default;
+
+    /**
+     * Desired replica-count delta at this tick: positive attaches that
+     * many cold replicas, negative retires (cancel-warming first, then
+     * drain), zero holds. The cluster clamps the result so live +
+     * warming stays within [min_replicas, max_replicas].
+     */
+    virtual int control(const FleetState &state) = 0;
+};
+
+/** Elastic-fleet knobs; inert (fixed fleet) while controller is null. */
+struct ElasticConfig
+{
+    /** Caller-owned; must outlive run(). Null = fixed fleet. */
+    FleetController *controller = nullptr;
+    /** Bounds on live + warming replicas. The initial fleet
+     *  (ClusterConfig::replicas) must start inside them. */
+    size_t min_replicas = 1;
+    size_t max_replicas = 8;
+    /** Simulated seconds between controller evaluations. */
+    double control_period_seconds = 5.0;
+    /** Fixed instance-provisioning latency added before the weight
+     *  load of every scale-up (control plane, container pull, ...). */
+    double provision_seconds = 0.0;
+    /** Index into ClusterConfig::replicas whose shape scale-ups
+     *  clone (fresh id/name, cold caches). */
+    size_t template_replica = 0;
+};
+
 /** Fleet configuration: replica shapes plus the routing policy. */
 struct ClusterConfig
 {
@@ -44,6 +122,45 @@ struct ClusterConfig
      *  the unobserved cluster. Pointers are caller-owned and must
      *  outlive run(). */
     obs::Observability obs;
+    /** Elastic scaling; default (null controller) is the fixed fleet. */
+    ElasticConfig elastic;
+};
+
+/**
+ * Simulated seconds to bring a cold replica of shape `rc` live:
+ * `provision_seconds` of instance provisioning plus the model's weight
+ * footprint (1.3x FP16 parameters, core::TimingEngine::
+ * weightFootprintBytes) crossing PCIe at rc's link speed. The
+ * transfer volume is charged through a cold core::ElasticLoader — a
+ * loader with empty resident sets reports the *full* selection as
+ * to-load, the same diff machinery that prices elastic KV movement —
+ * so scale-up is never free and stays consistent with the paper's
+ * Section 5.4 loading model.
+ * @throws std::invalid_argument on a non-positive PCIe bandwidth or a
+ * negative/non-finite provision time.
+ */
+double replicaWarmupSeconds(const ReplicaConfig &rc,
+                            double provision_seconds = 0.0);
+
+/** Elastic fleet transition kinds, in the order they are logged. */
+enum class ScaleAction {
+    Attach,       ///< cold replica attached, warmup begins
+    WarmComplete, ///< warmup finished, replica joined the routable set
+    CancelWarming,///< scale-down reclaimed a replica mid-warmup
+    Drain,        ///< live replica stopped accepting work
+    Retire,       ///< drained (or cancelled) replica's lane retired
+};
+
+const char *scaleActionName(ScaleAction a);
+
+/** One fleet transition, in simulated-time order — the controller
+ *  decision log benches and examples replay. */
+struct ScaleEvent
+{
+    double t_seconds = 0.0;
+    ScaleAction action = ScaleAction::Attach;
+    int64_t replica = 0;    ///< slot index (stable across retirement)
+    size_t live_after = 0;  ///< routable replicas after the transition
 };
 
 /** One routing decision (request -> replica), in routed order. */
@@ -70,6 +187,15 @@ struct ClusterResult
     std::vector<ServeResult> per_replica;
     std::vector<std::string> replica_names;
     std::vector<Placement> placements;
+    /** Elastic transitions in simulated-time order; empty on a fixed
+     *  fleet. */
+    std::vector<ScaleEvent> scale_events;
+    /** Σ over slots of attached time (attach -> retire, or run start ->
+     *  makespan while never retired) — the denominator of
+     *  cost-normalized goodput (tokens per replica-second). Warmup
+     *  time counts: a provisioning replica is paid for before it
+     *  serves. On a fixed fleet this is fleet size x makespan. */
+    double replica_seconds = 0.0;
 
     int64_t completed() const { return fleet.completed(); }
     ServingSummary summary() const { return fleet.summary(); }
@@ -80,9 +206,13 @@ class Cluster
 {
   public:
     /**
-     * @throws std::invalid_argument when the fleet is empty or any
+     * @throws std::invalid_argument when the fleet is empty, any
      * replica config is invalid (null / wave-only system, non-positive
-     * max_batch). Replica ids are overwritten with fleet indices.
+     * max_batch), or — with a controller plugged in — the elastic
+     * knobs are degenerate (min < 1, max < min, initial fleet outside
+     * [min, max], non-positive/non-finite control period, bad
+     * provision time, template index out of range). Replica ids are
+     * overwritten with fleet indices.
      */
     Cluster(const core::TimingEngine &engine, ClusterConfig cfg);
 

@@ -45,21 +45,20 @@ namespace {
 
 using Fleet = std::vector<std::unique_ptr<ReplicaEngine>>;
 
-/** Indices able to serve `r` at all; the whole fleet when none can
- *  (the pick then hard-rejects, keeping accounting policy-free). */
+/** Routable indices able to serve `r` at all; the whole routable set
+ *  when none can (the pick then hard-rejects, keeping accounting
+ *  policy-free). */
 std::vector<size_t>
-feasibleReplicas(const Request &r, const Fleet &fleet)
+feasibleReplicas(const Request &r, const Fleet &fleet,
+                 const std::vector<size_t> &routable)
 {
     std::vector<size_t> out;
-    for (size_t i = 0; i < fleet.size(); ++i) {
+    for (size_t i : routable) {
         if (fleet[i]->admission().feasibleAlone(r))
             out.push_back(i);
     }
-    if (out.empty()) {
-        out.resize(fleet.size());
-        for (size_t i = 0; i < fleet.size(); ++i)
-            out[i] = i;
-    }
+    if (out.empty())
+        out = routable;
     return out;
 }
 
@@ -124,8 +123,8 @@ hashTokens(const std::vector<int32_t> &tokens, size_t n)
 
 size_t
 prefixAffinity(const Request &r, const std::vector<size_t> &candidates,
-               const Fleet &fleet, int64_t spill_slack,
-               int64_t *affinity_spills)
+               const Fleet &fleet, const std::vector<size_t> &routable,
+               int64_t spill_slack, int64_t *affinity_spills)
 {
     // Load escape shared by the warm and cold sticky paths: stick
     // only while the sticky pick owes at most spill_slack requests
@@ -165,16 +164,19 @@ prefixAffinity(const Request &r, const std::vector<size_t> &candidates,
     // fleet-wide cold prefill per family instead of one per replica.
     // Only cached replicas are hashable homes (a cache-less one can
     // never warm up, which would strand the family on full prefill
-    // forever), and the modulus runs over the *whole fleet's* cached
-    // set — not this request's candidate subset — so same-family
-    // requests with different feasibility still agree on the home;
-    // a request its home cannot serve falls back to least-kv-load.
-    // The block length is the widest cache page among the cached
-    // replicas so the hashed span is block-aligned everywhere.
+    // forever), and the modulus runs over the *whole routable set's*
+    // cached replicas — not this request's candidate subset — so
+    // same-family requests with different feasibility still agree on
+    // the home; a request its home cannot serve falls back to
+    // least-kv-load. (On an elastic fleet the routable set shifts with
+    // scale events, re-homing cold families — the warm path above
+    // keeps already-cached families sticky regardless.) The block
+    // length is the widest cache page among the cached replicas so
+    // the hashed span is block-aligned everywhere.
     if (!r.prompt_tokens.empty()) {
         int64_t page = 0;
         std::vector<size_t> cached;
-        for (size_t i = 0; i < fleet.size(); ++i) {
+        for (size_t i : routable) {
             if (fleet[i]->prefixCacheEnabled()) {
                 cached.push_back(i);
                 page = std::max(
@@ -201,12 +203,28 @@ prefixAffinity(const Request &r, const std::vector<size_t> &candidates,
 size_t
 Router::route(const Request &r, const Fleet &fleet)
 {
+    std::vector<size_t> all(fleet.size());
+    for (size_t i = 0; i < fleet.size(); ++i)
+        all[i] = i;
+    return route(r, fleet, all);
+}
+
+size_t
+Router::route(const Request &r, const Fleet &fleet,
+              const std::vector<size_t> &routable)
+{
     int64_t affinity_spills = 0;
-    const size_t pick = pickReplica(r, fleet, &affinity_spills);
+    const size_t pick = pickReplica(r, fleet, routable, &affinity_spills);
     if (counters_) {
+        // Replicas attached after attachObservability() (elastic
+        // scale-up) get their skew counter on first placement.
+        while (to_replica_.size() <= pick) {
+            to_replica_.push_back(counters_->counter(
+                "router.to_replica" +
+                std::to_string(to_replica_.size())));
+        }
         counters_->add(placements_, 1);
-        if (pick < to_replica_.size())
-            counters_->add(to_replica_[pick], 1);
+        counters_->add(to_replica_[pick], 1);
         if (affinity_spills > 0)
             counters_->add(affinity_spills_, affinity_spills);
     }
@@ -215,11 +233,15 @@ Router::route(const Request &r, const Fleet &fleet)
 
 size_t
 Router::pickReplica(const Request &r, const Fleet &fleet,
+                    const std::vector<size_t> &routable,
                     int64_t *affinity_spills)
 {
     if (fleet.empty())
         throw std::invalid_argument("Router: empty fleet");
-    const std::vector<size_t> candidates = feasibleReplicas(r, fleet);
+    if (routable.empty())
+        throw std::invalid_argument("Router: empty routable set");
+    const std::vector<size_t> candidates =
+        feasibleReplicas(r, fleet, routable);
 
     switch (cfg_.policy) {
       case RouterPolicy::RoundRobin: {
@@ -245,15 +267,18 @@ Router::pickReplica(const Request &r, const Fleet &fleet,
         return leastKvLoad(r, candidates, fleet);
 
       case RouterPolicy::PrefixAffinity:
-        return prefixAffinity(r, candidates, fleet,
+        return prefixAffinity(r, candidates, fleet, routable,
                               cfg_.affinity_spill_slack,
                               affinity_spills);
 
       case RouterPolicy::TwoTier: {
+        // The big tier is defined by the routable set's HBM maximum,
+        // so a retired big replica does not strand long prompts on a
+        // tier that no longer exists.
         int64_t max_hbm = 0;
-        for (const auto &rep : fleet)
-            max_hbm = std::max(max_hbm,
-                               rep->config().timing.hw.gpu_mem_bytes);
+        for (size_t i : routable)
+            max_hbm = std::max(
+                max_hbm, fleet[i]->config().timing.hw.gpu_mem_bytes);
         const bool is_long = r.prompt_len >= cfg_.long_prompt_threshold;
         std::vector<size_t> tier;
         for (size_t i : candidates) {

@@ -97,18 +97,38 @@ class Router
     /**
      * Index of the replica `r` should be delivered to, given the
      * fleet's current state. Deterministic: ties break toward the
-     * lowest index.
+     * lowest index. Equivalent to the routable-subset overload with
+     * every fleet index routable.
      * @throws std::invalid_argument on an empty fleet.
      */
     size_t route(const Request &r,
                  const std::vector<std::unique_ptr<ReplicaEngine>>
                      &replicas);
 
+    /**
+     * Candidate-set routing for elastic fleets: only the ascending
+     * index subset `routable` (the replicas currently accepting new
+     * work — live, not warming/draining/retired) is eligible. Slots
+     * outside the subset keep their indices, so placements stay
+     * bit-reproducible across scale events; every policy — including
+     * the prefix-affinity cold hash and the two-tier HBM split — is
+     * evaluated over the routable set only. With `routable` covering
+     * the whole fleet this is bit-identical to the two-argument
+     * overload.
+     * @throws std::invalid_argument on an empty fleet or an empty
+     * routable set.
+     */
+    size_t route(const Request &r,
+                 const std::vector<std::unique_ptr<ReplicaEngine>>
+                     &replicas,
+                 const std::vector<size_t> &routable);
+
   private:
     /** The placement decision proper; route() wraps it with counting. */
     size_t pickReplica(const Request &r,
                        const std::vector<std::unique_ptr<ReplicaEngine>>
                            &replicas,
+                       const std::vector<size_t> &routable,
                        int64_t *affinity_spills);
 
     RouterConfig cfg_;

@@ -9,7 +9,8 @@ namespace specontext {
 namespace sim {
 
 EventClock::EventClock(size_t lanes)
-    : times_(lanes, std::numeric_limits<double>::infinity())
+    : times_(lanes, std::numeric_limits<double>::infinity()),
+      retired_(lanes, false)
 {
     if (lanes == 0)
         throw std::invalid_argument("EventClock: zero lanes");
@@ -26,9 +27,42 @@ EventClock::set(size_t lane, double t)
 {
     if (std::isnan(t))
         throw std::invalid_argument("EventClock: NaN event time");
+    if (retired_.at(lane))
+        throw std::logic_error("EventClock: set on a retired lane");
     times_.at(lane) = t;
     if (counters_)
         counters_->add(lane_updates_, 1);
+}
+
+size_t
+EventClock::addLane()
+{
+    const size_t lane = times_.size();
+    times_.push_back(std::numeric_limits<double>::infinity());
+    retired_.push_back(false);
+    if (counters_) {
+        lane_fires_.push_back(counters_->counter(
+            "clock.lane" + std::to_string(lane) + ".fires"));
+    }
+    return lane;
+}
+
+void
+EventClock::retireLane(size_t lane)
+{
+    times_.at(lane) = std::numeric_limits<double>::infinity();
+    retired_.at(lane) = true;
+}
+
+size_t
+EventClock::liveLanes() const
+{
+    size_t live = 0;
+    for (const bool r : retired_) {
+        if (!r)
+            ++live;
+    }
+    return live;
 }
 
 void

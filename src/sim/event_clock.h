@@ -9,6 +9,13 @@
  * question: which lane fires next (earliest instant, ties toward the
  * lowest lane — bit-reproducible). Lanes may be +infinity ("idle, no
  * event booked"), which earliest() reports when every lane is idle.
+ *
+ * Lanes are elastic: addLane() books a new lane at the end of the
+ * index space (an autoscaled replica attaching mid-run) and
+ * retireLane() permanently idles one (a drained replica detaching).
+ * Retired lanes keep their slot — indices of surviving lanes never
+ * shift — so the earliest-lane scan visits lanes in the same order
+ * before and after a retirement and tie-breaks stay bit-reproducible.
  */
 #pragma once
 
@@ -34,8 +41,34 @@ class EventClock
     double at(size_t lane) const;
 
     /** Book `lane`'s next event at `t` (+infinity to mark it idle).
-     *  NaN is rejected — it would poison the min/max scans. */
+     *  NaN is rejected — it would poison the min/max scans.
+     *  @throws std::logic_error on a retired lane (a detached replica
+     *  can never book events again). */
     void set(size_t lane, double t);
+
+    /**
+     * Attach a new lane (idle, +infinity) at the end of the index
+     * space and return its index. Existing lanes — including retired
+     * ones, whose slots are kept — are not reindexed, so bookings and
+     * tie-break order survive the growth. With a counter registry
+     * attached the new lane's fire counter is resolved immediately.
+     */
+    size_t addLane();
+
+    /**
+     * Permanently idle `lane`: its instant becomes +infinity, set() on
+     * it throws, and it can never win a round again. The slot is kept
+     * (indices are stable; earliestLane()'s scan order is unchanged),
+     * so tie-breaks among surviving lanes are exactly what they were
+     * with the lane merely idle. Idempotent.
+     */
+    void retireLane(size_t lane);
+
+    /** True when `lane` has been retired. */
+    bool laneRetired(size_t lane) const { return retired_.at(lane); }
+
+    /** Lanes not yet retired. */
+    size_t liveLanes() const;
 
     /** Lane with the earliest booked event; ties break toward the
      *  lowest lane index. Defined (lane 0) even when all lanes are
@@ -59,6 +92,7 @@ class EventClock
 
   private:
     std::vector<double> times_;
+    std::vector<bool> retired_;
 
     /** Always-on scheduling counters (null = observability off). */
     obs::CounterRegistry *counters_ = nullptr;

@@ -295,6 +295,132 @@ multiTurnTrace(const MultiTurnTraceConfig &cfg)
     return trace;
 }
 
+namespace {
+
+void
+validateLengthBounds(const char *what, int64_t prompt_lo,
+                     int64_t prompt_hi, int64_t gen_lo, int64_t gen_hi)
+{
+    if (prompt_lo <= 0 || prompt_hi < prompt_lo)
+        throw std::invalid_argument(
+            std::string(what) +
+            ": prompt bounds must satisfy 0 < lo <= hi");
+    if (gen_lo <= 0 || gen_hi < gen_lo)
+        throw std::invalid_argument(
+            std::string(what) + ": gen bounds must satisfy 0 < lo <= hi");
+}
+
+/**
+ * Non-homogeneous Poisson arrivals by Lewis-Shedler thinning: draw
+ * candidate gaps at the envelope `rate_max`, keep a candidate at t
+ * with probability rate(t) / rate_max. Candidates and acceptance draws
+ * come from one stream, lengths from the same stream only on accept,
+ * so the trace is deterministic in the seed and two generators with
+ * the same seed but different rate curves still agree on the envelope
+ * skeleton.
+ */
+template <typename RateFn>
+std::vector<serving::Request>
+thinnedTrace(const TraceConfig &base, double rate_max,
+             const RateFn &rate, int64_t prompt_lo, int64_t prompt_hi,
+             int64_t gen_lo, int64_t gen_hi)
+{
+    Rng rng(base.seed);
+    std::vector<serving::Request> trace;
+    trace.reserve(base.num_requests);
+    double t = 0.0;
+    int64_t id = 0;
+    while (id < base.num_requests) {
+        t += expGap(rng, rate_max);
+        if (rng.uniform() * rate_max > rate(t))
+            continue; // thinned: the instantaneous rate is below the envelope
+        serving::Request r;
+        r.id = id++;
+        r.arrival_seconds = t;
+        r.prompt_len = logUniform(rng, prompt_lo, prompt_hi);
+        r.gen_len = logUniform(rng, gen_lo, gen_hi);
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+} // namespace
+
+void
+validateTraceConfig(const DiurnalTraceConfig &cfg)
+{
+    validateTraceConfig(cfg.base);
+    if (!(cfg.period_seconds > 0.0) || !std::isfinite(cfg.period_seconds))
+        throw std::invalid_argument(
+            "diurnalTrace: period_seconds must be positive and finite");
+    if (!(cfg.peak_to_trough >= 1.0) || !std::isfinite(cfg.peak_to_trough))
+        throw std::invalid_argument(
+            "diurnalTrace: peak_to_trough must be finite and >= 1 "
+            "(rates must stay non-negative)");
+    validateLengthBounds("diurnalTrace", cfg.prompt_lo, cfg.prompt_hi,
+                         cfg.gen_lo, cfg.gen_hi);
+}
+
+std::vector<serving::Request>
+diurnalTrace(const DiurnalTraceConfig &cfg)
+{
+    validateTraceConfig(cfg);
+    // Mean rate m and ratio r = peak/trough pin the curve's extremes
+    // at trough = 2m/(1+r), peak = 2m*r/(1+r): the cosine's average is
+    // the configured mean, so total volume matches a plain Poisson
+    // trace at the same base rate.
+    const double mean = cfg.base.arrival_rate_per_s;
+    const double trough = 2.0 * mean / (1.0 + cfg.peak_to_trough);
+    const double peak = trough * cfg.peak_to_trough;
+    const double two_pi = 2.0 * 3.14159265358979323846;
+    const auto rate = [&](double t) {
+        const double phase = two_pi * t / cfg.period_seconds;
+        return trough +
+               (peak - trough) * 0.5 * (1.0 - std::cos(phase));
+    };
+    return thinnedTrace(cfg.base, peak, rate, cfg.prompt_lo,
+                        cfg.prompt_hi, cfg.gen_lo, cfg.gen_hi);
+}
+
+void
+validateTraceConfig(const FlashCrowdTraceConfig &cfg)
+{
+    validateTraceConfig(cfg.base);
+    if (cfg.burst_start_seconds < 0.0 ||
+        !std::isfinite(cfg.burst_start_seconds))
+        throw std::invalid_argument(
+            "flashCrowdTrace: burst_start_seconds must be finite and "
+            ">= 0");
+    if (!(cfg.burst_duration_seconds > 0.0) ||
+        !std::isfinite(cfg.burst_duration_seconds))
+        throw std::invalid_argument(
+            "flashCrowdTrace: burst_duration_seconds must be positive "
+            "and finite (the window must be ordered)");
+    if (!(cfg.burst_multiplier >= 1.0) ||
+        !std::isfinite(cfg.burst_multiplier))
+        throw std::invalid_argument(
+            "flashCrowdTrace: burst_multiplier must be finite and >= 1");
+    validateLengthBounds("flashCrowdTrace", cfg.prompt_lo,
+                         cfg.prompt_hi, cfg.gen_lo, cfg.gen_hi);
+}
+
+std::vector<serving::Request>
+flashCrowdTrace(const FlashCrowdTraceConfig &cfg)
+{
+    validateTraceConfig(cfg);
+    const double baseline = cfg.base.arrival_rate_per_s;
+    const double burst_end =
+        cfg.burst_start_seconds + cfg.burst_duration_seconds;
+    const auto rate = [&](double t) {
+        const bool in_burst =
+            t >= cfg.burst_start_seconds && t < burst_end;
+        return in_burst ? baseline * cfg.burst_multiplier : baseline;
+    };
+    return thinnedTrace(cfg.base, baseline * cfg.burst_multiplier,
+                        rate, cfg.prompt_lo, cfg.prompt_hi, cfg.gen_lo,
+                        cfg.gen_hi);
+}
+
 std::vector<serving::Request>
 mixedLengthTrace(const TraceConfig &cfg)
 {

@@ -128,6 +128,99 @@ std::vector<serving::Request> multiTurnTrace(
     const MultiTurnTraceConfig &cfg);
 
 /**
+ * Knobs of the diurnal generator: a non-homogeneous Poisson process
+ * whose rate follows one smooth day curve — trough at the period
+ * edges, peak mid-period — around the mean rate `base` names. The
+ * non-stationary arrival shape an SLO-driven autoscaler is sized
+ * against: a fleet fixed for the peak idles at the trough, a fleet
+ * fixed for the trough drowns at the peak.
+ */
+struct DiurnalTraceConfig
+{
+    /** base.arrival_rate_per_s is the *mean* rate over a full period;
+     *  the curve oscillates around it at fixed total volume. */
+    TraceConfig base;
+    /** Seconds of one diurnal cycle (one simulated "day"). */
+    double period_seconds = 600.0;
+    /** Peak-rate : trough-rate ratio (>= 1; 1 = plain Poisson). With
+     *  mean m and ratio r the curve spans trough 2m/(1+r) to peak
+     *  2mr/(1+r). */
+    double peak_to_trough = 4.0;
+    /** Per-request prompt length, log-uniform in [lo, hi]. */
+    int64_t prompt_lo = 512;
+    int64_t prompt_hi = 4096;
+    /** Generation length, log-uniform in [lo, hi]. */
+    int64_t gen_lo = 128;
+    int64_t gen_hi = 1024;
+};
+
+/**
+ * Validate the diurnal knobs (also called by diurnalTrace()).
+ * @throws std::invalid_argument on a bad base config, non-positive or
+ * non-finite period, peak_to_trough < 1 or non-finite, or prompt/gen
+ * bounds violating 0 < lo <= hi — naming the offending knob.
+ */
+void validateTraceConfig(const DiurnalTraceConfig &cfg);
+
+/**
+ * Diurnal trace: arrivals from a non-homogeneous Poisson process
+ * (Lewis-Shedler thinning against the peak rate) whose rate is
+ * trough + (peak - trough) * (1 - cos(2*pi*t / period)) / 2 — trough
+ * at t = 0, peak at half-period, repeating every period. Lengths are
+ * log-uniform per request. Deterministic in cfg.base.seed; requests
+ * carry sequential ids in arrival order.
+ * @throws std::invalid_argument on invalid knobs (see
+ * validateTraceConfig(DiurnalTraceConfig)).
+ */
+std::vector<serving::Request> diurnalTrace(
+    const DiurnalTraceConfig &cfg);
+
+/**
+ * Knobs of the flash-crowd generator: steady baseline traffic with
+ * one rate spike over a fixed window [burst_start, burst_start +
+ * burst_duration) — the breaking-news / product-launch shape that
+ * punishes slow scale-up (the crowd is gone by the time a cold
+ * replica finishes loading weights if the controller reacts late).
+ */
+struct FlashCrowdTraceConfig
+{
+    /** base.arrival_rate_per_s is the steady *baseline* rate. */
+    TraceConfig base;
+    /** Burst window: [start, start + duration) in trace seconds. */
+    double burst_start_seconds = 120.0;
+    double burst_duration_seconds = 60.0;
+    /** Rate inside the window = baseline * multiplier (>= 1). */
+    double burst_multiplier = 8.0;
+    /** Per-request prompt length, log-uniform in [lo, hi]. */
+    int64_t prompt_lo = 512;
+    int64_t prompt_hi = 4096;
+    /** Generation length, log-uniform in [lo, hi]. */
+    int64_t gen_lo = 128;
+    int64_t gen_hi = 1024;
+};
+
+/**
+ * Validate the flash-crowd knobs (also called by flashCrowdTrace()).
+ * @throws std::invalid_argument on a bad base config, a negative or
+ * non-finite burst start, a non-positive or non-finite duration (the
+ * window must be ordered: start < start + duration), burst_multiplier
+ * < 1 or non-finite, or prompt/gen bounds violating 0 < lo <= hi.
+ */
+void validateTraceConfig(const FlashCrowdTraceConfig &cfg);
+
+/**
+ * Flash-crowd trace: baseline Poisson arrivals with the rate stepped
+ * to baseline * burst_multiplier inside the burst window (thinning
+ * against the burst rate). Lengths are log-uniform per request.
+ * Deterministic in cfg.base.seed; requests carry sequential ids in
+ * arrival order.
+ * @throws std::invalid_argument on invalid knobs (see
+ * validateTraceConfig(FlashCrowdTraceConfig)).
+ */
+std::vector<serving::Request> flashCrowdTrace(
+    const FlashCrowdTraceConfig &cfg);
+
+/**
  * Poisson arrivals sampling uniformly from `mix`. Requests carry
  * sequential ids in arrival order; the list is sorted by arrival.
  * @throws std::invalid_argument on an empty mix or non-positive knobs.

@@ -145,6 +145,26 @@ TEST(ObsCounters, GaugesSetToLevelAndKindMismatchThrows)
     EXPECT_THROW(reg.gauge("replica0.admitted"), std::invalid_argument);
 }
 
+TEST(ObsCounters, GaugeReadAccessorPollsByHandle)
+{
+    // The autoscale controller's polling path: resolve the handle
+    // once, then read the live level with gauge(h) — no snapshot or
+    // name lookup per tick.
+    CounterRegistry reg;
+    const auto g = reg.gauge("replica0.queue_depth");
+    EXPECT_EQ(reg.gauge(g), 0); // never-set gauge reads 0
+    reg.set(g, 11);
+    EXPECT_EQ(reg.gauge(g), 11);
+    reg.set(g, 3);
+    EXPECT_EQ(reg.gauge(g), 3);
+    // Type and range safety: counter handles and stale handles are
+    // rejected rather than silently misread.
+    const auto c = reg.counter("replica0.completed");
+    EXPECT_THROW(reg.gauge(c), std::invalid_argument);
+    EXPECT_THROW(reg.gauge(static_cast<CounterRegistry::Handle>(99)),
+                 std::out_of_range);
+}
+
 TEST(ObsCounters, SnapshotIsNameSortedAndCoherent)
 {
     CounterRegistry reg;

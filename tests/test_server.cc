@@ -489,6 +489,149 @@ TEST(Trace, SharedPrefixZipfSkewsPopularityTowardRankZero)
 
 // ------------------------------------------------------------ admission
 
+TEST(Trace, DiurnalRateSwingsBetweenTroughAndPeak)
+{
+    workload::DiurnalTraceConfig dc;
+    dc.base.num_requests = 1200;
+    dc.base.arrival_rate_per_s = 2.0; // mean rate over a period
+    dc.base.seed = 5;
+    dc.period_seconds = 400.0;
+    dc.peak_to_trough = 4.0;
+    const auto a = workload::diurnalTrace(dc);
+    const auto b = workload::diurnalTrace(dc);
+    ASSERT_EQ(a.size(), 1200u);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].arrival_seconds, b[i].arrival_seconds);
+        EXPECT_EQ(a[i].id, static_cast<int64_t>(i));
+        EXPECT_GE(a[i].prompt_len, dc.prompt_lo);
+        EXPECT_LE(a[i].prompt_len, dc.prompt_hi);
+        EXPECT_GE(a[i].gen_len, dc.gen_lo);
+        EXPECT_LE(a[i].gen_len, dc.gen_hi);
+        if (i > 0)
+            EXPECT_GE(a[i].arrival_seconds, a[i - 1].arrival_seconds);
+    }
+    // Count arrivals in the trough quarter (period edges) vs the peak
+    // quarter (mid-period), folding every period together. With ratio
+    // 4 the peak quarter must see far more traffic.
+    int64_t trough_arrivals = 0, peak_arrivals = 0;
+    for (const Request &r : a) {
+        const double phase =
+            std::fmod(r.arrival_seconds, dc.period_seconds) /
+            dc.period_seconds;
+        if (phase < 0.125 || phase >= 0.875)
+            ++trough_arrivals;
+        else if (phase >= 0.375 && phase < 0.625)
+            ++peak_arrivals;
+    }
+    EXPECT_GT(peak_arrivals, 2 * trough_arrivals);
+}
+
+TEST(Trace, FlashCrowdConcentratesArrivalsInsideTheBurstWindow)
+{
+    workload::FlashCrowdTraceConfig fc;
+    fc.base.num_requests = 600;
+    fc.base.arrival_rate_per_s = 1.0; // baseline
+    fc.base.seed = 9;
+    fc.burst_start_seconds = 100.0;
+    fc.burst_duration_seconds = 50.0;
+    fc.burst_multiplier = 8.0;
+    const auto a = workload::flashCrowdTrace(fc);
+    const auto b = workload::flashCrowdTrace(fc);
+    ASSERT_EQ(a.size(), 600u);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].arrival_seconds, b[i].arrival_seconds);
+        if (i > 0)
+            EXPECT_GE(a[i].arrival_seconds, a[i - 1].arrival_seconds);
+    }
+    // The 50 s burst window must be ~8x denser than an equally long
+    // pre-burst baseline window ([50, 100)).
+    int64_t in_burst = 0, before_burst = 0;
+    for (const Request &r : a) {
+        if (r.arrival_seconds >= 100.0 && r.arrival_seconds < 150.0)
+            ++in_burst;
+        else if (r.arrival_seconds >= 50.0 && r.arrival_seconds < 100.0)
+            ++before_burst;
+    }
+    EXPECT_GT(in_burst, 4 * before_burst);
+    EXPECT_GT(before_burst, 0);
+}
+
+// Satellite pin: the non-stationary generators validate their knobs
+// through validateTraceConfig overloads — non-negative rates, ordered
+// burst windows, sane length bounds — with clear errors.
+TEST(Trace, DiurnalValidationRejectsDegenerateKnobs)
+{
+    workload::DiurnalTraceConfig ok;
+    EXPECT_NO_THROW(workload::validateTraceConfig(ok));
+
+    workload::DiurnalTraceConfig bad_base = ok;
+    bad_base.base.arrival_rate_per_s = 0.0;
+    EXPECT_THROW(workload::validateTraceConfig(bad_base),
+                 std::invalid_argument);
+    workload::DiurnalTraceConfig no_period = ok;
+    no_period.period_seconds = 0.0;
+    EXPECT_THROW(workload::validateTraceConfig(no_period),
+                 std::invalid_argument);
+    workload::DiurnalTraceConfig inf_period = ok;
+    inf_period.period_seconds =
+        std::numeric_limits<double>::infinity();
+    EXPECT_THROW(workload::validateTraceConfig(inf_period),
+                 std::invalid_argument);
+    // Ratio below 1 would drive the trough rate negative.
+    workload::DiurnalTraceConfig bad_ratio = ok;
+    bad_ratio.peak_to_trough = 0.5;
+    EXPECT_THROW(workload::validateTraceConfig(bad_ratio),
+                 std::invalid_argument);
+    workload::DiurnalTraceConfig bad_prompt = ok;
+    bad_prompt.prompt_hi = bad_prompt.prompt_lo - 1;
+    EXPECT_THROW(workload::validateTraceConfig(bad_prompt),
+                 std::invalid_argument);
+    workload::DiurnalTraceConfig bad_gen = ok;
+    bad_gen.gen_lo = 0;
+    EXPECT_THROW(workload::validateTraceConfig(bad_gen),
+                 std::invalid_argument);
+    // The generator itself goes through the same validation.
+    EXPECT_THROW(workload::diurnalTrace(no_period),
+                 std::invalid_argument);
+}
+
+TEST(Trace, FlashCrowdValidationRejectsDegenerateKnobs)
+{
+    workload::FlashCrowdTraceConfig ok;
+    EXPECT_NO_THROW(workload::validateTraceConfig(ok));
+
+    workload::FlashCrowdTraceConfig bad_base = ok;
+    bad_base.base.num_requests = 0;
+    EXPECT_THROW(workload::validateTraceConfig(bad_base),
+                 std::invalid_argument);
+    workload::FlashCrowdTraceConfig neg_start = ok;
+    neg_start.burst_start_seconds = -1.0;
+    EXPECT_THROW(workload::validateTraceConfig(neg_start),
+                 std::invalid_argument);
+    // Window ordering: a non-positive duration means start >= end.
+    workload::FlashCrowdTraceConfig empty_window = ok;
+    empty_window.burst_duration_seconds = 0.0;
+    EXPECT_THROW(workload::validateTraceConfig(empty_window),
+                 std::invalid_argument);
+    workload::FlashCrowdTraceConfig nan_duration = ok;
+    nan_duration.burst_duration_seconds =
+        std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(workload::validateTraceConfig(nan_duration),
+                 std::invalid_argument);
+    // Multiplier below 1 would make the "burst" a dip with a wrong
+    // thinning envelope.
+    workload::FlashCrowdTraceConfig bad_mult = ok;
+    bad_mult.burst_multiplier = 0.25;
+    EXPECT_THROW(workload::validateTraceConfig(bad_mult),
+                 std::invalid_argument);
+    workload::FlashCrowdTraceConfig bad_gen = ok;
+    bad_gen.gen_hi = bad_gen.gen_lo - 1;
+    EXPECT_THROW(workload::validateTraceConfig(bad_gen),
+                 std::invalid_argument);
+    EXPECT_THROW(workload::flashCrowdTrace(empty_window),
+                 std::invalid_argument);
+}
+
 TEST(Admission, RejectsWaveOnlySystems)
 {
     EXPECT_THROW(AdmissionController(cloudConfig("Quest")),
