@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_autoscale.dir/bench/bench_autoscale.cc.o"
+  "CMakeFiles/bench_autoscale.dir/bench/bench_autoscale.cc.o.d"
+  "bench_autoscale"
+  "bench_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

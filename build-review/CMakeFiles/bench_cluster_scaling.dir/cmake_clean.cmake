@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cluster_scaling.dir/bench/bench_cluster_scaling.cc.o"
+  "CMakeFiles/bench_cluster_scaling.dir/bench/bench_cluster_scaling.cc.o.d"
+  "bench_cluster_scaling"
+  "bench_cluster_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cluster_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_prefetch_overlap.dir/bench/bench_fig06_prefetch_overlap.cc.o"
+  "CMakeFiles/bench_fig06_prefetch_overlap.dir/bench/bench_fig06_prefetch_overlap.cc.o.d"
+  "bench_fig06_prefetch_overlap"
+  "bench_fig06_prefetch_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_prefetch_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

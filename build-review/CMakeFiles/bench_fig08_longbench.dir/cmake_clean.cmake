@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_longbench.dir/bench/bench_fig08_longbench.cc.o"
+  "CMakeFiles/bench_fig08_longbench.dir/bench/bench_fig08_longbench.cc.o.d"
+  "bench_fig08_longbench"
+  "bench_fig08_longbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_longbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

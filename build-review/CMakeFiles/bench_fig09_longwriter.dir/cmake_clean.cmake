@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_longwriter.dir/bench/bench_fig09_longwriter.cc.o"
+  "CMakeFiles/bench_fig09_longwriter.dir/bench/bench_fig09_longwriter.cc.o.d"
+  "bench_fig09_longwriter"
+  "bench_fig09_longwriter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_longwriter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

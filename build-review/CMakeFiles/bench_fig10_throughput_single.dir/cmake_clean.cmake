@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_throughput_single.dir/bench/bench_fig10_throughput_single.cc.o"
+  "CMakeFiles/bench_fig10_throughput_single.dir/bench/bench_fig10_throughput_single.cc.o.d"
+  "bench_fig10_throughput_single"
+  "bench_fig10_throughput_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_throughput_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_accounting.dir/bench/bench_overhead_accounting.cc.o"
+  "CMakeFiles/bench_overhead_accounting.dir/bench/bench_overhead_accounting.cc.o.d"
+  "bench_overhead_accounting"
+  "bench_overhead_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

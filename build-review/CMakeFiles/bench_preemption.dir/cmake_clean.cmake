@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_preemption.dir/bench/bench_preemption.cc.o"
+  "CMakeFiles/bench_preemption.dir/bench/bench_preemption.cc.o.d"
+  "bench_preemption"
+  "bench_preemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prefix_sharing.dir/bench/bench_prefix_sharing.cc.o"
+  "CMakeFiles/bench_prefix_sharing.dir/bench/bench_prefix_sharing.cc.o.d"
+  "bench_prefix_sharing"
+  "bench_prefix_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prefix_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serving_continuous.dir/bench/bench_serving_continuous.cc.o"
+  "CMakeFiles/bench_serving_continuous.dir/bench/bench_serving_continuous.cc.o.d"
+  "bench_serving_continuous"
+  "bench_serving_continuous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serving_continuous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_throughput_multi.dir/bench/bench_table3_throughput_multi.cc.o"
+  "CMakeFiles/bench_table3_throughput_multi.dir/bench/bench_table3_throughput_multi.cc.o.d"
+  "bench_table3_throughput_multi"
+  "bench_table3_throughput_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_throughput_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

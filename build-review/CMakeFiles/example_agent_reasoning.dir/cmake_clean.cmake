@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_agent_reasoning.dir/examples/agent_reasoning.cpp.o"
+  "CMakeFiles/example_agent_reasoning.dir/examples/agent_reasoning.cpp.o.d"
+  "example_agent_reasoning"
+  "example_agent_reasoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_agent_reasoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_autoscale.dir/examples/autoscale.cpp.o"
+  "CMakeFiles/example_autoscale.dir/examples/autoscale.cpp.o.d"
+  "example_autoscale"
+  "example_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

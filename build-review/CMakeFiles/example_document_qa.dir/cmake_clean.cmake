@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_document_qa.dir/examples/document_qa.cpp.o"
+  "CMakeFiles/example_document_qa.dir/examples/document_qa.cpp.o.d"
+  "example_document_qa"
+  "example_document_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_document_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

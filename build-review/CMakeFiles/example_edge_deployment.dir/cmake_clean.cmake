@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_edge_deployment.dir/examples/edge_deployment.cpp.o"
+  "CMakeFiles/example_edge_deployment.dir/examples/edge_deployment.cpp.o.d"
+  "example_edge_deployment"
+  "example_edge_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_edge_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fleet_sizing.dir/examples/fleet_sizing.cpp.o"
+  "CMakeFiles/example_fleet_sizing.dir/examples/fleet_sizing.cpp.o.d"
+  "example_fleet_sizing"
+  "example_fleet_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fleet_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_preemption.dir/examples/preemption.cpp.o"
+  "CMakeFiles/example_preemption.dir/examples/preemption.cpp.o.d"
+  "example_preemption"
+  "example_preemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

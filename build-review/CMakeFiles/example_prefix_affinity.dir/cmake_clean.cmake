@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_prefix_affinity.dir/examples/prefix_affinity.cpp.o"
+  "CMakeFiles/example_prefix_affinity.dir/examples/prefix_affinity.cpp.o.d"
+  "example_prefix_affinity"
+  "example_prefix_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_prefix_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autoscale/controller.cc" "CMakeFiles/specontext.dir/src/autoscale/controller.cc.o" "gcc" "CMakeFiles/specontext.dir/src/autoscale/controller.cc.o.d"
+  "/root/repo/src/autoscale/policy.cc" "CMakeFiles/specontext.dir/src/autoscale/policy.cc.o" "gcc" "CMakeFiles/specontext.dir/src/autoscale/policy.cc.o.d"
+  "/root/repo/src/autoscale/slo.cc" "CMakeFiles/specontext.dir/src/autoscale/slo.cc.o" "gcc" "CMakeFiles/specontext.dir/src/autoscale/slo.cc.o.d"
+  "/root/repo/src/core/dataflow.cc" "CMakeFiles/specontext.dir/src/core/dataflow.cc.o" "gcc" "CMakeFiles/specontext.dir/src/core/dataflow.cc.o.d"
+  "/root/repo/src/core/elastic_loader.cc" "CMakeFiles/specontext.dir/src/core/elastic_loader.cc.o" "gcc" "CMakeFiles/specontext.dir/src/core/elastic_loader.cc.o.d"
+  "/root/repo/src/core/live_engine.cc" "CMakeFiles/specontext.dir/src/core/live_engine.cc.o" "gcc" "CMakeFiles/specontext.dir/src/core/live_engine.cc.o.d"
+  "/root/repo/src/core/memory_manager.cc" "CMakeFiles/specontext.dir/src/core/memory_manager.cc.o" "gcc" "CMakeFiles/specontext.dir/src/core/memory_manager.cc.o.d"
+  "/root/repo/src/core/speculative.cc" "CMakeFiles/specontext.dir/src/core/speculative.cc.o" "gcc" "CMakeFiles/specontext.dir/src/core/speculative.cc.o.d"
+  "/root/repo/src/core/system_model.cc" "CMakeFiles/specontext.dir/src/core/system_model.cc.o" "gcc" "CMakeFiles/specontext.dir/src/core/system_model.cc.o.d"
+  "/root/repo/src/core/systems/eviction_system.cc" "CMakeFiles/specontext.dir/src/core/systems/eviction_system.cc.o" "gcc" "CMakeFiles/specontext.dir/src/core/systems/eviction_system.cc.o.d"
+  "/root/repo/src/core/systems/full_attention_system.cc" "CMakeFiles/specontext.dir/src/core/systems/full_attention_system.cc.o" "gcc" "CMakeFiles/specontext.dir/src/core/systems/full_attention_system.cc.o.d"
+  "/root/repo/src/core/systems/layerwise_baseline_system.cc" "CMakeFiles/specontext.dir/src/core/systems/layerwise_baseline_system.cc.o" "gcc" "CMakeFiles/specontext.dir/src/core/systems/layerwise_baseline_system.cc.o.d"
+  "/root/repo/src/core/systems/specontext_system.cc" "CMakeFiles/specontext.dir/src/core/systems/specontext_system.cc.o" "gcc" "CMakeFiles/specontext.dir/src/core/systems/specontext_system.cc.o.d"
+  "/root/repo/src/core/timing_engine.cc" "CMakeFiles/specontext.dir/src/core/timing_engine.cc.o" "gcc" "CMakeFiles/specontext.dir/src/core/timing_engine.cc.o.d"
+  "/root/repo/src/kvcache/kv_cache.cc" "CMakeFiles/specontext.dir/src/kvcache/kv_cache.cc.o" "gcc" "CMakeFiles/specontext.dir/src/kvcache/kv_cache.cc.o.d"
+  "/root/repo/src/kvcache/paged.cc" "CMakeFiles/specontext.dir/src/kvcache/paged.cc.o" "gcc" "CMakeFiles/specontext.dir/src/kvcache/paged.cc.o.d"
+  "/root/repo/src/kvcache/prefix_tree.cc" "CMakeFiles/specontext.dir/src/kvcache/prefix_tree.cc.o" "gcc" "CMakeFiles/specontext.dir/src/kvcache/prefix_tree.cc.o.d"
+  "/root/repo/src/model/config.cc" "CMakeFiles/specontext.dir/src/model/config.cc.o" "gcc" "CMakeFiles/specontext.dir/src/model/config.cc.o.d"
+  "/root/repo/src/model/distiller.cc" "CMakeFiles/specontext.dir/src/model/distiller.cc.o" "gcc" "CMakeFiles/specontext.dir/src/model/distiller.cc.o.d"
+  "/root/repo/src/model/tokenizer.cc" "CMakeFiles/specontext.dir/src/model/tokenizer.cc.o" "gcc" "CMakeFiles/specontext.dir/src/model/tokenizer.cc.o.d"
+  "/root/repo/src/model/transformer.cc" "CMakeFiles/specontext.dir/src/model/transformer.cc.o" "gcc" "CMakeFiles/specontext.dir/src/model/transformer.cc.o.d"
+  "/root/repo/src/model/weights.cc" "CMakeFiles/specontext.dir/src/model/weights.cc.o" "gcc" "CMakeFiles/specontext.dir/src/model/weights.cc.o.d"
+  "/root/repo/src/obs/counters.cc" "CMakeFiles/specontext.dir/src/obs/counters.cc.o" "gcc" "CMakeFiles/specontext.dir/src/obs/counters.cc.o.d"
+  "/root/repo/src/obs/export.cc" "CMakeFiles/specontext.dir/src/obs/export.cc.o" "gcc" "CMakeFiles/specontext.dir/src/obs/export.cc.o.d"
+  "/root/repo/src/obs/json.cc" "CMakeFiles/specontext.dir/src/obs/json.cc.o" "gcc" "CMakeFiles/specontext.dir/src/obs/json.cc.o.d"
+  "/root/repo/src/obs/sampler.cc" "CMakeFiles/specontext.dir/src/obs/sampler.cc.o" "gcc" "CMakeFiles/specontext.dir/src/obs/sampler.cc.o.d"
+  "/root/repo/src/obs/trace.cc" "CMakeFiles/specontext.dir/src/obs/trace.cc.o" "gcc" "CMakeFiles/specontext.dir/src/obs/trace.cc.o.d"
+  "/root/repo/src/retrieval/cluster_kv.cc" "CMakeFiles/specontext.dir/src/retrieval/cluster_kv.cc.o" "gcc" "CMakeFiles/specontext.dir/src/retrieval/cluster_kv.cc.o.d"
+  "/root/repo/src/retrieval/h2o.cc" "CMakeFiles/specontext.dir/src/retrieval/h2o.cc.o" "gcc" "CMakeFiles/specontext.dir/src/retrieval/h2o.cc.o.d"
+  "/root/repo/src/retrieval/quest.cc" "CMakeFiles/specontext.dir/src/retrieval/quest.cc.o" "gcc" "CMakeFiles/specontext.dir/src/retrieval/quest.cc.o.d"
+  "/root/repo/src/retrieval/retrieval_head.cc" "CMakeFiles/specontext.dir/src/retrieval/retrieval_head.cc.o" "gcc" "CMakeFiles/specontext.dir/src/retrieval/retrieval_head.cc.o.d"
+  "/root/repo/src/retrieval/shadow_kv.cc" "CMakeFiles/specontext.dir/src/retrieval/shadow_kv.cc.o" "gcc" "CMakeFiles/specontext.dir/src/retrieval/shadow_kv.cc.o.d"
+  "/root/repo/src/serving/admission.cc" "CMakeFiles/specontext.dir/src/serving/admission.cc.o" "gcc" "CMakeFiles/specontext.dir/src/serving/admission.cc.o.d"
+  "/root/repo/src/serving/batch_sweep.cc" "CMakeFiles/specontext.dir/src/serving/batch_sweep.cc.o" "gcc" "CMakeFiles/specontext.dir/src/serving/batch_sweep.cc.o.d"
+  "/root/repo/src/serving/cluster.cc" "CMakeFiles/specontext.dir/src/serving/cluster.cc.o" "gcc" "CMakeFiles/specontext.dir/src/serving/cluster.cc.o.d"
+  "/root/repo/src/serving/metrics.cc" "CMakeFiles/specontext.dir/src/serving/metrics.cc.o" "gcc" "CMakeFiles/specontext.dir/src/serving/metrics.cc.o.d"
+  "/root/repo/src/serving/replica_engine.cc" "CMakeFiles/specontext.dir/src/serving/replica_engine.cc.o" "gcc" "CMakeFiles/specontext.dir/src/serving/replica_engine.cc.o.d"
+  "/root/repo/src/serving/request_queue.cc" "CMakeFiles/specontext.dir/src/serving/request_queue.cc.o" "gcc" "CMakeFiles/specontext.dir/src/serving/request_queue.cc.o.d"
+  "/root/repo/src/serving/router.cc" "CMakeFiles/specontext.dir/src/serving/router.cc.o" "gcc" "CMakeFiles/specontext.dir/src/serving/router.cc.o.d"
+  "/root/repo/src/serving/scheduler.cc" "CMakeFiles/specontext.dir/src/serving/scheduler.cc.o" "gcc" "CMakeFiles/specontext.dir/src/serving/scheduler.cc.o.d"
+  "/root/repo/src/serving/server.cc" "CMakeFiles/specontext.dir/src/serving/server.cc.o" "gcc" "CMakeFiles/specontext.dir/src/serving/server.cc.o.d"
+  "/root/repo/src/sim/cost.cc" "CMakeFiles/specontext.dir/src/sim/cost.cc.o" "gcc" "CMakeFiles/specontext.dir/src/sim/cost.cc.o.d"
+  "/root/repo/src/sim/event_clock.cc" "CMakeFiles/specontext.dir/src/sim/event_clock.cc.o" "gcc" "CMakeFiles/specontext.dir/src/sim/event_clock.cc.o.d"
+  "/root/repo/src/sim/hardware.cc" "CMakeFiles/specontext.dir/src/sim/hardware.cc.o" "gcc" "CMakeFiles/specontext.dir/src/sim/hardware.cc.o.d"
+  "/root/repo/src/sim/memory_model.cc" "CMakeFiles/specontext.dir/src/sim/memory_model.cc.o" "gcc" "CMakeFiles/specontext.dir/src/sim/memory_model.cc.o.d"
+  "/root/repo/src/sim/timeline.cc" "CMakeFiles/specontext.dir/src/sim/timeline.cc.o" "gcc" "CMakeFiles/specontext.dir/src/sim/timeline.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "CMakeFiles/specontext.dir/src/tensor/ops.cc.o" "gcc" "CMakeFiles/specontext.dir/src/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "CMakeFiles/specontext.dir/src/tensor/tensor.cc.o" "gcc" "CMakeFiles/specontext.dir/src/tensor/tensor.cc.o.d"
+  "/root/repo/src/tensor/topk.cc" "CMakeFiles/specontext.dir/src/tensor/topk.cc.o" "gcc" "CMakeFiles/specontext.dir/src/tensor/topk.cc.o.d"
+  "/root/repo/src/workload/longwriter.cc" "CMakeFiles/specontext.dir/src/workload/longwriter.cc.o" "gcc" "CMakeFiles/specontext.dir/src/workload/longwriter.cc.o.d"
+  "/root/repo/src/workload/metrics.cc" "CMakeFiles/specontext.dir/src/workload/metrics.cc.o" "gcc" "CMakeFiles/specontext.dir/src/workload/metrics.cc.o.d"
+  "/root/repo/src/workload/tasks.cc" "CMakeFiles/specontext.dir/src/workload/tasks.cc.o" "gcc" "CMakeFiles/specontext.dir/src/workload/tasks.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "CMakeFiles/specontext.dir/src/workload/trace.cc.o" "gcc" "CMakeFiles/specontext.dir/src/workload/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autoscale.dir/tests/test_autoscale.cc.o"
+  "CMakeFiles/test_autoscale.dir/tests/test_autoscale.cc.o.d"
+  "test_autoscale"
+  "test_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distiller.dir/tests/test_distiller.cc.o"
+  "CMakeFiles/test_distiller.dir/tests/test_distiller.cc.o.d"
+  "test_distiller"
+  "test_distiller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distiller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

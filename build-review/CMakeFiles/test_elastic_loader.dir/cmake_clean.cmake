@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elastic_loader.dir/tests/test_elastic_loader.cc.o"
+  "CMakeFiles/test_elastic_loader.dir/tests/test_elastic_loader.cc.o.d"
+  "test_elastic_loader"
+  "test_elastic_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elastic_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

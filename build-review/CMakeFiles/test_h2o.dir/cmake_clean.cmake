@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_h2o.dir/tests/test_h2o.cc.o"
+  "CMakeFiles/test_h2o.dir/tests/test_h2o.cc.o.d"
+  "test_h2o"
+  "test_h2o.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_h2o.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

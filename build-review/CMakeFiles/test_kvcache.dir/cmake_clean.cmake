@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kvcache.dir/tests/test_kvcache.cc.o"
+  "CMakeFiles/test_kvcache.dir/tests/test_kvcache.cc.o.d"
+  "test_kvcache"
+  "test_kvcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kvcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_live_engine.dir/tests/test_live_engine.cc.o"
+  "CMakeFiles/test_live_engine.dir/tests/test_live_engine.cc.o.d"
+  "test_live_engine"
+  "test_live_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_live_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

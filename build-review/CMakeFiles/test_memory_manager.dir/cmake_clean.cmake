@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_manager.dir/tests/test_memory_manager.cc.o"
+  "CMakeFiles/test_memory_manager.dir/tests/test_memory_manager.cc.o.d"
+  "test_memory_manager"
+  "test_memory_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

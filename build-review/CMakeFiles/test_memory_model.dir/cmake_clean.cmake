@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_model.dir/tests/test_memory_model.cc.o"
+  "CMakeFiles/test_memory_model.dir/tests/test_memory_model.cc.o.d"
+  "test_memory_model"
+  "test_memory_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

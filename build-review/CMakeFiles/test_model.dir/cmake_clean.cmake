@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/tests/test_model.cc.o"
+  "CMakeFiles/test_model.dir/tests/test_model.cc.o.d"
+  "test_model"
+  "test_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefix_tree.dir/tests/test_prefix_tree.cc.o"
+  "CMakeFiles/test_prefix_tree.dir/tests/test_prefix_tree.cc.o.d"
+  "test_prefix_tree"
+  "test_prefix_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefix_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

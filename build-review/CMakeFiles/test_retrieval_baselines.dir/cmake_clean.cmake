@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retrieval_baselines.dir/tests/test_retrieval_baselines.cc.o"
+  "CMakeFiles/test_retrieval_baselines.dir/tests/test_retrieval_baselines.cc.o.d"
+  "test_retrieval_baselines"
+  "test_retrieval_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retrieval_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

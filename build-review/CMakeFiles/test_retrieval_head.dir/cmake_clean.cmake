@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retrieval_head.dir/tests/test_retrieval_head.cc.o"
+  "CMakeFiles/test_retrieval_head.dir/tests/test_retrieval_head.cc.o.d"
+  "test_retrieval_head"
+  "test_retrieval_head.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retrieval_head.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_speculative.dir/tests/test_speculative.cc.o"
+  "CMakeFiles/test_speculative.dir/tests/test_speculative.cc.o.d"
+  "test_speculative"
+  "test_speculative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_speculative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_registry.dir/tests/test_system_registry.cc.o"
+  "CMakeFiles/test_system_registry.dir/tests/test_system_registry.cc.o.d"
+  "test_system_registry"
+  "test_system_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

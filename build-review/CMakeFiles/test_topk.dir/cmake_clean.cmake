@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topk.dir/tests/test_topk.cc.o"
+  "CMakeFiles/test_topk.dir/tests/test_topk.cc.o.d"
+  "test_topk"
+  "test_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
