@@ -41,6 +41,35 @@ SystemModel::decodeIterationSeconds(const TimingConfig &,
         "decodeIterationSeconds: system is wave-scheduled only");
 }
 
+namespace {
+
+/** Fallback evaluator: per-call delegation, no caching. Bit-identity
+ *  with the per-call method is trivial — it IS the per-call method. */
+class DelegatingDecodeEvaluator final : public DecodeEvaluator
+{
+  public:
+    explicit DelegatingDecodeEvaluator(TimingConfig cfg)
+        : cfg_(std::move(cfg))
+    {
+    }
+
+    double seconds(const std::vector<int64_t> &kv_lens) override
+    {
+        return cfg_.system->decodeIterationSeconds(cfg_, kv_lens);
+    }
+
+  private:
+    TimingConfig cfg_; ///< owns the system keepalive (shared_ptr inside)
+};
+
+} // namespace
+
+std::unique_ptr<DecodeEvaluator>
+SystemModel::makeDecodeEvaluator(const TimingConfig &cfg) const
+{
+    return std::make_unique<DelegatingDecodeEvaluator>(cfg);
+}
+
 AdmissionDecision
 SystemModel::admit(const TimingConfig &, const std::vector<int64_t> &,
                    int64_t, int64_t) const
@@ -72,11 +101,13 @@ SystemModel::stepComputeSeconds(
     const TimingConfig &cfg, const sim::CostModel &cost,
     const std::vector<int64_t> &kv_lens,
     const std::function<int64_t(int64_t)> &attended,
-    int64_t *attended_total_out, int64_t *s_max_out) const
+    int64_t *attended_total_out, int64_t *s_max_out,
+    const sim::DecodeBreakdown *base_hint) const
 {
     const model::ModelConfig &m = cfg.llm;
     const int64_t R = static_cast<int64_t>(kv_lens.size());
-    const sim::DecodeBreakdown base = cost.decodeStepBreakdown(m, R, 0);
+    const sim::DecodeBreakdown base =
+        base_hint ? *base_hint : cost.decodeStepBreakdown(m, R, 0);
 
     int64_t attended_total = 0;
     int64_t s_max = 0;
@@ -87,6 +118,24 @@ SystemModel::stepComputeSeconds(
         attended_total += attended(s);
         s_max = std::max(s_max, s);
     }
+    const double weight_stream =
+        double(m.parameterBytesFp16()) / (cfg.hw.hbm_bw_gbps * 1e9);
+    if (attended_total_out)
+        *attended_total_out = attended_total;
+    if (s_max_out)
+        *s_max_out = s_max;
+    return stepComputeFromTotals(cfg, cost, base, attended_total,
+                                 weight_stream);
+}
+
+double
+SystemModel::stepComputeFromTotals(const TimingConfig &cfg,
+                                   const sim::CostModel &cost,
+                                   const sim::DecodeBreakdown &base,
+                                   int64_t attended_total,
+                                   double weight_stream_seconds) const
+{
+    const model::ModelConfig &m = cfg.llm;
     const double attn =
         m.layers *
         cost.attentionDecodeSeconds(
@@ -94,14 +143,8 @@ SystemModel::stepComputeSeconds(
             m.attention == model::AttentionKind::MLA ? m.q_heads
                                                      : m.kv_heads,
             m.head_dim, attended_total);
-    const double weight_stream =
-        double(m.parameterBytesFp16()) / (cfg.hw.hbm_bw_gbps * 1e9);
-    if (attended_total_out)
-        *attended_total_out = attended_total;
-    if (s_max_out)
-        *s_max_out = s_max;
     return std::max(base.gemm + base.launch + base.lm_head + attn,
-                    weight_stream);
+                    weight_stream_seconds);
 }
 
 sim::MemoryModelInputs

@@ -56,6 +56,13 @@ struct SpeContextFeatures
     bool retrieval_head = true; ///< C1: sparse attention via DLM head
     bool async_elastic = true;  ///< C2: async prefetch + elastic loading
     bool adaptive_memory = true;///< C3: Algorithm 1/2 placement
+
+    bool operator==(const SpeContextFeatures &o) const
+    {
+        return retrieval_head == o.retrieval_head &&
+               async_elastic == o.async_elastic &&
+               adaptive_memory == o.adaptive_memory;
+    }
 };
 
 /**
@@ -100,6 +107,22 @@ struct SystemOptions
      * cheap KV re-load (NVLink/PCIe-class) instead of being free.
      */
     double prefix_reload_gbps = 0.0;
+
+    /** Exact fieldwise equality: two systems created under the same
+     *  registry key with equal options are behaviorally identical
+     *  (systems are stateless pure functions of their options). */
+    bool operator==(const SystemOptions &o) const
+    {
+        return budget == o.budget && page_size == o.page_size &&
+               avg_cluster_size == o.avg_cluster_size &&
+               cluster_iterations == o.cluster_iterations &&
+               elastic_overlap == o.elastic_overlap &&
+               features == o.features &&
+               allow_full_attention_offload ==
+                   o.allow_full_attention_offload &&
+               recent_window == o.recent_window &&
+               prefix_reload_gbps == o.prefix_reload_gbps;
+    }
 };
 
 /** One simulated run: geometry, hardware, system, and batch shape. */
@@ -135,6 +158,64 @@ struct AdmissionDecision
 {
     bool admit = false;
     std::string reason; ///< denial diagnostic, empty on admit
+};
+
+/**
+ * Reusable decode-iteration pricer bound to one (TimingConfig, system)
+ * pair. seconds() returns bit-for-bit what
+ * TimingEngine::decodeIterationSeconds returns on the bound config —
+ * the evaluator only hoists work that is a pure function of the config
+ * and the batch size (cost-model construction, memory-model geometry,
+ * input validation) out of the per-iteration path, so a serving loop
+ * that prices millions of decode rounds against one fixed config stops
+ * re-deriving the same models every round. Obtain one from
+ * SystemModel::makeDecodeEvaluator() (or the TimingEngine façade);
+ * the evaluator keeps the bound config (and through it the system)
+ * alive. Not thread-safe: one evaluator per replica lane.
+ */
+class DecodeEvaluator
+{
+  public:
+    virtual ~DecodeEvaluator() = default;
+
+    /** Seconds of one decode iteration over `kv_lens` — bit-identical
+     *  to decodeIterationSeconds(bound_cfg, kv_lens). */
+    virtual double seconds(const std::vector<int64_t> &kv_lens) = 0;
+
+    /**
+     * Bulk decode window. Between batch-composition changes
+     * (admission, retirement, preemption) a continuous batcher grows
+     * every in-flight context by exactly one token per round, so the
+     * round-over-round evolution of the KV lengths is known in
+     * advance. beginWindow(kv) followed by k nextRoundSeconds() calls
+     * returns bit-for-bit what k seconds() calls would on kv, kv+1,
+     * ..., kv+(k-1) (elementwise) — the window only replaces the
+     * per-round O(R) reduction with incremental bookkeeping, never the
+     * arithmetic that turns the reduced values into seconds. The
+     * caller must re-begin the window whenever the batch changes shape
+     * for any other reason. The base implementation materializes the
+     * grown vector and calls seconds(); subclasses override both for
+     * the O(1) path.
+     */
+    virtual void beginWindow(const std::vector<int64_t> &kv_lens)
+    {
+        win_lens_.assign(kv_lens.begin(), kv_lens.end());
+        win_started_ = false;
+    }
+
+    /** Next round of the current window (see beginWindow()). */
+    virtual double nextRoundSeconds()
+    {
+        if (win_started_)
+            for (int64_t &s : win_lens_)
+                ++s;
+        win_started_ = true;
+        return seconds(win_lens_);
+    }
+
+  private:
+    std::vector<int64_t> win_lens_; ///< base-class window state only
+    bool win_started_ = false;
 };
 
 /** Bytes of KV cache per token per layer per request at FP16. */
@@ -202,6 +283,18 @@ class SystemModel
      */
     virtual double decodeIterationSeconds(
         const TimingConfig &cfg, const std::vector<int64_t> &kv_lens) const;
+
+    /**
+     * Build a DecodeEvaluator bound to `cfg` (which must name this
+     * system). The base implementation returns a delegating evaluator
+     * that calls decodeIterationSeconds per iteration — trivially
+     * bit-identical, no caching. Systems with expensive per-call setup
+     * override it to hoist pure-function work (model construction,
+     * per-batch-size breakdowns) out of the iteration path; overrides
+     * must keep seconds() bit-for-bit equal to the per-call method.
+     */
+    virtual std::unique_ptr<DecodeEvaluator> makeDecodeEvaluator(
+        const TimingConfig &cfg) const;
 
     // ---- Memory footprint ------------------------------------------
 
@@ -273,13 +366,33 @@ class SystemModel
      * batch * kv_len, so the sum equals one call at the total), all
      * floored by weight streaming. Throws on non-positive lengths.
      * Optionally reports the attended total and longest context.
+     * `base_hint`, when given, must equal
+     * cost.decodeStepBreakdown(cfg.llm, kv_lens.size(), 0) — it lets a
+     * DecodeEvaluator reuse the cached value of that pure function
+     * instead of re-deriving it per iteration.
      */
     double stepComputeSeconds(
         const TimingConfig &cfg, const sim::CostModel &cost,
         const std::vector<int64_t> &kv_lens,
         const std::function<int64_t(int64_t)> &attended,
         int64_t *attended_total_out = nullptr,
-        int64_t *s_max_out = nullptr) const;
+        int64_t *s_max_out = nullptr,
+        const sim::DecodeBreakdown *base_hint = nullptr) const;
+
+    /**
+     * The arithmetic tail of stepComputeSeconds once the per-request
+     * reduction is done: attention at `attended_total`, floored by
+     * `weight_stream_seconds` (which must equal
+     * parameterBytesFp16 / (hbm_bw_gbps * 1e9)). stepComputeSeconds
+     * funnels through this, and a DecodeEvaluator may call it directly
+     * with its own inlined reduction — both paths execute the same
+     * operations in the same order, so results stay bit-identical.
+     */
+    double stepComputeFromTotals(const TimingConfig &cfg,
+                                 const sim::CostModel &cost,
+                                 const sim::DecodeBreakdown &base,
+                                 int64_t attended_total,
+                                 double weight_stream_seconds) const;
 
     SystemOptions opts_;
 };

@@ -9,6 +9,7 @@
 #include "core/systems/registration.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace specontext {
@@ -39,6 +40,8 @@ class SpeContextSystem final : public SystemModel
     double decodeIterationSeconds(
         const TimingConfig &cfg,
         const std::vector<int64_t> &kv_lens) const override;
+    std::unique_ptr<DecodeEvaluator> makeDecodeEvaluator(
+        const TimingConfig &cfg) const override;
     AdmissionDecision admit(const TimingConfig &cfg,
                             const std::vector<int64_t> &in_flight_final_lens,
                             int64_t candidate_prompt_len,
@@ -47,6 +50,49 @@ class SpeContextSystem final : public SystemModel
                               int64_t s) const override;
     int64_t dramFootprintBytes(const TimingConfig &cfg, int64_t requests,
                                int64_t s) const override;
+
+    /**
+     * The one decode-iteration formula, parameterized on its pure
+     * per-(config, batch-size) derivations so the per-call path and
+     * the caching DecodeEvaluator run literally the same arithmetic:
+     * `base` must equal cost.decodeStepBreakdown(llm, R, 0),
+     * `head_gemm` cost.gemmSeconds(R, q_dim + kv_dim, hidden),
+     * `weight_stream` parameterBytesFp16 / (hbm_bw_gbps * 1e9), and
+     * `mm` a MemoryModel over memoryInputs(cfg, R).
+     */
+    double decodeIterImpl(const TimingConfig &cfg,
+                          const std::vector<int64_t> &kv_lens,
+                          const sim::CostModel &cost,
+                          const sim::DecodeBreakdown &base,
+                          double head_gemm, double weight_stream,
+                          const sim::MemoryModel &mm) const;
+
+    /**
+     * decodeIterImpl past the KV-length reduction: the arithmetic that
+     * turns (R, attended_total, s_max) into seconds. The bulk-window
+     * evaluator maintains the two reduced integers incrementally and
+     * enters here directly; the vector path funnels through after its
+     * scan, so both run the identical tail. `all_resident_limit` is
+     * mm.allResidentMaxTokens() (or -1 to disable the shortcut): while
+     * s_max stays at or below it the Eq. 8 placement is exactly
+     * all-resident and the per-round descent is skipped.
+     */
+    double decodeIterTail(const TimingConfig &cfg, int64_t R,
+                          int64_t attended_total, int64_t s_max,
+                          const sim::CostModel &cost,
+                          const sim::DecodeBreakdown &base,
+                          double head_gemm, double weight_stream,
+                          const sim::MemoryModel &mm,
+                          int64_t all_resident_limit) const;
+
+    /** Attention budget (tokens attended per request per layer). */
+    int64_t attentionBudget() const { return opts_.budget; }
+
+    /** cpuLayers() against a caller-held MemoryModel (which must wrap
+     *  memoryInputs(cfg, requests)). */
+    int64_t cpuLayersWith(const sim::MemoryModel &mm,
+                          const TimingConfig &cfg, int64_t requests,
+                          int64_t s) const;
 
   private:
     /** KV layers resident in CPU DRAM for `requests` uniform requests
@@ -61,9 +107,19 @@ SpeContextSystem::cpuLayers(const TimingConfig &cfg, int64_t requests,
                             int64_t s) const
 {
     // Per-call MemoryModel construction is two validate() calls plus a
-    // geometry derivation — microseconds against the O(L) placement
-    // scan it feeds, so the serving hot loop tolerates it.
+    // geometry derivation. The one-shot paths (simulate, admission)
+    // tolerate it; the serving decode loop goes through
+    // makeDecodeEvaluator(), which caches the model per batch size and
+    // calls cpuLayersWith() directly.
     const sim::MemoryModel mm(memoryInputs(cfg, requests));
+    return cpuLayersWith(mm, cfg, requests, s);
+}
+
+int64_t
+SpeContextSystem::cpuLayersWith(const sim::MemoryModel &mm,
+                                const TimingConfig &cfg,
+                                int64_t requests, int64_t s) const
+{
     if (!opts_.features.adaptive_memory) {
         // Static pre-inference decision (no C3): everything resident
         // when Eq. 6 fits at this shape, else full offload — the same
@@ -244,22 +300,45 @@ SpeContextSystem::requestPrefillSeconds(const TimingConfig &cfg,
 }
 
 double
-SpeContextSystem::decodeIterationSeconds(
-    const TimingConfig &cfg, const std::vector<int64_t> &kv_lens) const
+SpeContextSystem::decodeIterImpl(const TimingConfig &cfg,
+                                 const std::vector<int64_t> &kv_lens,
+                                 const sim::CostModel &cost,
+                                 const sim::DecodeBreakdown &base,
+                                 double head_gemm, double weight_stream,
+                                 const sim::MemoryModel &mm) const
 {
-    if (kv_lens.empty())
-        return 0.0;
-    const sim::CostModel cost(cfg.hw, backend());
-    const model::ModelConfig &m = cfg.llm;
     const int64_t R = static_cast<int64_t>(kv_lens.size());
 
-    // Attention reads at most `budget` tokens per request.
+    // Attention reads at most `budget` tokens per request. The
+    // reduction is inlined (rather than routed through
+    // stepComputeSeconds' std::function callback) because this runs
+    // once per simulated decode iteration; the arithmetic tail is the
+    // shared stepComputeFromTotals, so the result is identical.
     int64_t attended_total = 0;
     int64_t s_max = 0;
-    const double step_compute = stepComputeSeconds(
-        cfg, cost, kv_lens,
-        [this](int64_t s) { return std::min<int64_t>(opts_.budget, s); },
-        &attended_total, &s_max);
+    for (int64_t s : kv_lens) {
+        if (s <= 0)
+            throw std::invalid_argument(
+                "decodeIterationSeconds: non-positive KV length");
+        attended_total += std::min<int64_t>(opts_.budget, s);
+        s_max = std::max(s_max, s);
+    }
+    return decodeIterTail(cfg, R, attended_total, s_max, cost, base,
+                          head_gemm, weight_stream, mm, -1);
+}
+
+double
+SpeContextSystem::decodeIterTail(const TimingConfig &cfg, int64_t R,
+                                 int64_t attended_total, int64_t s_max,
+                                 const sim::CostModel &cost,
+                                 const sim::DecodeBreakdown &base,
+                                 double head_gemm, double weight_stream,
+                                 const sim::MemoryModel &mm,
+                                 int64_t all_resident_limit) const
+{
+    const model::ModelConfig &m = cfg.llm;
+    const double step_compute = stepComputeFromTotals(
+        cfg, cost, base, attended_total, weight_stream);
     const int64_t kvb = kvBytesPerTokenPerLayer(m);
 
     // Retrieval head once per iteration over the whole batch (scoring
@@ -267,16 +346,17 @@ SpeContextSystem::decodeIterationSeconds(
     // one), then the offloaded-layer KV movement of simulate() — Eq. 8
     // placement at the current batch shape decides how many layers
     // live in CPU DRAM.
-    const int64_t q_dim = m.q_heads * m.head_dim;
-    const int64_t kv_dim = m.attention == model::AttentionKind::MLA
-                               ? m.mla_latent_dim
-                               : m.kv_heads * m.head_dim;
     const double head =
-        cost.gemmSeconds(R, q_dim + kv_dim, m.hidden) +
+        head_gemm +
         cost.retrievalSeconds(2.0 * R * m.q_heads * m.head_dim * s_max,
                               s_max);
 
-    const int64_t l_cpu = cpuLayers(cfg, R, s_max);
+    // Both placement modes (static Eq. 6 and adaptive Eq. 8) reduce to
+    // the same all-resident fit test while s_max is under the limit,
+    // so the shortcut yields the exact l_cpu = 0 either would.
+    const int64_t l_cpu = s_max <= all_resident_limit
+                              ? 0
+                              : cpuLayersWith(mm, cfg, R, s_max);
 
     if (opts_.features.async_elastic) {
         // C2: prefetch the selection diff on the copy stream; only the
@@ -296,6 +376,186 @@ SpeContextSystem::decodeIterationSeconds(
         l_cpu > 0 ? l_cpu * cost.pcieSeconds(attended_total * kvb)
                   : 0.0;
     return step_compute + head + sync_xfer;
+}
+
+double
+SpeContextSystem::decodeIterationSeconds(
+    const TimingConfig &cfg, const std::vector<int64_t> &kv_lens) const
+{
+    if (kv_lens.empty())
+        return 0.0;
+    const sim::CostModel cost(cfg.hw, backend());
+    const model::ModelConfig &m = cfg.llm;
+    const int64_t R = static_cast<int64_t>(kv_lens.size());
+    const int64_t q_dim = m.q_heads * m.head_dim;
+    const int64_t kv_dim = m.attention == model::AttentionKind::MLA
+                               ? m.mla_latent_dim
+                               : m.kv_heads * m.head_dim;
+    const sim::MemoryModel mm(memoryInputs(cfg, R));
+    const double weight_stream =
+        double(m.parameterBytesFp16()) / (cfg.hw.hbm_bw_gbps * 1e9);
+    return decodeIterImpl(cfg, kv_lens, cost,
+                          cost.decodeStepBreakdown(m, R, 0),
+                          cost.gemmSeconds(R, q_dim + kv_dim, m.hidden),
+                          weight_stream, mm);
+}
+
+/**
+ * Caching evaluator: the CostModel, per-batch-size step breakdown,
+ * retrieval-head GEMM price and MemoryModel are pure functions of the
+ * bound config and R, derived once and reused; every iteration then
+ * runs decodeIterImpl — the same arithmetic, in the same order, on the
+ * same values as the per-call path, so the result is bit-identical.
+ */
+class SpeContextDecodeEvaluator final : public DecodeEvaluator
+{
+  public:
+    SpeContextDecodeEvaluator(const SpeContextSystem &sys,
+                              const TimingConfig &cfg)
+        : sys_(sys), cfg_(cfg), cost_(cfg_.hw, sys.backend()),
+          weight_stream_(double(cfg_.llm.parameterBytesFp16()) /
+                         (cfg_.hw.hbm_bw_gbps * 1e9))
+    {
+    }
+
+    double seconds(const std::vector<int64_t> &kv_lens) override
+    {
+        if (kv_lens.empty())
+            return 0.0;
+        const PerR &p = perR(kv_lens.size());
+        return sys_.decodeIterImpl(cfg_, kv_lens, cost_, p.base,
+                                   p.head_gemm, weight_stream_, *p.mm);
+    }
+
+    /**
+     * Incremental window (see DecodeEvaluator::beginWindow): the two
+     * reduced integers a round needs — attended_total (Σ min(budget,
+     * s_i)) and s_max — evolve predictably under uniform +1 growth:
+     * s_max gains one every round, and attended_total gains one per
+     * context still under the attention budget. A context stops
+     * contributing at a round index known at window start (budget -
+     * s_i), so a growing-context count plus the next crossing index
+     * replace the O(R) rescan; windows are typically far shorter than
+     * the distance to the nearest crossing, so the recount is rare.
+     * The seconds come from the same decodeIterTail the vector path
+     * funnels into, on the same integers, so every round is
+     * bit-identical to a seconds() call on the grown vector.
+     */
+    void beginWindow(const std::vector<int64_t> &kv_lens) override
+    {
+        win_r_ = static_cast<int64_t>(kv_lens.size());
+        win_p_ = win_r_ > 0 ? &perR(kv_lens.size()) : nullptr;
+        win_attended_ = 0;
+        win_smax_ = 0;
+        win_round_ = 0;
+        win_grow_ = 0;
+        win_next_cross_ = std::numeric_limits<int64_t>::max();
+        win_base_.assign(kv_lens.begin(), kv_lens.end());
+        const int64_t budget = sys_.attentionBudget();
+        for (int64_t s : kv_lens) {
+            if (s <= 0)
+                throw std::invalid_argument(
+                    "decodeIterationSeconds: non-positive KV length");
+            win_attended_ += std::min<int64_t>(budget, s);
+            win_smax_ = std::max(win_smax_, s);
+            if (s < budget) {
+                ++win_grow_;
+                win_next_cross_ =
+                    std::min(win_next_cross_, budget - s);
+            }
+        }
+        win_limit_ = win_p_ ? win_p_->all_resident_limit : -1;
+    }
+
+    double nextRoundSeconds() override
+    {
+        if (win_r_ == 0)
+            return 0.0;
+        if (win_round_ > 0) {
+            // Round index r evaluates lengths s_i + r: attended grows
+            // by the count of contexts with budget - s_i >= r. The
+            // count only changes when r passes a crossing; recount
+            // from the window-base lengths then.
+            if (win_next_cross_ < win_round_) {
+                const int64_t budget = sys_.attentionBudget();
+                win_grow_ = 0;
+                win_next_cross_ =
+                    std::numeric_limits<int64_t>::max();
+                for (int64_t s : win_base_) {
+                    const int64_t c = budget - s;
+                    if (c >= win_round_) {
+                        ++win_grow_;
+                        win_next_cross_ = std::min(win_next_cross_, c);
+                    }
+                }
+            }
+            win_attended_ += win_grow_;
+            ++win_smax_;
+        }
+        ++win_round_;
+        return sys_.decodeIterTail(cfg_, win_r_, win_attended_,
+                                   win_smax_, cost_, win_p_->base,
+                                   win_p_->head_gemm, weight_stream_,
+                                   *win_p_->mm, win_limit_);
+    }
+
+  private:
+    struct PerR;
+
+    const PerR &perR(size_t r)
+    {
+        if (r >= per_r_.size())
+            per_r_.resize(r + 1);
+        PerR &p = per_r_[r];
+        if (!p.mm) {
+            const model::ModelConfig &m = cfg_.llm;
+            const int64_t R = static_cast<int64_t>(r);
+            const int64_t q_dim = m.q_heads * m.head_dim;
+            const int64_t kv_dim =
+                m.attention == model::AttentionKind::MLA
+                    ? m.mla_latent_dim
+                    : m.kv_heads * m.head_dim;
+            p.base = cost_.decodeStepBreakdown(m, R, 0);
+            p.head_gemm =
+                cost_.gemmSeconds(R, q_dim + kv_dim, m.hidden);
+            p.mm = std::make_unique<sim::MemoryModel>(
+                sys_.memoryInputs(cfg_, R));
+            p.all_resident_limit = p.mm->allResidentMaxTokens();
+        }
+        return p;
+    }
+
+    struct PerR
+    {
+        sim::DecodeBreakdown base;
+        double head_gemm = 0.0;
+        std::unique_ptr<sim::MemoryModel> mm;
+        /** mm->allResidentMaxTokens(), cached beside it. */
+        int64_t all_resident_limit = -1;
+    };
+
+    const SpeContextSystem &sys_;
+    TimingConfig cfg_; ///< owns the system keepalive (shared_ptr inside)
+    sim::CostModel cost_;
+    double weight_stream_; ///< R-independent weight-streaming floor
+    std::vector<PerR> per_r_; ///< indexed by batch size, lazily filled
+
+    // ---- Bulk-window state (see beginWindow) ------------------------
+    int64_t win_r_ = 0;        ///< batch size of the open window
+    const PerR *win_p_ = nullptr;
+    int64_t win_attended_ = 0; ///< Σ min(budget, s_i + round)
+    int64_t win_smax_ = 0;     ///< max s_i + round
+    int64_t win_round_ = 0;    ///< rounds evaluated so far
+    int64_t win_limit_ = -1;   ///< all-resident shortcut bound
+    int64_t win_grow_ = 0;     ///< contexts still under budget
+    int64_t win_next_cross_ = 0; ///< earliest budget-crossing round
+    std::vector<int64_t> win_base_; ///< window-base lengths (recounts)
+};
+
+std::unique_ptr<DecodeEvaluator>
+SpeContextSystem::makeDecodeEvaluator(const TimingConfig &cfg) const
+{
+    return std::make_unique<SpeContextDecodeEvaluator>(*this, cfg);
 }
 
 AdmissionDecision

@@ -89,5 +89,16 @@ TimingEngine::decodeIterationSeconds(
     return sys.decodeIterationSeconds(cfg, kv_lens);
 }
 
+std::unique_ptr<DecodeEvaluator>
+TimingEngine::makeDecodeEvaluator(const TimingConfig &cfg) const
+{
+    cfg.llm.validate();
+    const SystemModel &sys = requireSystem(cfg);
+    if (!sys.supportsContinuousBatching())
+        throw std::invalid_argument(
+            "makeDecodeEvaluator: system is wave-scheduled only");
+    return sys.makeDecodeEvaluator(cfg);
+}
+
 } // namespace core
 } // namespace specontext

@@ -71,6 +71,17 @@ class TimingEngine
                                   const std::vector<int64_t> &kv_lens)
         const;
 
+    /**
+     * Build a reusable decode-iteration pricer bound to `cfg`: input
+     * validation and the system's pure per-config/per-batch-size
+     * derivations run once here instead of on every call, and
+     * seconds() then returns bit-for-bit what decodeIterationSeconds
+     * would. The serving fast path holds one per replica lane.
+     * @throws std::invalid_argument for unsupported systems.
+     */
+    std::unique_ptr<DecodeEvaluator> makeDecodeEvaluator(
+        const TimingConfig &cfg) const;
+
     /** Bytes of KV cache per token per layer per request at FP16
      *  (delegates to core::kvBytesPerTokenPerLayer). */
     static int64_t kvBytesPerTokenPerLayer(const model::ModelConfig &m);

@@ -14,7 +14,9 @@ namespace kv {
 struct PrefixTree::Node
 {
     Node *parent = nullptr;
-    std::map<std::vector<int32_t>, std::unique_ptr<Node>> children;
+    /** Raw pointers: node lifetime is owned by the tree's Pool, so
+     *  eviction recycles slots instead of freeing them. */
+    std::map<std::vector<int32_t>, Node *> children;
     int64_t refcount = 0;     ///< in-flight requests pinning this block
     uint64_t last_use = 0;    ///< lru_clock_ at the last release
     int64_t depth_tokens = 0; ///< tokens from root through this block
@@ -29,10 +31,30 @@ PrefixTree::PrefixTree(PrefixTreeConfig cfg) : cfg_(cfg)
     if (cfg_.budget_bytes > 0 && cfg_.bytes_per_token <= 0)
         throw std::invalid_argument(
             "PrefixTree: enabled cache needs positive bytes_per_token");
-    root_ = std::make_unique<Node>();
+    pool_ = std::make_unique<util::Pool<Node>>();
+    root_ = pool_->create();
 }
 
-PrefixTree::~PrefixTree() = default;
+PrefixTree::~PrefixTree()
+{
+    // Nodes own heap state (the children map keys), so each must be
+    // destroyed through the pool — iteratively, to keep deep chains
+    // off the call stack.
+    std::vector<Node *> stack = {root_};
+    while (!stack.empty()) {
+        Node *n = stack.back();
+        stack.pop_back();
+        for (auto &kv_pair : n->children)
+            stack.push_back(kv_pair.second);
+        pool_->destroy(n);
+    }
+}
+
+const util::PoolStats &
+PrefixTree::poolStats() const
+{
+    return pool_->stats();
+}
 
 void
 PrefixTree::setObserver(const PrefixTreeObserver &observer)
@@ -49,7 +71,7 @@ void
 PrefixTree::walkMatch(const std::vector<int32_t> &tokens,
                       std::vector<Node *> &path) const
 {
-    const Node *node = root_.get();
+    const Node *node = root_;
     const int64_t full_blocks =
         static_cast<int64_t>(tokens.size()) / cfg_.page_size;
     std::vector<int32_t> block(static_cast<size_t>(cfg_.page_size));
@@ -59,7 +81,7 @@ PrefixTree::walkMatch(const std::vector<int32_t> &tokens,
         const auto it = node->children.find(block);
         if (it == node->children.end())
             break;
-        node = it->second.get();
+        node = it->second;
         path.push_back(const_cast<Node *>(node));
     }
 }
@@ -127,7 +149,7 @@ PrefixTree::matchAndPin(
             pinned_tokens_ += cfg_.page_size;
         ++n->refcount;
     }
-    Node *node = path.empty() ? root_.get() : path.back();
+    Node *node = path.empty() ? root_ : path.back();
     const int64_t matched_blocks =
         static_cast<int64_t>(path.size());
     const int64_t full_blocks =
@@ -146,18 +168,17 @@ PrefixTree::matchAndPin(
             break; // budget exhausted; pin what we have
         const auto begin = tokens.begin() + b * cfg_.page_size;
         block.assign(begin, begin + cfg_.page_size);
-        auto child = std::make_unique<Node>();
+        Node *child = pool_->create();
         child->parent = node;
         child->depth_tokens = node->depth_tokens + cfg_.page_size;
-        node = node->children.emplace(block, std::move(child))
-                   .first->second.get();
+        node = node->children.emplace(block, child).first->second;
         resident_tokens_ += cfg_.page_size;
         inserted_tokens_ += cfg_.page_size;
         ++node_count_;
         pinned_tokens_ += cfg_.page_size; // fresh block: refcount 0 -> 1
         ++node->refcount;
     }
-    if (node != root_.get()) {
+    if (node != root_) {
         out.handle.node_ = node;
         out.handle.pinned_tokens_ = node->depth_tokens;
     }
@@ -176,7 +197,7 @@ PrefixTree::release(PrefixHandle &handle)
     // share the stamp, and leaves are evicted before their parents
     // regardless.
     const uint64_t stamp = ++lru_clock_;
-    for (; node != root_.get(); node = node->parent) {
+    for (; node != root_; node = node->parent) {
         if (node->refcount <= 0)
             throw std::logic_error("PrefixTree: release without pin");
         --node->refcount;
@@ -208,13 +229,13 @@ PrefixTree::evictOne()
     // cheap to make explicit — keep the first visited). O(nodes) per
     // eviction is fine at simulator scale.
     Node *victim = nullptr;
-    std::vector<Node *> stack = {root_.get()};
+    std::vector<Node *> stack = {root_};
     while (!stack.empty()) {
         Node *n = stack.back();
         stack.pop_back();
         for (auto &kv_pair : n->children)
-            stack.push_back(kv_pair.second.get());
-        if (n == root_.get() || n->refcount > 0 || !n->children.empty())
+            stack.push_back(kv_pair.second);
+        if (n == root_ || n->refcount > 0 || !n->children.empty())
             continue;
         if (!victim || n->last_use < victim->last_use)
             victim = n;
@@ -224,11 +245,12 @@ PrefixTree::evictOne()
     Node *parent = victim->parent;
     for (auto it = parent->children.begin(); it != parent->children.end();
          ++it) {
-        if (it->second.get() == victim) {
+        if (it->second == victim) {
             parent->children.erase(it);
             break;
         }
     }
+    pool_->destroy(victim);
     resident_tokens_ -= cfg_.page_size;
     evicted_tokens_ += cfg_.page_size;
     --node_count_;

@@ -44,6 +44,7 @@
 
 #include "obs/counters.h"
 #include "obs/trace.h"
+#include "util/pool.h"
 
 namespace specontext {
 namespace kv {
@@ -218,11 +219,18 @@ class PrefixTree
     /** Tokens inserted (new blocks created) over the tree's lifetime. */
     int64_t insertedTokens() const { return inserted_tokens_; }
 
+    /** Node-pool lifetime counters: block churn under LRU eviction is
+     *  served from the pool's free list instead of the allocator. */
+    const util::PoolStats &poolStats() const;
+
   private:
     struct Node;
 
     PrefixTreeConfig cfg_;
-    std::unique_ptr<Node> root_;
+    /** All nodes (root included) live in the pool; eviction recycles
+     *  their slots, so steady-state block churn never mallocs. */
+    std::unique_ptr<util::Pool<Node>> pool_;
+    Node *root_ = nullptr;
     int64_t resident_tokens_ = 0;
     int64_t pinned_tokens_ = 0;
     int64_t node_count_ = 0;

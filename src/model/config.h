@@ -74,6 +74,20 @@ struct ModelConfig
 
     /** Throws std::invalid_argument when fields are inconsistent. */
     void validate() const;
+
+    /** Exact fieldwise equality (geometry memoization keys). */
+    bool operator==(const ModelConfig &o) const
+    {
+        return name == o.name && attention == o.attention &&
+               layers == o.layers && q_heads == o.q_heads &&
+               kv_heads == o.kv_heads && head_dim == o.head_dim &&
+               hidden == o.hidden && ffn_hidden == o.ffn_hidden &&
+               vocab == o.vocab && mla_latent_dim == o.mla_latent_dim &&
+               rope_theta == o.rope_theta &&
+               yarn_scale == o.yarn_scale &&
+               tied_embeddings == o.tied_embeddings;
+    }
+    bool operator!=(const ModelConfig &o) const { return !(*this == o); }
 };
 
 /** Small live config used by tests/examples; runs real forward passes. */

@@ -70,6 +70,13 @@ class TimeseriesSampler
 
     const std::vector<SamplePoint> &samples() const { return samples_; }
 
+    /** Next cadence instant a sample(now) call would record (the
+     *  first uncut crossing). Event loops that skip ahead between
+     *  events bound their jumps by this so no crossing is stepped
+     *  over — rows are cut at exactly the instants the one-event-at-
+     *  a-time loop would cut them. */
+    double nextSampleSeconds() const { return next_sample_; }
+
     /** Cadence crossings past max_samples (counted, not stored). */
     uint64_t droppedSamples() const { return dropped_; }
 

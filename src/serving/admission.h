@@ -25,6 +25,7 @@
  */
 #pragma once
 
+#include <cstring>
 #include <vector>
 
 #include "core/timing_engine.h"
@@ -47,6 +48,34 @@ class AdmissionController
     explicit AdmissionController(core::TimingConfig cfg);
 
     const core::TimingConfig &config() const { return cfg_; }
+
+    /**
+     * True when `o` is guaranteed to decide every admission question
+     * exactly as this controller: the same SystemModel instance over a
+     * fieldwise-equal TimingConfig. Every input any system's admit()
+     * can read is covered, so a router pricing one candidate against a
+     * homogeneous fleet may reuse the first lane's verdict for the
+     * rest instead of re-deriving it per lane.
+     */
+    bool sameAdmissionShape(const AdmissionController &o) const
+    {
+        const core::SystemModel *a = cfg_.system.get();
+        const core::SystemModel *b = o.cfg_.system.get();
+        // Distinct instances still decide identically when they were
+        // created under the same registry key with equal options —
+        // systems are stateless pure functions of their options, and
+        // fleets commonly create one instance per replica.
+        // name() pointers compare equal across instances of one class
+        // (same string literal); strcmp only breaks the rare tie.
+        const bool same_system =
+            a == b || ((a->name() == b->name() ||
+                        std::strcmp(a->name(), b->name()) == 0) &&
+                       a->options() == b->options());
+        return same_system && cfg_.llm == o.cfg_.llm &&
+               cfg_.hw == o.cfg_.hw && cfg_.batch == o.cfg_.batch &&
+               cfg_.prompt_len == o.cfg_.prompt_len &&
+               cfg_.gen_len == o.cfg_.gen_len;
+    }
 
     /** Eq. 6-8 memory-model instance over this config (requests = 1;
      *  headroom queries take explicit request counts). Built on

@@ -9,6 +9,7 @@
 
 #include "core/elastic_loader.h"
 #include "sim/event_clock.h"
+#include "util/thread_pool.h"
 
 namespace specontext {
 namespace serving {
@@ -127,6 +128,8 @@ Cluster::run(std::vector<Request> trace) const
             fleet.push_back(
                 std::make_unique<ReplicaEngine>(engine_, rc));
         }
+        fleet.back()->setDecodeCostCache(
+            cfg_.fast_path.cache_decode_costs);
     }
     Router router(cfg_.router);
     router.attachObservability(cfg_.obs, fleet.size());
@@ -143,6 +146,17 @@ Cluster::run(std::vector<Request> trace) const
     std::vector<double> warm_ready(fleet.size(), 0.0);
     std::vector<double> attach_t(fleet.size(), 0.0);
     std::vector<double> retire_t(fleet.size(), inf);
+
+    // Booking cache for the fast path: a lane's next-event time and
+    // admission cap change only when the lane itself steps, receives
+    // a delivery, or changes lifecycle state, so with skip-ahead on
+    // the loop re-prices dirty lanes instead of calling into all N
+    // engines every event. With skip-ahead off every lane is
+    // re-priced every event — the pre-fast-path loop, kept verbatim
+    // as the benchmark baseline. Cached or re-derived, the booked
+    // values are identical, so event order never changes.
+    std::vector<double> lane_cap(fleet.size(), inf);
+    std::vector<char> lane_dirty(fleet.size(), 1);
     auto countState = [&](Slot s) {
         size_t n = 0;
         for (Slot v : slot)
@@ -219,6 +233,7 @@ Cluster::run(std::vector<Request> trace) const
             // Moved, not copied: prompt_tokens can be kilobytes per
             // request and the slot is never read again.
             fleet[target]->deliver(std::move(trace[next]));
+            lane_dirty[target] = 1;
             ++next;
         }
     };
@@ -231,11 +246,15 @@ Cluster::run(std::vector<Request> trace) const
         const double warmup =
             replicaWarmupSeconds(rc, cfg_.elastic.provision_seconds);
         fleet.push_back(std::make_unique<ReplicaEngine>(engine_, rc));
+        fleet.back()->setDecodeCostCache(
+            cfg_.fast_path.cache_decode_costs);
         clock.addLane();
         slot.push_back(Slot::Warming);
         warm_ready.push_back(t + warmup);
         attach_t.push_back(t);
         retire_t.push_back(inf);
+        lane_cap.push_back(inf);
+        lane_dirty.push_back(1);
         if (counters)
             counters->add(c_ups, 1);
         scaleEvent(t, ScaleAction::Attach, fleet.size() - 1);
@@ -266,6 +285,7 @@ Cluster::run(std::vector<Request> trace) const
         for (size_t k = slot.size(); k-- > 0;) {
             if (slot[k] == Slot::Live) {
                 slot[k] = Slot::Draining;
+                lane_dirty[k] = 1;
                 scaleEvent(t, ScaleAction::Drain, k);
                 if (fleet[k]->outstanding() == 0)
                     retireSlot(t, k, ScaleAction::Retire);
@@ -302,6 +322,26 @@ Cluster::run(std::vector<Request> trace) const
             scaleDownOne(t);
     };
 
+    // Simulator fast path. Skip-ahead lets the fired replica run bulk
+    // pure-decode rounds up to the earliest boundary this loop owns;
+    // parallel stepping additionally dispatches *all* eligible lanes'
+    // bulk runs onto a worker pool when nothing below the barrier
+    // could interact. Parallel dispatch requires observability off:
+    // the trace ring / counter registry / sampler are intentionally
+    // unsynchronized, so with hooks attached the cluster serializes
+    // (same results — pure-decode rounds are engine-local either way).
+    const bool skip_ahead = cfg_.fast_path.skip_ahead;
+    const size_t fast_threads =
+        (skip_ahead && !cfg_.obs.enabled()) ? cfg_.fast_path.threads
+                                            : 1;
+    util::ThreadPool *pool = nullptr;
+    std::unique_ptr<util::ThreadPool> pool_storage;
+    if (fast_threads > 1) {
+        pool_storage =
+            std::make_unique<util::ThreadPool>(fast_threads);
+        pool = pool_storage.get();
+    }
+
     // Event-driven main loop: advance whichever comes first, the next
     // unrouted arrival, the next control tick (elastic only) or the
     // earliest replica event — never lock-stepping the fleet. At equal
@@ -311,14 +351,61 @@ Cluster::run(std::vector<Request> trace) const
     double t_ctrl =
         elastic ? cfg_.elastic.control_period_seconds : inf;
     while (true) {
+        // Fleet-internal skip-ahead caps: no lane may bulk-run past
+        // the earliest instant at which any OTHER lane could run an
+        // admission round, because admission prefills invoke routeUpTo
+        // — which reads every replica's state — and the router must
+        // see each peer exactly where one-round-per-step execution
+        // would have it. Tracking the two smallest caps lets the fired
+        // lane exclude its own (a lane with queued work reports now()
+        // and would otherwise never bulk at all).
+        double cap_min1 = inf, cap_min2 = inf;
+        size_t cap_min1_lane = fleet.size();
+        // The same pass folds the earliest-event pick (identical
+        // comparison order and tie-break as EventClock::earliestLane:
+        // strict <, lowest index wins, lane 0 when all idle), so a
+        // skip-ahead round prices every lane exactly once. The
+        // pre-fast-path loop keeps earliest()+fire() (two scans)
+        // verbatim as the benchmark baseline.
+        double ev_min = inf;
+        size_t ev_lane = 0;
         for (size_t i = 0; i < fleet.size(); ++i) {
             if (slot[i] == Slot::Retired)
                 continue;
-            clock.set(i, slot[i] == Slot::Warming
-                             ? warm_ready[i]
-                             : fleet[i]->nextEventSeconds());
+            if (slot[i] == Slot::Warming) {
+                clock.set(i, warm_ready[i]);
+                if (skip_ahead && warm_ready[i] < ev_min) {
+                    ev_min = warm_ready[i];
+                    ev_lane = i;
+                }
+                continue;
+            }
+            if (skip_ahead) {
+                if (lane_dirty[i]) {
+                    clock.set(i, fleet[i]->nextEventSeconds());
+                    lane_cap[i] =
+                        fleet[i]->nextPossibleAdmissionSeconds();
+                    lane_dirty[i] = 0;
+                }
+            } else {
+                clock.set(i, fleet[i]->nextEventSeconds());
+                continue;
+            }
+            const double t_i = clock.at(i);
+            if (t_i < ev_min) {
+                ev_min = t_i;
+                ev_lane = i;
+            }
+            const double cap = lane_cap[i];
+            if (cap < cap_min1) {
+                cap_min2 = cap_min1;
+                cap_min1 = cap;
+                cap_min1_lane = i;
+            } else if (cap < cap_min2) {
+                cap_min2 = cap;
+            }
         }
-        const double t_replica = clock.earliest();
+        const double t_replica = skip_ahead ? ev_min : clock.earliest();
         const double t_arrival = next < trace.size()
                                      ? trace[next].arrival_seconds
                                      : inf;
@@ -351,17 +438,98 @@ Cluster::run(std::vector<Request> trace) const
             t_ctrl += cfg_.elastic.control_period_seconds;
             continue;
         }
-        const size_t lane = clock.fire();
+        // Skip-ahead horizon: every boundary this loop owns that a
+        // bulk-stepping replica must not cross — the next unrouted
+        // arrival (routing reads all replica states), the next control
+        // tick (the controller polls gauges), and the next sampler
+        // cadence crossing (rows snapshot the registry).
+        double horizon = -inf;
+        if (skip_ahead) {
+            horizon = std::min(t_arrival, t_control);
+            if (sampler)
+                horizon =
+                    std::min(horizon, sampler->nextSampleSeconds());
+        }
+        // Parallel replica lanes: when every lane with an event below
+        // the barrier is an independently advancing pure-decode lane,
+        // their bulk runs cannot interact — no routing, no admission,
+        // no shared observability — so dispatch them all concurrently
+        // and join. The barrier includes every lane's admission cap,
+        // so a lane about to admit (cap == its event) is simply above
+        // the barrier rather than disqualifying; it fires sequentially
+        // right after the join. Warming lanes below the barrier are
+        // fine to leave booked (their WarmComplete fires right after
+        // the join, at its own instant); a draining lane below the
+        // barrier falls back to the sequential path, which preserves
+        // scale-event order exactly.
+        if (pool && std::isfinite(t_replica)) {
+            const double barrier = std::min(horizon, cap_min1);
+            bool parallel_ok = true;
+            size_t bulk_lanes = 0;
+            for (size_t i = 0; i < fleet.size(); ++i) {
+                if (slot[i] == Slot::Retired ||
+                    !(clock.at(i) < barrier))
+                    continue;
+                if (slot[i] == Slot::Warming)
+                    continue;
+                if (slot[i] != Slot::Live ||
+                    !fleet[i]->pureDecodeReady()) {
+                    parallel_ok = false;
+                    break;
+                }
+                ++bulk_lanes;
+            }
+            if (parallel_ok && bulk_lanes >= 2) {
+                for (size_t i = 0; i < fleet.size(); ++i) {
+                    if (slot[i] != Slot::Live ||
+                        !(clock.at(i) < barrier) ||
+                        !fleet[i]->pureDecodeReady())
+                        continue;
+                    ReplicaEngine *rep = fleet[i].get();
+                    lane_dirty[i] = 1;
+                    pool->submit([rep, barrier] {
+                        rep->step(nullptr, barrier);
+                    });
+                }
+                pool->wait();
+                continue; // re-book every lane at its new event
+            }
+        }
+        size_t lane;
+        if (skip_ahead) {
+            lane = ev_lane;
+            clock.fireLane(lane);
+        } else {
+            lane = clock.fire();
+        }
         if (slot[lane] == Slot::Warming) {
             // Weight load finished: the replica joins the routable set
             // (its prefix cache starts cold; arrivals reach it from
             // the next routing decision on).
             slot[lane] = Slot::Live;
+            lane_dirty[lane] = 1;
             scaleEvent(warm_ready[lane], ScaleAction::WarmComplete,
                        lane);
             continue;
         }
-        fleet[lane]->step(routeUpTo);
+        // The fired lane's bulk horizon additionally respects every
+        // OTHER lane's admission cap (its own is excluded — a lane
+        // with queued work reports now() and still gets to run its
+        // admission round plus any pure-decode rounds that follow).
+        // Draining lanes step one round at a time even under
+        // skip-ahead: their Retire transition must interleave with
+        // other lanes' scale events in exact simulated-time order, and
+        // a bulk run would let one lane race past another's retirement
+        // instant before the log catches up.
+        double lane_horizon = horizon;
+        if (skip_ahead)
+            lane_horizon = std::min(
+                lane_horizon,
+                lane == cap_min1_lane ? cap_min2 : cap_min1);
+        fleet[lane]->step(routeUpTo, slot[lane] == Slot::Draining
+                                         ? -inf
+                                         : lane_horizon);
+        lane_dirty[lane] = 1;
         // Drain-before-retire: a draining replica's lane retires the
         // moment it owes nothing more.
         if (slot[lane] == Slot::Draining &&

@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "serving/fast_path.h"
 #include "serving/replica_engine.h"
 #include "serving/router.h"
 
@@ -124,6 +125,10 @@ struct ClusterConfig
     obs::Observability obs;
     /** Elastic scaling; default (null controller) is the fixed fleet. */
     ElasticConfig elastic;
+    /** Simulator speed knobs: skip-ahead stepping (default on) and
+     *  parallel replica lanes (threads > 1, unobserved runs only).
+     *  Simulated results are bit-identical at every setting. */
+    SimFastPath fast_path;
 };
 
 /**

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Simulator fast-path knobs shared by serving::Server and
+ * serving::Cluster. Both defaults are chosen so that flipping nothing
+ * is already fast AND bit-exact:
+ *
+ *  - skip_ahead (default on) lets a replica execute runs of
+ *    pure-decode rounds inside one ReplicaEngine::step() call instead
+ *    of returning to the event loop per token. The driver bounds each
+ *    run by the next boundary it owns (unrouted arrival, control
+ *    tick, sampler cadence crossing), and the engine stops on its own
+ *    at any internal boundary (admission work, preemption re-entry,
+ *    drain) — so every simulated quantity is bit-identical to
+ *    one-round-per-step execution; tests/test_simfast.cc pins it.
+ *    Turning it off restores the literal one-event-at-a-time loop
+ *    (the pre-fast-path baseline bench_simperf measures against).
+ *
+ *  - cache_decode_costs (default on) gives every replica lane a
+ *    core::DecodeEvaluator: the decode-cost model's pure per-config
+ *    derivations (cost-model construction, memory-model geometry,
+ *    validation) are built once per (replica, batch size) instead of
+ *    on every simulated decode iteration. The evaluator runs the same
+ *    arithmetic on the same values, so every simulated duration is
+ *    bit-identical; turning it off restores the literal
+ *    re-derive-per-iteration pre-fast-path cost profile.
+ *
+ *  - threads (default 1) steps independent pure-decode replica lanes
+ *    concurrently between router/control barriers in Cluster::run.
+ *    Pure-decode rounds touch only their own engine, so any
+ *    interleaving gives bit-identical results; the merge back into
+ *    the event loop is a full join, and lane order afterwards is the
+ *    clock's deterministic earliest-lane scan as ever. Parallel
+ *    dispatch requires observability off (the trace ring / counter
+ *    registry are intentionally unsynchronized); with hooks attached
+ *    the cluster silently serializes — same results, single thread.
+ */
+#pragma once
+
+#include <cstddef>
+
+namespace specontext {
+namespace serving {
+
+/** Engine-speed knobs; simulated results never depend on them. */
+struct SimFastPath
+{
+    /** Bulk pure-decode stepping between external boundaries. */
+    bool skip_ahead = true;
+    /** Cached per-lane decode-cost evaluator (bit-identical). */
+    bool cache_decode_costs = true;
+    /** Worker threads for parallel replica stepping (<= 1 = off).
+     *  Ignored (serialized) while observability hooks are attached. */
+    size_t threads = 1;
+};
+
+} // namespace serving
+} // namespace specontext

@@ -135,6 +135,13 @@ ReplicaEngine::ReplicaEngine(const core::TimingEngine &engine,
 }
 
 void
+ReplicaEngine::setDecodeCostCache(bool on)
+{
+    decode_eval_ =
+        on ? engine_.makeDecodeEvaluator(cfg_.timing) : nullptr;
+}
+
+void
 ReplicaEngine::publishGauges()
 {
     if (!counters_)
@@ -459,7 +466,7 @@ ReplicaEngine::preemptVictim()
 }
 
 void
-ReplicaEngine::step(const IngestFn &ingest)
+ReplicaEngine::step(const IngestFn &ingest, double horizon)
 {
     const double event = nextEventSeconds();
     if (!std::isfinite(event))
@@ -587,70 +594,215 @@ ReplicaEngine::step(const IngestFn &ingest)
         return; // round spent rejecting; next event is a future arrival
     }
 
-    // Optimistic KV pressure: every in-flight context grows one token
-    // this iteration; while that would oversubscribe the memory
-    // model's headroom, evict victims (policy-ordered, deterministic)
-    // until the survivors fit. The feasibleAlone() admission gate
-    // guarantees a lone request always fits through its final length,
-    // so the loop cannot strand the batch — the > 1 guard is a
-    // belt-and-suspenders backstop against a non-monotone system
-    // model.
-    while (active_.size() > 1 &&
-           !scheduler_.nextDecodeTokenFits(active_))
-        preemptVictim();
+    // Reserve mode's nextDecodeTokenFits is unconditionally true
+    // (final-length reservations already cover growth), so the
+    // KV-pressure check is hoisted out of the round loop entirely.
+    const bool optimistic_preempt = optimistic();
+    // kv_scratch_ mirrors active_'s kvLen()s for the decode call; the
+    // advance-and-retire pass below maintains it in place, so only
+    // rounds entered with a stale mirror (fresh step, or a preemption
+    // changed the batch) pay the rebuild scan.
+    bool kv_ready = false;
+    for (;;) {
+        // Optimistic KV pressure: every in-flight context grows one
+        // token this iteration; while that would oversubscribe the
+        // memory model's headroom, evict victims (policy-ordered,
+        // deterministic) until the survivors fit. The feasibleAlone()
+        // admission gate guarantees a lone request always fits through
+        // its final length, so the loop cannot strand the batch — the
+        // > 1 guard is a belt-and-suspenders backstop against a
+        // non-monotone system model.
+        while (optimistic_preempt && active_.size() > 1 &&
+               !scheduler_.nextDecodeTokenFits(active_)) {
+            preemptVictim();
+            kv_ready = false;
+        }
 
-    // One decode iteration advances every in-flight request by one
-    // token — the continuous-batching core, no wave barrier.
-    std::vector<int64_t> kv_lens;
-    kv_lens.reserve(active_.size());
-    for (const Request &r : active_)
-        kv_lens.push_back(r.kvLen());
-    now_ += engine_.decodeIterationSeconds(cfg_.timing, kv_lens);
-    ++result_.iterations;
+        // One decode iteration advances every in-flight request by one
+        // token — the continuous-batching core, no wave barrier.
+        if (!kv_ready) {
+            kv_scratch_.clear();
+            for (const Request &r : active_)
+                kv_scratch_.push_back(r.kvLen());
+            kv_ready = true;
+        }
+
+        if (decode_eval_ && !optimistic_preempt) {
+            // Bulk decode window. In Reserve mode nothing inside the
+            // round loop can change the batch except retirement, and
+            // the earliest retirement round is known up front (the
+            // smallest remaining generation length), so the rounds
+            // before it need no per-request work at all: the
+            // evaluator's window advances the reduced KV integers
+            // incrementally, and one reconciliation pass afterwards
+            // applies the window's worth of per-request effects. Every
+            // round's seconds, every timestamp and every trace event
+            // is bit-identical to the single-round loop's.
+            decode_eval_->beginWindow(kv_scratch_);
+            const int64_t R = static_cast<int64_t>(active_.size());
+            int64_t k = std::numeric_limits<int64_t>::max();
+            for (const Request &r : active_)
+                k = std::min(k, r.gen_len - r.generated);
+            // Entered with queued work (admission denied this step)
+            // the single-round loop breaks after one round; match it.
+            const bool queue_empty = scheduler_.queueEmpty();
+            const double t_pending =
+                pending_next_ < static_cast<int64_t>(pending_.size())
+                    ? pending_[pending_next_].arrival_seconds
+                    : std::numeric_limits<double>::infinity();
 #if SPECONTEXT_OBS_ENABLED
-    if (trace_) {
-        int64_t kv_sum = 0;
-        for (int64_t k : kv_lens)
-            kv_sum += k;
-        trace_->emit(obs::EventType::DecodeStep, now_,
-                     static_cast<int32_t>(cfg_.id), -1,
-                     static_cast<int64_t>(kv_lens.size()), kv_sum);
-    }
+            int64_t kv_sum0 = 0;
+            if (trace_)
+                for (int64_t kv : kv_scratch_)
+                    kv_sum0 += kv;
 #endif
-    if (counters_) {
-        counters_->add(slots_.decode_iterations, 1);
-        counters_->add(slots_.generated_tokens,
-                       static_cast<int64_t>(active_.size()));
-    }
-    for (Request &r : active_) {
-        ++r.generated;
-        if (r.first_token_seconds < 0.0)
-            r.first_token_seconds = now_;
-    }
+            double first_now = now_;
+            int64_t rounds = 0;
+            for (;;) {
+                now_ += decode_eval_->nextRoundSeconds();
+                ++rounds;
+                if (rounds == 1)
+                    first_now = now_;
+#if SPECONTEXT_OBS_ENABLED
+                // Round j prices lengths grown j-1 tokens past the
+                // window base — the same sum the rebuild loop reads.
+                if (trace_)
+                    trace_->emit(obs::EventType::DecodeStep, now_,
+                                 static_cast<int32_t>(cfg_.id), -1, R,
+                                 kv_sum0 + (rounds - 1) * R);
+#endif
+                if (rounds >= k || !queue_empty ||
+                    !(now_ < horizon) || t_pending <= now_)
+                    break;
+            }
+            result_.iterations += rounds;
+            if (counters_) {
+                counters_->add(slots_.decode_iterations, rounds);
+                counters_->add(slots_.generated_tokens, rounds * R);
+            }
+            // Reconciliation: the window's ++generated / TTFT stamps /
+            // KV growth in one pass. Retirement is only reachable on
+            // the final planned round (rounds == k), and a retiring
+            // request finishes at the current (post-window) instant —
+            // exactly where the per-round loop would retire it.
+            size_t keep = 0;
+            for (size_t i = 0; i < active_.size(); ++i) {
+                Request &r = active_[i];
+                r.generated += rounds;
+                if (r.first_token_seconds < 0.0)
+                    r.first_token_seconds = first_now;
+                if (!r.done()) {
+                    const int64_t next_kv = r.kvLen();
+                    if (keep != i)
+                        active_[keep] = std::move(r);
+                    kv_scratch_[keep] = next_kv;
+                    ++keep;
+                    continue;
+                }
+                r.finish_seconds = now_;
+                r.state = RequestState::Finished;
+                if (r.prefix_pin_slot >= 0) {
+                    const auto pin =
+                        prefix_pins_.find(r.prefix_pin_slot);
+                    prefix_tree_.release(pin->second);
+                    prefix_pins_.erase(pin);
+                }
+                result_.metrics.record(r, cfg_.id);
+                OBS_EVENT(trace_, obs::EventType::Complete, now_,
+                          static_cast<int32_t>(cfg_.id), r.id,
+                          r.gen_len, r.preemptions);
+                if (counters_)
+                    counters_->add(slots_.completed_requests, 1);
+            }
+            active_.resize(keep);
+            kv_scratch_.resize(keep);
+            // kv_ready stays true: the pass above refreshed the mirror.
+            if (!(now_ < horizon) || active_.empty() ||
+                !scheduler_.queueEmpty() ||
+                (pending_next_ < static_cast<int64_t>(pending_.size()) &&
+                 pending_[pending_next_].arrival_seconds <= now_))
+                break;
+            continue;
+        }
 
-    // Retire finished requests; their reservations free headroom that
-    // the next round re-offers to the queue, and their prefix pins are
-    // released (cached blocks become LRU-evictable but stay resident
-    // for future same-prefix admissions while the budget lasts).
-    for (auto it = active_.begin(); it != active_.end();) {
-        if (it->done()) {
-            it->finish_seconds = now_;
-            it->state = RequestState::Finished;
-            if (it->prefix_pin_slot >= 0) {
-                const auto pin = prefix_pins_.find(it->prefix_pin_slot);
+        now_ += decode_eval_
+                    ? decode_eval_->seconds(kv_scratch_)
+                    : engine_.decodeIterationSeconds(cfg_.timing,
+                                                     kv_scratch_);
+        ++result_.iterations;
+#if SPECONTEXT_OBS_ENABLED
+        if (trace_) {
+            int64_t kv_sum = 0;
+            for (int64_t k : kv_scratch_)
+                kv_sum += k;
+            trace_->emit(obs::EventType::DecodeStep, now_,
+                         static_cast<int32_t>(cfg_.id), -1,
+                         static_cast<int64_t>(kv_scratch_.size()),
+                         kv_sum);
+        }
+#endif
+        if (counters_) {
+            counters_->add(slots_.decode_iterations, 1);
+            counters_->add(slots_.generated_tokens,
+                           static_cast<int64_t>(active_.size()));
+        }
+        // Advance and retire in one pass (stable compaction — no
+        // per-element erase): every in-flight request gains its token
+        // and, on its first, its TTFT stamp; finished requests retire
+        // in place. Freed reservations re-offer headroom to the queue
+        // next round, and released prefix pins leave cached blocks
+        // LRU-evictable but resident for future same-prefix
+        // admissions while the budget lasts.
+        size_t keep = 0;
+        for (size_t i = 0; i < active_.size(); ++i) {
+            Request &r = active_[i];
+            ++r.generated;
+            if (r.first_token_seconds < 0.0)
+                r.first_token_seconds = now_;
+            if (!r.done()) {
+                const int64_t next_kv = r.kvLen();
+                if (keep != i)
+                    active_[keep] = std::move(r);
+                kv_scratch_[keep] = next_kv;
+                ++keep;
+                continue;
+            }
+            r.finish_seconds = now_;
+            r.state = RequestState::Finished;
+            if (r.prefix_pin_slot >= 0) {
+                const auto pin = prefix_pins_.find(r.prefix_pin_slot);
                 prefix_tree_.release(pin->second);
                 prefix_pins_.erase(pin);
             }
-            result_.metrics.record(*it, cfg_.id);
+            result_.metrics.record(r, cfg_.id);
             OBS_EVENT(trace_, obs::EventType::Complete, now_,
-                      static_cast<int32_t>(cfg_.id), it->id,
-                      it->gen_len, it->preemptions);
+                      static_cast<int32_t>(cfg_.id), r.id, r.gen_len,
+                      r.preemptions);
             if (counters_)
                 counters_->add(slots_.completed_requests, 1);
-            it = active_.erase(it);
-        } else {
-            ++it;
         }
+        active_.resize(keep);
+        kv_scratch_.resize(keep);
+        kv_ready = true; // the pass above refreshed it for next round
+
+        // Skip-ahead: keep executing pure-decode rounds inside this
+        // call while nothing external can observe or perturb the
+        // replica. The single-round loop would come straight back here
+        // — its round head would ingest nothing (no pending delivery
+        // has arrived), admit nothing (empty queue) and jump the clock
+        // nowhere (active work keeps nextEventSeconds() == now) — so
+        // running the next round now, with the identical preempt/
+        // decode/retire arithmetic above, is bit-exact. Stop at the
+        // caller's horizon (the next arrival / control tick / sampler
+        // crossing it owns), on drain, or when the next round needs
+        // admission (queued work, or a pending delivery whose arrival
+        // the clock just passed — including a preemption victim this
+        // round re-enqueued).
+        if (!(now_ < horizon) || active_.empty() ||
+            !scheduler_.queueEmpty() ||
+            (pending_next_ < static_cast<int64_t>(pending_.size()) &&
+             pending_[pending_next_].arrival_seconds <= now_))
+            break;
     }
     if (prefixCacheEnabled())
         snapshotPrefixStats();

@@ -38,6 +38,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -257,11 +259,92 @@ class ReplicaEngine
     bool idle() const;
 
     /**
+     * True when the next step() round would be *pure decode*: requests
+     * are in flight, nothing is admissible (empty queue) and no
+     * pending delivery has arrived yet. Such a round touches only this
+     * engine's own state — no ingest callback can route, no admission
+     * can prefill — which is what makes it safe to run ahead of the
+     * global event order (skip-ahead) or concurrently with other
+     * replicas' pure-decode rounds (Cluster's parallel lanes).
+     */
+    bool pureDecodeReady() const
+    {
+        return !active_.empty() && scheduler_.queueEmpty() &&
+               (pending_next_ >= static_cast<int64_t>(pending_.size()) ||
+                pending_[pending_next_].arrival_seconds > now_);
+    }
+
+    /**
+     * Earliest future instant at which this replica could possibly
+     * run an *admission* round. Admission rounds are the fleet's only
+     * cross-replica interaction outside the driver's own boundaries:
+     * their prefills invoke the ingest callback, which may route
+     * arrivals against every replica's current state. Skip-ahead on
+     * any OTHER lane must therefore never advance past this instant —
+     * it is the fleet-internal component of the bulk-stepping horizon.
+     *
+     *  - queued work: now() — the very next round admits;
+     *  - Optimistic with a live batch: now() — any decode round can
+     *    preempt under KV pressure, putting a restore admission one
+     *    round later, which is unpredictable without running it;
+     *  - pending deliveries only: the head's arrival time (the round
+     *    that crosses it turns into an admission round);
+     *  - otherwise +infinity — a Reserve replica with nothing waiting
+     *    can only decode and retire until the next delivery, and
+     *    deliveries themselves only happen at routing instants the
+     *    driver already bounds by.
+     */
+    double nextPossibleAdmissionSeconds() const
+    {
+        if (!scheduler_.queueEmpty())
+            return now_;
+        if (optimistic() && !active_.empty())
+            return now_;
+        if (pending_next_ < static_cast<int64_t>(pending_.size()))
+            return pending_[pending_next_].arrival_seconds > now_
+                       ? pending_[pending_next_].arrival_seconds
+                       : now_;
+        return std::numeric_limits<double>::infinity();
+    }
+
+    /**
      * Run one scheduling round at nextEventSeconds() (the clock jumps
      * there first when the replica is idle-but-booked).
+     *
+     * Skip-ahead fast path: while `horizon` lies ahead of the local
+     * clock, the engine keeps executing follow-on *pure-decode* rounds
+     * (preempt-check, decode iteration, retire — the exact per-round
+     * arithmetic, in the exact order) inside this one call instead of
+     * returning to the event loop after each token. The loop stops the
+     * moment a round needs the outside world again — the queue or an
+     * arrived pending delivery makes the next round an admission
+     * round, the batch drains idle, or the clock reaches `horizon` —
+     * so results are bit-identical to single-round stepping provided
+     * the caller bounds `horizon` by the next external boundary it
+     * owns (next unrouted arrival, control tick, sampler cadence
+     * crossing). The default (-infinity) runs exactly one round.
+     *
+     * Observability is exact under skip-ahead: DecodeStep events and
+     * decode counters are emitted per iteration inside the loop;
+     * gauges publish once at exit with last-round values, which is
+     * what a boundary reader would have seen anyway.
+     *
      * @throws std::logic_error when invoked on a fully idle replica.
      */
-    void step(const IngestFn &ingest = nullptr);
+    void step(const IngestFn &ingest = nullptr,
+              double horizon = -std::numeric_limits<double>::infinity());
+
+    /**
+     * Toggle the cached decode-cost evaluator
+     * (core::DecodeEvaluator): on, the per-iteration decode price
+     * comes from a per-lane evaluator that derives the cost/memory
+     * models once per batch size; off (the construction default), each
+     * iteration re-derives them through the TimingEngine façade — the
+     * pre-fast-path cost profile. Either way the simulated durations
+     * are bit-identical; drivers set this from
+     * SimFastPath::cache_decode_costs.
+     */
+    void setDecodeCostCache(bool on);
 
     /** Results accumulated so far; makespan_seconds tracks the clock
      *  at the last completed round. */
@@ -274,11 +357,16 @@ class ReplicaEngine
     const core::TimingEngine &engine_;
     ReplicaConfig cfg_;
     Scheduler scheduler_;
+    /** Fast-path decode pricer (null = per-call façade path). */
+    std::unique_ptr<core::DecodeEvaluator> decode_eval_;
 
     double now_ = 0.0;
     std::vector<Request> active_;
     std::vector<Request> pending_; ///< delivered, arrival not reached
     int64_t pending_next_ = 0;     ///< first live index into pending_
+    /** Decode-iteration kv_lens buffer, reused across rounds so the
+     *  hot loop allocates nothing in steady state. */
+    std::vector<int64_t> kv_scratch_;
     double last_delivered_arrival_ = 0.0; ///< delivery-order guard
     ServeResult result_;
     kv::PrefixTree prefix_tree_;

@@ -1,6 +1,7 @@
 #include "serving/request_queue.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <stdexcept>
 #include <utility>
 
@@ -50,13 +51,13 @@ RequestQueue::push(Request r)
     waiting_.push_back(std::move(r));
 }
 
-int64_t
+size_t
 RequestQueue::candidateIndex() const
 {
-    if (waiting_.empty())
+    if (empty())
         throw std::logic_error("RequestQueue: empty");
     if (policy_ == QueuePolicy::Fifo)
-        return 0;
+        return head_;
     // Shortest prompt first. Ties break on arrival time, then request
     // id — an explicit total order, so cluster runs are bit-reproducible
     // regardless of how the caller happened to enqueue equal-length
@@ -69,8 +70,8 @@ RequestQueue::candidateIndex() const
             return a.arrival_seconds < b.arrival_seconds;
         return a.id < b.id;
     };
-    int64_t best = 0;
-    for (int64_t i = 1; i < size(); ++i) {
+    size_t best = head_;
+    for (size_t i = head_ + 1; i < waiting_.size(); ++i) {
         if (precedes(waiting_[i], waiting_[best]))
             best = i;
     }
@@ -83,12 +84,38 @@ RequestQueue::peek() const
     return waiting_[candidateIndex()];
 }
 
+void
+RequestQueue::maybeCompact()
+{
+    if (head_ == waiting_.size()) {
+        waiting_.clear();
+        head_ = 0;
+        return;
+    }
+    // Compact only when the dead prefix dominates, so the amortized
+    // move cost per pop stays O(1).
+    if (head_ >= 64 && head_ * 2 >= waiting_.size()) {
+        waiting_.erase(waiting_.begin(),
+                       waiting_.begin() +
+                           static_cast<std::ptrdiff_t>(head_));
+        head_ = 0;
+    }
+}
+
 Request
 RequestQueue::pop()
 {
-    const int64_t idx = candidateIndex();
+    const size_t idx = candidateIndex();
     Request r = std::move(waiting_[idx]);
-    waiting_.erase(waiting_.begin() + idx);
+    if (idx == head_) {
+        ++head_;
+        maybeCompact();
+    } else {
+        // SPF picked from the middle; order of the remaining live
+        // entries must be preserved, so this stays an erase.
+        waiting_.erase(waiting_.begin() +
+                       static_cast<std::ptrdiff_t>(idx));
+    }
     return r;
 }
 

@@ -12,6 +12,7 @@
  */
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -37,8 +38,11 @@ class RequestQueue
     explicit RequestQueue(QueuePolicy policy = QueuePolicy::Fifo);
 
     QueuePolicy policy() const { return policy_; }
-    bool empty() const { return waiting_.empty(); }
-    int64_t size() const { return static_cast<int64_t>(waiting_.size()); }
+    bool empty() const { return head_ == waiting_.size(); }
+    int64_t size() const
+    {
+        return static_cast<int64_t>(waiting_.size() - head_);
+    }
 
     void push(Request r);
 
@@ -51,10 +55,19 @@ class RequestQueue
 
   private:
     QueuePolicy policy_;
-    std::vector<Request> waiting_; ///< insertion (arrival) order
+    /** Insertion (arrival) order; live entries are [head_, end).
+     *  A FIFO pop just advances head_ — the hot admission path on a
+     *  backlogged replica used to erase() the front, which is O(queue)
+     *  per admitted request. Drained slots before head_ are compacted
+     *  away once they dominate the vector. */
+    std::vector<Request> waiting_;
+    size_t head_ = 0;
 
-    /** Index of the policy's candidate in waiting_. */
-    int64_t candidateIndex() const;
+    /** Absolute index (>= head_) of the policy's candidate. */
+    size_t candidateIndex() const;
+    /** Drop the dead prefix when empty or when it outgrows the live
+     *  tail; content and order of live entries are untouched. */
+    void maybeCompact();
 };
 
 } // namespace serving

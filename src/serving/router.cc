@@ -53,8 +53,20 @@ feasibleReplicas(const Request &r, const Fleet &fleet,
                  const std::vector<size_t> &routable)
 {
     std::vector<size_t> out;
+    // One feasibility verdict covers every lane whose admission shape
+    // matches (fleets are usually homogeneous): the controller prices
+    // the candidate against an idle replica, so lanes with the same
+    // system and config must agree — re-deriving the memory-model
+    // headroom per lane is the router's hottest redundant work.
+    const AdmissionController *memo_ac = nullptr;
+    bool memo_verdict = false;
     for (size_t i : routable) {
-        if (fleet[i]->admission().feasibleAlone(r))
+        const AdmissionController &ac = fleet[i]->admission();
+        if (!memo_ac || !ac.sameAdmissionShape(*memo_ac)) {
+            memo_ac = &ac;
+            memo_verdict = ac.feasibleAlone(r);
+        }
+        if (memo_verdict)
             out.push_back(i);
     }
     if (out.empty())

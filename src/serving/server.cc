@@ -29,6 +29,7 @@ Server::run(std::vector<Request> trace) const
     rc.name = "server";
     rc.obs = cfg_.obs;
     ReplicaEngine replica(engine_, rc);
+    replica.setDecodeCostCache(cfg_.fast_path.cache_decode_costs);
     obs::TimeseriesSampler *sampler = cfg_.obs.sampler;
 
     // Single-replica driver: the trace cursor plays the router's role.
@@ -38,6 +39,7 @@ Server::run(std::vector<Request> trace) const
                trace[next].arrival_seconds <= t)
             replica.deliver(std::move(trace[next++]));
     };
+    const double neg_inf = -std::numeric_limits<double>::infinity();
     while (true) {
         const double t_replica = replica.nextEventSeconds();
         const double t_arrival =
@@ -55,7 +57,19 @@ Server::run(std::vector<Request> trace) const
             ingest(t_arrival);
             continue;
         }
-        replica.step(ingest);
+        // Skip-ahead horizon: this loop owns two boundaries the engine
+        // cannot see — the trace cursor (arrivals not yet delivered)
+        // and the sampler cadence. Bounding the engine's bulk rounds
+        // by both keeps ingest order and time-series rows bit- and
+        // row-identical to one-round-per-step execution.
+        double horizon = neg_inf;
+        if (cfg_.fast_path.skip_ahead) {
+            horizon = t_arrival;
+            if (sampler)
+                horizon =
+                    std::min(horizon, sampler->nextSampleSeconds());
+        }
+        replica.step(ingest, horizon);
     }
     if (sampler)
         sampler->sample(replica.result().makespan_seconds);

@@ -24,6 +24,7 @@
 
 #include "core/timing_engine.h"
 #include "serving/admission.h"
+#include "serving/fast_path.h"
 #include "serving/metrics.h"
 #include "serving/replica_engine.h"
 #include "serving/request.h"
@@ -43,6 +44,9 @@ struct ServerConfig
     /** Observability hooks, forwarded to the underlying ReplicaEngine
      *  (all-null default = bit-identical unobserved server). */
     obs::Observability obs;
+    /** Simulator speed knobs (skip-ahead on by default; `threads` is
+     *  meaningless on one replica and ignored). Bit-exact either way. */
+    SimFastPath fast_path;
 };
 
 /** Iteration-level continuous-batching server (one replica). */

@@ -85,11 +85,17 @@ size_t
 EventClock::fire()
 {
     const size_t lane = earliestLane();
+    fireLane(lane);
+    return lane;
+}
+
+void
+EventClock::fireLane(size_t lane)
+{
     if (counters_) {
         counters_->add(rounds_, 1);
         counters_->add(lane_fires_[lane], 1);
     }
-    return lane;
 }
 
 size_t

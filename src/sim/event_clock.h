@@ -90,6 +90,11 @@ class EventClock
      *  lane fires next" pick. */
     size_t fire();
 
+    /** Round accounting for a lane the caller already picked with
+     *  earliestLane() — fire() without the redundant rescan, for an
+     *  event loop that needed the earliest instant anyway. */
+    void fireLane(size_t lane);
+
   private:
     std::vector<double> times_;
     std::vector<bool> retired_;

@@ -14,6 +14,12 @@ MemoryModel::MemoryModel(MemoryModelInputs in)
     in_.dlm.validate();
     if (in_.requests <= 0 || in_.budget < 0 || in_.gpu_mem_bytes <= 0)
         throw std::invalid_argument("MemoryModel: invalid workload inputs");
+    const int64_t m_d =
+        in_.pruned_head
+            ? 2 * model::prunedRetrievalHeadParams(in_.llm)
+            : in_.dlm.parameterBytesFp16();
+    const double m = in_.llm.parameterBytesFp16() + m_d;
+    model_bytes_ = static_cast<int64_t>((1.0 + in_.runtime_fraction) * m);
 }
 
 int64_t
@@ -22,17 +28,6 @@ MemoryModel::kvCoefficientFor(int64_t requests) const
     // Coefficient 4 of Eq. 6: FP16 K (2 bytes) + FP16 V (2 bytes),
     // times R requests, H KV heads, D head dim.
     return 4 * requests * in_.llm.kv_heads * in_.llm.head_dim;
-}
-
-int64_t
-MemoryModel::modelBytes() const
-{
-    const int64_t m_d =
-        in_.pruned_head
-            ? 2 * model::prunedRetrievalHeadParams(in_.llm)
-            : in_.dlm.parameterBytesFp16();
-    const double m = in_.llm.parameterBytesFp16() + m_d;
-    return static_cast<int64_t>((1.0 + in_.runtime_fraction) * m);
 }
 
 int64_t
@@ -81,6 +76,18 @@ MemoryModel::maxGpuLayers(int64_t s) const
             return g;
     }
     return -1;
+}
+
+int64_t
+MemoryModel::allResidentMaxTokens() const
+{
+    // mPartBytes(s, layers) = modelBytes() + kvCoef * resident * s
+    // (l_cpu == 0, so no staging-buffer term); with every quantity a
+    // non-negative integer the fit test inverts to a floor division.
+    const int64_t resident = in_.llm.layers + 1 + in_.llm.groups();
+    const int64_t denom = kvCoefficientFor(in_.requests) * resident;
+    const int64_t free_bytes = in_.gpu_mem_bytes - modelBytes();
+    return free_bytes < 0 ? -1 : free_bytes / denom;
 }
 
 bool

@@ -48,8 +48,11 @@ class MemoryModel
 
     const MemoryModelInputs &inputs() const { return in_; }
 
-    /** Weight + runtime-buffer bytes: 1.3 (M_O + M_D). */
-    int64_t modelBytes() const;
+    /** Weight + runtime-buffer bytes: 1.3 (M_O + M_D). Derived once
+     *  in the constructor — every footprint query (and the
+     *  maxGpuLayers descent, which calls mPartBytes per candidate
+     *  placement) reads the cached value. */
+    int64_t modelBytes() const { return model_bytes_; }
 
     /**
      * Eq. 6: total bytes with the whole KV cache on GPU at sequence
@@ -77,6 +80,17 @@ class MemoryModel
      * gpu_mem_bytes; -1 when not even full offload fits.
      */
     int64_t maxGpuLayers(int64_t s) const;
+
+    /**
+     * Largest uniform length S at which every layer stays resident —
+     * the exact integer inversion of mPartBytes(s, layers) <=
+     * gpu_mem_bytes, so `s <= allResidentMaxTokens()` iff
+     * maxGpuLayers(s) == layers. -1 when the weights alone exceed the
+     * GPU (no S qualifies). Lets a decode loop whose lengths grow one
+     * token per round replace the per-round placement descent with a
+     * single comparison while the batch is comfortably resident.
+     */
+    int64_t allResidentMaxTokens() const;
 
     /** True when Eq. 6 fits entirely on the GPU at length S. */
     bool allFitsOnGpu(int64_t s) const;
@@ -117,6 +131,7 @@ class MemoryModel
 
   private:
     MemoryModelInputs in_;
+    int64_t model_bytes_ = 0; ///< pure function of in_, see ctor
 
     /** 4 R H D: bytes per (layer-equivalent, token) of KV cache for
      *  an explicit request count. */

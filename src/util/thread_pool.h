@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Minimal fork-join worker pool for the cluster's parallel replica
+ * stepping: the caller submits a batch of independent closures and
+ * blocks in wait() until all of them ran. No futures, no stealing, no
+ * shutdown protocol beyond the destructor — the serving loop needs
+ * exactly "run these K lane steps on up to N threads, then continue
+ * deterministically", and everything it parallelizes is independent
+ * by construction (results may not depend on execution order).
+ *
+ * With threads == 1 (or 0) no workers are spawned and submit() runs
+ * the closure inline, so a single-threaded "parallel" run shares the
+ * sequential code path exactly.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace specontext {
+namespace util {
+
+/** Fixed-size fork-join pool. */
+class ThreadPool
+{
+  public:
+    /** Spawn `threads` workers (<= 1 means inline execution). */
+    explicit ThreadPool(size_t threads)
+    {
+        if (threads <= 1)
+            return;
+        workers_.reserve(threads);
+        for (size_t i = 0; i < threads; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread &w : workers_)
+            w.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    size_t threads() const
+    {
+        return workers_.empty() ? 1 : workers_.size();
+    }
+
+    /** Enqueue one task (runs inline when no workers exist). */
+    void submit(std::function<void()> task)
+    {
+        if (workers_.empty()) {
+            task();
+            return;
+        }
+        outstanding_.fetch_add(1, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            tasks_.push_back(std::move(task));
+        }
+        cv_.notify_one();
+    }
+
+    /** Block until every submitted task has finished. The serving
+     *  loop erects one barrier per fleet event, so the join spins
+     *  (yielding) instead of sleeping on a condition variable — a
+     *  microsecond-scale bulk window must not pay a scheduler wakeup
+     *  on both sides. */
+    void wait()
+    {
+        if (workers_.empty())
+            return;
+        while (outstanding_.load(std::memory_order_acquire) != 0)
+            std::this_thread::yield();
+    }
+
+  private:
+    void workerLoop()
+    {
+        int idle = 0;
+        for (;;) {
+            std::function<void()> task;
+            {
+                // Spin phase: poll the queue without blocking so
+                // back-to-back barriers reuse hot workers.
+                std::unique_lock<std::mutex> lock(mu_,
+                                                  std::try_to_lock);
+                if (lock.owns_lock()) {
+                    if (!tasks_.empty()) {
+                        task = std::move(tasks_.back());
+                        tasks_.pop_back();
+                    } else if (stopping_) {
+                        return;
+                    }
+                }
+            }
+            if (task) {
+                idle = 0;
+                task();
+                // Release pairs with wait()'s acquire: everything the
+                // task wrote is visible to the joining thread.
+                outstanding_.fetch_sub(1, std::memory_order_release);
+                continue;
+            }
+            if (++idle < kIdleSpins) {
+                std::this_thread::yield();
+                continue;
+            }
+            // Long idle: block until the next submit (or shutdown)
+            // rather than burning a core between dispatch bursts.
+            idle = 0;
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !tasks_.empty(); });
+            if (tasks_.empty() && stopping_)
+                return;
+        }
+    }
+
+    static constexpr int kIdleSpins = 256;
+
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<std::function<void()>> tasks_;
+    std::atomic<size_t> outstanding_{0};
+    bool stopping_ = false;
+};
+
+} // namespace util
+} // namespace specontext
