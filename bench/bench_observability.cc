@@ -7,8 +7,11 @@
  * and once with a Trace + CounterRegistry + TimeseriesSampler
  * attached. Both runs must produce bit-identical serving results (the
  * run aborts if they diverge); the published number is the wall-time
- * delta of the observed run, best-of-N reps per side, with events/s
- * and bytes/event alongside so emit() cost stays an explicit budget.
+ * delta of the observed run, median-of-N interleaved reps per side
+ * (medians cannot be dragged negative by one lucky rep the way
+ * best-of could; noise_floor_pct publishes the baseline's rep spread
+ * so a delta below it reads as noise, not signal), with events/s and
+ * bytes/event alongside so emit() cost stays an explicit budget.
  *
  * Also writes the observed run's artifacts next to the JSON — the
  * Chrome trace (open at https://ui.perfetto.dev), the counters dump
@@ -19,6 +22,7 @@
  * derive from that path); argv[2] shrinks the session count and
  * argv[3] the rep count for CI smoke runs.
  */
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -110,6 +114,17 @@ identicalResults(const serving::ClusterResult &x,
     return true;
 }
 
+/** Median of `v` (mean of the middle two for even counts). */
+double
+medianMs(std::vector<double> v)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    const size_t mid = v.size() / 2;
+    return v.size() % 2 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
 /** `path` with its ".json" suffix swapped for `suffix` (or appended). */
 std::string
 sibling(const std::string &path, const std::string &suffix)
@@ -138,21 +153,10 @@ main(int argc, char **argv)
     cc.router.policy = serving::RouterPolicy::LeastKvLoad;
     const serving::Cluster cluster(engine, cc);
 
-    // Baseline: all hooks null — the shipping default every
-    // BENCH_*.json is generated under. Best-of-N absorbs scheduler
-    // noise; the first untimed run warms allocators and caches.
+    // Two stacks: baseline with all hooks null — the shipping default
+    // every BENCH_*.json is generated under — and observed with every
+    // layer attached.
     serving::ClusterResult base_result = cluster.run(trace);
-    double base_ms = 0.0;
-    for (int i = 0; i < reps; ++i) {
-        const auto t0 = std::chrono::steady_clock::now();
-        base_result = cluster.run(trace);
-        const double ms = wallMs(t0);
-        if (i == 0 || ms < base_ms)
-            base_ms = ms;
-    }
-
-    // Observed: every layer attached. Fresh state per rep so each run
-    // records the same stream (emitted() proves it: reps * per-run).
     obs::Trace ring({1 << 20});
     obs::CounterRegistry counters;
     obs::TimeseriesSampler sampler(&counters, {10.0, 1 << 16});
@@ -161,17 +165,34 @@ main(int argc, char **argv)
     const serving::Cluster observed(engine, oc);
     serving::ClusterResult obs_result = observed.run(trace);
     const uint64_t events_per_run = ring.emitted();
-    ring.clear();
-    double obs_ms = 0.0;
+
+    // Interleaved timed reps after the untimed warmups above: pairing
+    // the sides inside each rep exposes both to the same machine
+    // drift, and the median per side keeps one noisy rep from setting
+    // the headline (best-of used to let the *baseline's* luckiest rep
+    // drive wall_delta_pct negative). Fresh ring state per rep so
+    // each observed run records the same stream (emitted() proves it:
+    // reps * per-run).
+    std::vector<double> base_reps, obs_reps;
     for (int i = 0; i < reps; ++i) {
-        if (i > 0)
-            ring.clear();
-        const auto t0 = std::chrono::steady_clock::now();
+        auto t0 = std::chrono::steady_clock::now();
+        base_result = cluster.run(trace);
+        base_reps.push_back(wallMs(t0));
+        ring.clear();
+        t0 = std::chrono::steady_clock::now();
         obs_result = observed.run(trace);
-        const double ms = wallMs(t0);
-        if (i == 0 || ms < obs_ms)
-            obs_ms = ms;
+        obs_reps.push_back(wallMs(t0));
     }
+    const double base_ms = medianMs(base_reps);
+    const double obs_ms = medianMs(obs_reps);
+    // Rep-to-rep spread of the baseline (the delta's denominator): a
+    // wall_delta_pct smaller than this is measurement noise.
+    const double noise_floor_pct =
+        base_ms > 0.0
+            ? (*std::max_element(base_reps.begin(), base_reps.end()) -
+               *std::min_element(base_reps.begin(), base_reps.end())) /
+                  base_ms * 100.0
+            : 0.0;
 
     if (!identicalResults(base_result, obs_result)) {
         std::fprintf(stderr,
@@ -189,12 +210,13 @@ main(int argc, char **argv)
     const serving::ServingSummary s = obs_result.summary();
 
     bench::section("Observability overhead (2x A800 Optimistic "
-                   "overload, best of " +
+                   "overload, median of " +
                    std::to_string(reps) + ")");
     std::printf("%-28s %12s\n", "metric", "value");
     std::printf("%-28s %12.2f\n", "baseline_wall_ms", base_ms);
     std::printf("%-28s %12.2f\n", "observed_wall_ms", obs_ms);
     std::printf("%-28s %12.2f\n", "wall_delta_pct", delta_pct);
+    std::printf("%-28s %12.2f\n", "noise_floor_pct", noise_floor_pct);
     std::printf("%-28s %12llu\n", "events_per_run",
                 static_cast<unsigned long long>(events_per_run));
     std::printf("%-28s %12.0f\n", "events_per_wall_s", events_per_s);
@@ -230,6 +252,7 @@ main(int argc, char **argv)
         .num("baseline_wall_ms", base_ms, "%.2f")
         .num("observed_wall_ms", obs_ms, "%.2f")
         .num("wall_delta_pct", delta_pct, "%.2f")
+        .num("noise_floor_pct", noise_floor_pct, "%.2f")
         .num("events_per_run", static_cast<int64_t>(events_per_run))
         .num("events_retained", static_cast<int64_t>(ring.size()))
         .num("events_dropped", static_cast<int64_t>(ring.dropped()))
@@ -250,9 +273,10 @@ main(int argc, char **argv)
     std::printf("\nNotes: identical trace served twice — hooks null "
                 "vs Trace+CounterRegistry+Sampler attached;\nserving "
                 "results are asserted bitwise-equal before the delta "
-                "is reported. Wall times are\nbest-of-%d after an "
-                "untimed warmup; events/s is the observed run's emit "
-                "throughput.\n",
+                "is reported. Wall times are\nmedian-of-%d interleaved "
+                "reps after untimed warmups; a wall_delta_pct below "
+                "noise_floor_pct\nis measurement noise; events/s is "
+                "the observed run's emit throughput.\n",
                 reps);
     return artifacts_ok ? 0 : 1;
 }

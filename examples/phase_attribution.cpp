@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Phase attribution walkthrough: answering "where did p99 latency go?"
+ * from the flight recorder alone.
+ *
+ * The obs::Trace ring records every lifecycle event of a run; the
+ * analysis engine (obs/analysis.h) replays it into per-request
+ * timelines whose six phases — router gap, queue wait, prefill,
+ * preempt stall, restore recompute, decode residual — sum *bitwise*
+ * to the request's end-to-end latency. Blame tables then roll the
+ * timelines up by percentile: the dominant phase of the nearest-rank
+ * p50/p99 request, split by preemption count and prefix-hit bucket.
+ * In parallel, the regime classifier (obs/regime.h) labels each
+ * sampler window with the resource that bound the fleet during it.
+ *
+ * This example overloads one 2-replica Optimistic fleet with a
+ * multi-turn burst (the preemption-heavy shape), then prints one
+ * preempted request's full phase breakdown with the identity check,
+ * the E2E and TTFT blame tables, and the run's regime occupancy —
+ * the same machinery bench_characterize.cc fingerprints the whole
+ * workload suite with.
+ */
+#include <cstdio>
+
+#include "obs/analysis.h"
+#include "obs/obs.h"
+#include "obs/regime.h"
+#include "serving/cluster.h"
+#include "workload/trace.h"
+
+using namespace specontext;
+
+namespace {
+
+serving::ReplicaConfig
+replica()
+{
+    serving::ReplicaConfig rc;
+    rc.timing.llm = model::deepseekDistillLlama8bGeometry();
+    rc.timing.hw = sim::HardwareSpec::cloudA800();
+    core::SystemOptions opts;
+    opts.prefix_reload_gbps = 200.0;
+    rc.timing.system =
+        core::SystemRegistry::create("FullAttn(FlashAttn)", opts);
+    rc.max_batch = 64;
+    rc.prefix_cache.budget_bytes = 8LL << 30;
+    rc.scheduler_mode = serving::SchedulerMode::Optimistic;
+    rc.victim_policy = serving::VictimPolicy::LastAdmitted;
+    return rc;
+}
+
+void
+printBlame(const obs::BlameTable &table)
+{
+    std::printf("\n%s blame (nearest-rank percentiles):\n",
+                obs::blameMetricName(table.metric));
+    std::printf("  %-12s %6s %10s %10s  %-16s %-16s\n", "bucket", "n",
+                "p50_s", "p99_s", "dominant@p50", "dominant@p99");
+    for (const obs::BlameRow &row : table.rows)
+        std::printf("  %-12s %6zu %10.2f %10.2f  %-16s %-16s\n",
+                    row.bucket.c_str(), row.count, row.p50_seconds,
+                    row.p99_seconds, obs::phaseName(row.dominant_p50),
+                    obs::phaseName(row.dominant_p99));
+}
+
+} // namespace
+
+int
+main()
+{
+    core::TimingEngine engine;
+
+    // The bench_preemption overload point: sessions burst in faster
+    // than the fleet retires them, so every phase — queueing, prefill,
+    // preempt stall, restore recompute — shows up in the breakdowns.
+    workload::MultiTurnTraceConfig mt;
+    mt.base.num_requests = 12;
+    mt.base.arrival_rate_per_s = 0.8;
+    mt.base.seed = 11;
+    mt.turns = 4;
+    mt.first_prompt_lo = 2048;
+    mt.first_prompt_hi = 8192;
+    mt.gen_lo = 4096;
+    mt.gen_hi = 16384;
+    mt.think_time_mean_s = 15.0;
+    const auto trace = workload::multiTurnTrace(mt);
+
+    obs::Trace ring({1 << 18});
+    obs::CounterRegistry counters;
+    obs::TimeseriesSampler sampler(&counters, {10.0, 1 << 14});
+    serving::ClusterConfig cc;
+    cc.replicas = {replica(), replica()};
+    cc.router.policy = serving::RouterPolicy::LeastKvLoad;
+    cc.obs = {&ring, &counters, &sampler};
+    const auto result = serving::Cluster(engine, cc).run(trace);
+
+    const obs::TraceAnalysis analysis = obs::analyzeTrace(ring);
+    std::printf("2x A800 Optimistic, %zu requests: %ld completed, "
+                "%ld preemptions\n%zu complete timelines, %zu "
+                "incomplete, ring dropped %llu events\n",
+                trace.size(), result.summary().completed,
+                result.fleet.preempt.preemptions,
+                analysis.complete.size(), analysis.incomplete.size(),
+                static_cast<unsigned long long>(
+                    analysis.dropped_events));
+
+    // One preempted request's breakdown, with the identity stated the
+    // way the analysis guarantees it: bitwise, not approximately.
+    for (const obs::RequestTimeline &tl : analysis.complete) {
+        if (tl.preemptions == 0)
+            continue;
+        std::printf("\nrequest %ld (replica %d, %ld preemption(s)):\n",
+                    tl.request, tl.replica, tl.preemptions);
+        for (size_t p = 0; p < obs::kPhaseCount; ++p)
+            std::printf("  %-18s %10.3fs\n",
+                        obs::phaseName(static_cast<obs::Phase>(p)),
+                        tl.phases.seconds[p]);
+        std::printf("  %-18s %10.3fs  (phaseSum == e2e: %s)\n", "e2e",
+                    tl.e2eSeconds(),
+                    tl.phases.phaseSum() == tl.e2eSeconds() ? "true"
+                                                            : "FALSE");
+        break;
+    }
+
+    printBlame(obs::blameTable(analysis.complete, obs::BlameMetric::E2E));
+    printBlame(
+        obs::blameTable(analysis.complete, obs::BlameMetric::TTFT));
+
+    // The fleet-level view of the same run: what bound the fleet,
+    // window by window, rolled up into time-weighted occupancy.
+    const obs::RegimeTimeline regimes = obs::classifyRegimes(sampler);
+    std::printf("\nregime occupancy over %.0fs (%zu windows):\n",
+                regimes.total_seconds, regimes.windows.size());
+    for (size_t r = 0; r < obs::kRegimeCount; ++r)
+        if (regimes.occupancy[r] > 0.0)
+            std::printf("  %-16s %6.1f%%\n",
+                        obs::regimeName(static_cast<obs::Regime>(r)),
+                        100.0 * regimes.occupancy[r]);
+
+    std::printf(
+        "\nThe blame tables answer \"where did p99 go\" per request "
+        "class; the regime timeline\nanswers \"what bound the fleet "
+        "when\". bench_characterize.cc runs both over every\nworkload "
+        "generator and fingerprints the suite "
+        "(BENCH_characterize.json).\n");
+    return 0;
+}

@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <set>
@@ -7,6 +8,7 @@
 
 #include "obs/counters.h"
 #include "obs/json.h"
+#include "obs/regime.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
 
@@ -122,20 +124,29 @@ writeLines(const std::string &path, const std::string &head,
 
 bool
 writeChromeTrace(const Trace &trace, const std::string &path,
-                 const std::vector<std::string> &lane_names)
+                 const std::vector<std::string> &lane_names,
+                 const RegimeTimeline *regimes)
 {
     const std::vector<TraceEvent> events = trace.snapshot();
     std::vector<std::string> lines;
     lines.reserve(events.size() * 2 + 8);
 
     // Lane metadata: name every replica lane that appears (Perfetto
-    // sorts lanes by tid, so replica order is preserved).
+    // sorts lanes by tid, so replica order is preserved). The ring-
+    // wrap marker needs the fleet lane even when no fleet-level event
+    // survived; the regime overlay gets its own out-of-band lane.
     std::set<int64_t> lanes;
     for (const TraceEvent &e : events)
         lanes.insert(laneOf(e));
+    if (trace.dropped() > 0)
+        lanes.insert(-1);
+    if (regimes && !regimes->windows.empty())
+        lanes.insert(-2);
     for (const int64_t lane : lanes) {
         std::string label;
-        if (lane < 0) {
+        if (lane == -2) {
+            label = "fleet regime";
+        } else if (lane < 0) {
             label = "fleet";
         } else if (static_cast<size_t>(lane) < lane_names.size()) {
             label = lane_names[static_cast<size_t>(lane)];
@@ -149,6 +160,75 @@ writeChromeTrace(const Trace &trace, const std::string &path,
         meta.num("pid", static_cast<int64_t>(0)).num("tid", lane);
         meta.raw("args", name_args.render());
         lines.push_back(meta.render());
+    }
+
+    // Ring-wrap marker: the overwritten events all precede the
+    // earliest retained one (the ring drops oldest-first), so the
+    // truncated range is [0, min retained t]. Rendering it as an
+    // explicit slice keeps a wrapped export from looking complete.
+    if (trace.dropped() > 0) {
+        double min_t = 0.0;
+        for (size_t i = 0; i < events.size(); ++i)
+            min_t = i == 0 ? events[i].t_seconds
+                           : std::min(min_t, events[i].t_seconds);
+        JsonRow args;
+        args.num("events_lost", static_cast<int64_t>(trace.dropped()));
+        JsonRow row;
+        row.str("name",
+                "ring wrapped, " + std::to_string(trace.dropped()) +
+                    " events lost")
+            .str("cat", "truncated")
+            .str("ph", "X");
+        row.num("ts", 0.0, "%.3f");
+        row.num("dur", min_t * 1e6, "%.3f");
+        row.num("pid", static_cast<int64_t>(0))
+            .num("tid", static_cast<int64_t>(-1));
+        row.raw("args", args.render());
+        lines.push_back(row.render());
+    }
+
+    // Regime overlay lane: one slice per run of consecutive equal-
+    // regime windows (counter deltas summed over the run, gauges from
+    // its closing window).
+    if (regimes) {
+        const std::vector<RegimeWindow> &ws = regimes->windows;
+        for (size_t i = 0; i < ws.size();) {
+            size_t j = i;
+            RegimeSignals agg = ws[i].signals;
+            while (j + 1 < ws.size() &&
+                   ws[j + 1].regime == ws[i].regime) {
+                ++j;
+                agg.preemptions += ws[j].signals.preemptions;
+                agg.prefill_tokens += ws[j].signals.prefill_tokens;
+                agg.generated_tokens += ws[j].signals.generated_tokens;
+                agg.prefix_hit_tokens +=
+                    ws[j].signals.prefix_hit_tokens;
+                agg.queue_depth = ws[j].signals.queue_depth;
+                agg.in_flight = ws[j].signals.in_flight;
+                agg.warming_replicas = ws[j].signals.warming_replicas;
+            }
+            JsonRow args;
+            args.num("preemptions", agg.preemptions)
+                .num("prefill_tokens", agg.prefill_tokens)
+                .num("generated_tokens", agg.generated_tokens)
+                .num("prefix_hit_tokens", agg.prefix_hit_tokens)
+                .num("queue_depth", agg.queue_depth)
+                .num("in_flight", agg.in_flight)
+                .num("warming_replicas", agg.warming_replicas);
+            JsonRow row;
+            row.str("name", regimeName(ws[i].regime))
+                .str("cat", "regime")
+                .str("ph", "X");
+            row.num("ts", ws[i].t_start_seconds * 1e6, "%.3f");
+            row.num("dur",
+                    (ws[j].t_end_seconds - ws[i].t_start_seconds) * 1e6,
+                    "%.3f");
+            row.num("pid", static_cast<int64_t>(0))
+                .num("tid", static_cast<int64_t>(-2));
+            row.raw("args", args.render());
+            lines.push_back(row.render());
+            i = j + 1;
+        }
     }
 
     // Duration reconstruction: request residency (Admit/Restore ->

@@ -32,14 +32,24 @@ namespace obs {
 class CounterRegistry;
 class TimeseriesSampler;
 class Trace;
+struct RegimeTimeline;
 
 /**
  * Write `trace` as Chrome trace-event JSON to `path`. `lane_names`
  * optionally labels replica lanes (index = replica id) via
  * thread_name metadata; unnamed lanes show as "replica<N>".
+ *
+ * When the ring wrapped (trace.dropped() > 0) a synthetic "ring
+ * wrapped, N events lost" slice covers the truncated range before the
+ * earliest retained event, so a wrapped export can never be mistaken
+ * for a complete one. `regimes` (optional) adds a fleet-regime
+ * overlay lane — one slice per run of consecutive equal-regime
+ * windows from classifyRegimes(); passing nullptr leaves the output
+ * byte-identical to the pre-regime writer.
  */
 bool writeChromeTrace(const Trace &trace, const std::string &path,
-                      const std::vector<std::string> &lane_names = {});
+                      const std::vector<std::string> &lane_names = {},
+                      const RegimeTimeline *regimes = nullptr);
 
 /** Write `registry` as {"counters": [{name, kind, value}...]} (name-
  *  sorted) to `path`. */

@@ -98,6 +98,15 @@ jsonNumberArray(const std::vector<int64_t> &values)
     return out + "]";
 }
 
+std::string
+jsonStringArray(const std::vector<std::string> &values)
+{
+    std::string out = "[";
+    for (size_t i = 0; i < values.size(); ++i)
+        out += (i ? ", " : "") + ("\"" + jsonEscape(values[i]) + "\"");
+    return out + "]";
+}
+
 const JsonValue *
 JsonValue::find(const std::string &key) const
 {

@@ -74,6 +74,9 @@ std::string jsonNumberArray(const std::vector<double> &values,
 /** `[v, v, ...]` of integers. */
 std::string jsonNumberArray(const std::vector<int64_t> &values);
 
+/** `["s", "s", ...]` of escaped strings. */
+std::string jsonStringArray(const std::vector<std::string> &values);
+
 /** Parsed JSON value (tagged union). */
 struct JsonValue
 {

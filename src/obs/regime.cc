@@ -1,0 +1,196 @@
+#include "obs/regime.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/counters.h"
+#include "obs/sampler.h"
+
+namespace specontext {
+namespace obs {
+
+const char *
+regimeName(Regime r)
+{
+    switch (r) {
+      case Regime::Idle: return "idle";
+      case Regime::WarmupBound: return "warmup-bound";
+      case Regime::KvBound: return "kv-bound";
+      case Regime::PrefillBound: return "prefill-bound";
+      case Regime::CacheBound: return "cache-bound";
+      case Regime::SchedulerBound: return "scheduler-bound";
+      case Regime::DecodeBound: return "decode-bound";
+    }
+    return "unknown";
+}
+
+Regime
+RegimeTimeline::dominantRegime() const
+{
+    size_t best = 0;
+    for (size_t i = 1; i < kRegimeCount; ++i)
+        if (occupancy[i] > occupancy[best])
+            best = i;
+    return static_cast<Regime>(best);
+}
+
+Regime
+classifyWindow(const RegimeSignals &s, const RegimeConfig &cfg)
+{
+    // Priority ladder, most-diagnostic signal first: a preemption is
+    // proof of KV pressure however the rest of the window looked, a
+    // warming replica explains degraded capacity before anything
+    // else, and the work-composition tests only run on windows that
+    // did work.
+    if (s.warming_replicas > 0)
+        return Regime::WarmupBound;
+    if (s.preemptions > 0)
+        return Regime::KvBound;
+    const int64_t admitted = s.prefill_tokens + s.prefix_hit_tokens;
+    if (admitted == 0 && s.generated_tokens == 0 &&
+        s.queue_depth == 0 && s.in_flight == 0)
+        return Regime::Idle;
+    if (admitted > 0 &&
+        static_cast<double>(s.prefix_hit_tokens) >=
+            cfg.cache_hit_share * static_cast<double>(admitted))
+        return Regime::CacheBound;
+    if (static_cast<double>(s.prefill_tokens) >
+        cfg.prefill_dominance * static_cast<double>(s.generated_tokens))
+        return Regime::PrefillBound;
+    if (s.queue_depth > 0 &&
+        static_cast<double>(s.queue_depth) >
+            cfg.scheduler_backlog *
+                static_cast<double>(std::max<int64_t>(s.in_flight, 1)))
+        return Regime::SchedulerBound;
+    return Regime::DecodeBound;
+}
+
+namespace {
+
+/** Column indices of one logical metric: every `replica<N>.<suffix>`
+ *  slot (summed at read time). */
+std::vector<size_t>
+replicaColumns(const std::vector<std::string> &names,
+               const char *suffix)
+{
+    std::vector<size_t> cols;
+    for (size_t i = 0; i < names.size(); ++i) {
+        const std::string &n = names[i];
+        if (n.rfind("replica", 0) != 0)
+            continue;
+        const size_t dot = n.find('.');
+        if (dot == std::string::npos)
+            continue;
+        if (n.compare(dot + 1, std::string::npos, suffix) == 0)
+            cols.push_back(i);
+    }
+    return cols;
+}
+
+int64_t
+cellOf(const SamplePoint &row, size_t col)
+{
+    return col < row.values.size() ? row.values[col] : 0;
+}
+
+int64_t
+sumOf(const SamplePoint &row, const std::vector<size_t> &cols)
+{
+    int64_t s = 0;
+    for (const size_t c : cols)
+        s += cellOf(row, c);
+    return s;
+}
+
+} // namespace
+
+RegimeTimeline
+classifyRegimes(const TimeseriesSampler &sampler,
+                const RegimeConfig &cfg)
+{
+    RegimeTimeline out;
+    const std::vector<SamplePoint> &rows = sampler.samples();
+    if (rows.size() < 2)
+        return out;
+
+    const std::vector<std::string> &names =
+        sampler.registry().names();
+    const std::vector<size_t> c_preempt =
+        replicaColumns(names, "preemptions");
+    const std::vector<size_t> c_prefill =
+        replicaColumns(names, "admitted_prefill_tokens");
+    const std::vector<size_t> c_generated =
+        replicaColumns(names, "generated_tokens");
+    const std::vector<size_t> c_hits =
+        replicaColumns(names, "prefix_hit_tokens");
+    const std::vector<size_t> c_queue =
+        replicaColumns(names, "queue_depth");
+    const std::vector<size_t> c_inflight =
+        replicaColumns(names, "in_flight");
+    std::vector<size_t> c_warming;
+    for (size_t i = 0; i < names.size(); ++i)
+        if (names[i] == "cluster.warming_replicas")
+            c_warming.push_back(i);
+
+    out.windows.reserve(rows.size() - 1);
+    for (size_t i = 0; i + 1 < rows.size(); ++i) {
+        const SamplePoint &lo = rows[i];
+        const SamplePoint &hi = rows[i + 1];
+        RegimeWindow w;
+        w.t_start_seconds = lo.t_seconds;
+        w.t_end_seconds = hi.t_seconds;
+        w.signals.preemptions = sumOf(hi, c_preempt) - sumOf(lo, c_preempt);
+        w.signals.prefill_tokens =
+            sumOf(hi, c_prefill) - sumOf(lo, c_prefill);
+        w.signals.generated_tokens =
+            sumOf(hi, c_generated) - sumOf(lo, c_generated);
+        w.signals.prefix_hit_tokens =
+            sumOf(hi, c_hits) - sumOf(lo, c_hits);
+        w.signals.queue_depth = sumOf(hi, c_queue);
+        w.signals.in_flight = sumOf(hi, c_inflight);
+        w.signals.warming_replicas = sumOf(hi, c_warming);
+        w.regime = classifyWindow(w.signals, cfg);
+        const double span = w.t_end_seconds - w.t_start_seconds;
+        out.occupancy[size_t(w.regime)] += span;
+        out.total_seconds += span;
+        out.windows.push_back(w);
+    }
+    if (out.total_seconds > 0.0)
+        for (size_t i = 0; i < kRegimeCount; ++i)
+            out.occupancy[i] /= out.total_seconds;
+    return out;
+}
+
+bool
+writeRegimeCsv(const RegimeTimeline &timeline, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::printf("cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::fputs(
+        "t_start_seconds,t_end_seconds,regime,preemptions,"
+        "prefill_tokens,generated_tokens,prefix_hit_tokens,"
+        "queue_depth,in_flight,warming_replicas\n",
+        f);
+    for (const RegimeWindow &w : timeline.windows) {
+        std::fprintf(
+            f, "%.6f,%.6f,%s,%lld,%lld,%lld,%lld,%lld,%lld,%lld\n",
+            w.t_start_seconds, w.t_end_seconds, regimeName(w.regime),
+            static_cast<long long>(w.signals.preemptions),
+            static_cast<long long>(w.signals.prefill_tokens),
+            static_cast<long long>(w.signals.generated_tokens),
+            static_cast<long long>(w.signals.prefix_hit_tokens),
+            static_cast<long long>(w.signals.queue_depth),
+            static_cast<long long>(w.signals.in_flight),
+            static_cast<long long>(w.signals.warming_replicas));
+    }
+    std::fclose(f);
+    std::printf("wrote %s (%zu windows)\n", path.c_str(),
+                timeline.windows.size());
+    return true;
+}
+
+} // namespace obs
+} // namespace specontext

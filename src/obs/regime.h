@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Fleet regime classification over the time-series feed: label each
+ * sampler window with the resource that bound the fleet during it —
+ * the roll-up that turns "50 columns of counters" into "the run spent
+ * 62% of its time KV-bound".
+ *
+ * The classifier is a fixed priority ladder over per-window counter
+ * deltas and end-of-window gauges (see classifyWindow()); it is a
+ * pure function of the sampler rows, so identical runs classify
+ * identically bit-for-bit, and the thresholds live in RegimeConfig
+ * where a bench can pin them.
+ *
+ * Regimes (in classification priority order):
+ *  - warmup-bound:    elastic replicas are loading weights; capacity
+ *                     exists on paper but not in silicon.
+ *  - kv-bound:        preemptions fired — live KV outgrew the budget
+ *                     and the scheduler is evicting to stay feasible.
+ *  - idle:            no work admitted, queued, or in flight.
+ *  - cache-bound:     most admitted context tokens were served from
+ *                     the prefix cache; throughput rides on hit rate.
+ *  - prefill-bound:   admitted prefill tokens dwarf generated tokens;
+ *                     the fleet is chewing prompts, not decoding.
+ *  - scheduler-bound: the backlog exceeds what is in flight; latency
+ *                     is made in the queue, not on the accelerator.
+ *  - decode-bound:    the steady state — decode rounds dominate.
+ *
+ * The timeline exports as CSV (writeRegimeCsv) and as an overlay lane
+ * in the Chrome trace (writeChromeTrace's `regimes` parameter), and
+ * its time-weighted occupancy vector is the characterization bench's
+ * per-trace fingerprint.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specontext {
+namespace obs {
+
+class TimeseriesSampler;
+
+/** What bound the fleet during a window. */
+enum class Regime : uint8_t {
+    Idle,
+    WarmupBound,
+    KvBound,
+    PrefillBound,
+    CacheBound,
+    SchedulerBound,
+    DecodeBound,
+};
+
+constexpr size_t kRegimeCount = 7;
+
+/** Stable lowercase name of a regime (export schema). */
+const char *regimeName(Regime r);
+
+/** Classifier thresholds. */
+struct RegimeConfig
+{
+    /** prefill-bound when admitted prefill tokens exceed this multiple
+     *  of generated tokens in the window. */
+    double prefill_dominance = 4.0;
+    /** cache-bound when prefix-hit tokens reach this share of all
+     *  admitted context tokens (hits + charged prefill). */
+    double cache_hit_share = 0.5;
+    /** scheduler-bound when the end-of-window backlog exceeds this
+     *  multiple of the in-flight count (at least one queued). */
+    double scheduler_backlog = 1.0;
+};
+
+/** Per-window evidence the label was derived from (kept on the window
+ *  so a CSV row is auditable without re-running the classifier). */
+struct RegimeSignals
+{
+    /** Counter deltas over the window, summed across replicas. */
+    int64_t preemptions = 0;
+    int64_t prefill_tokens = 0;
+    int64_t generated_tokens = 0;
+    int64_t prefix_hit_tokens = 0;
+    /** Gauges at the window's end. */
+    int64_t queue_depth = 0;
+    int64_t in_flight = 0;
+    int64_t warming_replicas = 0;
+};
+
+/** One classified control interval [t_start, t_end). */
+struct RegimeWindow
+{
+    double t_start_seconds = 0.0;
+    double t_end_seconds = 0.0;
+    Regime regime = Regime::Idle;
+    RegimeSignals signals;
+};
+
+/** The fleet's regime timeline plus its time-weighted occupancy. */
+struct RegimeTimeline
+{
+    std::vector<RegimeWindow> windows;
+    /** Share of total_seconds spent in each regime (indexed by
+     *  Regime); sums to 1 when total_seconds > 0. */
+    double occupancy[kRegimeCount] = {};
+    double total_seconds = 0.0;
+
+    /** Highest-occupancy regime (first wins ties); Idle when empty. */
+    Regime dominantRegime() const;
+};
+
+/** The priority ladder over one window's signals (documented above);
+ *  exposed so tests can pin it against hand-built signal sets. */
+Regime classifyWindow(const RegimeSignals &s, const RegimeConfig &cfg);
+
+/**
+ * Classify every consecutive pair of sampler rows as one window:
+ * counter deltas between the rows, gauges from the closing row.
+ * Column roles are recovered from the registry's names — per-replica
+ * `replica<N>.metric` slots are summed, `cluster.warming_replicas`
+ * (elastic fleets only) is read directly; absent columns contribute 0,
+ * and rows recorded before a slot registered pad with 0 (the CSV
+ * exporter's convention). Fewer than two rows yield an empty timeline.
+ */
+RegimeTimeline classifyRegimes(const TimeseriesSampler &sampler,
+                               const RegimeConfig &cfg = {});
+
+/** Write one CSV row per window: t_start,t_end,regime + the signal
+ *  columns. Returns false (after printing why) when the file cannot
+ *  be opened. */
+bool writeRegimeCsv(const RegimeTimeline &timeline,
+                    const std::string &path);
+
+} // namespace obs
+} // namespace specontext

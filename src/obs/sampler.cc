@@ -34,5 +34,22 @@ TimeseriesSampler::sample(double now_seconds)
     }
 }
 
+void
+TimeseriesSampler::flush(double now_seconds)
+{
+    sample(now_seconds);
+    if (!samples_.empty() &&
+        samples_.back().t_seconds >= now_seconds)
+        return; // now coincides with (or precedes) the last crossing
+    if (samples_.size() >= cfg_.max_samples) {
+        ++dropped_;
+        return;
+    }
+    SamplePoint p;
+    p.t_seconds = now_seconds;
+    p.values = registry_->values();
+    samples_.push_back(std::move(p));
+}
+
 } // namespace obs
 } // namespace specontext

@@ -68,6 +68,19 @@ class TimeseriesSampler
      */
     void sample(double now_seconds);
 
+    /**
+     * End-of-run flush: record cadence crossings up to `now_seconds`
+     * (as sample() would), then one final partial row stamped at
+     * `now_seconds` itself when it falls strictly between crossings —
+     * so the last sub-cadence window (and a short run that ends inside
+     * its first interval) is never silently absent from the CSV. A
+     * flush exactly on a cadence instant adds nothing beyond the
+     * regular row; flushing twice at the same instant records once.
+     * The cadence grid is not shifted: a later sample() still cuts at
+     * the original k * interval instants.
+     */
+    void flush(double now_seconds);
+
     const std::vector<SamplePoint> &samples() const { return samples_; }
 
     /** Next cadence instant a sample(now) call would record (the

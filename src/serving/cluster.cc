@@ -564,10 +564,11 @@ Cluster::run(std::vector<Request> trace) const
                                : out.fleet.makespan_seconds;
         out.replica_seconds += std::max(0.0, end - attach_t[i]);
     }
-    // Final flush: one last row at the fleet makespan so the series
-    // always covers the whole run.
+    // Final flush: one last row at the fleet makespan — including a
+    // partial row when the run ends between cadence instants — so the
+    // series always covers the whole run.
     if (sampler)
-        sampler->sample(out.fleet.makespan_seconds);
+        sampler->flush(out.fleet.makespan_seconds);
     return out;
 }
 

@@ -71,8 +71,11 @@ Server::run(std::vector<Request> trace) const
         }
         replica.step(ingest, horizon);
     }
+    // End-of-run flush records the final partial window too, so short
+    // runs (and the tail past the last cadence instant) appear in the
+    // CSV.
     if (sampler)
-        sampler->sample(replica.result().makespan_seconds);
+        sampler->flush(replica.result().makespan_seconds);
     return replica.takeResult();
 }
 

@@ -421,6 +421,125 @@ flashCrowdTrace(const FlashCrowdTraceConfig &cfg)
                         cfg.gen_hi);
 }
 
+void
+validateTraceConfig(const RagSpikeTraceConfig &cfg)
+{
+    validateTraceConfig(cfg.base);
+    validateLengthBounds("ragSpikeTrace", cfg.prompt_lo, cfg.prompt_hi,
+                         cfg.gen_lo, cfg.gen_hi);
+}
+
+std::vector<serving::Request>
+ragSpikeTrace(const RagSpikeTraceConfig &cfg)
+{
+    validateTraceConfig(cfg);
+    Rng rng(cfg.base.seed);
+    std::vector<serving::Request> trace;
+    trace.reserve(cfg.base.num_requests);
+    double t = 0.0;
+    for (int64_t i = 0; i < cfg.base.num_requests; ++i) {
+        t += expGap(rng, cfg.base.arrival_rate_per_s);
+        serving::Request r;
+        r.id = i;
+        r.arrival_seconds = t;
+        // Each prompt is a unique retrieved context; no token ids are
+        // materialized, so the prefix cache (keyed on concrete token
+        // prefixes) sees nothing shareable — by design.
+        r.prompt_len = logUniform(rng, cfg.prompt_lo, cfg.prompt_hi);
+        r.gen_len = logUniform(rng, cfg.gen_lo, cfg.gen_hi);
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+void
+validateTraceConfig(const AgenticLoopTraceConfig &cfg)
+{
+    validateTraceConfig(cfg.base);
+    if (cfg.steps <= 0)
+        throw std::invalid_argument(
+            "agenticLoopTrace: non-positive steps");
+    if (cfg.task_prompt_lo <= 0 ||
+        cfg.task_prompt_hi < cfg.task_prompt_lo)
+        throw std::invalid_argument(
+            "agenticLoopTrace: task-prompt bounds must satisfy "
+            "0 < lo <= hi");
+    if (cfg.tool_output_lo <= 0 ||
+        cfg.tool_output_hi < cfg.tool_output_lo)
+        throw std::invalid_argument(
+            "agenticLoopTrace: tool-output bounds must satisfy "
+            "0 < lo <= hi");
+    if (cfg.gen_lo <= 0 || cfg.gen_hi < cfg.gen_lo)
+        throw std::invalid_argument(
+            "agenticLoopTrace: gen bounds must satisfy 0 < lo <= hi");
+    if (!(cfg.tool_latency_mean_s > 0.0) ||
+        !std::isfinite(cfg.tool_latency_mean_s))
+        throw std::invalid_argument(
+            "agenticLoopTrace: tool_latency_mean_s must be positive "
+            "and finite");
+    if (cfg.vocab < 3)
+        throw std::invalid_argument("agenticLoopTrace: vocab < 3");
+}
+
+std::vector<serving::Request>
+agenticLoopTrace(const AgenticLoopTraceConfig &cfg)
+{
+    validateTraceConfig(cfg);
+    Rng rng(cfg.base.seed);
+    std::vector<serving::Request> trace;
+    trace.reserve(
+        static_cast<size_t>(cfg.base.num_requests * cfg.steps));
+
+    double session_start = 0.0;
+    for (int64_t s = 0; s < cfg.base.num_requests; ++s) {
+        session_start += expGap(rng, cfg.base.arrival_rate_per_s);
+        // Per-session stream so one session's content is stable
+        // however many sessions the trace has (the multi-turn
+        // generator's convention).
+        Rng srng(cfg.base.seed * 7368787ull +
+                 static_cast<uint64_t>(s) + 1);
+
+        // The agent's context: the task prompt, then per step the
+        // model's previous tool-call tokens (synthesized stand-ins —
+        // the simulator never materializes real ones) and the tool's
+        // output; every step replays the whole context as its prompt.
+        std::vector<int32_t> context;
+        double t = session_start;
+        int64_t prev_gen = 0;
+        for (int64_t step = 0; step < cfg.steps; ++step) {
+            if (step > 0) {
+                t += expGap(srng, 1.0 / cfg.tool_latency_mean_s);
+                for (int64_t k = 0; k < prev_gen; ++k)
+                    context.push_back(randomTokenId(srng, cfg.vocab));
+                const int64_t tool_len = logUniform(
+                    srng, cfg.tool_output_lo, cfg.tool_output_hi);
+                for (int64_t k = 0; k < tool_len; ++k)
+                    context.push_back(randomTokenId(srng, cfg.vocab));
+            } else {
+                const int64_t task_len = logUniform(
+                    srng, cfg.task_prompt_lo, cfg.task_prompt_hi);
+                for (int64_t k = 0; k < task_len; ++k)
+                    context.push_back(randomTokenId(srng, cfg.vocab));
+            }
+
+            serving::Request r;
+            r.arrival_seconds = t;
+            r.prompt_len = static_cast<int64_t>(context.size());
+            r.gen_len = logUniform(srng, cfg.gen_lo, cfg.gen_hi);
+            r.prompt_tokens = context;
+            prev_gen = r.gen_len;
+            trace.push_back(std::move(r));
+        }
+    }
+
+    // Sessions interleave; ids are sequential in global arrival order
+    // (the convention every generator here follows).
+    serving::sortByArrival(trace);
+    for (size_t i = 0; i < trace.size(); ++i)
+        trace[i].id = static_cast<int64_t>(i);
+    return trace;
+}
+
 std::vector<serving::Request>
 mixedLengthTrace(const TraceConfig &cfg)
 {

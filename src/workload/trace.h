@@ -221,6 +221,99 @@ std::vector<serving::Request> flashCrowdTrace(
     const FlashCrowdTraceConfig &cfg);
 
 /**
+ * Knobs of the RAG-spike generator: retrieval-augmented traffic where
+ * every request stuffs a fat retrieved context into its prompt and
+ * generates a short grounded answer — the prefill-heavy shape the
+ * fleet's characterization suite was missing (huge prompt, tiny
+ * generation, no cross-request sharing).
+ */
+struct RagSpikeTraceConfig
+{
+    TraceConfig base;
+    /** Retrieved-context prompt length, log-uniform in [lo, hi]. */
+    int64_t prompt_lo = 16384;
+    int64_t prompt_hi = 65536;
+    /** Answer length, log-uniform in [lo, hi] — deliberately tiny. */
+    int64_t gen_lo = 16;
+    int64_t gen_hi = 128;
+};
+
+/**
+ * Validate the RAG-spike knobs (also called by ragSpikeTrace()).
+ * @throws std::invalid_argument on a bad base config or prompt/gen
+ * bounds violating 0 < lo <= hi — naming the offending knob.
+ */
+void validateTraceConfig(const RagSpikeTraceConfig &cfg);
+
+/**
+ * RAG-spike trace: Poisson arrivals of huge-prompt / tiny-generation
+ * requests (each prompt a unique retrieved context, so the prefix
+ * cache cannot help). Deterministic in cfg.base.seed; requests carry
+ * sequential ids in arrival order.
+ * @throws std::invalid_argument on invalid knobs (see
+ * validateTraceConfig(RagSpikeTraceConfig)).
+ */
+std::vector<serving::Request> ragSpikeTrace(
+    const RagSpikeTraceConfig &cfg);
+
+/**
+ * Knobs of the agentic tool-call loop generator: autonomous-agent
+ * sessions that alternate short model steps (emit a tool call) with
+ * tool executions whose output is appended to the context — so every
+ * step replays a strictly growing history. base.num_requests counts
+ * *sessions*; the trace holds num_requests x steps requests.
+ */
+struct AgenticLoopTraceConfig
+{
+    TraceConfig base;
+    /** Think-act round trips per session. */
+    int64_t steps = 8;
+    /** Opening task prompt length, log-uniform in [lo, hi]. */
+    int64_t task_prompt_lo = 256;
+    int64_t task_prompt_hi = 1024;
+    /** Tool output appended to the context per step, log-uniform in
+     *  [lo, hi]. */
+    int64_t tool_output_lo = 128;
+    int64_t tool_output_hi = 1024;
+    /** Model step generation (the tool call / final answer),
+     *  log-uniform in [lo, hi] — short by construction. */
+    int64_t gen_lo = 16;
+    int64_t gen_hi = 128;
+    /** Mean tool-execution latency between a step's arrival and the
+     *  next step's (exponential gap; open-loop, anchored on
+     *  arrivals). Tool calls are fast — seconds, not the ~30s think
+     *  time of a human turn — which is what makes agent loops bursty. */
+    double tool_latency_mean_s = 2.0;
+    /** Token-id alphabet (ids are drawn in [2, vocab)). */
+    int32_t vocab = 32000;
+};
+
+/**
+ * Validate the agentic-loop knobs (also called by agenticLoopTrace()).
+ * @throws std::invalid_argument on a bad base config, non-positive
+ * steps, length bounds violating 0 < lo <= hi, a non-positive or
+ * non-finite tool latency, or vocab < 3 — naming the offending knob.
+ */
+void validateTraceConfig(const AgenticLoopTraceConfig &cfg);
+
+/**
+ * Agentic tool-call loop trace: each session opens with a task prompt
+ * and every later step's prompt is the full context so far — the
+ * previous prompt, the model's previous (synthesized) tool-call
+ * tokens, and the tool's output — arriving a short tool-execution
+ * latency after the previous step. Contexts grow every step while
+ * generations stay tiny, so live KV inflates fast and a replica's
+ * prefix cache can serve each step's history from the previous step's
+ * blocks: the KV-pressure shape that makes Optimistic preemption
+ * churn. Deterministic in cfg.base.seed; requests carry sequential
+ * ids in arrival order and prompt_tokens.size() == prompt_len.
+ * @throws std::invalid_argument on invalid knobs (see
+ * validateTraceConfig(AgenticLoopTraceConfig)).
+ */
+std::vector<serving::Request> agenticLoopTrace(
+    const AgenticLoopTraceConfig &cfg);
+
+/**
  * Poisson arrivals sampling uniformly from `mix`. Requests carry
  * sequential ids in arrival order; the list is sorted by arrival.
  * @throws std::invalid_argument on an empty mix or non-positive knobs.

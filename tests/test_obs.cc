@@ -208,6 +208,59 @@ TEST(ObsSampler, RecordsOneRowPerCadenceCrossing)
     EXPECT_EQ(s.samples().size(), 3u);
 }
 
+TEST(ObsSampler, FlushRecordsFinalPartialRowWithoutShiftingCadence)
+{
+    CounterRegistry reg;
+    const auto c = reg.counter("ticks");
+    TimeseriesSampler s(&reg, {1.0, 100});
+    s.sample(0.0);
+    reg.add(c, 3);
+    // A run ending mid-interval: flush stamps the partial window at
+    // the end instant itself, so the last 0.4s of activity is not
+    // silently absent from the CSV.
+    s.flush(2.4); // crossings at 1.0, 2.0 + partial row at 2.4
+    ASSERT_EQ(s.samples().size(), 4u);
+    EXPECT_DOUBLE_EQ(s.samples()[2].t_seconds, 2.0);
+    EXPECT_DOUBLE_EQ(s.samples()[3].t_seconds, 2.4);
+    EXPECT_EQ(s.samples()[3].values[0], 3);
+    // Idempotent: a second flush at the same instant records nothing.
+    s.flush(2.4);
+    EXPECT_EQ(s.samples().size(), 4u);
+    // The cadence grid did not shift: the next regular row still cuts
+    // at 3.0, not 3.4.
+    EXPECT_DOUBLE_EQ(s.nextSampleSeconds(), 3.0);
+    s.sample(3.1);
+    ASSERT_EQ(s.samples().size(), 5u);
+    EXPECT_DOUBLE_EQ(s.samples()[4].t_seconds, 3.0);
+}
+
+TEST(ObsSampler, FlushOnCadenceInstantAddsNothingExtra)
+{
+    CounterRegistry reg;
+    reg.counter("x");
+    TimeseriesSampler s(&reg, {1.0, 100});
+    s.flush(2.0); // crossings at 0, 1, 2 — 2.0 is itself a crossing
+    EXPECT_EQ(s.samples().size(), 3u);
+    EXPECT_DOUBLE_EQ(s.samples().back().t_seconds, 2.0);
+    // A short run ending inside its first interval still yields the
+    // trace-start row plus the partial row.
+    TimeseriesSampler t(&reg, {10.0, 100});
+    t.flush(0.25);
+    ASSERT_EQ(t.samples().size(), 2u);
+    EXPECT_DOUBLE_EQ(t.samples()[0].t_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(t.samples()[1].t_seconds, 0.25);
+}
+
+TEST(ObsSampler, FlushRespectsMaxSamplesCap)
+{
+    CounterRegistry reg;
+    reg.counter("x");
+    TimeseriesSampler s(&reg, {1.0, 3});
+    s.flush(5.5); // crossings 0..5 = 6 rows + 1 partial, 3 stored
+    EXPECT_EQ(s.samples().size(), 3u);
+    EXPECT_EQ(s.droppedSamples(), 4u);
+}
+
 TEST(ObsSampler, CapsStoredRowsAndCountsTheRest)
 {
     CounterRegistry reg;

@@ -632,6 +632,151 @@ TEST(Trace, FlashCrowdValidationRejectsDegenerateKnobs)
                  std::invalid_argument);
 }
 
+TEST(Trace, RagSpikeIsHugePromptTinyGenAndUncacheable)
+{
+    workload::RagSpikeTraceConfig rs;
+    rs.base.num_requests = 300;
+    rs.base.arrival_rate_per_s = 0.5;
+    rs.base.seed = 13;
+    const auto a = workload::ragSpikeTrace(rs);
+    const auto b = workload::ragSpikeTrace(rs);
+    ASSERT_EQ(a.size(), 300u);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].arrival_seconds, b[i].arrival_seconds);
+        EXPECT_EQ(a[i].prompt_len, b[i].prompt_len);
+        EXPECT_EQ(a[i].id, static_cast<int64_t>(i));
+        if (i > 0)
+            EXPECT_GE(a[i].arrival_seconds, a[i - 1].arrival_seconds);
+        EXPECT_GE(a[i].prompt_len, rs.prompt_lo);
+        EXPECT_LE(a[i].prompt_len, rs.prompt_hi);
+        EXPECT_GE(a[i].gen_len, rs.gen_lo);
+        EXPECT_LE(a[i].gen_len, rs.gen_hi);
+        // The defining spike shape: every request's retrieved context
+        // dwarfs its answer.
+        EXPECT_GT(a[i].prompt_len, 16 * a[i].gen_len);
+        // Unique retrieved contexts: no token ids are materialized, so
+        // the prefix cache sees nothing shareable — by design.
+        EXPECT_TRUE(a[i].prompt_tokens.empty());
+    }
+}
+
+TEST(Trace, AgenticLoopGrowsContextAndReplaysItAsPrefix)
+{
+    workload::AgenticLoopTraceConfig al;
+    al.base.num_requests = 6; // sessions
+    al.base.arrival_rate_per_s = 0.2;
+    al.base.seed = 17;
+    al.steps = 5;
+    const auto a = workload::agenticLoopTrace(al);
+    const auto b = workload::agenticLoopTrace(al);
+    ASSERT_EQ(a.size(), 30u); // sessions x steps
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].arrival_seconds, b[i].arrival_seconds);
+        EXPECT_EQ(a[i].prompt_tokens, b[i].prompt_tokens);
+        EXPECT_EQ(a[i].id, static_cast<int64_t>(i));
+        if (i > 0)
+            EXPECT_GE(a[i].arrival_seconds, a[i - 1].arrival_seconds);
+        EXPECT_EQ(a[i].prompt_len,
+                  static_cast<int64_t>(a[i].prompt_tokens.size()));
+        EXPECT_GE(a[i].gen_len, al.gen_lo);
+        EXPECT_LE(a[i].gen_len, al.gen_hi);
+    }
+    // Reconstruct each session by grouping the (interleaved) requests
+    // on their shortest-prefix chain: steps of one session replay the
+    // previous step's whole context as a strict prefix, growing by at
+    // least the tool output (plus the synthesized prior tool call).
+    std::vector<std::vector<const Request *>> sessions;
+    std::vector<const Request *> sorted;
+    for (const Request &r : a)
+        sorted.push_back(&r);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Request *x, const Request *y) {
+                  return x->prompt_len < y->prompt_len;
+              });
+    for (const Request *r : sorted) {
+        bool placed = false;
+        for (auto &chain : sessions) {
+            const Request *tail = chain.back();
+            if (tail->prompt_len < r->prompt_len &&
+                std::equal(tail->prompt_tokens.begin(),
+                           tail->prompt_tokens.end(),
+                           r->prompt_tokens.begin())) {
+                chain.push_back(r);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed)
+            sessions.push_back({r});
+    }
+    ASSERT_EQ(sessions.size(), 6u);
+    for (const auto &chain : sessions) {
+        ASSERT_EQ(chain.size(), 5u);
+        for (size_t s = 1; s < chain.size(); ++s) {
+            EXPECT_LT(chain[s - 1]->arrival_seconds,
+                      chain[s]->arrival_seconds);
+            // Growth per step: prior tool call (prev gen_len) + tool
+            // output of at least tool_output_lo.
+            EXPECT_GE(chain[s]->prompt_len,
+                      chain[s - 1]->prompt_len +
+                          chain[s - 1]->gen_len + al.tool_output_lo);
+        }
+    }
+}
+
+TEST(Trace, RagSpikeValidationRejectsDegenerateKnobs)
+{
+    workload::RagSpikeTraceConfig ok;
+    EXPECT_NO_THROW(workload::validateTraceConfig(ok));
+    workload::RagSpikeTraceConfig bad_base = ok;
+    bad_base.base.arrival_rate_per_s = -1.0;
+    EXPECT_THROW(workload::validateTraceConfig(bad_base),
+                 std::invalid_argument);
+    workload::RagSpikeTraceConfig bad_prompt = ok;
+    bad_prompt.prompt_lo = 0;
+    EXPECT_THROW(workload::validateTraceConfig(bad_prompt),
+                 std::invalid_argument);
+    workload::RagSpikeTraceConfig bad_gen = ok;
+    bad_gen.gen_hi = bad_gen.gen_lo - 1;
+    EXPECT_THROW(workload::validateTraceConfig(bad_gen),
+                 std::invalid_argument);
+    EXPECT_THROW(workload::ragSpikeTrace(bad_prompt),
+                 std::invalid_argument);
+}
+
+TEST(Trace, AgenticLoopValidationRejectsDegenerateKnobs)
+{
+    workload::AgenticLoopTraceConfig ok;
+    EXPECT_NO_THROW(workload::validateTraceConfig(ok));
+    workload::AgenticLoopTraceConfig bad_steps = ok;
+    bad_steps.steps = 0;
+    EXPECT_THROW(workload::validateTraceConfig(bad_steps),
+                 std::invalid_argument);
+    workload::AgenticLoopTraceConfig bad_task = ok;
+    bad_task.task_prompt_hi = bad_task.task_prompt_lo - 1;
+    EXPECT_THROW(workload::validateTraceConfig(bad_task),
+                 std::invalid_argument);
+    workload::AgenticLoopTraceConfig bad_tool = ok;
+    bad_tool.tool_output_lo = 0;
+    EXPECT_THROW(workload::validateTraceConfig(bad_tool),
+                 std::invalid_argument);
+    workload::AgenticLoopTraceConfig bad_latency = ok;
+    bad_latency.tool_latency_mean_s = 0.0;
+    EXPECT_THROW(workload::validateTraceConfig(bad_latency),
+                 std::invalid_argument);
+    workload::AgenticLoopTraceConfig nan_latency = ok;
+    nan_latency.tool_latency_mean_s =
+        std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(workload::validateTraceConfig(nan_latency),
+                 std::invalid_argument);
+    workload::AgenticLoopTraceConfig bad_vocab = ok;
+    bad_vocab.vocab = 2;
+    EXPECT_THROW(workload::validateTraceConfig(bad_vocab),
+                 std::invalid_argument);
+    EXPECT_THROW(workload::agenticLoopTrace(bad_steps),
+                 std::invalid_argument);
+}
+
 TEST(Admission, RejectsWaveOnlySystems)
 {
     EXPECT_THROW(AdmissionController(cloudConfig("Quest")),
