@@ -4,33 +4,47 @@
  * and does the fast path change a single simulated result?
  *
  * One 16-replica fleet (A800 8B SpeContext, LeastKvLoad routing)
- * serves one diurnal trace (default 100k requests, mean 8 req/s,
- * 4:1 peak:trough) three times:
+ * serves diurnal traces (mean 8 req/s, 4:1 peak:trough) at two
+ * scales — the base sweep (default 100k requests) and a 10x
+ * million-request sweep — in several engine modes:
  *
  *   legacy   — skip-ahead off: one scheduling round per event-loop
  *              iteration, the pre-fast-path execution model;
  *   fast     — skip-ahead on, single-threaded: each fired replica
  *              runs its whole pure-decode window in one step() call;
- *   parallel — skip-ahead on, N worker threads: independent
- *              pure-decode lanes step concurrently between
- *              router/control barriers.
+ *   parallel — skip-ahead on, N worker threads: era stepping walks
+ *              every eligible pure-decode lane through its window per
+ *              booking scan, sharded across the pool (inline on a
+ *              single-core host — the era structure is the win);
+ *   sharded  — era stepping with an explicit shard count (the base
+ *              sweep sweeps 1/2/4 to pin shard-count invariance).
  *
  * Every simulated output (placements, iteration count, makespan,
  * latency summary, replica-seconds) is asserted bitwise identical
- * across the three modes before any rate is reported — a fast result
- * that differs from the slow one is a wrong result, so the bench
- * fails instead of printing it.
+ * across all modes at each scale before any rate is reported — a
+ * fast result that differs from the slow one is a wrong result, so
+ * the bench fails instead of printing it.
  *
  * Reported per mode: wall seconds, simulated-seconds per wall-second
  * (the headline), decode iterations simulated per wall-second, heap
  * allocations per request (operator new interposed in this TU), and
  * speedup vs legacy. Writes BENCH_simperf.json.
  *
+ * Regression gates (exit 1):
+ *  - any bitwise mismatch against legacy at either scale;
+ *  - fast mode below the optional sim-s/wall-s floor (argv[4]);
+ *  - per-mode allocations/request above hard ceilings (large runs
+ *    only — short traces are dominated by fixed setup costs);
+ *  - the era path (parallel) slower than single-threaded fast on the
+ *    big sweep (large runs only, where the gap is not timer noise).
+ *
  * argv: [1] output json (default BENCH_simperf.json)
- *       [2] num_requests  (default 100000)
- *       [3] threads for the parallel mode (default 4)
- *       [4] optional floor on the fast mode's simulated-seconds per
- *           wall-second; exits 1 below it (CI regression gate).
+ *       [2] num_requests for the base sweep (default 100000); the
+ *           big sweep always runs 10x this
+ *       [3] threads for the parallel/sharded modes (default 4)
+ *       [4] optional floor on the base-sweep fast mode's
+ *           simulated-seconds per wall-second; exits 1 below it (CI
+ *           regression gate).
  */
 #include <atomic>
 #include <chrono>
@@ -90,6 +104,20 @@ using namespace specontext;
 
 namespace {
 
+/** Per-request allocation count below which gated runs are too short
+ *  for stable ratios (and rate gaps are timer noise). */
+constexpr int64_t kGateMinRequests = 20000;
+
+/** Hard per-mode ceilings on allocations per request, ~2x the
+ *  measured steady state (legacy ~850, fast/era ~4) so routine noise
+ *  never trips them but a reintroduced per-iteration or per-request
+ *  allocation does. */
+double
+allocCeiling(const std::string &mode)
+{
+    return mode == "legacy" ? 1800.0 : 12.0;
+}
+
 serving::ReplicaConfig
 cloudReplica()
 {
@@ -107,6 +135,8 @@ struct ModeRow
 {
     std::string mode;
     size_t threads = 1;
+    size_t shards = 0;
+    int64_t requests = 0;
     double wall_s = 0.0;
     double sim_s = 0.0;
     int64_t iterations = 0;
@@ -116,7 +146,7 @@ struct ModeRow
 
 ModeRow
 runMode(const core::TimingEngine &engine, const std::string &mode,
-        bool skip_ahead, size_t threads,
+        bool skip_ahead, size_t threads, size_t shards,
         const std::vector<serving::Request> &trace)
 {
     serving::ClusterConfig cc;
@@ -129,11 +159,14 @@ runMode(const core::TimingEngine &engine, const std::string &mode,
     cc.fast_path.skip_ahead = skip_ahead;
     cc.fast_path.cache_decode_costs = skip_ahead;
     cc.fast_path.threads = threads;
+    cc.fast_path.shards = shards;
     const serving::Cluster cluster(engine, cc);
 
     ModeRow row;
     row.mode = mode;
     row.threads = threads;
+    row.shards = shards;
+    row.requests = static_cast<int64_t>(trace.size());
     const int64_t allocs_before =
         g_allocs.load(std::memory_order_relaxed);
     const auto t0 = std::chrono::steady_clock::now();
@@ -203,6 +236,72 @@ compareToLegacy(const ModeRow &legacy, const ModeRow &other)
           "throughput", other.mode);
 }
 
+double
+rate(const ModeRow &m)
+{
+    return m.wall_s > 0.0 ? m.sim_s / m.wall_s : 0.0;
+}
+
+std::vector<serving::Request>
+diurnal(int64_t num_requests)
+{
+    // Mean 8 req/s across a 16-replica fleet: the peak (~12.8 req/s)
+    // keeps most lanes decoding, the trough (~3.2) leaves long
+    // pure-decode windows — the regime million-request sweeps live in.
+    workload::DiurnalTraceConfig dc;
+    dc.base.num_requests = num_requests;
+    dc.base.arrival_rate_per_s = 8.0;
+    dc.base.seed = 17;
+    return workload::diurnalTrace(dc);
+}
+
+void
+jsonRow(std::vector<std::string> &json, const ModeRow &m,
+        const ModeRow &legacy)
+{
+    const double events_per_s =
+        m.wall_s > 0.0
+            ? static_cast<double>(m.iterations) / m.wall_s
+            : 0.0;
+    const double allocs_per_req =
+        m.requests > 0 ? static_cast<double>(m.allocs) /
+                             static_cast<double>(m.requests)
+                       : 0.0;
+    obs::JsonRow row;
+    row.str("mode", m.mode)
+        .num("threads", static_cast<int64_t>(m.threads))
+        .num("shards", static_cast<int64_t>(m.shards))
+        .num("requests", m.requests)
+        .num("completed", m.result.completed())
+        .num("sim_seconds", m.sim_s, "%.3f")
+        .num("wall_seconds", m.wall_s, "%.3f")
+        .num("sim_s_per_wall_s", rate(m), "%.1f")
+        .num("decode_iterations", m.iterations)
+        .num("iterations_per_wall_s", events_per_s, "%.0f")
+        .num("allocs_total", m.allocs)
+        .num("allocs_per_request", allocs_per_req, "%.2f")
+        .num("speedup_vs_legacy",
+             m.wall_s > 0.0 ? legacy.wall_s / m.wall_s : 0.0, "%.2f")
+        .num("bitwise_identical_to_legacy", int64_t{1});
+    json.push_back(row.render());
+}
+
+/** Allocation regression gate (large runs only). */
+int
+checkAllocs(const ModeRow &m)
+{
+    if (m.requests < kGateMinRequests)
+        return 0;
+    const double per_req = static_cast<double>(m.allocs) /
+                           static_cast<double>(m.requests);
+    if (per_req <= allocCeiling(m.mode))
+        return 0;
+    std::printf("FAIL: %s mode allocates %.2f/request "
+                "(ceiling %.0f)\n",
+                m.mode.c_str(), per_req, allocCeiling(m.mode));
+    return 1;
+}
+
 } // namespace
 
 int
@@ -218,86 +317,96 @@ main(int argc, char **argv)
         argc > 4 ? std::atof(argv[4]) : 0.0;
     core::TimingEngine engine;
 
-    // Mean 8 req/s across a 16-replica fleet: the peak (~12.8 req/s)
-    // keeps most lanes decoding, the trough (~3.2) leaves long
-    // pure-decode windows — the regime million-request sweeps live in.
-    workload::DiurnalTraceConfig dc;
-    dc.base.num_requests = num_requests;
-    dc.base.arrival_rate_per_s = 8.0;
-    dc.base.seed = 17;
-    const auto trace = workload::diurnalTrace(dc);
-
     bench::section("Simulator fast path: simulated seconds per "
                    "wall-clock second");
+
+    // ---- Base sweep: every mode plus the shard-count sweep ----------
     std::printf("  fleet: 16x cloudA800 8B SpeContext, LeastKvLoad; "
                 "trace: %lld diurnal requests\n",
                 static_cast<long long>(num_requests));
-
+    const auto trace = diurnal(num_requests);
     const ModeRow legacy =
-        runMode(engine, "legacy", false, 1, trace);
-    const ModeRow fast = runMode(engine, "fast", true, 1, trace);
+        runMode(engine, "legacy", false, 1, 0, trace);
+    const ModeRow fast = runMode(engine, "fast", true, 1, 0, trace);
     const ModeRow parallel =
-        runMode(engine, "parallel", true, threads, trace);
-
+        runMode(engine, "parallel", true, threads, 0, trace);
+    std::vector<ModeRow> sharded;
+    for (size_t s : {size_t{1}, size_t{2}, size_t{4}}) {
+        std::printf("  shards=%zu\n", s);
+        sharded.push_back(
+            runMode(engine, "sharded", true, threads, s, trace));
+    }
     compareToLegacy(legacy, fast);
     compareToLegacy(legacy, parallel);
+    for (const ModeRow &m : sharded)
+        compareToLegacy(legacy, m);
+
+    // ---- Big sweep: 10x the base trace (a million requests at the
+    // default), the scale-out row the headline quotes. ---------------
+    const int64_t big_requests = num_requests * 10;
+    std::printf("\n  big sweep: %lld diurnal requests\n",
+                static_cast<long long>(big_requests));
+    const auto big_trace = diurnal(big_requests);
+    const ModeRow big_legacy =
+        runMode(engine, "legacy", false, 1, 0, big_trace);
+    const ModeRow big_fast =
+        runMode(engine, "fast", true, 1, 0, big_trace);
+    const ModeRow big_parallel =
+        runMode(engine, "parallel", true, threads, 0, big_trace);
+    compareToLegacy(big_legacy, big_fast);
+    compareToLegacy(big_legacy, big_parallel);
+
     if (g_mismatches > 0) {
         std::printf("FAIL: fast path changed simulated results\n");
         return 1;
     }
     std::printf("  all simulated outputs bitwise identical across "
-                "modes\n");
+                "modes at both scales\n");
 
-    const std::vector<const ModeRow *> rows = {&legacy, &fast,
-                                               &parallel};
     std::vector<std::string> json;
-    for (const ModeRow *m : rows) {
-        const double sim_per_wall =
-            m->wall_s > 0.0 ? m->sim_s / m->wall_s : 0.0;
-        const double events_per_s =
-            m->wall_s > 0.0
-                ? static_cast<double>(m->iterations) / m->wall_s
-                : 0.0;
-        const double allocs_per_req =
-            num_requests > 0
-                ? static_cast<double>(m->allocs) /
-                      static_cast<double>(num_requests)
-                : 0.0;
-        obs::JsonRow row;
-        row.str("mode", m->mode)
-            .num("threads", static_cast<int64_t>(m->threads))
-            .num("requests", num_requests)
-            .num("completed", m->result.completed())
-            .num("sim_seconds", m->sim_s, "%.3f")
-            .num("wall_seconds", m->wall_s, "%.3f")
-            .num("sim_s_per_wall_s", sim_per_wall, "%.1f")
-            .num("decode_iterations", m->iterations)
-            .num("iterations_per_wall_s", events_per_s, "%.0f")
-            .num("allocs_total", m->allocs)
-            .num("allocs_per_request", allocs_per_req, "%.2f")
-            .num("speedup_vs_legacy",
-                 m->wall_s > 0.0 ? legacy.wall_s / m->wall_s : 0.0,
-                 "%.2f")
-            .num("bitwise_identical_to_legacy", int64_t{1});
-        json.push_back(row.render());
-    }
+    jsonRow(json, legacy, legacy);
+    jsonRow(json, fast, legacy);
+    jsonRow(json, parallel, legacy);
+    for (const ModeRow &m : sharded)
+        jsonRow(json, m, legacy);
+    jsonRow(json, big_legacy, big_legacy);
+    jsonRow(json, big_fast, big_legacy);
+    jsonRow(json, big_parallel, big_legacy);
     bench::writeBenchJson(out_path, "simperf", "host-cpu", json);
 
-    const double fast_rate =
-        fast.wall_s > 0.0 ? fast.sim_s / fast.wall_s : 0.0;
+    int failures = 0;
+    for (const ModeRow *m :
+         {&legacy, &fast, &parallel, &big_legacy, &big_fast,
+          &big_parallel})
+        failures += checkAllocs(*m);
+    for (const ModeRow &m : sharded)
+        failures += checkAllocs(m);
+
+    // Era stepping must pay for itself: on the big sweep (where the
+    // gap cannot be timer noise) the parallel mode has to beat the
+    // single-threaded fast mode, whatever the host's core count — the
+    // inline era is a strict improvement even on one core.
+    if (big_requests >= kGateMinRequests &&
+        rate(big_parallel) <= rate(big_fast)) {
+        std::printf("FAIL: parallel (era) mode no faster than fast "
+                    "(%.1f <= %.1f sim-s/wall-s) on the big sweep\n",
+                    rate(big_parallel), rate(big_fast));
+        ++failures;
+    }
+
     std::printf("\nspeedup vs legacy: fast %.2fx, parallel(%zu) "
-                "%.2fx; fast path simulates %.0f seconds per "
-                "wall-second\n",
+                "%.2fx; big sweep: fast %.0f, parallel %.0f "
+                "sim-s/wall-s\n",
                 fast.wall_s > 0.0 ? legacy.wall_s / fast.wall_s : 0.0,
                 threads,
                 parallel.wall_s > 0.0 ? legacy.wall_s / parallel.wall_s
                                       : 0.0,
-                fast_rate);
-    if (floor_sim_per_wall > 0.0 && fast_rate < floor_sim_per_wall) {
+                rate(big_fast), rate(big_parallel));
+    if (floor_sim_per_wall > 0.0 && rate(fast) < floor_sim_per_wall) {
         std::printf("FAIL: fast mode below floor (%.1f < %.1f "
                     "sim-s/wall-s)\n",
-                    fast_rate, floor_sim_per_wall);
-        return 1;
+                    rate(fast), floor_sim_per_wall);
+        ++failures;
     }
-    return 0;
+    return failures > 0 ? 1 : 0;
 }

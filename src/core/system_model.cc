@@ -62,12 +62,70 @@ class DelegatingDecodeEvaluator final : public DecodeEvaluator
     TimingConfig cfg_; ///< owns the system keepalive (shared_ptr inside)
 };
 
+/** Fallback admission evaluator: per-call delegation, no caching. */
+class DelegatingAdmissionEvaluator final : public AdmissionEvaluator
+{
+  public:
+    explicit DelegatingAdmissionEvaluator(TimingConfig cfg)
+        : cfg_(std::move(cfg))
+    {
+    }
+
+    AdmissionDecision admit(const std::vector<int64_t> &in_flight_final_lens,
+                            int64_t candidate_prompt_len,
+                            int64_t candidate_final_len) override
+    {
+        return cfg_.system->admit(cfg_, in_flight_final_lens,
+                                  candidate_prompt_len, candidate_final_len);
+    }
+
+    AdmissionDecision fitsCurrent(const std::vector<int64_t> &kv_lens) override
+    {
+        return cfg_.system->fitsCurrent(cfg_, kv_lens);
+    }
+
+  private:
+    TimingConfig cfg_; ///< owns the system keepalive (shared_ptr inside)
+};
+
+/** Fallback prefill evaluator: per-call delegation, no caching. */
+class DelegatingPrefillEvaluator final : public PrefillEvaluator
+{
+  public:
+    explicit DelegatingPrefillEvaluator(TimingConfig cfg)
+        : cfg_(std::move(cfg))
+    {
+    }
+
+    double seconds(int64_t prompt_len, int64_t in_flight_requests,
+                   int64_t resident_kv_tokens) override
+    {
+        return cfg_.system->requestPrefillSeconds(
+            cfg_, prompt_len, in_flight_requests, resident_kv_tokens);
+    }
+
+  private:
+    TimingConfig cfg_; ///< owns the system keepalive (shared_ptr inside)
+};
+
 } // namespace
 
 std::unique_ptr<DecodeEvaluator>
 SystemModel::makeDecodeEvaluator(const TimingConfig &cfg) const
 {
     return std::make_unique<DelegatingDecodeEvaluator>(cfg);
+}
+
+std::unique_ptr<AdmissionEvaluator>
+SystemModel::makeAdmissionEvaluator(const TimingConfig &cfg) const
+{
+    return std::make_unique<DelegatingAdmissionEvaluator>(cfg);
+}
+
+std::unique_ptr<PrefillEvaluator>
+SystemModel::makePrefillEvaluator(const TimingConfig &cfg) const
+{
+    return std::make_unique<DelegatingPrefillEvaluator>(cfg);
 }
 
 AdmissionDecision
@@ -126,25 +184,6 @@ SystemModel::stepComputeSeconds(
         *s_max_out = s_max;
     return stepComputeFromTotals(cfg, cost, base, attended_total,
                                  weight_stream);
-}
-
-double
-SystemModel::stepComputeFromTotals(const TimingConfig &cfg,
-                                   const sim::CostModel &cost,
-                                   const sim::DecodeBreakdown &base,
-                                   int64_t attended_total,
-                                   double weight_stream_seconds) const
-{
-    const model::ModelConfig &m = cfg.llm;
-    const double attn =
-        m.layers *
-        cost.attentionDecodeSeconds(
-            1, m.q_heads,
-            m.attention == model::AttentionKind::MLA ? m.q_heads
-                                                     : m.kv_heads,
-            m.head_dim, attended_total);
-    return std::max(base.gemm + base.launch + base.lm_head + attn,
-                    weight_stream_seconds);
 }
 
 sim::MemoryModelInputs

@@ -213,9 +213,101 @@ class DecodeEvaluator
         return seconds(win_lens_);
     }
 
+    /**
+     * Drive an entire bulk window in one call: starting from `now`,
+     * repeatedly add nextRoundSeconds() until `max_rounds` rounds have
+     * run, `now` reaches `horizon`, or `t_pending` falls due — the
+     * exact break conditions (and the exact per-round arithmetic, in
+     * the same accumulation order) a caller-side loop over
+     * nextRoundSeconds() would apply. Returns the advanced clock;
+     * `rounds` gets the count run and `first_now` the clock after the
+     * first round. Exists so a subclass can fuse the loop with its
+     * round pricing in one translation unit — millions of per-round
+     * virtual dispatches become one per window.
+     */
+    virtual double runWindow(int64_t max_rounds, double now,
+                             double horizon, double t_pending,
+                             int64_t &rounds, double &first_now)
+    {
+        rounds = 0;
+        for (;;) {
+            now += nextRoundSeconds();
+            if (++rounds == 1)
+                first_now = now;
+            if (rounds >= max_rounds || !(now < horizon) ||
+                t_pending <= now)
+                break;
+        }
+        return now;
+    }
+
+    /**
+     * Conservative lower bound on the duration of ANY decode round
+     * this evaluator can price (every batch shape, every KV length).
+     * A fleet driver may multiply it by a count of rounds proven to
+     * run uninterrupted to bound how soon a lane could next interact
+     * — the bound only widens skip-ahead windows, it never feeds the
+     * simulated arithmetic, so any value that truly lower-bounds the
+     * rounds is bit-safe. The base returns 0.0 (no bound, the
+     * historical behavior); systems with a structural floor (e.g. a
+     * weight-streaming minimum) override it.
+     */
+    virtual double minRoundSeconds() const { return 0.0; }
+
   private:
     std::vector<int64_t> win_lens_; ///< base-class window state only
     bool win_started_ = false;
+};
+
+/**
+ * Reusable admission pricer bound to one (TimingConfig, system) pair —
+ * the admission-side sibling of DecodeEvaluator. admit() and
+ * fitsCurrent() return bit-for-bit what the same-named SystemModel
+ * methods return on the bound config; the evaluator only hoists work
+ * that is a pure function of the config (memory-model construction,
+ * derived byte geometry) out of the per-call path, so a serving loop
+ * probing admission millions of times against one fixed config stops
+ * re-deriving the same models every probe. Obtain one from
+ * SystemModel::makeAdmissionEvaluator(); the evaluator keeps the bound
+ * config (and through it the system) alive. Not thread-safe: one
+ * evaluator per replica lane.
+ */
+class AdmissionEvaluator
+{
+  public:
+    virtual ~AdmissionEvaluator() = default;
+
+    /** Bit-identical to SystemModel::admit(bound_cfg, ...). */
+    virtual AdmissionDecision admit(
+        const std::vector<int64_t> &in_flight_final_lens,
+        int64_t candidate_prompt_len, int64_t candidate_final_len) = 0;
+
+    /** Bit-identical to SystemModel::fitsCurrent(bound_cfg, ...). */
+    virtual AdmissionDecision fitsCurrent(
+        const std::vector<int64_t> &kv_lens) = 0;
+};
+
+/**
+ * Reusable prefill pricer bound to one (TimingConfig, system) pair —
+ * the admission-time sibling of DecodeEvaluator. seconds() returns
+ * bit-for-bit what SystemModel::requestPrefillSeconds returns on the
+ * bound config; the evaluator only hoists pure-function setup (cost
+ * model, byte geometry, memory models per joined-batch size) out of
+ * the per-admission path. Obtain one from
+ * SystemModel::makePrefillEvaluator(); the evaluator keeps the bound
+ * config (and through it the system) alive. Not thread-safe: one
+ * evaluator per replica lane.
+ */
+class PrefillEvaluator
+{
+  public:
+    virtual ~PrefillEvaluator() = default;
+
+    /** Bit-identical to SystemModel::requestPrefillSeconds(bound_cfg,
+     *  prompt_len, in_flight_requests, resident_kv_tokens). */
+    virtual double seconds(int64_t prompt_len,
+                           int64_t in_flight_requests,
+                           int64_t resident_kv_tokens) = 0;
 };
 
 /** Bytes of KV cache per token per layer per request at FP16. */
@@ -294,6 +386,30 @@ class SystemModel
      * must keep seconds() bit-for-bit equal to the per-call method.
      */
     virtual std::unique_ptr<DecodeEvaluator> makeDecodeEvaluator(
+        const TimingConfig &cfg) const;
+
+    /**
+     * Build an AdmissionEvaluator bound to `cfg` (which must name this
+     * system). The base implementation returns a delegating evaluator
+     * that calls admit()/fitsCurrent() per probe — trivially
+     * bit-identical, no caching. Systems whose admission test builds
+     * models per call override it to hoist that pure-function setup;
+     * overrides must keep both probes bit-for-bit equal to the
+     * per-call methods.
+     */
+    virtual std::unique_ptr<AdmissionEvaluator> makeAdmissionEvaluator(
+        const TimingConfig &cfg) const;
+
+    /**
+     * Build a PrefillEvaluator bound to `cfg` (which must name this
+     * system). The base implementation returns a delegating evaluator
+     * that calls requestPrefillSeconds per admission — trivially
+     * bit-identical, no caching. Systems whose prefill pricing builds
+     * models per call override it to hoist that pure-function setup;
+     * overrides must keep seconds() bit-for-bit equal to the per-call
+     * method.
+     */
+    virtual std::unique_ptr<PrefillEvaluator> makePrefillEvaluator(
         const TimingConfig &cfg) const;
 
     // ---- Memory footprint ------------------------------------------
@@ -423,6 +539,32 @@ class SystemRegistry
 
     static bool contains(const std::string &name);
 };
+
+// Defined in the header so the systems' per-round decode tails inline
+// it together with the CostModel terms it calls — one call boundary
+// fewer on a path priced hundreds of millions of times per run. Same
+// expression, same evaluation order as the out-of-line definition had.
+inline double
+SystemModel::stepComputeFromTotals(const TimingConfig &cfg,
+                                   const sim::CostModel &cost,
+                                   const sim::DecodeBreakdown &base,
+                                   int64_t attended_total,
+                                   double weight_stream_seconds) const
+{
+    const model::ModelConfig &m = cfg.llm;
+    const double attn =
+        m.layers *
+        cost.attentionDecodeSeconds(
+            1, m.q_heads,
+            m.attention == model::AttentionKind::MLA ? m.q_heads
+                                                     : m.kv_heads,
+            m.head_dim, attended_total);
+    // compute_fixed pre-adds (gemm + launch) + lm_head in the same
+    // association this sum used to spell out, so the result is the
+    // bit-identical double.
+    return std::max(base.compute_fixed + attn,
+                    weight_stream_seconds);
+}
 
 } // namespace core
 } // namespace specontext

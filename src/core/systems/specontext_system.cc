@@ -42,6 +42,10 @@ class SpeContextSystem final : public SystemModel
         const std::vector<int64_t> &kv_lens) const override;
     std::unique_ptr<DecodeEvaluator> makeDecodeEvaluator(
         const TimingConfig &cfg) const override;
+    std::unique_ptr<AdmissionEvaluator> makeAdmissionEvaluator(
+        const TimingConfig &cfg) const override;
+    std::unique_ptr<PrefillEvaluator> makePrefillEvaluator(
+        const TimingConfig &cfg) const override;
     AdmissionDecision admit(const TimingConfig &cfg,
                             const std::vector<int64_t> &in_flight_final_lens,
                             int64_t candidate_prompt_len,
@@ -339,7 +343,6 @@ SpeContextSystem::decodeIterTail(const TimingConfig &cfg, int64_t R,
     const model::ModelConfig &m = cfg.llm;
     const double step_compute = stepComputeFromTotals(
         cfg, cost, base, attended_total, weight_stream);
-    const int64_t kvb = kvBytesPerTokenPerLayer(m);
 
     // Retrieval head once per iteration over the whole batch (scoring
     // scans each request's context, bounded by the longest in-flight
@@ -365,15 +368,21 @@ SpeContextSystem::decodeIterTail(const TimingConfig &cfg, int64_t R,
             std::clamp(opts_.elastic_overlap, 0.0, 1.0);
         const int64_t diff_tokens = static_cast<int64_t>(
             (1.0 - reuse) * static_cast<double>(attended_total));
+        // The per-token KV byte width only prices offloaded layers, so
+        // the fully-resident round (the hot case) never derives it.
         const double xfer =
-            l_cpu > 0 ? cost.pcieSeconds(diff_tokens * kvb * l_cpu)
+            l_cpu > 0 ? cost.pcieSeconds(diff_tokens *
+                                         kvBytesPerTokenPerLayer(m) *
+                                         l_cpu)
                       : 0.0;
         return step_compute + head +
                std::max(0.0, xfer - step_compute) + cost.syncSeconds();
     }
     // C1 only: synchronous full-budget load per offloaded layer.
     const double sync_xfer =
-        l_cpu > 0 ? l_cpu * cost.pcieSeconds(attended_total * kvb)
+        l_cpu > 0 ? l_cpu * cost.pcieSeconds(
+                                attended_total *
+                                kvBytesPerTokenPerLayer(m))
                   : 0.0;
     return step_compute + head + sync_xfer;
 }
@@ -471,6 +480,46 @@ class SpeContextDecodeEvaluator final : public DecodeEvaluator
     {
         if (win_r_ == 0)
             return 0.0;
+        return roundPrice();
+    }
+
+    /** The fused window loop: identical break logic and accumulation
+     *  order to the base-class loop, but the per-round price inlines
+     *  into the loop body (roundPrice() and decodeIterTail live in
+     *  this translation unit), so a window costs one virtual dispatch
+     *  total instead of one per round. */
+    double runWindow(int64_t max_rounds, double now, double horizon,
+                     double t_pending, int64_t &rounds,
+                     double &first_now) override
+    {
+        if (win_r_ == 0)
+            return DecodeEvaluator::runWindow(
+                max_rounds, now, horizon, t_pending, rounds, first_now);
+        rounds = 0;
+        for (;;) {
+            now += roundPrice();
+            if (++rounds == 1)
+                first_now = now;
+            if (rounds >= max_rounds || !(now < horizon) ||
+                t_pending <= now)
+                break;
+        }
+        return now;
+    }
+
+    /** Every SpeContext round is floored by the weight-streaming time:
+     *  stepComputeFromTotals() takes max(..., weight_stream) and
+     *  decodeIterTail() only adds non-negative head/transfer terms on
+     *  top, so weight_stream_ lower-bounds any round at any shape. */
+    double minRoundSeconds() const override { return weight_stream_; }
+
+  private:
+    struct PerR;
+
+    /** One window round: advance the reduced integers, price them.
+     *  Requires an open window with win_r_ > 0. */
+    double roundPrice()
+    {
         if (win_round_ > 0) {
             // Round index r evaluates lengths s_i + r: attended grows
             // by the count of contexts with budget - s_i >= r. The
@@ -498,9 +547,6 @@ class SpeContextDecodeEvaluator final : public DecodeEvaluator
                                    win_p_->head_gemm, weight_stream_,
                                    *win_p_->mm, win_limit_);
     }
-
-  private:
-    struct PerR;
 
     const PerR &perR(size_t r)
     {
@@ -556,6 +602,154 @@ std::unique_ptr<DecodeEvaluator>
 SpeContextSystem::makeDecodeEvaluator(const TimingConfig &cfg) const
 {
     return std::make_unique<SpeContextDecodeEvaluator>(*this, cfg);
+}
+
+/**
+ * Caching prefill evaluator: requestPrefillSeconds() builds a
+ * CostModel and (through cpuLayers) a MemoryModel on every admission
+ * even though both are pure functions of the bound config and the
+ * joined batch size. Hoist them here; each admission then runs the
+ * same prefill/retrieval-GEMM/eviction arithmetic, in the same order,
+ * on the same values as the per-call method.
+ */
+class SpeContextPrefillEvaluator final : public PrefillEvaluator
+{
+  public:
+    SpeContextPrefillEvaluator(const SpeContextSystem &sys,
+                               const TimingConfig &cfg)
+        : sys_(sys), cfg_(cfg), cost_(cfg_.hw, sys.backend()),
+          kvb_(kvBytesPerTokenPerLayer(cfg_.llm))
+    {
+        const model::ModelConfig &m = cfg_.llm;
+        const int64_t q_dim = m.q_heads * m.head_dim;
+        const int64_t kv_dim =
+            m.attention == model::AttentionKind::MLA
+                ? m.mla_latent_dim
+                : m.kv_heads * m.head_dim;
+        qkv_dim_ = q_dim + kv_dim;
+    }
+
+    double seconds(int64_t prompt_len, int64_t in_flight_requests,
+                   int64_t resident_kv_tokens) override
+    {
+        const model::ModelConfig &m = cfg_.llm;
+        double t = cost_.prefillSeconds(m, 1, prompt_len);
+        t += cost_.gemmSeconds(prompt_len, qkv_dim_, m.hidden);
+        const int64_t r_joined = in_flight_requests + 1;
+        const int64_t s_uniform = std::max(
+            prompt_len, (resident_kv_tokens + prompt_len) / r_joined);
+        const int64_t l_cpu =
+            sys_.cpuLayersWith(mmFor(r_joined), cfg_, r_joined,
+                               s_uniform);
+        if (l_cpu > 0) {
+            const double evict =
+                cost_.pcieSeconds(prompt_len * kvb_ * l_cpu);
+            const double exposed =
+                sys_.options().features.async_elastic ? 0.2 : 1.0;
+            t += exposed * evict;
+        }
+        return t;
+    }
+
+  private:
+    /** Memory model for `requests` joined requests, built once. */
+    const sim::MemoryModel &mmFor(int64_t requests)
+    {
+        const size_t r = static_cast<size_t>(requests);
+        if (r >= mm_.size())
+            mm_.resize(r + 1);
+        if (!mm_[r])
+            mm_[r] = std::make_unique<sim::MemoryModel>(
+                sys_.memoryInputs(cfg_, requests));
+        return *mm_[r];
+    }
+
+    const SpeContextSystem &sys_;
+    TimingConfig cfg_; ///< owns the system keepalive (shared_ptr inside)
+    sim::CostModel cost_;
+    int64_t kvb_;      ///< KV bytes per token per layer
+    int64_t qkv_dim_;  ///< retrieval-head fused QK projection width
+    std::vector<std::unique_ptr<sim::MemoryModel>> mm_; ///< by r_joined
+};
+
+std::unique_ptr<PrefillEvaluator>
+SpeContextSystem::makePrefillEvaluator(const TimingConfig &cfg) const
+{
+    return std::make_unique<SpeContextPrefillEvaluator>(*this, cfg);
+}
+
+/**
+ * Caching admission evaluator: admit() builds a MemoryModel over
+ * memoryInputs(cfg, 1) on every probe even though the inputs never
+ * change for a bound config. Hoist the model (and the derived
+ * per-token KV byte factor) into the evaluator; each probe then runs
+ * the same integer reductions and the same fitsWithOffload/DRAM
+ * comparisons on the same values as the per-call method.
+ */
+class SpeContextAdmissionEvaluator final : public AdmissionEvaluator
+{
+  public:
+    SpeContextAdmissionEvaluator(const SpeContextSystem &sys,
+                                 const TimingConfig &cfg)
+        : cfg_(cfg), mm_(sys.memoryInputs(cfg_, 1)),
+          kv_bytes_all_layers_(kvBytesPerTokenPerLayer(cfg_.llm) *
+                               cfg_.llm.layers)
+    {
+    }
+
+    AdmissionDecision admit(const std::vector<int64_t> &in_flight_final_lens,
+                            int64_t candidate_prompt_len,
+                            int64_t candidate_final_len) override
+    {
+        (void)candidate_prompt_len;
+        const int64_t r =
+            static_cast<int64_t>(in_flight_final_lens.size()) + 1;
+        int64_t s_max = candidate_final_len;
+        int64_t kv_tokens = candidate_final_len;
+        for (int64_t fl : in_flight_final_lens) {
+            s_max = std::max(s_max, fl);
+            kv_tokens += fl;
+        }
+        return decide(r, s_max, kv_tokens);
+    }
+
+    AdmissionDecision fitsCurrent(const std::vector<int64_t> &kv_lens) override
+    {
+        if (kv_lens.empty())
+            return {true, ""};
+        // The base-class fitsCurrent splits [rest..., back] and calls
+        // admit(rest, 1, back); its max/sum over that split equal the
+        // reductions below over the whole vector, so no split copy.
+        const int64_t r = static_cast<int64_t>(kv_lens.size());
+        int64_t s_max = kv_lens.back();
+        int64_t kv_tokens = kv_lens.back();
+        for (size_t i = 0; i + 1 < kv_lens.size(); ++i) {
+            s_max = std::max(s_max, kv_lens[i]);
+            kv_tokens += kv_lens[i];
+        }
+        return decide(r, s_max, kv_tokens);
+    }
+
+  private:
+    AdmissionDecision decide(int64_t r, int64_t s_max, int64_t kv_tokens)
+    {
+        if (!mm_.fitsWithOffload(r, s_max))
+            return {false,
+                    "no offload level fits (Eq. 7 headroom exhausted)"};
+        if (kv_tokens * kv_bytes_all_layers_ > cfg_.hw.cpu_mem_bytes)
+            return {false, "offloaded KV would exceed CPU DRAM"};
+        return {true, ""};
+    }
+
+    TimingConfig cfg_; ///< owns the system keepalive (shared_ptr inside)
+    sim::MemoryModel mm_;
+    int64_t kv_bytes_all_layers_; ///< kvb * layers, hoisted
+};
+
+std::unique_ptr<AdmissionEvaluator>
+SpeContextSystem::makeAdmissionEvaluator(const TimingConfig &cfg) const
+{
+    return std::make_unique<SpeContextAdmissionEvaluator>(*this, cfg);
 }
 
 AdmissionDecision

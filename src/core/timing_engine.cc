@@ -100,5 +100,16 @@ TimingEngine::makeDecodeEvaluator(const TimingConfig &cfg) const
     return sys.makeDecodeEvaluator(cfg);
 }
 
+std::unique_ptr<PrefillEvaluator>
+TimingEngine::makePrefillEvaluator(const TimingConfig &cfg) const
+{
+    cfg.llm.validate();
+    const SystemModel &sys = requireSystem(cfg);
+    if (!sys.supportsContinuousBatching())
+        throw std::invalid_argument(
+            "makePrefillEvaluator: system is wave-scheduled only");
+    return sys.makePrefillEvaluator(cfg);
+}
+
 } // namespace core
 } // namespace specontext

@@ -82,6 +82,16 @@ class TimingEngine
     std::unique_ptr<DecodeEvaluator> makeDecodeEvaluator(
         const TimingConfig &cfg) const;
 
+    /**
+     * Build a reusable admission-time prefill pricer bound to `cfg`:
+     * seconds() returns bit-for-bit what requestPrefillSeconds would,
+     * with the per-call model construction hoisted to this one call.
+     * The serving fast path holds one per replica lane.
+     * @throws std::invalid_argument for unsupported systems.
+     */
+    std::unique_ptr<PrefillEvaluator> makePrefillEvaluator(
+        const TimingConfig &cfg) const;
+
     /** Bytes of KV cache per token per layer per request at FP16
      *  (delegates to core::kvBytesPerTokenPerLayer). */
     static int64_t kvBytesPerTokenPerLayer(const model::ModelConfig &m);

@@ -32,7 +32,7 @@ PrefixTree::PrefixTree(PrefixTreeConfig cfg) : cfg_(cfg)
         throw std::invalid_argument(
             "PrefixTree: enabled cache needs positive bytes_per_token");
     pool_ = std::make_unique<util::Pool<Node>>();
-    root_ = pool_->create();
+    root_ = newNode();
 }
 
 PrefixTree::~PrefixTree()
@@ -46,8 +46,23 @@ PrefixTree::~PrefixTree()
         stack.pop_back();
         for (auto &kv_pair : n->children)
             stack.push_back(kv_pair.second);
-        pool_->destroy(n);
+        freeNode(n);
     }
+}
+
+PrefixTree::Node *
+PrefixTree::newNode()
+{
+    return cfg_.pooled ? pool_->create() : new Node();
+}
+
+void
+PrefixTree::freeNode(Node *n)
+{
+    if (cfg_.pooled)
+        pool_->destroy(n);
+    else
+        delete n;
 }
 
 const util::PoolStats &
@@ -168,7 +183,7 @@ PrefixTree::matchAndPin(
             break; // budget exhausted; pin what we have
         const auto begin = tokens.begin() + b * cfg_.page_size;
         block.assign(begin, begin + cfg_.page_size);
-        Node *child = pool_->create();
+        Node *child = newNode();
         child->parent = node;
         child->depth_tokens = node->depth_tokens + cfg_.page_size;
         node = node->children.emplace(block, child).first->second;
@@ -250,7 +265,7 @@ PrefixTree::evictOne()
             break;
         }
     }
-    pool_->destroy(victim);
+    freeNode(victim);
     resident_tokens_ -= cfg_.page_size;
     evicted_tokens_ += cfg_.page_size;
     --node_count_;

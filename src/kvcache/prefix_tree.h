@@ -74,6 +74,11 @@ struct PrefixTreeConfig
     int64_t bytes_per_token = 0;
     /** Byte budget for cached blocks; 0 disables the cache. */
     int64_t budget_bytes = 0;
+    /** Route node storage through the slab pool (default). Off = one
+     *  new/delete per block — the allocator-backed reference the
+     *  pooled mode is parity-tested against. The pool changes only
+     *  where nodes live, never any simulated quantity. */
+    bool pooled = true;
 };
 
 /** Outcome of one longest-prefix lookup. */
@@ -243,6 +248,10 @@ class PrefixTree
     uint64_t eviction_epoch_ = 0;
     PrefixTreeObserver observer_;
     obs::CounterRegistry::Handle evicted_counter_ = 0;
+
+    /** Node storage, honoring cfg_.pooled: slab pool or new/delete. */
+    Node *newNode();
+    void freeNode(Node *n);
 
     /** Walk the cached block-aligned prefix of `tokens`, appending the
      *  matched nodes (root excluded) to `path`. */

@@ -1,5 +1,6 @@
 #include "serving/admission.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace specontext {
@@ -15,6 +16,7 @@ AdmissionController::AdmissionController(core::TimingConfig cfg)
     if (!cfg_.system->supportsContinuousBatching())
         throw std::invalid_argument(
             "AdmissionController: system is wave-scheduled only");
+    eval_ = cfg_.system->makeAdmissionEvaluator(cfg_);
 }
 
 AdmissionDecision
@@ -23,12 +25,11 @@ AdmissionController::admit(const std::vector<Request> &in_flight,
 {
     if (candidate.prompt_len <= 0 || candidate.gen_len <= 0)
         return {false, "degenerate request shape"};
-    std::vector<int64_t> final_lens;
-    final_lens.reserve(in_flight.size());
+    lens_scratch_.clear();
     for (const Request &q : in_flight)
-        final_lens.push_back(q.finalLen());
-    return cfg_.system->admit(cfg_, final_lens, candidate.prompt_len,
-                              candidate.finalLen());
+        lens_scratch_.push_back(q.finalLen());
+    return eval_->admit(lens_scratch_, candidate.prompt_len,
+                        candidate.finalLen());
 }
 
 AdmissionDecision
@@ -37,26 +38,68 @@ AdmissionController::admitCurrent(const std::vector<Request> &in_flight,
 {
     if (candidate.prompt_len <= 0 || candidate.gen_len <= 0)
         return {false, "degenerate request shape"};
-    std::vector<int64_t> kv_lens;
-    kv_lens.reserve(in_flight.size());
+    lens_scratch_.clear();
     for (const Request &q : in_flight)
-        kv_lens.push_back(q.kvLen());
+        lens_scratch_.push_back(q.kvLen());
     // The candidate's live footprint after (re)prefill is its current
     // context — prompt plus whatever it had generated before a
     // preemption; that recompute is also the prefill shape.
-    return cfg_.system->admit(cfg_, kv_lens, candidate.kvLen(),
-                              candidate.kvLen());
+    return eval_->admit(lens_scratch_, candidate.kvLen(),
+                        candidate.kvLen());
 }
 
 AdmissionDecision
 AdmissionController::decodeStepFits(
     const std::vector<Request> &in_flight) const
 {
-    std::vector<int64_t> kv_lens;
-    kv_lens.reserve(in_flight.size());
+    lens_scratch_.clear();
     for (const Request &q : in_flight)
-        kv_lens.push_back(q.kvLen() + 1);
-    return cfg_.system->fitsCurrent(cfg_, kv_lens);
+        lens_scratch_.push_back(q.kvLen() + 1);
+    return eval_->fitsCurrent(lens_scratch_);
+}
+
+int64_t
+AdmissionController::decodeFitRounds(const std::vector<Request> &in_flight,
+                                     int64_t max_rounds) const
+{
+    if (max_rounds <= 0)
+        return 0;
+    if (in_flight.empty())
+        return max_rounds;
+    // pass(j): the exact decodeStepFits() predicate evaluated j rounds
+    // ahead — every context at kvLen() + 1 + j.
+    const auto pass = [&](int64_t j) {
+        lens_scratch_.clear();
+        for (const Request &q : in_flight)
+            lens_scratch_.push_back(q.kvLen() + 1 + j);
+        return eval_->fitsCurrent(lens_scratch_).admit;
+    };
+    if (!pass(0))
+        return 0;
+    // Gallop out from the known-true probe, then bisect to the first
+    // failure. Monotonicity (see header) makes the frontier a single
+    // threshold, so ~2 log2(max_rounds) probes bound it exactly.
+    int64_t t = 0;  // highest probe index known true
+    int64_t f = -1; // lowest probe index known false (-1: none yet)
+    for (int64_t step = 1; t < max_rounds - 1; step *= 2) {
+        const int64_t p = std::min(t + step, max_rounds - 1);
+        if (pass(p)) {
+            t = p;
+        } else {
+            f = p;
+            break;
+        }
+    }
+    if (f < 0)
+        return max_rounds; // probes 0..max_rounds-1 all pass
+    while (f - t > 1) {
+        const int64_t mid = t + (f - t) / 2;
+        if (pass(mid))
+            t = mid;
+        else
+            f = mid;
+    }
+    return f; // pass(j) holds exactly for j < f
 }
 
 bool
@@ -73,8 +116,9 @@ AdmissionController::restoreFeasibleAlone(const Request &candidate) const
     // The deepest possible restore prefills the whole final context in
     // one pass (all gen_len tokens generated, then preempted); prompt
     // monotonicity makes this the worst prefill-scratch shape.
-    return cfg_.system
-        ->admit(cfg_, {}, candidate.finalLen(), candidate.finalLen())
+    lens_scratch_.clear();
+    return eval_
+        ->admit(lens_scratch_, candidate.finalLen(), candidate.finalLen())
         .admit;
 }
 

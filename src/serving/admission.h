@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "core/timing_engine.h"
@@ -112,6 +113,25 @@ class AdmissionController
     AdmissionDecision decodeStepFits(
         const std::vector<Request> &in_flight) const;
 
+    /**
+     * How many consecutive future decode rounds are guaranteed to pass
+     * decodeStepFits() from the current state, assuming the batch
+     * composition does not change? Round j (0-based) prices every
+     * context at kvLen() + 1 + j — the exact decodeStepFits() compare
+     * the scheduler would run at that round's entry — so the returned
+     * count n means rounds 0..n-1 are preemption-free and round n (if
+     * n < max_rounds) is the predicted first failure; the caller must
+     * still re-run the genuine per-round check there. Found by
+     * galloping + bisection (O(log max_rounds) probes), which REQUIRES
+     * the system's fit frontier to be monotone under uniform growth:
+     * once a length vector fails, every elementwise-larger one fails
+     * too. Every registry system satisfies this — their admit() tests
+     * only tighten as r/s_max/total-KV grow. Returns max_rounds for an
+     * empty batch (vacuously fits).
+     */
+    int64_t decodeFitRounds(const std::vector<Request> &in_flight,
+                            int64_t max_rounds) const;
+
     /** Does the candidate fit with an otherwise idle server? A false
      *  here means the request can never be served (hard reject). */
     bool feasibleAlone(const Request &candidate) const;
@@ -127,6 +147,15 @@ class AdmissionController
 
   private:
     core::TimingConfig cfg_;
+    /** Admission pricer from SystemModel::makeAdmissionEvaluator(),
+     *  bound to cfg_ — bit-identical to the per-call system methods,
+     *  with per-config setup (memory-model construction) hoisted out
+     *  of the probe path. Mutable: probes are logically const but the
+     *  evaluator may cache. Not thread-safe, like the evaluator. */
+    mutable std::unique_ptr<core::AdmissionEvaluator> eval_;
+    /** Reused length buffer for probe vectors (amortizes the per-call
+     *  allocation the serving loop used to pay millions of times). */
+    mutable std::vector<int64_t> lens_scratch_;
 };
 
 } // namespace serving

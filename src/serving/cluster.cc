@@ -6,6 +6,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "core/elastic_loader.h"
 #include "sim/event_clock.h"
@@ -204,14 +205,22 @@ Cluster::run(std::vector<Request> trace) const
         publishFleetGauges();
     };
 
-    // Replicas currently accepting new work.
-    auto routableSet = [&]() {
-        std::vector<size_t> r;
-        for (size_t i = 0; i < slot.size(); ++i) {
-            if (slot[i] == Slot::Live)
-                r.push_back(i);
+    // Replicas currently accepting new work. The set changes only on
+    // lifecycle transitions (warm-complete, drain, retire, attach), so
+    // it is cached in a reusable buffer instead of rebuilt per routed
+    // arrival — fixed fleets build it exactly once.
+    std::vector<size_t> routable;
+    bool routable_stale = true;
+    auto routableSet = [&]() -> const std::vector<size_t> & {
+        if (routable_stale) {
+            routable.clear();
+            for (size_t i = 0; i < slot.size(); ++i) {
+                if (slot[i] == Slot::Live)
+                    routable.push_back(i);
+            }
+            routable_stale = false;
         }
-        return r;
+        return routable;
     };
 
     // Route every arrival at or before t, in arrival order, against
@@ -250,6 +259,7 @@ Cluster::run(std::vector<Request> trace) const
             cfg_.fast_path.cache_decode_costs);
         clock.addLane();
         slot.push_back(Slot::Warming);
+        routable_stale = true;
         warm_ready.push_back(t + warmup);
         attach_t.push_back(t);
         retire_t.push_back(inf);
@@ -262,6 +272,7 @@ Cluster::run(std::vector<Request> trace) const
 
     auto retireSlot = [&](double t, size_t i, ScaleAction how) {
         slot[i] = Slot::Retired;
+        routable_stale = true;
         clock.retireLane(i);
         retire_t[i] = t;
         scaleEvent(t, how, i);
@@ -285,6 +296,7 @@ Cluster::run(std::vector<Request> trace) const
         for (size_t k = slot.size(); k-- > 0;) {
             if (slot[k] == Slot::Live) {
                 slot[k] = Slot::Draining;
+                routable_stale = true;
                 lane_dirty[k] = 1;
                 scaleEvent(t, ScaleAction::Drain, k);
                 if (fleet[k]->outstanding() == 0)
@@ -324,23 +336,55 @@ Cluster::run(std::vector<Request> trace) const
 
     // Simulator fast path. Skip-ahead lets the fired replica run bulk
     // pure-decode rounds up to the earliest boundary this loop owns;
-    // parallel stepping additionally dispatches *all* eligible lanes'
-    // bulk runs onto a worker pool when nothing below the barrier
-    // could interact. Parallel dispatch requires observability off:
-    // the trace ring / counter registry / sampler are intentionally
+    // era stepping (threads > 1 or shards > 0) additionally
+    // dispatches *all* eligible lanes' bulk runs in one pass when
+    // nothing below the barrier could interact — sharded across a
+    // worker pool when the machine has cores for it, inline
+    // otherwise. Era dispatch requires observability off: the trace
+    // ring / counter registry / sampler are intentionally
     // unsynchronized, so with hooks attached the cluster serializes
     // (same results — pure-decode rounds are engine-local either way).
     const bool skip_ahead = cfg_.fast_path.skip_ahead;
-    const size_t fast_threads =
-        (skip_ahead && !cfg_.obs.enabled()) ? cfg_.fast_path.threads
-                                            : 1;
+    const bool era_mode =
+        skip_ahead && !cfg_.obs.enabled() &&
+        (cfg_.fast_path.threads > 1 || cfg_.fast_path.shards > 0);
+    // Workers are capped at the hardware concurrency: an
+    // oversubscribed spin-join pool costs more than it buys, and with
+    // one effective worker the era's shards run inline — the era
+    // structure (one scan per fleet of bulk windows) is the win, the
+    // pool is just how multi-core hosts execute it.
+    size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    const size_t era_workers =
+        era_mode ? std::min(cfg_.fast_path.threads, hw) : 1;
+    const size_t era_shards =
+        cfg_.fast_path.shards > 0 ? cfg_.fast_path.shards
+                                  : std::max<size_t>(era_workers, 1);
     util::ThreadPool *pool = nullptr;
     std::unique_ptr<util::ThreadPool> pool_storage;
-    if (fast_threads > 1) {
+    if (era_workers > 1) {
         pool_storage =
-            std::make_unique<util::ThreadPool>(fast_threads);
+            std::make_unique<util::ThreadPool>(era_workers);
         pool = pool_storage.get();
     }
+    std::vector<size_t> era_lanes;
+    // Shard job context for the pool's allocation-free dispatch; the
+    // struct lives across iterations, refreshed per era.
+    struct EraJob
+    {
+        std::vector<std::unique_ptr<ReplicaEngine>> *fleet;
+        const std::vector<size_t> *lanes;
+        double barrier;
+        size_t shards;
+    } era_job{&fleet, &era_lanes, 0.0, era_shards};
+
+    // One std::function conversion for the whole run: passing the
+    // routing lambda to ReplicaEngine::step by const reference
+    // otherwise constructs (and heap-allocates) a fresh wrapper per
+    // admission-capable step — a top-three allocation site at
+    // million-request scale.
+    const ReplicaEngine::IngestFn ingest_fn = routeUpTo;
 
     // Event-driven main loop: advance whichever comes first, the next
     // unrouted arrival, the next control tick (elastic only) or the
@@ -450,21 +494,29 @@ Cluster::run(std::vector<Request> trace) const
                 horizon =
                     std::min(horizon, sampler->nextSampleSeconds());
         }
-        // Parallel replica lanes: when every lane with an event below
-        // the barrier is an independently advancing pure-decode lane,
+        // Era stepping: when every lane with an event below the
+        // barrier is an independently advancing pure-decode lane,
         // their bulk runs cannot interact — no routing, no admission,
-        // no shared observability — so dispatch them all concurrently
-        // and join. The barrier includes every lane's admission cap,
-        // so a lane about to admit (cap == its event) is simply above
-        // the barrier rather than disqualifying; it fires sequentially
-        // right after the join. Warming lanes below the barrier are
-        // fine to leave booked (their WarmComplete fires right after
-        // the join, at its own instant); a draining lane below the
-        // barrier falls back to the sequential path, which preserves
-        // scale-event order exactly.
-        if (pool && std::isfinite(t_replica)) {
+        // no shared observability — so one scan dispatches all of
+        // them through their windows and joins. The barrier includes
+        // every lane's admission cap, so a lane about to admit (cap
+        // == its event) is simply above the barrier rather than
+        // disqualifying; it fires sequentially right after the join.
+        // Warming lanes below the barrier are fine to leave booked
+        // (their WarmComplete fires right after the join, at its own
+        // instant); a draining lane below the barrier falls back to
+        // the sequential path, which preserves scale-event order
+        // exactly. Every lane stops at the same uniform barrier the
+        // sequential loop would impose on it (never its own widened
+        // cap_min2 horizon: a peer's recomputed cap can land between
+        // cap_min1 and cap_min2, and overrunning it would let this
+        // lane's retirements be visible to a routing decision that
+        // must not see them yet), so chunk boundaries differ from
+        // lane-at-a-time stepping but every simulated quantity is
+        // bit-identical.
+        if (era_mode && std::isfinite(t_replica)) {
             const double barrier = std::min(horizon, cap_min1);
-            bool parallel_ok = true;
+            bool era_ok = true;
             size_t bulk_lanes = 0;
             for (size_t i = 0; i < fleet.size(); ++i) {
                 if (slot[i] == Slot::Retired ||
@@ -474,24 +526,45 @@ Cluster::run(std::vector<Request> trace) const
                     continue;
                 if (slot[i] != Slot::Live ||
                     !fleet[i]->pureDecodeReady()) {
-                    parallel_ok = false;
+                    era_ok = false;
                     break;
                 }
                 ++bulk_lanes;
             }
-            if (parallel_ok && bulk_lanes >= 2) {
+            if (era_ok && bulk_lanes >= 2) {
+                era_lanes.clear();
                 for (size_t i = 0; i < fleet.size(); ++i) {
                     if (slot[i] != Slot::Live ||
                         !(clock.at(i) < barrier) ||
                         !fleet[i]->pureDecodeReady())
                         continue;
-                    ReplicaEngine *rep = fleet[i].get();
                     lane_dirty[i] = 1;
-                    pool->submit([rep, barrier] {
-                        rep->step(nullptr, barrier);
-                    });
+                    era_lanes.push_back(i);
                 }
-                pool->wait();
+                era_job.barrier = barrier;
+                if (!pool) {
+                    // One effective worker: the shards run inline in
+                    // ascending order — same windows, same barrier,
+                    // no pool traffic.
+                    for (size_t i : era_lanes)
+                        fleet[i]->step(nullptr, barrier);
+                } else {
+                    pool->runShards(
+                        era_shards,
+                        +[](void *c, size_t s) {
+                            auto *j = static_cast<EraJob *>(c);
+                            const size_t n = j->lanes->size();
+                            const size_t per =
+                                (n + j->shards - 1) / j->shards;
+                            const size_t lo = s * per;
+                            const size_t hi =
+                                std::min(n, lo + per);
+                            for (size_t k = lo; k < hi; ++k)
+                                (*j->fleet)[(*j->lanes)[k]]->step(
+                                    nullptr, j->barrier);
+                        },
+                        &era_job);
+                }
                 continue; // re-book every lane at its new event
             }
         }
@@ -507,6 +580,7 @@ Cluster::run(std::vector<Request> trace) const
             // (its prefix cache starts cold; arrivals reach it from
             // the next routing decision on).
             slot[lane] = Slot::Live;
+            routable_stale = true;
             lane_dirty[lane] = 1;
             scaleEvent(warm_ready[lane], ScaleAction::WarmComplete,
                        lane);
@@ -526,7 +600,7 @@ Cluster::run(std::vector<Request> trace) const
             lane_horizon = std::min(
                 lane_horizon,
                 lane == cap_min1_lane ? cap_min2 : cap_min1);
-        fleet[lane]->step(routeUpTo, slot[lane] == Slot::Draining
+        fleet[lane]->step(ingest_fn, slot[lane] == Slot::Draining
                                          ? -inf
                                          : lane_horizon);
         lane_dirty[lane] = 1;

@@ -24,15 +24,27 @@
  *    bit-identical; turning it off restores the literal
  *    re-derive-per-iteration pre-fast-path cost profile.
  *
- *  - threads (default 1) steps independent pure-decode replica lanes
- *    concurrently between router/control barriers in Cluster::run.
- *    Pure-decode rounds touch only their own engine, so any
- *    interleaving gives bit-identical results; the merge back into
- *    the event loop is a full join, and lane order afterwards is the
- *    clock's deterministic earliest-lane scan as ever. Parallel
+ *  - threads (default 1) and shards (default 0) together enable *era
+ *    stepping* in Cluster::run: when every lane with an event below
+ *    the router barrier is an independently advancing pure-decode
+ *    lane, one booking scan dispatches ALL of them through their bulk
+ *    windows — amortizing the per-event fleet scan over the whole
+ *    era — instead of firing one lane per scan. Eligible lanes are
+ *    partitioned into shards; a worker pool (capped at the machine's
+ *    hardware concurrency) steps the shards concurrently, and with
+ *    one effective worker the shards run inline on the calling
+ *    thread — same structure, no pool, so a sharded run on a small
+ *    host is still strictly cheaper than lane-at-a-time stepping.
+ *    Pure-decode rounds touch only their own engine and every lane
+ *    stops at the same barrier the sequential loop would impose, so
+ *    any interleaving gives bit-identical results; the merge back
+ *    into the event loop is a full join, and lane order afterwards is
+ *    the clock's deterministic earliest-lane scan as ever. Era
  *    dispatch requires observability off (the trace ring / counter
- *    registry are intentionally unsynchronized); with hooks attached
- *    the cluster silently serializes — same results, single thread.
+ *    registry / sampler are intentionally unsynchronized); with hooks
+ *    attached the cluster silently serializes — same simulated
+ *    results, single thread (tests/test_simfast.cc pins the fallback
+ *    including counter equality).
  */
 #pragma once
 
@@ -48,9 +60,18 @@ struct SimFastPath
     bool skip_ahead = true;
     /** Cached per-lane decode-cost evaluator (bit-identical). */
     bool cache_decode_costs = true;
-    /** Worker threads for parallel replica stepping (<= 1 = off).
-     *  Ignored (serialized) while observability hooks are attached. */
+    /** Worker threads for era (sharded parallel) replica stepping
+     *  (<= 1 = no workers; era stepping still engages when shards
+     *  > 0). Clamped to the hardware concurrency. Ignored
+     *  (serialized) while observability hooks are attached. */
     size_t threads = 1;
+    /** Shard count for era stepping: eligible lanes are split into
+     *  this many contiguous groups per era. 0 = auto (one shard per
+     *  effective worker). Any value > 0 turns era stepping on even
+     *  with threads <= 1 (the shards then run inline). The shard
+     *  count never changes simulated results — only which thread
+     *  steps which lane. */
+    size_t shards = 0;
 };
 
 } // namespace serving

@@ -52,6 +52,7 @@ prefixTreeConfigFor(const ReplicaConfig &cfg)
 {
     kv::PrefixTreeConfig tc;
     tc.page_size = cfg.prefix_cache.page_size;
+    tc.pooled = cfg.prefix_cache.pooled;
     tc.bytes_per_token = kvBytesPerToken(cfg.timing);
     tc.budget_bytes = std::max<int64_t>(
         0, std::min(cfg.prefix_cache.budget_bytes,
@@ -86,6 +87,9 @@ ReplicaEngine::ReplicaEngine(const core::TimingEngine &engine,
         throw std::invalid_argument(
             "ReplicaEngine: negative prefix-cache budget");
     configured_prefix_budget_ = prefix_tree_.config().budget_bytes;
+    kv_bytes_per_token_ = kvBytesPerToken(cfg_.timing);
+    kv_capacity_bytes_ = std::max<int64_t>(rawKvCapacityBytes(cfg_), 1);
+    model_bytes_ = scheduler_.admission().memoryModel().modelBytes();
     if (cfg_.name.empty()) {
         cfg_.name = "replica" + std::to_string(cfg_.id) + "(" +
                     cfg_.timing.hw.name + "/" +
@@ -137,8 +141,12 @@ ReplicaEngine::ReplicaEngine(const core::TimingEngine &engine,
 void
 ReplicaEngine::setDecodeCostCache(bool on)
 {
+    flushWindow();
     decode_eval_ =
         on ? engine_.makeDecodeEvaluator(cfg_.timing) : nullptr;
+    prefill_eval_ =
+        on ? engine_.makePrefillEvaluator(cfg_.timing) : nullptr;
+    win_live_ = false;
 }
 
 void
@@ -150,7 +158,7 @@ ReplicaEngine::publishGauges()
     counters_->set(slots_.in_flight,
                    static_cast<int64_t>(active_.size()));
     counters_->set(slots_.live_kv_bytes,
-                   liveKvTokens() * kvBytesPerToken(cfg_.timing));
+                   liveKvTokens() * kv_bytes_per_token_);
     counters_->set(slots_.prefix_resident_bytes, prefix_tree_.bytes());
     counters_->set(slots_.prefix_pinned_bytes,
                    prefix_tree_.pinnedBytes());
@@ -159,9 +167,10 @@ ReplicaEngine::publishGauges()
 int64_t
 ReplicaEngine::reservedKvTokens() const
 {
-    int64_t tokens = 0;
-    for (const Request &r : active_)
-        tokens += r.finalLen();
+    // active_'s share is a running total (see active_final_tokens_):
+    // scanning Request objects per router probe was a measurable
+    // share of fleet-scale runs.
+    int64_t tokens = active_final_tokens_;
     for (size_t i = static_cast<size_t>(pending_next_);
          i < pending_.size(); ++i)
         tokens += pending_[i].finalLen();
@@ -171,10 +180,31 @@ ReplicaEngine::reservedKvTokens() const
     return tokens + scheduler_.queuedFinalKvTokens();
 }
 
+void
+ReplicaEngine::flushWindow()
+{
+    if (win_defer_rounds_ == 0)
+        return;
+    // Deferral only happens on retirement-free windows, so the batch
+    // membership (and the mirror's size) is exactly what the eager
+    // pass would have kept: apply the uniform growth in place.
+    const int64_t d = win_defer_rounds_;
+    win_defer_rounds_ = 0;
+    for (size_t i = 0; i < active_.size(); ++i) {
+        active_[i].generated += d;
+        kv_scratch_[i] = active_[i].kvLen();
+    }
+}
+
 int64_t
 ReplicaEngine::liveKvTokens() const
 {
-    int64_t tokens = 0;
+    // kvLen() = prompt_len + generated, and `generated` lags every
+    // active request by win_defer_rounds_ while a window is deferred
+    // — add the lag back (integer-exact, and mutation-free so router
+    // probes stay safe against parallel-lane stepping).
+    int64_t tokens =
+        static_cast<int64_t>(active_.size()) * win_defer_rounds_;
     for (const Request &r : active_)
         tokens += r.kvLen();
     for (size_t i = static_cast<size_t>(pending_next_);
@@ -186,7 +216,7 @@ ReplicaEngine::liveKvTokens() const
 int64_t
 ReplicaEngine::kvCapacityBytes() const
 {
-    return std::max<int64_t>(rawKvCapacityBytes(cfg_), 1);
+    return kv_capacity_bytes_;
 }
 
 double
@@ -194,8 +224,8 @@ ReplicaEngine::kvLoadFraction(int64_t extra_final_len_tokens) const
 {
     const double bytes =
         static_cast<double>(reservedKvTokens() + extra_final_len_tokens) *
-        static_cast<double>(kvBytesPerToken(cfg_.timing));
-    return bytes / static_cast<double>(kvCapacityBytes());
+        static_cast<double>(kv_bytes_per_token_);
+    return bytes / static_cast<double>(kv_capacity_bytes_);
 }
 
 double
@@ -207,8 +237,8 @@ ReplicaEngine::routingLoadFraction(const Request &r) const
     // booked reservations — price the router's signal the same way.
     const double bytes =
         static_cast<double>(liveKvTokens() + r.kvLen()) *
-        static_cast<double>(kvBytesPerToken(cfg_.timing));
-    return bytes / static_cast<double>(kvCapacityBytes());
+        static_cast<double>(kv_bytes_per_token_);
+    return bytes / static_cast<double>(kv_capacity_bytes_);
 }
 
 int64_t
@@ -242,14 +272,13 @@ ReplicaEngine::syncPrefixBudget(int64_t extra_reserved_tokens,
     // growing batch shrinks the cache, never the other way around —
     // and a squeeze to 0 is transient: the next sync with headroom
     // restores the budget.
-    const sim::MemoryModel mm = scheduler_.admission().memoryModel();
     const int64_t outstanding_tokens =
         optimistic() ? liveKvTokens() : reservedKvTokens();
     const int64_t reserved_bytes =
         (outstanding_tokens + extra_reserved_tokens) *
-        kvBytesPerToken(cfg_.timing);
+        kv_bytes_per_token_;
     const int64_t headroom =
-        cfg_.timing.hw.gpu_mem_bytes - mm.modelBytes() - reserved_bytes;
+        cfg_.timing.hw.gpu_mem_bytes - model_bytes_ - reserved_bytes;
     // Pinned blocks are in-flight prompts' KV — one physical copy,
     // already paid for inside reserved_bytes via those requests'
     // reservations — so they ride on top of the budget: the clamp
@@ -263,7 +292,7 @@ ReplicaEngine::syncPrefixBudget(int64_t extra_reserved_tokens,
                     std::max<int64_t>(headroom, 0)));
     prefix_tree_.setBudget(
         idle_budget + prefix_tree_.pinnedBytes() +
-        extra_budget_tokens * kvBytesPerToken(cfg_.timing));
+        extra_budget_tokens * kv_bytes_per_token_);
 #if SPECONTEXT_OBS_ENABLED
     // The trace records the *idle* clamp (the evictable-cache cap) and
     // only when it changes — every admission re-clamps, but only
@@ -312,7 +341,7 @@ ReplicaEngine::admitThroughPrefixCache(Request &r)
             candidate_tokens,
             std::min(new_block_tokens,
                      configured_prefix_budget_ /
-                         kvBytesPerToken(cfg_.timing)));
+                         kv_bytes_per_token_));
     };
     if (r.prompt_tokens.empty()) {
         resizeToHeadroom(kv::PrefixMatch{});
@@ -360,7 +389,7 @@ ReplicaEngine::admitThroughPrefixCache(Request &r)
     // the request id — duplicate ids in a degenerate trace must not
     // cross-release each other's live pins.
     r.prefix_pin_slot = next_pin_slot_++;
-    prefix_pins_.emplace(r.prefix_pin_slot, pin.handle);
+    prefix_pins_.emplace_back(r.prefix_pin_slot, pin.handle);
     r.cached_prompt_len = hit;
     return hit;
 }
@@ -434,19 +463,36 @@ ReplicaEngine::idle() const
 }
 
 void
+ReplicaEngine::releasePinSlot(int64_t slot)
+{
+    for (size_t i = prefix_pins_.size(); i-- > 0;) {
+        if (prefix_pins_[i].first == slot) {
+            prefix_tree_.release(prefix_pins_[i].second);
+            prefix_pins_[i] = std::move(prefix_pins_.back());
+            prefix_pins_.pop_back();
+            return;
+        }
+    }
+}
+
+void
 ReplicaEngine::preemptVictim()
 {
+    flushWindow(); // victim choice and accounting read live lengths
     const size_t v = scheduler_.selectVictim(active_);
+    active_final_tokens_ -= active_[v].finalLen();
     Request r = std::move(active_[v]);
     active_.erase(active_.begin() +
                   static_cast<std::vector<Request>::difference_type>(v));
+    // The batch shrank: any cached decode-fit prediction is void,
+    // and so is the open decode window.
+    opt_fit_rounds_ = -1;
+    win_live_ = false;
     // The victim's prefix pin goes back to the LRU pool: its prompt
     // blocks stay resident while the budget lasts, which is exactly
     // what makes its restore cheap.
     if (r.prefix_pin_slot >= 0) {
-        const auto pin = prefix_pins_.find(r.prefix_pin_slot);
-        prefix_tree_.release(pin->second);
-        prefix_pins_.erase(pin);
+        releasePinSlot(r.prefix_pin_slot);
         r.prefix_pin_slot = -1;
     }
     ++r.preemptions;
@@ -483,7 +529,11 @@ ReplicaEngine::step(const IngestFn &ingest, double horizon)
     // Admit while the Scheduler's discipline accepts the policy's
     // candidate. A denial with other requests in flight just means
     // "wait for retirements"; a denial on an idle replica means the
-    // request can never fit here.
+    // request can never fit here. Admission reads live per-request
+    // state (the resident scan, optimistic fitsCurrent), so any
+    // deferred window rounds apply first.
+    if (!scheduler_.queueEmpty())
+        flushWindow();
     while (!scheduler_.queueEmpty() &&
            scheduler_.hasBatchSlot(active_)) {
         const AdmissionDecision d =
@@ -559,9 +609,15 @@ ReplicaEngine::step(const IngestFn &ingest, double horizon)
         OBS_EVENT(trace_, obs::EventType::PrefillStart, now_,
                   static_cast<int32_t>(cfg_.id), r.id, prefill_tokens,
                   static_cast<int64_t>(active_.size()));
-        now_ += engine_.requestPrefillSeconds(
-            cfg_.timing, prefill_tokens,
-            static_cast<int64_t>(active_.size()), resident + cached);
+        now_ += prefill_eval_
+                    ? prefill_eval_->seconds(
+                          prefill_tokens,
+                          static_cast<int64_t>(active_.size()),
+                          resident + cached)
+                    : engine_.requestPrefillSeconds(
+                          cfg_.timing, prefill_tokens,
+                          static_cast<int64_t>(active_.size()),
+                          resident + cached);
         if (restore)
             result_.preempt.restore_prefill_tokens += prefill_tokens;
         // Cache hits are not entirely free when the reload knob is
@@ -572,13 +628,18 @@ ReplicaEngine::step(const IngestFn &ingest, double horizon)
             cfg_.timing.system->options().prefix_reload_gbps;
         if (cached > 0 && reload_gbps > 0.0) {
             now_ += static_cast<double>(cached *
-                                        kvBytesPerToken(cfg_.timing)) /
+                                        kv_bytes_per_token_) /
                     (reload_gbps * 1e9);
         }
         OBS_EVENT(trace_, obs::EventType::PrefillEnd, now_,
                   static_cast<int32_t>(cfg_.id), r.id, prefill_tokens,
                   static_cast<int64_t>(active_.size()) + 1);
+        active_final_tokens_ += r.finalLen();
         active_.push_back(std::move(r));
+        // The batch grew: any cached decode-fit prediction is void,
+        // and so is the open decode window.
+        opt_fit_rounds_ = -1;
+        win_live_ = false;
         ingestUpTo(now_);
     }
     result_.peak_in_flight =
@@ -602,7 +663,10 @@ ReplicaEngine::step(const IngestFn &ingest, double horizon)
     // advance-and-retire pass below maintains it in place, so only
     // rounds entered with a stale mirror (fresh step, or a preemption
     // changed the batch) pay the rebuild scan.
-    bool kv_ready = false;
+    // A window left open by the previous step() guarantees the batch
+    // (and therefore the mirror refreshed by its reconciliation) is
+    // untouched since, so the rebuild scan is skipped.
+    bool kv_ready = win_live_;
     for (;;) {
         // Optimistic KV pressure: every in-flight context grows one
         // token this iteration; while that would oversubscribe the
@@ -612,6 +676,8 @@ ReplicaEngine::step(const IngestFn &ingest, double horizon)
         // its final length, so the loop cannot strand the batch — the
         // > 1 guard is a belt-and-suspenders backstop against a
         // non-monotone system model.
+        if (optimistic_preempt)
+            flushWindow(); // the pressure check reads live lengths
         while (optimistic_preempt && active_.size() > 1 &&
                !scheduler_.nextDecodeTokenFits(active_)) {
             preemptVictim();
@@ -627,22 +693,51 @@ ReplicaEngine::step(const IngestFn &ingest, double horizon)
             kv_ready = true;
         }
 
-        if (decode_eval_ && !optimistic_preempt) {
-            // Bulk decode window. In Reserve mode nothing inside the
-            // round loop can change the batch except retirement, and
-            // the earliest retirement round is known up front (the
-            // smallest remaining generation length), so the rounds
-            // before it need no per-request work at all: the
-            // evaluator's window advances the reduced KV integers
-            // incrementally, and one reconciliation pass afterwards
-            // applies the window's worth of per-request effects. Every
-            // round's seconds, every timestamp and every trace event
-            // is bit-identical to the single-round loop's.
-            decode_eval_->beginWindow(kv_scratch_);
+        // Bulk decode window eligibility. In Reserve mode nothing
+        // inside the round loop can change the batch except
+        // retirement, and the earliest retirement round is known up
+        // front (the smallest remaining generation length), so every
+        // round before it can run without per-request work. Optimistic
+        // mode additionally needs a preemption-free horizon:
+        // decodeFitRounds() proves the next opt_fit_rounds_ pressure
+        // checks pass with the batch as-is, so the window is capped
+        // there and the *genuine* check re-runs at the predicted first
+        // failure — the identical floating-point compare the per-round
+        // loop would have made, so victims are evicted on exactly the
+        // same round. (opt_fit_rounds_ caches the proof across calls;
+        // any admission, retirement or preemption voids it.)
+        int64_t k_retire = 0;
+        if (decode_eval_) {
+            if (win_live_) {
+                // Continued window: the previous reconciliation
+                // already discounted the rounds run, no rescan.
+                k_retire = win_k_retire_;
+            } else {
+                k_retire = std::numeric_limits<int64_t>::max();
+                for (const Request &r : active_)
+                    k_retire =
+                        std::min(k_retire, r.gen_len - r.generated);
+            }
+        }
+        int64_t bulk_k = k_retire;
+        if (decode_eval_ && optimistic_preempt) {
+            if (opt_fit_rounds_ <= 0)
+                opt_fit_rounds_ =
+                    scheduler_.decodeFitRounds(active_, bulk_k);
+            bulk_k = std::min(bulk_k, opt_fit_rounds_);
+        }
+        if (bulk_k >= 1) {
+            // Bulk decode window: the evaluator advances the reduced
+            // KV integers incrementally, and one reconciliation pass
+            // afterwards applies the window's worth of per-request
+            // effects. Every round's seconds, every timestamp and
+            // every trace event is bit-identical to the single-round
+            // loop's.
+            const bool was_live = win_live_;
+            if (!was_live)
+                decode_eval_->beginWindow(kv_scratch_);
             const int64_t R = static_cast<int64_t>(active_.size());
-            int64_t k = std::numeric_limits<int64_t>::max();
-            for (const Request &r : active_)
-                k = std::min(k, r.gen_len - r.generated);
+            const int64_t k = bulk_k;
             // Entered with queued work (admission denied this step)
             // the single-round loop breaks after one round; match it.
             const bool queue_empty = scheduler_.queueEmpty();
@@ -658,37 +753,80 @@ ReplicaEngine::step(const IngestFn &ingest, double horizon)
 #endif
             double first_now = now_;
             int64_t rounds = 0;
-            for (;;) {
-                now_ += decode_eval_->nextRoundSeconds();
-                ++rounds;
-                if (rounds == 1)
-                    first_now = now_;
 #if SPECONTEXT_OBS_ENABLED
-                // Round j prices lengths grown j-1 tokens past the
-                // window base — the same sum the rebuild loop reads.
-                if (trace_)
+            if (trace_) {
+                // Traced run: per-round loop so every round's
+                // DecodeStep event carries its own timestamp.
+                for (;;) {
+                    now_ += decode_eval_->nextRoundSeconds();
+                    ++rounds;
+                    if (rounds == 1)
+                        first_now = now_;
+                    // Round j prices lengths grown j-1 tokens past the
+                    // window base — the same sum the rebuild loop
+                    // reads.
                     trace_->emit(obs::EventType::DecodeStep, now_,
                                  static_cast<int32_t>(cfg_.id), -1, R,
                                  kv_sum0 + (rounds - 1) * R);
+                    if (rounds >= k || !queue_empty ||
+                        !(now_ < horizon) || t_pending <= now_)
+                        break;
+                }
+            } else
 #endif
-                if (rounds >= k || !queue_empty ||
-                    !(now_ < horizon) || t_pending <= now_)
-                    break;
+            {
+                // A non-empty queue breaks the loop after one round
+                // regardless of k; fold that into the round cap so the
+                // fused loop needs no queue check.
+                now_ = decode_eval_->runWindow(queue_empty ? k : 1,
+                                               now_, horizon, t_pending,
+                                               rounds, first_now);
             }
             result_.iterations += rounds;
             if (counters_) {
                 counters_->add(slots_.decode_iterations, rounds);
                 counters_->add(slots_.generated_tokens, rounds * R);
             }
+            if (!trace_ && rounds < k_retire) {
+                // Deferred reconciliation: the window stopped short of
+                // the retirement bound, so no request finished and the
+                // only per-request effects are the uniform
+                // +rounds-per-request growth — bookkeeping the readers
+                // between flushes can compensate for arithmetically
+                // (see win_defer_rounds_). TTFT is the one write that
+                // cannot wait: every unstamped request joined via
+                // admission, which closed the window, so the first
+                // fresh window after a batch change stamps them all at
+                // its own first round — exactly the instant the eager
+                // pass would have used.
+                if (!was_live)
+                    for (Request &r : active_)
+                        if (r.first_token_seconds < 0.0)
+                            r.first_token_seconds = first_now;
+                win_defer_rounds_ += rounds;
+                win_live_ = true;
+                win_k_retire_ = k_retire - rounds;
+                if (optimistic_preempt)
+                    opt_fit_rounds_ -= rounds;
+                if (!(now_ < horizon) || !scheduler_.queueEmpty() ||
+                    (pending_next_ <
+                         static_cast<int64_t>(pending_.size()) &&
+                     pending_[pending_next_].arrival_seconds <= now_))
+                    break;
+                continue;
+            }
             // Reconciliation: the window's ++generated / TTFT stamps /
             // KV growth in one pass. Retirement is only reachable on
             // the final planned round (rounds == k), and a retiring
             // request finishes at the current (post-window) instant —
-            // exactly where the per-round loop would retire it.
+            // exactly where the per-round loop would retire it. Any
+            // rounds a prior deferred window banked apply here too.
+            const int64_t grow = win_defer_rounds_ + rounds;
+            win_defer_rounds_ = 0;
             size_t keep = 0;
             for (size_t i = 0; i < active_.size(); ++i) {
                 Request &r = active_[i];
-                r.generated += rounds;
+                r.generated += grow;
                 if (r.first_token_seconds < 0.0)
                     r.first_token_seconds = first_now;
                 if (!r.done()) {
@@ -701,12 +839,9 @@ ReplicaEngine::step(const IngestFn &ingest, double horizon)
                 }
                 r.finish_seconds = now_;
                 r.state = RequestState::Finished;
-                if (r.prefix_pin_slot >= 0) {
-                    const auto pin =
-                        prefix_pins_.find(r.prefix_pin_slot);
-                    prefix_tree_.release(pin->second);
-                    prefix_pins_.erase(pin);
-                }
+                active_final_tokens_ -= r.finalLen();
+                if (r.prefix_pin_slot >= 0)
+                    releasePinSlot(r.prefix_pin_slot);
                 result_.metrics.record(r, cfg_.id);
                 OBS_EVENT(trace_, obs::EventType::Complete, now_,
                           static_cast<int32_t>(cfg_.id), r.id,
@@ -717,6 +852,16 @@ ReplicaEngine::step(const IngestFn &ingest, double horizon)
             active_.resize(keep);
             kv_scratch_.resize(keep);
             // kv_ready stays true: the pass above refreshed the mirror.
+            // An unchanged batch keeps the evaluator's window (and the
+            // fit proof, one round spent per round run) open across
+            // steps; retirement voids both — indices no longer line
+            // up, recompute when next needed.
+            win_live_ = keep == static_cast<size_t>(R);
+            win_k_retire_ = k_retire - rounds;
+            if (optimistic_preempt)
+                opt_fit_rounds_ = keep == static_cast<size_t>(R)
+                                      ? opt_fit_rounds_ - rounds
+                                      : -1;
             if (!(now_ < horizon) || active_.empty() ||
                 !scheduler_.queueEmpty() ||
                 (pending_next_ < static_cast<int64_t>(pending_.size()) &&
@@ -769,11 +914,9 @@ ReplicaEngine::step(const IngestFn &ingest, double horizon)
             }
             r.finish_seconds = now_;
             r.state = RequestState::Finished;
-            if (r.prefix_pin_slot >= 0) {
-                const auto pin = prefix_pins_.find(r.prefix_pin_slot);
-                prefix_tree_.release(pin->second);
-                prefix_pins_.erase(pin);
-            }
+            active_final_tokens_ -= r.finalLen();
+            if (r.prefix_pin_slot >= 0)
+                releasePinSlot(r.prefix_pin_slot);
             result_.metrics.record(r, cfg_.id);
             OBS_EVENT(trace_, obs::EventType::Complete, now_,
                       static_cast<int32_t>(cfg_.id), r.id, r.gen_len,
@@ -784,6 +927,12 @@ ReplicaEngine::step(const IngestFn &ingest, double horizon)
         active_.resize(keep);
         kv_scratch_.resize(keep);
         kv_ready = true; // the pass above refreshed it for next round
+        // This round ran without a proven fit window (single-request
+        // pressure fallback, or no cached evaluator); the contexts
+        // grew outside any window, so stale predictions are void.
+        win_live_ = false;
+        if (optimistic_preempt)
+            opt_fit_rounds_ = -1;
 
         // Skip-ahead: keep executing pure-decode rounds inside this
         // call while nothing external can observe or perturb the

@@ -36,12 +36,13 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/timing_engine.h"
@@ -71,6 +72,9 @@ struct PrefixCacheConfig
     int64_t budget_bytes = 0;
     /** Tokens per cached block (match alignment). */
     int64_t page_size = 16;
+    /** Slab-pool the tree's nodes (default). Off = new/delete per
+     *  block; simulated results are bit-identical either way. */
+    bool pooled = true;
 };
 
 /** Prefix-cache counters of one replica (or a fleet roll-up). */
@@ -284,9 +288,18 @@ class ReplicaEngine
      * it is the fleet-internal component of the bulk-stepping horizon.
      *
      *  - queued work: now() — the very next round admits;
-     *  - Optimistic with a live batch: now() — any decode round can
-     *    preempt under KV pressure, putting a restore admission one
-     *    round later, which is unpredictable without running it;
+     *  - Optimistic with a live batch: a preemption (whose restore
+     *    puts an admission one round later) is the hazard. Without
+     *    lookahead that forces now(); when step() has a live
+     *    decode-fit window (decodeFitRounds) covering n more rounds
+     *    and no in-flight request can retire within them, neither a
+     *    preemption nor a retirement can touch the batch before n
+     *    rounds have run — each lasting at least the evaluator's
+     *    structural minRoundSeconds() floor — so now() + n * floor is
+     *    a sound lower bound (still clipped by the pending head's
+     *    arrival: the round crossing it becomes an admission round).
+     *    The bound widens skip-ahead windows only; it never feeds
+     *    simulated arithmetic.
      *  - pending deliveries only: the head's arrival time (the round
      *    that crosses it turns into an admission round);
      *  - otherwise +infinity — a Reserve replica with nothing waiting
@@ -298,8 +311,30 @@ class ReplicaEngine
     {
         if (!scheduler_.queueEmpty())
             return now_;
-        if (optimistic() && !active_.empty())
-            return now_;
+        if (optimistic() && !active_.empty()) {
+            double cap = now_;
+            if (decode_eval_ && opt_fit_rounds_ > 0) {
+                const double floor_s = decode_eval_->minRoundSeconds();
+                if (floor_s > 0.0) {
+                    int64_t n = opt_fit_rounds_;
+                    // `generated` lags a deferred window's rounds
+                    // (see win_defer_rounds_); discount them so the
+                    // bound is what an eager reconciliation would
+                    // have read.
+                    for (const Request &r : active_)
+                        n = std::min(n, r.gen_len - r.generated -
+                                            win_defer_rounds_);
+                    if (n > 0)
+                        cap = now_ + static_cast<double>(n) * floor_s;
+                }
+            }
+            if (pending_next_ < static_cast<int64_t>(pending_.size())) {
+                const double arr =
+                    pending_[pending_next_].arrival_seconds;
+                cap = std::min(cap, arr > now_ ? arr : now_);
+            }
+            return cap;
+        }
         if (pending_next_ < static_cast<int64_t>(pending_.size()))
             return pending_[pending_next_].arrival_seconds > now_
                        ? pending_[pending_next_].arrival_seconds
@@ -359,11 +394,55 @@ class ReplicaEngine
     Scheduler scheduler_;
     /** Fast-path decode pricer (null = per-call façade path). */
     std::unique_ptr<core::DecodeEvaluator> decode_eval_;
+    /** Cached admission-time prefill pricer (set with decode_eval_);
+     *  null = per-call requestPrefillSeconds, bit-identical. */
+    std::unique_ptr<core::PrefillEvaluator> prefill_eval_;
 
     double now_ = 0.0;
     std::vector<Request> active_;
     std::vector<Request> pending_; ///< delivered, arrival not reached
     int64_t pending_next_ = 0;     ///< first live index into pending_
+    /**
+     * Optimistic decode-fit window: how many future rounds are still
+     * proven to pass the preemption check from the *current* batch
+     * state (Scheduler::decodeFitRounds, probed once per window and
+     * decremented per round run). -1 = unknown, recompute before the
+     * next bulk window. Invalidated whenever the batch composition
+     * changes (admission, retirement, preemption) — the prediction
+     * assumes uniform +1 growth of a fixed membership. Reserve-mode
+     * engines never read it.
+     */
+    int64_t opt_fit_rounds_ = -1;
+    /** The decode evaluator's bulk window is still open from the last
+     *  step(): the batch composition has not changed since, so its
+     *  incremental reduced integers (attended total, s_max, crossing
+     *  bookkeeping) are exactly what a fresh beginWindow() on the
+     *  grown lengths would derive — the next window continues it and
+     *  skips the O(batch) re-scan. Any admission, preemption,
+     *  retirement or per-round-path iteration closes the window. */
+    bool win_live_ = false;
+    /** Running Σ finalLen() over active_, maintained at every
+     *  admission, preemption and retirement: the router reads every
+     *  lane's reserved KV on every arrival, and the integer total is
+     *  associative, so the cache is exactly the scan it replaces. */
+    int64_t active_final_tokens_ = 0;
+    /** Retirement bound (min remaining gen tokens across the batch)
+     *  carried by a live window; each reconciliation discounts the
+     *  rounds just run, so a continued window skips the O(batch)
+     *  rescan. Meaningful only while win_live_ is true. */
+    int64_t win_k_retire_ = 0;
+    /** Rounds a live window has run that are not yet applied to the
+     *  Request objects (generated, KV mirror). While a window is
+     *  continued across steps no request can retire (the window is
+     *  capped below win_k_retire_) and nothing per-request changes
+     *  except the uniform +1-per-round growth, so the O(batch) pass
+     *  is deferred: `generated` lags every active request by exactly
+     *  this count, and the few readers that look at live lengths
+     *  between flushes compensate arithmetically (integer-exact).
+     *  flushWindow() applies the lag; retirement windows, traced
+     *  runs and any batch mutation flush eagerly. Non-zero only
+     *  while win_live_ is true. */
+    int64_t win_defer_rounds_ = 0;
     /** Decode-iteration kv_lens buffer, reused across rounds so the
      *  hot loop allocates nothing in steady state. */
     std::vector<int64_t> kv_scratch_;
@@ -374,10 +453,25 @@ class ReplicaEngine
      *  The tree's own budget is a *working* value syncPrefixBudget()
      *  squeezes under live-KV pressure and later restores. */
     int64_t configured_prefix_budget_ = 0;
+    /** Geometry-derived constants, frozen at construction: KV bytes
+     *  one token occupies and the HBM left next to the weights
+     *  (clamped to >= 1). Both are pure functions of the immutable
+     *  replica config, but re-deriving them walks the LLM parameter
+     *  count — and the router asks for the load fraction of every
+     *  candidate lane on every arrival. */
+    int64_t kv_bytes_per_token_ = 0;
+    int64_t kv_capacity_bytes_ = 1;
+    /** MemoryModel::modelBytes() of this replica's config — the Eq. 6
+     *  weight term syncPrefixBudget() subtracts on every admission.
+     *  Constructing the model just to read this walked the whole
+     *  parameter count per admission. */
+    int64_t model_bytes_ = 0;
     /** Pin held for each in-flight request, keyed by its admission's
      *  unique pin slot (Request::prefix_pin_slot); released at
-     *  retirement or preemption. */
-    std::unordered_map<int64_t, kv::PrefixHandle> prefix_pins_;
+     *  retirement or preemption. Flat (slot, pin) table: it holds at
+     *  most max_batch entries, so a backward linear scan beats a hash
+     *  map — and sheds the per-admission node allocation the map paid. */
+    std::vector<std::pair<int64_t, kv::PrefixHandle>> prefix_pins_;
     int64_t next_pin_slot_ = 0;
 
     /** Per-replica counter/gauge slots (resolved once at
@@ -440,10 +534,24 @@ class ReplicaEngine
      *  budget re-clamp as its resize callback. */
     int64_t admitThroughPrefixCache(Request &r);
 
+    /** Apply win_defer_rounds_ to every active request (generated and
+     *  the KV mirror) and reset the lag to zero. Must run before any
+     *  code reads or mutates per-request live state directly:
+     *  admission (resident scan, optimistic fitsCurrent), the
+     *  optimistic pressure check, victim selection, and the per-round
+     *  fallback. The evaluator's window stays open — a flush restores
+     *  the eager-reconciliation invariant without closing anything. */
+    void flushWindow();
+
     /** Optimistic KV pressure: evict the Scheduler's victim from the
      *  in-flight batch — release its prefix pin, count the preemption
      *  and re-enqueue it for recompute. */
     void preemptVictim();
+
+    /** Release the prefix pin registered under `slot` and drop its
+     *  table entry (swap-pop; scan from the back — recent pins release
+     *  most often). No-op when the slot is absent. */
+    void releasePinSlot(int64_t slot);
 
     /** Copy the tree's lifetime counters into result_.prefix. */
     void snapshotPrefixStats();

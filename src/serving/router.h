@@ -131,8 +131,32 @@ class Router
                        const std::vector<size_t> &routable,
                        int64_t *affinity_spills);
 
+    /** Fill `out` with the routable indices able to serve `r` at all;
+     *  the whole routable set when none can (the pick then
+     *  hard-rejects, keeping accounting policy-free). */
+    void feasibleReplicas(const Request &r,
+                          const std::vector<std::unique_ptr<ReplicaEngine>>
+                              &replicas,
+                          const std::vector<size_t> &routable,
+                          std::vector<size_t> &out);
+
     RouterConfig cfg_;
     size_t rr_cursor_ = 0;
+
+    /** Feasible-candidate scratch reused across placements — routing
+     *  runs once per arrival, and rebuilding this vector on the heap
+     *  each time was the router's last per-arrival allocation. */
+    std::vector<size_t> feasible_scratch_;
+
+    /** Admission-shape classes, the router's per-arrival feasibility
+     *  memo. Replica configs are immutable and lanes are only ever
+     *  appended (a retired slot keeps its engine), so each lane is
+     *  classified exactly once over the router's lifetime; after that
+     *  an arrival pays one feasibleAlone() per *class* — typically one
+     *  for the whole fleet — instead of a shape comparison per lane. */
+    std::vector<int32_t> shape_class_; ///< lane -> class id, -1 unknown
+    std::vector<size_t> shape_rep_;    ///< class id -> exemplar lane
+    std::vector<int8_t> shape_verdict_; ///< per-arrival verdict cache
 
     /** Always-on placement counters (null = observability off). */
     obs::CounterRegistry *counters_ = nullptr;

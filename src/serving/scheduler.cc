@@ -124,6 +124,15 @@ Scheduler::nextDecodeTokenFits(const std::vector<Request> &active) const
     return admission_.decodeStepFits(active).admit;
 }
 
+int64_t
+Scheduler::decodeFitRounds(const std::vector<Request> &active,
+                           int64_t max_rounds) const
+{
+    if (cfg_.mode == SchedulerMode::Reserve)
+        return max_rounds; // reservations already cover all growth
+    return admission_.decodeFitRounds(active, max_rounds);
+}
+
 namespace {
 
 /** Shared equal-pressure tie-break: the (progress, arrival, id) total

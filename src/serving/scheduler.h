@@ -194,6 +194,19 @@ class Scheduler
     bool nextDecodeTokenFits(const std::vector<Request> &active) const;
 
     /**
+     * Rounds of decode-fit headroom from the current state, capped at
+     * `max_rounds`: the count of consecutive future rounds whose
+     * nextDecodeTokenFits() check is guaranteed to pass while the
+     * batch composition stays fixed. Reserve mode returns max_rounds
+     * (reservations cover all growth); Optimistic delegates to
+     * AdmissionController::decodeFitRounds(), whose contract (probe
+     * indexing, monotonicity requirement, conservative first-failure
+     * semantics) this facade inherits.
+     */
+    int64_t decodeFitRounds(const std::vector<Request> &active,
+                            int64_t max_rounds) const;
+
+    /**
      * Index into `active` of the next preemption victim under the
      * victim policy. Equal-pressure ties resolve through the
      * (progress, arrival, id) total order, so selection is

@@ -17,42 +17,13 @@ CostModel::CostModel(HardwareSpec hw, KernelBackend backend)
     : hw_(std::move(hw)), backend_(backend),
       eff_(BackendEfficiency::of(backend))
 {
-}
-
-double
-CostModel::gemmSeconds(int64_t m, int64_t n, int64_t k) const
-{
-    const double flops = 2.0 * m * n * k;
-    const double compute =
-        flops / (hw_.gpu_tflops_fp16 * kTera * eff_.gemm);
-    // Memory floor: stream A, B, C once at FP16.
-    const double bytes = 2.0 * (double(m) * k + double(k) * n +
-                                double(m) * n);
-    const double memory = bytes / (hw_.hbm_bw_gbps * kGiga);
-    return std::max(compute, memory);
-}
-
-double
-CostModel::gemmFlopsSeconds(double flops) const
-{
-    return flops / (hw_.gpu_tflops_fp16 * kTera * eff_.gemm);
-}
-
-double
-CostModel::attentionDecodeSeconds(int64_t batch, int64_t q_heads,
-                                  int64_t kv_heads, int64_t head_dim,
-                                  int64_t kv_len) const
-{
-    // Memory: each request reads K and V of kv_len tokens at FP16.
-    const double kv_bytes =
-        2.0 * 2.0 * batch * kv_len * kv_heads * head_dim;
-    const double memory =
-        kv_bytes / (hw_.hbm_bw_gbps * kGiga * eff_.attn_bw);
-    // Compute: QK^T and PV, 2 * 2*q_heads*head_dim flops per position.
-    const double flops = 4.0 * batch * q_heads * head_dim * double(kv_len);
-    const double compute =
-        flops / (hw_.gpu_tflops_fp16 * kTera * eff_.gemm);
-    return std::max(memory, compute);
+    gemm_flops_denom_ = hw_.gpu_tflops_fp16 * kTera * eff_.gemm;
+    attn_mem_denom_ = hw_.hbm_bw_gbps * kGiga * eff_.attn_bw;
+    hbm_denom_ = hw_.hbm_bw_gbps * kGiga;
+    pcie_denom_ = hw_.pcie_bw_gbps * kGiga;
+    dram_denom_ = hw_.cpu_dram_bw_gbps * kGiga;
+    launch_s_ = hw_.kernel_launch_us * 1e-6;
+    sync_s_ = hw_.sync_us * 1e-6;
 }
 
 double
@@ -99,6 +70,7 @@ CostModel::decodeStepBreakdown(const model::ModelConfig &cfg,
         double(cfg.parameterBytesFp16()) / (hw_.hbm_bw_gbps * kGiga);
     b.total = std::max(b.gemm + b.attn + b.launch + b.lm_head,
                        weight_stream);
+    b.compute_fixed = b.gemm + b.launch + b.lm_head;
     return b;
 }
 
@@ -128,34 +100,6 @@ CostModel::prefillSeconds(const model::ModelConfig &cfg, int64_t batch,
 
     return cfg.layers * (gemm + attn) +
            gemmSeconds(batch, cfg.vocab, cfg.hidden);
-}
-
-double
-CostModel::pcieSeconds(int64_t bytes) const
-{
-    if (bytes <= 0)
-        return 0.0;
-    return double(bytes) / (hw_.pcie_bw_gbps * kGiga) + launchSeconds();
-}
-
-double
-CostModel::dramReadSeconds(int64_t bytes) const
-{
-    if (bytes <= 0)
-        return 0.0;
-    return double(bytes) / (hw_.cpu_dram_bw_gbps * kGiga);
-}
-
-double
-CostModel::retrievalSeconds(double score_flops, int64_t topk_n) const
-{
-    const double score =
-        score_flops / (hw_.gpu_tflops_fp16 * kTera * eff_.gemm);
-    // Top-K is bandwidth bound over the score array (4-byte scores),
-    // with a small fixed kernel cost.
-    const double topk =
-        4.0 * double(topk_n) / (hw_.hbm_bw_gbps * kGiga) + launchSeconds();
-    return score + topk + launchSeconds();
 }
 
 } // namespace sim

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -36,7 +37,7 @@ class ThreadPool
             return;
         workers_.reserve(threads);
         for (size_t i = 0; i < threads; ++i)
-            workers_.emplace_back([this] { workerLoop(); });
+            workers_.emplace_back([this, i] { workerLoop(i); });
     }
 
     ~ThreadPool()
@@ -86,11 +87,76 @@ class ThreadPool
             std::this_thread::yield();
     }
 
+    /**
+     * Fork-join shard dispatch with zero per-call allocation: run
+     * fn(ctx, s) once for every shard s in [0, n) and return when all
+     * of them finished. Worker w executes shards w, w+W, w+2W, …
+     * (strided), so a caller that sizes its shards to the worker
+     * count gets one contiguous shard per worker. With no workers the
+     * shards run inline, in ascending order, on the calling thread.
+     *
+     * The plain function pointer + context (instead of
+     * std::function) is the point: the cluster's era stepping
+     * dispatches one job per fleet event, and a std::function capture
+     * would heap-allocate on every one of the millions of dispatches
+     * a long sweep makes. A captureless lambda converts implicitly
+     * (`+[](void *c, size_t s) { … }`).
+     *
+     * Publication protocol: the job fields are written before the
+     * generation counter's release-increment; a worker acquires the
+     * counter, so it sees the fields. Every worker acknowledges every
+     * generation exactly once (even when the stride hands it no
+     * shards) by decrementing the pending count with release order;
+     * the caller spin-joins on pending == 0 with acquire, so all
+     * shard effects are visible when this returns. Not reentrant: one
+     * runShards at a time (the serving loop is the only caller), and
+     * do not interleave with an un-waited submit() batch.
+     */
+    void runShards(size_t n, void (*fn)(void *, size_t), void *ctx)
+    {
+        if (workers_.empty()) {
+            for (size_t s = 0; s < n; ++s)
+                fn(ctx, s);
+            return;
+        }
+        shard_fn_ = fn;
+        shard_ctx_ = ctx;
+        shard_n_ = n;
+        shard_pending_.store(workers_.size(),
+                             std::memory_order_relaxed);
+        shard_gen_.fetch_add(1, std::memory_order_release);
+        {
+            // Fence against the sleep path: a worker that just
+            // evaluated its cv predicate either saw the new generation
+            // or has not yet blocked — taking the lock here makes the
+            // notify below un-missable.
+            std::lock_guard<std::mutex> lock(mu_);
+        }
+        cv_.notify_all();
+        while (shard_pending_.load(std::memory_order_acquire) != 0)
+            std::this_thread::yield();
+    }
+
   private:
-    void workerLoop()
+    void workerLoop(size_t widx)
     {
         int idle = 0;
+        uint64_t seen_gen = 0;
         for (;;) {
+            // Shard jobs first: they are the latency-critical barrier
+            // the serving loop spins on.
+            const uint64_t gen =
+                shard_gen_.load(std::memory_order_acquire);
+            if (gen != seen_gen) {
+                seen_gen = gen;
+                for (size_t s = widx; s < shard_n_;
+                     s += workers_.size())
+                    shard_fn_(shard_ctx_, s);
+                shard_pending_.fetch_sub(1,
+                                         std::memory_order_release);
+                idle = 0;
+                continue;
+            }
             std::function<void()> task;
             {
                 // Spin phase: poll the queue without blocking so
@@ -118,13 +184,17 @@ class ThreadPool
                 std::this_thread::yield();
                 continue;
             }
-            // Long idle: block until the next submit (or shutdown)
-            // rather than burning a core between dispatch bursts.
+            // Long idle: block until the next submit / shard job (or
+            // shutdown) rather than burning a core between bursts.
             idle = 0;
             std::unique_lock<std::mutex> lock(mu_);
-            cv_.wait(lock,
-                     [this] { return stopping_ || !tasks_.empty(); });
-            if (tasks_.empty() && stopping_)
+            cv_.wait(lock, [this, seen_gen] {
+                return stopping_ || !tasks_.empty() ||
+                       shard_gen_.load(std::memory_order_acquire) !=
+                           seen_gen;
+            });
+            if (tasks_.empty() && stopping_ &&
+                shard_gen_.load(std::memory_order_acquire) == seen_gen)
                 return;
         }
     }
@@ -137,6 +207,15 @@ class ThreadPool
     std::vector<std::function<void()>> tasks_;
     std::atomic<size_t> outstanding_{0};
     bool stopping_ = false;
+
+    // One-at-a-time shard job (see runShards). fn/ctx/n are ordinary
+    // fields: the generation counter's release/acquire pair orders
+    // them, and reuse is fenced by the pending-count join.
+    void (*shard_fn_)(void *, size_t) = nullptr;
+    void *shard_ctx_ = nullptr;
+    size_t shard_n_ = 0;
+    std::atomic<uint64_t> shard_gen_{0};
+    std::atomic<size_t> shard_pending_{0};
 };
 
 } // namespace util

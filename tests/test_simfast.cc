@@ -187,11 +187,12 @@ expectSameSimulation(const ClusterResult &a, const ClusterResult &b)
 ClusterResult
 runFleet(const core::TimingEngine &engine, ClusterConfig cfg,
          const std::vector<Request> &trace, bool skip_ahead,
-         bool cache_costs, size_t threads = 1)
+         bool cache_costs, size_t threads = 1, size_t shards = 0)
 {
     cfg.fast_path.skip_ahead = skip_ahead;
     cfg.fast_path.cache_decode_costs = cache_costs;
     cfg.fast_path.threads = threads;
+    cfg.fast_path.shards = shards;
     return Cluster(engine, cfg).run(trace);
 }
 
@@ -271,12 +272,63 @@ TEST(SimFast, ParallelLanesBitIdentical)
     expectSameSimulation(one, four);
 }
 
+TEST(SimFast, ShardCountInvarianceBitIdentical)
+{
+    // Era stepping partitions eligible lanes into shards; the shard
+    // count is a pure execution-layout knob. Any shard count — with or
+    // without worker threads behind it — must reproduce the serial
+    // fast path bit for bit.
+    core::TimingEngine engine;
+    const auto trace = diurnal(160, 41, 4.0);
+    ClusterConfig cc;
+    for (int i = 0; i < 6; ++i)
+        cc.replicas.push_back(speReplica());
+    cc.router.policy = RouterPolicy::LeastKvLoad;
+    const ClusterResult serial = runFleet(engine, cc, trace, true, true);
+    ASSERT_GT(serial.completed(), 0);
+    for (size_t shards : {1u, 2u, 4u}) {
+        const ClusterResult sharded =
+            runFleet(engine, cc, trace, true, true, /*threads=*/1,
+                     shards);
+        expectSameSimulation(serial, sharded);
+        const ClusterResult threaded =
+            runFleet(engine, cc, trace, true, true, /*threads=*/2,
+                     shards);
+        expectSameSimulation(serial, threaded);
+    }
+}
+
+TEST(SimFast, PooledAndHeapPrefixTreeBitIdentical)
+{
+    // The prefix tree's slab pool changes only where nodes live.
+    // A cache-heavy preemption workload (insertions, evictions, pin
+    // churn) must be bit-identical with the pool replaced by plain
+    // new/delete.
+    core::TimingEngine engine;
+    const auto trace = preemptTrace(11);
+    ClusterConfig cc;
+    cc.replicas = {preemptReplica(), preemptReplica()};
+    cc.router.policy = RouterPolicy::PrefixAffinity;
+    ClusterConfig heap_cfg = cc;
+    for (auto &rc : heap_cfg.replicas)
+        rc.prefix_cache.pooled = false;
+    const ClusterResult pooled = runFleet(engine, cc, trace, true, true);
+    const ClusterResult heap =
+        runFleet(engine, heap_cfg, trace, true, true);
+    ASSERT_GT(pooled.completed(), 0);
+    // The cache did real work, so the pool was actually exercised.
+    EXPECT_GT(pooled.fleet.prefix.inserted_tokens, 0);
+    expectSameSimulation(pooled, heap);
+}
+
 TEST(SimFast, ObservedRunMatchesUnobservedSimulation)
 {
-    // Attaching trace + counters serializes parallel dispatch and
-    // re-enables per-round event emission inside bulk windows — but
-    // simulated quantities must not move, and the decode-iteration
-    // counter must agree with the unobserved iteration count.
+    // Attaching trace + counters serializes parallel dispatch — era
+    // stepping (threads AND shards requested) falls back to the
+    // sequential engine so per-round event emission and counter
+    // updates stay single-threaded — but simulated quantities must
+    // not move, and the decode-iteration counter must agree with the
+    // unobserved iteration count.
     core::TimingEngine engine;
     const auto trace = diurnal(64, 19);
     ClusterConfig cc;
@@ -289,8 +341,8 @@ TEST(SimFast, ObservedRunMatchesUnobservedSimulation)
     ClusterConfig oc = cc;
     oc.obs.trace = &ring;
     oc.obs.counters = &counters;
-    const ClusterResult observed =
-        runFleet(engine, oc, trace, true, true, /*threads=*/4);
+    const ClusterResult observed = runFleet(
+        engine, oc, trace, true, true, /*threads=*/4, /*shards=*/4);
     expectSameSimulation(plain, observed);
 
     int64_t decode_iters = 0;
@@ -351,6 +403,37 @@ TEST(SimFast, ElasticLaneAddRetireParityUnderSkipAhead)
     EXPECT_TRUE(attached);
     EXPECT_TRUE(retired);
     expectSameSimulation(slow, fast);
+}
+
+TEST(SimFast, EraSteppingElasticControlTickParity)
+{
+    // Elastic control ticks are router-barrier events: they must land
+    // *between* eras, never inside one, or a scale decision would see
+    // lane state from the future. Pin bit parity of an elastic fleet
+    // under era stepping (threads + shards) against the plain engine,
+    // and require that scale events actually fired mid-run.
+    core::TimingEngine engine;
+    const auto trace = diurnal(96, 31);
+    ClusterConfig cc;
+    cc.replicas = {speReplica()};
+    cc.router.policy = RouterPolicy::LeastKvLoad;
+    cc.elastic.min_replicas = 1;
+    cc.elastic.max_replicas = 3;
+    cc.elastic.control_period_seconds = 5.0;
+
+    PulseController slow_ctl, era_ctl;
+    ClusterConfig slow_cfg = cc;
+    slow_cfg.elastic.controller = &slow_ctl;
+    ClusterConfig era_cfg = cc;
+    era_cfg.elastic.controller = &era_ctl;
+
+    const ClusterResult slow =
+        runFleet(engine, slow_cfg, trace, false, false);
+    const ClusterResult era = runFleet(engine, era_cfg, trace, true,
+                                       true, /*threads=*/4,
+                                       /*shards=*/2);
+    ASSERT_FALSE(slow.scale_events.empty());
+    expectSameSimulation(slow, era);
 }
 
 // ------------------------------------------------- EventClock fast ops
@@ -436,6 +519,58 @@ TEST(ThreadPoolTest, WaitIsABarrierAcrossRepeatedBatches)
             expect += 1 + k % 7;
         EXPECT_EQ(done.load(), expect);
     }
+}
+
+TEST(ThreadPoolTest, RunShardsInlineWithoutWorkers)
+{
+    // No workers -> shards run inline, ascending, on the caller.
+    util::ThreadPool pool(1);
+    std::vector<size_t> order;
+    struct Ctx
+    {
+        std::vector<size_t> *order;
+    } ctx{&order};
+    pool.runShards(5, +[](void *c, size_t s) {
+        static_cast<Ctx *>(c)->order->push_back(s);
+    }, &ctx);
+    ASSERT_EQ(order.size(), 5u);
+    for (size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, RunShardsCoversEveryShardExactlyOnce)
+{
+    util::ThreadPool pool(3);
+    constexpr size_t kShards = 17;
+    std::atomic<int> hits[kShards] = {};
+    struct Ctx
+    {
+        std::atomic<int> *hits;
+    } ctx{hits};
+    // Repeated generations through the same pool: each dispatch is a
+    // full fork-join, so counts advance in lockstep.
+    for (int round = 1; round <= 8; ++round) {
+        pool.runShards(kShards, +[](void *c, size_t s) {
+            static_cast<Ctx *>(c)->hits[s].fetch_add(1);
+        }, &ctx);
+        for (size_t s = 0; s < kShards; ++s)
+            EXPECT_EQ(hits[s].load(), round) << "shard " << s;
+    }
+}
+
+TEST(ThreadPoolTest, RunShardsFewerShardsThanWorkers)
+{
+    util::ThreadPool pool(4);
+    std::atomic<int> total{0};
+    pool.runShards(2, +[](void *c, size_t) {
+        static_cast<std::atomic<int> *>(c)->fetch_add(1);
+    }, &total);
+    EXPECT_EQ(total.load(), 2);
+    // Zero shards is a no-op join, not a hang.
+    pool.runShards(0, +[](void *c, size_t) {
+        static_cast<std::atomic<int> *>(c)->fetch_add(1);
+    }, &total);
+    EXPECT_EQ(total.load(), 2);
 }
 
 // ------------------------------------------- DecodeEvaluator windows
